@@ -1,0 +1,142 @@
+//! Property tests of the `VertexProgram` contract every engine relies on
+//! (see `gsd_runtime::program`): `combine` is commutative and associative
+//! with `zero_accum` as its identity; `scatter` is a pure function of the
+//! source's committed value and the edge; and for partial-frontier
+//! programs, applying the zero accumulator never changes a vertex.
+//! Violating any of these would let a parallel schedule or a
+//! cross-iteration reordering change results — the equivalence suites
+//! would catch it downstream, but these tests point at the offending
+//! program directly.
+
+use gsd_algos::{Bfs, ConnectedComponents, PageRank, PageRankDelta, Sssp};
+use gsd_runtime::{ProgramContext, VertexProgram};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn ctx(n: u32) -> ProgramContext {
+    ProgramContext::new(n, Arc::new((0..n).map(|v| 1 + v % 7).collect()))
+}
+
+/// Checks the algebraic laws for one program over sampled accumulator
+/// values produced by its own scatter (so the values are in-domain).
+fn check_combine_laws<P: VertexProgram>(
+    program: &P,
+    samples: &[P::Accum],
+    exact: bool,
+) -> Result<(), TestCaseError> {
+    let eq = |x: P::Accum, y: P::Accum| -> bool {
+        if exact {
+            x == y
+        } else {
+            // Float sums: compare bit-for-bit after both orders — the
+            // *values* must be close; for f32 addition of two operands the
+            // result is IEEE-commutative, so exact equality is fine for
+            // pairs; associativity gets a tolerance via bits distance.
+            x == y || {
+                let (a, b) = (x.to_bits() as i64, y.to_bits() as i64);
+                (a - b).abs() < 16
+            }
+        }
+    };
+    let zero = program.zero_accum();
+    for &a in samples {
+        prop_assert!(eq(program.combine(a, zero), a), "right identity");
+        prop_assert!(eq(program.combine(zero, a), a), "left identity");
+        for &b in samples {
+            prop_assert!(
+                eq(program.combine(a, b), program.combine(b, a)),
+                "commutativity"
+            );
+            for &c in samples {
+                prop_assert!(
+                    eq(
+                        program.combine(program.combine(a, b), c),
+                        program.combine(a, program.combine(b, c))
+                    ),
+                    "associativity"
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn cc_combine_laws(labels in proptest::collection::vec(0u32..1000, 1..6)) {
+        let p = ConnectedComponents;
+        check_combine_laws(&p, &labels, true)?;
+    }
+
+    #[test]
+    fn bfs_combine_laws(depths in proptest::collection::vec(0u32..1000, 1..6)) {
+        let p = Bfs::new(0);
+        check_combine_laws(&p, &depths, true)?;
+    }
+
+    #[test]
+    fn sssp_combine_laws(dists in proptest::collection::vec(0u32..100_000, 1..6)) {
+        let p = Sssp::new(0);
+        let dists: Vec<f32> = dists.into_iter().map(|d| d as f32 / 16.0).collect();
+        check_combine_laws(&p, &dists, true)?; // min is exact on floats
+    }
+
+    #[test]
+    fn pagerank_combine_laws(sums in proptest::collection::vec(0u32..10_000, 1..5)) {
+        let p = PageRank::paper();
+        let sums: Vec<f32> = sums.into_iter().map(|x| x as f32 / 64.0).collect();
+        check_combine_laws(&p, &sums, false)?;
+    }
+
+    #[test]
+    fn zero_accum_apply_is_identity_for_partial_frontier_programs(
+        v in 0u32..64, old in 0u32..1000
+    ) {
+        let ctx = ctx(64);
+        // CC / BFS: untouched vertices never change.
+        let cc = ConnectedComponents;
+        prop_assert_eq!(cc.apply(v, old, cc.zero_accum(), &ctx), None);
+        let bfs = Bfs::new(0);
+        prop_assert_eq!(bfs.apply(v, old, bfs.zero_accum(), &ctx), None);
+        // SSSP with any committed distance.
+        let sssp = Sssp::new(0);
+        prop_assert_eq!(sssp.apply(v, old as f32, sssp.zero_accum(), &ctx), None);
+        // PR-D: zero accumulated delta deactivates.
+        let prd = PageRankDelta::paper();
+        prop_assert_eq!(prd.apply(v, (old as f32, 0.1), prd.zero_accum(), &ctx), None);
+    }
+
+    #[test]
+    fn scatter_is_deterministic(u in 0u32..64, value in 0u32..1000, w in 1u32..32) {
+        let ctx = ctx(64);
+        let w = w as f32 / 32.0;
+        let cc = ConnectedComponents;
+        prop_assert_eq!(cc.scatter(u, value, w, &ctx), cc.scatter(u, value, w, &ctx));
+        let pr = PageRank::paper();
+        prop_assert_eq!(
+            pr.scatter(u, value as f32, w, &ctx),
+            pr.scatter(u, value as f32, w, &ctx)
+        );
+        let sssp = Sssp::new(0);
+        prop_assert_eq!(
+            sssp.scatter(u, value as f32, w, &ctx),
+            sssp.scatter(u, value as f32, w, &ctx)
+        );
+    }
+
+    #[test]
+    fn pagerank_scatter_conserves_mass(u in 0u32..64, rank in 1u32..1000) {
+        // Summing a vertex's scatter over its out-degree returns its rank.
+        let ctx = ctx(64);
+        let pr = PageRank::paper();
+        let rank = rank as f32 / 10.0;
+        let deg = ctx.degree(u);
+        let msg = pr.scatter(u, rank, 1.0, &ctx).unwrap();
+        prop_assert!((msg * deg as f32 - rank).abs() < 1e-3 * rank);
+    }
+}
+
+// `Value::to_bits` is needed by the tolerance check above.
+use gsd_runtime::Value as _;

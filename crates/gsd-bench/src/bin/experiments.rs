@@ -1,0 +1,34 @@
+//! CLI for the paper-experiment harness.
+//!
+//! ```text
+//! experiments [ids...]        # run the named experiments (default: all)
+//! GSD_SCALE=tiny|small|medium # workload scale (default small)
+//! ```
+
+use gsd_bench::experiments::{run_by_id, ALL_IDS};
+use gsd_bench::{Datasets, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let ids: Vec<&str> = if args.is_empty() {
+        ALL_IDS.to_vec()
+    } else {
+        args.iter().map(|s| s.as_str()).collect()
+    };
+    let scale = Scale::from_env();
+    eprintln!("# GraphSD paper experiments — scale {scale:?} (set GSD_SCALE=tiny|small|medium)");
+    let ds = Datasets::load(scale);
+    for id in ids {
+        let started = std::time::Instant::now();
+        match run_by_id(id, &ds) {
+            Ok(output) => {
+                println!("{output}");
+                eprintln!("# [{id}] done in {:.1}s\n", started.elapsed().as_secs_f64());
+            }
+            Err(e) => {
+                eprintln!("# [{id}] FAILED: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! One-off check: GraphSD-vs-Lumos margins on the web stand-in at the
+//! current GSD_SCALE (used to validate the scaling claims in
+//! EXPERIMENTS.md).
+use gsd_bench::runner::{run_system, Algo, SystemKind};
+use gsd_bench::{Datasets, Scale};
+
+fn main() {
+    let ds = Datasets::load(Scale::from_env());
+    let d = ds.get("uk_sim").unwrap();
+    for algo in [Algo::PrD, Algo::Cc] {
+        let gsd = run_system(SystemKind::GraphSd, d, algo).unwrap();
+        let lumos = run_system(SystemKind::Lumos, d, algo).unwrap();
+        let hus = run_system(SystemKind::HusGraph, d, algo).unwrap();
+        println!(
+            "uk_sim {}: iterations {}, GraphSD {:.2}s, HUS {:.2}x, Lumos {:.2}x",
+            algo.label(),
+            gsd.stats.iterations,
+            gsd.execution_time().as_secs_f64(),
+            hus.execution_time().as_secs_f64() / gsd.execution_time().as_secs_f64(),
+            lumos.execution_time().as_secs_f64() / gsd.execution_time().as_secs_f64(),
+        );
+    }
+}

@@ -1,0 +1,34 @@
+//! # gsd-bench — the experiment harness
+//!
+//! Regenerates every table and figure of the paper's evaluation (§5) on
+//! the scaled-down stand-in datasets, across the GraphSD engine, its §5.4
+//! ablations, and the HUS-Graph-like / Lumos-like baselines:
+//!
+//! | id | paper item | harness |
+//! |----|------------|---------|
+//! | `table1` | optimization matrix | [`experiments::table1`] |
+//! | `table3` | dataset inventory | [`experiments::table3`] |
+//! | `table4` | GraphSD absolute execution times | [`experiments::table4`] |
+//! | `fig5` | normalized time vs HUS-Graph / Lumos | [`experiments::fig5`] |
+//! | `fig6` | runtime breakdown (I/O vs compute) | [`experiments::fig6`] |
+//! | `fig7` | I/O traffic comparison | [`experiments::fig7`] |
+//! | `fig8` | preprocessing time comparison | [`experiments::fig8`] |
+//! | `fig9` | update-strategy ablation (b1/b2) | [`experiments::fig9`] |
+//! | `fig10` | per-iteration scheduling (b3/b4) | [`experiments::fig10`] |
+//! | `fig11` | scheduler overhead vs saved I/O | [`experiments::fig11`] |
+//! | `fig12` | buffering effect | [`experiments::fig12`] |
+//!
+//! Run everything with `cargo bench -p gsd-bench --bench paper_experiments`
+//! or a single item with `cargo run --release -p gsd-bench --bin
+//! experiments -- <id>`. The `GSD_SCALE` environment variable selects the
+//! workload scale (`tiny`, `small` — default, `medium`).
+
+#![warn(missing_docs)]
+
+pub mod datasets;
+pub mod experiments;
+pub mod runner;
+pub mod table;
+
+pub use datasets::{Dataset, Datasets, Scale};
+pub use runner::{Algo, RunOutcome, SystemKind};

@@ -1,0 +1,403 @@
+//! Cross-system run machinery: prepare a system's on-disk format on a
+//! fresh simulated disk, run one of the paper's four algorithms, and
+//! collect timing / traffic / preprocessing outcomes.
+
+use crate::datasets::Dataset;
+use gsd_algos::{ConnectedComponents, PageRank, PageRankDelta, Sssp};
+use gsd_baselines::{build_hus_format, build_lumos_format, GridStreamEngine, HusGraphEngine, LumosEngine};
+use gsd_core::{GraphSdConfig, GraphSdEngine, SchedulerDecision};
+use gsd_graph::{preprocess, EdgeCodec, Graph, GridGraph, PreprocessConfig, PreprocessReport};
+use gsd_io::{DiskModel, SharedStorage, SimDisk};
+use gsd_runtime::{Engine, RunOptions, RunStats, VertexProgram};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Which system (or GraphSD ablation) to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SystemKind {
+    /// Full GraphSD.
+    GraphSd,
+    /// GraphSD-b1: no cross-iteration update (§5.4).
+    GraphSdB1,
+    /// GraphSD-b2: no selective update (§5.4).
+    GraphSdB2,
+    /// GraphSD-b3: full I/O model always (§5.4).
+    GraphSdB3,
+    /// GraphSD-b4: on-demand I/O model always (§5.4).
+    GraphSdB4,
+    /// GraphSD without the sub-block buffer (Figure 12).
+    GraphSdNoBuffer,
+    /// HUS-Graph-like baseline.
+    HusGraph,
+    /// Lumos-like baseline.
+    Lumos,
+    /// GridGraph-like plain streaming baseline.
+    GridStream,
+}
+
+impl SystemKind {
+    /// Display label (matches the paper's figure legends).
+    pub fn label(&self) -> &'static str {
+        match self {
+            SystemKind::GraphSd => "GraphSD",
+            SystemKind::GraphSdB1 => "GraphSD-b1",
+            SystemKind::GraphSdB2 => "GraphSD-b2",
+            SystemKind::GraphSdB3 => "GraphSD-b3",
+            SystemKind::GraphSdB4 => "GraphSD-b4",
+            SystemKind::GraphSdNoBuffer => "GraphSD-nobuf",
+            SystemKind::HusGraph => "HUS-Graph",
+            SystemKind::Lumos => "Lumos",
+            SystemKind::GridStream => "GridGraph",
+        }
+    }
+
+    /// The three systems of Figures 5–8.
+    pub fn main_three() -> [SystemKind; 3] {
+        [SystemKind::GraphSd, SystemKind::HusGraph, SystemKind::Lumos]
+    }
+}
+
+/// The paper's four evaluation algorithms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algo {
+    /// PageRank, 5 iterations.
+    Pr,
+    /// PageRank-Delta, 20 iterations.
+    PrD,
+    /// Connected Components to convergence (on the symmetrized graph).
+    Cc,
+    /// SSSP to convergence (weighted graph, hub root).
+    Sssp,
+}
+
+impl Algo {
+    /// All four, in the paper's column order.
+    pub fn all() -> [Algo; 4] {
+        [Algo::Pr, Algo::PrD, Algo::Cc, Algo::Sssp]
+    }
+
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Algo::Pr => "PR",
+            Algo::PrD => "PR-D",
+            Algo::Cc => "CC",
+            Algo::Sssp => "SSSP",
+        }
+    }
+
+    /// The graph variant this algorithm runs on.
+    pub fn input<'a>(&self, dataset: &'a Dataset) -> &'a Graph {
+        match self {
+            Algo::Cc => dataset.symmetric(),
+            Algo::Sssp => dataset.weighted(),
+            _ => dataset.directed(),
+        }
+    }
+}
+
+/// Preprocessing outcome of one system on one input.
+#[derive(Debug, Clone, Copy)]
+pub struct PreprocessOutcome {
+    /// Wall-clock breakdown (load / partition / sort / write).
+    pub report: PreprocessReport,
+    /// Simulated device time of the preprocessing writes.
+    pub sim_write_time: Duration,
+}
+
+impl PreprocessOutcome {
+    /// Modeled preprocessing time: the compute phases (wall) plus the
+    /// simulated time of writing the format to disk. This is the quantity
+    /// Figure 8 compares.
+    pub fn total_time(&self) -> Duration {
+        self.report.load + self.report.partition + self.report.sort + self.sim_write_time
+    }
+}
+
+/// Everything one `(system, dataset, algorithm)` run produces.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// System label.
+    pub system: &'static str,
+    /// Run statistics (times, traffic, per-iteration detail).
+    pub stats: RunStats,
+    /// Preprocessing outcome for this system's format.
+    pub preprocess: PreprocessOutcome,
+    /// Scheduler decisions (GraphSD variants only; empty otherwise).
+    pub decisions: Vec<SchedulerDecision>,
+}
+
+impl RunOutcome {
+    /// Modeled execution time (I/O + compute + scheduler overhead).
+    pub fn execution_time(&self) -> Duration {
+        self.stats.execution_time()
+    }
+}
+
+/// The interval count the paper's setup implies: the 5 % memory budget
+/// must hold one edge block (grid row), i.e. `P = 20`, clamped for tiny
+/// inputs.
+pub fn paper_p(graph: &Graph) -> u32 {
+    20u32.min(graph.num_vertices().max(1)).max(1)
+}
+
+/// Frontier fraction at which the on-demand and full I/O models should
+/// break even (see [`scaled_disk_for`]).
+const CROSSOVER_FRACTION: f64 = 0.10;
+
+/// Builds the simulated disk for a graph of this size.
+///
+/// Scaling argument: experiments run on graphs ~10⁴–10⁵× smaller than the
+/// paper's, but a real HDD's 8 ms seek does not shrink with them — with it,
+/// *every* configuration is seek-bound and the on-demand model can never
+/// win, which is not the regime two 500 GB HDDs with multi-GB datasets are
+/// in. We therefore keep the HDD's bandwidths and scale the seek latency so
+/// that the quantity that actually drives the paper's scheduler — the
+/// ratio between "one seek per active vertex" and "stream the whole edge
+/// set" — places the on-demand/full crossover at a meaningful frontier
+/// fraction ([`CROSSOVER_FRACTION`] of `|V|`). The model's `rand_read_bps`
+/// is derived consistently as the effective bandwidth of reading one
+/// average vertex's edge list, so the scheduler's `C_r` estimates match
+/// what the simulator charges.
+/// Bandwidth slowdown that restores the paper's I/O-dominated regime
+/// (56-91 % of execution time in disk I/O, Figure 6): our graphs are 10^4 x
+/// smaller than the paper's but the CPU is not 10^4 x slower, so unscaled
+/// bandwidths would make runs compute-bound and mask the I/O differences
+/// the paper measures. The slowdown is virtual-clock accounting only.
+const BANDWIDTH_SLOWDOWN: f64 = 8.0;
+
+/// Builds the simulated disk the experiments run on: the HDD preset scaled
+/// to the graph's size (see [`scaled_disk_from`] for the argument).
+pub fn scaled_disk_for(graph: &Graph) -> DiskModel {
+    scaled_disk_from(DiskModel::hdd(), graph)
+}
+
+/// [`scaled_disk_for`] generalized over the base device — used by the
+/// storage-sensitivity extension experiment (the paper's future-work
+/// direction: how do the gains change on faster devices?). The seek/sweep
+/// crossover scaling is applied relative to the base device's own
+/// seek-to-bandwidth ratio, so an SSD/NVMe keeps its proportionally
+/// cheaper random access.
+pub fn scaled_disk_from(base: DiskModel, graph: &Graph) -> DiskModel {
+    let seq_read_bps = base.seq_read_bps / BANDWIDTH_SLOWDOWN;
+    let seq_write_bps = base.seq_write_bps / BANDWIDTH_SLOWDOWN;
+    let edge_bytes =
+        (graph.num_edges() * EdgeCodec::new(graph.is_weighted()).edge_bytes() as u64) as f64;
+    let v = graph.num_vertices().max(1) as f64;
+    let sweep_secs = edge_bytes / seq_read_bps;
+    // Faster devices keep their proportionally cheaper seeks: the HDD maps
+    // to the canonical crossover fraction, an SSD/NVMe to a larger one.
+    let seek_ratio = base.seek_latency.as_secs_f64() / DiskModel::hdd().seek_latency.as_secs_f64();
+    let seek_secs = (seek_ratio * sweep_secs / (CROSSOVER_FRACTION * v)).clamp(1e-9, 8e-3);
+    let avg_vertex_bytes = (edge_bytes / v).max(1.0);
+    let rand_read_bps = avg_vertex_bytes / (seek_secs + avg_vertex_bytes / seq_read_bps);
+    DiskModel {
+        seq_read_bps,
+        seq_write_bps,
+        seek_latency: Duration::from_secs_f64(seek_secs),
+        rand_read_bps,
+        rand_write_bps: rand_read_bps * 0.8,
+        ..base
+    }
+}
+
+fn graphsd_config_of(kind: SystemKind) -> Option<GraphSdConfig> {
+    Some(match kind {
+        SystemKind::GraphSd => GraphSdConfig::full(),
+        SystemKind::GraphSdB1 => GraphSdConfig::b1_no_cross_iteration(),
+        SystemKind::GraphSdB2 => GraphSdConfig::b2_no_selective(),
+        SystemKind::GraphSdB3 => GraphSdConfig::b3_always_full(),
+        SystemKind::GraphSdB4 => GraphSdConfig::b4_always_on_demand(),
+        SystemKind::GraphSdNoBuffer => GraphSdConfig::without_buffering(),
+        _ => return None,
+    })
+}
+
+/// Runs `algo` on `dataset` under `kind`, building the system's on-disk
+/// format on a fresh simulated HDD (the paper's two-HDD, no-page-cache
+/// setup) with the 5 % memory budget.
+pub fn run_system(kind: SystemKind, dataset: &Dataset, algo: Algo) -> std::io::Result<RunOutcome> {
+    let graph = algo.input(dataset);
+    run_system_on(kind, graph, algo, dataset.root())
+}
+
+/// Like [`run_system`], with an explicit interval count instead of the
+/// paper's P = 20 (the `ext_psweep` design-choice ablation).
+pub fn run_system_with_p(
+    kind: SystemKind,
+    dataset: &Dataset,
+    algo: Algo,
+    p: u32,
+) -> std::io::Result<RunOutcome> {
+    let graph = algo.input(dataset);
+    run_with_disk_p(kind, graph, algo, dataset.root(), scaled_disk_for(graph), p)
+}
+
+/// Like [`run_system`], with an explicit base storage device.
+pub fn run_system_on_device(
+    kind: SystemKind,
+    dataset: &Dataset,
+    algo: Algo,
+    base_disk: DiskModel,
+) -> std::io::Result<RunOutcome> {
+    let graph = algo.input(dataset);
+    run_with_disk(kind, graph, algo, dataset.root(), scaled_disk_from(base_disk, graph))
+}
+
+/// Like [`run_system`], on an explicit graph (used by the shape tests).
+pub fn run_system_on(
+    kind: SystemKind,
+    graph: &Graph,
+    algo: Algo,
+    root: u32,
+) -> std::io::Result<RunOutcome> {
+    run_with_disk(kind, graph, algo, root, scaled_disk_for(graph))
+}
+
+fn run_with_disk(
+    kind: SystemKind,
+    graph: &Graph,
+    algo: Algo,
+    root: u32,
+    disk: DiskModel,
+) -> std::io::Result<RunOutcome> {
+    let p = paper_p(graph);
+    run_with_disk_p(kind, graph, algo, root, disk, p)
+}
+
+fn run_with_disk_p(
+    kind: SystemKind,
+    graph: &Graph,
+    algo: Algo,
+    root: u32,
+    disk: DiskModel,
+    p: u32,
+) -> std::io::Result<RunOutcome> {
+    let storage: SharedStorage = Arc::new(SimDisk::new(disk));
+    let edge_bytes = graph.num_edges() * EdgeCodec::new(graph.is_weighted()).edge_bytes() as u64;
+    let budget = (edge_bytes / 20).max(1);
+
+    // --- preprocessing (the system's own format) ---
+    // All systems use degree-balanced intervals so power-law hubs do not
+    // blow up single grid rows (every published system balances its
+    // partitions one way or another).
+    let gsd_pre = PreprocessConfig {
+        degree_balanced: true,
+        ..PreprocessConfig::graphsd("")
+    }
+    .with_intervals(p);
+    let sim_before = storage.stats().sim_time();
+    let (report, mut engine): (PreprocessReport, AnyEngine) = match kind {
+        SystemKind::HusGraph => {
+            let (format, report) = build_hus_format(graph, &storage, "", Some(p))?;
+            (report, AnyEngine::Hus(HusGraphEngine::new(format)?))
+        }
+        SystemKind::Lumos => {
+            let (grid, report) = build_lumos_format(graph, &storage, "", Some(p))?;
+            (report, AnyEngine::Lumos(LumosEngine::new(grid)?))
+        }
+        SystemKind::GridStream => {
+            let (_, report) = preprocess(graph, storage.as_ref(), &gsd_pre)?;
+            let grid = GridGraph::open(storage.clone())?;
+            (report, AnyEngine::Grid(GridStreamEngine::new(grid)?))
+        }
+        _ => {
+            let (_, report) = preprocess(graph, storage.as_ref(), &gsd_pre)?;
+            let grid = GridGraph::open(storage.clone())?;
+            let config = graphsd_config_of(kind)
+                .expect("graphsd variant")
+                .with_memory_budget(budget);
+            (report, AnyEngine::Gsd(GraphSdEngine::new(grid, config)?))
+        }
+    };
+    let sim_write_time = storage.stats().sim_time().saturating_sub(sim_before);
+    let preprocess_outcome = PreprocessOutcome {
+        report,
+        sim_write_time,
+    };
+
+    // --- run ---
+    let (stats, decisions) = match algo {
+        Algo::Pr => engine.run_program(&PageRank::paper())?,
+        Algo::PrD => engine.run_program(&PageRankDelta::paper())?,
+        Algo::Cc => engine.run_program(&ConnectedComponents)?,
+        Algo::Sssp => engine.run_program(&Sssp::new(root))?,
+    };
+
+    Ok(RunOutcome {
+        system: kind.label(),
+        stats,
+        preprocess: preprocess_outcome,
+        decisions,
+    })
+}
+
+/// Type-erased engine wrapper.
+enum AnyEngine {
+    Gsd(GraphSdEngine),
+    Hus(HusGraphEngine),
+    Lumos(LumosEngine),
+    Grid(GridStreamEngine),
+}
+
+impl AnyEngine {
+    fn run_program<P: VertexProgram>(
+        &mut self,
+        program: &P,
+    ) -> std::io::Result<(RunStats, Vec<SchedulerDecision>)> {
+        let options = RunOptions::default();
+        match self {
+            AnyEngine::Gsd(e) => {
+                let r = e.run(program, &options)?;
+                Ok((r.stats, e.last_decisions().to_vec()))
+            }
+            AnyEngine::Hus(e) => Ok((e.run(program, &options)?.stats, Vec::new())),
+            AnyEngine::Lumos(e) => Ok((e.run(program, &options)?.stats, Vec::new())),
+            AnyEngine::Grid(e) => Ok((e.run(program, &options)?.stats, Vec::new())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::{Datasets, Scale};
+
+    #[test]
+    fn run_system_produces_stats_for_all_main_systems() {
+        let ds = Datasets::load(Scale::Tiny);
+        let d = ds.get("twitter_sim").unwrap();
+        for kind in SystemKind::main_three() {
+            let outcome = run_system(kind, d, Algo::Pr).unwrap();
+            assert_eq!(outcome.stats.iterations, 5, "{}", kind.label());
+            assert!(outcome.stats.io.total_traffic() > 0);
+            assert!(outcome.execution_time() > Duration::ZERO);
+            assert!(outcome.preprocess.total_time() > Duration::ZERO);
+        }
+    }
+
+    #[test]
+    fn decisions_only_for_graphsd() {
+        let ds = Datasets::load(Scale::Tiny);
+        let d = ds.get("uk_sim").unwrap();
+        let gsd = run_system(SystemKind::GraphSd, d, Algo::Sssp).unwrap();
+        assert!(!gsd.decisions.is_empty());
+        let hus = run_system(SystemKind::HusGraph, d, Algo::Sssp).unwrap();
+        assert!(hus.decisions.is_empty());
+    }
+
+    #[test]
+    fn algo_inputs_pick_the_right_variant() {
+        let ds = Datasets::load(Scale::Tiny);
+        let d = ds.get("sk_sim").unwrap();
+        assert!(Algo::Sssp.input(d).is_weighted());
+        assert!(!Algo::Pr.input(d).is_weighted());
+        assert!(Algo::Cc.input(d).num_edges() >= d.edges);
+    }
+
+    #[test]
+    fn paper_p_is_twenty_for_real_inputs() {
+        let ds = Datasets::load(Scale::Tiny);
+        assert_eq!(paper_p(ds.get("twitter_sim").unwrap().directed()), 20);
+    }
+}

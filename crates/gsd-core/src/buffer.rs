@@ -1,0 +1,228 @@
+//! The sub-block buffering scheme (§4.3).
+//!
+//! FCIU loads the lower-triangle "secondary" sub-blocks twice per round
+//! (once per pass) and their structure never changes, so caching them
+//! avoids the second load. Memory is scarce (the 5 % budget) and most
+//! secondary blocks may hold few active edges after the first pass, so the
+//! buffer keeps the blocks with the **most active edges**: an insert that
+//! does not fit evicts the lowest-priority residents, but only while their
+//! priority is strictly lower than the newcomer's.
+
+use gsd_graph::Edge;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+struct Entry {
+    edges: Arc<Vec<Edge>>,
+    bytes: u64,
+    priority: u64,
+}
+
+/// Priority cache of decoded secondary sub-blocks, keyed by `(i, j)`.
+pub struct SubBlockBuffer {
+    capacity: u64,
+    used: u64,
+    entries: HashMap<(u32, u32), Entry>,
+    /// Number of reads served from the buffer.
+    pub hits: u64,
+    /// Bytes of storage reads avoided.
+    pub hit_bytes: u64,
+    /// Residents evicted to make room.
+    pub evictions: u64,
+}
+
+impl SubBlockBuffer {
+    /// A buffer holding at most `capacity` bytes of block payloads.
+    pub fn new(capacity: u64) -> Self {
+        SubBlockBuffer {
+            capacity,
+            used: 0,
+            entries: HashMap::new(),
+            hits: 0,
+            hit_bytes: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently resident.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Number of resident blocks.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing is resident.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up block `(i, j)`, counting a hit on success.
+    pub fn get(&mut self, i: u32, j: u32) -> Option<Arc<Vec<Edge>>> {
+        let e = self.entries.get(&(i, j))?;
+        self.hits += 1;
+        self.hit_bytes += e.bytes;
+        Some(e.edges.clone())
+    }
+
+    /// Looks up without counting a hit (used by tests/diagnostics).
+    pub fn peek(&self, i: u32, j: u32) -> Option<Arc<Vec<Edge>>> {
+        self.entries.get(&(i, j)).map(|e| e.edges.clone())
+    }
+
+    /// Offers block `(i, j)` with the given payload size and priority
+    /// (= number of active edges observed in the first FCIU pass).
+    /// Returns `true` if the block is resident afterwards.
+    ///
+    /// If the block is already resident only its priority is refreshed.
+    /// Otherwise lower-priority residents are evicted while the block does
+    /// not fit; if the remaining residents all have priority ≥ the
+    /// newcomer's, the offer is declined.
+    pub fn offer(&mut self, i: u32, j: u32, edges: Arc<Vec<Edge>>, bytes: u64, priority: u64) -> bool {
+        if let Some(e) = self.entries.get_mut(&(i, j)) {
+            e.priority = priority;
+            return true;
+        }
+        if bytes > self.capacity {
+            return false;
+        }
+        while self.used + bytes > self.capacity {
+            let victim = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.priority)
+                .map(|(&k, e)| (k, e.priority, e.bytes));
+            match victim {
+                Some((k, vprio, vbytes)) if vprio < priority => {
+                    self.entries.remove(&k);
+                    self.used -= vbytes;
+                    self.evictions += 1;
+                }
+                _ => return false,
+            }
+        }
+        self.used += bytes;
+        self.entries.insert(
+            (i, j),
+            Entry {
+                edges,
+                bytes,
+                priority,
+            },
+        );
+        true
+    }
+
+    /// Drops everything (between runs).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.used = 0;
+    }
+}
+
+impl std::fmt::Debug for SubBlockBuffer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SubBlockBuffer")
+            .field("capacity", &self.capacity)
+            .field("used", &self.used)
+            .field("blocks", &self.entries.len())
+            .field("hits", &self.hits)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block(n: usize) -> Arc<Vec<Edge>> {
+        Arc::new(vec![Edge::new(0, 1); n])
+    }
+
+    #[test]
+    fn insert_and_hit() {
+        let mut b = SubBlockBuffer::new(1000);
+        assert!(b.offer(0, 1, block(4), 100, 7));
+        assert_eq!(b.used(), 100);
+        assert!(b.get(0, 1).is_some());
+        assert_eq!(b.hits, 1);
+        assert_eq!(b.hit_bytes, 100);
+        assert!(b.get(0, 2).is_none());
+        assert_eq!(b.hits, 1);
+    }
+
+    #[test]
+    fn oversized_block_is_declined() {
+        let mut b = SubBlockBuffer::new(100);
+        assert!(!b.offer(0, 1, block(4), 200, 99));
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn evicts_lowest_priority_first() {
+        let mut b = SubBlockBuffer::new(250);
+        assert!(b.offer(1, 0, block(1), 100, 5));
+        assert!(b.offer(2, 0, block(1), 100, 10));
+        // 100 bytes free; newcomer needs 200: must evict the prio-5 block,
+        // and the prio-10 block survives only if it doesn't need to go.
+        assert!(b.offer(3, 0, block(1), 150, 8));
+        assert!(b.peek(1, 0).is_none(), "prio 5 evicted");
+        assert!(b.peek(2, 0).is_some(), "prio 10 kept");
+        assert!(b.peek(3, 0).is_some());
+        assert_eq!(b.evictions, 1);
+        assert_eq!(b.used(), 250);
+    }
+
+    #[test]
+    fn declines_when_residents_have_higher_priority() {
+        let mut b = SubBlockBuffer::new(200);
+        assert!(b.offer(1, 0, block(1), 100, 50));
+        assert!(b.offer(2, 0, block(1), 100, 60));
+        assert!(!b.offer(3, 0, block(1), 100, 10), "lower priority cannot displace");
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.evictions, 0);
+    }
+
+    #[test]
+    fn reoffer_refreshes_priority() {
+        let mut b = SubBlockBuffer::new(200);
+        assert!(b.offer(1, 0, block(1), 100, 1));
+        assert!(b.offer(1, 0, block(1), 100, 99));
+        assert_eq!(b.used(), 100, "no double charge");
+        // Now a prio-50 newcomer cannot evict it.
+        assert!(!b.offer(2, 0, block(1), 200, 50));
+    }
+
+    #[test]
+    fn clear_resets_usage_but_keeps_counters() {
+        let mut b = SubBlockBuffer::new(100);
+        b.offer(0, 1, block(1), 50, 1);
+        b.get(0, 1);
+        b.clear();
+        assert!(b.is_empty());
+        assert_eq!(b.used(), 0);
+        assert_eq!(b.hits, 1, "hit counters are per-run stats, kept");
+    }
+
+    #[test]
+    fn multi_eviction_for_large_newcomer() {
+        let mut b = SubBlockBuffer::new(300);
+        b.offer(1, 0, block(1), 100, 1);
+        b.offer(2, 0, block(1), 100, 2);
+        b.offer(3, 0, block(1), 100, 3);
+        assert!(b.offer(4, 0, block(1), 250, 10));
+        // 250 bytes only fit after all three 100-byte residents are gone
+        // (100 + 250 > 300).
+        assert_eq!(b.evictions, 3);
+        assert!(b.peek(3, 0).is_none());
+        assert!(b.peek(4, 0).is_some());
+        assert_eq!(b.used(), 250);
+    }
+}

@@ -1,0 +1,159 @@
+//! Engine configuration, including the paper's §5.4 ablation switches.
+
+use gsd_io::DiskModel;
+use gsd_runtime::IoAccessModel;
+
+/// GraphSD engine options.
+///
+/// The defaults are the full system as published. The §5.4 baselines are
+/// single-switch ablations:
+///
+/// | Paper id | Meaning                       | Constructor |
+/// |----------|-------------------------------|-------------|
+/// | b1       | no cross-iteration update     | [`GraphSdConfig::b1_no_cross_iteration`] |
+/// | b2       | no selective update           | [`GraphSdConfig::b2_no_selective`] |
+/// | b3       | full I/O model always         | [`GraphSdConfig::b3_always_full`] |
+/// | b4       | on-demand I/O model always    | [`GraphSdConfig::b4_always_on_demand`] |
+#[derive(Debug, Clone)]
+pub struct GraphSdConfig {
+    /// Memory budget in bytes for buffering; `None` uses the paper's
+    /// setting of 5 % of the graph's edge bytes.
+    pub memory_budget: Option<u64>,
+    /// Allow the on-demand I/O model / SCIU (`false` reproduces `b2`).
+    pub enable_selective: bool,
+    /// Allow cross-iteration value propagation (`false` reproduces `b1`).
+    pub enable_cross_iter: bool,
+    /// Pin the I/O access model instead of consulting the scheduler
+    /// (`Some(Full)` = `b3`, `Some(OnDemand)` = `b4`).
+    pub force_model: Option<IoAccessModel>,
+    /// Buffer secondary sub-blocks between the two FCIU passes (§4.3).
+    pub enable_buffering: bool,
+    /// Coalesced active-edge runs of at least this many bytes count as
+    /// sequential (`S_seq`) in the scheduler's cost inputs. `None` derives
+    /// the break-even run size from the disk model
+    /// (`seek_latency × B_sr` — the run length whose transfer time equals
+    /// one seek).
+    pub seq_run_threshold: Option<u64>,
+    /// Disk model for the cost estimates; `None` asks the storage backend
+    /// (a simulator knows its own model) and falls back to
+    /// [`DiskModel::hdd`].
+    pub disk_model: Option<DiskModel>,
+}
+
+impl Default for GraphSdConfig {
+    fn default() -> Self {
+        GraphSdConfig {
+            memory_budget: None,
+            enable_selective: true,
+            enable_cross_iter: true,
+            force_model: None,
+            enable_buffering: true,
+            seq_run_threshold: None,
+            disk_model: None,
+        }
+    }
+}
+
+impl GraphSdConfig {
+    /// The full system (paper defaults).
+    pub fn full() -> Self {
+        Self::default()
+    }
+
+    /// §5.4 `GraphSD-b1`: cross-iteration vertex update disabled — only
+    /// current-iteration values are computed.
+    pub fn b1_no_cross_iteration() -> Self {
+        GraphSdConfig {
+            enable_cross_iter: false,
+            ..Self::default()
+        }
+    }
+
+    /// §5.4 `GraphSD-b2`: selective vertex update disabled — all
+    /// sub-blocks are loaded regardless of the number of active vertices.
+    pub fn b2_no_selective() -> Self {
+        GraphSdConfig {
+            enable_selective: false,
+            ..Self::default()
+        }
+    }
+
+    /// §5.4 `GraphSD-b3`: the full I/O model for all iterations.
+    pub fn b3_always_full() -> Self {
+        GraphSdConfig {
+            force_model: Some(IoAccessModel::Full),
+            ..Self::default()
+        }
+    }
+
+    /// §5.4 `GraphSD-b4`: the on-demand I/O model for all iterations.
+    pub fn b4_always_on_demand() -> Self {
+        GraphSdConfig {
+            force_model: Some(IoAccessModel::OnDemand),
+            ..Self::default()
+        }
+    }
+
+    /// §5.4 Figure 12 baseline: buffering disabled.
+    pub fn without_buffering() -> Self {
+        GraphSdConfig {
+            enable_buffering: false,
+            ..Self::default()
+        }
+    }
+
+    /// Sets the memory budget in bytes.
+    pub fn with_memory_budget(mut self, bytes: u64) -> Self {
+        self.memory_budget = Some(bytes);
+        self
+    }
+
+    /// Sets the disk model used for cost estimates.
+    pub fn with_disk_model(mut self, model: DiskModel) -> Self {
+        self.disk_model = Some(model);
+        self
+    }
+
+    /// Resolves the memory budget for a graph with `edge_bytes` of edges:
+    /// explicit setting, or the paper's 5 %.
+    pub fn budget_for(&self, edge_bytes: u64) -> u64 {
+        self.memory_budget.unwrap_or(edge_bytes / 20)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_the_full_system() {
+        let c = GraphSdConfig::default();
+        assert!(c.enable_selective && c.enable_cross_iter && c.enable_buffering);
+        assert!(c.force_model.is_none());
+    }
+
+    #[test]
+    fn ablations_flip_one_switch_each() {
+        assert!(!GraphSdConfig::b1_no_cross_iteration().enable_cross_iter);
+        assert!(GraphSdConfig::b1_no_cross_iteration().enable_selective);
+        assert!(!GraphSdConfig::b2_no_selective().enable_selective);
+        assert!(GraphSdConfig::b2_no_selective().enable_cross_iter);
+        assert_eq!(
+            GraphSdConfig::b3_always_full().force_model,
+            Some(IoAccessModel::Full)
+        );
+        assert_eq!(
+            GraphSdConfig::b4_always_on_demand().force_model,
+            Some(IoAccessModel::OnDemand)
+        );
+        assert!(!GraphSdConfig::without_buffering().enable_buffering);
+    }
+
+    #[test]
+    fn budget_defaults_to_five_percent() {
+        let c = GraphSdConfig::default();
+        assert_eq!(c.budget_for(2_000_000), 100_000);
+        let c = c.with_memory_budget(12345);
+        assert_eq!(c.budget_for(2_000_000), 12345);
+    }
+}

@@ -1,0 +1,657 @@
+//! The GraphSD engine: Algorithm 1's driver loop plus the SCIU
+//! (Algorithm 2) and FCIU (Algorithm 3) update models.
+//!
+//! ## State layout
+//!
+//! The engine keeps double-buffered committed values (`values_prev` =
+//! `val_{t−1}` read by normal scatter; `values_cur` = `val_t` written by
+//! `apply` and read by cross-iteration scatter) and double-buffered
+//! accumulators (`accum_cur` for the iteration being computed, `accum_next`
+//! receiving cross-iteration contributions for the following one). At the
+//! end of each committed iteration the pairs rotate. This realizes the
+//! paper's BSP guarantee: a cross-iteration update of edge `(u, v)` always
+//! reads `val_t(u)` — the same value a normal iteration-`t+1` scatter would
+//! read — so committed values are schedule-identical to the reference
+//! executor's.
+//!
+//! ## Frontier bookkeeping (Algorithm 1)
+//!
+//! `frontier` is `V_active`; the `out` set built by `apply` is the next
+//! frontier; SCIU removes vertices it fully served by cross-iteration
+//! propagation (their edges were in memory, so they need not be re-read),
+//! and the pre-seeded accumulator (`accum_next` + `touched_next`) plays the
+//! role of `OutNI`: its recipients are examined by `apply` at the end of
+//! the next iteration.
+
+use crate::buffer::SubBlockBuffer;
+use crate::config::GraphSdConfig;
+use crate::scheduler::{Scheduler, SchedulerDecision};
+use gsd_graph::{Edge, GridGraph};
+use gsd_io::{DiskModel, IoStatsSnapshot};
+use gsd_runtime::kernels::{apply_range, scatter_edges};
+use gsd_runtime::{
+    Capabilities, Engine, Frontier, IoAccessModel, IterationStats,
+    ProgramContext, RunOptions, RunResult, RunStats, ValueArray, VertexProgram, VertexValueFile,
+};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The GraphSD out-of-core engine over a preprocessed [`GridGraph`].
+pub struct GraphSdEngine {
+    grid: GridGraph,
+    config: GraphSdConfig,
+    disk: DiskModel,
+    degrees: Arc<Vec<u32>>,
+    last_decisions: Vec<SchedulerDecision>,
+}
+
+impl GraphSdEngine {
+    /// Opens the engine. If the grid lacks per-vertex indexes (e.g. a
+    /// Lumos-layout grid), selective loading is disabled automatically —
+    /// unless the config *forces* the on-demand model, which is an error.
+    pub fn new(grid: GridGraph, config: GraphSdConfig) -> std::io::Result<Self> {
+        let mut config = config;
+        if !grid.meta().indexed || !grid.meta().sorted {
+            if config.force_model == Some(IoAccessModel::OnDemand) {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::Unsupported,
+                    "on-demand I/O requires a sorted, indexed grid format",
+                ));
+            }
+            config.enable_selective = false;
+        }
+        let degrees = Arc::new(grid.load_out_degrees()?);
+        let disk = config
+            .disk_model
+            .or_else(|| grid.storage().disk_model())
+            .unwrap_or_default();
+        Ok(GraphSdEngine {
+            grid,
+            config,
+            disk,
+            degrees,
+            last_decisions: Vec::new(),
+        })
+    }
+
+    /// The underlying grid.
+    pub fn grid(&self) -> &GridGraph {
+        &self.grid
+    }
+
+    /// The effective configuration (after format-capability adjustment).
+    pub fn config(&self) -> &GraphSdConfig {
+        &self.config
+    }
+
+    /// Scheduler decisions of the most recent run (Figure 10/11 detail).
+    pub fn last_decisions(&self) -> &[SchedulerDecision] {
+        &self.last_decisions
+    }
+}
+
+impl Engine for GraphSdEngine {
+    fn name(&self) -> &'static str {
+        "graphsd"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            eliminates_random_accesses: true,
+            avoids_inactive_data: self.config.enable_selective,
+            future_value_computation: self.config.enable_cross_iter,
+        }
+    }
+
+    fn run<P: VertexProgram>(
+        &mut self,
+        program: &P,
+        options: &RunOptions,
+    ) -> std::io::Result<RunResult<P::Value>> {
+        let runner = Runner::new(self, program, options)?;
+        let (result, decisions) = runner.run()?;
+        self.last_decisions = decisions;
+        Ok(result)
+    }
+}
+
+/// Per-iteration time/traffic tracker.
+struct IterTracker {
+    io_snap: IoStatsSnapshot,
+    io_wall: Duration,
+    compute: Duration,
+}
+
+struct Runner<'a, P: VertexProgram> {
+    grid: &'a GridGraph,
+    config: &'a GraphSdConfig,
+    program: &'a P,
+    ctx: ProgramContext,
+    degrees: Arc<Vec<u32>>,
+    n: u32,
+    p: u32,
+    limit: u32,
+    values_prev: ValueArray<P::Value>,
+    values_cur: ValueArray<P::Value>,
+    accum_cur: ValueArray<P::Accum>,
+    accum_next: ValueArray<P::Accum>,
+    touched_cur: Frontier,
+    touched_next: Frontier,
+    frontier: Frontier,
+    vfile: VertexValueFile,
+    scheduler: Scheduler,
+    buffer: SubBlockBuffer,
+    stats: RunStats,
+    cross_iter_edges: u64,
+    scratch: Vec<u8>,
+    /// Max id gap bridged within one index-span request
+    /// (`seek · B_sr / 4` — bridging cheaper than seeking beyond this).
+    index_gap: u32,
+}
+
+impl<'a, P: VertexProgram> Runner<'a, P> {
+    fn new(
+        engine: &'a GraphSdEngine,
+        program: &'a P,
+        options: &RunOptions,
+    ) -> std::io::Result<Self> {
+        let grid = &engine.grid;
+        let n = grid.num_vertices();
+        let p = grid.p();
+        let ctx = ProgramContext::new(n, engine.degrees.clone());
+        let zero = program.zero_accum();
+        let frontier = program.initial_frontier(&ctx).build(n)?;
+        let value_bytes = program.value_bytes();
+        let vfile = VertexValueFile::ensure(
+            grid.storage().as_ref(),
+            format!("{}runtime/values_{}.bin", grid.prefix(), value_bytes),
+            n as u64 * value_bytes,
+        )?;
+        let edge_bytes = grid.meta().total_edge_bytes();
+        let per_edge = grid.codec().edge_bytes() as u64;
+        // Break-even run size: a run whose per-sub-block transfer time
+        // equals one seek. A run of R bytes splits across up to P
+        // sub-blocks (the grid fragments each vertex's edge list), so the
+        // conservative default is P x seek x B_sr; callers with locality
+        // knowledge (see the bench runner's calibration) can override.
+        let seq_run_threshold = engine.config.seq_run_threshold.unwrap_or_else(|| {
+            (p as f64 * engine.disk.seek_latency.as_secs_f64() * engine.disk.seq_read_bps).max(1.0)
+                as u64
+        });
+        let scheduler = Scheduler::new(
+            engine.disk,
+            n as u64 * value_bytes,
+            edge_bytes,
+            per_edge,
+            seq_run_threshold,
+        );
+        // The working sub-block of the FCIU pass must fit alongside the
+        // buffer, so the buffer gets the budget minus the largest block.
+        let budget = engine.config.budget_for(edge_bytes);
+        let largest_block = (0..p)
+            .flat_map(|i| (0..p).map(move |j| (i, j)))
+            .map(|(i, j)| grid.meta().block_bytes(i, j))
+            .max()
+            .unwrap_or(0);
+        let buffer = SubBlockBuffer::new(budget.saturating_sub(largest_block));
+        let index_gap = (seq_run_threshold / 4).clamp(1, u32::MAX as u64) as u32;
+        Ok(Runner {
+            grid,
+            config: &engine.config,
+            program,
+            degrees: engine.degrees.clone(),
+            n,
+            p,
+            limit: options.limit_for(program),
+            values_prev: ValueArray::from_fn(n as usize, |v| program.init_value(v, &ctx)),
+            values_cur: ValueArray::from_fn(n as usize, |v| program.init_value(v, &ctx)),
+            accum_cur: ValueArray::new(n as usize, zero),
+            accum_next: ValueArray::new(n as usize, zero),
+            touched_cur: Frontier::empty(n),
+            touched_next: Frontier::empty(n),
+            frontier,
+            vfile,
+            scheduler,
+            buffer,
+            stats: RunStats::new("graphsd", program.name()),
+            cross_iter_edges: 0,
+            scratch: Vec::new(),
+            index_gap,
+            ctx,
+        })
+    }
+
+    fn run(mut self) -> std::io::Result<(RunResult<P::Value>, Vec<SchedulerDecision>)> {
+        if self.n == 0 {
+            return Ok((
+                RunResult {
+                    values: Vec::new(),
+                    stats: self.stats,
+                },
+                Vec::new(),
+            ));
+        }
+        let storage = self.grid.storage().clone();
+        let run_snap = storage.stats().snapshot();
+
+        let mut iter = 1u32;
+        // An iteration is due while either scatter sources remain
+        // (`frontier`) or cross-iteration propagation has pre-scattered
+        // contributions awaiting their apply barrier (`touched_cur` — the
+        // recipients of the paper's `OutNI`). An iteration whose frontier
+        // is empty but whose accumulator is pre-seeded loads no edges at
+        // all: it is the fully-served case where SCIU saved the entire
+        // iteration's edge I/O.
+        while iter <= self.limit && !(self.frontier.is_empty() && self.touched_cur.is_empty()) {
+            let model = self.choose_model(iter);
+            if model == IoAccessModel::OnDemand && self.config.enable_selective {
+                self.sciu(iter)?;
+                iter += 1;
+            } else {
+                let two_pass = self.config.enable_cross_iter && iter < self.limit;
+                iter += self.fciu(iter, two_pass)?;
+            }
+        }
+
+        self.stats.io = storage.stats().snapshot().since(&run_snap);
+        self.stats.scheduler_time = self.scheduler.overhead;
+        self.stats.cross_iter_edges = self.cross_iter_edges;
+        self.stats.buffer_hits = self.buffer.hits;
+        self.stats.buffer_hit_bytes = self.buffer.hit_bytes;
+        let values = self.values_prev.snapshot();
+        Ok((
+            RunResult {
+                values,
+                stats: self.stats,
+            },
+            self.scheduler.decisions,
+        ))
+    }
+
+    fn choose_model(&mut self, iteration: u32) -> IoAccessModel {
+        if let Some(forced) = self.config.force_model {
+            return forced;
+        }
+        if !self.config.enable_selective {
+            return IoAccessModel::Full;
+        }
+        self.scheduler.select(iteration, &self.frontier, &self.degrees)
+    }
+
+    fn begin_iter(&self) -> IterTracker {
+        IterTracker {
+            io_snap: self.grid.storage().stats().snapshot(),
+            io_wall: Duration::ZERO,
+            compute: Duration::ZERO,
+        }
+    }
+
+    fn finish_iter(
+        &mut self,
+        tracker: IterTracker,
+        iteration: u32,
+        model: IoAccessModel,
+        frontier: u64,
+        cross_iteration: bool,
+    ) {
+        let io = self.grid.storage().stats().snapshot().since(&tracker.io_snap);
+        let io_time = if io.sim_nanos > 0 {
+            Duration::from_nanos(io.sim_nanos)
+        } else {
+            tracker.io_wall
+        };
+        self.stats.push_iteration(IterationStats {
+            iteration,
+            model,
+            frontier,
+            io,
+            io_time,
+            compute_time: tracker.compute,
+            cross_iteration,
+        });
+    }
+
+    /// End-of-iteration rotation: committed values advance, the
+    /// next-iteration accumulator becomes current, and `out` becomes the
+    /// frontier.
+    fn rotate(&mut self, out: Frontier) {
+        std::mem::swap(&mut self.values_prev, &mut self.values_cur);
+        std::mem::swap(&mut self.accum_cur, &mut self.accum_next);
+        self.accum_next.fill(self.program.zero_accum());
+        std::mem::swap(&mut self.touched_cur, &mut self.touched_next);
+        self.touched_next.clear();
+        self.frontier = out;
+    }
+
+    fn load_block(&mut self, i: u32, j: u32, io_wall: &mut Duration) -> std::io::Result<Arc<Vec<Edge>>> {
+        let t = Instant::now();
+        let mut edges = Vec::new();
+        self.grid.read_block_into(i, j, &mut self.scratch, &mut edges)?;
+        *io_wall += t.elapsed();
+        Ok(Arc::new(edges))
+    }
+
+    /// Selective cross-iteration update — Algorithm 2. One BSP iteration
+    /// under the on-demand I/O model: load only active vertices' edge
+    /// lists (coalescing contiguous runs into single requests), update
+    /// their destinations, then pre-scatter next-iteration messages for
+    /// re-activated vertices whose edges are already in memory.
+    fn sciu(&mut self, iter: u32) -> std::io::Result<()> {
+        let storage = self.grid.storage().clone();
+        let frontier_size = self.frontier.count();
+        let mut tracker = self.begin_iter();
+
+        // Stream the vertex value array in.
+        let t = Instant::now();
+        self.vfile.read_all(storage.as_ref())?;
+        tracker.io_wall += t.elapsed();
+
+        let t = Instant::now();
+        self.values_cur.copy_from(&self.values_prev);
+        tracker.compute += t.elapsed();
+
+        // On-demand load of active edge lists (kept in memory for the
+        // cross-iteration phase — the defining trick of SCIU).
+        let mut loaded: Vec<Edge> = Vec::new();
+        for i in 0..self.p {
+            let range = self.grid.intervals().range(i);
+            let active: Vec<u32> = self.frontier.iter_range(range).collect();
+            if active.is_empty() {
+                continue;
+            }
+            let clusters = gsd_graph::cluster_vertex_spans(&active, self.index_gap);
+            for span in &clusters {
+                let cluster = &active[span.clone()];
+                // ONE index request per active cluster resolves the
+                // cluster's edge ranges in every sub-block of the row.
+                let t = Instant::now();
+                let index = self.grid.read_row_index_span(
+                    i,
+                    cluster[0],
+                    *cluster.last().unwrap(),
+                )?;
+                tracker.io_wall += t.elapsed();
+
+                for j in 0..self.p {
+                    if self.grid.meta().block_edge_count(i, j) == 0 {
+                        continue;
+                    }
+                    // Coalesce adjacent edge ranges of active vertices into
+                    // single requests (the S_seq/S_ran structure the
+                    // scheduler priced).
+                    let mut run_start = 0u32;
+                    let mut run_len = 0u32;
+                    for &v in cluster {
+                        let r = index.edge_range(v, j);
+                        let len = r.end - r.start;
+                        if len == 0 {
+                            continue;
+                        }
+                        if run_len > 0 && r.start == run_start + run_len {
+                            run_len += len;
+                        } else {
+                            if run_len > 0 {
+                                let t = Instant::now();
+                                self.grid.read_edge_run(
+                                    i, j, run_start, run_len, &mut self.scratch, &mut loaded,
+                                )?;
+                                tracker.io_wall += t.elapsed();
+                            }
+                            run_start = r.start;
+                            run_len = len;
+                        }
+                    }
+                    if run_len > 0 {
+                        let t = Instant::now();
+                        self.grid
+                            .read_edge_run(i, j, run_start, run_len, &mut self.scratch, &mut loaded)?;
+                        tracker.io_wall += t.elapsed();
+                    }
+                }
+            }
+        }
+
+        // UserFunction over the loaded active edges (sources are active by
+        // construction, no filter needed).
+        let t = Instant::now();
+        scatter_edges(
+            self.program,
+            &self.ctx,
+            &loaded,
+            None,
+            &self.values_prev,
+            &self.accum_cur,
+            &self.touched_cur,
+        );
+        // Apply at the barrier.
+        let out = Frontier::empty(self.n);
+        apply_range(
+            self.program,
+            &self.ctx,
+            0..self.n,
+            self.program.apply_all(),
+            &self.touched_cur,
+            &self.accum_cur,
+            &self.values_cur,
+            &out,
+        );
+        tracker.compute += t.elapsed();
+
+        // Cross-iteration phase (Algorithm 2, lines 15–23): re-activated
+        // vertices have all their out-edges in `loaded`; scatter their new
+        // values into the next iteration's accumulator and drop them from
+        // the next frontier.
+        if self.config.enable_cross_iter && iter < self.limit {
+            let t = Instant::now();
+            let served_edges = scatter_edges(
+                self.program,
+                &self.ctx,
+                &loaded,
+                Some(&out),
+                &self.values_cur,
+                &self.accum_next,
+                &self.touched_next,
+            );
+            self.cross_iter_edges += served_edges;
+            // Remove every re-activated vertex (out ∩ V_active) — its
+            // next-iteration scatter has been fully performed.
+            let served: Vec<u32> = out
+                .iter()
+                .filter(|&v| self.frontier.contains(v))
+                .collect();
+            for v in served {
+                out.remove(v);
+            }
+            tracker.compute += t.elapsed();
+        }
+
+        // Stream the vertex value array back out.
+        let t = Instant::now();
+        self.vfile.write_all(storage.as_ref())?;
+        tracker.io_wall += t.elapsed();
+
+        self.rotate(out);
+        self.finish_iter(tracker, iter, IoAccessModel::OnDemand, frontier_size, false);
+        Ok(())
+    }
+
+    /// Full cross-iteration update — Algorithm 3. With `two_pass`, one
+    /// full destination-major sweep commits iteration `iter` while
+    /// pre-scattering iteration `iter + 1` along every sub-block `(i, j)`
+    /// with `i ≤ j`; the second pass then reads only the lower-triangle
+    /// "secondary" sub-blocks. Without `two_pass` (cross-iteration
+    /// disabled, or the last iteration), it is a plain full-streaming
+    /// iteration. Returns the number of iterations consumed.
+    fn fciu(&mut self, iter: u32, two_pass: bool) -> std::io::Result<u32> {
+        let storage = self.grid.storage().clone();
+
+        // ---------------- pass 1: iteration `iter` ----------------
+        let frontier_size = self.frontier.count();
+        let mut tracker = self.begin_iter();
+
+        let t = Instant::now();
+        self.vfile.read_all(storage.as_ref())?;
+        tracker.io_wall += t.elapsed();
+
+        let t = Instant::now();
+        self.values_cur.copy_from(&self.values_prev);
+        tracker.compute += t.elapsed();
+
+        let out = Frontier::empty(self.n);
+        for j in 0..self.p {
+            let mut diag_edges: Option<Arc<Vec<Edge>>> = None;
+            for i in 0..self.p {
+                if self.grid.meta().block_edge_count(i, j) == 0 {
+                    continue;
+                }
+                // Secondary sub-blocks may be resident from a previous
+                // round's buffering; everything else streams from storage.
+                let edges = match (i > j && self.config.enable_buffering)
+                    .then(|| self.buffer.get(i, j))
+                    .flatten()
+                {
+                    Some(e) => e,
+                    None => self.load_block(i, j, &mut tracker.io_wall)?,
+                };
+
+                let t = Instant::now();
+                let delivered = scatter_edges(
+                    self.program,
+                    &self.ctx,
+                    &edges,
+                    Some(&self.frontier),
+                    &self.values_prev,
+                    &self.accum_cur,
+                    &self.touched_cur,
+                );
+                if two_pass {
+                    if i < j {
+                        // Interval i is fully applied (its column came
+                        // earlier), so cross-iteration propagation is legal.
+                        self.cross_iter_edges += scatter_edges(
+                            self.program,
+                            &self.ctx,
+                            &edges,
+                            Some(&out),
+                            &self.values_cur,
+                            &self.accum_next,
+                            &self.touched_next,
+                        );
+                    } else if i == j {
+                        // Held in memory until interval j is applied.
+                        diag_edges = Some(edges.clone());
+                    } else if self.config.enable_buffering {
+                        // Secondary sub-block: candidate for the buffer,
+                        // priority = active edges seen this pass.
+                        let bytes = self.grid.meta().block_bytes(i, j);
+                        self.buffer.offer(i, j, edges.clone(), bytes, delivered);
+                    }
+                }
+                tracker.compute += t.elapsed();
+            }
+            // Apply interval j at its barrier.
+            let t = Instant::now();
+            apply_range(
+                self.program,
+                &self.ctx,
+                self.grid.intervals().range(j),
+                self.program.apply_all(),
+                &self.touched_cur,
+                &self.accum_cur,
+                &self.values_cur,
+                &out,
+            );
+            // Diagonal cross-iteration after interval j's values are final.
+            if let Some(diag) = diag_edges {
+                self.cross_iter_edges += scatter_edges(
+                    self.program,
+                    &self.ctx,
+                    &diag,
+                    Some(&out),
+                    &self.values_cur,
+                    &self.accum_next,
+                    &self.touched_next,
+                );
+            }
+            tracker.compute += t.elapsed();
+        }
+
+        let t = Instant::now();
+        self.vfile.write_all(storage.as_ref())?;
+        tracker.io_wall += t.elapsed();
+
+        self.rotate(out);
+        self.finish_iter(tracker, iter, IoAccessModel::Full, frontier_size, false);
+
+        if !two_pass || self.frontier.is_empty() {
+            // Converged at `iter` (or single-pass mode): any pre-scattered
+            // next-iteration state is vacuous because it can only originate
+            // from `out` members.
+            return Ok(1);
+        }
+
+        // ------------- pass 2: iteration `iter + 1` -------------
+        // Only the secondary sub-blocks (i > j) are read; contributions
+        // along i ≤ j edges were pre-scattered and live in `accum_cur`
+        // after the rotation.
+        let frontier_size2 = self.frontier.count();
+        let mut tracker = self.begin_iter();
+
+        let t = Instant::now();
+        self.vfile.read_all(storage.as_ref())?;
+        tracker.io_wall += t.elapsed();
+
+        let t = Instant::now();
+        self.values_cur.copy_from(&self.values_prev);
+        tracker.compute += t.elapsed();
+
+        let out = Frontier::empty(self.n);
+        for j in 0..self.p {
+            for i in (j + 1)..self.p {
+                if self.grid.meta().block_edge_count(i, j) == 0 {
+                    continue;
+                }
+                let edges = match self
+                    .config
+                    .enable_buffering
+                    .then(|| self.buffer.get(i, j))
+                    .flatten()
+                {
+                    Some(e) => e,
+                    None => self.load_block(i, j, &mut tracker.io_wall)?,
+                };
+                let t = Instant::now();
+                scatter_edges(
+                    self.program,
+                    &self.ctx,
+                    &edges,
+                    Some(&self.frontier),
+                    &self.values_prev,
+                    &self.accum_cur,
+                    &self.touched_cur,
+                );
+                tracker.compute += t.elapsed();
+            }
+            let t = Instant::now();
+            apply_range(
+                self.program,
+                &self.ctx,
+                self.grid.intervals().range(j),
+                self.program.apply_all(),
+                &self.touched_cur,
+                &self.accum_cur,
+                &self.values_cur,
+                &out,
+            );
+            tracker.compute += t.elapsed();
+        }
+
+        let t = Instant::now();
+        self.vfile.write_all(storage.as_ref())?;
+        tracker.io_wall += t.elapsed();
+
+        self.rotate(out);
+        self.finish_iter(tracker, iter + 1, IoAccessModel::Full, frontier_size2, true);
+        Ok(2)
+    }
+}

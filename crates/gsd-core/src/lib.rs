@@ -1,0 +1,39 @@
+//! # gsd-core — the GraphSD engine (the paper's contribution)
+//!
+//! An out-of-core graph processing engine that reduces disk I/O by
+//! simultaneously exploiting the **state** (active / inactive) and the
+//! **dependency** (BSP `val_{t+1}(v) ← val_t(u)` along each edge `u→v`) of
+//! graph data:
+//!
+//! * [`scheduler`] — the state-aware I/O scheduling strategy of §4.1:
+//!   per iteration it computes the sequential/random split of the active
+//!   edge lists in `O(|A|)` and compares the paper's cost estimates `C_r`
+//!   vs `C_s` to choose the on-demand or the full I/O model.
+//! * [`engine`] — the two adaptive update models of §4.2 driven by that
+//!   choice: **SCIU** (selective cross-iteration update, Algorithm 2) reads
+//!   only active edge lists and pre-scatters the next iteration's messages
+//!   for re-activated vertices; **FCIU** (full cross-iteration update,
+//!   Algorithm 3) streams the grid destination-major and covers two BSP
+//!   iterations per full pass, re-reading only the lower-triangle
+//!   "secondary" sub-blocks.
+//! * [`buffer`] — the priority buffer of §4.3 that caches secondary
+//!   sub-blocks between the two FCIU passes (priority = active edges).
+//! * [`config`] — engine options, including the ablation switches used by
+//!   the paper's §5.4 experiments (`b1` no cross-iteration, `b2`/`b3`
+//!   always-full, `b4` always-on-demand, buffering on/off).
+//!
+//! The engine commits, per BSP iteration, exactly the values the
+//! [`gsd_runtime::ReferenceEngine`] commits — cross-iteration propagation
+//! is an I/O optimization, never a semantic relaxation.
+
+#![warn(missing_docs)]
+
+pub mod buffer;
+pub mod config;
+pub mod engine;
+pub mod scheduler;
+
+pub use buffer::SubBlockBuffer;
+pub use config::GraphSdConfig;
+pub use engine::GraphSdEngine;
+pub use scheduler::{Scheduler, SchedulerDecision};

@@ -1,0 +1,148 @@
+//! Invariants of the engine's accounting: per-iteration records must be
+//! consistent with run totals, run options must be honored, and the
+//! signature behaviours of SCIU/FCIU must be visible in the stats.
+
+use gsd_algos::{Bfs, ConnectedComponents, PageRank};
+use gsd_core::{GraphSdConfig, GraphSdEngine};
+use gsd_graph::{preprocess, GeneratorConfig, Graph, GraphKind, GridGraph, PreprocessConfig};
+use gsd_io::{DiskModel, SharedStorage, SimDisk};
+use gsd_runtime::{Engine, IoAccessModel, RunOptions};
+use std::sync::Arc;
+
+fn engine(graph: &Graph, p: u32, config: GraphSdConfig) -> GraphSdEngine {
+    let storage: SharedStorage = Arc::new(SimDisk::new(DiskModel::hdd()));
+    preprocess(
+        graph,
+        storage.as_ref(),
+        &PreprocessConfig::graphsd("").with_intervals(p),
+    )
+    .unwrap();
+    GraphSdEngine::new(GridGraph::open(storage).unwrap(), config).unwrap()
+}
+
+fn web_graph() -> Graph {
+    GeneratorConfig::new(GraphKind::WebLocality, 2000, 20_000, 5).generate()
+}
+
+#[test]
+fn per_iteration_records_cover_the_run() {
+    let g = web_graph();
+    let mut e = engine(&g, 4, GraphSdConfig::full());
+    let result = e.run(&Bfs::new(0), &RunOptions::default()).unwrap();
+    let s = &result.stats;
+    // One record per committed iteration, numbered 1..=iterations.
+    assert_eq!(s.per_iteration.len() as u32, s.iterations);
+    for (k, it) in s.per_iteration.iter().enumerate() {
+        assert_eq!(it.iteration, k as u32 + 1);
+    }
+    // Totals are the sums of the iteration records.
+    let io_sum: std::time::Duration = s.per_iteration.iter().map(|i| i.io_time).sum();
+    let cpu_sum: std::time::Duration = s.per_iteration.iter().map(|i| i.compute_time).sum();
+    assert_eq!(io_sum, s.io_time);
+    assert_eq!(cpu_sum, s.compute_time);
+    // Iteration traffic never exceeds run traffic.
+    let traffic_sum: u64 = s.per_iteration.iter().map(|i| i.io.total_traffic()).sum();
+    assert!(traffic_sum <= s.io.total_traffic());
+}
+
+#[test]
+fn max_iterations_override_wins() {
+    let g = web_graph();
+    let mut e = engine(&g, 4, GraphSdConfig::full());
+    let result = e
+        .run(
+            &PageRank::paper(), // program says 5
+            &RunOptions {
+                max_iterations: Some(2),
+                iteration_cap: None,
+            },
+        )
+        .unwrap();
+    assert_eq!(result.stats.iterations, 2);
+}
+
+#[test]
+fn fciu_second_pass_reads_less_than_first() {
+    // With cross-iteration on and a dense frontier, even iterations (the
+    // secondary pass) must read strictly less than odd ones.
+    let g = GeneratorConfig::new(GraphKind::RMat, 1000, 12_000, 9).generate();
+    let mut e = engine(&g, 4, GraphSdConfig::without_buffering());
+    let result = e.run(&PageRank::with_iterations(4), &RunOptions::default()).unwrap();
+    let per = &result.stats.per_iteration;
+    assert!(per.len() >= 4);
+    assert!(per[1].cross_iteration && per[3].cross_iteration);
+    assert!(per[1].io.read_bytes() < per[0].io.read_bytes());
+    assert!(per[3].io.read_bytes() < per[2].io.read_bytes());
+}
+
+#[test]
+fn fully_served_sciu_iteration_reads_no_edge_blocks() {
+    // A directed star 0 -> {1..n}: BFS from 0 under forced on-demand.
+    // Iteration 1 loads vertex 0's edges; iteration 2 has an empty
+    // frontier but pending cross-iteration applies — it must not read any
+    // edge data at all (only the vertex value stream).
+    let mut b = gsd_graph::GraphBuilder::new();
+    for v in 1..500u32 {
+        b.add_edge(0, v);
+    }
+    let g = b.build();
+    let mut e = engine(&g, 3, GraphSdConfig::b4_always_on_demand());
+    let result = e.run(&Bfs::new(0), &RunOptions::default()).unwrap();
+    // Star BFS: depth 1 everywhere, engine commits iteration 1 (scatter)
+    // and stops (everyone served, nothing new).
+    assert!(result.values[1..].iter().all(|&d| d == 1));
+    let vertex_stream = g.num_vertices() as u64 * 4 * 2 + 4096; // values in+out, slack
+    for it in &result.stats.per_iteration {
+        if it.frontier == 0 {
+            assert!(
+                it.io.read_bytes() <= vertex_stream,
+                "fully-served iteration read {} bytes",
+                it.io.read_bytes()
+            );
+        }
+    }
+}
+
+#[test]
+fn scheduler_time_only_accrues_when_consulted() {
+    let g = web_graph();
+    let mut adaptive = engine(&g, 4, GraphSdConfig::full());
+    let a = adaptive.run(&Bfs::new(0), &RunOptions::default()).unwrap();
+    assert!(a.stats.scheduler_time > std::time::Duration::ZERO);
+
+    let mut forced = engine(&g, 4, GraphSdConfig::b3_always_full());
+    let b = forced.run(&Bfs::new(0), &RunOptions::default()).unwrap();
+    assert_eq!(b.stats.scheduler_time, std::time::Duration::ZERO);
+    assert!(forced.last_decisions().is_empty());
+}
+
+#[test]
+fn engine_is_reusable_across_runs() {
+    let g = web_graph();
+    let mut e = engine(&g, 4, GraphSdConfig::full());
+    let first = e.run(&ConnectedComponents, &RunOptions::default()).unwrap();
+    let second = e.run(&ConnectedComponents, &RunOptions::default()).unwrap();
+    assert_eq!(first.values, second.values);
+    assert_eq!(first.stats.iterations, second.stats.iterations);
+    // Deterministic traffic too (the SimDisk makes runs replayable).
+    assert_eq!(
+        first.stats.io.total_traffic(),
+        second.stats.io.total_traffic()
+    );
+}
+
+#[test]
+fn models_recorded_match_forced_configs() {
+    let g = web_graph();
+    for (config, expect) in [
+        (GraphSdConfig::b3_always_full(), IoAccessModel::Full),
+        (GraphSdConfig::b4_always_on_demand(), IoAccessModel::OnDemand),
+    ] {
+        let mut e = engine(&g, 4, config);
+        let r = e.run(&Bfs::new(0), &RunOptions::default()).unwrap();
+        assert!(
+            r.stats.per_iteration.iter().all(|it| it.model == expect),
+            "{expect:?}"
+        );
+    }
+}

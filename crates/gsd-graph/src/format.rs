@@ -1,0 +1,224 @@
+//! The on-disk 2-D grid format: metadata, key naming and binary encodings.
+//!
+//! Layout under a key prefix (several formats can share one store):
+//!
+//! ```text
+//! <prefix>meta.json               — GridMeta (JSON)
+//! <prefix>degrees.bin             — out-degree per vertex, u32 LE
+//! <prefix>blocks/b_<i>_<j>.edges  — sub-block (i,j) edges, sorted by (src,dst)
+//! <prefix>blocks/b_<i>_<j>.idx    — CSR offsets per source vertex, u32 LE
+//! ```
+//!
+//! The `.idx` file realizes the paper's `index(i, j)` structure: entry `k`
+//! is the first edge (by index, not byte) of vertex `range(i).start + k`
+//! within the sub-block, so one vertex's edge list is a single contiguous
+//! byte range — the property GraphSD's on-demand I/O model relies on.
+
+use crate::partition::Intervals;
+use serde::{Deserialize, Serialize};
+
+/// Key of the metadata object.
+pub const META_KEY: &str = "meta.json";
+/// Key of the out-degree table.
+pub const DEGREES_KEY: &str = "degrees.bin";
+
+/// Key of sub-block `(i, j)`'s edge payload under `prefix`.
+pub fn block_edges_key(prefix: &str, i: u32, j: u32) -> String {
+    format!("{prefix}blocks/b_{i}_{j}.edges")
+}
+
+/// Key of sub-block `(i, j)`'s per-vertex index under `prefix`.
+pub fn block_index_key(prefix: &str, i: u32, j: u32) -> String {
+    format!("{prefix}blocks/b_{i}_{j}.idx")
+}
+
+/// Key of row `i`'s combined vertex-major index under `prefix`.
+///
+/// Layout: for each vertex `v` of interval `i` (plus one terminator row),
+/// `P` little-endian `u32`s — entry `j` is the edge offset of `v`'s first
+/// edge inside sub-block `(i, j)`. One span read of rows `lo ..= hi+1`
+/// resolves the edge ranges of vertices `lo..=hi` in **every** block of the
+/// row, so a selective reader pays a single index request per active
+/// cluster instead of one per sub-block.
+pub fn row_index_key(prefix: &str, i: u32) -> String {
+    format!("{prefix}blocks/r_{i}.ridx")
+}
+
+/// Serialized description of a preprocessed grid graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GridMeta {
+    /// Format version (bumped on incompatible changes).
+    pub version: u32,
+    /// Number of vertices `|V|`.
+    pub num_vertices: u32,
+    /// Number of edges `|E|`.
+    pub num_edges: u64,
+    /// Number of intervals `P`.
+    pub p: u32,
+    /// Whether edges carry 4-byte weights on disk.
+    pub weighted: bool,
+    /// Whether per-vertex `.idx` files were written (GraphSD and HUS need
+    /// them; the Lumos-like format does not sort and has no index).
+    pub indexed: bool,
+    /// Whether each sub-block's edges are sorted by `(src, dst)`.
+    pub sorted: bool,
+    /// Whether blocks are sorted/indexed by destination instead of source
+    /// (the HUS-Graph column copy).
+    pub dst_sorted: bool,
+    /// Interval boundaries (`P + 1` entries).
+    pub boundaries: Vec<u32>,
+    /// Edge count of each sub-block, row-major: entry `i * P + j` is
+    /// sub-block `(i, j)`. Lets engines skip empty blocks without I/O.
+    pub block_edge_counts: Vec<u64>,
+}
+
+/// Current format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+impl GridMeta {
+    /// The interval partition.
+    pub fn intervals(&self) -> Intervals {
+        Intervals::from_boundaries(self.boundaries.clone())
+    }
+
+    /// The edge codec for this graph.
+    pub fn codec(&self) -> crate::types::EdgeCodec {
+        crate::types::EdgeCodec::new(self.weighted)
+    }
+
+    /// Edge count of sub-block `(i, j)`.
+    pub fn block_edge_count(&self, i: u32, j: u32) -> u64 {
+        self.block_edge_counts[(i * self.p + j) as usize]
+    }
+
+    /// Byte size of sub-block `(i, j)`'s edge payload.
+    pub fn block_bytes(&self, i: u32, j: u32) -> u64 {
+        self.block_edge_count(i, j) * self.codec().edge_bytes() as u64
+    }
+
+    /// Total bytes of all edge payloads (`|E| · (M + W)`).
+    pub fn total_edge_bytes(&self) -> u64 {
+        self.num_edges * self.codec().edge_bytes() as u64
+    }
+
+    /// Bytes of one vertex-value array with `n`-byte values (`|V| · N`).
+    pub fn vertex_value_bytes(&self, n: u64) -> u64 {
+        self.num_vertices as u64 * n
+    }
+
+    /// Serializes to JSON bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        serde_json::to_vec_pretty(self).expect("GridMeta serializes")
+    }
+
+    /// Parses from JSON bytes, validating shape invariants.
+    pub fn from_bytes(bytes: &[u8]) -> std::io::Result<Self> {
+        let meta: GridMeta = serde_json::from_slice(bytes)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        if meta.version != FORMAT_VERSION {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("unsupported format version {}", meta.version),
+            ));
+        }
+        if meta.boundaries.len() != meta.p as usize + 1
+            || meta.block_edge_counts.len() != (meta.p * meta.p) as usize
+            || meta.boundaries.last().copied() != Some(meta.num_vertices)
+            || meta.block_edge_counts.iter().sum::<u64>() != meta.num_edges
+        {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "inconsistent grid metadata",
+            ));
+        }
+        Ok(meta)
+    }
+}
+
+/// Encodes a `u32` slice little-endian (degree tables and `.idx` files).
+pub fn encode_u32s(values: &[u32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 4);
+    for v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Decodes a little-endian `u32` buffer; panics on ragged input.
+pub fn decode_u32s(bytes: &[u8]) -> Vec<u32> {
+    assert_eq!(bytes.len() % 4, 0, "buffer is not whole u32s");
+    bytes
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta() -> GridMeta {
+        GridMeta {
+            version: FORMAT_VERSION,
+            num_vertices: 10,
+            num_edges: 6,
+            p: 2,
+            weighted: false,
+            indexed: true,
+            sorted: true,
+            dst_sorted: false,
+            boundaries: vec![0, 5, 10],
+            block_edge_counts: vec![1, 2, 3, 0],
+        }
+    }
+
+    #[test]
+    fn meta_roundtrips_through_json() {
+        let m = meta();
+        let m2 = GridMeta::from_bytes(&m.to_bytes()).unwrap();
+        assert_eq!(m, m2);
+    }
+
+    #[test]
+    fn meta_validation_rejects_inconsistencies() {
+        let mut bad = meta();
+        bad.block_edge_counts[0] = 99; // sum != num_edges
+        assert!(GridMeta::from_bytes(&bad.to_bytes()).is_err());
+
+        let mut bad = meta();
+        bad.boundaries = vec![0, 5]; // wrong length
+        assert!(GridMeta::from_bytes(&bad.to_bytes()).is_err());
+
+        let mut bad = meta();
+        bad.version = 999;
+        assert!(GridMeta::from_bytes(&bad.to_bytes()).is_err());
+    }
+
+    #[test]
+    fn block_accessors() {
+        let m = meta();
+        assert_eq!(m.block_edge_count(0, 1), 2);
+        assert_eq!(m.block_edge_count(1, 0), 3);
+        assert_eq!(m.block_bytes(1, 0), 24);
+        assert_eq!(m.total_edge_bytes(), 48);
+        assert_eq!(m.vertex_value_bytes(4), 40);
+    }
+
+    #[test]
+    fn key_naming() {
+        assert_eq!(block_edges_key("", 3, 7), "blocks/b_3_7.edges");
+        assert_eq!(block_index_key("gsd/", 0, 0), "gsd/blocks/b_0_0.idx");
+    }
+
+    #[test]
+    fn u32_codec_roundtrip() {
+        let vals = vec![0u32, 1, 42, u32::MAX];
+        assert_eq!(decode_u32s(&encode_u32s(&vals)), vals);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole u32s")]
+    fn u32_decode_rejects_ragged() {
+        decode_u32s(&[1, 2, 3]);
+    }
+}

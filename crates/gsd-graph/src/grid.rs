@@ -1,0 +1,582 @@
+//! Read-side handle over a preprocessed grid graph: whole-block streaming,
+//! per-vertex selective reads via the sub-block index, and run coalescing
+//! for the on-demand I/O model.
+
+use crate::format::{
+    block_edges_key, block_index_key, decode_u32s, row_index_key, GridMeta, DEGREES_KEY, META_KEY,
+};
+use crate::partition::Intervals;
+use crate::types::{Edge, EdgeCodec, VertexId};
+use gsd_io::SharedStorage;
+use std::sync::Arc;
+
+/// Groups a sorted vertex list into clusters whose internal gaps are at
+/// most `max_gap` ids. Selective readers issue one index-span request per
+/// cluster: bridging a gap of `g` vertices costs `4·g` extra index bytes,
+/// so `max_gap` should be about `seek_latency · B_sr / 4` — the point where
+/// bridging beats seeking.
+pub fn cluster_vertex_spans(sorted: &[VertexId], max_gap: u32) -> Vec<std::ops::Range<usize>> {
+    let mut spans = Vec::new();
+    let mut start = 0usize;
+    for k in 1..sorted.len() {
+        debug_assert!(sorted[k] > sorted[k - 1], "list must be strictly sorted");
+        if sorted[k] - sorted[k - 1] > max_gap {
+            spans.push(start..k);
+            start = k;
+        }
+    }
+    if !sorted.is_empty() {
+        spans.push(start..sorted.len());
+    }
+    spans
+}
+
+/// One loaded sub-block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubBlock {
+    /// Source interval.
+    pub i: u32,
+    /// Destination interval.
+    pub j: u32,
+    /// The edges (sorted by `(src, dst)` in indexed formats).
+    pub edges: Vec<Edge>,
+}
+
+/// The paper's `index(i, j)` structure: CSR offsets (edge indexes) over the
+/// vertices of the indexed interval, locating each vertex's contiguous edge
+/// range inside the sub-block payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubBlockIndex {
+    /// First vertex of the indexed interval.
+    pub start_vertex: VertexId,
+    /// `len(interval) + 1` edge offsets.
+    pub offsets: Vec<u32>,
+}
+
+impl SubBlockIndex {
+    /// Edge-index range of vertex `v`'s edges within the sub-block.
+    pub fn edge_range(&self, v: VertexId) -> std::ops::Range<u32> {
+        let k = (v - self.start_vertex) as usize;
+        self.offsets[k]..self.offsets[k + 1]
+    }
+
+    /// Number of edges vertex `v` owns in this sub-block.
+    pub fn edge_count(&self, v: VertexId) -> u32 {
+        let r = self.edge_range(v);
+        r.end - r.start
+    }
+
+    /// Total edges covered by the index.
+    pub fn total_edges(&self) -> u32 {
+        *self.offsets.last().unwrap()
+    }
+}
+
+/// A span of row `i`'s combined vertex-major index: resolves the edge
+/// range of any covered vertex in **every** sub-block of the row from a
+/// single storage request (see [`crate::format::row_index_key`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RowIndexSpan {
+    /// First covered vertex.
+    pub start_vertex: VertexId,
+    /// Interval count `P` (row stride).
+    pub p: u32,
+    /// `(covered + 1) × P` offsets, vertex-major.
+    pub offsets: Vec<u32>,
+}
+
+impl RowIndexSpan {
+    /// Edge-index range of vertex `v`'s edges within sub-block `(i, j)`.
+    pub fn edge_range(&self, v: VertexId, j: u32) -> std::ops::Range<u32> {
+        let row = (v - self.start_vertex) as usize;
+        let p = self.p as usize;
+        let start = self.offsets[row * p + j as usize];
+        let end = self.offsets[(row + 1) * p + j as usize];
+        start..end
+    }
+}
+
+/// Handle over a preprocessed grid graph stored behind a [`Storage`].
+#[derive(Clone)]
+pub struct GridGraph {
+    storage: SharedStorage,
+    prefix: String,
+    meta: GridMeta,
+    intervals: Intervals,
+    codec: EdgeCodec,
+}
+
+impl GridGraph {
+    /// Opens the grid stored at the root of `storage`.
+    pub fn open(storage: SharedStorage) -> std::io::Result<Self> {
+        Self::open_with_prefix(storage, "")
+    }
+
+    /// Opens the grid stored under `prefix` in `storage`.
+    pub fn open_with_prefix(storage: SharedStorage, prefix: &str) -> std::io::Result<Self> {
+        let meta_bytes = storage.read_all(&format!("{prefix}{META_KEY}"))?;
+        let meta = GridMeta::from_bytes(&meta_bytes)?;
+        let intervals = meta.intervals();
+        let codec = meta.codec();
+        Ok(GridGraph {
+            storage,
+            prefix: prefix.to_owned(),
+            meta,
+            intervals,
+            codec,
+        })
+    }
+
+    /// The grid metadata.
+    pub fn meta(&self) -> &GridMeta {
+        &self.meta
+    }
+
+    /// The key prefix this grid lives under.
+    pub fn prefix(&self) -> &str {
+        &self.prefix
+    }
+
+    /// The interval partition.
+    pub fn intervals(&self) -> &Intervals {
+        &self.intervals
+    }
+
+    /// The edge codec.
+    pub fn codec(&self) -> EdgeCodec {
+        self.codec
+    }
+
+    /// Interval count `P`.
+    pub fn p(&self) -> u32 {
+        self.meta.p
+    }
+
+    /// `|V|`.
+    pub fn num_vertices(&self) -> u32 {
+        self.meta.num_vertices
+    }
+
+    /// `|E|`.
+    pub fn num_edges(&self) -> u64 {
+        self.meta.num_edges
+    }
+
+    /// The underlying storage (for stats snapshots).
+    pub fn storage(&self) -> &SharedStorage {
+        &self.storage
+    }
+
+    /// I/O statistics of the underlying storage.
+    pub fn io_stats(&self) -> Arc<gsd_io::IoStats> {
+        self.storage.stats()
+    }
+
+    /// Storage key of sub-block `(i, j)`'s edges.
+    pub fn edges_key(&self, i: u32, j: u32) -> String {
+        block_edges_key(&self.prefix, i, j)
+    }
+
+    /// Storage key of sub-block `(i, j)`'s index.
+    pub fn index_key(&self, i: u32, j: u32) -> String {
+        block_index_key(&self.prefix, i, j)
+    }
+
+    /// Streams the whole sub-block `(i, j)` from storage.
+    pub fn read_block(&self, i: u32, j: u32) -> std::io::Result<SubBlock> {
+        let mut edges = Vec::new();
+        self.read_block_into(i, j, &mut Vec::new(), &mut edges)?;
+        Ok(SubBlock { i, j, edges })
+    }
+
+    /// Streams sub-block `(i, j)` into caller-provided buffers (no
+    /// allocation when capacities suffice). Empty blocks skip the I/O
+    /// entirely (their emptiness is known from the metadata).
+    pub fn read_block_into(
+        &self,
+        i: u32,
+        j: u32,
+        scratch: &mut Vec<u8>,
+        out: &mut Vec<Edge>,
+    ) -> std::io::Result<()> {
+        out.clear();
+        let bytes = self.meta.block_bytes(i, j) as usize;
+        if bytes == 0 {
+            return Ok(());
+        }
+        scratch.clear();
+        scratch.resize(bytes, 0);
+        self.storage.read_at(&self.edges_key(i, j), 0, scratch)?;
+        self.codec.decode_all_into(scratch, out);
+        Ok(())
+    }
+
+    /// Reads the per-vertex index of sub-block `(i, j)`. Errors if the
+    /// format was built without indexes.
+    pub fn read_index(&self, i: u32, j: u32) -> std::io::Result<SubBlockIndex> {
+        if !self.meta.indexed {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::Unsupported,
+                "this grid format has no per-vertex indexes",
+            ));
+        }
+        let bytes = self.storage.read_all(&self.index_key(i, j))?;
+        let offsets = decode_u32s(&bytes);
+        let indexed_interval = if self.meta.dst_sorted { j } else { i };
+        Ok(SubBlockIndex {
+            start_vertex: self.intervals.range(indexed_interval).start,
+            offsets,
+        })
+    }
+
+    /// Reads only the index entries covering vertices `lo..=hi` of
+    /// sub-block `(i, j)` — one storage request proportional to the active
+    /// *span* instead of the whole interval. The returned index can
+    /// resolve `edge_range(v)` for any `v` in `lo..=hi`.
+    pub fn read_index_span(
+        &self,
+        i: u32,
+        j: u32,
+        lo: VertexId,
+        hi: VertexId,
+    ) -> std::io::Result<SubBlockIndex> {
+        if !self.meta.indexed {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::Unsupported,
+                "this grid format has no per-vertex indexes",
+            ));
+        }
+        let indexed_interval = if self.meta.dst_sorted { j } else { i };
+        let start = self.intervals.range(indexed_interval).start;
+        debug_assert!(lo >= start && hi >= lo);
+        debug_assert!(hi < self.intervals.range(indexed_interval).end);
+        // Entries lo-start ..= hi-start+1 (the +1 fetches v=hi's end offset).
+        let first = (lo - start) as u64;
+        let count = (hi - lo + 2) as usize;
+        let mut bytes = vec![0u8; count * 4];
+        self.storage
+            .read_at(&self.index_key(i, j), first * 4, &mut bytes)?;
+        Ok(SubBlockIndex {
+            start_vertex: lo,
+            offsets: decode_u32s(&bytes),
+        })
+    }
+
+    /// Reads the rows of the combined row index of interval `i` covering
+    /// vertices `lo..=hi` — a single request that resolves those vertices'
+    /// edge ranges in every sub-block `(i, *)`. Requires a source-sorted,
+    /// indexed format.
+    pub fn read_row_index_span(
+        &self,
+        i: u32,
+        lo: VertexId,
+        hi: VertexId,
+    ) -> std::io::Result<RowIndexSpan> {
+        if !self.meta.indexed || self.meta.dst_sorted {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::Unsupported,
+                "row indexes require a source-sorted, indexed grid format",
+            ));
+        }
+        let start = self.intervals.range(i).start;
+        debug_assert!(lo >= start && hi >= lo && hi < self.intervals.range(i).end);
+        let p = self.meta.p as usize;
+        let first_row = (lo - start) as u64;
+        let rows = (hi - lo + 2) as usize;
+        let mut bytes = vec![0u8; rows * p * 4];
+        self.storage
+            .read_at(&row_index_key(&self.prefix, i), first_row * p as u64 * 4, &mut bytes)?;
+        Ok(RowIndexSpan {
+            start_vertex: lo,
+            p: self.meta.p,
+            offsets: decode_u32s(&bytes),
+        })
+    }
+
+    /// Reads the contiguous edge run `edge_start..edge_start+edge_count`
+    /// (edge indexes) of sub-block `(i, j)` and appends the decoded edges
+    /// to `out`. This is the primitive of the on-demand I/O model: one
+    /// coalesced run of active vertices becomes one storage request.
+    pub fn read_edge_run(
+        &self,
+        i: u32,
+        j: u32,
+        edge_start: u32,
+        edge_count: u32,
+        scratch: &mut Vec<u8>,
+        out: &mut Vec<Edge>,
+    ) -> std::io::Result<()> {
+        if edge_count == 0 {
+            return Ok(());
+        }
+        let sz = self.codec.edge_bytes() as u64;
+        scratch.clear();
+        scratch.resize(edge_count as usize * sz as usize, 0);
+        self.storage
+            .read_at(&self.edges_key(i, j), edge_start as u64 * sz, scratch)?;
+        let base = out.len();
+        out.reserve(edge_count as usize);
+        for chunk in scratch.chunks_exact(sz as usize) {
+            out.push(self.codec.decode(chunk));
+        }
+        debug_assert_eq!(out.len() - base, edge_count as usize);
+        Ok(())
+    }
+
+    /// Reads the edges of a single vertex `v` from sub-block `(i, j)` using
+    /// a previously loaded index.
+    pub fn read_vertex_edges(
+        &self,
+        i: u32,
+        j: u32,
+        index: &SubBlockIndex,
+        v: VertexId,
+        scratch: &mut Vec<u8>,
+        out: &mut Vec<Edge>,
+    ) -> std::io::Result<()> {
+        let range = index.edge_range(v);
+        self.read_edge_run(i, j, range.start, range.end - range.start, scratch, out)
+    }
+
+    /// Loads the out-degree table.
+    pub fn load_out_degrees(&self) -> std::io::Result<Vec<u32>> {
+        let bytes = self
+            .storage
+            .read_all(&format!("{}{}", self.prefix, DEGREES_KEY))?;
+        Ok(decode_u32s(&bytes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{GeneratorConfig, GraphKind};
+    use crate::graph::Graph;
+    use crate::preprocess::{preprocess, PreprocessConfig};
+    use gsd_io::MemStorage;
+
+    fn setup(p: u32) -> (Graph, GridGraph) {
+        let g = GeneratorConfig::new(GraphKind::RMat, 200, 1000, 11).generate();
+        let storage: SharedStorage = Arc::new(MemStorage::new());
+        preprocess(&g, storage.as_ref(), &PreprocessConfig::graphsd("").with_intervals(p)).unwrap();
+        let grid = GridGraph::open(storage).unwrap();
+        (g, grid)
+    }
+
+    #[test]
+    fn open_reads_meta() {
+        let (g, grid) = setup(4);
+        assert_eq!(grid.num_vertices(), g.num_vertices());
+        assert_eq!(grid.num_edges(), g.num_edges());
+        assert_eq!(grid.p(), 4);
+    }
+
+    #[test]
+    fn read_all_blocks_recovers_every_edge() {
+        let (g, grid) = setup(4);
+        let mut total = 0u64;
+        let mut all: Vec<(u32, u32)> = Vec::new();
+        for i in 0..4 {
+            for j in 0..4 {
+                let block = grid.read_block(i, j).unwrap();
+                total += block.edges.len() as u64;
+                all.extend(block.edges.iter().map(|e| (e.src, e.dst)));
+            }
+        }
+        assert_eq!(total, g.num_edges());
+        let mut expect: Vec<(u32, u32)> = g.edges().iter().map(|e| (e.src, e.dst)).collect();
+        all.sort_unstable();
+        expect.sort_unstable();
+        assert_eq!(all, expect);
+    }
+
+    #[test]
+    fn vertex_edges_match_graph() {
+        let (g, grid) = setup(3);
+        let intervals = grid.intervals().clone();
+        // Adjacency from the raw graph, per (vertex, dst-interval).
+        let mut expect: std::collections::HashMap<(u32, u32), Vec<u32>> = Default::default();
+        for e in g.edges() {
+            expect
+                .entry((e.src, intervals.interval_of(e.dst)))
+                .or_default()
+                .push(e.dst);
+        }
+        let mut scratch = Vec::new();
+        for i in 0..3 {
+            for j in 0..3 {
+                let idx = grid.read_index(i, j).unwrap();
+                for v in intervals.range(i) {
+                    let mut out = Vec::new();
+                    grid.read_vertex_edges(i, j, &idx, v, &mut scratch, &mut out).unwrap();
+                    let mut got: Vec<u32> = out.iter().map(|e| e.dst).collect();
+                    got.sort_unstable();
+                    let mut want = expect.remove(&(v, j)).unwrap_or_default();
+                    want.sort_unstable();
+                    assert_eq!(got, want, "vertex {v} block ({i},{j})");
+                }
+            }
+        }
+        assert!(expect.is_empty());
+    }
+
+    #[test]
+    fn empty_block_read_skips_io() {
+        // A graph with edges only inside interval 0.
+        let mut b = crate::graph::GraphBuilder::new();
+        b.add_edge(0, 1).add_edge(1, 0).ensure_vertices(100);
+        let g = b.build();
+        let storage: SharedStorage = Arc::new(MemStorage::new());
+        preprocess(&g, storage.as_ref(), &PreprocessConfig::graphsd("").with_intervals(2)).unwrap();
+        let grid = GridGraph::open(storage.clone()).unwrap();
+        storage.stats().reset();
+        let block = grid.read_block(1, 1).unwrap();
+        assert!(block.edges.is_empty());
+        assert_eq!(storage.stats().read_bytes(), 0, "empty block must not touch storage");
+    }
+
+    #[test]
+    fn read_edge_run_appends() {
+        let (_, grid) = setup(1);
+        let idx = grid.read_index(0, 0).unwrap();
+        let total = idx.total_edges();
+        let mut scratch = Vec::new();
+        let mut out = Vec::new();
+        grid.read_edge_run(0, 0, 0, total / 2, &mut scratch, &mut out).unwrap();
+        grid.read_edge_run(0, 0, total / 2, total - total / 2, &mut scratch, &mut out).unwrap();
+        assert_eq!(out.len() as u32, total);
+        let whole = grid.read_block(0, 0).unwrap();
+        assert_eq!(out, whole.edges);
+    }
+
+    #[test]
+    fn cluster_spans_split_on_gaps() {
+        use super::cluster_vertex_spans;
+        let list = [1u32, 2, 3, 50, 51, 200];
+        let spans = cluster_vertex_spans(&list, 10);
+        assert_eq!(spans, vec![0..3, 3..5, 5..6]);
+        let spans = cluster_vertex_spans(&list, 1000);
+        assert_eq!(spans, vec![0..6]);
+        assert!(cluster_vertex_spans(&[], 10).is_empty());
+        assert_eq!(cluster_vertex_spans(&[7], 0), vec![0..1]);
+    }
+
+    #[test]
+    fn index_span_matches_full_index() {
+        let (_, grid) = setup(3);
+        let intervals = grid.intervals().clone();
+        for i in 0..3 {
+            let range = intervals.range(i);
+            if range.is_empty() {
+                continue;
+            }
+            for j in 0..3 {
+                let full = grid.read_index(i, j).unwrap();
+                let lo = range.start + (range.end - range.start) / 4;
+                let hi = range.end - 1 - (range.end - range.start) / 4;
+                let span = grid.read_index_span(i, j, lo, hi).unwrap();
+                for v in lo..=hi {
+                    assert_eq!(span.edge_range(v), full.edge_range(v), "v={v} block ({i},{j})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn index_span_reads_fewer_bytes_than_full_index() {
+        let (_, grid) = setup(2);
+        let stats = grid.storage().stats();
+        stats.reset();
+        let _ = grid.read_index(0, 0).unwrap();
+        let full_bytes = stats.snapshot().read_bytes();
+        stats.reset();
+        let lo = grid.intervals().range(0).start;
+        let _ = grid.read_index_span(0, 0, lo, lo + 3).unwrap();
+        let span_bytes = stats.snapshot().read_bytes();
+        assert_eq!(span_bytes, 5 * 4);
+        assert!(span_bytes < full_bytes);
+    }
+
+    #[test]
+    fn row_index_span_matches_per_block_indexes() {
+        let (_, grid) = setup(4);
+        let intervals = grid.intervals().clone();
+        for i in 0..4 {
+            let range = intervals.range(i);
+            if range.is_empty() {
+                continue;
+            }
+            let span = grid.read_row_index_span(i, range.start, range.end - 1).unwrap();
+            for j in 0..4 {
+                let block_idx = grid.read_index(i, j).unwrap();
+                for v in range.clone() {
+                    assert_eq!(
+                        span.edge_range(v, j),
+                        block_idx.edge_range(v),
+                        "v={v} block ({i},{j})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn row_index_span_is_one_request() {
+        let (_, grid) = setup(4);
+        let stats = grid.storage().stats();
+        stats.reset();
+        let lo = grid.intervals().range(0).start;
+        let _ = grid.read_row_index_span(0, lo, lo + 5).unwrap();
+        let s = stats.snapshot();
+        assert_eq!(s.seq_read_ops + s.rand_read_ops, 1);
+        assert_eq!(s.read_bytes(), 7 * 4 * 4); // 7 rows x P=4 x 4 bytes
+    }
+
+    #[test]
+    fn row_index_on_dst_sorted_format_errors() {
+        let g = GeneratorConfig::new(GraphKind::ErdosRenyi, 100, 400, 2).generate();
+        let storage: SharedStorage = Arc::new(MemStorage::new());
+        let config = crate::preprocess::PreprocessConfig {
+            sort_by_dst: true,
+            ..crate::preprocess::PreprocessConfig::graphsd("")
+        }
+        .with_intervals(2);
+        preprocess(&g, storage.as_ref(), &config).unwrap();
+        let grid = GridGraph::open(storage).unwrap();
+        assert!(grid.read_row_index_span(0, 0, 1).is_err());
+    }
+
+    #[test]
+    fn index_on_unindexed_format_errors() {
+        let g = GeneratorConfig::new(GraphKind::ErdosRenyi, 50, 100, 1).generate();
+        let storage: SharedStorage = Arc::new(MemStorage::new());
+        preprocess(&g, storage.as_ref(), &PreprocessConfig::lumos("").with_intervals(2)).unwrap();
+        let grid = GridGraph::open(storage).unwrap();
+        assert!(grid.read_index(0, 0).is_err());
+    }
+
+    #[test]
+    fn degrees_roundtrip() {
+        let (g, grid) = setup(2);
+        assert_eq!(grid.load_out_degrees().unwrap(), g.out_degrees());
+    }
+
+    #[test]
+    fn open_missing_meta_errors() {
+        let storage: SharedStorage = Arc::new(MemStorage::new());
+        assert!(GridGraph::open(storage).is_err());
+    }
+
+    #[test]
+    fn prefixed_grids_coexist() {
+        let g = GeneratorConfig::new(GraphKind::ErdosRenyi, 50, 100, 1).generate();
+        let storage: SharedStorage = Arc::new(MemStorage::new());
+        preprocess(&g, storage.as_ref(), &PreprocessConfig::graphsd("a/").with_intervals(2)).unwrap();
+        preprocess(&g, storage.as_ref(), &PreprocessConfig::lumos("b/").with_intervals(3)).unwrap();
+        let a = GridGraph::open_with_prefix(storage.clone(), "a/").unwrap();
+        let b = GridGraph::open_with_prefix(storage, "b/").unwrap();
+        assert_eq!(a.p(), 2);
+        assert_eq!(b.p(), 3);
+        assert_eq!(a.num_edges(), b.num_edges());
+    }
+}

@@ -1,0 +1,36 @@
+//! # gsd-graph — graph substrate for GraphSD
+//!
+//! Everything below the processing engines: the in-memory graph model,
+//! synthetic graph generators standing in for the paper's datasets,
+//! edge-list parsers, and — centrally — the paper's **2-D grid
+//! representation** (§3.2): `P` vertex intervals, `P×P` sub-blocks where
+//! sub-block `(i,j)` holds the edges from interval `i` to interval `j`
+//! sorted by source vertex, plus a per-vertex offset index enabling
+//! selective reads of a single vertex's edge list.
+//!
+//! The [`preprocess`] module implements the paper's preprocessing phase
+//! (load → partition → sort → write, with a timing breakdown used by the
+//! Figure 8 experiment) and [`grid`] provides the read-side handle engines
+//! consume.
+
+#![warn(missing_docs)]
+
+pub mod csr;
+pub mod format;
+pub mod generators;
+pub mod graph;
+pub mod grid;
+pub mod parsers;
+pub mod partition;
+pub mod preprocess;
+pub mod types;
+
+pub use csr::Csr;
+pub use format::{block_edges_key, block_index_key, GridMeta, DEGREES_KEY, META_KEY};
+pub use generators::{GeneratorConfig, GraphKind};
+pub use graph::{Graph, GraphBuilder};
+pub use grid::{cluster_vertex_spans, GridGraph, SubBlock, SubBlockIndex};
+pub use parsers::{parse_edge_list, write_edge_list};
+pub use partition::Intervals;
+pub use preprocess::{preprocess, preprocess_text, PreprocessConfig, PreprocessReport};
+pub use types::{Edge, EdgeCodec, VertexId};

@@ -1,0 +1,125 @@
+//! Plain-text edge-list parsing and writing (the raw input format of the
+//! paper's preprocessing phase, compatible with SNAP-style `.txt` dumps).
+
+use crate::graph::{Graph, GraphBuilder};
+use std::io::{BufRead, BufWriter, Write};
+
+/// Parses a whitespace-separated edge list.
+///
+/// Each non-empty line is `src dst` or `src dst weight`; lines starting
+/// with `#` or `%` are comments. Mixed weighted/unweighted lines are
+/// allowed — the graph is weighted if any line carries a weight.
+pub fn parse_edge_list<R: BufRead>(reader: R) -> std::io::Result<Graph> {
+    let mut builder = GraphBuilder::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let bad = |what: &str| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("line {}: {what}: {trimmed:?}", lineno + 1),
+            )
+        };
+        let src: u32 = it
+            .next()
+            .ok_or_else(|| bad("missing source"))?
+            .parse()
+            .map_err(|_| bad("bad source vertex"))?;
+        let dst: u32 = it
+            .next()
+            .ok_or_else(|| bad("missing destination"))?
+            .parse()
+            .map_err(|_| bad("bad destination vertex"))?;
+        match it.next() {
+            None => {
+                builder.add_edge(src, dst);
+            }
+            Some(w) => {
+                let weight: f32 = w.parse().map_err(|_| bad("bad weight"))?;
+                builder.add_weighted_edge(src, dst, weight);
+            }
+        }
+        if it.next().is_some() {
+            return Err(bad("trailing fields"));
+        }
+    }
+    Ok(builder.build())
+}
+
+/// Writes a graph as a text edge list (with weights iff the graph is
+/// weighted). Inverse of [`parse_edge_list`].
+pub fn write_edge_list<W: Write>(graph: &Graph, writer: W) -> std::io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# graphsd edge list: {} vertices, {} edges", graph.num_vertices(), graph.num_edges())?;
+    for e in graph.edges() {
+        if graph.is_weighted() {
+            writeln!(w, "{} {} {}", e.src, e.dst, e.weight)?;
+        } else {
+            writeln!(w, "{} {}", e.src, e.dst)?;
+        }
+    }
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Edge;
+
+    #[test]
+    fn parses_simple_list_with_comments() {
+        let text = "# comment\n0 1\n\n% another\n2 3\n  4   5  \n";
+        let g = parse_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.num_vertices(), 6);
+        assert!(!g.is_weighted());
+        assert_eq!(g.edges()[2], Edge::new(4, 5));
+    }
+
+    #[test]
+    fn parses_weights() {
+        let g = parse_edge_list("0 1 2.5\n1 2 0.25\n".as_bytes()).unwrap();
+        assert!(g.is_weighted());
+        assert_eq!(g.edges()[0].weight, 2.5);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_edge_list("0\n".as_bytes()).is_err());
+        assert!(parse_edge_list("a b\n".as_bytes()).is_err());
+        assert!(parse_edge_list("0 1 2 3\n".as_bytes()).is_err());
+        assert!(parse_edge_list("0 1 w\n".as_bytes()).is_err());
+        assert!(parse_edge_list("-1 2\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn roundtrip_unweighted() {
+        let g = parse_edge_list("0 1\n5 2\n".as_bytes()).unwrap();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = parse_edge_list(buf.as_slice()).unwrap();
+        assert_eq!(g.edges(), g2.edges());
+        assert_eq!(g.num_vertices(), g2.num_vertices());
+    }
+
+    #[test]
+    fn roundtrip_weighted() {
+        let g = parse_edge_list("0 1 0.5\n5 2 3\n".as_bytes()).unwrap();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = parse_edge_list(buf.as_slice()).unwrap();
+        assert_eq!(g.edges(), g2.edges());
+        assert!(g2.is_weighted());
+    }
+
+    #[test]
+    fn empty_input_is_empty_graph() {
+        let g = parse_edge_list("# nothing\n".as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+}

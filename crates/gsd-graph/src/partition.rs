@@ -1,0 +1,212 @@
+//! Vertex-interval partitioning (the `P` disjoint intervals of §3.2).
+
+use crate::types::VertexId;
+use serde::{Deserialize, Serialize};
+
+/// `P` disjoint, contiguous vertex intervals covering `0..num_vertices`.
+///
+/// Stored as `P + 1` boundaries; interval `i` is
+/// `boundaries[i]..boundaries[i+1]`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Intervals {
+    boundaries: Vec<u32>,
+}
+
+impl Intervals {
+    /// Splits `0..num_vertices` into `p` intervals of (near-)equal vertex
+    /// count.
+    pub fn uniform(num_vertices: u32, p: u32) -> Self {
+        assert!(p >= 1, "need at least one interval");
+        let mut boundaries = Vec::with_capacity(p as usize + 1);
+        for i in 0..=p as u64 {
+            boundaries.push(((num_vertices as u64 * i) / p as u64) as u32);
+        }
+        Intervals { boundaries }
+    }
+
+    /// Splits into `p` intervals of (near-)equal **total degree**, so that
+    /// sub-block rows stay balanced on power-law graphs. Every interval is
+    /// non-empty when `num_vertices >= p`.
+    pub fn degree_balanced(degrees: &[u32], p: u32) -> Self {
+        assert!(p >= 1, "need at least one interval");
+        let n = degrees.len() as u32;
+        if n == 0 || p == 1 {
+            return Intervals {
+                boundaries: vec![0, n],
+            };
+        }
+        // Prefix degree mass: prefix[v] = sum of degrees of vertices < v.
+        let mut prefix = Vec::with_capacity(degrees.len() + 1);
+        let mut acc = 0u64;
+        prefix.push(0u64);
+        for &d in degrees {
+            acc += d as u64;
+            prefix.push(acc);
+        }
+        let total = acc.max(1);
+        let mut boundaries = vec![0u32];
+        for k in 1..p {
+            // First vertex where the prefix mass reaches the k-th quantile.
+            let target = total * k as u64 / p as u64;
+            let mut cut = prefix.partition_point(|&m| m < target) as u32;
+            // Keep intervals non-empty while leaving room for the rest
+            // (possible whenever num_vertices >= p).
+            let prev = *boundaries.last().unwrap();
+            cut = cut.max(prev + 1).min(n.saturating_sub(p - k));
+            boundaries.push(cut.max(prev)); // never go backwards
+        }
+        boundaries.push(n);
+        debug_assert_eq!(boundaries.len(), p as usize + 1);
+        debug_assert!(boundaries.windows(2).all(|w| w[0] <= w[1]));
+        Intervals { boundaries }
+    }
+
+    /// Reconstructs intervals from raw boundaries (e.g. deserialized meta).
+    pub fn from_boundaries(boundaries: Vec<u32>) -> Self {
+        assert!(boundaries.len() >= 2, "need at least one interval");
+        assert!(boundaries.windows(2).all(|w| w[0] <= w[1]), "boundaries must be sorted");
+        Intervals { boundaries }
+    }
+
+    /// Number of intervals `P`.
+    pub fn count(&self) -> u32 {
+        (self.boundaries.len() - 1) as u32
+    }
+
+    /// Total number of vertices covered.
+    pub fn num_vertices(&self) -> u32 {
+        *self.boundaries.last().unwrap()
+    }
+
+    /// Half-open vertex range of interval `i`.
+    pub fn range(&self, i: u32) -> std::ops::Range<u32> {
+        self.boundaries[i as usize]..self.boundaries[i as usize + 1]
+    }
+
+    /// Number of vertices in interval `i`.
+    pub fn len(&self, i: u32) -> u32 {
+        let r = self.range(i);
+        r.end - r.start
+    }
+
+    /// Whether interval `i` is empty.
+    pub fn is_empty(&self, i: u32) -> bool {
+        self.len(i) == 0
+    }
+
+    /// The interval containing vertex `v`.
+    pub fn interval_of(&self, v: VertexId) -> u32 {
+        debug_assert!(v < self.num_vertices(), "vertex {v} out of range");
+        // partition_point returns the first boundary > v; intervals are
+        // indexed from the boundary at or before v.
+        (self.boundaries.partition_point(|&b| b <= v) - 1) as u32
+    }
+
+    /// Raw boundaries (`P + 1` entries), for serialization.
+    pub fn boundaries(&self) -> &[u32] {
+        &self.boundaries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_covers_everything() {
+        let iv = Intervals::uniform(10, 3);
+        assert_eq!(iv.count(), 3);
+        assert_eq!(iv.num_vertices(), 10);
+        let total: u32 = (0..3).map(|i| iv.len(i)).sum();
+        assert_eq!(total, 10);
+        for v in 0..10 {
+            let i = iv.interval_of(v);
+            assert!(iv.range(i).contains(&v));
+        }
+    }
+
+    #[test]
+    fn uniform_is_balanced() {
+        let iv = Intervals::uniform(1000, 7);
+        for i in 0..7 {
+            assert!((iv.len(i) as i64 - 1000 / 7).abs() <= 1);
+        }
+    }
+
+    #[test]
+    fn interval_of_boundary_cases() {
+        let iv = Intervals::uniform(100, 4);
+        assert_eq!(iv.interval_of(0), 0);
+        assert_eq!(iv.interval_of(24), 0);
+        assert_eq!(iv.interval_of(25), 1);
+        assert_eq!(iv.interval_of(99), 3);
+    }
+
+    #[test]
+    fn single_interval() {
+        let iv = Intervals::uniform(5, 1);
+        assert_eq!(iv.count(), 1);
+        assert_eq!(iv.range(0), 0..5);
+        assert_eq!(iv.interval_of(4), 0);
+    }
+
+    #[test]
+    fn more_intervals_than_vertices_leaves_empties() {
+        let iv = Intervals::uniform(2, 4);
+        assert_eq!(iv.count(), 4);
+        let total: u32 = (0..4).map(|i| iv.len(i)).sum();
+        assert_eq!(total, 2);
+    }
+
+    #[test]
+    fn degree_balanced_equalizes_degree_mass() {
+        // Vertex 0 has huge degree; a uniform split would put half the mass
+        // in interval 0.
+        let mut degrees = vec![1u32; 100];
+        degrees[0] = 100;
+        let iv = Intervals::degree_balanced(&degrees, 4);
+        assert_eq!(iv.count(), 4);
+        assert_eq!(iv.num_vertices(), 100);
+        let mass = |i: u32| -> u64 {
+            iv.range(i).map(|v| degrees[v as usize] as u64).sum()
+        };
+        let total: u64 = (0..4).map(mass).sum();
+        assert_eq!(total, 199);
+        // First interval should be cut early (hub isolated-ish).
+        assert!(iv.len(0) < 25, "len(0) = {}", iv.len(0));
+        // Every interval non-empty.
+        for i in 0..4 {
+            assert!(!iv.is_empty(i));
+        }
+    }
+
+    #[test]
+    fn degree_balanced_handles_uniform_degrees() {
+        let degrees = vec![3u32; 99];
+        let iv = Intervals::degree_balanced(&degrees, 3);
+        for i in 0..3 {
+            assert_eq!(iv.len(i), 33);
+        }
+    }
+
+    #[test]
+    fn degree_balanced_with_zero_total_degree() {
+        let degrees = vec![0u32; 10];
+        let iv = Intervals::degree_balanced(&degrees, 3);
+        assert_eq!(iv.count(), 3);
+        assert_eq!(iv.num_vertices(), 10);
+    }
+
+    #[test]
+    fn from_boundaries_roundtrip() {
+        let iv = Intervals::uniform(50, 5);
+        let iv2 = Intervals::from_boundaries(iv.boundaries().to_vec());
+        assert_eq!(iv, iv2);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn from_boundaries_rejects_unsorted() {
+        Intervals::from_boundaries(vec![0, 5, 3]);
+    }
+}

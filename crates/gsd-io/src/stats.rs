@@ -1,0 +1,235 @@
+//! Lock-free I/O accounting shared by every storage backend.
+//!
+//! The paper's evaluation reports three I/O-derived quantities: total I/O
+//! traffic (Figure 7, Figure 9b), the disk-I/O share of execution time
+//! (Figure 6) and the I/O time saved by the state-aware scheduler
+//! (Figure 11). All of them are computed from the counters kept here.
+//!
+//! A read is classified **sequential** when it starts exactly where the
+//! previous request on the same object ended (the head does not move) and
+//! **random** otherwise. Classification is done mechanically by the backend
+//! rather than trusted from caller hints, so baseline engines cannot
+//! accidentally under-report seeks.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic I/O counters. All methods use `Relaxed` ordering: the counters
+/// are statistically aggregated, never used to establish happens-before
+/// edges between threads (see "Rust Atomics and Locks" §3 — pure counters
+/// need no synchronization beyond atomicity).
+#[derive(Debug, Default)]
+pub struct IoStats {
+    seq_read_bytes: AtomicU64,
+    rand_read_bytes: AtomicU64,
+    write_bytes: AtomicU64,
+    seq_read_ops: AtomicU64,
+    rand_read_ops: AtomicU64,
+    write_ops: AtomicU64,
+    /// Virtual nanoseconds charged by a [`crate::SimDisk`] backend.
+    /// Always zero for real backends (their cost is wall-clock time).
+    sim_nanos: AtomicU64,
+}
+
+impl IoStats {
+    /// Creates a zeroed counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a sequential read of `bytes` bytes.
+    pub fn record_seq_read(&self, bytes: u64) {
+        self.seq_read_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.seq_read_ops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a random (seek-preceded) read of `bytes` bytes.
+    pub fn record_rand_read(&self, bytes: u64) {
+        self.rand_read_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.rand_read_ops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a write of `bytes` bytes.
+    pub fn record_write(&self, bytes: u64) {
+        self.write_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.write_ops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `nanos` of simulated device time to the virtual clock.
+    pub fn add_sim_nanos(&self, nanos: u64) {
+        self.sim_nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Total bytes read (sequential + random).
+    pub fn read_bytes(&self) -> u64 {
+        self.seq_read_bytes.load(Ordering::Relaxed) + self.rand_read_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes written.
+    pub fn written_bytes(&self) -> u64 {
+        self.write_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Total traffic: bytes read + bytes written. This is the quantity the
+    /// paper plots as "I/O traffic" (Figure 7).
+    pub fn total_traffic(&self) -> u64 {
+        self.read_bytes() + self.written_bytes()
+    }
+
+    /// Simulated device time accumulated so far.
+    pub fn sim_time(&self) -> std::time::Duration {
+        std::time::Duration::from_nanos(self.sim_nanos.load(Ordering::Relaxed))
+    }
+
+    /// Takes an immutable snapshot of all counters.
+    pub fn snapshot(&self) -> IoStatsSnapshot {
+        IoStatsSnapshot {
+            seq_read_bytes: self.seq_read_bytes.load(Ordering::Relaxed),
+            rand_read_bytes: self.rand_read_bytes.load(Ordering::Relaxed),
+            write_bytes: self.write_bytes.load(Ordering::Relaxed),
+            seq_read_ops: self.seq_read_ops.load(Ordering::Relaxed),
+            rand_read_ops: self.rand_read_ops.load(Ordering::Relaxed),
+            write_ops: self.write_ops.load(Ordering::Relaxed),
+            sim_nanos: self.sim_nanos.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets every counter to zero. Used between experiment phases (e.g.
+    /// to separate preprocessing traffic from execution traffic).
+    pub fn reset(&self) {
+        self.seq_read_bytes.store(0, Ordering::Relaxed);
+        self.rand_read_bytes.store(0, Ordering::Relaxed);
+        self.write_bytes.store(0, Ordering::Relaxed);
+        self.seq_read_ops.store(0, Ordering::Relaxed);
+        self.rand_read_ops.store(0, Ordering::Relaxed);
+        self.write_ops.store(0, Ordering::Relaxed);
+        self.sim_nanos.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of [`IoStats`], cheap to clone and serialize.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IoStatsSnapshot {
+    /// Bytes read by requests classified sequential.
+    pub seq_read_bytes: u64,
+    /// Bytes read by requests classified random (preceded by a seek).
+    pub rand_read_bytes: u64,
+    /// Bytes written.
+    pub write_bytes: u64,
+    /// Number of sequential read operations.
+    pub seq_read_ops: u64,
+    /// Number of random read operations.
+    pub rand_read_ops: u64,
+    /// Number of write operations.
+    pub write_ops: u64,
+    /// Simulated device nanoseconds (zero on real backends).
+    pub sim_nanos: u64,
+}
+
+impl IoStatsSnapshot {
+    /// Total bytes read.
+    pub fn read_bytes(&self) -> u64 {
+        self.seq_read_bytes + self.rand_read_bytes
+    }
+
+    /// Total traffic (read + written bytes).
+    pub fn total_traffic(&self) -> u64 {
+        self.read_bytes() + self.write_bytes
+    }
+
+    /// Simulated device time.
+    pub fn sim_time(&self) -> std::time::Duration {
+        std::time::Duration::from_nanos(self.sim_nanos)
+    }
+
+    /// Counter-wise difference `self - earlier`; panics in debug builds if
+    /// `earlier` is not actually earlier (counters are monotonic).
+    pub fn since(&self, earlier: &IoStatsSnapshot) -> IoStatsSnapshot {
+        debug_assert!(self.seq_read_bytes >= earlier.seq_read_bytes);
+        IoStatsSnapshot {
+            seq_read_bytes: self.seq_read_bytes - earlier.seq_read_bytes,
+            rand_read_bytes: self.rand_read_bytes - earlier.rand_read_bytes,
+            write_bytes: self.write_bytes - earlier.write_bytes,
+            seq_read_ops: self.seq_read_ops - earlier.seq_read_ops,
+            rand_read_ops: self.rand_read_ops - earlier.rand_read_ops,
+            write_ops: self.write_ops - earlier.write_ops,
+            sim_nanos: self.sim_nanos - earlier.sim_nanos,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = IoStats::new();
+        s.record_seq_read(100);
+        s.record_seq_read(50);
+        s.record_rand_read(7);
+        s.record_write(30);
+        assert_eq!(s.read_bytes(), 157);
+        assert_eq!(s.written_bytes(), 30);
+        assert_eq!(s.total_traffic(), 187);
+        let snap = s.snapshot();
+        assert_eq!(snap.seq_read_bytes, 150);
+        assert_eq!(snap.rand_read_bytes, 7);
+        assert_eq!(snap.seq_read_ops, 2);
+        assert_eq!(snap.rand_read_ops, 1);
+        assert_eq!(snap.write_ops, 1);
+    }
+
+    #[test]
+    fn snapshot_since_subtracts() {
+        let s = IoStats::new();
+        s.record_seq_read(100);
+        let a = s.snapshot();
+        s.record_rand_read(11);
+        s.record_write(5);
+        let b = s.snapshot();
+        let d = b.since(&a);
+        assert_eq!(d.seq_read_bytes, 0);
+        assert_eq!(d.rand_read_bytes, 11);
+        assert_eq!(d.write_bytes, 5);
+        assert_eq!(d.total_traffic(), 16);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let s = IoStats::new();
+        s.record_seq_read(1);
+        s.record_rand_read(2);
+        s.record_write(3);
+        s.add_sim_nanos(4);
+        s.reset();
+        assert_eq!(s.snapshot(), IoStatsSnapshot::default());
+    }
+
+    #[test]
+    fn sim_time_converts_nanos() {
+        let s = IoStats::new();
+        s.add_sim_nanos(1_500_000_000);
+        assert_eq!(s.sim_time(), std::time::Duration::from_millis(1500));
+    }
+
+    #[test]
+    fn concurrent_updates_do_not_lose_counts() {
+        let s = std::sync::Arc::new(IoStats::new());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let s = s.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    s.record_seq_read(1);
+                    s.record_write(2);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.read_bytes(), 8000);
+        assert_eq!(s.written_bytes(), 16000);
+    }
+}

@@ -1,0 +1,585 @@
+//! The keyed block-store abstraction and its three backends.
+//!
+//! Engines address on-disk graph data by string keys (e.g.
+//! `blocks/b_3_7.edges`) and perform positioned reads and writes. Each
+//! backend mechanically classifies every read as *sequential* (it starts
+//! exactly where the previous request on the same key ended) or *random*
+//! (the head had to move), feeding the [`IoStats`] counters that all of the
+//! paper's I/O figures are computed from.
+
+use crate::model::DiskModel;
+use crate::stats::IoStats;
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::fs;
+use std::io::{Error, ErrorKind, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Convenience alias for a shareable dynamic storage handle.
+pub type SharedStorage = Arc<dyn Storage>;
+
+/// A keyed block store with positioned I/O and mechanical
+/// sequential/random classification.
+///
+/// All methods take `&self`; implementations are internally synchronized so
+/// engines can issue requests from rayon worker threads directly.
+pub trait Storage: Send + Sync {
+    /// Creates (or atomically replaces) the object `key` with `data`.
+    fn create(&self, key: &str, data: &[u8]) -> crate::Result<()>;
+
+    /// Reads exactly `buf.len()` bytes starting at `offset` into `buf`.
+    fn read_at(&self, key: &str, offset: u64, buf: &mut [u8]) -> crate::Result<()>;
+
+    /// Overwrites `data.len()` bytes of `key` starting at `offset`.
+    /// The write must lie within the existing object.
+    fn write_at(&self, key: &str, offset: u64, data: &[u8]) -> crate::Result<()>;
+
+    /// Size of object `key` in bytes.
+    fn len(&self, key: &str) -> crate::Result<u64>;
+
+    /// Whether object `key` exists.
+    fn exists(&self, key: &str) -> bool;
+
+    /// Deletes object `key` (idempotent: missing keys are not an error).
+    fn delete(&self, key: &str) -> crate::Result<()>;
+
+    /// All existing keys, in unspecified order.
+    fn list_keys(&self) -> Vec<String>;
+
+    /// The I/O counters this backend reports into.
+    fn stats(&self) -> Arc<IoStats>;
+
+    /// The performance model this backend prices requests with, if it is a
+    /// simulator. Engines use it to seed their I/O cost model so scheduler
+    /// predictions match the simulator's charges; real backends return
+    /// `None` and callers fall back to a probe or a configured model.
+    fn disk_model(&self) -> Option<DiskModel> {
+        None
+    }
+
+    /// Reads the whole object `key`.
+    fn read_all(&self, key: &str) -> crate::Result<Vec<u8>> {
+        let n = self.len(key)? as usize;
+        let mut buf = vec![0u8; n];
+        if n > 0 {
+            self.read_at(key, 0, &mut buf)?;
+        }
+        Ok(buf)
+    }
+}
+
+fn not_found(key: &str) -> Error {
+    Error::new(ErrorKind::NotFound, format!("no such object: {key}"))
+}
+
+fn out_of_range(key: &str, offset: u64, len: usize, size: u64) -> Error {
+    Error::new(
+        ErrorKind::UnexpectedEof,
+        format!("range {offset}..{} out of bounds for object {key} of {size} bytes", offset + len as u64),
+    )
+}
+
+/// Tracks, per key, where the previous read and write ended, so requests can
+/// be classified sequential vs random without trusting caller hints.
+#[derive(Default)]
+struct Cursors {
+    read_end: HashMap<String, u64>,
+    write_end: HashMap<String, u64>,
+}
+
+impl Cursors {
+    /// Returns `true` when a read at `offset` is discontiguous (a seek).
+    fn note_read(&mut self, key: &str, offset: u64, len: u64) -> bool {
+        let end = self.read_end.entry(key.to_owned()).or_insert(u64::MAX);
+        let discontiguous = *end != offset;
+        *end = offset + len;
+        discontiguous
+    }
+
+    fn note_write(&mut self, key: &str, offset: u64, len: u64) -> bool {
+        let end = self.write_end.entry(key.to_owned()).or_insert(u64::MAX);
+        let discontiguous = *end != offset;
+        *end = offset + len;
+        discontiguous
+    }
+
+    fn forget(&mut self, key: &str) {
+        self.read_end.remove(key);
+        self.write_end.remove(key);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MemStorage
+// ---------------------------------------------------------------------------
+
+/// Purely in-memory backend used by unit tests: full accounting, no timing.
+pub struct MemStorage {
+    objects: RwLock<HashMap<String, Arc<Vec<u8>>>>,
+    cursors: Mutex<Cursors>,
+    stats: Arc<IoStats>,
+}
+
+impl MemStorage {
+    /// Creates an empty in-memory store.
+    pub fn new() -> Self {
+        MemStorage {
+            objects: RwLock::new(HashMap::new()),
+            cursors: Mutex::new(Cursors::default()),
+            stats: Arc::new(IoStats::new()),
+        }
+    }
+}
+
+impl Default for MemStorage {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Storage for MemStorage {
+    fn create(&self, key: &str, data: &[u8]) -> crate::Result<()> {
+        self.objects.write().insert(key.to_owned(), Arc::new(data.to_vec()));
+        self.cursors.lock().forget(key);
+        self.stats.record_write(data.len() as u64);
+        Ok(())
+    }
+
+    fn read_at(&self, key: &str, offset: u64, buf: &mut [u8]) -> crate::Result<()> {
+        let obj = self.objects.read().get(key).cloned().ok_or_else(|| not_found(key))?;
+        let start = offset as usize;
+        let end = start + buf.len();
+        if end > obj.len() {
+            return Err(out_of_range(key, offset, buf.len(), obj.len() as u64));
+        }
+        buf.copy_from_slice(&obj[start..end]);
+        let discontiguous = self.cursors.lock().note_read(key, offset, buf.len() as u64);
+        if discontiguous {
+            self.stats.record_rand_read(buf.len() as u64);
+        } else {
+            self.stats.record_seq_read(buf.len() as u64);
+        }
+        Ok(())
+    }
+
+    fn write_at(&self, key: &str, offset: u64, data: &[u8]) -> crate::Result<()> {
+        let mut objects = self.objects.write();
+        let obj = objects.get_mut(key).ok_or_else(|| not_found(key))?;
+        let start = offset as usize;
+        let end = start + data.len();
+        if end > obj.len() {
+            return Err(out_of_range(key, offset, data.len(), obj.len() as u64));
+        }
+        Arc::make_mut(obj)[start..end].copy_from_slice(data);
+        drop(objects);
+        self.cursors.lock().note_write(key, offset, data.len() as u64);
+        self.stats.record_write(data.len() as u64);
+        Ok(())
+    }
+
+    fn len(&self, key: &str) -> crate::Result<u64> {
+        self.objects
+            .read()
+            .get(key)
+            .map(|o| o.len() as u64)
+            .ok_or_else(|| not_found(key))
+    }
+
+    fn exists(&self, key: &str) -> bool {
+        self.objects.read().contains_key(key)
+    }
+
+    fn delete(&self, key: &str) -> crate::Result<()> {
+        self.objects.write().remove(key);
+        self.cursors.lock().forget(key);
+        Ok(())
+    }
+
+    fn list_keys(&self) -> Vec<String> {
+        self.objects.read().keys().cloned().collect()
+    }
+
+    fn stats(&self) -> Arc<IoStats> {
+        self.stats.clone()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FileStorage
+// ---------------------------------------------------------------------------
+
+/// Directory-backed store using positioned file I/O (`pread`/`pwrite`), for
+/// genuine out-of-core runs. Keys map to relative paths under the root
+/// directory; `/` in keys creates subdirectories.
+pub struct FileStorage {
+    root: PathBuf,
+    cursors: Mutex<Cursors>,
+    stats: Arc<IoStats>,
+}
+
+impl FileStorage {
+    /// Opens (creating if needed) a store rooted at `root`.
+    pub fn open(root: impl AsRef<Path>) -> crate::Result<Self> {
+        let root = root.as_ref().to_path_buf();
+        fs::create_dir_all(&root)?;
+        Ok(FileStorage {
+            root,
+            cursors: Mutex::new(Cursors::default()),
+            stats: Arc::new(IoStats::new()),
+        })
+    }
+
+    /// The root directory of this store.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn path_of(&self, key: &str) -> crate::Result<PathBuf> {
+        if key.is_empty() || key.split('/').any(|c| c.is_empty() || c == "." || c == "..") {
+            return Err(Error::new(ErrorKind::InvalidInput, format!("invalid key: {key:?}")));
+        }
+        Ok(self.root.join(key))
+    }
+}
+
+impl Storage for FileStorage {
+    fn create(&self, key: &str, data: &[u8]) -> crate::Result<()> {
+        let path = self.path_of(key)?;
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        // Write to a sibling temp file then rename, so readers never observe
+        // a half-written object.
+        let tmp = path.with_extension("gsd_tmp");
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(data)?;
+            f.sync_data()?;
+        }
+        fs::rename(&tmp, &path)?;
+        self.cursors.lock().forget(key);
+        self.stats.record_write(data.len() as u64);
+        Ok(())
+    }
+
+    fn read_at(&self, key: &str, offset: u64, buf: &mut [u8]) -> crate::Result<()> {
+        use std::os::unix::fs::FileExt;
+        let path = self.path_of(key)?;
+        let f = fs::File::open(&path).map_err(|_| not_found(key))?;
+        f.read_exact_at(buf, offset)?;
+        let discontiguous = self.cursors.lock().note_read(key, offset, buf.len() as u64);
+        if discontiguous {
+            self.stats.record_rand_read(buf.len() as u64);
+        } else {
+            self.stats.record_seq_read(buf.len() as u64);
+        }
+        Ok(())
+    }
+
+    fn write_at(&self, key: &str, offset: u64, data: &[u8]) -> crate::Result<()> {
+        use std::os::unix::fs::FileExt;
+        let path = self.path_of(key)?;
+        let f = fs::OpenOptions::new().write(true).open(&path).map_err(|_| not_found(key))?;
+        let size = f.metadata()?.len();
+        if offset + data.len() as u64 > size {
+            return Err(out_of_range(key, offset, data.len(), size));
+        }
+        f.write_all_at(data, offset)?;
+        self.cursors.lock().note_write(key, offset, data.len() as u64);
+        self.stats.record_write(data.len() as u64);
+        Ok(())
+    }
+
+    fn len(&self, key: &str) -> crate::Result<u64> {
+        let path = self.path_of(key)?;
+        fs::metadata(&path).map(|m| m.len()).map_err(|_| not_found(key))
+    }
+
+    fn exists(&self, key: &str) -> bool {
+        self.path_of(key).map(|p| p.is_file()).unwrap_or(false)
+    }
+
+    fn delete(&self, key: &str) -> crate::Result<()> {
+        let path = self.path_of(key)?;
+        match fs::remove_file(&path) {
+            Ok(()) => {}
+            Err(e) if e.kind() == ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        self.cursors.lock().forget(key);
+        Ok(())
+    }
+
+    fn list_keys(&self) -> Vec<String> {
+        fn walk(dir: &Path, root: &Path, out: &mut Vec<String>) {
+            let Ok(entries) = fs::read_dir(dir) else { return };
+            for entry in entries.flatten() {
+                let path = entry.path();
+                if path.is_dir() {
+                    walk(&path, root, out);
+                } else if let Ok(rel) = path.strip_prefix(root) {
+                    if let Some(s) = rel.to_str() {
+                        out.push(s.replace(std::path::MAIN_SEPARATOR, "/"));
+                    }
+                }
+            }
+        }
+        let mut out = Vec::new();
+        walk(&self.root, &self.root, &mut out);
+        out
+    }
+
+    fn stats(&self) -> Arc<IoStats> {
+        self.stats.clone()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SimDisk
+// ---------------------------------------------------------------------------
+
+/// In-memory backend that *prices* every request against a [`DiskModel`] and
+/// accumulates the cost on a virtual clock ([`IoStats::sim_time`]).
+///
+/// This substitutes for the paper's hardware setup (two HDDs, page cache
+/// disabled, direct I/O): every engine's requests are counted byte-exactly
+/// and charged identical device economics, so the relative I/O behaviour the
+/// paper reports is preserved on any machine. Concurrent requests add their
+/// cost to the same clock, modeling a single saturated device.
+pub struct SimDisk {
+    inner: MemStorage,
+    disk: DiskModel,
+    /// Own continuity tracking, held across the whole request so pricing
+    /// is race-free under concurrent callers (and requests serialize, as
+    /// they would on one device).
+    cursors: Mutex<Cursors>,
+}
+
+impl SimDisk {
+    /// Creates a simulated disk with the given performance model.
+    pub fn new(disk: DiskModel) -> Self {
+        SimDisk {
+            inner: MemStorage::new(),
+            disk,
+            cursors: Mutex::new(Cursors::default()),
+        }
+    }
+
+    /// The performance model requests are priced against.
+    pub fn model(&self) -> &DiskModel {
+        &self.disk
+    }
+}
+
+impl Storage for SimDisk {
+    fn create(&self, key: &str, data: &[u8]) -> crate::Result<()> {
+        // Object creation streams sequentially (it replaces the object).
+        let cost = self.disk.write_cost(data.len() as u64, false);
+        self.inner.create(key, data)?;
+        self.cursors.lock().forget(key);
+        self.inner.stats.add_sim_nanos(cost.as_nanos() as u64);
+        Ok(())
+    }
+
+    fn read_at(&self, key: &str, offset: u64, buf: &mut [u8]) -> crate::Result<()> {
+        // Decide continuity and perform the read under one lock: requests
+        // serialize as on a single device, and pricing cannot be skewed by
+        // an interleaved reader of the same object.
+        let mut cursors = self.cursors.lock();
+        let discontiguous = cursors.note_read(key, offset, buf.len() as u64);
+        self.inner.read_at(key, offset, buf).inspect_err(|_| {
+            // Failed reads leave the head where it was.
+            cursors.forget(key);
+        })?;
+        let cost = self.disk.read_cost(buf.len() as u64, discontiguous);
+        self.inner.stats.add_sim_nanos(cost.as_nanos() as u64);
+        Ok(())
+    }
+
+    fn write_at(&self, key: &str, offset: u64, data: &[u8]) -> crate::Result<()> {
+        self.inner.write_at(key, offset, data)?;
+        let cost = self.disk.write_cost(data.len() as u64, false);
+        self.inner.stats.add_sim_nanos(cost.as_nanos() as u64);
+        Ok(())
+    }
+
+    fn len(&self, key: &str) -> crate::Result<u64> {
+        self.inner.len(key)
+    }
+
+    fn exists(&self, key: &str) -> bool {
+        self.inner.exists(key)
+    }
+
+    fn delete(&self, key: &str) -> crate::Result<()> {
+        self.cursors.lock().forget(key);
+        self.inner.delete(key)
+    }
+
+    fn list_keys(&self) -> Vec<String> {
+        self.inner.list_keys()
+    }
+
+    fn stats(&self) -> Arc<IoStats> {
+        self.inner.stats()
+    }
+
+    fn disk_model(&self) -> Option<DiskModel> {
+        Some(self.disk)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(store: &dyn Storage) {
+        store.create("a/b.bin", &[1, 2, 3, 4, 5, 6, 7, 8]).unwrap();
+        assert!(store.exists("a/b.bin"));
+        assert_eq!(store.len("a/b.bin").unwrap(), 8);
+        let mut buf = [0u8; 4];
+        store.read_at("a/b.bin", 2, &mut buf).unwrap();
+        assert_eq!(buf, [3, 4, 5, 6]);
+        store.write_at("a/b.bin", 0, &[9, 9]).unwrap();
+        assert_eq!(store.read_all("a/b.bin").unwrap(), vec![9, 9, 3, 4, 5, 6, 7, 8]);
+        store.delete("a/b.bin").unwrap();
+        assert!(!store.exists("a/b.bin"));
+        assert!(store.read_all("a/b.bin").is_err());
+    }
+
+    #[test]
+    fn mem_roundtrip() {
+        roundtrip(&MemStorage::new());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = crate::TempDir::new("gsd-io-file").unwrap();
+        roundtrip(&FileStorage::open(dir.path()).unwrap());
+    }
+
+    #[test]
+    fn sim_roundtrip() {
+        roundtrip(&SimDisk::new(DiskModel::hdd()));
+    }
+
+    #[test]
+    fn sequential_reads_classified_sequential_after_first() {
+        let store = MemStorage::new();
+        store.create("k", &vec![0u8; 100]).unwrap();
+        let mut buf = [0u8; 10];
+        store.read_at("k", 0, &mut buf).unwrap(); // first read: random (cursor unset)
+        store.read_at("k", 10, &mut buf).unwrap(); // continues: sequential
+        store.read_at("k", 20, &mut buf).unwrap(); // continues: sequential
+        store.read_at("k", 90, &mut buf).unwrap(); // seek: random
+        let s = store.stats().snapshot();
+        assert_eq!(s.seq_read_ops, 2);
+        assert_eq!(s.rand_read_ops, 2);
+        assert_eq!(s.seq_read_bytes, 20);
+        assert_eq!(s.rand_read_bytes, 20);
+    }
+
+    #[test]
+    fn cursors_are_independent_per_key() {
+        let store = MemStorage::new();
+        store.create("x", &vec![0u8; 64]).unwrap();
+        store.create("y", &vec![0u8; 64]).unwrap();
+        let mut buf = [0u8; 8];
+        store.stats().reset();
+        store.read_at("x", 0, &mut buf).unwrap(); // random (first)
+        store.read_at("y", 0, &mut buf).unwrap(); // random (first)
+        store.read_at("x", 8, &mut buf).unwrap(); // sequential on x
+        store.read_at("y", 8, &mut buf).unwrap(); // sequential on y
+        let s = store.stats().snapshot();
+        assert_eq!(s.seq_read_ops, 2);
+        assert_eq!(s.rand_read_ops, 2);
+    }
+
+    #[test]
+    fn create_resets_read_cursor() {
+        let store = MemStorage::new();
+        store.create("k", &vec![0u8; 32]).unwrap();
+        let mut buf = [0u8; 8];
+        store.read_at("k", 0, &mut buf).unwrap();
+        store.create("k", &vec![1u8; 32]).unwrap();
+        store.read_at("k", 8, &mut buf).unwrap(); // would be sequential pre-replace
+        assert_eq!(store.stats().snapshot().rand_read_ops, 2);
+    }
+
+    #[test]
+    fn out_of_range_read_is_error() {
+        let store = MemStorage::new();
+        store.create("k", &[0u8; 10]).unwrap();
+        let mut buf = [0u8; 4];
+        assert!(store.read_at("k", 8, &mut buf).is_err());
+        assert!(store.write_at("k", 8, &[0u8; 4]).is_err());
+    }
+
+    #[test]
+    fn sim_disk_charges_time() {
+        let sim = SimDisk::new(DiskModel::hdd());
+        sim.create("k", &vec![0u8; 16_000_000]).unwrap();
+        let t0 = sim.stats().sim_time();
+        assert!(t0 > std::time::Duration::ZERO, "create charges write time");
+        let mut buf = vec![0u8; 16_000_000];
+        sim.read_at("k", 0, &mut buf).unwrap();
+        let t1 = sim.stats().sim_time();
+        // 16 MB at 160 MB/s = 100 ms (first read pays one seek but the
+        // request is large, so it streams).
+        let read_secs = (t1 - t0).as_secs_f64();
+        assert!((read_secs - 0.108).abs() < 0.02, "got {read_secs}");
+    }
+
+    #[test]
+    fn sim_disk_random_reads_cost_more_than_sequential() {
+        let model = DiskModel::hdd();
+        let make = || {
+            let sim = SimDisk::new(model);
+            sim.create("k", &vec![0u8; 1 << 20]).unwrap();
+            sim.stats().reset();
+            sim
+        };
+        // 64 sequential 4 KiB reads...
+        let seq = make();
+        let mut buf = vec![0u8; 4096];
+        for i in 0..64 {
+            seq.read_at("k", i * 4096, &mut buf).unwrap();
+        }
+        // ...vs 64 scattered 4 KiB reads (stride leaves gaps).
+        let rnd = make();
+        for i in 0..64 {
+            rnd.read_at("k", i * 16384, &mut buf).unwrap();
+        }
+        assert!(rnd.stats().sim_time() > seq.stats().sim_time() * 10);
+    }
+
+    #[test]
+    fn file_storage_rejects_path_escapes() {
+        let dir = crate::TempDir::new("gsd-io-escape").unwrap();
+        let store = FileStorage::open(dir.path()).unwrap();
+        assert!(store.create("../evil", &[1]).is_err());
+        assert!(store.create("a//b", &[1]).is_err());
+        assert!(store.create("", &[1]).is_err());
+        assert!(store.create("a/./b", &[1]).is_err());
+    }
+
+    #[test]
+    fn file_storage_lists_nested_keys() {
+        let dir = crate::TempDir::new("gsd-io-list").unwrap();
+        let store = FileStorage::open(dir.path()).unwrap();
+        store.create("meta.json", &[1]).unwrap();
+        store.create("blocks/b_0_0.edges", &[2]).unwrap();
+        store.create("blocks/b_0_1.edges", &[3]).unwrap();
+        let mut keys = store.list_keys();
+        keys.sort();
+        assert_eq!(keys, vec!["blocks/b_0_0.edges", "blocks/b_0_1.edges", "meta.json"]);
+    }
+
+    #[test]
+    fn read_all_of_empty_object() {
+        let store = MemStorage::new();
+        store.create("empty", &[]).unwrap();
+        assert_eq!(store.read_all("empty").unwrap(), Vec::<u8>::new());
+    }
+}

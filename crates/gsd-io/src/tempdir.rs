@@ -1,0 +1,75 @@
+//! Minimal self-deleting temporary directory, used by tests, examples and
+//! the benchmark harness (kept in-tree to avoid an extra dependency).
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A directory under the system temp dir that is removed on drop.
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// Creates a fresh directory whose name starts with `prefix`.
+    pub fn new(prefix: &str) -> crate::Result<Self> {
+        let id = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!(
+            "{prefix}-{}-{}",
+            std::process::id(),
+            id
+        ));
+        std::fs::create_dir_all(&path)?;
+        Ok(TempDir { path })
+    }
+
+    /// The directory path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Consumes the guard without deleting the directory.
+    pub fn into_path(mut self) -> PathBuf {
+        std::mem::take(&mut self.path)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        if !self.path.as_os_str().is_empty() {
+            let _ = std::fs::remove_dir_all(&self.path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn creates_and_removes() {
+        let dir = TempDir::new("gsd-tempdir-test").unwrap();
+        let path = dir.path().to_path_buf();
+        assert!(path.is_dir());
+        std::fs::write(path.join("f"), b"x").unwrap();
+        drop(dir);
+        assert!(!path.exists());
+    }
+
+    #[test]
+    fn two_tempdirs_do_not_collide() {
+        let a = TempDir::new("gsd-collide").unwrap();
+        let b = TempDir::new("gsd-collide").unwrap();
+        assert_ne!(a.path(), b.path());
+    }
+
+    #[test]
+    fn into_path_keeps_directory() {
+        let dir = TempDir::new("gsd-keep").unwrap();
+        let path = dir.into_path();
+        assert!(path.is_dir());
+        std::fs::remove_dir_all(&path).unwrap();
+    }
+}

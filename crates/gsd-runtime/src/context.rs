@@ -1,0 +1,48 @@
+//! Read-only graph facts a program may consult while scattering/applying.
+
+use std::sync::Arc;
+
+/// Per-run context handed to every [`crate::VertexProgram`] callback.
+#[derive(Debug, Clone)]
+pub struct ProgramContext {
+    /// Number of vertices `|V|`.
+    pub num_vertices: u32,
+    /// Out-degree of every vertex (PageRank divides by it when scattering).
+    pub out_degrees: Arc<Vec<u32>>,
+}
+
+impl ProgramContext {
+    /// Builds a context.
+    pub fn new(num_vertices: u32, out_degrees: Arc<Vec<u32>>) -> Self {
+        assert_eq!(out_degrees.len(), num_vertices as usize);
+        ProgramContext {
+            num_vertices,
+            out_degrees,
+        }
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: u32) -> u32 {
+        self.out_degrees[v as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degree_lookup() {
+        let ctx = ProgramContext::new(3, Arc::new(vec![2, 0, 5]));
+        assert_eq!(ctx.degree(0), 2);
+        assert_eq!(ctx.degree(2), 5);
+        assert_eq!(ctx.num_vertices, 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn length_mismatch_panics() {
+        ProgramContext::new(3, Arc::new(vec![1, 2]));
+    }
+}

@@ -1,0 +1,122 @@
+//! The engine abstraction shared by GraphSD and the baseline systems.
+
+use crate::program::VertexProgram;
+use crate::stats::RunStats;
+use serde::{Deserialize, Serialize};
+
+/// The optimization matrix of the paper's Table 1, as capability flags an
+/// engine self-reports (printed by the `table1` experiment).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Capabilities {
+    /// Avoids random disk accesses via a disk-friendly layout.
+    pub eliminates_random_accesses: bool,
+    /// Skips loading edges of inactive vertices.
+    pub avoids_inactive_data: bool,
+    /// Computes future-iteration values from loaded blocks.
+    pub future_value_computation: bool,
+}
+
+/// Per-run options common to all engines.
+#[derive(Debug, Clone, Default)]
+pub struct RunOptions {
+    /// Overrides the program's [`VertexProgram::max_iterations`].
+    pub max_iterations: Option<u32>,
+    /// Hard safety cap for convergence runs (default 10 000).
+    pub iteration_cap: Option<u32>,
+}
+
+impl RunOptions {
+    /// Effective iteration limit for `program`.
+    pub fn limit_for<P: VertexProgram>(&self, program: &P) -> u32 {
+        self.max_iterations
+            .or_else(|| program.max_iterations())
+            .unwrap_or_else(|| self.iteration_cap.unwrap_or(10_000))
+    }
+}
+
+/// Result of one engine run.
+#[derive(Debug, Clone)]
+pub struct RunResult<V> {
+    /// Final committed value of every vertex.
+    pub values: Vec<V>,
+    /// Timing and I/O accounting.
+    pub stats: RunStats,
+}
+
+/// A graph-processing engine: runs a [`VertexProgram`] to completion.
+pub trait Engine {
+    /// Engine name as printed in experiment tables.
+    fn name(&self) -> &'static str;
+
+    /// Which of Table 1's optimizations this engine implements.
+    fn capabilities(&self) -> Capabilities;
+
+    /// Runs `program` with `options`.
+    fn run<P: VertexProgram>(
+        &mut self,
+        program: &P,
+        options: &RunOptions,
+    ) -> std::io::Result<RunResult<P::Value>>;
+
+    /// Runs with default options.
+    fn run_default<P: VertexProgram>(&mut self, program: &P) -> std::io::Result<RunResult<P::Value>>
+    where
+        Self: Sized,
+    {
+        self.run(program, &RunOptions::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::ProgramContext;
+    use crate::program::InitialFrontier;
+
+    struct Dummy(Option<u32>);
+    impl VertexProgram for Dummy {
+        type Value = u32;
+        type Accum = u32;
+        fn name(&self) -> &'static str {
+            "dummy"
+        }
+        fn init_value(&self, _: u32, _: &ProgramContext) -> u32 {
+            0
+        }
+        fn zero_accum(&self) -> u32 {
+            0
+        }
+        fn scatter(&self, _: u32, _: u32, _: f32, _: &ProgramContext) -> Option<u32> {
+            None
+        }
+        fn combine(&self, a: u32, b: u32) -> u32 {
+            a + b
+        }
+        fn apply(&self, _: u32, _: u32, _: u32, _: &ProgramContext) -> Option<u32> {
+            None
+        }
+        fn initial_frontier(&self, _: &ProgramContext) -> InitialFrontier {
+            InitialFrontier::All
+        }
+        fn max_iterations(&self) -> Option<u32> {
+            self.0
+        }
+    }
+
+    #[test]
+    fn limit_resolution_order() {
+        let opts = RunOptions {
+            max_iterations: Some(3),
+            iteration_cap: Some(100),
+        };
+        assert_eq!(opts.limit_for(&Dummy(Some(5))), 3, "explicit override wins");
+        let opts = RunOptions::default();
+        assert_eq!(opts.limit_for(&Dummy(Some(5))), 5, "program preference");
+        assert_eq!(opts.limit_for(&Dummy(None)), 10_000, "safety cap");
+        let opts = RunOptions {
+            max_iterations: None,
+            iteration_cap: Some(77),
+        };
+        assert_eq!(opts.limit_for(&Dummy(None)), 77);
+    }
+}

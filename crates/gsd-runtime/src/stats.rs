@@ -1,0 +1,163 @@
+//! Run accounting: everything the paper's evaluation section plots.
+//!
+//! * Figure 5 / Table 4 — [`RunStats::execution_time`];
+//! * Figure 6 — the [`RunStats::io_time`] vs [`RunStats::compute_time`]
+//!   breakdown;
+//! * Figure 7 / Figure 9b — [`RunStats::io`] traffic;
+//! * Figure 10 — [`IterationStats`] per-iteration times and the chosen
+//!   [`IoAccessModel`];
+//! * Figure 11 — [`RunStats::scheduler_time`] (the benefit-evaluation
+//!   overhead) against the I/O time it saves;
+//! * Figure 12 — [`RunStats::buffer_hit_bytes`] (I/O avoided by the
+//!   sub-block buffer).
+
+use gsd_io::IoStatsSnapshot;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// The I/O access model the state-aware scheduler picked for an iteration
+/// (§4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IoAccessModel {
+    /// Selectively read only active vertices' edge lists (triggers SCIU).
+    OnDemand,
+    /// Stream entire sub-blocks (triggers FCIU, or plain streaming in
+    /// engines without cross-iteration support).
+    Full,
+}
+
+/// Accounting for one BSP iteration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IterationStats {
+    /// 1-based iteration number.
+    pub iteration: u32,
+    /// The I/O access model used.
+    pub model: IoAccessModel,
+    /// Frontier size at the start of the iteration.
+    pub frontier: u64,
+    /// I/O counters consumed by this iteration.
+    pub io: IoStatsSnapshot,
+    /// Device time (simulated on `SimDisk`, measured otherwise).
+    pub io_time: Duration,
+    /// Scatter + apply wall time.
+    pub compute_time: Duration,
+    /// Whether this iteration's values were computed entirely by
+    /// cross-iteration propagation (FCIU second pass reading only
+    /// secondary sub-blocks, or an SCIU iteration fully pre-served).
+    pub cross_iteration: bool,
+}
+
+/// Accounting for a whole run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RunStats {
+    /// Engine that produced the run.
+    pub engine: String,
+    /// Algorithm name.
+    pub algorithm: String,
+    /// BSP iterations executed (as observed by the program semantics).
+    pub iterations: u32,
+    /// Total scatter/apply wall time.
+    pub compute_time: Duration,
+    /// Total device time (simulated on `SimDisk`, measured otherwise).
+    pub io_time: Duration,
+    /// Time spent in the state-aware scheduler's benefit evaluation.
+    pub scheduler_time: Duration,
+    /// I/O traffic of the run.
+    pub io: IoStatsSnapshot,
+    /// Edges whose next-iteration work was served by cross-iteration
+    /// propagation (I/O for them was avoided).
+    pub cross_iter_edges: u64,
+    /// Sub-block buffer hits.
+    pub buffer_hits: u64,
+    /// Bytes served from the sub-block buffer instead of storage.
+    pub buffer_hit_bytes: u64,
+    /// Per-iteration detail.
+    pub per_iteration: Vec<IterationStats>,
+}
+
+impl RunStats {
+    /// Creates empty stats for an engine/algorithm pair.
+    pub fn new(engine: impl Into<String>, algorithm: impl Into<String>) -> Self {
+        RunStats {
+            engine: engine.into(),
+            algorithm: algorithm.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Total modeled execution time: I/O + compute + scheduler overhead.
+    /// (On a simulated disk this corresponds to the paper's end-to-end
+    /// execution time with I/O and computation serialized, which is the
+    /// regime direct I/O with a saturated disk produces.)
+    pub fn execution_time(&self) -> Duration {
+        self.io_time + self.compute_time + self.scheduler_time
+    }
+
+    /// Fraction of execution time spent in I/O (Figure 6's breakdown).
+    pub fn io_fraction(&self) -> f64 {
+        let total = self.execution_time().as_secs_f64();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.io_time.as_secs_f64() / total
+        }
+    }
+
+    /// Adds one iteration's detail, folding it into the totals.
+    pub fn push_iteration(&mut self, iter: IterationStats) {
+        self.iterations = self.iterations.max(iter.iteration);
+        self.compute_time += iter.compute_time;
+        self.io_time += iter.io_time;
+        self.per_iteration.push(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iter_stats(n: u32, io_ms: u64, cpu_ms: u64) -> IterationStats {
+        IterationStats {
+            iteration: n,
+            model: IoAccessModel::Full,
+            frontier: 10,
+            io: IoStatsSnapshot::default(),
+            io_time: Duration::from_millis(io_ms),
+            compute_time: Duration::from_millis(cpu_ms),
+            cross_iteration: false,
+        }
+    }
+
+    #[test]
+    fn push_iteration_accumulates() {
+        let mut s = RunStats::new("test", "pr");
+        s.push_iteration(iter_stats(1, 100, 50));
+        s.push_iteration(iter_stats(2, 200, 30));
+        assert_eq!(s.iterations, 2);
+        assert_eq!(s.io_time, Duration::from_millis(300));
+        assert_eq!(s.compute_time, Duration::from_millis(80));
+        assert_eq!(s.execution_time(), Duration::from_millis(380));
+        assert_eq!(s.per_iteration.len(), 2);
+    }
+
+    #[test]
+    fn io_fraction() {
+        let mut s = RunStats::new("t", "a");
+        s.push_iteration(iter_stats(1, 75, 25));
+        assert!((s.io_fraction() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn io_fraction_of_empty_run_is_zero() {
+        let s = RunStats::new("t", "a");
+        assert_eq!(s.io_fraction(), 0.0);
+    }
+
+    #[test]
+    fn serializes_to_json() {
+        let mut s = RunStats::new("gsd", "cc");
+        s.push_iteration(iter_stats(1, 1, 1));
+        let json = serde_json::to_string(&s).unwrap();
+        assert!(json.contains("\"engine\":\"gsd\""));
+    }
+}

@@ -1,0 +1,219 @@
+//! Dense per-vertex state in atomic cells.
+//!
+//! A [`ValueArray`] holds one [`Value`] per vertex in an `AtomicU64`. The
+//! `combine` CAS loop is the concurrency primitive behind parallel scatter:
+//! many rayon workers merge messages into the same destination without
+//! locks, and because every program's `combine` is commutative and
+//! associative (a documented [`crate::VertexProgram`] contract), the result
+//! is schedule-independent for discrete values (bit-exact) and
+//! rounding-order-dependent only for float sums.
+//!
+//! **Memory ordering.** All operations use `Relaxed`. The cells are pure
+//! data: within a scatter phase only `combine` touches them, and the
+//! scatter→apply hand-off happens at a rayon join, which is already a
+//! synchronization point (see "Rust Atomics and Locks", ch. 3 — the join
+//! creates the happens-before edge; the cells themselves need only
+//! atomicity).
+
+use crate::value::Value;
+use rayon::prelude::*;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A fixed-length array of atomically updatable values.
+pub struct ValueArray<V: Value> {
+    cells: Vec<AtomicU64>,
+    _marker: PhantomData<V>,
+}
+
+impl<V: Value> ValueArray<V> {
+    /// Creates an array of `len` cells, all `init`.
+    pub fn new(len: usize, init: V) -> Self {
+        let bits = init.to_bits();
+        let mut cells = Vec::with_capacity(len);
+        cells.resize_with(len, || AtomicU64::new(bits));
+        ValueArray {
+            cells,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Creates an array initialized per-vertex.
+    pub fn from_fn(len: usize, mut f: impl FnMut(u32) -> V) -> Self {
+        let mut cells = Vec::with_capacity(len);
+        for v in 0..len {
+            cells.push(AtomicU64::new(f(v as u32).to_bits()));
+        }
+        ValueArray {
+            cells,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the array is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Reads cell `v`.
+    #[inline]
+    pub fn get(&self, v: u32) -> V {
+        V::from_bits(self.cells[v as usize].load(Ordering::Relaxed))
+    }
+
+    /// Overwrites cell `v`.
+    #[inline]
+    pub fn set(&self, v: u32, value: V) {
+        self.cells[v as usize].store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Merges `msg` into cell `v` with `f(current, msg)` via a CAS loop.
+    /// Returns `true` when the stored bits changed. `f` must be pure; it
+    /// may run multiple times under contention.
+    #[inline]
+    pub fn combine(&self, v: u32, msg: V, f: impl Fn(V, V) -> V) -> bool {
+        let cell = &self.cells[v as usize];
+        let mut cur = cell.load(Ordering::Relaxed);
+        loop {
+            let old = V::from_bits(cur);
+            let new = f(old, msg);
+            let new_bits = new.to_bits();
+            if new_bits == cur {
+                return false;
+            }
+            match cell.compare_exchange_weak(cur, new_bits, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => return true,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Copies all values out.
+    pub fn snapshot(&self) -> Vec<V> {
+        self.cells
+            .iter()
+            .map(|c| V::from_bits(c.load(Ordering::Relaxed)))
+            .collect()
+    }
+
+    /// Resets every cell to `value` (parallel).
+    pub fn fill(&self, value: V) {
+        let bits = value.to_bits();
+        self.cells
+            .par_iter()
+            .for_each(|c| c.store(bits, Ordering::Relaxed));
+    }
+
+    /// Copies every cell from `other` (parallel). Panics on length
+    /// mismatch.
+    pub fn copy_from(&self, other: &ValueArray<V>) {
+        assert_eq!(self.len(), other.len());
+        self.cells
+            .par_iter()
+            .zip(other.cells.par_iter())
+            .for_each(|(dst, src)| dst.store(src.load(Ordering::Relaxed), Ordering::Relaxed));
+    }
+}
+
+impl<V: Value> std::fmt::Debug for ValueArray<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ValueArray").field("len", &self.len()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_get_set() {
+        let arr = ValueArray::<f32>::new(4, 1.5);
+        assert_eq!(arr.len(), 4);
+        assert_eq!(arr.get(2), 1.5);
+        arr.set(2, -3.0);
+        assert_eq!(arr.get(2), -3.0);
+        assert_eq!(arr.get(1), 1.5);
+    }
+
+    #[test]
+    fn from_fn_initializes_per_index() {
+        let arr = ValueArray::<u32>::from_fn(5, |v| v * 10);
+        assert_eq!(arr.snapshot(), vec![0, 10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn combine_reports_change() {
+        let arr = ValueArray::<u32>::new(1, 100);
+        assert!(arr.combine(0, 50, u32::min));
+        assert_eq!(arr.get(0), 50);
+        assert!(!arr.combine(0, 70, u32::min), "no change when min loses");
+        assert_eq!(arr.get(0), 50);
+    }
+
+    #[test]
+    fn parallel_min_combine_is_deterministic() {
+        let arr = std::sync::Arc::new(ValueArray::<u32>::new(1, u32::MAX));
+        let mut handles = Vec::new();
+        for t in 0..8u32 {
+            let arr = arr.clone();
+            handles.push(std::thread::spawn(move || {
+                for k in 0..1000u32 {
+                    arr.combine(0, t * 1000 + k, u32::min);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(arr.get(0), 0);
+    }
+
+    #[test]
+    fn parallel_integer_sum_loses_nothing() {
+        let arr = std::sync::Arc::new(ValueArray::<u64>::new(4, 0));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let arr = arr.clone();
+            handles.push(std::thread::spawn(move || {
+                for k in 0..1000u64 {
+                    arr.combine((k % 4) as u32, 1, |a, b| a + b);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(arr.snapshot().iter().sum::<u64>(), 8000);
+    }
+
+    #[test]
+    fn fill_and_copy_from() {
+        let a = ValueArray::<f64>::new(100, 0.0);
+        a.fill(2.5);
+        assert!(a.snapshot().iter().all(|&x| x == 2.5));
+        let b = ValueArray::<f64>::from_fn(100, |v| v as f64);
+        a.copy_from(&b);
+        assert_eq!(a.get(42), 42.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn copy_from_length_mismatch_panics() {
+        let a = ValueArray::<u32>::new(3, 0);
+        let b = ValueArray::<u32>::new(4, 0);
+        a.copy_from(&b);
+    }
+
+    #[test]
+    fn float_pair_cells() {
+        let arr = ValueArray::<(f32, f32)>::new(2, (1.0, -1.0));
+        arr.combine(0, (0.5, 0.5), |a, b| (a.0 + b.0, a.1 + b.1));
+        assert_eq!(arr.get(0), (1.5, -0.5));
+        assert_eq!(arr.get(1), (1.0, -1.0));
+    }
+}

@@ -1,0 +1,69 @@
+//! A guided tour of the state-aware I/O scheduler (§4.1): runs BFS on a
+//! web-style graph and prints, for every iteration, the benefit
+//! evaluation's inputs (`|A|`, `S_seq`, `S_ran`), the two cost estimates
+//! (`C_r`, `C_s`) and the chosen access model — then verifies the choices
+//! against the two fixed policies (the paper's Figure 10 in miniature).
+//!
+//! ```text
+//! cargo run --release --example io_scheduler_tour
+//! ```
+
+use graphsd::algos::Bfs;
+use graphsd::core::{GraphSdConfig, GraphSdEngine};
+use graphsd::graph::{preprocess, GeneratorConfig, GraphKind, Graph, GridGraph, PreprocessConfig};
+use graphsd::io::{DiskModel, SharedStorage, SimDisk};
+use graphsd::runtime::{Engine, RunOptions};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn engine_for(graph: &Graph, config: GraphSdConfig) -> std::io::Result<GraphSdEngine> {
+    let storage: SharedStorage = Arc::new(SimDisk::new(DiskModel::hdd()));
+    let mut pre = PreprocessConfig::graphsd("");
+    pre.degree_balanced = true;
+    preprocess(graph, storage.as_ref(), &pre.with_intervals(16))?;
+    GraphSdEngine::new(GridGraph::open(storage)?, config)
+}
+
+fn main() -> std::io::Result<()> {
+    let graph = GeneratorConfig::new(GraphKind::WebLocality, 40_000, 600_000, 11).generate();
+    let root = 0u32;
+
+    let mut adaptive = engine_for(&graph, GraphSdConfig::full())?;
+    let result = adaptive.run(&Bfs::new(root), &RunOptions::default())?;
+
+    println!("== scheduler decisions, BFS from page {root} ==\n");
+    println!("{:<5} {:>8} {:>12} {:>12} {:>10} {:>10}  chosen", "iter", "|A|", "S_seq(B)", "S_ran(B)", "C_r(s)", "C_s(s)");
+    for d in adaptive.last_decisions() {
+        println!(
+            "{:<5} {:>8} {:>12} {:>12} {:>10.4} {:>10.4}  {:?}",
+            d.iteration, d.frontier, d.s_seq, d.s_ran, d.cost_on_demand, d.cost_full, d.model
+        );
+    }
+
+    // Compare against the fixed policies.
+    let mut always_full = engine_for(&graph, GraphSdConfig::b3_always_full())?;
+    let full = always_full.run(&Bfs::new(root), &RunOptions::default())?;
+    let mut always_od = engine_for(&graph, GraphSdConfig::b4_always_on_demand())?;
+    let od = always_od.run(&Bfs::new(root), &RunOptions::default())?;
+
+    let total = |s: &graphsd::runtime::RunStats| s.io_time + s.compute_time;
+    println!("\ntotals (I/O + update time):");
+    println!("  adaptive          {:>9.1} ms", total(&result.stats).as_secs_f64() * 1e3);
+    println!("  always full (b3)  {:>9.1} ms", total(&full.stats).as_secs_f64() * 1e3);
+    println!("  always on-demand  {:>9.1} ms", total(&od.stats).as_secs_f64() * 1e3);
+    println!(
+        "  evaluation overhead {:>7.3} ms (the \"negligible\" claim of Figure 11)",
+        result.stats.scheduler_time.as_secs_f64() * 1e3
+    );
+
+    let best = total(&full.stats).min(total(&od.stats));
+    let slack = total(&result.stats).saturating_sub(best);
+    assert!(
+        slack < Duration::from_millis(500),
+        "adaptive should track the better fixed policy"
+    );
+    assert_eq!(result.values, full.values);
+    assert_eq!(result.values, od.values);
+    println!("\nadaptive tracked the better fixed policy; all three agree on BFS depths ✓");
+    Ok(())
+}

@@ -1,0 +1,70 @@
+//! Influence analysis on a social-network-style graph: PageRank-Delta
+//! finds the influencers while the frontier shrinks iteration by
+//! iteration, and the example shows how GraphSD's state-aware scheduler
+//! turns that shrinkage into skipped I/O — comparing against running the
+//! same query with the selective machinery disabled (the paper's `b2`
+//! ablation, i.e. how a streaming-only engine behaves).
+//!
+//! ```text
+//! cargo run --release --example social_influence
+//! ```
+
+use graphsd::algos::PageRankDelta;
+use graphsd::core::{GraphSdConfig, GraphSdEngine};
+use graphsd::graph::{preprocess, GeneratorConfig, GraphKind, GridGraph, PreprocessConfig};
+use graphsd::io::{DiskModel, SharedStorage, SimDisk};
+use graphsd::runtime::{Engine, RunOptions, RunResult};
+use std::sync::Arc;
+
+fn run(config: GraphSdConfig) -> std::io::Result<RunResult<(f32, f32)>> {
+    let graph = GeneratorConfig::new(GraphKind::RMat, 50_000, 900_000, 7).generate();
+    // Simulated HDD so the I/O economics are visible regardless of the
+    // host machine's page cache.
+    let storage: SharedStorage = Arc::new(SimDisk::new(DiskModel::hdd()));
+    let mut pre = PreprocessConfig::graphsd("");
+    pre.degree_balanced = true;
+    preprocess(&graph, storage.as_ref(), &pre.with_intervals(16))?;
+    let grid = GridGraph::open(storage)?;
+    let mut engine = GraphSdEngine::new(grid, config)?;
+    engine.run(&PageRankDelta::paper(), &RunOptions::default())
+}
+
+fn main() -> std::io::Result<()> {
+    println!("== influencers via PageRank-Delta (50k users, 900k follows) ==\n");
+
+    let adaptive = run(GraphSdConfig::full())?;
+    let streaming = run(GraphSdConfig::b2_no_selective())?;
+
+    let mut ranked: Vec<(usize, f32)> = adaptive
+        .values
+        .iter()
+        .map(|(rank, _)| *rank)
+        .enumerate()
+        .collect();
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
+    println!("top influencers:");
+    for (v, r) in ranked.iter().take(5) {
+        println!("  user {v:>6}  influence {r:.2}");
+    }
+
+    println!("\nfrontier trajectory (active users per iteration):");
+    for it in &adaptive.stats.per_iteration {
+        println!(
+            "  iter {:>2}  active {:>6}  model {:?}  read {:>8} KiB",
+            it.iteration,
+            it.frontier,
+            it.model,
+            it.io.read_bytes() / 1024
+        );
+    }
+
+    let a = adaptive.stats.io.total_traffic();
+    let b = streaming.stats.io.total_traffic();
+    println!("\nI/O traffic: adaptive {} MiB vs streaming-only {} MiB ({:.2}x saved)",
+        a >> 20, b >> 20, b as f64 / a as f64);
+    println!(
+        "verdict: identical influencer ranking, {} fewer bytes moved",
+        (b - a) >> 10
+    );
+    Ok(())
+}

@@ -1,0 +1,301 @@
+//! `gsd` — command-line front end for the GraphSD engine.
+//!
+//! ```text
+//! gsd preprocess <edges.txt> <data-dir> [--intervals N] [--budget-mb M] [--degree-balanced]
+//! gsd run <data-dir> <algorithm> [--source V] [--iterations N] [--ablation b1|b2|b3|b4|nobuf]
+//! gsd info <data-dir>
+//! gsd generate <kind> <vertices> <edges> <out.txt> [--seed S] [--weighted] [--symmetrized]
+//! ```
+//!
+//! Algorithms: `pagerank`, `pagerank-delta`, `cc`, `sssp`, `bfs`.
+//! Graph kinds: `rmat`, `kronecker`, `erdos-renyi`, `web`, `grid`.
+
+use graphsd::algos::{Bfs, ConnectedComponents, PageRank, PageRankDelta, Sssp};
+use graphsd::core::{GraphSdConfig, GraphSdEngine};
+use graphsd::graph::{
+    preprocess_text, write_edge_list, GeneratorConfig, GraphKind, GridGraph, PreprocessConfig,
+};
+use graphsd::io::{FileStorage, SharedStorage};
+use graphsd::runtime::{Engine, RunOptions, RunResult, RunStats, Value, VertexProgram};
+use std::io::BufReader;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  \
+         gsd preprocess <edges.txt> <data-dir> [--intervals N] [--budget-mb M] [--degree-balanced]\n  \
+         gsd run <data-dir> <pagerank|pagerank-delta|cc|sssp|bfs> [--source V] [--iterations N] [--ablation b1|b2|b3|b4|nobuf] [--top K]\n  \
+         gsd info <data-dir>\n  \
+         gsd generate <rmat|kronecker|erdos-renyi|web|grid> <vertices> <edges> <out.txt> [--seed S] [--weighted] [--symmetrized]"
+    );
+    ExitCode::from(2)
+}
+
+/// Minimal flag parser: positional args plus `--flag [value]` pairs.
+struct Args {
+    positional: Vec<String>,
+    flags: Vec<(String, Option<String>)>,
+}
+
+impl Args {
+    fn parse(raw: &[String]) -> Args {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut it = raw.iter().peekable();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                let takes_value = it.peek().map(|v| !v.starts_with("--")).unwrap_or(false);
+                let value = if takes_value {
+                    Some(it.next().unwrap().clone())
+                } else {
+                    None
+                };
+                flags.push((name.to_owned(), value));
+            } else {
+                positional.push(a.clone());
+            }
+        }
+        Args { positional, flags }
+    }
+
+    fn flag(&self, name: &str) -> Option<&Option<String>> {
+        self.flags.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+
+    fn flag_value<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, String> {
+        match self.flag(name) {
+            None => Ok(None),
+            Some(None) => Err(format!("--{name} needs a value")),
+            Some(Some(v)) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("--{name}: cannot parse {v:?}")),
+        }
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.flag(name).is_some()
+    }
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.is_empty() {
+        return usage();
+    }
+    let command = raw[0].clone();
+    let args = Args::parse(&raw[1..]);
+    let result = match command.as_str() {
+        "preprocess" => cmd_preprocess(&args),
+        "run" => cmd_run(&args),
+        "info" => cmd_info(&args),
+        "generate" => cmd_generate(&args),
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("gsd: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_preprocess(args: &Args) -> Result<(), String> {
+    let [input, dir] = args.positional.as_slice() else {
+        return Err("preprocess needs <edges.txt> <data-dir>".into());
+    };
+    let file = std::fs::File::open(input).map_err(|e| format!("{input}: {e}"))?;
+    let storage: SharedStorage =
+        Arc::new(FileStorage::open(dir).map_err(|e| format!("{dir}: {e}"))?);
+    let mut config = PreprocessConfig::graphsd("");
+    config.num_intervals = args.flag_value("intervals")?;
+    if let Some(mb) = args.flag_value::<u64>("budget-mb")? {
+        config.memory_budget_bytes = Some(mb << 20);
+    }
+    config.degree_balanced = args.has("degree-balanced");
+    let (meta, report) = preprocess_text(BufReader::new(file), storage.as_ref(), &config)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "preprocessed {} vertices / {} edges into a {p}x{p} grid at {dir}",
+        meta.num_vertices,
+        meta.num_edges,
+        p = meta.p
+    );
+    println!(
+        "  load {:.2}s  partition {:.2}s  sort {:.2}s  write {:.2}s  ({} MiB on disk)",
+        report.load.as_secs_f64(),
+        report.partition.as_secs_f64(),
+        report.sort.as_secs_f64(),
+        report.write.as_secs_f64(),
+        report.bytes_written >> 20
+    );
+    Ok(())
+}
+
+fn ablation(name: &str) -> Result<GraphSdConfig, String> {
+    Ok(match name {
+        "full" => GraphSdConfig::full(),
+        "b1" => GraphSdConfig::b1_no_cross_iteration(),
+        "b2" => GraphSdConfig::b2_no_selective(),
+        "b3" => GraphSdConfig::b3_always_full(),
+        "b4" => GraphSdConfig::b4_always_on_demand(),
+        "nobuf" => GraphSdConfig::without_buffering(),
+        other => return Err(format!("unknown ablation {other:?}")),
+    })
+}
+
+fn cmd_run(args: &Args) -> Result<(), String> {
+    let [dir, algorithm] = args.positional.as_slice() else {
+        return Err("run needs <data-dir> <algorithm>".into());
+    };
+    let storage: SharedStorage =
+        Arc::new(FileStorage::open(dir).map_err(|e| format!("{dir}: {e}"))?);
+    let grid = GridGraph::open(storage).map_err(|e| format!("{dir}: {e}"))?;
+    let config = ablation(
+        args.flag_value::<String>("ablation")?
+            .as_deref()
+            .unwrap_or("full"),
+    )?;
+    let mut engine = GraphSdEngine::new(grid, config).map_err(|e| e.to_string())?;
+    let options = RunOptions {
+        max_iterations: args.flag_value("iterations")?,
+        iteration_cap: None,
+    };
+    let source: u32 = args.flag_value("source")?.unwrap_or(0);
+    let top: usize = args.flag_value("top")?.unwrap_or(10);
+
+    match algorithm.as_str() {
+        "pagerank" => {
+            let result = run(&mut engine, &PageRank::paper(), &options)?;
+            print_top(&result, top, |rank: &f32| format!("{rank:.4}"), true);
+        }
+        "pagerank-delta" => {
+            let result = run(&mut engine, &PageRankDelta::paper(), &options)?;
+            print_top(&result, top, |(rank, _): &(f32, f32)| format!("{rank:.4}"), true);
+        }
+        "cc" => {
+            let result = run(&mut engine, &ConnectedComponents, &options)?;
+            let mut labels = result.values.clone();
+            labels.sort_unstable();
+            labels.dedup();
+            println!("{} components", labels.len());
+        }
+        "sssp" => {
+            let result = run(&mut engine, &Sssp::new(source), &options)?;
+            let reached = result.values.iter().filter(|d| d.is_finite()).count();
+            println!("{reached} vertices reachable from {source}");
+        }
+        "bfs" => {
+            let result = run(&mut engine, &Bfs::new(source), &options)?;
+            let reached = result.values.iter().filter(|&&d| d != u32::MAX).count();
+            println!("{reached} vertices reachable from {source}");
+        }
+        other => return Err(format!("unknown algorithm {other:?}")),
+    }
+    Ok(())
+}
+
+fn run<P: VertexProgram>(
+    engine: &mut GraphSdEngine,
+    program: &P,
+    options: &RunOptions,
+) -> Result<RunResult<P::Value>, String> {
+    let result = engine.run(program, options).map_err(|e| e.to_string())?;
+    print_stats(&result.stats);
+    Ok(result)
+}
+
+fn print_stats(stats: &RunStats) {
+    println!(
+        "{}: {} iterations, {} MiB read, {} MiB written, io {:.3}s, update {:.3}s, scheduler {:.4}s",
+        stats.algorithm,
+        stats.iterations,
+        stats.io.read_bytes() >> 20,
+        stats.io.write_bytes >> 20,
+        stats.io_time.as_secs_f64(),
+        stats.compute_time.as_secs_f64(),
+        stats.scheduler_time.as_secs_f64(),
+    );
+    if stats.cross_iter_edges > 0 {
+        println!(
+            "  cross-iteration served {} edge updates; buffer hits {} ({} KiB)",
+            stats.cross_iter_edges, stats.buffer_hits, stats.buffer_hit_bytes >> 10
+        );
+    }
+}
+
+fn print_top<V: Value>(
+    result: &RunResult<V>,
+    top: usize,
+    render: impl Fn(&V) -> String,
+    descending_by_bits: bool,
+) {
+    // Values are f32-backed for the rank programs; bit order matches value
+    // order for non-negative floats.
+    let mut ranked: Vec<(u32, &V)> = result.values.iter().enumerate().map(|(v, x)| (v as u32, x)).collect();
+    if descending_by_bits {
+        ranked.sort_by_key(|(_, x)| std::cmp::Reverse(x.to_bits()));
+    }
+    println!("top {top} vertices:");
+    for (v, x) in ranked.into_iter().take(top) {
+        println!("  {v:>10}  {}", render(x));
+    }
+}
+
+fn cmd_info(args: &Args) -> Result<(), String> {
+    let [dir] = args.positional.as_slice() else {
+        return Err("info needs <data-dir>".into());
+    };
+    let storage: SharedStorage =
+        Arc::new(FileStorage::open(dir).map_err(|e| format!("{dir}: {e}"))?);
+    let grid = GridGraph::open(storage).map_err(|e| format!("{dir}: {e}"))?;
+    let meta = grid.meta();
+    println!("grid graph at {dir}:");
+    println!("  vertices   {}", meta.num_vertices);
+    println!("  edges      {}", meta.num_edges);
+    println!("  intervals  {p}x{p} = {} sub-blocks", meta.p * meta.p, p = meta.p);
+    println!("  weighted   {}", meta.weighted);
+    println!("  sorted     {}  indexed {}", meta.sorted, meta.indexed);
+    println!("  edge bytes {} MiB", meta.total_edge_bytes() >> 20);
+    let nonempty = meta.block_edge_counts.iter().filter(|&&c| c > 0).count();
+    let largest = meta.block_edge_counts.iter().max().copied().unwrap_or(0);
+    println!("  non-empty  {nonempty} blocks, largest {largest} edges");
+    Ok(())
+}
+
+fn cmd_generate(args: &Args) -> Result<(), String> {
+    let [kind, vertices, edges, out] = args.positional.as_slice() else {
+        return Err("generate needs <kind> <vertices> <edges> <out.txt>".into());
+    };
+    let kind = match kind.as_str() {
+        "rmat" => GraphKind::RMat,
+        "kronecker" => GraphKind::Kronecker,
+        "erdos-renyi" => GraphKind::ErdosRenyi,
+        "web" => GraphKind::WebLocality,
+        "grid" => GraphKind::Grid2d,
+        other => return Err(format!("unknown graph kind {other:?}")),
+    };
+    let vertices: u32 = vertices.parse().map_err(|_| "bad vertex count")?;
+    let edges: u64 = edges.parse().map_err(|_| "bad edge count")?;
+    let seed: u64 = args.flag_value("seed")?.unwrap_or(42);
+    let mut config = GeneratorConfig::new(kind, vertices, edges, seed);
+    if args.has("weighted") {
+        config = config.weighted();
+    }
+    let mut graph = config.generate();
+    if args.has("symmetrized") {
+        // Label-propagation CC computes undirected components; symmetrize
+        // at generation time for that workload.
+        graph = graph.symmetrized();
+    }
+    let file = std::fs::File::create(out).map_err(|e| format!("{out}: {e}"))?;
+    write_edge_list(&graph, file).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} vertices / {} edges to {out}",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+    Ok(())
+}

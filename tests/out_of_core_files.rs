@@ -1,0 +1,125 @@
+//! Genuine out-of-core operation: the full pipeline (parse → preprocess →
+//! run) against real files on disk through [`FileStorage`], including
+//! format persistence across "process restarts" (re-opening the store).
+
+use gsd_algos::{ConnectedComponents, PageRank, Sssp};
+use gsd_core::{GraphSdConfig, GraphSdEngine};
+use gsd_graph::{parse_edge_list, preprocess, preprocess_text, GridGraph, PreprocessConfig};
+use gsd_io::{FileStorage, SharedStorage, TempDir};
+use gsd_runtime::{Engine, ReferenceEngine, RunOptions};
+use std::sync::Arc;
+
+fn sample_edge_list() -> String {
+    // A deterministic graph with two lobes and a weighted bridge.
+    let mut text = String::from("# sample\n");
+    for v in 0..40u32 {
+        text.push_str(&format!("{} {}\n", v, (v + 1) % 40));
+        text.push_str(&format!("{} {}\n", v, (v + 7) % 40));
+    }
+    for v in 40..60u32 {
+        text.push_str(&format!("{} {}\n", v, 40 + (v + 1) % 20));
+    }
+    text.push_str("39 40\n40 39\n");
+    text
+}
+
+#[test]
+fn end_to_end_on_real_files() {
+    let dir = TempDir::new("gsd-e2e").unwrap();
+    let storage: SharedStorage = Arc::new(FileStorage::open(dir.path()).unwrap());
+
+    let (meta, report) = preprocess_text(
+        sample_edge_list().as_bytes(),
+        storage.as_ref(),
+        &PreprocessConfig::graphsd("").with_intervals(4),
+    )
+    .unwrap();
+    assert_eq!(meta.p, 4);
+    assert!(report.bytes_written > 0);
+    assert!(dir.path().join("blocks").is_dir(), "real files on disk");
+
+    let grid = GridGraph::open(storage.clone()).unwrap();
+    let mut engine = GraphSdEngine::new(grid, GraphSdConfig::full()).unwrap();
+    let result = engine.run(&ConnectedComponents, &RunOptions::default()).unwrap();
+
+    let graph = parse_edge_list(sample_edge_list().as_bytes()).unwrap();
+    let want = ReferenceEngine::new(&graph)
+        .run(&ConnectedComponents, &RunOptions::default())
+        .unwrap()
+        .values;
+    assert_eq!(result.values, want);
+    // The bridge 39<->40 joins everything into one component.
+    assert!(result.values.iter().all(|&l| l == 0));
+    // Real I/O was counted.
+    assert!(result.stats.io.read_bytes() > 0);
+    assert!(result.stats.io_time > std::time::Duration::ZERO);
+}
+
+#[test]
+fn format_survives_reopening_the_store() {
+    let dir = TempDir::new("gsd-reopen").unwrap();
+    let graph = parse_edge_list(sample_edge_list().as_bytes()).unwrap();
+    {
+        let storage: SharedStorage = Arc::new(FileStorage::open(dir.path()).unwrap());
+        preprocess(
+            &graph,
+            storage.as_ref(),
+            &PreprocessConfig::graphsd("").with_intervals(3),
+        )
+        .unwrap();
+    } // "process exit"
+
+    let storage: SharedStorage = Arc::new(FileStorage::open(dir.path()).unwrap());
+    let grid = GridGraph::open(storage).unwrap();
+    assert_eq!(grid.num_edges(), graph.num_edges());
+    let mut engine = GraphSdEngine::new(grid, GraphSdConfig::full()).unwrap();
+    let result = engine.run(&PageRank::with_iterations(3), &RunOptions::default()).unwrap();
+    let want = ReferenceEngine::new(&graph)
+        .run(&PageRank::with_iterations(3), &RunOptions::default())
+        .unwrap()
+        .values;
+    for (a, b) in result.values.iter().zip(want.iter()) {
+        assert!((a - b).abs() < 1e-4);
+    }
+}
+
+#[test]
+fn weighted_run_on_files() {
+    let dir = TempDir::new("gsd-weighted").unwrap();
+    let storage: SharedStorage = Arc::new(FileStorage::open(dir.path()).unwrap());
+    let text = "0 1 0.5\n1 2 0.25\n0 2 1.0\n2 3 0.125\n";
+    preprocess_text(
+        text.as_bytes(),
+        storage.as_ref(),
+        &PreprocessConfig::graphsd("").with_intervals(2),
+    )
+    .unwrap();
+    let grid = GridGraph::open(storage).unwrap();
+    assert!(grid.meta().weighted);
+    let mut engine = GraphSdEngine::new(grid, GraphSdConfig::full()).unwrap();
+    let result = engine.run(&Sssp::new(0), &RunOptions::default()).unwrap();
+    assert_eq!(result.values, vec![0.0, 0.5, 0.75, 0.875]);
+}
+
+#[test]
+fn two_formats_share_one_directory() {
+    let dir = TempDir::new("gsd-shared").unwrap();
+    let storage: SharedStorage = Arc::new(FileStorage::open(dir.path()).unwrap());
+    let graph = parse_edge_list(sample_edge_list().as_bytes()).unwrap();
+    preprocess(
+        &graph,
+        storage.as_ref(),
+        &PreprocessConfig::graphsd("main/").with_intervals(2),
+    )
+    .unwrap();
+    let (lumos_grid, _) =
+        gsd_baselines::build_lumos_format(&graph, &storage, "lumos/", Some(2)).unwrap();
+    let main = GridGraph::open_with_prefix(storage.clone(), "main/").unwrap();
+    assert_eq!(main.num_edges(), lumos_grid.num_edges());
+    assert!(main.meta().indexed);
+    assert!(!lumos_grid.meta().indexed);
+    // Keys are disjoint namespaces.
+    let keys = storage.list_keys();
+    assert!(keys.iter().any(|k| k.starts_with("main/")));
+    assert!(keys.iter().any(|k| k.starts_with("lumos/")));
+}
