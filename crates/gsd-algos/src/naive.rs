@@ -20,9 +20,7 @@ pub fn naive_pagerank(graph: &Graph, damping: f32, iterations: u32) -> Vec<f32> 
         for e in graph.edges() {
             next[e.dst as usize] += rank[e.src as usize] / deg[e.src as usize] as f64;
         }
-        for v in 0..n {
-            next[v] = (1.0 - d) + d * next[v];
-        }
+        next.iter_mut().for_each(|x| *x = (1.0 - d) + d * *x);
         std::mem::swap(&mut rank, &mut next);
     }
     rank.into_iter().map(|x| x as f32).collect()
@@ -152,7 +150,10 @@ mod tests {
     #[test]
     fn bfs_depths() {
         let mut b = GraphBuilder::new();
-        b.add_edge(0, 1).add_edge(1, 2).add_edge(0, 2).ensure_vertices(4);
+        b.add_edge(0, 1)
+            .add_edge(1, 2)
+            .add_edge(0, 2)
+            .ensure_vertices(4);
         let d = naive_bfs(&b.build(), 0);
         assert_eq!(d, vec![0, 1, 1, u32::MAX]);
     }

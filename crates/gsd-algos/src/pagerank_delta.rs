@@ -74,7 +74,13 @@ impl VertexProgram for PageRankDelta {
     }
 
     #[inline]
-    fn apply(&self, _v: u32, old: (f32, f32), accum: f32, _ctx: &ProgramContext) -> Option<(f32, f32)> {
+    fn apply(
+        &self,
+        _v: u32,
+        old: (f32, f32),
+        accum: f32,
+        _ctx: &ProgramContext,
+    ) -> Option<(f32, f32)> {
         let delta = self.damping * accum;
         if delta.abs() > self.threshold {
             Some((old.0 + delta, delta))
@@ -127,7 +133,10 @@ mod tests {
         let first = result.stats.per_iteration.first().unwrap().frontier;
         let last = result.stats.per_iteration.last().unwrap().frontier;
         assert_eq!(first, 500);
-        assert!(last < first / 4, "frontier should shrink: {first} -> {last}");
+        assert!(
+            last < first / 4,
+            "frontier should shrink: {first} -> {last}"
+        );
     }
 
     #[test]
@@ -152,6 +161,9 @@ mod tests {
             ..PageRankDelta::paper()
         };
         let (result, _) = engine.run_traced(&prd, &RunOptions::default());
-        assert_eq!(result.stats.iterations, 20, "zero threshold never converges early");
+        assert_eq!(
+            result.stats.iterations, 20,
+            "zero threshold never converges early"
+        );
     }
 }

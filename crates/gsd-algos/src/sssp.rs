@@ -81,7 +81,12 @@ mod tests {
             if want[v].is_infinite() {
                 assert!(got[v].is_infinite(), "vertex {v} should be unreachable");
             } else {
-                assert!((got[v] - want[v]).abs() < 1e-4, "vertex {v}: {} vs {}", got[v], want[v]);
+                assert!(
+                    (got[v] - want[v]).abs() < 1e-4,
+                    "vertex {v}: {} vs {}",
+                    got[v],
+                    want[v]
+                );
             }
         }
     }

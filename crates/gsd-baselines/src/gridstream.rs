@@ -7,11 +7,12 @@
 
 use gsd_graph::GridGraph;
 use gsd_io::IoStatsSnapshot;
-use gsd_runtime::kernels::{apply_range, scatter_edges};
+use gsd_runtime::kernels::{apply_range_timed, scatter_edges_timed};
 use gsd_runtime::{
-    Capabilities, Engine, Frontier, IoAccessModel, IterationStats,
-    ProgramContext, RunOptions, RunResult, RunStats, ValueArray, VertexProgram, VertexValueFile,
+    Capabilities, Engine, Frontier, IoAccessModel, IterationStats, ProgramContext, RunOptions,
+    RunResult, RunStats, ValueArray, VertexProgram, VertexValueFile,
 };
+use gsd_trace::{TraceEvent, TraceSink};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -19,6 +20,7 @@ use std::time::{Duration, Instant};
 pub struct GridStreamEngine {
     grid: GridGraph,
     degrees: Arc<Vec<u32>>,
+    trace: Arc<dyn TraceSink>,
 }
 
 impl GridStreamEngine {
@@ -26,7 +28,17 @@ impl GridStreamEngine {
     /// indexes are needed).
     pub fn new(grid: GridGraph) -> std::io::Result<Self> {
         let degrees = Arc::new(grid.load_out_degrees()?);
-        Ok(GridStreamEngine { grid, degrees })
+        Ok(GridStreamEngine {
+            grid,
+            degrees,
+            trace: gsd_trace::null_sink(),
+        })
+    }
+
+    /// Routes the engine's trace events to `trace`. The default is a
+    /// disabled [`gsd_trace::NullSink`].
+    pub fn set_trace(&mut self, trace: Arc<dyn TraceSink>) {
+        self.trace = trace;
     }
 
     /// The underlying grid.
@@ -75,26 +87,49 @@ impl Engine for GridStreamEngine {
         let mut frontier = program.initial_frontier(&ctx).build(n)?;
         let mut vfile = VertexValueFile::ensure(
             storage.as_ref(),
-            format!("{}runtime/values_{}.bin", grid.prefix(), program.value_bytes()),
+            format!(
+                "{}runtime/values_{}.bin",
+                grid.prefix(),
+                program.value_bytes()
+            ),
             n as u64 * program.value_bytes(),
         )?;
 
         let run_snap = storage.stats().snapshot();
         let mut scratch = Vec::new();
         let mut edges = Vec::new();
+        let value_file_bytes = n as u64 * program.value_bytes();
+        if self.trace.enabled() {
+            self.trace.emit(&TraceEvent::RunStart {
+                engine: "gridstream",
+                algorithm: program.name().to_string(),
+            });
+        }
 
         for iter in 1..=limit {
             if frontier.is_empty() {
                 break;
             }
+            if self.trace.enabled() {
+                self.trace
+                    .emit(&TraceEvent::IterationStart { iteration: iter });
+            }
             let frontier_size = frontier.count();
             let iter_snap: IoStatsSnapshot = storage.stats().snapshot();
             let mut io_wall = Duration::ZERO;
             let mut compute = Duration::ZERO;
+            let mut scatter_t = Duration::ZERO;
+            let mut apply_t = Duration::ZERO;
 
             let t = Instant::now();
             vfile.read_all(storage.as_ref())?;
             io_wall += t.elapsed();
+            if self.trace.enabled() {
+                self.trace.emit(&TraceEvent::ValueFlush {
+                    bytes: value_file_bytes,
+                    write: false,
+                });
+            }
 
             let t = Instant::now();
             values_cur.copy_from(&values_prev);
@@ -109,12 +144,29 @@ impl Engine for GridStreamEngine {
                     let t = Instant::now();
                     grid.read_block_into(i, j, &mut scratch, &mut edges)?;
                     io_wall += t.elapsed();
+                    if self.trace.enabled() {
+                        self.trace.emit(&TraceEvent::BlockLoad {
+                            i,
+                            j,
+                            bytes: grid.meta().block_bytes(i, j),
+                            seq: true,
+                        });
+                    }
                     let t = Instant::now();
-                    scatter_edges(program, &ctx, &edges, Some(&frontier), &values_prev, &accum, &touched);
+                    scatter_edges_timed(
+                        program,
+                        &ctx,
+                        &edges,
+                        Some(&frontier),
+                        &values_prev,
+                        &accum,
+                        &touched,
+                        &mut scatter_t,
+                    );
                     compute += t.elapsed();
                 }
                 let t = Instant::now();
-                apply_range(
+                apply_range_timed(
                     program,
                     &ctx,
                     grid.intervals().range(j),
@@ -123,6 +175,7 @@ impl Engine for GridStreamEngine {
                     &accum,
                     &values_cur,
                     &out,
+                    &mut apply_t,
                 );
                 compute += t.elapsed();
             }
@@ -130,6 +183,12 @@ impl Engine for GridStreamEngine {
             let t = Instant::now();
             vfile.write_all(storage.as_ref())?;
             io_wall += t.elapsed();
+            if self.trace.enabled() {
+                self.trace.emit(&TraceEvent::ValueFlush {
+                    bytes: value_file_bytes,
+                    write: true,
+                });
+            }
 
             values_prev.copy_from(&values_cur);
             touched.clear();
@@ -141,6 +200,17 @@ impl Engine for GridStreamEngine {
             } else {
                 io_wall
             };
+            if self.trace.enabled() {
+                self.trace.emit(&TraceEvent::IterationEnd {
+                    iteration: iter,
+                    model: crate::trace_model(IoAccessModel::Full),
+                    frontier: frontier_size,
+                    bytes_read: io.read_bytes(),
+                    scatter_us: scatter_t.as_micros() as u64,
+                    apply_us: apply_t.as_micros() as u64,
+                    io_wait_us: io_wall.as_micros() as u64,
+                });
+            }
             stats.push_iteration(IterationStats {
                 iteration: iter,
                 model: IoAccessModel::Full,
@@ -148,10 +218,19 @@ impl Engine for GridStreamEngine {
                 io,
                 io_time,
                 compute_time: compute,
+                scatter_time: scatter_t,
+                apply_time: apply_t,
+                io_wait_time: io_wall,
                 cross_iteration: false,
             });
         }
 
+        if self.trace.enabled() {
+            self.trace.emit(&TraceEvent::RunEnd {
+                engine: "gridstream",
+                iterations: stats.iterations,
+            });
+        }
         stats.io = storage.stats().snapshot().since(&run_snap);
         Ok(RunResult {
             values: values_prev.snapshot(),
@@ -174,9 +253,17 @@ mod tests {
             .generate()
             .symmetrized();
         let storage: SharedStorage = Arc::new(SimDisk::new(DiskModel::hdd()));
-        preprocess(&g, storage.as_ref(), &PreprocessConfig::graphsd("").with_intervals(3)).unwrap();
+        preprocess(
+            &g,
+            storage.as_ref(),
+            &PreprocessConfig::graphsd("").with_intervals(3),
+        )
+        .unwrap();
         let mut engine = GridStreamEngine::new(GridGraph::open(storage).unwrap()).unwrap();
-        let got = engine.run(&ConnectedComponents, &RunOptions::default()).unwrap().values;
+        let got = engine
+            .run(&ConnectedComponents, &RunOptions::default())
+            .unwrap()
+            .values;
         let want = ReferenceEngine::new(&g)
             .run(&ConnectedComponents, &RunOptions::default())
             .unwrap()
@@ -188,9 +275,16 @@ mod tests {
     fn reads_whole_graph_every_iteration() {
         let g = GeneratorConfig::new(GraphKind::RMat, 300, 3000, 5).generate();
         let storage: SharedStorage = Arc::new(SimDisk::new(DiskModel::hdd()));
-        preprocess(&g, storage.as_ref(), &PreprocessConfig::graphsd("").with_intervals(2)).unwrap();
+        preprocess(
+            &g,
+            storage.as_ref(),
+            &PreprocessConfig::graphsd("").with_intervals(2),
+        )
+        .unwrap();
         let mut engine = GridStreamEngine::new(GridGraph::open(storage).unwrap()).unwrap();
-        let result = engine.run(&PageRank::with_iterations(3), &RunOptions::default()).unwrap();
+        let result = engine
+            .run(&PageRank::with_iterations(3), &RunOptions::default())
+            .unwrap();
         let edge_bytes = engine.grid().meta().total_edge_bytes();
         // Each of the 3 iterations must read at least the full edge set.
         assert!(result.stats.io.read_bytes() >= 3 * edge_bytes);

@@ -21,11 +21,12 @@
 
 use gsd_graph::{preprocess, Graph, GridGraph, PreprocessConfig, PreprocessReport};
 use gsd_io::Storage;
-use gsd_runtime::kernels::{apply_range, scatter_edges};
+use gsd_runtime::kernels::{apply_range_timed, scatter_edges_timed};
 use gsd_runtime::{
-    Capabilities, Engine, Frontier, IoAccessModel, IterationStats,
-    ProgramContext, RunOptions, RunResult, RunStats, ValueArray, VertexProgram, VertexValueFile,
+    Capabilities, Engine, Frontier, IoAccessModel, IterationStats, ProgramContext, RunOptions,
+    RunResult, RunStats, ValueArray, VertexProgram, VertexValueFile,
 };
+use gsd_trace::{TraceEvent, TraceSink};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -87,25 +88,29 @@ pub struct HusGraphEngine {
     /// bandwidth gap.
     pub rop_amplification: u64,
     index_gap: u32,
+    trace: Arc<dyn TraceSink>,
 }
 
 impl HusGraphEngine {
     /// Opens the engine over a [`HusFormat`].
     pub fn new(format: HusFormat) -> std::io::Result<Self> {
         let degrees = Arc::new(format.row.load_out_degrees()?);
-        let disk = format
-            .row
-            .storage()
-            .disk_model()
-            .unwrap_or_default();
-        let index_gap =
-            ((disk.seek_latency.as_secs_f64() * disk.seq_read_bps / 4.0) as u64).clamp(1, u32::MAX as u64) as u32;
+        let disk = format.row.storage().disk_model().unwrap_or_default();
+        let index_gap = ((disk.seek_latency.as_secs_f64() * disk.seq_read_bps / 4.0) as u64)
+            .clamp(1, u32::MAX as u64) as u32;
         Ok(HusGraphEngine {
             format,
             degrees,
             rop_amplification: 16,
             index_gap,
+            trace: gsd_trace::null_sink(),
         })
+    }
+
+    /// Routes the engine's trace events to `trace`. The default is a
+    /// disabled [`gsd_trace::NullSink`].
+    pub fn set_trace(&mut self, trace: Arc<dyn TraceSink>) {
+        self.trace = trace;
     }
 
     /// The row copy.
@@ -170,22 +175,40 @@ impl Engine for HusGraphEngine {
         let mut frontier = program.initial_frontier(&ctx).build(n)?;
         let mut vfile = VertexValueFile::ensure(
             storage.as_ref(),
-            format!("{}runtime/values_{}.bin", row.prefix(), program.value_bytes()),
+            format!(
+                "{}runtime/values_{}.bin",
+                row.prefix(),
+                program.value_bytes()
+            ),
             n as u64 * program.value_bytes(),
         )?;
 
         let run_snap = storage.stats().snapshot();
         let mut scratch = Vec::new();
         let mut edges: Vec<gsd_graph::Edge> = Vec::new();
+        let per_edge = row.codec().edge_bytes() as u64;
+        let value_file_bytes = n as u64 * program.value_bytes();
+        if self.trace.enabled() {
+            self.trace.emit(&TraceEvent::RunStart {
+                engine: "hus-graph",
+                algorithm: program.name().to_string(),
+            });
+        }
 
         for iter in 1..=limit {
             if frontier.is_empty() {
                 break;
             }
+            if self.trace.enabled() {
+                self.trace
+                    .emit(&TraceEvent::IterationStart { iteration: iter });
+            }
             let frontier_size = frontier.count();
             let iter_snap = storage.stats().snapshot();
             let mut io_wall = Duration::ZERO;
             let mut compute = Duration::ZERO;
+            let mut scatter_t = Duration::ZERO;
+            let mut apply_t = Duration::ZERO;
 
             // Hybrid decision: coarse volume threshold (no seq/ran split,
             // no calibrated bandwidths — GraphSD's refinement over this).
@@ -195,6 +218,12 @@ impl Engine for HusGraphEngine {
             let t = Instant::now();
             vfile.read_all(storage.as_ref())?;
             io_wall += t.elapsed();
+            if self.trace.enabled() {
+                self.trace.emit(&TraceEvent::ValueFlush {
+                    bytes: value_file_bytes,
+                    write: false,
+                });
+            }
 
             let t = Instant::now();
             values_cur.copy_from(&values_prev);
@@ -231,22 +260,61 @@ impl Engine for HusGraphEngine {
                                     run_len += len;
                                 } else {
                                     if run_len > 0 {
-                                        row.read_edge_run(i, j, run_start, run_len, &mut scratch, &mut edges)?;
+                                        row.read_edge_run(
+                                            i,
+                                            j,
+                                            run_start,
+                                            run_len,
+                                            &mut scratch,
+                                            &mut edges,
+                                        )?;
+                                        if self.trace.enabled() {
+                                            self.trace.emit(&TraceEvent::BlockLoad {
+                                                i,
+                                                j,
+                                                bytes: run_len as u64 * per_edge,
+                                                seq: false,
+                                            });
+                                        }
                                     }
                                     run_start = r.start;
                                     run_len = len;
                                 }
                             }
                             if run_len > 0 {
-                                row.read_edge_run(i, j, run_start, run_len, &mut scratch, &mut edges)?;
+                                row.read_edge_run(
+                                    i,
+                                    j,
+                                    run_start,
+                                    run_len,
+                                    &mut scratch,
+                                    &mut edges,
+                                )?;
+                                if self.trace.enabled() {
+                                    self.trace.emit(&TraceEvent::BlockLoad {
+                                        i,
+                                        j,
+                                        bytes: run_len as u64 * per_edge,
+                                        seq: false,
+                                    });
+                                }
                             }
                         }
                         io_wall += t.elapsed();
                     }
                 }
                 let t = Instant::now();
-                scatter_edges(program, &ctx, &edges, None, &values_prev, &accum, &touched);
-                apply_range(
+                scatter_edges_timed(
+                    program,
+                    &ctx,
+                    &edges,
+                    None,
+                    &values_prev,
+                    &accum,
+                    &touched,
+                    &mut scatter_t,
+                );
+                apply_range_timed(
                     program,
                     &ctx,
                     0..n,
@@ -255,6 +323,7 @@ impl Engine for HusGraphEngine {
                     &accum,
                     &values_cur,
                     &out,
+                    &mut apply_t,
                 );
                 compute += t.elapsed();
             } else {
@@ -267,12 +336,29 @@ impl Engine for HusGraphEngine {
                         let t = Instant::now();
                         col.read_block_into(i, j, &mut scratch, &mut edges)?;
                         io_wall += t.elapsed();
+                        if self.trace.enabled() {
+                            self.trace.emit(&TraceEvent::BlockLoad {
+                                i,
+                                j,
+                                bytes: col.meta().block_bytes(i, j),
+                                seq: true,
+                            });
+                        }
                         let t = Instant::now();
-                        scatter_edges(program, &ctx, &edges, Some(&frontier), &values_prev, &accum, &touched);
+                        scatter_edges_timed(
+                            program,
+                            &ctx,
+                            &edges,
+                            Some(&frontier),
+                            &values_prev,
+                            &accum,
+                            &touched,
+                            &mut scatter_t,
+                        );
                         compute += t.elapsed();
                     }
                     let t = Instant::now();
-                    apply_range(
+                    apply_range_timed(
                         program,
                         &ctx,
                         col.intervals().range(j),
@@ -281,6 +367,7 @@ impl Engine for HusGraphEngine {
                         &accum,
                         &values_cur,
                         &out,
+                        &mut apply_t,
                     );
                     compute += t.elapsed();
                 }
@@ -289,19 +376,37 @@ impl Engine for HusGraphEngine {
             let t = Instant::now();
             vfile.write_all(storage.as_ref())?;
             io_wall += t.elapsed();
+            if self.trace.enabled() {
+                self.trace.emit(&TraceEvent::ValueFlush {
+                    bytes: value_file_bytes,
+                    write: true,
+                });
+            }
 
             values_prev.copy_from(&values_cur);
             touched.clear();
             frontier = out;
 
+            let model = if use_rop {
+                IoAccessModel::OnDemand
+            } else {
+                IoAccessModel::Full
+            };
             let io = storage.stats().snapshot().since(&iter_snap);
+            if self.trace.enabled() {
+                self.trace.emit(&TraceEvent::IterationEnd {
+                    iteration: iter,
+                    model: crate::trace_model(model),
+                    frontier: frontier_size,
+                    bytes_read: io.read_bytes(),
+                    scatter_us: scatter_t.as_micros() as u64,
+                    apply_us: apply_t.as_micros() as u64,
+                    io_wait_us: io_wall.as_micros() as u64,
+                });
+            }
             stats.push_iteration(IterationStats {
                 iteration: iter,
-                model: if use_rop {
-                    IoAccessModel::OnDemand
-                } else {
-                    IoAccessModel::Full
-                },
+                model,
                 frontier: frontier_size,
                 io,
                 io_time: if io.sim_nanos > 0 {
@@ -310,10 +415,19 @@ impl Engine for HusGraphEngine {
                     io_wall
                 },
                 compute_time: compute,
+                scatter_time: scatter_t,
+                apply_time: apply_t,
+                io_wait_time: io_wall,
                 cross_iteration: false,
             });
         }
 
+        if self.trace.enabled() {
+            self.trace.emit(&TraceEvent::RunEnd {
+                engine: "hus-graph",
+                iterations: stats.iterations,
+            });
+        }
         stats.io = storage.stats().snapshot().since(&run_snap);
         Ok(RunResult {
             values: values_prev.snapshot(),
@@ -342,7 +456,10 @@ mod tests {
             .generate()
             .symmetrized();
         let mut engine = setup(&g, 4);
-        let got = engine.run(&ConnectedComponents, &RunOptions::default()).unwrap().values;
+        let got = engine
+            .run(&ConnectedComponents, &RunOptions::default())
+            .unwrap()
+            .values;
         let want = ReferenceEngine::new(&g)
             .run(&ConnectedComponents, &RunOptions::default())
             .unwrap()
@@ -356,7 +473,10 @@ mod tests {
             .weighted()
             .generate();
         let mut engine = setup(&g, 3);
-        let got = engine.run(&Sssp::new(0), &RunOptions::default()).unwrap().values;
+        let got = engine
+            .run(&Sssp::new(0), &RunOptions::default())
+            .unwrap()
+            .values;
         let want = ReferenceEngine::new(&g)
             .run(&Sssp::new(0), &RunOptions::default())
             .unwrap()
@@ -374,7 +494,10 @@ mod tests {
     fn matches_reference_on_pagerank() {
         let g = GeneratorConfig::new(GraphKind::RMat, 400, 3200, 23).generate();
         let mut engine = setup(&g, 4);
-        let got = engine.run(&PageRank::paper(), &RunOptions::default()).unwrap().values;
+        let got = engine
+            .run(&PageRank::paper(), &RunOptions::default())
+            .unwrap()
+            .values;
         let want = ReferenceEngine::new(&g)
             .run(&PageRank::paper(), &RunOptions::default())
             .unwrap()
@@ -423,9 +546,15 @@ mod tests {
     fn never_reports_cross_iteration() {
         let g = GeneratorConfig::new(GraphKind::RMat, 300, 2000, 29).generate();
         let mut engine = setup(&g, 3);
-        let result = engine.run(&PageRank::paper(), &RunOptions::default()).unwrap();
+        let result = engine
+            .run(&PageRank::paper(), &RunOptions::default())
+            .unwrap();
         assert_eq!(result.stats.cross_iter_edges, 0);
-        assert!(result.stats.per_iteration.iter().all(|s| !s.cross_iteration));
+        assert!(result
+            .stats
+            .per_iteration
+            .iter()
+            .all(|s| !s.cross_iteration));
         assert!(!engine.capabilities().future_value_computation);
     }
 }

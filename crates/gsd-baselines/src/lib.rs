@@ -30,6 +30,15 @@ pub mod gridstream;
 pub mod hus;
 pub mod lumos;
 
+/// Maps the runtime's access-model enum onto the trace schema's (the
+/// trace crate sits below `gsd-runtime` and cannot name it).
+pub(crate) fn trace_model(model: gsd_runtime::IoAccessModel) -> gsd_trace::AccessModel {
+    match model {
+        gsd_runtime::IoAccessModel::OnDemand => gsd_trace::AccessModel::OnDemand,
+        gsd_runtime::IoAccessModel::Full => gsd_trace::AccessModel::Full,
+    }
+}
+
 pub use gridstream::GridStreamEngine;
 pub use hus::{build_hus_format, HusFormat, HusGraphEngine};
 pub use lumos::{build_lumos_format, LumosEngine};

@@ -12,11 +12,12 @@
 
 use gsd_graph::{preprocess, Graph, GridGraph, PreprocessConfig, PreprocessReport};
 use gsd_io::Storage;
-use gsd_runtime::kernels::{apply_range, scatter_edges};
+use gsd_runtime::kernels::{apply_range_timed, scatter_edges_timed};
 use gsd_runtime::{
-    Capabilities, Engine, Frontier, IoAccessModel, IterationStats,
-    ProgramContext, RunOptions, RunResult, RunStats, ValueArray, VertexProgram, VertexValueFile,
+    Capabilities, Engine, Frontier, IoAccessModel, IterationStats, ProgramContext, RunOptions,
+    RunResult, RunStats, ValueArray, VertexProgram, VertexValueFile,
 };
+use gsd_trace::{TraceEvent, TraceSink};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -40,13 +41,24 @@ pub fn build_lumos_format(
 pub struct LumosEngine {
     grid: GridGraph,
     degrees: Arc<Vec<u32>>,
+    trace: Arc<dyn TraceSink>,
 }
 
 impl LumosEngine {
     /// Opens the engine over any grid layout (indexes are ignored).
     pub fn new(grid: GridGraph) -> std::io::Result<Self> {
         let degrees = Arc::new(grid.load_out_degrees()?);
-        Ok(LumosEngine { grid, degrees })
+        Ok(LumosEngine {
+            grid,
+            degrees,
+            trace: gsd_trace::null_sink(),
+        })
+    }
+
+    /// Routes the engine's trace events to `trace`. The default is a
+    /// disabled [`gsd_trace::NullSink`].
+    pub fn set_trace(&mut self, trace: Arc<dyn TraceSink>) {
+        self.trace = trace;
     }
 
     /// The underlying grid.
@@ -121,7 +133,11 @@ impl Engine for LumosEngine {
         };
         let mut vfile = VertexValueFile::ensure(
             storage.as_ref(),
-            format!("{}runtime/values_{}.bin", grid.prefix(), program.value_bytes()),
+            format!(
+                "{}runtime/values_{}.bin",
+                grid.prefix(),
+                program.value_bytes()
+            ),
             n as u64 * program.value_bytes(),
         )?;
 
@@ -129,20 +145,40 @@ impl Engine for LumosEngine {
         let mut scratch = Vec::new();
         let mut edges = Vec::new();
         let mut cross_iter_edges = 0u64;
+        let value_file_bytes = n as u64 * program.value_bytes();
+        if self.trace.enabled() {
+            self.trace.emit(&TraceEvent::RunStart {
+                engine: "lumos",
+                algorithm: program.name().to_string(),
+            });
+        }
 
         let mut iter = 1u32;
         while iter <= limit && !st.frontier.is_empty() {
             let two_pass = iter < limit;
 
             // ---------------- pass 1: iteration `iter` ----------------
+            if self.trace.enabled() {
+                self.trace
+                    .emit(&TraceEvent::IterationStart { iteration: iter });
+            }
             let frontier_size = st.frontier.count();
             let iter_snap = storage.stats().snapshot();
             let mut io_wall = Duration::ZERO;
             let mut compute = Duration::ZERO;
+            let mut scatter_t = Duration::ZERO;
+            let mut apply_t = Duration::ZERO;
+            let mut pass_edges_served = 0u64;
 
             let t = Instant::now();
             vfile.read_all(storage.as_ref())?;
             io_wall += t.elapsed();
+            if self.trace.enabled() {
+                self.trace.emit(&TraceEvent::ValueFlush {
+                    bytes: value_file_bytes,
+                    write: false,
+                });
+            }
 
             let t = Instant::now();
             st.values_cur.copy_from(&st.values_prev);
@@ -158,9 +194,17 @@ impl Engine for LumosEngine {
                     let t = Instant::now();
                     grid.read_block_into(i, j, &mut scratch, &mut edges)?;
                     io_wall += t.elapsed();
+                    if self.trace.enabled() {
+                        self.trace.emit(&TraceEvent::BlockLoad {
+                            i,
+                            j,
+                            bytes: grid.meta().block_bytes(i, j),
+                            seq: true,
+                        });
+                    }
 
                     let t = Instant::now();
-                    scatter_edges(
+                    scatter_edges_timed(
                         program,
                         &ctx,
                         &edges,
@@ -168,10 +212,11 @@ impl Engine for LumosEngine {
                         &st.values_prev,
                         &st.accum_cur,
                         &st.touched_cur,
+                        &mut scatter_t,
                     );
                     if two_pass {
                         if i < j {
-                            cross_iter_edges += scatter_edges(
+                            let served = scatter_edges_timed(
                                 program,
                                 &ctx,
                                 &edges,
@@ -179,7 +224,10 @@ impl Engine for LumosEngine {
                                 &st.values_cur,
                                 &st.accum_next,
                                 &st.touched_next,
+                                &mut scatter_t,
                             );
+                            cross_iter_edges += served;
+                            pass_edges_served += served;
                         } else if i == j {
                             diag = Some(edges.clone());
                         }
@@ -187,7 +235,7 @@ impl Engine for LumosEngine {
                     compute += t.elapsed();
                 }
                 let t = Instant::now();
-                apply_range(
+                apply_range_timed(
                     program,
                     &ctx,
                     grid.intervals().range(j),
@@ -196,9 +244,10 @@ impl Engine for LumosEngine {
                     &st.accum_cur,
                     &st.values_cur,
                     &out,
+                    &mut apply_t,
                 );
                 if let Some(diag) = diag {
-                    cross_iter_edges += scatter_edges(
+                    let served = scatter_edges_timed(
                         program,
                         &ctx,
                         &diag,
@@ -206,17 +255,43 @@ impl Engine for LumosEngine {
                         &st.values_cur,
                         &st.accum_next,
                         &st.touched_next,
+                        &mut scatter_t,
                     );
+                    cross_iter_edges += served;
+                    pass_edges_served += served;
                 }
                 compute += t.elapsed();
+            }
+            if two_pass && self.trace.enabled() {
+                self.trace.emit(&TraceEvent::FciuPass {
+                    iteration: iter,
+                    edges_served: pass_edges_served,
+                });
             }
 
             let t = Instant::now();
             vfile.write_all(storage.as_ref())?;
             io_wall += t.elapsed();
+            if self.trace.enabled() {
+                self.trace.emit(&TraceEvent::ValueFlush {
+                    bytes: value_file_bytes,
+                    write: true,
+                });
+            }
 
             st.rotate(out, zero);
             let io = storage.stats().snapshot().since(&iter_snap);
+            if self.trace.enabled() {
+                self.trace.emit(&TraceEvent::IterationEnd {
+                    iteration: iter,
+                    model: crate::trace_model(IoAccessModel::Full),
+                    frontier: frontier_size,
+                    bytes_read: io.read_bytes(),
+                    scatter_us: scatter_t.as_micros() as u64,
+                    apply_us: apply_t.as_micros() as u64,
+                    io_wait_us: io_wall.as_micros() as u64,
+                });
+            }
             stats.push_iteration(IterationStats {
                 iteration: iter,
                 model: IoAccessModel::Full,
@@ -228,6 +303,9 @@ impl Engine for LumosEngine {
                     io_wall
                 },
                 compute_time: compute,
+                scatter_time: scatter_t,
+                apply_time: apply_t,
+                io_wait_time: io_wall,
                 cross_iteration: false,
             });
 
@@ -237,14 +315,27 @@ impl Engine for LumosEngine {
             }
 
             // ------------- pass 2: iteration `iter + 1` -------------
+            if self.trace.enabled() {
+                self.trace.emit(&TraceEvent::IterationStart {
+                    iteration: iter + 1,
+                });
+            }
             let frontier_size = st.frontier.count();
             let iter_snap = storage.stats().snapshot();
             let mut io_wall = Duration::ZERO;
             let mut compute = Duration::ZERO;
+            let mut scatter_t = Duration::ZERO;
+            let mut apply_t = Duration::ZERO;
 
             let t = Instant::now();
             vfile.read_all(storage.as_ref())?;
             io_wall += t.elapsed();
+            if self.trace.enabled() {
+                self.trace.emit(&TraceEvent::ValueFlush {
+                    bytes: value_file_bytes,
+                    write: false,
+                });
+            }
 
             let t = Instant::now();
             st.values_cur.copy_from(&st.values_prev);
@@ -259,8 +350,16 @@ impl Engine for LumosEngine {
                     let t = Instant::now();
                     grid.read_block_into(i, j, &mut scratch, &mut edges)?;
                     io_wall += t.elapsed();
+                    if self.trace.enabled() {
+                        self.trace.emit(&TraceEvent::BlockLoad {
+                            i,
+                            j,
+                            bytes: grid.meta().block_bytes(i, j),
+                            seq: true,
+                        });
+                    }
                     let t = Instant::now();
-                    scatter_edges(
+                    scatter_edges_timed(
                         program,
                         &ctx,
                         &edges,
@@ -268,11 +367,12 @@ impl Engine for LumosEngine {
                         &st.values_prev,
                         &st.accum_cur,
                         &st.touched_cur,
+                        &mut scatter_t,
                     );
                     compute += t.elapsed();
                 }
                 let t = Instant::now();
-                apply_range(
+                apply_range_timed(
                     program,
                     &ctx,
                     grid.intervals().range(j),
@@ -281,6 +381,7 @@ impl Engine for LumosEngine {
                     &st.accum_cur,
                     &st.values_cur,
                     &out,
+                    &mut apply_t,
                 );
                 compute += t.elapsed();
             }
@@ -288,9 +389,26 @@ impl Engine for LumosEngine {
             let t = Instant::now();
             vfile.write_all(storage.as_ref())?;
             io_wall += t.elapsed();
+            if self.trace.enabled() {
+                self.trace.emit(&TraceEvent::ValueFlush {
+                    bytes: value_file_bytes,
+                    write: true,
+                });
+            }
 
             st.rotate(out, zero);
             let io = storage.stats().snapshot().since(&iter_snap);
+            if self.trace.enabled() {
+                self.trace.emit(&TraceEvent::IterationEnd {
+                    iteration: iter + 1,
+                    model: crate::trace_model(IoAccessModel::Full),
+                    frontier: frontier_size,
+                    bytes_read: io.read_bytes(),
+                    scatter_us: scatter_t.as_micros() as u64,
+                    apply_us: apply_t.as_micros() as u64,
+                    io_wait_us: io_wall.as_micros() as u64,
+                });
+            }
             stats.push_iteration(IterationStats {
                 iteration: iter + 1,
                 model: IoAccessModel::Full,
@@ -302,11 +420,20 @@ impl Engine for LumosEngine {
                     io_wall
                 },
                 compute_time: compute,
+                scatter_time: scatter_t,
+                apply_time: apply_t,
+                io_wait_time: io_wall,
                 cross_iteration: true,
             });
             iter += 2;
         }
 
+        if self.trace.enabled() {
+            self.trace.emit(&TraceEvent::RunEnd {
+                engine: "lumos",
+                iterations: stats.iterations,
+            });
+        }
         stats.io = storage.stats().snapshot().since(&run_snap);
         stats.cross_iter_edges = cross_iter_edges;
         Ok(RunResult {
@@ -337,7 +464,10 @@ mod tests {
             .generate()
             .symmetrized();
         let mut engine = setup(&g, 4);
-        let got = engine.run(&ConnectedComponents, &RunOptions::default()).unwrap().values;
+        let got = engine
+            .run(&ConnectedComponents, &RunOptions::default())
+            .unwrap()
+            .values;
         let want = ReferenceEngine::new(&g)
             .run(&ConnectedComponents, &RunOptions::default())
             .unwrap()
@@ -351,7 +481,10 @@ mod tests {
             .weighted()
             .generate();
         let mut engine = setup(&g, 3);
-        let got = engine.run(&Sssp::new(0), &RunOptions::default()).unwrap().values;
+        let got = engine
+            .run(&Sssp::new(0), &RunOptions::default())
+            .unwrap()
+            .values;
         let want = ReferenceEngine::new(&g)
             .run(&Sssp::new(0), &RunOptions::default())
             .unwrap()
@@ -369,7 +502,10 @@ mod tests {
     fn matches_reference_on_pagerank() {
         let g = GeneratorConfig::new(GraphKind::RMat, 400, 3200, 11).generate();
         let mut engine = setup(&g, 4);
-        let got = engine.run(&PageRank::paper(), &RunOptions::default()).unwrap().values;
+        let got = engine
+            .run(&PageRank::paper(), &RunOptions::default())
+            .unwrap()
+            .values;
         let want = ReferenceEngine::new(&g)
             .run(&PageRank::paper(), &RunOptions::default())
             .unwrap()
@@ -403,6 +539,9 @@ mod tests {
         let edge_bytes = engine.grid().meta().total_edge_bytes();
         // Per committed iteration it reads at least ~half the edge set
         // (full sweep then secondary), far more than the frontier needs.
-        assert!(result.stats.io.read_bytes() as f64 >= 0.5 * edge_bytes as f64 * result.stats.iterations as f64);
+        assert!(
+            result.stats.io.read_bytes() as f64
+                >= 0.5 * edge_bytes as f64 * result.stats.iterations as f64
+        );
     }
 }

@@ -16,12 +16,16 @@ fn bench_partitioning(c: &mut Criterion) {
     for &edges in &[100_000u64, 400_000] {
         let g = GeneratorConfig::new(GraphKind::RMat, (edges / 16) as u32, edges, 7).generate();
         group.throughput(Throughput::Elements(edges));
-        group.bench_with_input(BenchmarkId::new("grid_partition_sort", edges), &g, |b, g| {
-            b.iter(|| {
-                let store = MemStorage::new();
-                preprocess(g, &store, &PreprocessConfig::graphsd("").with_intervals(8)).unwrap()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("grid_partition_sort", edges),
+            &g,
+            |b, g| {
+                b.iter(|| {
+                    let store = MemStorage::new();
+                    preprocess(g, &store, &PreprocessConfig::graphsd("").with_intervals(8)).unwrap()
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -43,7 +47,9 @@ fn bench_frontier(c: &mut Criterion) {
     group.bench_function("count_full", |b| b.iter(|| f.count()));
     group.bench_function("iter_full", |b| b.iter(|| f.iter().sum::<u32>()));
     let sparse = Frontier::from_seeds(n, &(0..n).step_by(1000).collect::<Vec<_>>());
-    group.bench_function("iter_sparse_0.1pct", |b| b.iter(|| sparse.iter().sum::<u32>()));
+    group.bench_function("iter_sparse_0.1pct", |b| {
+        b.iter(|| sparse.iter().sum::<u32>())
+    });
     group.finish();
 }
 
@@ -76,17 +82,16 @@ fn bench_scheduler(c: &mut Criterion) {
     let n = 1_000_000u32;
     let degrees = vec![8u32; n as usize];
     for &active in &[1_000u32, 100_000] {
-        let frontier = Frontier::from_seeds(
-            n,
-            &(0..active).map(|k| (k * 7919) % n).collect::<Vec<_>>(),
-        );
+        let frontier =
+            Frontier::from_seeds(n, &(0..active).map(|k| (k * 7919) % n).collect::<Vec<_>>());
         group.throughput(Throughput::Elements(active as u64));
         group.bench_with_input(
             BenchmarkId::new("benefit_evaluation", active),
             &frontier,
             |b, f| {
                 b.iter(|| {
-                    let mut s = Scheduler::new(DiskModel::hdd(), 4 * n as u64, 64_000_000, 8, 256 << 10);
+                    let mut s =
+                        Scheduler::new(DiskModel::hdd(), 4 * n as u64, 64_000_000, 8, 256 << 10);
                     s.select(1, f, &degrees)
                 })
             },

@@ -1,23 +1,101 @@
 //! CLI for the paper-experiment harness.
 //!
 //! ```text
-//! experiments [ids...]        # run the named experiments (default: all)
-//! GSD_SCALE=tiny|small|medium # workload scale (default small)
+//! experiments [--trace FILE] [--verbose] [ids...]
+//!
+//! ids                         experiment ids (default: all); `e1`..`e10`
+//!                             are shorthand for fig5..fig12, ext_storage,
+//!                             ext_psweep
+//! --trace FILE                stream every trace event as JSONL to FILE
+//! --verbose                   live per-iteration table on stderr
+//! GSD_SCALE=tiny|small|medium workload scale (default small)
 //! ```
+//!
+//! Failures do not abort the batch: every requested experiment runs, a
+//! failure summary is printed at the end, and the exit status is nonzero
+//! iff at least one experiment failed.
 
 use gsd_bench::experiments::{run_by_id, ALL_IDS};
+use gsd_bench::trace::{install_trace_sink, VerboseSink};
 use gsd_bench::{Datasets, Scale};
+use gsd_trace::{FanoutSink, JsonlWriter, TraceSink};
+use std::sync::Arc;
+
+/// `e<N>` shorthand for the figure/extension experiments, in paper order.
+const ALIASES: [(&str, &str); 10] = [
+    ("e1", "fig5"),
+    ("e2", "fig6"),
+    ("e3", "fig7"),
+    ("e4", "fig8"),
+    ("e5", "fig9"),
+    ("e6", "fig10"),
+    ("e7", "fig11"),
+    ("e8", "fig12"),
+    ("e9", "ext_storage"),
+    ("e10", "ext_psweep"),
+];
+
+fn resolve(id: &str) -> &str {
+    ALIASES
+        .iter()
+        .find(|(alias, _)| *alias == id)
+        .map_or(id, |(_, full)| *full)
+}
+
+fn usage() -> ! {
+    eprintln!("usage: experiments [--trace FILE] [--verbose] [ids...]");
+    eprintln!("known ids: {}", ALL_IDS.join(" "));
+    std::process::exit(2);
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let ids: Vec<&str> = if args.is_empty() {
-        ALL_IDS.to_vec()
-    } else {
-        args.iter().map(|s| s.as_str()).collect()
+    let mut ids: Vec<&str> = Vec::new();
+    let mut trace_path: Option<&str> = None;
+    let mut verbose = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--trace" => match it.next() {
+                Some(path) => trace_path = Some(path),
+                None => usage(),
+            },
+            "--verbose" | "-v" => verbose = true,
+            "--help" | "-h" => usage(),
+            other if other.starts_with('-') => usage(),
+            other => ids.push(resolve(other)),
+        }
+    }
+    if ids.is_empty() {
+        ids = ALL_IDS.to_vec();
+    }
+
+    let mut sinks: Vec<Arc<dyn TraceSink>> = Vec::new();
+    if let Some(path) = trace_path {
+        match JsonlWriter::create(path) {
+            Ok(w) => sinks.push(Arc::new(w)),
+            Err(e) => {
+                eprintln!("# cannot create trace file {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if verbose {
+        sinks.push(Arc::new(VerboseSink::new()));
+    }
+    let sink: Option<Arc<dyn TraceSink>> = match sinks.len() {
+        0 => None,
+        1 => sinks.pop(),
+        _ => Some(Arc::new(FanoutSink::new(sinks))),
     };
+    if let Some(sink) = &sink {
+        install_trace_sink(sink.clone());
+    }
+
     let scale = Scale::from_env();
     eprintln!("# GraphSD paper experiments — scale {scale:?} (set GSD_SCALE=tiny|small|medium)");
     let ds = Datasets::load(scale);
+    let mut failures: Vec<(&str, std::io::Error)> = Vec::new();
     for id in ids {
         let started = std::time::Instant::now();
         match run_by_id(id, &ds) {
@@ -26,9 +104,19 @@ fn main() {
                 eprintln!("# [{id}] done in {:.1}s\n", started.elapsed().as_secs_f64());
             }
             Err(e) => {
-                eprintln!("# [{id}] FAILED: {e}");
-                std::process::exit(1);
+                eprintln!("# [{id}] FAILED: {e}\n");
+                failures.push((id, e));
             }
         }
+    }
+    if let Some(sink) = &sink {
+        sink.flush();
+    }
+    if !failures.is_empty() {
+        eprintln!("# {} experiment(s) failed:", failures.len());
+        for (id, e) in &failures {
+            eprintln!("#   {id}: {e}");
+        }
+        std::process::exit(1);
     }
 }

@@ -230,7 +230,10 @@ mod tests {
         assert_eq!(d.directed().num_edges(), d.edges);
         assert!(d.weighted().is_weighted());
         assert_eq!(d.weighted().num_edges(), d.edges);
-        assert!(d.symmetric().num_edges() >= d.edges, "symmetrization adds reverses");
+        assert!(
+            d.symmetric().num_edges() >= d.edges,
+            "symmetrization adds reverses"
+        );
         assert!(d.root() < d.vertices);
         // Root really is a hub.
         let deg = d.directed().out_degrees();

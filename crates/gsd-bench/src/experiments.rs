@@ -53,20 +53,27 @@ pub fn table1(ds: &Datasets) -> Table1 {
     .unwrap();
     let grid = gsd_graph::GridGraph::open(storage.clone()).unwrap();
     let (hus, _) = gsd_baselines::build_hus_format(g, &storage, "hus/", Some(4)).unwrap();
-    let (lumos_grid, _) = gsd_baselines::build_lumos_format(g, &storage, "lumos/", Some(4)).unwrap();
+    let (lumos_grid, _) =
+        gsd_baselines::build_lumos_format(g, &storage, "lumos/", Some(4)).unwrap();
 
     let engines: Vec<(&'static str, gsd_runtime::Capabilities)> = vec![
         (
             "GridGraph (ours)",
-            gsd_baselines::GridStreamEngine::new(grid.clone()).unwrap().capabilities(),
+            gsd_baselines::GridStreamEngine::new(grid.clone())
+                .unwrap()
+                .capabilities(),
         ),
         (
             "HUS-Graph (ours)",
-            gsd_baselines::HusGraphEngine::new(hus).unwrap().capabilities(),
+            gsd_baselines::HusGraphEngine::new(hus)
+                .unwrap()
+                .capabilities(),
         ),
         (
             "Lumos (ours)",
-            gsd_baselines::LumosEngine::new(lumos_grid).unwrap().capabilities(),
+            gsd_baselines::LumosEngine::new(lumos_grid)
+                .unwrap()
+                .capabilities(),
         ),
         (
             "GraphSD",
@@ -143,7 +150,13 @@ pub fn table3(ds: &Datasets) -> Table3 {
 impl fmt::Display for Table3 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "== Table 3: datasets (scaled stand-ins) ==\n")?;
-        let mut t = Table::new(vec!["Dataset", "Stands in for", "Vertices", "Edges", "Type"]);
+        let mut t = Table::new(vec![
+            "Dataset",
+            "Stands in for",
+            "Vertices",
+            "Edges",
+            "Type",
+        ]);
         for (name, paper, v, e, kind) in &self.rows {
             t.push(vec![
                 name.clone(),
@@ -182,8 +195,14 @@ pub fn table4(ds: &Datasets) -> std::io::Result<Table4> {
 
 impl fmt::Display for Table4 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "== Table 4: GraphSD execution time (seconds, modeled) ==")?;
-        writeln!(f, "paper shape: SSSP slowest, PR/PR-D cheapest; time grows with dataset size\n")?;
+        writeln!(
+            f,
+            "== Table 4: GraphSD execution time (seconds, modeled) =="
+        )?;
+        writeln!(
+            f,
+            "paper shape: SSSP slowest, PR/PR-D cheapest; time grows with dataset size\n"
+        )?;
         let mut t = Table::new(vec!["Dataset", "PR", "PR-D", "CC", "SSSP"]);
         for (name, times) in &self.rows {
             t.push(vec![
@@ -242,8 +261,14 @@ impl Fig5 {
     /// Max speedups (vs HUS-Graph, vs Lumos).
     pub fn max_speedups(&self) -> (f64, f64) {
         (
-            self.rows.iter().map(|r| r.speedup_vs_hus()).fold(0.0, f64::max),
-            self.rows.iter().map(|r| r.speedup_vs_lumos()).fold(0.0, f64::max),
+            self.rows
+                .iter()
+                .map(|r| r.speedup_vs_hus())
+                .fold(0.0, f64::max),
+            self.rows
+                .iter()
+                .map(|r| r.speedup_vs_lumos())
+                .fold(0.0, f64::max),
         )
     }
 }
@@ -270,14 +295,15 @@ pub fn fig5(datasets: &[Dataset]) -> std::io::Result<Fig5> {
 
 impl fmt::Display for Fig5 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "== Figure 5: overall execution time, normalized to GraphSD = 1.00 ==")?;
+        writeln!(
+            f,
+            "== Figure 5: overall execution time, normalized to GraphSD = 1.00 =="
+        )?;
         writeln!(
             f,
             "paper: GraphSD wins everywhere; avg 1.7x vs HUS-Graph / 2.7x vs Lumos (up to 2.7x / 3.9x)\n"
         )?;
-        let mut t = Table::new(vec![
-            "Dataset", "Algo", "GraphSD(s)", "HUS-Graph", "Lumos",
-        ]);
+        let mut t = Table::new(vec!["Dataset", "Algo", "GraphSD(s)", "HUS-Graph", "Lumos"]);
         for r in &self.rows {
             t.push(vec![
                 r.dataset.clone(),
@@ -575,7 +601,11 @@ pub struct Fig9 {
 pub fn fig9(d: &Dataset) -> std::io::Result<Fig9> {
     let mut rows = Vec::new();
     for algo in Algo::all() {
-        for kind in [SystemKind::GraphSd, SystemKind::GraphSdB1, SystemKind::GraphSdB2] {
+        for kind in [
+            SystemKind::GraphSd,
+            SystemKind::GraphSdB1,
+            SystemKind::GraphSdB2,
+        ] {
             let outcome = run_system(kind, d, algo)?;
             rows.push(Fig9Row {
                 algo: algo.label(),
@@ -600,7 +630,10 @@ impl Fig9 {
 
 impl fmt::Display for Fig9 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "== Figure 9: effect of the update strategy, twitter_sim ==")?;
+        writeln!(
+            f,
+            "== Figure 9: effect of the update strategy, twitter_sim =="
+        )?;
         writeln!(
             f,
             "paper: full GraphSD beats b1 (no cross-iteration) by 1.7x and b2 (no selective) by 2.8x;\n\
@@ -649,18 +682,24 @@ pub struct Fig10 {
 
 /// Runs the `fig10` experiment (CC on the UKUnion stand-in in the paper).
 pub fn fig10(d: &Dataset) -> std::io::Result<Fig10> {
-    let per_iter = |kind: SystemKind| -> std::io::Result<(Vec<Duration>, Vec<gsd_runtime::IoAccessModel>)> {
-        let outcome = run_system(kind, d, Algo::Cc)?;
-        Ok((
-            outcome
-                .stats
-                .per_iteration
-                .iter()
-                .map(|s| s.io_time + s.compute_time)
-                .collect(),
-            outcome.stats.per_iteration.iter().map(|s| s.model).collect(),
-        ))
-    };
+    let per_iter =
+        |kind: SystemKind| -> std::io::Result<(Vec<Duration>, Vec<gsd_runtime::IoAccessModel>)> {
+            let outcome = run_system(kind, d, Algo::Cc)?;
+            Ok((
+                outcome
+                    .stats
+                    .per_iteration
+                    .iter()
+                    .map(|s| s.io_time + s.compute_time)
+                    .collect(),
+                outcome
+                    .stats
+                    .per_iteration
+                    .iter()
+                    .map(|s| s.model)
+                    .collect(),
+            ))
+        };
     let (adaptive, chosen) = per_iter(SystemKind::GraphSd)?;
     let (full, _) = per_iter(SystemKind::GraphSdB3)?;
     let (on_demand, _) = per_iter(SystemKind::GraphSdB4)?;
@@ -685,14 +724,28 @@ impl Fig10 {
 
 impl fmt::Display for Fig10 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "== Figure 10: per-iteration time of CC, adaptive vs fixed I/O models ==")?;
+        writeln!(
+            f,
+            "== Figure 10: per-iteration time of CC, adaptive vs fixed I/O models =="
+        )?;
         writeln!(
             f,
             "paper: the adaptive scheduler tracks the better of full (b3) and on-demand (b4) in every iteration\n"
         )?;
-        let mut t = Table::new(vec!["Iter", "Adaptive(s)", "Full/b3(s)", "OnDemand/b4(s)", "Chose"]);
-        let n = self.adaptive.len().max(self.full.len()).max(self.on_demand.len());
-        let get = |v: &Vec<Duration>, k: usize| v.get(k).map(|d| secs(*d)).unwrap_or_else(|| "-".into());
+        let mut t = Table::new(vec![
+            "Iter",
+            "Adaptive(s)",
+            "Full/b3(s)",
+            "OnDemand/b4(s)",
+            "Chose",
+        ]);
+        let n = self
+            .adaptive
+            .len()
+            .max(self.full.len())
+            .max(self.on_demand.len());
+        let get =
+            |v: &Vec<Duration>, k: usize| v.get(k).map(|d| secs(*d)).unwrap_or_else(|| "-".into());
         for k in 0..n {
             t.push(vec![
                 (k + 1).to_string(),
@@ -750,8 +803,14 @@ pub fn fig11(d: &Dataset) -> std::io::Result<Fig11> {
         rows.push(Fig11Row {
             algo: algo.label(),
             overhead: adaptive.stats.scheduler_time,
-            saved_vs_full: fixed_full.stats.io_time.saturating_sub(adaptive.stats.io_time),
-            saved_vs_on_demand: fixed_od.stats.io_time.saturating_sub(adaptive.stats.io_time),
+            saved_vs_full: fixed_full
+                .stats
+                .io_time
+                .saturating_sub(adaptive.stats.io_time),
+            saved_vs_on_demand: fixed_od
+                .stats
+                .io_time
+                .saturating_sub(adaptive.stats.io_time),
         });
     }
     Ok(Fig11 { rows })
@@ -759,7 +818,10 @@ pub fn fig11(d: &Dataset) -> std::io::Result<Fig11> {
 
 impl fmt::Display for Fig11 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "== Figure 11: scheduler overhead vs reduced I/O time, twitter_sim ==")?;
+        writeln!(
+            f,
+            "== Figure 11: scheduler overhead vs reduced I/O time, twitter_sim =="
+        )?;
         writeln!(
             f,
             "paper: overhead is negligible (e.g. PR-D: 3.4s evaluation vs 158s I/O saved)\n"
@@ -837,7 +899,10 @@ pub fn fig12(datasets: &[&Dataset]) -> std::io::Result<Fig12> {
 
 impl fmt::Display for Fig12 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "== Figure 12: effect of the sub-block buffering scheme, ukunion_sim ==")?;
+        writeln!(
+            f,
+            "== Figure 12: effect of the sub-block buffering scheme, ukunion_sim =="
+        )?;
         writeln!(f, "paper: buffering improves execution time by up to 21%\n")?;
         let mut t = Table::new(vec![
             "Dataset",
@@ -1044,6 +1109,17 @@ pub fn run_by_id(id: &str, ds: &Datasets) -> std::io::Result<String> {
 
 /// All experiment ids, in paper order (plus extensions).
 pub const ALL_IDS: [&str; 13] = [
-    "table1", "table3", "table4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
-    "fig12", "ext_storage", "ext_psweep",
+    "table1",
+    "table3",
+    "table4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "ext_storage",
+    "ext_psweep",
 ];

@@ -29,6 +29,8 @@ pub mod datasets;
 pub mod experiments;
 pub mod runner;
 pub mod table;
+pub mod trace;
 
 pub use datasets::{Dataset, Datasets, Scale};
 pub use runner::{Algo, RunOutcome, SystemKind};
+pub use trace::{current_sink, install_trace_sink, VerboseSink};

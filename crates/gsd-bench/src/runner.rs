@@ -4,7 +4,9 @@
 
 use crate::datasets::Dataset;
 use gsd_algos::{ConnectedComponents, PageRank, PageRankDelta, Sssp};
-use gsd_baselines::{build_hus_format, build_lumos_format, GridStreamEngine, HusGraphEngine, LumosEngine};
+use gsd_baselines::{
+    build_hus_format, build_lumos_format, GridStreamEngine, HusGraphEngine, LumosEngine,
+};
 use gsd_core::{GraphSdConfig, GraphSdEngine, SchedulerDecision};
 use gsd_graph::{preprocess, EdgeCodec, Graph, GridGraph, PreprocessConfig, PreprocessReport};
 use gsd_io::{DiskModel, SharedStorage, SimDisk};
@@ -241,7 +243,13 @@ pub fn run_system_on_device(
     base_disk: DiskModel,
 ) -> std::io::Result<RunOutcome> {
     let graph = algo.input(dataset);
-    run_with_disk(kind, graph, algo, dataset.root(), scaled_disk_from(base_disk, graph))
+    run_with_disk(
+        kind,
+        graph,
+        algo,
+        dataset.root(),
+        scaled_disk_from(base_disk, graph),
+    )
 }
 
 /// Like [`run_system`], on an explicit graph (used by the shape tests).
@@ -310,6 +318,7 @@ fn run_with_disk_p(
             (report, AnyEngine::Gsd(GraphSdEngine::new(grid, config)?))
         }
     };
+    engine.set_trace(crate::trace::current_sink());
     let sim_write_time = storage.stats().sim_time().saturating_sub(sim_before);
     let preprocess_outcome = PreprocessOutcome {
         report,
@@ -341,6 +350,15 @@ enum AnyEngine {
 }
 
 impl AnyEngine {
+    fn set_trace(&mut self, sink: std::sync::Arc<dyn gsd_trace::TraceSink>) {
+        match self {
+            AnyEngine::Gsd(e) => e.set_trace(sink),
+            AnyEngine::Hus(e) => e.set_trace(sink),
+            AnyEngine::Lumos(e) => e.set_trace(sink),
+            AnyEngine::Grid(e) => e.set_trace(sink),
+        }
+    }
+
     fn run_program<P: VertexProgram>(
         &mut self,
         program: &P,

@@ -1,0 +1,176 @@
+//! Process-wide trace-sink installation for the harness.
+//!
+//! The experiment entry points ([`crate::runner`]) construct engines deep
+//! inside `run_system`, far from the CLI that knows whether the user asked
+//! for a trace. Rather than threading a sink through every call signature,
+//! the binary installs one process-wide sink before running and the runner
+//! hands [`current_sink`] to every engine it builds. The default (nothing
+//! installed) is the disabled [`gsd_trace::NullSink`], so library users and
+//! tests that never call [`install_trace_sink`] pay nothing.
+
+use gsd_trace::{TraceEvent, TraceSink};
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
+
+static SINK: RwLock<Option<Arc<dyn TraceSink>>> = RwLock::new(None);
+
+/// Installs `sink` as the process-wide trace sink. Every engine built by
+/// the runner from now on emits into it. Replaces any previous sink.
+pub fn install_trace_sink(sink: Arc<dyn TraceSink>) {
+    *SINK.write().unwrap_or_else(PoisonError::into_inner) = Some(sink);
+}
+
+/// The currently installed sink, or a disabled `NullSink` if none is.
+pub fn current_sink() -> Arc<dyn TraceSink> {
+    SINK.read()
+        .unwrap_or_else(PoisonError::into_inner)
+        .clone()
+        .unwrap_or_else(gsd_trace::null_sink)
+}
+
+/// A sink that prints a live per-iteration table to stderr (`--verbose`).
+///
+/// Columns: iteration, chosen I/O model, frontier size, the scheduler's
+/// `S_seq`/`S_ran` byte estimates (blank for engines without a scheduler),
+/// bytes read, sub-block buffer hits, and the scatter / apply / I/O-wait
+/// phase times in microseconds.
+#[derive(Default)]
+pub struct VerboseSink {
+    state: Mutex<VerboseState>,
+}
+
+#[derive(Default)]
+struct VerboseState {
+    s_seq: Option<u64>,
+    s_ran: Option<u64>,
+    buffer_hits: u64,
+}
+
+impl VerboseSink {
+    /// A fresh verbose sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+fn opt(v: Option<u64>) -> String {
+    v.map_or_else(|| "-".to_string(), |x| x.to_string())
+}
+
+impl TraceSink for VerboseSink {
+    fn emit(&self, event: &TraceEvent) {
+        let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        match event {
+            TraceEvent::RunStart { engine, algorithm } => {
+                *st = VerboseState::default();
+                eprintln!("# trace: {engine} / {algorithm}");
+                eprintln!(
+                    "# {:>4}  {:>9}  {:>9}  {:>12}  {:>12}  {:>12}  {:>8}  {:>10}  {:>10}  {:>10}",
+                    "iter",
+                    "model",
+                    "frontier",
+                    "s_seq",
+                    "s_ran",
+                    "bytes_read",
+                    "buf_hits",
+                    "scatter_us",
+                    "apply_us",
+                    "io_us"
+                );
+            }
+            TraceEvent::SchedulerDecision { s_seq, s_ran, .. } => {
+                st.s_seq = Some(*s_seq);
+                st.s_ran = Some(*s_ran);
+            }
+            TraceEvent::BufferHit { .. } => st.buffer_hits += 1,
+            TraceEvent::IterationEnd {
+                iteration,
+                model,
+                frontier,
+                bytes_read,
+                scatter_us,
+                apply_us,
+                io_wait_us,
+            } => {
+                eprintln!(
+                    "# {:>4}  {:>9}  {:>9}  {:>12}  {:>12}  {:>12}  {:>8}  {:>10}  {:>10}  {:>10}",
+                    iteration,
+                    model.as_str(),
+                    frontier,
+                    opt(st.s_seq),
+                    opt(st.s_ran),
+                    bytes_read,
+                    st.buffer_hits,
+                    scatter_us,
+                    apply_us,
+                    io_wait_us
+                );
+                st.s_seq = None;
+                st.s_ran = None;
+                st.buffer_hits = 0;
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsd_trace::AccessModel;
+
+    #[test]
+    fn default_sink_is_disabled_null() {
+        // Note: relies on no other test in this process having installed a
+        // sink; install_* tests therefore install and never "uninstall".
+        let sink = current_sink();
+        // A RingRecorder installed afterwards must be returned verbatim.
+        let ring = Arc::new(gsd_trace::RingRecorder::new(4));
+        install_trace_sink(ring.clone());
+        let got = current_sink();
+        assert!(got.enabled());
+        got.emit(&TraceEvent::IterationStart { iteration: 1 });
+        assert_eq!(ring.len(), 1);
+        // The pre-install default must have been disabled.
+        assert!(!sink.enabled());
+        install_trace_sink(gsd_trace::null_sink());
+    }
+
+    #[test]
+    fn verbose_sink_tracks_decisions_and_hits() {
+        let sink = VerboseSink::new();
+        sink.emit(&TraceEvent::RunStart {
+            engine: "graphsd",
+            algorithm: "pr".to_string(),
+        });
+        sink.emit(&TraceEvent::SchedulerDecision {
+            iteration: 1,
+            s_seq: 100,
+            s_ran: 40,
+            cost_full: 1.0,
+            cost_on_demand: 0.5,
+            chosen: AccessModel::OnDemand,
+        });
+        sink.emit(&TraceEvent::BufferHit {
+            i: 0,
+            j: 0,
+            bytes: 8,
+        });
+        {
+            let st = sink.state.lock().unwrap();
+            assert_eq!(st.s_seq, Some(100));
+            assert_eq!(st.buffer_hits, 1);
+        }
+        sink.emit(&TraceEvent::IterationEnd {
+            iteration: 1,
+            model: AccessModel::OnDemand,
+            frontier: 10,
+            bytes_read: 123,
+            scatter_us: 5,
+            apply_us: 3,
+            io_wait_us: 9,
+        });
+        let st = sink.state.lock().unwrap();
+        assert_eq!(st.s_seq, None);
+        assert_eq!(st.buffer_hits, 0);
+    }
+}

@@ -9,6 +9,7 @@
 //! priority is strictly lower than the newcomer's.
 
 use gsd_graph::Edge;
+use gsd_trace::{TraceEvent, TraceSink};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -23,6 +24,7 @@ pub struct SubBlockBuffer {
     capacity: u64,
     used: u64,
     entries: HashMap<(u32, u32), Entry>,
+    trace: Arc<dyn TraceSink>,
     /// Number of reads served from the buffer.
     pub hits: u64,
     /// Bytes of storage reads avoided.
@@ -38,10 +40,17 @@ impl SubBlockBuffer {
             capacity,
             used: 0,
             entries: HashMap::new(),
+            trace: gsd_trace::null_sink(),
             hits: 0,
             hit_bytes: 0,
             evictions: 0,
         }
+    }
+
+    /// Routes [`TraceEvent::BufferHit`] / [`TraceEvent::BufferEviction`]
+    /// events to `trace`.
+    pub fn set_trace(&mut self, trace: Arc<dyn TraceSink>) {
+        self.trace = trace;
     }
 
     /// Capacity in bytes.
@@ -69,6 +78,13 @@ impl SubBlockBuffer {
         let e = self.entries.get(&(i, j))?;
         self.hits += 1;
         self.hit_bytes += e.bytes;
+        if self.trace.enabled() {
+            self.trace.emit(&TraceEvent::BufferHit {
+                i,
+                j,
+                bytes: e.bytes,
+            });
+        }
         Some(e.edges.clone())
     }
 
@@ -85,7 +101,14 @@ impl SubBlockBuffer {
     /// Otherwise lower-priority residents are evicted while the block does
     /// not fit; if the remaining residents all have priority ≥ the
     /// newcomer's, the offer is declined.
-    pub fn offer(&mut self, i: u32, j: u32, edges: Arc<Vec<Edge>>, bytes: u64, priority: u64) -> bool {
+    pub fn offer(
+        &mut self,
+        i: u32,
+        j: u32,
+        edges: Arc<Vec<Edge>>,
+        bytes: u64,
+        priority: u64,
+    ) -> bool {
         if let Some(e) = self.entries.get_mut(&(i, j)) {
             e.priority = priority;
             return true;
@@ -104,6 +127,13 @@ impl SubBlockBuffer {
                     self.entries.remove(&k);
                     self.used -= vbytes;
                     self.evictions += 1;
+                    if self.trace.enabled() {
+                        self.trace.emit(&TraceEvent::BufferEviction {
+                            i: k.0,
+                            j: k.1,
+                            bytes: vbytes,
+                        });
+                    }
                 }
                 _ => return false,
             }
@@ -185,7 +215,10 @@ mod tests {
         let mut b = SubBlockBuffer::new(200);
         assert!(b.offer(1, 0, block(1), 100, 50));
         assert!(b.offer(2, 0, block(1), 100, 60));
-        assert!(!b.offer(3, 0, block(1), 100, 10), "lower priority cannot displace");
+        assert!(
+            !b.offer(3, 0, block(1), 100, 10),
+            "lower priority cannot displace"
+        );
         assert_eq!(b.len(), 2);
         assert_eq!(b.evictions, 0);
     }

@@ -28,11 +28,12 @@ use crate::config::GraphSdConfig;
 use crate::scheduler::{Scheduler, SchedulerDecision};
 use gsd_graph::{Edge, GridGraph};
 use gsd_io::{DiskModel, IoStatsSnapshot};
-use gsd_runtime::kernels::{apply_range, scatter_edges};
+use gsd_runtime::kernels::{apply_range_timed, scatter_edges_timed};
 use gsd_runtime::{
-    Capabilities, Engine, Frontier, IoAccessModel, IterationStats,
-    ProgramContext, RunOptions, RunResult, RunStats, ValueArray, VertexProgram, VertexValueFile,
+    Capabilities, Engine, Frontier, IoAccessModel, IterationStats, ProgramContext, RunOptions,
+    RunResult, RunStats, ValueArray, VertexProgram, VertexValueFile,
 };
+use gsd_trace::{TraceEvent, TraceSink};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -42,6 +43,7 @@ pub struct GraphSdEngine {
     config: GraphSdConfig,
     disk: DiskModel,
     degrees: Arc<Vec<u32>>,
+    trace: Arc<dyn TraceSink>,
     last_decisions: Vec<SchedulerDecision>,
 }
 
@@ -70,8 +72,15 @@ impl GraphSdEngine {
             config,
             disk,
             degrees,
+            trace: gsd_trace::null_sink(),
             last_decisions: Vec::new(),
         })
+    }
+
+    /// Routes the engine's (and its scheduler's and buffer's) trace
+    /// events to `trace`. The default is a disabled [`gsd_trace::NullSink`].
+    pub fn set_trace(&mut self, trace: Arc<dyn TraceSink>) {
+        self.trace = trace;
     }
 
     /// The underlying grid.
@@ -115,11 +124,15 @@ impl Engine for GraphSdEngine {
     }
 }
 
-/// Per-iteration time/traffic tracker.
+/// Per-iteration time/traffic tracker. The `scatter`/`apply` timers are
+/// accumulated by the `*_timed` kernel wrappers *inside* the spans that
+/// feed `compute`, so they always sum to at most `compute`.
 struct IterTracker {
     io_snap: IoStatsSnapshot,
     io_wall: Duration,
     compute: Duration,
+    scatter: Duration,
+    apply: Duration,
 }
 
 struct Runner<'a, P: VertexProgram> {
@@ -143,6 +156,9 @@ struct Runner<'a, P: VertexProgram> {
     buffer: SubBlockBuffer,
     stats: RunStats,
     cross_iter_edges: u64,
+    trace: Arc<dyn TraceSink>,
+    per_edge_bytes: u64,
+    value_file_bytes: u64,
     scratch: Vec<u8>,
     /// Max id gap bridged within one index-span request
     /// (`seek · B_sr / 4` — bridging cheaper than seeking beyond this).
@@ -178,13 +194,14 @@ impl<'a, P: VertexProgram> Runner<'a, P> {
             (p as f64 * engine.disk.seek_latency.as_secs_f64() * engine.disk.seq_read_bps).max(1.0)
                 as u64
         });
-        let scheduler = Scheduler::new(
+        let mut scheduler = Scheduler::new(
             engine.disk,
             n as u64 * value_bytes,
             edge_bytes,
             per_edge,
             seq_run_threshold,
         );
+        scheduler.set_trace(engine.trace.clone());
         // The working sub-block of the FCIU pass must fit alongside the
         // buffer, so the buffer gets the budget minus the largest block.
         let budget = engine.config.budget_for(edge_bytes);
@@ -193,7 +210,8 @@ impl<'a, P: VertexProgram> Runner<'a, P> {
             .map(|(i, j)| grid.meta().block_bytes(i, j))
             .max()
             .unwrap_or(0);
-        let buffer = SubBlockBuffer::new(budget.saturating_sub(largest_block));
+        let mut buffer = SubBlockBuffer::new(budget.saturating_sub(largest_block));
+        buffer.set_trace(engine.trace.clone());
         let index_gap = (seq_run_threshold / 4).clamp(1, u32::MAX as u64) as u32;
         Ok(Runner {
             grid,
@@ -215,6 +233,9 @@ impl<'a, P: VertexProgram> Runner<'a, P> {
             buffer,
             stats: RunStats::new("graphsd", program.name()),
             cross_iter_edges: 0,
+            trace: engine.trace.clone(),
+            per_edge_bytes: per_edge,
+            value_file_bytes: n as u64 * value_bytes,
             scratch: Vec::new(),
             index_gap,
             ctx,
@@ -233,6 +254,12 @@ impl<'a, P: VertexProgram> Runner<'a, P> {
         }
         let storage = self.grid.storage().clone();
         let run_snap = storage.stats().snapshot();
+        if self.trace.enabled() {
+            self.trace.emit(&TraceEvent::RunStart {
+                engine: "graphsd",
+                algorithm: self.program.name().to_string(),
+            });
+        }
 
         let mut iter = 1u32;
         // An iteration is due while either scatter sources remain
@@ -253,6 +280,12 @@ impl<'a, P: VertexProgram> Runner<'a, P> {
             }
         }
 
+        if self.trace.enabled() {
+            self.trace.emit(&TraceEvent::RunEnd {
+                engine: "graphsd",
+                iterations: self.stats.iterations,
+            });
+        }
         self.stats.io = storage.stats().snapshot().since(&run_snap);
         self.stats.scheduler_time = self.scheduler.overhead;
         self.stats.cross_iter_edges = self.cross_iter_edges;
@@ -275,14 +308,20 @@ impl<'a, P: VertexProgram> Runner<'a, P> {
         if !self.config.enable_selective {
             return IoAccessModel::Full;
         }
-        self.scheduler.select(iteration, &self.frontier, &self.degrees)
+        self.scheduler
+            .select(iteration, &self.frontier, &self.degrees)
     }
 
-    fn begin_iter(&self) -> IterTracker {
+    fn begin_iter(&self, iteration: u32) -> IterTracker {
+        if self.trace.enabled() {
+            self.trace.emit(&TraceEvent::IterationStart { iteration });
+        }
         IterTracker {
             io_snap: self.grid.storage().stats().snapshot(),
             io_wall: Duration::ZERO,
             compute: Duration::ZERO,
+            scatter: Duration::ZERO,
+            apply: Duration::ZERO,
         }
     }
 
@@ -294,12 +333,28 @@ impl<'a, P: VertexProgram> Runner<'a, P> {
         frontier: u64,
         cross_iteration: bool,
     ) {
-        let io = self.grid.storage().stats().snapshot().since(&tracker.io_snap);
+        let io = self
+            .grid
+            .storage()
+            .stats()
+            .snapshot()
+            .since(&tracker.io_snap);
         let io_time = if io.sim_nanos > 0 {
             Duration::from_nanos(io.sim_nanos)
         } else {
             tracker.io_wall
         };
+        if self.trace.enabled() {
+            self.trace.emit(&TraceEvent::IterationEnd {
+                iteration,
+                model: crate::trace_model(model),
+                frontier,
+                bytes_read: io.read_bytes(),
+                scatter_us: tracker.scatter.as_micros() as u64,
+                apply_us: tracker.apply.as_micros() as u64,
+                io_wait_us: tracker.io_wall.as_micros() as u64,
+            });
+        }
         self.stats.push_iteration(IterationStats {
             iteration,
             model,
@@ -307,6 +362,9 @@ impl<'a, P: VertexProgram> Runner<'a, P> {
             io,
             io_time,
             compute_time: tracker.compute,
+            scatter_time: tracker.scatter,
+            apply_time: tracker.apply,
+            io_wait_time: tracker.io_wall,
             cross_iteration,
         });
     }
@@ -323,11 +381,25 @@ impl<'a, P: VertexProgram> Runner<'a, P> {
         self.frontier = out;
     }
 
-    fn load_block(&mut self, i: u32, j: u32, io_wall: &mut Duration) -> std::io::Result<Arc<Vec<Edge>>> {
+    fn load_block(
+        &mut self,
+        i: u32,
+        j: u32,
+        io_wall: &mut Duration,
+    ) -> std::io::Result<Arc<Vec<Edge>>> {
         let t = Instant::now();
         let mut edges = Vec::new();
-        self.grid.read_block_into(i, j, &mut self.scratch, &mut edges)?;
+        self.grid
+            .read_block_into(i, j, &mut self.scratch, &mut edges)?;
         *io_wall += t.elapsed();
+        if self.trace.enabled() {
+            self.trace.emit(&TraceEvent::BlockLoad {
+                i,
+                j,
+                bytes: self.grid.meta().block_bytes(i, j),
+                seq: true,
+            });
+        }
         Ok(Arc::new(edges))
     }
 
@@ -339,12 +411,18 @@ impl<'a, P: VertexProgram> Runner<'a, P> {
     fn sciu(&mut self, iter: u32) -> std::io::Result<()> {
         let storage = self.grid.storage().clone();
         let frontier_size = self.frontier.count();
-        let mut tracker = self.begin_iter();
+        let mut tracker = self.begin_iter(iter);
 
         // Stream the vertex value array in.
         let t = Instant::now();
         self.vfile.read_all(storage.as_ref())?;
         tracker.io_wall += t.elapsed();
+        if self.trace.enabled() {
+            self.trace.emit(&TraceEvent::ValueFlush {
+                bytes: self.value_file_bytes,
+                write: false,
+            });
+        }
 
         let t = Instant::now();
         self.values_cur.copy_from(&self.values_prev);
@@ -365,11 +443,9 @@ impl<'a, P: VertexProgram> Runner<'a, P> {
                 // ONE index request per active cluster resolves the
                 // cluster's edge ranges in every sub-block of the row.
                 let t = Instant::now();
-                let index = self.grid.read_row_index_span(
-                    i,
-                    cluster[0],
-                    *cluster.last().unwrap(),
-                )?;
+                let index =
+                    self.grid
+                        .read_row_index_span(i, cluster[0], *cluster.last().unwrap())?;
                 tracker.io_wall += t.elapsed();
 
                 for j in 0..self.p {
@@ -393,9 +469,22 @@ impl<'a, P: VertexProgram> Runner<'a, P> {
                             if run_len > 0 {
                                 let t = Instant::now();
                                 self.grid.read_edge_run(
-                                    i, j, run_start, run_len, &mut self.scratch, &mut loaded,
+                                    i,
+                                    j,
+                                    run_start,
+                                    run_len,
+                                    &mut self.scratch,
+                                    &mut loaded,
                                 )?;
                                 tracker.io_wall += t.elapsed();
+                                if self.trace.enabled() {
+                                    self.trace.emit(&TraceEvent::BlockLoad {
+                                        i,
+                                        j,
+                                        bytes: run_len as u64 * self.per_edge_bytes,
+                                        seq: false,
+                                    });
+                                }
                             }
                             run_start = r.start;
                             run_len = len;
@@ -403,9 +492,23 @@ impl<'a, P: VertexProgram> Runner<'a, P> {
                     }
                     if run_len > 0 {
                         let t = Instant::now();
-                        self.grid
-                            .read_edge_run(i, j, run_start, run_len, &mut self.scratch, &mut loaded)?;
+                        self.grid.read_edge_run(
+                            i,
+                            j,
+                            run_start,
+                            run_len,
+                            &mut self.scratch,
+                            &mut loaded,
+                        )?;
                         tracker.io_wall += t.elapsed();
+                        if self.trace.enabled() {
+                            self.trace.emit(&TraceEvent::BlockLoad {
+                                i,
+                                j,
+                                bytes: run_len as u64 * self.per_edge_bytes,
+                                seq: false,
+                            });
+                        }
                     }
                 }
             }
@@ -414,7 +517,7 @@ impl<'a, P: VertexProgram> Runner<'a, P> {
         // UserFunction over the loaded active edges (sources are active by
         // construction, no filter needed).
         let t = Instant::now();
-        scatter_edges(
+        scatter_edges_timed(
             self.program,
             &self.ctx,
             &loaded,
@@ -422,10 +525,11 @@ impl<'a, P: VertexProgram> Runner<'a, P> {
             &self.values_prev,
             &self.accum_cur,
             &self.touched_cur,
+            &mut tracker.scatter,
         );
         // Apply at the barrier.
         let out = Frontier::empty(self.n);
-        apply_range(
+        apply_range_timed(
             self.program,
             &self.ctx,
             0..self.n,
@@ -434,6 +538,7 @@ impl<'a, P: VertexProgram> Runner<'a, P> {
             &self.accum_cur,
             &self.values_cur,
             &out,
+            &mut tracker.apply,
         );
         tracker.compute += t.elapsed();
 
@@ -443,7 +548,7 @@ impl<'a, P: VertexProgram> Runner<'a, P> {
         // the next frontier.
         if self.config.enable_cross_iter && iter < self.limit {
             let t = Instant::now();
-            let served_edges = scatter_edges(
+            let served_edges = scatter_edges_timed(
                 self.program,
                 &self.ctx,
                 &loaded,
@@ -451,24 +556,39 @@ impl<'a, P: VertexProgram> Runner<'a, P> {
                 &self.values_cur,
                 &self.accum_next,
                 &self.touched_next,
+                &mut tracker.scatter,
             );
             self.cross_iter_edges += served_edges;
             // Remove every re-activated vertex (out ∩ V_active) — its
             // next-iteration scatter has been fully performed.
-            let served: Vec<u32> = out
-                .iter()
-                .filter(|&v| self.frontier.contains(v))
-                .collect();
+            let served: Vec<u32> = out.iter().filter(|&v| self.frontier.contains(v)).collect();
             for v in served {
                 out.remove(v);
             }
             tracker.compute += t.elapsed();
+            if self.trace.enabled() {
+                self.trace.emit(&TraceEvent::SciuPass {
+                    iteration: iter,
+                    edges_served: served_edges,
+                });
+            }
+        } else if self.trace.enabled() {
+            self.trace.emit(&TraceEvent::SciuPass {
+                iteration: iter,
+                edges_served: 0,
+            });
         }
 
         // Stream the vertex value array back out.
         let t = Instant::now();
         self.vfile.write_all(storage.as_ref())?;
         tracker.io_wall += t.elapsed();
+        if self.trace.enabled() {
+            self.trace.emit(&TraceEvent::ValueFlush {
+                bytes: self.value_file_bytes,
+                write: true,
+            });
+        }
 
         self.rotate(out);
         self.finish_iter(tracker, iter, IoAccessModel::OnDemand, frontier_size, false);
@@ -487,17 +607,24 @@ impl<'a, P: VertexProgram> Runner<'a, P> {
 
         // ---------------- pass 1: iteration `iter` ----------------
         let frontier_size = self.frontier.count();
-        let mut tracker = self.begin_iter();
+        let mut tracker = self.begin_iter(iter);
 
         let t = Instant::now();
         self.vfile.read_all(storage.as_ref())?;
         tracker.io_wall += t.elapsed();
+        if self.trace.enabled() {
+            self.trace.emit(&TraceEvent::ValueFlush {
+                bytes: self.value_file_bytes,
+                write: false,
+            });
+        }
 
         let t = Instant::now();
         self.values_cur.copy_from(&self.values_prev);
         tracker.compute += t.elapsed();
 
         let out = Frontier::empty(self.n);
+        let mut pass_edges_served = 0u64;
         for j in 0..self.p {
             let mut diag_edges: Option<Arc<Vec<Edge>>> = None;
             for i in 0..self.p {
@@ -515,7 +642,7 @@ impl<'a, P: VertexProgram> Runner<'a, P> {
                 };
 
                 let t = Instant::now();
-                let delivered = scatter_edges(
+                let delivered = scatter_edges_timed(
                     self.program,
                     &self.ctx,
                     &edges,
@@ -523,12 +650,13 @@ impl<'a, P: VertexProgram> Runner<'a, P> {
                     &self.values_prev,
                     &self.accum_cur,
                     &self.touched_cur,
+                    &mut tracker.scatter,
                 );
                 if two_pass {
                     if i < j {
                         // Interval i is fully applied (its column came
                         // earlier), so cross-iteration propagation is legal.
-                        self.cross_iter_edges += scatter_edges(
+                        let served = scatter_edges_timed(
                             self.program,
                             &self.ctx,
                             &edges,
@@ -536,7 +664,10 @@ impl<'a, P: VertexProgram> Runner<'a, P> {
                             &self.values_cur,
                             &self.accum_next,
                             &self.touched_next,
+                            &mut tracker.scatter,
                         );
+                        self.cross_iter_edges += served;
+                        pass_edges_served += served;
                     } else if i == j {
                         // Held in memory until interval j is applied.
                         diag_edges = Some(edges.clone());
@@ -551,7 +682,7 @@ impl<'a, P: VertexProgram> Runner<'a, P> {
             }
             // Apply interval j at its barrier.
             let t = Instant::now();
-            apply_range(
+            apply_range_timed(
                 self.program,
                 &self.ctx,
                 self.grid.intervals().range(j),
@@ -560,10 +691,11 @@ impl<'a, P: VertexProgram> Runner<'a, P> {
                 &self.accum_cur,
                 &self.values_cur,
                 &out,
+                &mut tracker.apply,
             );
             // Diagonal cross-iteration after interval j's values are final.
             if let Some(diag) = diag_edges {
-                self.cross_iter_edges += scatter_edges(
+                let served = scatter_edges_timed(
                     self.program,
                     &self.ctx,
                     &diag,
@@ -571,14 +703,29 @@ impl<'a, P: VertexProgram> Runner<'a, P> {
                     &self.values_cur,
                     &self.accum_next,
                     &self.touched_next,
+                    &mut tracker.scatter,
                 );
+                self.cross_iter_edges += served;
+                pass_edges_served += served;
             }
             tracker.compute += t.elapsed();
+        }
+        if two_pass && self.trace.enabled() {
+            self.trace.emit(&TraceEvent::FciuPass {
+                iteration: iter,
+                edges_served: pass_edges_served,
+            });
         }
 
         let t = Instant::now();
         self.vfile.write_all(storage.as_ref())?;
         tracker.io_wall += t.elapsed();
+        if self.trace.enabled() {
+            self.trace.emit(&TraceEvent::ValueFlush {
+                bytes: self.value_file_bytes,
+                write: true,
+            });
+        }
 
         self.rotate(out);
         self.finish_iter(tracker, iter, IoAccessModel::Full, frontier_size, false);
@@ -595,11 +742,17 @@ impl<'a, P: VertexProgram> Runner<'a, P> {
         // along i ≤ j edges were pre-scattered and live in `accum_cur`
         // after the rotation.
         let frontier_size2 = self.frontier.count();
-        let mut tracker = self.begin_iter();
+        let mut tracker = self.begin_iter(iter + 1);
 
         let t = Instant::now();
         self.vfile.read_all(storage.as_ref())?;
         tracker.io_wall += t.elapsed();
+        if self.trace.enabled() {
+            self.trace.emit(&TraceEvent::ValueFlush {
+                bytes: self.value_file_bytes,
+                write: false,
+            });
+        }
 
         let t = Instant::now();
         self.values_cur.copy_from(&self.values_prev);
@@ -621,7 +774,7 @@ impl<'a, P: VertexProgram> Runner<'a, P> {
                     None => self.load_block(i, j, &mut tracker.io_wall)?,
                 };
                 let t = Instant::now();
-                scatter_edges(
+                scatter_edges_timed(
                     self.program,
                     &self.ctx,
                     &edges,
@@ -629,11 +782,12 @@ impl<'a, P: VertexProgram> Runner<'a, P> {
                     &self.values_prev,
                     &self.accum_cur,
                     &self.touched_cur,
+                    &mut tracker.scatter,
                 );
                 tracker.compute += t.elapsed();
             }
             let t = Instant::now();
-            apply_range(
+            apply_range_timed(
                 self.program,
                 &self.ctx,
                 self.grid.intervals().range(j),
@@ -642,6 +796,7 @@ impl<'a, P: VertexProgram> Runner<'a, P> {
                 &self.accum_cur,
                 &self.values_cur,
                 &out,
+                &mut tracker.apply,
             );
             tracker.compute += t.elapsed();
         }
@@ -649,6 +804,12 @@ impl<'a, P: VertexProgram> Runner<'a, P> {
         let t = Instant::now();
         self.vfile.write_all(storage.as_ref())?;
         tracker.io_wall += t.elapsed();
+        if self.trace.enabled() {
+            self.trace.emit(&TraceEvent::ValueFlush {
+                bytes: self.value_file_bytes,
+                write: true,
+            });
+        }
 
         self.rotate(out);
         self.finish_iter(tracker, iter + 1, IoAccessModel::Full, frontier_size2, true);

@@ -33,6 +33,15 @@ pub mod config;
 pub mod engine;
 pub mod scheduler;
 
+/// Maps the runtime's access-model enum onto the trace schema's (the
+/// trace crate sits below `gsd-runtime` and cannot name it).
+pub(crate) fn trace_model(model: gsd_runtime::IoAccessModel) -> gsd_trace::AccessModel {
+    match model {
+        gsd_runtime::IoAccessModel::OnDemand => gsd_trace::AccessModel::OnDemand,
+        gsd_runtime::IoAccessModel::Full => gsd_trace::AccessModel::Full,
+    }
+}
+
 pub use buffer::SubBlockBuffer;
 pub use config::GraphSdConfig;
 pub use engine::GraphSdEngine;

@@ -12,7 +12,9 @@
 
 use gsd_io::{DiskModel, IoCostModel, OnDemandCostInputs};
 use gsd_runtime::{Frontier, IoAccessModel};
+use gsd_trace::{TraceEvent, TraceSink};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// One scheduling decision (per iteration), kept for the Figure 10/11
@@ -36,15 +38,27 @@ pub struct SchedulerDecision {
 }
 
 /// The scheduler: owns the cost model and the decision log.
-#[derive(Debug)]
 pub struct Scheduler {
     cost: IoCostModel,
     per_edge_bytes: u64,
     seq_run_threshold: u64,
+    trace: Arc<dyn TraceSink>,
     /// Cumulative benefit-evaluation time (Figure 11's overhead).
     pub overhead: Duration,
     /// All decisions taken this run.
     pub decisions: Vec<SchedulerDecision>,
+}
+
+impl std::fmt::Debug for Scheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scheduler")
+            .field("cost", &self.cost)
+            .field("per_edge_bytes", &self.per_edge_bytes)
+            .field("seq_run_threshold", &self.seq_run_threshold)
+            .field("overhead", &self.overhead)
+            .field("decisions", &self.decisions.len())
+            .finish()
+    }
 }
 
 impl Scheduler {
@@ -62,9 +76,15 @@ impl Scheduler {
             cost: IoCostModel::new(disk, vertex_value_bytes, total_edge_bytes),
             per_edge_bytes,
             seq_run_threshold,
+            trace: gsd_trace::null_sink(),
             overhead: Duration::ZERO,
             decisions: Vec::new(),
         }
+    }
+
+    /// Routes [`TraceEvent::SchedulerDecision`] events to `trace`.
+    pub fn set_trace(&mut self, trace: Arc<dyn TraceSink>) {
+        self.trace = trace;
     }
 
     /// Splits the active edge volume into sequential and random bytes in
@@ -103,7 +123,12 @@ impl Scheduler {
     /// The benefit evaluation: chooses the I/O access model for
     /// `iteration`, logging the decision and accounting the evaluation
     /// time as overhead.
-    pub fn select(&mut self, iteration: u32, frontier: &Frontier, degrees: &[u32]) -> IoAccessModel {
+    pub fn select(
+        &mut self,
+        iteration: u32,
+        frontier: &Frontier,
+        degrees: &[u32],
+    ) -> IoAccessModel {
         let started = Instant::now();
         let inputs = self.seq_ran_split(frontier, degrees);
         let cost_full = self.cost.full_cost().total();
@@ -114,6 +139,16 @@ impl Scheduler {
             IoAccessModel::Full
         };
         self.overhead += started.elapsed();
+        if self.trace.enabled() {
+            self.trace.emit(&TraceEvent::SchedulerDecision {
+                iteration,
+                s_seq: inputs.seq_edge_bytes,
+                s_ran: inputs.rand_edge_bytes,
+                cost_full,
+                cost_on_demand,
+                chosen: crate::trace_model(model),
+            });
+        }
         self.decisions.push(SchedulerDecision {
             iteration,
             frontier: frontier.count(),

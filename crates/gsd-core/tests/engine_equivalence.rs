@@ -173,7 +173,9 @@ fn iteration_counts_match_reference() {
 fn empty_graph_is_handled() {
     let g = Graph::from_edges(0, vec![], false);
     let mut engine = GraphSdEngine::new(grid_of(&g, 1), GraphSdConfig::full()).unwrap();
-    let result = engine.run(&ConnectedComponents, &RunOptions::default()).unwrap();
+    let result = engine
+        .run(&ConnectedComponents, &RunOptions::default())
+        .unwrap();
     assert!(result.values.is_empty());
     assert_eq!(result.stats.iterations, 0);
 }
@@ -182,7 +184,9 @@ fn empty_graph_is_handled() {
 fn single_vertex_no_edges() {
     let g = Graph::from_edges(1, vec![], false);
     let mut engine = GraphSdEngine::new(grid_of(&g, 1), GraphSdConfig::full()).unwrap();
-    let result = engine.run(&ConnectedComponents, &RunOptions::default()).unwrap();
+    let result = engine
+        .run(&ConnectedComponents, &RunOptions::default())
+        .unwrap();
     assert_eq!(result.values, vec![0]);
 }
 
@@ -190,13 +194,19 @@ fn single_vertex_no_edges() {
 fn cross_iteration_actually_fires() {
     let g = GeneratorConfig::new(GraphKind::RMat, 500, 4000, 29).generate();
     let mut engine = GraphSdEngine::new(grid_of(&g, 4), GraphSdConfig::full()).unwrap();
-    let result = engine.run(&PageRank::paper(), &RunOptions::default()).unwrap();
+    let result = engine
+        .run(&PageRank::paper(), &RunOptions::default())
+        .unwrap();
     assert!(
         result.stats.cross_iter_edges > 0,
         "FCIU must serve edges across iterations on a dense PR run"
     );
     // Some committed iterations must be pure cross-iteration passes.
-    assert!(result.stats.per_iteration.iter().any(|it| it.cross_iteration));
+    assert!(result
+        .stats
+        .per_iteration
+        .iter()
+        .any(|it| it.cross_iteration));
 }
 
 #[test]
@@ -204,9 +214,15 @@ fn b1_never_reports_cross_iteration() {
     let g = GeneratorConfig::new(GraphKind::RMat, 400, 3000, 31).generate();
     let mut engine =
         GraphSdEngine::new(grid_of(&g, 3), GraphSdConfig::b1_no_cross_iteration()).unwrap();
-    let result = engine.run(&PageRank::paper(), &RunOptions::default()).unwrap();
+    let result = engine
+        .run(&PageRank::paper(), &RunOptions::default())
+        .unwrap();
     assert_eq!(result.stats.cross_iter_edges, 0);
-    assert!(result.stats.per_iteration.iter().all(|it| !it.cross_iteration));
+    assert!(result
+        .stats
+        .per_iteration
+        .iter()
+        .all(|it| !it.cross_iteration));
 }
 
 #[test]

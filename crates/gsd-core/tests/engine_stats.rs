@@ -67,7 +67,9 @@ fn fciu_second_pass_reads_less_than_first() {
     // secondary pass) must read strictly less than odd ones.
     let g = GeneratorConfig::new(GraphKind::RMat, 1000, 12_000, 9).generate();
     let mut e = engine(&g, 4, GraphSdConfig::without_buffering());
-    let result = e.run(&PageRank::with_iterations(4), &RunOptions::default()).unwrap();
+    let result = e
+        .run(&PageRank::with_iterations(4), &RunOptions::default())
+        .unwrap();
     let per = &result.stats.per_iteration;
     assert!(per.len() >= 4);
     assert!(per[1].cross_iteration && per[3].cross_iteration);
@@ -136,7 +138,10 @@ fn models_recorded_match_forced_configs() {
     let g = web_graph();
     for (config, expect) in [
         (GraphSdConfig::b3_always_full(), IoAccessModel::Full),
-        (GraphSdConfig::b4_always_on_demand(), IoAccessModel::OnDemand),
+        (
+            GraphSdConfig::b4_always_on_demand(),
+            IoAccessModel::OnDemand,
+        ),
     ] {
         let mut e = engine(&g, 4, config);
         let r = e.run(&Bfs::new(0), &RunOptions::default()).unwrap();

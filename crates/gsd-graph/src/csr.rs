@@ -126,7 +126,10 @@ mod tests {
     #[test]
     fn edge_order_is_stable_within_source() {
         let mut b = GraphBuilder::new();
-        b.add_edge(1, 5).add_edge(0, 9).add_edge(1, 2).add_edge(1, 7);
+        b.add_edge(1, 5)
+            .add_edge(0, 9)
+            .add_edge(1, 2)
+            .add_edge(1, 7);
         let csr = Csr::from_graph(&b.build());
         assert_eq!(csr.neighbors(1), &[5, 2, 7]);
     }

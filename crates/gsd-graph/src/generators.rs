@@ -72,8 +72,18 @@ impl GeneratorConfig {
     pub fn generate(&self) -> Graph {
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
         let mut graph = match self.kind {
-            GraphKind::RMat => rmat(self.vertices, self.edges, [0.57, 0.19, 0.19, 0.05], &mut rng),
-            GraphKind::Kronecker => rmat(self.vertices, self.edges, [0.57, 0.19, 0.19, 0.05], &mut rng),
+            GraphKind::RMat => rmat(
+                self.vertices,
+                self.edges,
+                [0.57, 0.19, 0.19, 0.05],
+                &mut rng,
+            ),
+            GraphKind::Kronecker => rmat(
+                self.vertices,
+                self.edges,
+                [0.57, 0.19, 0.19, 0.05],
+                &mut rng,
+            ),
             GraphKind::ErdosRenyi => erdos_renyi(self.vertices, self.edges, &mut rng),
             GraphKind::WebLocality => web_locality(self.vertices, self.edges, &mut rng),
             GraphKind::Grid2d => grid2d((self.vertices as f64).sqrt().ceil() as u32),
@@ -244,7 +254,12 @@ mod tests {
 
     #[test]
     fn generators_hit_requested_sizes() {
-        for kind in [GraphKind::RMat, GraphKind::Kronecker, GraphKind::ErdosRenyi, GraphKind::WebLocality] {
+        for kind in [
+            GraphKind::RMat,
+            GraphKind::Kronecker,
+            GraphKind::ErdosRenyi,
+            GraphKind::WebLocality,
+        ] {
             let g = cfg(kind).generate();
             assert_eq!(g.num_edges(), 8000, "{kind:?}");
             assert_eq!(g.num_vertices(), 1000, "{kind:?}");
@@ -257,7 +272,11 @@ mod tests {
         let a = cfg(GraphKind::RMat).generate();
         let b = cfg(GraphKind::RMat).generate();
         assert_eq!(a, b);
-        let c = GeneratorConfig { seed: 43, ..cfg(GraphKind::RMat) }.generate();
+        let c = GeneratorConfig {
+            seed: 43,
+            ..cfg(GraphKind::RMat)
+        }
+        .generate();
         assert_ne!(a, c);
     }
 
@@ -267,7 +286,12 @@ mod tests {
         let flat = cfg(GraphKind::ErdosRenyi).generate();
         let max_deg = |g: &Graph| *g.out_degrees().iter().max().unwrap();
         // R-MAT's hub should dwarf ER's max degree (mean degree 8).
-        assert!(max_deg(&skewed) > 3 * max_deg(&flat), "{} vs {}", max_deg(&skewed), max_deg(&flat));
+        assert!(
+            max_deg(&skewed) > 3 * max_deg(&flat),
+            "{} vs {}",
+            max_deg(&skewed),
+            max_deg(&flat)
+        );
     }
 
     #[test]

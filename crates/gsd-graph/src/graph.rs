@@ -160,7 +160,10 @@ mod tests {
 
     fn diamond() -> Graph {
         let mut b = GraphBuilder::new();
-        b.add_edge(0, 1).add_edge(0, 2).add_edge(1, 3).add_edge(2, 3);
+        b.add_edge(0, 1)
+            .add_edge(0, 2)
+            .add_edge(1, 3)
+            .add_edge(2, 3);
         b.build()
     }
 

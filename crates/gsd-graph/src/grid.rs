@@ -284,8 +284,11 @@ impl GridGraph {
         let first_row = (lo - start) as u64;
         let rows = (hi - lo + 2) as usize;
         let mut bytes = vec![0u8; rows * p * 4];
-        self.storage
-            .read_at(&row_index_key(&self.prefix, i), first_row * p as u64 * 4, &mut bytes)?;
+        self.storage.read_at(
+            &row_index_key(&self.prefix, i),
+            first_row * p as u64 * 4,
+            &mut bytes,
+        )?;
         Ok(RowIndexSpan {
             start_vertex: lo,
             p: self.meta.p,
@@ -358,7 +361,12 @@ mod tests {
     fn setup(p: u32) -> (Graph, GridGraph) {
         let g = GeneratorConfig::new(GraphKind::RMat, 200, 1000, 11).generate();
         let storage: SharedStorage = Arc::new(MemStorage::new());
-        preprocess(&g, storage.as_ref(), &PreprocessConfig::graphsd("").with_intervals(p)).unwrap();
+        preprocess(
+            &g,
+            storage.as_ref(),
+            &PreprocessConfig::graphsd("").with_intervals(p),
+        )
+        .unwrap();
         let grid = GridGraph::open(storage).unwrap();
         (g, grid)
     }
@@ -408,7 +416,8 @@ mod tests {
                 let idx = grid.read_index(i, j).unwrap();
                 for v in intervals.range(i) {
                     let mut out = Vec::new();
-                    grid.read_vertex_edges(i, j, &idx, v, &mut scratch, &mut out).unwrap();
+                    grid.read_vertex_edges(i, j, &idx, v, &mut scratch, &mut out)
+                        .unwrap();
                     let mut got: Vec<u32> = out.iter().map(|e| e.dst).collect();
                     got.sort_unstable();
                     let mut want = expect.remove(&(v, j)).unwrap_or_default();
@@ -427,12 +436,21 @@ mod tests {
         b.add_edge(0, 1).add_edge(1, 0).ensure_vertices(100);
         let g = b.build();
         let storage: SharedStorage = Arc::new(MemStorage::new());
-        preprocess(&g, storage.as_ref(), &PreprocessConfig::graphsd("").with_intervals(2)).unwrap();
+        preprocess(
+            &g,
+            storage.as_ref(),
+            &PreprocessConfig::graphsd("").with_intervals(2),
+        )
+        .unwrap();
         let grid = GridGraph::open(storage.clone()).unwrap();
         storage.stats().reset();
         let block = grid.read_block(1, 1).unwrap();
         assert!(block.edges.is_empty());
-        assert_eq!(storage.stats().read_bytes(), 0, "empty block must not touch storage");
+        assert_eq!(
+            storage.stats().read_bytes(),
+            0,
+            "empty block must not touch storage"
+        );
     }
 
     #[test]
@@ -442,8 +460,10 @@ mod tests {
         let total = idx.total_edges();
         let mut scratch = Vec::new();
         let mut out = Vec::new();
-        grid.read_edge_run(0, 0, 0, total / 2, &mut scratch, &mut out).unwrap();
-        grid.read_edge_run(0, 0, total / 2, total - total / 2, &mut scratch, &mut out).unwrap();
+        grid.read_edge_run(0, 0, 0, total / 2, &mut scratch, &mut out)
+            .unwrap();
+        grid.read_edge_run(0, 0, total / 2, total - total / 2, &mut scratch, &mut out)
+            .unwrap();
         assert_eq!(out.len() as u32, total);
         let whole = grid.read_block(0, 0).unwrap();
         assert_eq!(out, whole.edges);
@@ -476,7 +496,11 @@ mod tests {
                 let hi = range.end - 1 - (range.end - range.start) / 4;
                 let span = grid.read_index_span(i, j, lo, hi).unwrap();
                 for v in lo..=hi {
-                    assert_eq!(span.edge_range(v), full.edge_range(v), "v={v} block ({i},{j})");
+                    assert_eq!(
+                        span.edge_range(v),
+                        full.edge_range(v),
+                        "v={v} block ({i},{j})"
+                    );
                 }
             }
         }
@@ -506,7 +530,9 @@ mod tests {
             if range.is_empty() {
                 continue;
             }
-            let span = grid.read_row_index_span(i, range.start, range.end - 1).unwrap();
+            let span = grid
+                .read_row_index_span(i, range.start, range.end - 1)
+                .unwrap();
             for j in 0..4 {
                 let block_idx = grid.read_index(i, j).unwrap();
                 for v in range.clone() {
@@ -550,7 +576,12 @@ mod tests {
     fn index_on_unindexed_format_errors() {
         let g = GeneratorConfig::new(GraphKind::ErdosRenyi, 50, 100, 1).generate();
         let storage: SharedStorage = Arc::new(MemStorage::new());
-        preprocess(&g, storage.as_ref(), &PreprocessConfig::lumos("").with_intervals(2)).unwrap();
+        preprocess(
+            &g,
+            storage.as_ref(),
+            &PreprocessConfig::lumos("").with_intervals(2),
+        )
+        .unwrap();
         let grid = GridGraph::open(storage).unwrap();
         assert!(grid.read_index(0, 0).is_err());
     }
@@ -571,8 +602,18 @@ mod tests {
     fn prefixed_grids_coexist() {
         let g = GeneratorConfig::new(GraphKind::ErdosRenyi, 50, 100, 1).generate();
         let storage: SharedStorage = Arc::new(MemStorage::new());
-        preprocess(&g, storage.as_ref(), &PreprocessConfig::graphsd("a/").with_intervals(2)).unwrap();
-        preprocess(&g, storage.as_ref(), &PreprocessConfig::lumos("b/").with_intervals(3)).unwrap();
+        preprocess(
+            &g,
+            storage.as_ref(),
+            &PreprocessConfig::graphsd("a/").with_intervals(2),
+        )
+        .unwrap();
+        preprocess(
+            &g,
+            storage.as_ref(),
+            &PreprocessConfig::lumos("b/").with_intervals(3),
+        )
+        .unwrap();
         let a = GridGraph::open_with_prefix(storage.clone(), "a/").unwrap();
         let b = GridGraph::open_with_prefix(storage, "b/").unwrap();
         assert_eq!(a.p(), 2);

@@ -54,7 +54,12 @@ pub fn parse_edge_list<R: BufRead>(reader: R) -> std::io::Result<Graph> {
 /// weighted). Inverse of [`parse_edge_list`].
 pub fn write_edge_list<W: Write>(graph: &Graph, writer: W) -> std::io::Result<()> {
     let mut w = BufWriter::new(writer);
-    writeln!(w, "# graphsd edge list: {} vertices, {} edges", graph.num_vertices(), graph.num_edges())?;
+    writeln!(
+        w,
+        "# graphsd edge list: {} vertices, {} edges",
+        graph.num_vertices(),
+        graph.num_edges()
+    )?;
     for e in graph.edges() {
         if graph.is_weighted() {
             writeln!(w, "{} {} {}", e.src, e.dst, e.weight)?;

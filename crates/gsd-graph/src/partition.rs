@@ -64,7 +64,10 @@ impl Intervals {
     /// Reconstructs intervals from raw boundaries (e.g. deserialized meta).
     pub fn from_boundaries(boundaries: Vec<u32>) -> Self {
         assert!(boundaries.len() >= 2, "need at least one interval");
-        assert!(boundaries.windows(2).all(|w| w[0] <= w[1]), "boundaries must be sorted");
+        assert!(
+            boundaries.windows(2).all(|w| w[0] <= w[1]),
+            "boundaries must be sorted"
+        );
         Intervals { boundaries }
     }
 
@@ -167,9 +170,7 @@ mod tests {
         let iv = Intervals::degree_balanced(&degrees, 4);
         assert_eq!(iv.count(), 4);
         assert_eq!(iv.num_vertices(), 100);
-        let mass = |i: u32| -> u64 {
-            iv.range(i).map(|v| degrees[v as usize] as u64).sum()
-        };
+        let mass = |i: u32| -> u64 { iv.range(i).map(|v| degrees[v as usize] as u64).sum() };
         let total: u64 = (0..4).map(mass).sum();
         assert_eq!(total, 199);
         // First interval should be cut early (hub isolated-ish).

@@ -193,7 +193,8 @@ pub fn preprocess(
             storage.create(&block_edges_key(&config.key_prefix, i, j), &payload)?;
             if config.build_index {
                 let index_interval = if config.sort_by_dst { j } else { i };
-                let offsets = build_index(block, intervals.range(index_interval), config.sort_by_dst);
+                let offsets =
+                    build_index(block, intervals.range(index_interval), config.sort_by_dst);
                 if !config.sort_by_dst {
                     for (k, &off) in offsets.iter().enumerate() {
                         row_index[k * p as usize + j as usize] = off;
@@ -311,7 +312,9 @@ mod tests {
                     assert_eq!(intervals.interval_of(e.src), i);
                     assert_eq!(intervals.interval_of(e.dst), j);
                 }
-                assert!(edges.windows(2).all(|w| (w[0].src, w[0].dst) <= (w[1].src, w[1].dst)));
+                assert!(edges
+                    .windows(2)
+                    .all(|w| (w[0].src, w[0].dst) <= (w[1].src, w[1].dst)));
             }
         }
         assert_eq!(seen, 500);
@@ -328,7 +331,9 @@ mod tests {
         for i in 0..2 {
             for j in 0..2 {
                 let edges = codec.decode_all(&store.read_all(&block_edges_key("", i, j)).unwrap());
-                let idx = crate::format::decode_u32s(&store.read_all(&block_index_key("", i, j)).unwrap());
+                let idx = crate::format::decode_u32s(
+                    &store.read_all(&block_index_key("", i, j)).unwrap(),
+                );
                 let range = intervals.range(i);
                 assert_eq!(idx.len() as u32, range.end - range.start + 1);
                 for v in range.clone() {
@@ -368,13 +373,20 @@ mod tests {
         let codec = meta.codec();
         for i in 0..2 {
             for j in 0..2 {
-                let edges = codec.decode_all(&store.read_all(&block_edges_key("col/", i, j)).unwrap());
-                assert!(edges.windows(2).all(|w| (w[0].dst, w[0].src) <= (w[1].dst, w[1].src)));
-                let idx = crate::format::decode_u32s(&store.read_all(&block_index_key("col/", i, j)).unwrap());
+                let edges =
+                    codec.decode_all(&store.read_all(&block_edges_key("col/", i, j)).unwrap());
+                assert!(edges
+                    .windows(2)
+                    .all(|w| (w[0].dst, w[0].src) <= (w[1].dst, w[1].src)));
+                let idx = crate::format::decode_u32s(
+                    &store.read_all(&block_index_key("col/", i, j)).unwrap(),
+                );
                 let range = intervals.range(j);
                 for v in range.clone() {
                     let k = (v - range.start) as usize;
-                    assert!(edges[idx[k] as usize..idx[k + 1] as usize].iter().all(|e| e.dst == v));
+                    assert!(edges[idx[k] as usize..idx[k + 1] as usize]
+                        .iter()
+                        .all(|e| e.dst == v));
                 }
             }
         }
@@ -404,9 +416,12 @@ mod tests {
     #[test]
     fn preprocess_text_times_the_parse() {
         let store = MemStorage::new();
-        let (meta, report) =
-            preprocess_text("0 1\n1 2\n2 0\n".as_bytes(), &store, &PreprocessConfig::graphsd("").with_intervals(1))
-                .unwrap();
+        let (meta, report) = preprocess_text(
+            "0 1\n1 2\n2 0\n".as_bytes(),
+            &store,
+            &PreprocessConfig::graphsd("").with_intervals(1),
+        )
+        .unwrap();
         assert_eq!(meta.num_edges, 3);
         assert!(report.load > Duration::ZERO);
     }
@@ -426,9 +441,12 @@ mod tests {
 
     #[test]
     fn weighted_graph_roundtrips_weights() {
-        let g = GeneratorConfig::new(GraphKind::ErdosRenyi, 50, 200, 3).weighted().generate();
+        let g = GeneratorConfig::new(GraphKind::ErdosRenyi, 50, 200, 3)
+            .weighted()
+            .generate();
         let store = MemStorage::new();
-        let (meta, _) = preprocess(&g, &store, &PreprocessConfig::graphsd("").with_intervals(2)).unwrap();
+        let (meta, _) =
+            preprocess(&g, &store, &PreprocessConfig::graphsd("").with_intervals(2)).unwrap();
         assert!(meta.weighted);
         let codec = meta.codec();
         let mut total = 0;

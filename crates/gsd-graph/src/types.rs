@@ -20,7 +20,11 @@ pub struct Edge {
 impl Edge {
     /// An unweighted edge (weight 1.0).
     pub fn new(src: VertexId, dst: VertexId) -> Self {
-        Edge { src, dst, weight: 1.0 }
+        Edge {
+            src,
+            dst,
+            weight: 1.0,
+        }
     }
 
     /// A weighted edge.

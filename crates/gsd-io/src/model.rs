@@ -83,10 +83,21 @@ impl DiskModel {
 
     /// Virtual time a write of `bytes` bytes costs on this device.
     pub fn write_cost(&self, bytes: u64, discontiguous: bool) -> Duration {
-        self.transfer_cost(bytes, discontiguous, self.seq_write_bps, self.rand_write_bps)
+        self.transfer_cost(
+            bytes,
+            discontiguous,
+            self.seq_write_bps,
+            self.rand_write_bps,
+        )
     }
 
-    fn transfer_cost(&self, bytes: u64, discontiguous: bool, seq_bps: f64, _rand_bps: f64) -> Duration {
+    fn transfer_cost(
+        &self,
+        bytes: u64,
+        discontiguous: bool,
+        seq_bps: f64,
+        _rand_bps: f64,
+    ) -> Duration {
         // Physical pricing: a discontiguous request pays one seek, then
         // every request streams at the sequential rate. The four-bandwidth
         // figures `rand_*_bps` used by the paper's cost formulas are the

@@ -176,12 +176,17 @@ mod tests {
         let model = DiskModel::hdd();
         let sim = SimDisk::new(model);
         let config = ProbeConfig::default();
-        let derived = probe_disk_model(&sim, config).unwrap().into_model(config.rand_request_bytes);
+        let derived = probe_disk_model(&sim, config)
+            .unwrap()
+            .into_model(config.rand_request_bytes);
         // Derived model's decisions should mirror the original's: compare a
         // small random read's price.
         let orig = model.read_cost(4096, true).as_secs_f64();
         let approx = derived.read_cost(4096, true).as_secs_f64();
-        assert!((orig - approx).abs() / orig < 0.5, "orig {orig} approx {approx}");
+        assert!(
+            (orig - approx).abs() / orig < 0.5,
+            "orig {orig} approx {approx}"
+        );
     }
 
     #[test]
@@ -204,7 +209,12 @@ mod tests {
             },
         )
         .unwrap();
-        for b in [r.seq_read_bps, r.seq_write_bps, r.rand_read_bps, r.rand_write_bps] {
+        for b in [
+            r.seq_read_bps,
+            r.seq_write_bps,
+            r.rand_read_bps,
+            r.rand_write_bps,
+        ] {
             assert!(b.is_finite() && b > 0.0);
         }
     }

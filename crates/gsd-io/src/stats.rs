@@ -143,17 +143,25 @@ impl IoStatsSnapshot {
     }
 
     /// Counter-wise difference `self - earlier`; panics in debug builds if
-    /// `earlier` is not actually earlier (counters are monotonic).
+    /// `earlier` is not actually earlier (counters are monotonic). Release
+    /// builds saturate instead of wrapping, so a misordered pair (e.g.
+    /// snapshots taken around a counter reset) yields zeros, not garbage.
     pub fn since(&self, earlier: &IoStatsSnapshot) -> IoStatsSnapshot {
         debug_assert!(self.seq_read_bytes >= earlier.seq_read_bytes);
+        debug_assert!(self.rand_read_bytes >= earlier.rand_read_bytes);
+        debug_assert!(self.write_bytes >= earlier.write_bytes);
+        debug_assert!(self.seq_read_ops >= earlier.seq_read_ops);
+        debug_assert!(self.rand_read_ops >= earlier.rand_read_ops);
+        debug_assert!(self.write_ops >= earlier.write_ops);
+        debug_assert!(self.sim_nanos >= earlier.sim_nanos);
         IoStatsSnapshot {
-            seq_read_bytes: self.seq_read_bytes - earlier.seq_read_bytes,
-            rand_read_bytes: self.rand_read_bytes - earlier.rand_read_bytes,
-            write_bytes: self.write_bytes - earlier.write_bytes,
-            seq_read_ops: self.seq_read_ops - earlier.seq_read_ops,
-            rand_read_ops: self.rand_read_ops - earlier.rand_read_ops,
-            write_ops: self.write_ops - earlier.write_ops,
-            sim_nanos: self.sim_nanos - earlier.sim_nanos,
+            seq_read_bytes: self.seq_read_bytes.saturating_sub(earlier.seq_read_bytes),
+            rand_read_bytes: self.rand_read_bytes.saturating_sub(earlier.rand_read_bytes),
+            write_bytes: self.write_bytes.saturating_sub(earlier.write_bytes),
+            seq_read_ops: self.seq_read_ops.saturating_sub(earlier.seq_read_ops),
+            rand_read_ops: self.rand_read_ops.saturating_sub(earlier.rand_read_ops),
+            write_ops: self.write_ops.saturating_sub(earlier.write_ops),
+            sim_nanos: self.sim_nanos.saturating_sub(earlier.sim_nanos),
         }
     }
 }

@@ -9,12 +9,14 @@
 
 use crate::model::DiskModel;
 use crate::stats::IoStats;
+use gsd_trace::{CounterRegistry, Histogram};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::fs;
 use std::io::{Error, ErrorKind, Write as _};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Convenience alias for a shareable dynamic storage handle.
 pub type SharedStorage = Arc<dyn Storage>;
@@ -58,6 +60,13 @@ pub trait Storage: Send + Sync {
         None
     }
 
+    /// Per-request size and latency histograms (`read_bytes`,
+    /// `write_bytes`, `read_nanos`, `write_nanos`, and on a simulator
+    /// `sim_read_nanos`/`sim_write_nanos`), if the backend keeps them.
+    fn counters(&self) -> Option<&CounterRegistry> {
+        None
+    }
+
     /// Reads the whole object `key`.
     fn read_all(&self, key: &str) -> crate::Result<Vec<u8>> {
         let n = self.len(key)? as usize;
@@ -76,7 +85,10 @@ fn not_found(key: &str) -> Error {
 fn out_of_range(key: &str, offset: u64, len: usize, size: u64) -> Error {
     Error::new(
         ErrorKind::UnexpectedEof,
-        format!("range {offset}..{} out of bounds for object {key} of {size} bytes", offset + len as u64),
+        format!(
+            "range {offset}..{} out of bounds for object {key} of {size} bytes",
+            offset + len as u64
+        ),
     )
 }
 
@@ -110,6 +122,45 @@ impl Cursors {
     }
 }
 
+/// Always-on request-size and latency histograms shared by the concrete
+/// backends. Hot paths record through `Arc<Histogram>` handles cached at
+/// construction; the registry's internal lock is only taken then and at
+/// snapshot time.
+struct RequestCounters {
+    registry: CounterRegistry,
+    read_bytes: Arc<Histogram>,
+    write_bytes: Arc<Histogram>,
+    read_nanos: Arc<Histogram>,
+    write_nanos: Arc<Histogram>,
+}
+
+impl RequestCounters {
+    fn new() -> Self {
+        let registry = CounterRegistry::new();
+        let read_bytes = registry.histogram("read_bytes");
+        let write_bytes = registry.histogram("write_bytes");
+        let read_nanos = registry.histogram("read_nanos");
+        let write_nanos = registry.histogram("write_nanos");
+        RequestCounters {
+            registry,
+            read_bytes,
+            write_bytes,
+            read_nanos,
+            write_nanos,
+        }
+    }
+
+    fn record_read(&self, bytes: u64, started: Instant) {
+        self.read_bytes.record(bytes);
+        self.read_nanos.record(started.elapsed().as_nanos() as u64);
+    }
+
+    fn record_write(&self, bytes: u64, started: Instant) {
+        self.write_bytes.record(bytes);
+        self.write_nanos.record(started.elapsed().as_nanos() as u64);
+    }
+}
+
 // ---------------------------------------------------------------------------
 // MemStorage
 // ---------------------------------------------------------------------------
@@ -119,6 +170,7 @@ pub struct MemStorage {
     objects: RwLock<HashMap<String, Arc<Vec<u8>>>>,
     cursors: Mutex<Cursors>,
     stats: Arc<IoStats>,
+    req: RequestCounters,
 }
 
 impl MemStorage {
@@ -128,6 +180,7 @@ impl MemStorage {
             objects: RwLock::new(HashMap::new()),
             cursors: Mutex::new(Cursors::default()),
             stats: Arc::new(IoStats::new()),
+            req: RequestCounters::new(),
         }
     }
 }
@@ -140,14 +193,24 @@ impl Default for MemStorage {
 
 impl Storage for MemStorage {
     fn create(&self, key: &str, data: &[u8]) -> crate::Result<()> {
-        self.objects.write().insert(key.to_owned(), Arc::new(data.to_vec()));
+        let started = Instant::now();
+        self.objects
+            .write()
+            .insert(key.to_owned(), Arc::new(data.to_vec()));
         self.cursors.lock().forget(key);
         self.stats.record_write(data.len() as u64);
+        self.req.record_write(data.len() as u64, started);
         Ok(())
     }
 
     fn read_at(&self, key: &str, offset: u64, buf: &mut [u8]) -> crate::Result<()> {
-        let obj = self.objects.read().get(key).cloned().ok_or_else(|| not_found(key))?;
+        let started = Instant::now();
+        let obj = self
+            .objects
+            .read()
+            .get(key)
+            .cloned()
+            .ok_or_else(|| not_found(key))?;
         let start = offset as usize;
         let end = start + buf.len();
         if end > obj.len() {
@@ -160,10 +223,12 @@ impl Storage for MemStorage {
         } else {
             self.stats.record_seq_read(buf.len() as u64);
         }
+        self.req.record_read(buf.len() as u64, started);
         Ok(())
     }
 
     fn write_at(&self, key: &str, offset: u64, data: &[u8]) -> crate::Result<()> {
+        let started = Instant::now();
         let mut objects = self.objects.write();
         let obj = objects.get_mut(key).ok_or_else(|| not_found(key))?;
         let start = offset as usize;
@@ -173,8 +238,11 @@ impl Storage for MemStorage {
         }
         Arc::make_mut(obj)[start..end].copy_from_slice(data);
         drop(objects);
-        self.cursors.lock().note_write(key, offset, data.len() as u64);
+        self.cursors
+            .lock()
+            .note_write(key, offset, data.len() as u64);
         self.stats.record_write(data.len() as u64);
+        self.req.record_write(data.len() as u64, started);
         Ok(())
     }
 
@@ -203,6 +271,10 @@ impl Storage for MemStorage {
     fn stats(&self) -> Arc<IoStats> {
         self.stats.clone()
     }
+
+    fn counters(&self) -> Option<&CounterRegistry> {
+        Some(&self.req.registry)
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -216,6 +288,7 @@ pub struct FileStorage {
     root: PathBuf,
     cursors: Mutex<Cursors>,
     stats: Arc<IoStats>,
+    req: RequestCounters,
 }
 
 impl FileStorage {
@@ -227,6 +300,7 @@ impl FileStorage {
             root,
             cursors: Mutex::new(Cursors::default()),
             stats: Arc::new(IoStats::new()),
+            req: RequestCounters::new(),
         })
     }
 
@@ -236,8 +310,15 @@ impl FileStorage {
     }
 
     fn path_of(&self, key: &str) -> crate::Result<PathBuf> {
-        if key.is_empty() || key.split('/').any(|c| c.is_empty() || c == "." || c == "..") {
-            return Err(Error::new(ErrorKind::InvalidInput, format!("invalid key: {key:?}")));
+        if key.is_empty()
+            || key
+                .split('/')
+                .any(|c| c.is_empty() || c == "." || c == "..")
+        {
+            return Err(Error::new(
+                ErrorKind::InvalidInput,
+                format!("invalid key: {key:?}"),
+            ));
         }
         Ok(self.root.join(key))
     }
@@ -245,6 +326,7 @@ impl FileStorage {
 
 impl Storage for FileStorage {
     fn create(&self, key: &str, data: &[u8]) -> crate::Result<()> {
+        let started = Instant::now();
         let path = self.path_of(key)?;
         if let Some(parent) = path.parent() {
             fs::create_dir_all(parent)?;
@@ -260,11 +342,13 @@ impl Storage for FileStorage {
         fs::rename(&tmp, &path)?;
         self.cursors.lock().forget(key);
         self.stats.record_write(data.len() as u64);
+        self.req.record_write(data.len() as u64, started);
         Ok(())
     }
 
     fn read_at(&self, key: &str, offset: u64, buf: &mut [u8]) -> crate::Result<()> {
         use std::os::unix::fs::FileExt;
+        let started = Instant::now();
         let path = self.path_of(key)?;
         let f = fs::File::open(&path).map_err(|_| not_found(key))?;
         f.read_exact_at(buf, offset)?;
@@ -274,26 +358,36 @@ impl Storage for FileStorage {
         } else {
             self.stats.record_seq_read(buf.len() as u64);
         }
+        self.req.record_read(buf.len() as u64, started);
         Ok(())
     }
 
     fn write_at(&self, key: &str, offset: u64, data: &[u8]) -> crate::Result<()> {
         use std::os::unix::fs::FileExt;
+        let started = Instant::now();
         let path = self.path_of(key)?;
-        let f = fs::OpenOptions::new().write(true).open(&path).map_err(|_| not_found(key))?;
+        let f = fs::OpenOptions::new()
+            .write(true)
+            .open(&path)
+            .map_err(|_| not_found(key))?;
         let size = f.metadata()?.len();
         if offset + data.len() as u64 > size {
             return Err(out_of_range(key, offset, data.len(), size));
         }
         f.write_all_at(data, offset)?;
-        self.cursors.lock().note_write(key, offset, data.len() as u64);
+        self.cursors
+            .lock()
+            .note_write(key, offset, data.len() as u64);
         self.stats.record_write(data.len() as u64);
+        self.req.record_write(data.len() as u64, started);
         Ok(())
     }
 
     fn len(&self, key: &str) -> crate::Result<u64> {
         let path = self.path_of(key)?;
-        fs::metadata(&path).map(|m| m.len()).map_err(|_| not_found(key))
+        fs::metadata(&path)
+            .map(|m| m.len())
+            .map_err(|_| not_found(key))
     }
 
     fn exists(&self, key: &str) -> bool {
@@ -313,7 +407,9 @@ impl Storage for FileStorage {
 
     fn list_keys(&self) -> Vec<String> {
         fn walk(dir: &Path, root: &Path, out: &mut Vec<String>) {
-            let Ok(entries) = fs::read_dir(dir) else { return };
+            let Ok(entries) = fs::read_dir(dir) else {
+                return;
+            };
             for entry in entries.flatten() {
                 let path = entry.path();
                 if path.is_dir() {
@@ -332,6 +428,10 @@ impl Storage for FileStorage {
 
     fn stats(&self) -> Arc<IoStats> {
         self.stats.clone()
+    }
+
+    fn counters(&self) -> Option<&CounterRegistry> {
+        Some(&self.req.registry)
     }
 }
 
@@ -354,15 +454,23 @@ pub struct SimDisk {
     /// is race-free under concurrent callers (and requests serialize, as
     /// they would on one device).
     cursors: Mutex<Cursors>,
+    /// Priced (virtual) request latencies, cached from the inner registry.
+    sim_read_nanos: Arc<Histogram>,
+    sim_write_nanos: Arc<Histogram>,
 }
 
 impl SimDisk {
     /// Creates a simulated disk with the given performance model.
     pub fn new(disk: DiskModel) -> Self {
+        let inner = MemStorage::new();
+        let sim_read_nanos = inner.req.registry.histogram("sim_read_nanos");
+        let sim_write_nanos = inner.req.registry.histogram("sim_write_nanos");
         SimDisk {
-            inner: MemStorage::new(),
+            inner,
             disk,
             cursors: Mutex::new(Cursors::default()),
+            sim_read_nanos,
+            sim_write_nanos,
         }
     }
 
@@ -379,6 +487,7 @@ impl Storage for SimDisk {
         self.inner.create(key, data)?;
         self.cursors.lock().forget(key);
         self.inner.stats.add_sim_nanos(cost.as_nanos() as u64);
+        self.sim_write_nanos.record(cost.as_nanos() as u64);
         Ok(())
     }
 
@@ -394,6 +503,7 @@ impl Storage for SimDisk {
         })?;
         let cost = self.disk.read_cost(buf.len() as u64, discontiguous);
         self.inner.stats.add_sim_nanos(cost.as_nanos() as u64);
+        self.sim_read_nanos.record(cost.as_nanos() as u64);
         Ok(())
     }
 
@@ -401,6 +511,7 @@ impl Storage for SimDisk {
         self.inner.write_at(key, offset, data)?;
         let cost = self.disk.write_cost(data.len() as u64, false);
         self.inner.stats.add_sim_nanos(cost.as_nanos() as u64);
+        self.sim_write_nanos.record(cost.as_nanos() as u64);
         Ok(())
     }
 
@@ -428,6 +539,10 @@ impl Storage for SimDisk {
     fn disk_model(&self) -> Option<DiskModel> {
         Some(self.disk)
     }
+
+    fn counters(&self) -> Option<&CounterRegistry> {
+        self.inner.counters()
+    }
 }
 
 #[cfg(test)]
@@ -442,7 +557,10 @@ mod tests {
         store.read_at("a/b.bin", 2, &mut buf).unwrap();
         assert_eq!(buf, [3, 4, 5, 6]);
         store.write_at("a/b.bin", 0, &[9, 9]).unwrap();
-        assert_eq!(store.read_all("a/b.bin").unwrap(), vec![9, 9, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(
+            store.read_all("a/b.bin").unwrap(),
+            vec![9, 9, 3, 4, 5, 6, 7, 8]
+        );
         store.delete("a/b.bin").unwrap();
         assert!(!store.exists("a/b.bin"));
         assert!(store.read_all("a/b.bin").is_err());
@@ -573,7 +691,10 @@ mod tests {
         store.create("blocks/b_0_1.edges", &[3]).unwrap();
         let mut keys = store.list_keys();
         keys.sort();
-        assert_eq!(keys, vec!["blocks/b_0_0.edges", "blocks/b_0_1.edges", "meta.json"]);
+        assert_eq!(
+            keys,
+            vec!["blocks/b_0_0.edges", "blocks/b_0_1.edges", "meta.json"]
+        );
     }
 
     #[test]

@@ -16,11 +16,7 @@ impl TempDir {
     /// Creates a fresh directory whose name starts with `prefix`.
     pub fn new(prefix: &str) -> crate::Result<Self> {
         let id = COUNTER.fetch_add(1, Ordering::Relaxed);
-        let path = std::env::temp_dir().join(format!(
-            "{prefix}-{}-{}",
-            std::process::id(),
-            id
-        ));
+        let path = std::env::temp_dir().join(format!("{prefix}-{}-{}", std::process::id(), id));
         std::fs::create_dir_all(&path)?;
         Ok(TempDir { path })
     }

@@ -56,7 +56,11 @@ impl Frontier {
     /// Inserts `v`; returns `true` if it was newly inserted.
     #[inline]
     pub fn insert(&self, v: u32) -> bool {
-        debug_assert!(v < self.universe, "vertex {v} outside universe {}", self.universe);
+        debug_assert!(
+            v < self.universe,
+            "vertex {v} outside universe {}",
+            self.universe
+        );
         let bit = 1u64 << (v % 64);
         let prev = self.words[v as usize / 64].fetch_or(bit, Ordering::Relaxed);
         prev & bit == 0
@@ -134,7 +138,9 @@ impl Frontier {
     pub fn iter_range(&self, range: std::ops::Range<u32>) -> impl Iterator<Item = u32> + '_ {
         let start = range.start;
         let end = range.end;
-        self.iter().skip_while(move |&v| v < start).take_while(move |&v| v < end)
+        self.iter()
+            .skip_while(move |&v| v < start)
+            .take_while(move |&v| v < end)
     }
 
     /// Collects members into a vector (ascending).
@@ -233,7 +239,10 @@ mod tests {
             }));
         }
         let total: u32 = handles.into_iter().map(|h| h.join().unwrap()).sum();
-        assert_eq!(total, 64, "each bit newly inserted exactly once across threads");
+        assert_eq!(
+            total, 64,
+            "each bit newly inserted exactly once across threads"
+        );
         assert_eq!(f.count(), 64);
     }
 

@@ -54,11 +54,41 @@ pub fn scatter_edges<P: VertexProgram>(
         .sum()
 }
 
+/// [`scatter_edges`] with its wall time accumulated into `elapsed`.
+/// Engines use this to populate `IterationStats::scatter_time`; nesting
+/// the timer here (inside the engine's own compute timing) keeps
+/// `scatter_time + apply_time <= compute_time` by construction.
+#[allow(clippy::too_many_arguments)]
+pub fn scatter_edges_timed<P: VertexProgram>(
+    program: &P,
+    ctx: &ProgramContext,
+    edges: &[Edge],
+    source_filter: Option<&Frontier>,
+    source_values: &ValueArray<P::Value>,
+    accum: &ValueArray<P::Accum>,
+    touched: &Frontier,
+    elapsed: &mut std::time::Duration,
+) -> u64 {
+    let t = std::time::Instant::now();
+    let delivered = scatter_edges(
+        program,
+        ctx,
+        edges,
+        source_filter,
+        source_values,
+        accum,
+        touched,
+    );
+    *elapsed += t.elapsed();
+    delivered
+}
+
 /// Applies the accumulator to every vertex of `range` at a BSP barrier:
 /// touched vertices (or all, for `apply_all` programs) fold their
 /// accumulator into their committed value; changed vertices are inserted
 /// into `out`. Accumulators of processed vertices are reset to the
 /// program's zero. Returns the number of changed vertices.
+#[allow(clippy::too_many_arguments)]
 pub fn apply_range<P: VertexProgram>(
     program: &P,
     ctx: &ProgramContext,
@@ -89,6 +119,26 @@ pub fn apply_range<P: VertexProgram>(
             }
         })
         .sum()
+}
+
+/// [`apply_range`] with its wall time accumulated into `elapsed` (the
+/// `IterationStats::apply_time` counterpart of [`scatter_edges_timed`]).
+#[allow(clippy::too_many_arguments)]
+pub fn apply_range_timed<P: VertexProgram>(
+    program: &P,
+    ctx: &ProgramContext,
+    range: std::ops::Range<u32>,
+    apply_all: bool,
+    touched: &Frontier,
+    accum: &ValueArray<P::Accum>,
+    values: &ValueArray<P::Value>,
+    out: &Frontier,
+    elapsed: &mut std::time::Duration,
+) -> u64 {
+    let t = std::time::Instant::now();
+    let changed = apply_range(program, ctx, range, apply_all, touched, accum, values, out);
+    *elapsed += t.elapsed();
+    changed
 }
 
 #[cfg(test)]
@@ -141,8 +191,7 @@ mod tests {
         let values = ValueArray::new(n as usize, 0u32);
         let accum = ValueArray::new(n as usize, 0u32);
         let touched = Frontier::empty(n);
-        let delivered =
-            scatter_edges(&p, &ctx, &star_edges(n), None, &values, &accum, &touched);
+        let delivered = scatter_edges(&p, &ctx, &star_edges(n), None, &values, &accum, &touched);
         assert_eq!(delivered, (n - 1) as u64);
         assert_eq!(accum.get(0), n - 1);
         assert_eq!(touched.count(), 1);
@@ -157,8 +206,15 @@ mod tests {
         let accum = ValueArray::new(n as usize, 0u32);
         let touched = Frontier::empty(n);
         let filter = Frontier::from_seeds(n, &[1, 2, 3]);
-        let delivered =
-            scatter_edges(&p, &ctx, &star_edges(n), Some(&filter), &values, &accum, &touched);
+        let delivered = scatter_edges(
+            &p,
+            &ctx,
+            &star_edges(n),
+            Some(&filter),
+            &values,
+            &accum,
+            &touched,
+        );
         assert_eq!(delivered, 3);
         assert_eq!(accum.get(0), 3);
     }

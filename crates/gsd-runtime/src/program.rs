@@ -76,16 +76,26 @@ pub trait VertexProgram: Send + Sync {
     /// Message generated along an edge out of `u`, or `None` to send
     /// nothing. `value` is `u`'s committed value of the *previous*
     /// iteration (or the current one, during cross-iteration propagation).
-    fn scatter(&self, u: u32, value: Self::Value, weight: f32, ctx: &ProgramContext)
-        -> Option<Self::Accum>;
+    fn scatter(
+        &self,
+        u: u32,
+        value: Self::Value,
+        weight: f32,
+        ctx: &ProgramContext,
+    ) -> Option<Self::Accum>;
 
     /// Commutative, associative merge of two accumulator values.
     fn combine(&self, a: Self::Accum, b: Self::Accum) -> Self::Accum;
 
     /// Folds the accumulator into the old value at the BSP barrier.
     /// `Some(new)` commits `new` and activates `v` for the next iteration.
-    fn apply(&self, v: u32, old: Self::Value, accum: Self::Accum, ctx: &ProgramContext)
-        -> Option<Self::Value>;
+    fn apply(
+        &self,
+        v: u32,
+        old: Self::Value,
+        accum: Self::Accum,
+        ctx: &ProgramContext,
+    ) -> Option<Self::Value>;
 
     /// The first frontier.
     fn initial_frontier(&self, ctx: &ProgramContext) -> InitialFrontier;

@@ -99,19 +99,16 @@ impl ReferenceEngine {
                 io: Default::default(),
                 io_time: std::time::Duration::ZERO,
                 compute_time: iter_started.elapsed(),
+                scatter_time: std::time::Duration::ZERO,
+                apply_time: std::time::Duration::ZERO,
+                io_wait_time: std::time::Duration::ZERO,
                 cross_iteration: false,
             });
             snapshots.push(values.clone());
         }
 
         stats.compute_time = started.elapsed();
-        (
-            RunResult {
-                values,
-                stats,
-            },
-            snapshots,
-        )
+        (RunResult { values, stats }, snapshots)
     }
 }
 

@@ -41,6 +41,15 @@ pub struct IterationStats {
     pub io_time: Duration,
     /// Scatter + apply wall time.
     pub compute_time: Duration,
+    /// Wall time inside the scatter kernel (a component of
+    /// `compute_time`).
+    pub scatter_time: Duration,
+    /// Wall time inside the apply kernel (a component of `compute_time`).
+    pub apply_time: Duration,
+    /// Wall time the engine blocked on storage requests. Unlike
+    /// `io_time` this is always measured, never simulated, so it can be
+    /// compared against the wall-clock phase timers.
+    pub io_wait_time: Duration,
     /// Whether this iteration's values were computed entirely by
     /// cross-iteration propagation (FCIU second pass reading only
     /// secondary sub-blocks, or an SCIU iteration fully pre-served).
@@ -124,6 +133,9 @@ mod tests {
             io: IoStatsSnapshot::default(),
             io_time: Duration::from_millis(io_ms),
             compute_time: Duration::from_millis(cpu_ms),
+            scatter_time: Duration::ZERO,
+            apply_time: Duration::ZERO,
+            io_wait_time: Duration::from_millis(io_ms),
             cross_iteration: false,
         }
     }

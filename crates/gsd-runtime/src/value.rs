@@ -76,7 +76,10 @@ impl Value for (f32, f32) {
         ((f32::to_bits(self.0) as u64) << 32) | f32::to_bits(self.1) as u64
     }
     fn from_bits(bits: u64) -> Self {
-        (f32::from_bits((bits >> 32) as u32), f32::from_bits(bits as u32))
+        (
+            f32::from_bits((bits >> 32) as u32),
+            f32::from_bits(bits as u32),
+        )
     }
 }
 

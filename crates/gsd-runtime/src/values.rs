@@ -122,7 +122,9 @@ impl<V: Value> ValueArray<V> {
 
 impl<V: Value> std::fmt::Debug for ValueArray<V> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ValueArray").field("len", &self.len()).finish()
+        f.debug_struct("ValueArray")
+            .field("len", &self.len())
+            .finish()
     }
 }
 

@@ -21,12 +21,13 @@ impl VertexValueFile {
     /// Creates (or re-creates at the right size) the array object.
     /// The creation write is charged to preprocessing, not the run — reset
     /// stats afterwards if that distinction matters to the caller.
-    pub fn ensure(storage: &dyn Storage, key: impl Into<String>, bytes: u64) -> std::io::Result<Self> {
+    pub fn ensure(
+        storage: &dyn Storage,
+        key: impl Into<String>,
+        bytes: u64,
+    ) -> std::io::Result<Self> {
         let key = key.into();
-        let exists_ok = storage
-            .len(&key)
-            .map(|len| len == bytes)
-            .unwrap_or(false);
+        let exists_ok = storage.len(&key).map(|len| len == bytes).unwrap_or(false);
         if !exists_ok {
             storage.create(&key, &vec![0u8; bytes as usize])?;
         }

@@ -1,0 +1,196 @@
+//! Lock-free histogram counters for request sizes and latencies.
+//!
+//! Storage backends record every request into power-of-two-bucket
+//! [`Histogram`]s owned by a [`CounterRegistry`]. Recording is one
+//! relaxed atomic increment per counter — cheap enough to stay always-on
+//! next to the existing `IoStats` counters.
+
+use serde::{Serialize, Value};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Number of power-of-two buckets: bucket `k` counts values whose bit
+/// length is `k`, i.e. `v == 0` lands in bucket 0 and `v` in
+/// `[2^(k-1), 2^k)` lands in bucket `k`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A fixed-bucket power-of-two histogram over `u64` samples.
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&self, value: u64) {
+        let bucket = (64 - value.leading_zeros()) as usize;
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Total number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of the non-empty buckets.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = Vec::new();
+        for (k, b) in self.buckets.iter().enumerate() {
+            let n = b.load(Ordering::Relaxed);
+            if n > 0 {
+                // Inclusive upper bound of bucket k.
+                let upper = if k == 0 {
+                    0
+                } else if k == 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << k) - 1
+                };
+                buckets.push((upper, n));
+            }
+        }
+        HistogramSnapshot {
+            buckets,
+            count: self.count(),
+            sum: self.sum(),
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// `(inclusive_upper_bound, count)` for each non-empty bucket,
+    /// ascending.
+    pub buckets: Vec<(u64, u64)>,
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+}
+
+impl Serialize for HistogramSnapshot {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("count".to_string(), Value::U64(self.count)),
+            ("sum".to_string(), Value::U64(self.sum)),
+            (
+                "buckets".to_string(),
+                Value::Seq(
+                    self.buckets
+                        .iter()
+                        .map(|(le, n)| {
+                            Value::Map(vec![
+                                ("le".to_string(), Value::U64(*le)),
+                                ("n".to_string(), Value::U64(*n)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// A named collection of [`Histogram`]s, shared by reference with the hot
+/// paths that record into it.
+#[derive(Default)]
+pub struct CounterRegistry {
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl CounterRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns (creating on first use) the histogram named `name`.
+    /// Callers on hot paths should fetch once and cache the `Arc`.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self
+            .histograms
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        map.entry(name.to_string())
+            .or_insert_with(|| Arc::new(Histogram::new()))
+            .clone()
+    }
+
+    /// Snapshots every histogram, sorted by name.
+    pub fn snapshot(&self) -> Vec<(String, HistogramSnapshot)> {
+        let map = self
+            .histograms
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        map.iter()
+            .map(|(name, h)| (name.clone(), h.snapshot()))
+            .collect()
+    }
+}
+
+impl Serialize for CounterRegistry {
+    fn to_value(&self) -> Value {
+        Value::Map(
+            self.snapshot()
+                .into_iter()
+                .map(|(name, snap)| (name, snap.to_value()))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_power_of_two() {
+        let h = Histogram::new();
+        h.record(0);
+        h.record(1);
+        h.record(2);
+        h.record(3);
+        h.record(1024);
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 5);
+        assert_eq!(snap.sum, 1030);
+        // 0 -> le 0; 1 -> le 1; 2,3 -> le 3; 1024 -> le 2047.
+        assert_eq!(snap.buckets, vec![(0, 1), (1, 1), (3, 2), (2047, 1)]);
+    }
+
+    #[test]
+    fn registry_reuses_histograms_and_serializes() {
+        let reg = CounterRegistry::new();
+        reg.histogram("read_bytes").record(100);
+        reg.histogram("read_bytes").record(200);
+        assert_eq!(reg.histogram("read_bytes").count(), 2);
+        let json = serde_json::to_string(&reg).unwrap();
+        assert!(json.contains("\"read_bytes\""));
+        assert!(json.contains("\"count\":2"));
+    }
+}

@@ -1,0 +1,310 @@
+//! The typed trace event model.
+//!
+//! Every observable step of an out-of-core run — iteration boundaries,
+//! block loads, scheduler decisions, cross-iteration passes, buffer
+//! activity, vertex-value flushes — is one [`TraceEvent`]. Events are
+//! plain data: cheap to clone, comparable in tests, and serializable to a
+//! stable JSONL schema where each event is one JSON object tagged by its
+//! `"ev"` field (snake_case event name).
+
+use serde::{Serialize, Value};
+
+/// Which I/O access model an engine used for an iteration (trace-level
+/// mirror of `gsd_runtime::IoAccessModel`; `gsd-trace` sits below the
+/// runtime crate in the dependency graph and cannot import it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessModel {
+    /// Selective on-demand loads of active vertices' edges (SCIU).
+    OnDemand,
+    /// Full sequential streaming of the edge grid (FCIU).
+    Full,
+}
+
+impl AccessModel {
+    /// Stable string form used in the JSONL schema.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AccessModel::OnDemand => "on_demand",
+            AccessModel::Full => "full",
+        }
+    }
+}
+
+/// One structured trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// An engine starts a run.
+    RunStart {
+        /// Engine name (`"graphsd"`, `"hus"`, `"lumos"`, `"gridstream"`).
+        engine: &'static str,
+        /// Algorithm label reported by the engine's stats.
+        algorithm: String,
+    },
+    /// An engine finished a run.
+    RunEnd {
+        /// Engine name.
+        engine: &'static str,
+        /// Number of iterations executed.
+        iterations: u32,
+    },
+    /// A BSP iteration begins.
+    IterationStart {
+        /// 1-based iteration number.
+        iteration: u32,
+    },
+    /// A BSP iteration finished; carries the iteration's headline numbers
+    /// so a streaming consumer needs no other state.
+    IterationEnd {
+        /// 1-based iteration number.
+        iteration: u32,
+        /// Access model the iteration ran under.
+        model: AccessModel,
+        /// Active vertices at the start of the iteration.
+        frontier: u64,
+        /// Bytes read from storage during the iteration.
+        bytes_read: u64,
+        /// Microseconds spent in the scatter kernel.
+        scatter_us: u64,
+        /// Microseconds spent in the apply kernel.
+        apply_us: u64,
+        /// Microseconds the engine waited on storage.
+        io_wait_us: u64,
+    },
+    /// One edge sub-block (or edge run within it) was loaded.
+    BlockLoad {
+        /// Source interval (grid row).
+        i: u32,
+        /// Destination interval (grid column).
+        j: u32,
+        /// Bytes requested.
+        bytes: u64,
+        /// Whether the load was part of a sequential sweep (`true`) or an
+        /// on-demand selective read (`false`).
+        seq: bool,
+    },
+    /// The state-aware scheduler chose an access model for an iteration.
+    SchedulerDecision {
+        /// Iteration the decision applies to.
+        iteration: u32,
+        /// Active vertices classified sequential (clustered).
+        s_seq: u64,
+        /// Active vertices classified random (scattered).
+        s_ran: u64,
+        /// Estimated seconds for the full I/O model (`C_s`).
+        cost_full: f64,
+        /// Estimated seconds for the on-demand I/O model (`C_r`).
+        cost_on_demand: f64,
+        /// The model the scheduler picked.
+        chosen: AccessModel,
+    },
+    /// A selective cross-iteration update pass (Algorithm 2) completed.
+    SciuPass {
+        /// Iteration the pass ran in.
+        iteration: u32,
+        /// Edges served for the *next* iteration while blocks were hot.
+        edges_served: u64,
+    },
+    /// A full cross-iteration update pass (Algorithm 3) completed.
+    FciuPass {
+        /// Iteration the pass ran in.
+        iteration: u32,
+        /// Edges served for the *next* iteration while blocks were hot.
+        edges_served: u64,
+    },
+    /// The sub-block buffer served a block from memory.
+    BufferHit {
+        /// Source interval of the block.
+        i: u32,
+        /// Destination interval of the block.
+        j: u32,
+        /// Bytes of disk traffic avoided.
+        bytes: u64,
+    },
+    /// The sub-block buffer evicted a resident block.
+    BufferEviction {
+        /// Source interval of the evicted block.
+        i: u32,
+        /// Destination interval of the evicted block.
+        j: u32,
+        /// Bytes released.
+        bytes: u64,
+    },
+    /// The engine read or wrote the whole vertex-value file.
+    ValueFlush {
+        /// Bytes transferred.
+        bytes: u64,
+        /// `true` for a write-back, `false` for a read-in.
+        write: bool,
+    },
+}
+
+impl TraceEvent {
+    /// The event's stable snake_case tag — the `"ev"` field of the JSONL
+    /// schema.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::RunStart { .. } => "run_start",
+            TraceEvent::RunEnd { .. } => "run_end",
+            TraceEvent::IterationStart { .. } => "iteration_start",
+            TraceEvent::IterationEnd { .. } => "iteration_end",
+            TraceEvent::BlockLoad { .. } => "block_load",
+            TraceEvent::SchedulerDecision { .. } => "scheduler_decision",
+            TraceEvent::SciuPass { .. } => "sciu_pass",
+            TraceEvent::FciuPass { .. } => "fciu_pass",
+            TraceEvent::BufferHit { .. } => "buffer_hit",
+            TraceEvent::BufferEviction { .. } => "buffer_eviction",
+            TraceEvent::ValueFlush { .. } => "value_flush",
+        }
+    }
+}
+
+fn tagged(tag: &'static str, mut fields: Vec<(String, Value)>) -> Value {
+    let mut entries = vec![("ev".to_string(), Value::Str(tag.to_string()))];
+    entries.append(&mut fields);
+    Value::Map(entries)
+}
+
+fn s(name: &str, v: &str) -> (String, Value) {
+    (name.to_string(), Value::Str(v.to_string()))
+}
+
+fn u(name: &str, v: u64) -> (String, Value) {
+    (name.to_string(), Value::U64(v))
+}
+
+fn f(name: &str, v: f64) -> (String, Value) {
+    (name.to_string(), Value::F64(v))
+}
+
+fn b(name: &str, v: bool) -> (String, Value) {
+    (name.to_string(), Value::Bool(v))
+}
+
+impl Serialize for TraceEvent {
+    fn to_value(&self) -> Value {
+        match self {
+            TraceEvent::RunStart { engine, algorithm } => tagged(
+                self.kind(),
+                vec![s("engine", engine), s("algorithm", algorithm)],
+            ),
+            TraceEvent::RunEnd { engine, iterations } => tagged(
+                self.kind(),
+                vec![s("engine", engine), u("iterations", *iterations as u64)],
+            ),
+            TraceEvent::IterationStart { iteration } => {
+                tagged(self.kind(), vec![u("iteration", *iteration as u64)])
+            }
+            TraceEvent::IterationEnd {
+                iteration,
+                model,
+                frontier,
+                bytes_read,
+                scatter_us,
+                apply_us,
+                io_wait_us,
+            } => tagged(
+                self.kind(),
+                vec![
+                    u("iteration", *iteration as u64),
+                    s("model", model.as_str()),
+                    u("frontier", *frontier),
+                    u("bytes_read", *bytes_read),
+                    u("scatter_us", *scatter_us),
+                    u("apply_us", *apply_us),
+                    u("io_wait_us", *io_wait_us),
+                ],
+            ),
+            TraceEvent::BlockLoad { i, j, bytes, seq } => tagged(
+                self.kind(),
+                vec![
+                    u("i", *i as u64),
+                    u("j", *j as u64),
+                    u("bytes", *bytes),
+                    b("seq", *seq),
+                ],
+            ),
+            TraceEvent::SchedulerDecision {
+                iteration,
+                s_seq,
+                s_ran,
+                cost_full,
+                cost_on_demand,
+                chosen,
+            } => tagged(
+                self.kind(),
+                vec![
+                    u("iteration", *iteration as u64),
+                    u("s_seq", *s_seq),
+                    u("s_ran", *s_ran),
+                    f("cost_full", *cost_full),
+                    f("cost_on_demand", *cost_on_demand),
+                    s("chosen", chosen.as_str()),
+                ],
+            ),
+            TraceEvent::SciuPass {
+                iteration,
+                edges_served,
+            } => tagged(
+                self.kind(),
+                vec![
+                    u("iteration", *iteration as u64),
+                    u("edges_served", *edges_served),
+                ],
+            ),
+            TraceEvent::FciuPass {
+                iteration,
+                edges_served,
+            } => tagged(
+                self.kind(),
+                vec![
+                    u("iteration", *iteration as u64),
+                    u("edges_served", *edges_served),
+                ],
+            ),
+            TraceEvent::BufferHit { i, j, bytes } => tagged(
+                self.kind(),
+                vec![u("i", *i as u64), u("j", *j as u64), u("bytes", *bytes)],
+            ),
+            TraceEvent::BufferEviction { i, j, bytes } => tagged(
+                self.kind(),
+                vec![u("i", *i as u64), u("j", *j as u64), u("bytes", *bytes)],
+            ),
+            TraceEvent::ValueFlush { bytes, write } => {
+                tagged(self.kind(), vec![u("bytes", *bytes), b("write", *write)])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_serialize_with_stable_tags() {
+        let e = TraceEvent::BlockLoad {
+            i: 1,
+            j: 2,
+            bytes: 512,
+            seq: true,
+        };
+        let json = serde_json::to_string(&e).unwrap();
+        assert_eq!(
+            json,
+            r#"{"ev":"block_load","i":1,"j":2,"bytes":512,"seq":true}"#
+        );
+        assert_eq!(e.kind(), "block_load");
+
+        let d = TraceEvent::SchedulerDecision {
+            iteration: 3,
+            s_seq: 10,
+            s_ran: 4,
+            cost_full: 1.5,
+            cost_on_demand: 0.25,
+            chosen: AccessModel::OnDemand,
+        };
+        let json = serde_json::to_string(&d).unwrap();
+        assert!(json.starts_with(r#"{"ev":"scheduler_decision""#));
+        assert!(json.contains(r#""chosen":"on_demand""#));
+    }
+}

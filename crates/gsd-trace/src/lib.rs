@@ -1,0 +1,31 @@
+//! # gsd-trace — structured event tracing for GraphSD
+//!
+//! A small always-available observability substrate (std + serde only)
+//! shared by every engine, the scheduler, the sub-block buffer and the
+//! storage backends:
+//!
+//! * [`TraceEvent`] — the typed event model: iteration spans, block
+//!   loads, scheduler decisions, SCIU/FCIU passes, buffer hits and
+//!   evictions, vertex-value flushes.
+//! * [`TraceSink`] — where events go. [`NullSink`] (the default) reports
+//!   itself disabled so emission sites skip event construction entirely;
+//!   [`RingRecorder`] keeps a bounded in-memory window for tests;
+//!   [`JsonlWriter`] streams one JSON object per event; [`FanoutSink`]
+//!   tees to several sinks.
+//! * [`CounterRegistry`] / [`Histogram`] — lock-free power-of-two
+//!   histograms for request sizes and latencies, recorded by the storage
+//!   backends.
+//!
+//! The JSONL schema tags each event with an `"ev"` field holding its
+//! snake_case name; all other fields are flat scalars. See DESIGN.md
+//! ("Observability") for the full schema.
+
+#![warn(missing_docs)]
+
+pub mod counters;
+pub mod event;
+pub mod sink;
+
+pub use counters::{CounterRegistry, Histogram, HistogramSnapshot, HISTOGRAM_BUCKETS};
+pub use event::{AccessModel, TraceEvent};
+pub use sink::{null_sink, FanoutSink, JsonlWriter, NullSink, RingRecorder, TraceSink};

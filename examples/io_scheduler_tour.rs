@@ -10,7 +10,7 @@
 
 use graphsd::algos::Bfs;
 use graphsd::core::{GraphSdConfig, GraphSdEngine};
-use graphsd::graph::{preprocess, GeneratorConfig, GraphKind, Graph, GridGraph, PreprocessConfig};
+use graphsd::graph::{preprocess, GeneratorConfig, Graph, GraphKind, GridGraph, PreprocessConfig};
 use graphsd::io::{DiskModel, SharedStorage, SimDisk};
 use graphsd::runtime::{Engine, RunOptions};
 use std::sync::Arc;
@@ -32,7 +32,10 @@ fn main() -> std::io::Result<()> {
     let result = adaptive.run(&Bfs::new(root), &RunOptions::default())?;
 
     println!("== scheduler decisions, BFS from page {root} ==\n");
-    println!("{:<5} {:>8} {:>12} {:>12} {:>10} {:>10}  chosen", "iter", "|A|", "S_seq(B)", "S_ran(B)", "C_r(s)", "C_s(s)");
+    println!(
+        "{:<5} {:>8} {:>12} {:>12} {:>10} {:>10}  chosen",
+        "iter", "|A|", "S_seq(B)", "S_ran(B)", "C_r(s)", "C_s(s)"
+    );
     for d in adaptive.last_decisions() {
         println!(
             "{:<5} {:>8} {:>12} {:>12} {:>10.4} {:>10.4}  {:?}",
@@ -48,9 +51,18 @@ fn main() -> std::io::Result<()> {
 
     let total = |s: &graphsd::runtime::RunStats| s.io_time + s.compute_time;
     println!("\ntotals (I/O + update time):");
-    println!("  adaptive          {:>9.1} ms", total(&result.stats).as_secs_f64() * 1e3);
-    println!("  always full (b3)  {:>9.1} ms", total(&full.stats).as_secs_f64() * 1e3);
-    println!("  always on-demand  {:>9.1} ms", total(&od.stats).as_secs_f64() * 1e3);
+    println!(
+        "  adaptive          {:>9.1} ms",
+        total(&result.stats).as_secs_f64() * 1e3
+    );
+    println!(
+        "  always full (b3)  {:>9.1} ms",
+        total(&full.stats).as_secs_f64() * 1e3
+    );
+    println!(
+        "  always on-demand  {:>9.1} ms",
+        total(&od.stats).as_secs_f64() * 1e3
+    );
     println!(
         "  evaluation overhead {:>7.3} ms (the \"negligible\" claim of Figure 11)",
         result.stats.scheduler_time.as_secs_f64() * 1e3

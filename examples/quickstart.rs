@@ -66,6 +66,10 @@ fn main() -> std::io::Result<()> {
         "  cross-iteration   {} edge updates served without re-reading",
         s.cross_iter_edges
     );
-    println!("  buffer hits       {} ({} KiB avoided)", s.buffer_hits, s.buffer_hit_bytes / 1024);
+    println!(
+        "  buffer hits       {} ({} KiB avoided)",
+        s.buffer_hits,
+        s.buffer_hit_bytes / 1024
+    );
     Ok(())
 }

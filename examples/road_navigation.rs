@@ -59,9 +59,16 @@ fn main() -> std::io::Result<()> {
     println!(
         "\nwavefront ran {} BSP iterations; on-demand I/O first chosen at iteration {}",
         result.stats.iterations,
-        flip.map(|it| it.iteration.to_string()).unwrap_or_else(|| "never".into())
+        flip.map(|it| it.iteration.to_string())
+            .unwrap_or_else(|| "never".into())
     );
-    let widest = result.stats.per_iteration.iter().map(|it| it.frontier).max().unwrap_or(0);
+    let widest = result
+        .stats
+        .per_iteration
+        .iter()
+        .map(|it| it.frontier)
+        .max()
+        .unwrap_or(0);
     println!(
         "widest wavefront {widest} intersections; total I/O {} MiB; {} edge relaxations pre-served across iterations",
         result.stats.io.total_traffic() >> 20,

@@ -60,8 +60,12 @@ fn main() -> std::io::Result<()> {
 
     let a = adaptive.stats.io.total_traffic();
     let b = streaming.stats.io.total_traffic();
-    println!("\nI/O traffic: adaptive {} MiB vs streaming-only {} MiB ({:.2}x saved)",
-        a >> 20, b >> 20, b as f64 / a as f64);
+    println!(
+        "\nI/O traffic: adaptive {} MiB vs streaming-only {} MiB ({:.2}x saved)",
+        a >> 20,
+        b >> 20,
+        b as f64 / a as f64
+    );
     println!(
         "verdict: identical influencer ranking, {} fewer bytes moved",
         (b - a) >> 10

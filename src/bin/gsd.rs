@@ -173,7 +173,12 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         }
         "pagerank-delta" => {
             let result = run(&mut engine, &PageRankDelta::paper(), &options)?;
-            print_top(&result, top, |(rank, _): &(f32, f32)| format!("{rank:.4}"), true);
+            print_top(
+                &result,
+                top,
+                |(rank, _): &(f32, f32)| format!("{rank:.4}"),
+                true,
+            );
         }
         "cc" => {
             let result = run(&mut engine, &ConnectedComponents, &options)?;
@@ -221,7 +226,9 @@ fn print_stats(stats: &RunStats) {
     if stats.cross_iter_edges > 0 {
         println!(
             "  cross-iteration served {} edge updates; buffer hits {} ({} KiB)",
-            stats.cross_iter_edges, stats.buffer_hits, stats.buffer_hit_bytes >> 10
+            stats.cross_iter_edges,
+            stats.buffer_hits,
+            stats.buffer_hit_bytes >> 10
         );
     }
 }
@@ -234,7 +241,12 @@ fn print_top<V: Value>(
 ) {
     // Values are f32-backed for the rank programs; bit order matches value
     // order for non-negative floats.
-    let mut ranked: Vec<(u32, &V)> = result.values.iter().enumerate().map(|(v, x)| (v as u32, x)).collect();
+    let mut ranked: Vec<(u32, &V)> = result
+        .values
+        .iter()
+        .enumerate()
+        .map(|(v, x)| (v as u32, x))
+        .collect();
     if descending_by_bits {
         ranked.sort_by_key(|(_, x)| std::cmp::Reverse(x.to_bits()));
     }
@@ -255,7 +267,11 @@ fn cmd_info(args: &Args) -> Result<(), String> {
     println!("grid graph at {dir}:");
     println!("  vertices   {}", meta.num_vertices);
     println!("  edges      {}", meta.num_edges);
-    println!("  intervals  {p}x{p} = {} sub-blocks", meta.p * meta.p, p = meta.p);
+    println!(
+        "  intervals  {p}x{p} = {} sub-blocks",
+        meta.p * meta.p,
+        p = meta.p
+    );
     println!("  weighted   {}", meta.weighted);
     println!("  sorted     {}  indexed {}", meta.sorted, meta.indexed);
     println!("  edge bytes {} MiB", meta.total_edge_bytes() >> 20);

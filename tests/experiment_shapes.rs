@@ -15,13 +15,21 @@ fn datasets() -> Datasets {
 #[test]
 fn table1_only_graphsd_has_all_three_optimizations() {
     let t = experiments::table1(&datasets());
-    let full: Vec<_> = t.rows.iter().filter(|(_, a, b, c)| *a && *b && *c).collect();
+    let full: Vec<_> = t
+        .rows
+        .iter()
+        .filter(|(_, a, b, c)| *a && *b && *c)
+        .collect();
     assert_eq!(full.len(), 1);
     assert_eq!(full[0].0, "GraphSD");
     // HUS: active-aware but no future values; Lumos: the opposite.
     let hus = t.rows.iter().find(|(n, ..)| n.starts_with("HUS")).unwrap();
     assert!(hus.2 && !hus.3);
-    let lumos = t.rows.iter().find(|(n, ..)| n.starts_with("Lumos")).unwrap();
+    let lumos = t
+        .rows
+        .iter()
+        .find(|(n, ..)| n.starts_with("Lumos"))
+        .unwrap();
     assert!(!lumos.2 && lumos.3);
 }
 
@@ -37,9 +45,18 @@ fn fig5_graphsd_wins_on_frontier_algorithms() {
     for name in ["uk_sim", "ukunion_sim"] {
         let d = ds.get(name).unwrap();
         for algo in [Algo::PrD, Algo::Cc, Algo::Sssp] {
-            let gsd = run_system(SystemKind::GraphSd, d, algo).unwrap().stats.io_time;
-            let hus = run_system(SystemKind::HusGraph, d, algo).unwrap().stats.io_time;
-            let lumos = run_system(SystemKind::Lumos, d, algo).unwrap().stats.io_time;
+            let gsd = run_system(SystemKind::GraphSd, d, algo)
+                .unwrap()
+                .stats
+                .io_time;
+            let hus = run_system(SystemKind::HusGraph, d, algo)
+                .unwrap()
+                .stats
+                .io_time;
+            let lumos = run_system(SystemKind::Lumos, d, algo)
+                .unwrap()
+                .stats
+                .io_time;
             assert!(
                 gsd <= hus,
                 "{name}/{}: GraphSD {gsd:?} vs HUS-Graph {hus:?}",
@@ -94,7 +111,10 @@ fn fig7_traffic_orderings() {
     for dataset in ["twitter_sim", "uk_sim"] {
         let lumos = f.traffic_of(dataset, "SSSP", "Lumos").unwrap();
         let gsd = f.traffic_of(dataset, "SSSP", "GraphSD").unwrap();
-        assert!(lumos > gsd, "{dataset} SSSP: Lumos {lumos} vs GraphSD {gsd}");
+        assert!(
+            lumos > gsd,
+            "{dataset} SSSP: Lumos {lumos} vs GraphSD {gsd}"
+        );
     }
 }
 
@@ -109,7 +129,11 @@ fn fig8_preprocessing_ordering() {
         let hus = f.time_of(d.name, "HUS-Graph").unwrap();
         let lumos = f.time_of(d.name, "Lumos").unwrap();
         assert!(hus > gsd, "{}: HUS {hus:?} vs GraphSD {gsd:?}", d.name);
-        assert!(gsd > lumos, "{}: GraphSD {gsd:?} vs Lumos {lumos:?}", d.name);
+        assert!(
+            gsd > lumos,
+            "{}: GraphSD {gsd:?} vs Lumos {lumos:?}",
+            d.name
+        );
     }
 }
 
@@ -120,8 +144,14 @@ fn fig9_ablations_never_beat_the_full_system_on_traffic() {
     let (_, full_traffic) = f.totals("GraphSD");
     let (_, b1_traffic) = f.totals("GraphSD-b1");
     let (_, b2_traffic) = f.totals("GraphSD-b2");
-    assert!(b1_traffic > full_traffic, "b1 {b1_traffic} vs full {full_traffic}");
-    assert!(b2_traffic > full_traffic, "b2 {b2_traffic} vs full {full_traffic}");
+    assert!(
+        b1_traffic > full_traffic,
+        "b1 {b1_traffic} vs full {full_traffic}"
+    );
+    assert!(
+        b2_traffic > full_traffic,
+        "b2 {b2_traffic} vs full {full_traffic}"
+    );
 }
 
 #[test]
@@ -139,7 +169,10 @@ fn fig10_adaptive_tracks_the_better_fixed_model() {
         adaptive.as_secs_f64() <= best.as_secs_f64() * 1.15,
         "adaptive {adaptive:?} vs best fixed {best:?}"
     );
-    assert!(adaptive < worst, "adaptive {adaptive:?} vs worst fixed {worst:?}");
+    assert!(
+        adaptive < worst,
+        "adaptive {adaptive:?} vs worst fixed {worst:?}"
+    );
     // Both models must actually be exercised somewhere in the suite: CC
     // starts Full and ends OnDemand.
     assert!(!f.chosen.is_empty());

@@ -40,7 +40,9 @@ fn end_to_end_on_real_files() {
 
     let grid = GridGraph::open(storage.clone()).unwrap();
     let mut engine = GraphSdEngine::new(grid, GraphSdConfig::full()).unwrap();
-    let result = engine.run(&ConnectedComponents, &RunOptions::default()).unwrap();
+    let result = engine
+        .run(&ConnectedComponents, &RunOptions::default())
+        .unwrap();
 
     let graph = parse_edge_list(sample_edge_list().as_bytes()).unwrap();
     let want = ReferenceEngine::new(&graph)
@@ -73,7 +75,9 @@ fn format_survives_reopening_the_store() {
     let grid = GridGraph::open(storage).unwrap();
     assert_eq!(grid.num_edges(), graph.num_edges());
     let mut engine = GraphSdEngine::new(grid, GraphSdConfig::full()).unwrap();
-    let result = engine.run(&PageRank::with_iterations(3), &RunOptions::default()).unwrap();
+    let result = engine
+        .run(&PageRank::with_iterations(3), &RunOptions::default())
+        .unwrap();
     let want = ReferenceEngine::new(&graph)
         .run(&PageRank::with_iterations(3), &RunOptions::default())
         .unwrap()

@@ -6,7 +6,9 @@
 //! never a semantic change.
 
 use gsd_algos::{Bfs, ConnectedComponents, PageRank, Sssp};
-use gsd_baselines::{build_hus_format, build_lumos_format, GridStreamEngine, HusGraphEngine, LumosEngine};
+use gsd_baselines::{
+    build_hus_format, build_lumos_format, GridStreamEngine, HusGraphEngine, LumosEngine,
+};
 use gsd_core::{GraphSdConfig, GraphSdEngine};
 use gsd_graph::{preprocess, Edge, Graph, GridGraph, PreprocessConfig};
 use gsd_io::{DiskModel, SharedStorage, SimDisk};

@@ -1,0 +1,155 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses.
+//! Each benchmark closure is warmed up once and then timed over a small
+//! fixed number of batches; a single mean-time line is printed per
+//! benchmark. There is no statistical analysis, HTML report, or CLI — the
+//! goal is that `cargo bench` compiles and produces usable relative
+//! numbers offline.
+
+use std::fmt::Display;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// How many timed batches to run per benchmark.
+const BATCHES: u32 = 5;
+/// Target wall time per batch.
+const BATCH_TARGET: Duration = Duration::from_millis(40);
+
+/// Declared throughput of one benchmark iteration.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iterations process this many elements each.
+    Elements(u64),
+    /// Iterations process this many bytes each.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+/// Passed to benchmark closures; `iter` times the hot loop.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration, filled in by [`Bencher::iter`].
+    mean_nanos: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, recording the mean time per call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and per-batch iteration calibration.
+        let t = Instant::now();
+        black_box(routine());
+        let once = t.elapsed().max(Duration::from_nanos(1));
+        let per_batch = (BATCH_TARGET.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u32;
+
+        let mut total = Duration::ZERO;
+        let mut count = 0u64;
+        for _ in 0..BATCHES {
+            let t = Instant::now();
+            for _ in 0..per_batch {
+                black_box(routine());
+            }
+            total += t.elapsed();
+            count += per_batch as u64;
+        }
+        self.mean_nanos = total.as_nanos() as f64 / count.max(1) as f64;
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the throughput of subsequent benchmarks in this group.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    fn report(&self, id: &str, mean_nanos: f64) {
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if mean_nanos > 0.0 => {
+                format!("  {:>12.0} elem/s", n as f64 / (mean_nanos / 1e9))
+            }
+            Some(Throughput::Bytes(n)) if mean_nanos > 0.0 => {
+                format!(
+                    "  {:>12.1} MiB/s",
+                    n as f64 / (mean_nanos / 1e9) / (1 << 20) as f64
+                )
+            }
+            _ => String::new(),
+        };
+        println!("{}/{}  {:>14.1} ns/iter{}", self.name, id, mean_nanos, rate);
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        let mut b = Bencher { mean_nanos: 0.0 };
+        f(&mut b);
+        self.report(id, b.mean_nanos);
+    }
+
+    /// Runs one parameterized benchmark.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        let mut b = Bencher { mean_nanos: 0.0 };
+        f(&mut b, input);
+        self.report(&id.id, b.mean_nanos);
+    }
+
+    /// Ends the group (a no-op; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+}
+
+/// Declares a benchmark-group function, criterion style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,126 @@
+//! Offline stand-in for the subset of `rayon` this workspace uses. All
+//! "parallel" iterators execute **sequentially**: `par_iter`/`par_chunks`/
+//! `into_par_iter` return a thin [`ParIter`] wrapper around the equivalent
+//! standard iterator, so downstream adapter chains (`map`, `zip`, `sum`,
+//! `for_each`) come from `std::iter::Iterator`. Semantics are identical to
+//! rayon for the data-parallel pure kernels in this workspace; only the
+//! parallel speed-up is absent.
+
+/// Sequential stand-in for a rayon parallel iterator. Implements
+/// [`Iterator`] by delegation and accepts (and ignores) rayon's
+/// granularity hints.
+pub struct ParIter<I>(I);
+
+impl<I: Iterator> Iterator for ParIter<I> {
+    type Item = I::Item;
+
+    #[inline]
+    fn next(&mut self) -> Option<I::Item> {
+        self.0.next()
+    }
+
+    #[inline]
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.0.size_hint()
+    }
+}
+
+impl<I> ParIter<I> {
+    /// Granularity hint; a no-op in the sequential stand-in.
+    #[inline]
+    pub fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+
+    /// Granularity hint; a no-op in the sequential stand-in.
+    #[inline]
+    pub fn with_max_len(self, _max: usize) -> Self {
+        self
+    }
+}
+
+/// Conversion into a "parallel" iterator (sequential here).
+pub trait IntoParallelIterator {
+    /// The underlying sequential iterator type.
+    type Iter: Iterator;
+
+    /// Converts `self` into a [`ParIter`].
+    fn into_par_iter(self) -> ParIter<Self::Iter>;
+}
+
+impl<C: IntoIterator> IntoParallelIterator for C {
+    type Iter = C::IntoIter;
+
+    #[inline]
+    fn into_par_iter(self) -> ParIter<C::IntoIter> {
+        ParIter(self.into_iter())
+    }
+}
+
+/// `par_iter` / `par_chunks` over shared slices.
+pub trait ParallelSlice<T> {
+    /// Sequential stand-in for `rayon`'s `par_iter`.
+    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>>;
+    /// Sequential stand-in for `rayon`'s `par_chunks`.
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<std::slice::Chunks<'_, T>>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    #[inline]
+    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>> {
+        ParIter(self.iter())
+    }
+
+    #[inline]
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<std::slice::Chunks<'_, T>> {
+        ParIter(self.chunks(chunk_size))
+    }
+}
+
+/// `par_iter_mut` over exclusive slices.
+pub trait ParallelSliceMut<T> {
+    /// Sequential stand-in for `rayon`'s `par_iter_mut`.
+    fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>>;
+    /// Sequential stand-in for `rayon`'s `par_chunks_mut`.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<std::slice::ChunksMut<'_, T>>;
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    #[inline]
+    fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>> {
+        ParIter(self.iter_mut())
+    }
+
+    #[inline]
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<std::slice::ChunksMut<'_, T>> {
+        ParIter(self.chunks_mut(chunk_size))
+    }
+}
+
+/// The rayon prelude: glob-import to get the `par_*` extension methods.
+pub mod prelude {
+    pub use super::{IntoParallelIterator, ParIter, ParallelSlice, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn adapters_behave_like_std() {
+        let v: Vec<u64> = (0..100).collect();
+        let sum: u64 = v.par_iter().map(|x| x * 2).sum();
+        assert_eq!(sum, 9900);
+        let chunk_sum: u64 = v.par_chunks(7).map(|c| c.iter().sum::<u64>()).sum();
+        assert_eq!(chunk_sum, 4950);
+        let ranged: u64 = (0u32..10)
+            .into_par_iter()
+            .with_min_len(4)
+            .map(u64::from)
+            .sum();
+        assert_eq!(ranged, 45);
+        let mut w = vec![1u32; 8];
+        w.par_iter_mut().for_each(|x| *x += 1);
+        assert_eq!(w, vec![2u32; 8]);
+    }
+}

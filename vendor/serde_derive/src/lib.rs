@@ -1,0 +1,236 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! value-model serde stand-in. Parses the item's token stream directly (no
+//! syn/quote — the build environment has no registry access) and supports
+//! exactly the shapes this workspace derives:
+//!
+//! * structs with named fields (no generics),
+//! * enums with unit variants only (no generics).
+//!
+//! `#[serde(...)]` attributes are not supported and none are used in-tree.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The parsed shape of a derive input.
+enum Shape {
+    /// Struct name + field names, in declaration order.
+    Struct(String, Vec<String>),
+    /// Enum name + unit variant names, in declaration order.
+    Enum(String, Vec<String>),
+}
+
+/// Skips attributes (`#[...]`, including doc comments) and visibility
+/// (`pub`, `pub(...)`) at the cursor.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut pos: usize) -> usize {
+    loop {
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                pos += 1; // '#'
+                if matches!(tokens.get(pos), Some(TokenTree::Group(_))) {
+                    pos += 1; // '[...]'
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                pos += 1; // 'pub'
+                if let Some(TokenTree::Group(g)) = tokens.get(pos) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        pos += 1; // '(crate)' etc.
+                    }
+                }
+            }
+            _ => return pos,
+        }
+    }
+}
+
+fn parse_shape(input: TokenStream) -> Shape {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = skip_attrs_and_vis(&tokens, 0);
+
+    let kind = match &tokens[pos] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive stub: expected `struct` or `enum`, got {other}"),
+    };
+    pos += 1;
+    let name = match &tokens[pos] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive stub: expected type name, got {other}"),
+    };
+    pos += 1;
+
+    // Find the brace-delimited body; anything between the name and the body
+    // (generics, where clauses) is unsupported.
+    let body = loop {
+        match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                panic!("serde_derive stub: generic type `{name}` is not supported")
+            }
+            Some(_) => pos += 1,
+            None => panic!("serde_derive stub: `{name}` has no braced body"),
+        }
+    };
+
+    match kind.as_str() {
+        "struct" => Shape::Struct(name, parse_struct_fields(body)),
+        "enum" => Shape::Enum(name, parse_enum_variants(body)),
+        other => panic!("serde_derive stub: unsupported item kind `{other}`"),
+    }
+}
+
+/// Extracts field names from a named-struct body.
+fn parse_struct_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut pos = 0usize;
+    while pos < tokens.len() {
+        pos = skip_attrs_and_vis(&tokens, pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let field = match &tokens[pos] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive stub: expected field name, got {other}"),
+        };
+        fields.push(field);
+        pos += 1;
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => panic!("serde_derive stub: expected `:`, got {other:?}"),
+        }
+        // Skip the type: everything up to the next comma at angle-depth 0.
+        let mut angle_depth = 0i32;
+        while pos < tokens.len() {
+            match &tokens[pos] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    pos += 1;
+                    break;
+                }
+                _ => {}
+            }
+            pos += 1;
+        }
+    }
+    fields
+}
+
+/// Extracts variant names from a unit-variant enum body.
+fn parse_enum_variants(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut pos = 0usize;
+    while pos < tokens.len() {
+        pos = skip_attrs_and_vis(&tokens, pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        match &tokens[pos] {
+            TokenTree::Ident(id) => variants.push(id.to_string()),
+            other => panic!("serde_derive stub: expected variant name, got {other}"),
+        }
+        pos += 1;
+        match tokens.get(pos) {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => pos += 1,
+            Some(other) => {
+                panic!("serde_derive stub: only unit enum variants are supported, got {other}")
+            }
+        }
+    }
+    variants
+}
+
+/// `#[derive(Serialize)]` — lowers to `serde::Value` field by field.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let code = match parse_shape(input) {
+        Shape::Struct(name, fields) => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Map(::std::vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum(name, variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{name}::{v} => ::serde::Value::Str(::std::string::String::from(\"{v}\")),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse()
+        .expect("serde_derive stub: generated invalid Serialize impl")
+}
+
+/// `#[derive(Deserialize)]` — rebuilds from `serde::Value` field by field.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let code = match parse_shape(input) {
+        Shape::Struct(name, fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                         ::serde::value_field(v, \"{f}\")?)?,"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> \
+                         ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         ::std::result::Result::Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum(name, variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> \
+                         ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         match v {{\n\
+                             ::serde::Value::Str(s) => match s.as_str() {{\n\
+                                 {arms}\n\
+                                 other => ::std::result::Result::Err(::serde::DeError(\
+                                     ::std::format!(\"unknown variant `{{other}}` for {name}\"))),\n\
+                             }},\n\
+                             other => ::std::result::Result::Err(::serde::DeError(\
+                                 ::std::format!(\"expected string variant for {name}, got {{other:?}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse()
+        .expect("serde_derive stub: generated invalid Deserialize impl")
+}
