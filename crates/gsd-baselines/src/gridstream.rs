@@ -12,9 +12,10 @@ use gsd_runtime::{
     Capabilities, Engine, Frontier, IoAccessModel, IterationStats, ProgramContext, RunOptions,
     RunResult, RunStats, ValueArray, VertexProgram, VertexValueFile,
 };
+use gsd_trace::Stopwatch;
 use gsd_trace::{TraceEvent, TraceSink};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Plain full-streaming engine over a grid graph.
 pub struct GridStreamEngine {
@@ -121,7 +122,7 @@ impl Engine for GridStreamEngine {
             let mut scatter_t = Duration::ZERO;
             let mut apply_t = Duration::ZERO;
 
-            let t = Instant::now();
+            let t = Stopwatch::start();
             vfile.read_all(storage.as_ref())?;
             io_wall += t.elapsed();
             if self.trace.enabled() {
@@ -131,7 +132,7 @@ impl Engine for GridStreamEngine {
                 });
             }
 
-            let t = Instant::now();
+            let t = Stopwatch::start();
             values_cur.copy_from(&values_prev);
             compute += t.elapsed();
 
@@ -141,7 +142,7 @@ impl Engine for GridStreamEngine {
                     if grid.meta().block_edge_count(i, j) == 0 {
                         continue;
                     }
-                    let t = Instant::now();
+                    let t = Stopwatch::start();
                     grid.read_block_into(i, j, &mut scratch, &mut edges)?;
                     io_wall += t.elapsed();
                     if self.trace.enabled() {
@@ -152,7 +153,7 @@ impl Engine for GridStreamEngine {
                             seq: true,
                         });
                     }
-                    let t = Instant::now();
+                    let t = Stopwatch::start();
                     scatter_edges_timed(
                         program,
                         &ctx,
@@ -165,7 +166,7 @@ impl Engine for GridStreamEngine {
                     );
                     compute += t.elapsed();
                 }
-                let t = Instant::now();
+                let t = Stopwatch::start();
                 apply_range_timed(
                     program,
                     &ctx,
@@ -180,7 +181,7 @@ impl Engine for GridStreamEngine {
                 compute += t.elapsed();
             }
 
-            let t = Instant::now();
+            let t = Stopwatch::start();
             vfile.write_all(storage.as_ref())?;
             io_wall += t.elapsed();
             if self.trace.enabled() {

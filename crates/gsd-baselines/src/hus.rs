@@ -26,9 +26,10 @@ use gsd_runtime::{
     Capabilities, Engine, Frontier, IoAccessModel, IterationStats, ProgramContext, RunOptions,
     RunResult, RunStats, ValueArray, VertexProgram, VertexValueFile,
 };
+use gsd_trace::Stopwatch;
 use gsd_trace::{TraceEvent, TraceSink};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// The two on-disk copies HUS-Graph maintains.
 pub struct HusFormat {
@@ -215,7 +216,7 @@ impl Engine for HusGraphEngine {
             let active_bytes = self.active_edge_bytes(&frontier);
             let use_rop = active_bytes.saturating_mul(self.rop_amplification) < total_edge_bytes;
 
-            let t = Instant::now();
+            let t = Stopwatch::start();
             vfile.read_all(storage.as_ref())?;
             io_wall += t.elapsed();
             if self.trace.enabled() {
@@ -225,7 +226,7 @@ impl Engine for HusGraphEngine {
                 });
             }
 
-            let t = Instant::now();
+            let t = Stopwatch::start();
             values_cur.copy_from(&values_prev);
             compute += t.elapsed();
 
@@ -243,7 +244,7 @@ impl Engine for HusGraphEngine {
                         if row.meta().block_edge_count(i, j) == 0 {
                             continue;
                         }
-                        let t = Instant::now();
+                        let t = Stopwatch::start();
                         for span in &clusters {
                             let cluster = &active[span.clone()];
                             let index =
@@ -303,7 +304,7 @@ impl Engine for HusGraphEngine {
                         io_wall += t.elapsed();
                     }
                 }
-                let t = Instant::now();
+                let t = Stopwatch::start();
                 scatter_edges_timed(
                     program,
                     &ctx,
@@ -333,7 +334,7 @@ impl Engine for HusGraphEngine {
                         if col.meta().block_edge_count(i, j) == 0 {
                             continue;
                         }
-                        let t = Instant::now();
+                        let t = Stopwatch::start();
                         col.read_block_into(i, j, &mut scratch, &mut edges)?;
                         io_wall += t.elapsed();
                         if self.trace.enabled() {
@@ -344,7 +345,7 @@ impl Engine for HusGraphEngine {
                                 seq: true,
                             });
                         }
-                        let t = Instant::now();
+                        let t = Stopwatch::start();
                         scatter_edges_timed(
                             program,
                             &ctx,
@@ -357,7 +358,7 @@ impl Engine for HusGraphEngine {
                         );
                         compute += t.elapsed();
                     }
-                    let t = Instant::now();
+                    let t = Stopwatch::start();
                     apply_range_timed(
                         program,
                         &ctx,
@@ -373,7 +374,7 @@ impl Engine for HusGraphEngine {
                 }
             }
 
-            let t = Instant::now();
+            let t = Stopwatch::start();
             vfile.write_all(storage.as_ref())?;
             io_wall += t.elapsed();
             if self.trace.enabled() {

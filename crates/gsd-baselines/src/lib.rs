@@ -24,6 +24,7 @@
 //! [`gsd_runtime::ReferenceEngine`]; they differ from GraphSD only in
 //! *which bytes they read* — which is precisely what the paper measures.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod gridstream;

@@ -17,9 +17,10 @@ use gsd_runtime::{
     Capabilities, Engine, Frontier, IoAccessModel, IterationStats, ProgramContext, RunOptions,
     RunResult, RunStats, ValueArray, VertexProgram, VertexValueFile,
 };
+use gsd_trace::Stopwatch;
 use gsd_trace::{TraceEvent, TraceSink};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Builds the Lumos on-disk layout (unsorted, unindexed grid) under
 /// `prefix` and returns its handle plus the preprocessing breakdown.
@@ -170,7 +171,7 @@ impl Engine for LumosEngine {
             let mut apply_t = Duration::ZERO;
             let mut pass_edges_served = 0u64;
 
-            let t = Instant::now();
+            let t = Stopwatch::start();
             vfile.read_all(storage.as_ref())?;
             io_wall += t.elapsed();
             if self.trace.enabled() {
@@ -180,7 +181,7 @@ impl Engine for LumosEngine {
                 });
             }
 
-            let t = Instant::now();
+            let t = Stopwatch::start();
             st.values_cur.copy_from(&st.values_prev);
             compute += t.elapsed();
 
@@ -191,7 +192,7 @@ impl Engine for LumosEngine {
                     if grid.meta().block_edge_count(i, j) == 0 {
                         continue;
                     }
-                    let t = Instant::now();
+                    let t = Stopwatch::start();
                     grid.read_block_into(i, j, &mut scratch, &mut edges)?;
                     io_wall += t.elapsed();
                     if self.trace.enabled() {
@@ -203,7 +204,7 @@ impl Engine for LumosEngine {
                         });
                     }
 
-                    let t = Instant::now();
+                    let t = Stopwatch::start();
                     scatter_edges_timed(
                         program,
                         &ctx,
@@ -234,7 +235,7 @@ impl Engine for LumosEngine {
                     }
                     compute += t.elapsed();
                 }
-                let t = Instant::now();
+                let t = Stopwatch::start();
                 apply_range_timed(
                     program,
                     &ctx,
@@ -269,7 +270,7 @@ impl Engine for LumosEngine {
                 });
             }
 
-            let t = Instant::now();
+            let t = Stopwatch::start();
             vfile.write_all(storage.as_ref())?;
             io_wall += t.elapsed();
             if self.trace.enabled() {
@@ -327,7 +328,7 @@ impl Engine for LumosEngine {
             let mut scatter_t = Duration::ZERO;
             let mut apply_t = Duration::ZERO;
 
-            let t = Instant::now();
+            let t = Stopwatch::start();
             vfile.read_all(storage.as_ref())?;
             io_wall += t.elapsed();
             if self.trace.enabled() {
@@ -337,7 +338,7 @@ impl Engine for LumosEngine {
                 });
             }
 
-            let t = Instant::now();
+            let t = Stopwatch::start();
             st.values_cur.copy_from(&st.values_prev);
             compute += t.elapsed();
 
@@ -347,7 +348,7 @@ impl Engine for LumosEngine {
                     if grid.meta().block_edge_count(i, j) == 0 {
                         continue;
                     }
-                    let t = Instant::now();
+                    let t = Stopwatch::start();
                     grid.read_block_into(i, j, &mut scratch, &mut edges)?;
                     io_wall += t.elapsed();
                     if self.trace.enabled() {
@@ -358,7 +359,7 @@ impl Engine for LumosEngine {
                             seq: true,
                         });
                     }
-                    let t = Instant::now();
+                    let t = Stopwatch::start();
                     scatter_edges_timed(
                         program,
                         &ctx,
@@ -371,7 +372,7 @@ impl Engine for LumosEngine {
                     );
                     compute += t.elapsed();
                 }
-                let t = Instant::now();
+                let t = Stopwatch::start();
                 apply_range_timed(
                     program,
                     &ctx,
@@ -386,7 +387,7 @@ impl Engine for LumosEngine {
                 compute += t.elapsed();
             }
 
-            let t = Instant::now();
+            let t = Stopwatch::start();
             vfile.write_all(storage.as_ref())?;
             io_wall += t.elapsed();
             if self.trace.enabled() {

@@ -23,6 +23,7 @@
 //! experiments -- <id>`. The `GSD_SCALE` environment variable selects the
 //! workload scale (`tiny`, `small` — default, `medium`).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod datasets;

@@ -28,14 +28,14 @@ use crate::config::GraphSdConfig;
 use crate::scheduler::{Scheduler, SchedulerDecision};
 use gsd_graph::{Edge, GridGraph};
 use gsd_io::{DiskModel, IoStatsSnapshot};
-use gsd_runtime::kernels::{apply_range_timed, scatter_edges_timed};
+use gsd_runtime::kernels::{apply_range_timed, scatter_edges_timed, timed};
 use gsd_runtime::{
     Capabilities, Engine, Frontier, IoAccessModel, IterationStats, ProgramContext, RunOptions,
     RunResult, RunStats, ValueArray, VertexProgram, VertexValueFile,
 };
 use gsd_trace::{TraceEvent, TraceSink};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// The GraphSD out-of-core engine over a preprocessed [`GridGraph`].
 pub struct GraphSdEngine {
@@ -212,7 +212,7 @@ impl<'a, P: VertexProgram> Runner<'a, P> {
             .unwrap_or(0);
         let mut buffer = SubBlockBuffer::new(budget.saturating_sub(largest_block));
         buffer.set_trace(engine.trace.clone());
-        let index_gap = (seq_run_threshold / 4).clamp(1, u32::MAX as u64) as u32;
+        let index_gap = gsd_graph::narrow::saturating_u32((seq_run_threshold / 4).max(1));
         Ok(Runner {
             grid,
             config: &engine.config,
@@ -387,11 +387,11 @@ impl<'a, P: VertexProgram> Runner<'a, P> {
         j: u32,
         io_wall: &mut Duration,
     ) -> std::io::Result<Arc<Vec<Edge>>> {
-        let t = Instant::now();
         let mut edges = Vec::new();
-        self.grid
-            .read_block_into(i, j, &mut self.scratch, &mut edges)?;
-        *io_wall += t.elapsed();
+        timed(io_wall, || {
+            self.grid
+                .read_block_into(i, j, &mut self.scratch, &mut edges)
+        })?;
         if self.trace.enabled() {
             self.trace.emit(&TraceEvent::BlockLoad {
                 i,
@@ -414,9 +414,9 @@ impl<'a, P: VertexProgram> Runner<'a, P> {
         let mut tracker = self.begin_iter(iter);
 
         // Stream the vertex value array in.
-        let t = Instant::now();
-        self.vfile.read_all(storage.as_ref())?;
-        tracker.io_wall += t.elapsed();
+        timed(&mut tracker.io_wall, || {
+            self.vfile.read_all(storage.as_ref())
+        })?;
         if self.trace.enabled() {
             self.trace.emit(&TraceEvent::ValueFlush {
                 bytes: self.value_file_bytes,
@@ -424,9 +424,9 @@ impl<'a, P: VertexProgram> Runner<'a, P> {
             });
         }
 
-        let t = Instant::now();
-        self.values_cur.copy_from(&self.values_prev);
-        tracker.compute += t.elapsed();
+        timed(&mut tracker.compute, || {
+            self.values_cur.copy_from(&self.values_prev)
+        });
 
         // On-demand load of active edge lists (kept in memory for the
         // cross-iteration phase — the defining trick of SCIU).
@@ -440,13 +440,14 @@ impl<'a, P: VertexProgram> Runner<'a, P> {
             let clusters = gsd_graph::cluster_vertex_spans(&active, self.index_gap);
             for span in &clusters {
                 let cluster = &active[span.clone()];
+                let (Some(&first), Some(&last)) = (cluster.first(), cluster.last()) else {
+                    continue; // clusters over a non-empty active set are non-empty
+                };
                 // ONE index request per active cluster resolves the
                 // cluster's edge ranges in every sub-block of the row.
-                let t = Instant::now();
-                let index =
-                    self.grid
-                        .read_row_index_span(i, cluster[0], *cluster.last().unwrap())?;
-                tracker.io_wall += t.elapsed();
+                let index = timed(&mut tracker.io_wall, || {
+                    self.grid.read_row_index_span(i, first, last)
+                })?;
 
                 for j in 0..self.p {
                     if self.grid.meta().block_edge_count(i, j) == 0 {
@@ -467,16 +468,16 @@ impl<'a, P: VertexProgram> Runner<'a, P> {
                             run_len += len;
                         } else {
                             if run_len > 0 {
-                                let t = Instant::now();
-                                self.grid.read_edge_run(
-                                    i,
-                                    j,
-                                    run_start,
-                                    run_len,
-                                    &mut self.scratch,
-                                    &mut loaded,
-                                )?;
-                                tracker.io_wall += t.elapsed();
+                                timed(&mut tracker.io_wall, || {
+                                    self.grid.read_edge_run(
+                                        i,
+                                        j,
+                                        run_start,
+                                        run_len,
+                                        &mut self.scratch,
+                                        &mut loaded,
+                                    )
+                                })?;
                                 if self.trace.enabled() {
                                     self.trace.emit(&TraceEvent::BlockLoad {
                                         i,
@@ -491,16 +492,16 @@ impl<'a, P: VertexProgram> Runner<'a, P> {
                         }
                     }
                     if run_len > 0 {
-                        let t = Instant::now();
-                        self.grid.read_edge_run(
-                            i,
-                            j,
-                            run_start,
-                            run_len,
-                            &mut self.scratch,
-                            &mut loaded,
-                        )?;
-                        tracker.io_wall += t.elapsed();
+                        timed(&mut tracker.io_wall, || {
+                            self.grid.read_edge_run(
+                                i,
+                                j,
+                                run_start,
+                                run_len,
+                                &mut self.scratch,
+                                &mut loaded,
+                            )
+                        })?;
                         if self.trace.enabled() {
                             self.trace.emit(&TraceEvent::BlockLoad {
                                 i,
@@ -516,56 +517,58 @@ impl<'a, P: VertexProgram> Runner<'a, P> {
 
         // UserFunction over the loaded active edges (sources are active by
         // construction, no filter needed).
-        let t = Instant::now();
-        scatter_edges_timed(
-            self.program,
-            &self.ctx,
-            &loaded,
-            None,
-            &self.values_prev,
-            &self.accum_cur,
-            &self.touched_cur,
-            &mut tracker.scatter,
-        );
-        // Apply at the barrier.
-        let out = Frontier::empty(self.n);
-        apply_range_timed(
-            self.program,
-            &self.ctx,
-            0..self.n,
-            self.program.apply_all(),
-            &self.touched_cur,
-            &self.accum_cur,
-            &self.values_cur,
-            &out,
-            &mut tracker.apply,
-        );
-        tracker.compute += t.elapsed();
+        let out = timed(&mut tracker.compute, || {
+            scatter_edges_timed(
+                self.program,
+                &self.ctx,
+                &loaded,
+                None,
+                &self.values_prev,
+                &self.accum_cur,
+                &self.touched_cur,
+                &mut tracker.scatter,
+            );
+            // Apply at the barrier.
+            let out = Frontier::empty(self.n);
+            apply_range_timed(
+                self.program,
+                &self.ctx,
+                0..self.n,
+                self.program.apply_all(),
+                &self.touched_cur,
+                &self.accum_cur,
+                &self.values_cur,
+                &out,
+                &mut tracker.apply,
+            );
+            out
+        });
 
         // Cross-iteration phase (Algorithm 2, lines 15–23): re-activated
         // vertices have all their out-edges in `loaded`; scatter their new
         // values into the next iteration's accumulator and drop them from
         // the next frontier.
         if self.config.enable_cross_iter && iter < self.limit {
-            let t = Instant::now();
-            let served_edges = scatter_edges_timed(
-                self.program,
-                &self.ctx,
-                &loaded,
-                Some(&out),
-                &self.values_cur,
-                &self.accum_next,
-                &self.touched_next,
-                &mut tracker.scatter,
-            );
+            let served_edges = timed(&mut tracker.compute, || {
+                let served_edges = scatter_edges_timed(
+                    self.program,
+                    &self.ctx,
+                    &loaded,
+                    Some(&out),
+                    &self.values_cur,
+                    &self.accum_next,
+                    &self.touched_next,
+                    &mut tracker.scatter,
+                );
+                // Remove every re-activated vertex (out ∩ V_active) — its
+                // next-iteration scatter has been fully performed.
+                let served: Vec<u32> = out.iter().filter(|&v| self.frontier.contains(v)).collect();
+                for v in served {
+                    out.remove(v);
+                }
+                served_edges
+            });
             self.cross_iter_edges += served_edges;
-            // Remove every re-activated vertex (out ∩ V_active) — its
-            // next-iteration scatter has been fully performed.
-            let served: Vec<u32> = out.iter().filter(|&v| self.frontier.contains(v)).collect();
-            for v in served {
-                out.remove(v);
-            }
-            tracker.compute += t.elapsed();
             if self.trace.enabled() {
                 self.trace.emit(&TraceEvent::SciuPass {
                     iteration: iter,
@@ -580,9 +583,9 @@ impl<'a, P: VertexProgram> Runner<'a, P> {
         }
 
         // Stream the vertex value array back out.
-        let t = Instant::now();
-        self.vfile.write_all(storage.as_ref())?;
-        tracker.io_wall += t.elapsed();
+        timed(&mut tracker.io_wall, || {
+            self.vfile.write_all(storage.as_ref())
+        })?;
         if self.trace.enabled() {
             self.trace.emit(&TraceEvent::ValueFlush {
                 bytes: self.value_file_bytes,
@@ -609,9 +612,9 @@ impl<'a, P: VertexProgram> Runner<'a, P> {
         let frontier_size = self.frontier.count();
         let mut tracker = self.begin_iter(iter);
 
-        let t = Instant::now();
-        self.vfile.read_all(storage.as_ref())?;
-        tracker.io_wall += t.elapsed();
+        timed(&mut tracker.io_wall, || {
+            self.vfile.read_all(storage.as_ref())
+        })?;
         if self.trace.enabled() {
             self.trace.emit(&TraceEvent::ValueFlush {
                 bytes: self.value_file_bytes,
@@ -619,9 +622,9 @@ impl<'a, P: VertexProgram> Runner<'a, P> {
             });
         }
 
-        let t = Instant::now();
-        self.values_cur.copy_from(&self.values_prev);
-        tracker.compute += t.elapsed();
+        timed(&mut tracker.compute, || {
+            self.values_cur.copy_from(&self.values_prev)
+        });
 
         let out = Frontier::empty(self.n);
         let mut pass_edges_served = 0u64;
@@ -641,74 +644,76 @@ impl<'a, P: VertexProgram> Runner<'a, P> {
                     None => self.load_block(i, j, &mut tracker.io_wall)?,
                 };
 
-                let t = Instant::now();
-                let delivered = scatter_edges_timed(
-                    self.program,
-                    &self.ctx,
-                    &edges,
-                    Some(&self.frontier),
-                    &self.values_prev,
-                    &self.accum_cur,
-                    &self.touched_cur,
-                    &mut tracker.scatter,
-                );
-                if two_pass {
-                    if i < j {
-                        // Interval i is fully applied (its column came
-                        // earlier), so cross-iteration propagation is legal.
-                        let served = scatter_edges_timed(
-                            self.program,
-                            &self.ctx,
-                            &edges,
-                            Some(&out),
-                            &self.values_cur,
-                            &self.accum_next,
-                            &self.touched_next,
-                            &mut tracker.scatter,
-                        );
-                        self.cross_iter_edges += served;
-                        pass_edges_served += served;
-                    } else if i == j {
-                        // Held in memory until interval j is applied.
-                        diag_edges = Some(edges.clone());
-                    } else if self.config.enable_buffering {
-                        // Secondary sub-block: candidate for the buffer,
-                        // priority = active edges seen this pass.
-                        let bytes = self.grid.meta().block_bytes(i, j);
-                        self.buffer.offer(i, j, edges.clone(), bytes, delivered);
+                timed(&mut tracker.compute, || {
+                    let delivered = scatter_edges_timed(
+                        self.program,
+                        &self.ctx,
+                        &edges,
+                        Some(&self.frontier),
+                        &self.values_prev,
+                        &self.accum_cur,
+                        &self.touched_cur,
+                        &mut tracker.scatter,
+                    );
+                    if two_pass {
+                        if i < j {
+                            // Interval i is fully applied (its column came
+                            // earlier), so cross-iteration propagation is
+                            // legal.
+                            let served = scatter_edges_timed(
+                                self.program,
+                                &self.ctx,
+                                &edges,
+                                Some(&out),
+                                &self.values_cur,
+                                &self.accum_next,
+                                &self.touched_next,
+                                &mut tracker.scatter,
+                            );
+                            self.cross_iter_edges += served;
+                            pass_edges_served += served;
+                        } else if i == j {
+                            // Held in memory until interval j is applied.
+                            diag_edges = Some(edges.clone());
+                        } else if self.config.enable_buffering {
+                            // Secondary sub-block: candidate for the buffer,
+                            // priority = active edges seen this pass.
+                            let bytes = self.grid.meta().block_bytes(i, j);
+                            self.buffer.offer(i, j, edges.clone(), bytes, delivered);
+                        }
                     }
-                }
-                tracker.compute += t.elapsed();
+                });
             }
             // Apply interval j at its barrier.
-            let t = Instant::now();
-            apply_range_timed(
-                self.program,
-                &self.ctx,
-                self.grid.intervals().range(j),
-                self.program.apply_all(),
-                &self.touched_cur,
-                &self.accum_cur,
-                &self.values_cur,
-                &out,
-                &mut tracker.apply,
-            );
-            // Diagonal cross-iteration after interval j's values are final.
-            if let Some(diag) = diag_edges {
-                let served = scatter_edges_timed(
+            timed(&mut tracker.compute, || {
+                apply_range_timed(
                     self.program,
                     &self.ctx,
-                    &diag,
-                    Some(&out),
+                    self.grid.intervals().range(j),
+                    self.program.apply_all(),
+                    &self.touched_cur,
+                    &self.accum_cur,
                     &self.values_cur,
-                    &self.accum_next,
-                    &self.touched_next,
-                    &mut tracker.scatter,
+                    &out,
+                    &mut tracker.apply,
                 );
-                self.cross_iter_edges += served;
-                pass_edges_served += served;
-            }
-            tracker.compute += t.elapsed();
+                // Diagonal cross-iteration after interval j's values are
+                // final.
+                if let Some(diag) = diag_edges {
+                    let served = scatter_edges_timed(
+                        self.program,
+                        &self.ctx,
+                        &diag,
+                        Some(&out),
+                        &self.values_cur,
+                        &self.accum_next,
+                        &self.touched_next,
+                        &mut tracker.scatter,
+                    );
+                    self.cross_iter_edges += served;
+                    pass_edges_served += served;
+                }
+            });
         }
         if two_pass && self.trace.enabled() {
             self.trace.emit(&TraceEvent::FciuPass {
@@ -717,9 +722,9 @@ impl<'a, P: VertexProgram> Runner<'a, P> {
             });
         }
 
-        let t = Instant::now();
-        self.vfile.write_all(storage.as_ref())?;
-        tracker.io_wall += t.elapsed();
+        timed(&mut tracker.io_wall, || {
+            self.vfile.write_all(storage.as_ref())
+        })?;
         if self.trace.enabled() {
             self.trace.emit(&TraceEvent::ValueFlush {
                 bytes: self.value_file_bytes,
@@ -744,9 +749,9 @@ impl<'a, P: VertexProgram> Runner<'a, P> {
         let frontier_size2 = self.frontier.count();
         let mut tracker = self.begin_iter(iter + 1);
 
-        let t = Instant::now();
-        self.vfile.read_all(storage.as_ref())?;
-        tracker.io_wall += t.elapsed();
+        timed(&mut tracker.io_wall, || {
+            self.vfile.read_all(storage.as_ref())
+        })?;
         if self.trace.enabled() {
             self.trace.emit(&TraceEvent::ValueFlush {
                 bytes: self.value_file_bytes,
@@ -754,9 +759,9 @@ impl<'a, P: VertexProgram> Runner<'a, P> {
             });
         }
 
-        let t = Instant::now();
-        self.values_cur.copy_from(&self.values_prev);
-        tracker.compute += t.elapsed();
+        timed(&mut tracker.compute, || {
+            self.values_cur.copy_from(&self.values_prev)
+        });
 
         let out = Frontier::empty(self.n);
         for j in 0..self.p {
@@ -773,37 +778,37 @@ impl<'a, P: VertexProgram> Runner<'a, P> {
                     Some(e) => e,
                     None => self.load_block(i, j, &mut tracker.io_wall)?,
                 };
-                let t = Instant::now();
-                scatter_edges_timed(
+                timed(&mut tracker.compute, || {
+                    scatter_edges_timed(
+                        self.program,
+                        &self.ctx,
+                        &edges,
+                        Some(&self.frontier),
+                        &self.values_prev,
+                        &self.accum_cur,
+                        &self.touched_cur,
+                        &mut tracker.scatter,
+                    )
+                });
+            }
+            timed(&mut tracker.compute, || {
+                apply_range_timed(
                     self.program,
                     &self.ctx,
-                    &edges,
-                    Some(&self.frontier),
-                    &self.values_prev,
-                    &self.accum_cur,
+                    self.grid.intervals().range(j),
+                    self.program.apply_all(),
                     &self.touched_cur,
-                    &mut tracker.scatter,
-                );
-                tracker.compute += t.elapsed();
-            }
-            let t = Instant::now();
-            apply_range_timed(
-                self.program,
-                &self.ctx,
-                self.grid.intervals().range(j),
-                self.program.apply_all(),
-                &self.touched_cur,
-                &self.accum_cur,
-                &self.values_cur,
-                &out,
-                &mut tracker.apply,
-            );
-            tracker.compute += t.elapsed();
+                    &self.accum_cur,
+                    &self.values_cur,
+                    &out,
+                    &mut tracker.apply,
+                )
+            });
         }
 
-        let t = Instant::now();
-        self.vfile.write_all(storage.as_ref())?;
-        tracker.io_wall += t.elapsed();
+        timed(&mut tracker.io_wall, || {
+            self.vfile.write_all(storage.as_ref())
+        })?;
         if self.trace.enabled() {
             self.trace.emit(&TraceEvent::ValueFlush {
                 bytes: self.value_file_bytes,

@@ -26,6 +26,7 @@
 //! [`gsd_runtime::ReferenceEngine`] commits — cross-iteration propagation
 //! is an I/O optimization, never a semantic relaxation.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod buffer;

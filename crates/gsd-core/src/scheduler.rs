@@ -12,10 +12,11 @@
 
 use gsd_io::{DiskModel, IoCostModel, OnDemandCostInputs};
 use gsd_runtime::{Frontier, IoAccessModel};
+use gsd_trace::Stopwatch;
 use gsd_trace::{TraceEvent, TraceSink};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// One scheduling decision (per iteration), kept for the Figure 10/11
 /// experiments and for debugging.
@@ -129,7 +130,7 @@ impl Scheduler {
         frontier: &Frontier,
         degrees: &[u32],
     ) -> IoAccessModel {
-        let started = Instant::now();
+        let started = Stopwatch::start();
         let inputs = self.seq_ran_split(frontier, degrees);
         let cost_full = self.cost.full_cost().total();
         let cost_on_demand = self.cost.on_demand_cost(inputs).total();

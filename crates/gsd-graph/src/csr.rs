@@ -45,7 +45,7 @@ impl Csr {
 
     /// Number of vertices.
     pub fn num_vertices(&self) -> u32 {
-        (self.offsets.len() - 1) as u32
+        crate::narrow::from_usize(self.offsets.len() - 1, "csr vertex count")
     }
 
     /// Number of edges.
@@ -55,7 +55,10 @@ impl Csr {
 
     /// Out-degree of `v`.
     pub fn degree(&self, v: VertexId) -> u32 {
-        (self.offsets[v as usize + 1] - self.offsets[v as usize]) as u32
+        crate::narrow::to_u32(
+            self.offsets[v as usize + 1] - self.offsets[v as usize],
+            "out-degree",
+        )
     }
 
     /// Out-neighbors of `v`.

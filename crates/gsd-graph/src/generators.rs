@@ -86,7 +86,10 @@ impl GeneratorConfig {
             ),
             GraphKind::ErdosRenyi => erdos_renyi(self.vertices, self.edges, &mut rng),
             GraphKind::WebLocality => web_locality(self.vertices, self.edges, &mut rng),
-            GraphKind::Grid2d => grid2d((self.vertices as f64).sqrt().ceil() as u32),
+            GraphKind::Grid2d => grid2d(crate::narrow::from_f64(
+                (self.vertices as f64).sqrt().ceil(),
+                "2d grid side",
+            )),
         };
         if self.weighted {
             graph = randomize_weights(graph, &mut rng);
@@ -139,8 +142,8 @@ pub fn rmat(vertices: u32, edges: u64, probs: [f64; 4], rng: &mut ChaCha8Rng) ->
             }
         }
         // Clamp into the requested vertex range (scale rounds up).
-        let src = (x0 % vertices as u64) as u32;
-        let dst = (y0 % vertices as u64) as u32;
+        let src = crate::narrow::to_u32(x0 % vertices as u64, "rmat source id");
+        let dst = crate::narrow::to_u32(y0 % vertices as u64, "rmat destination id");
         list.push(Edge::new(src, dst));
     }
     Graph::from_edges(vertices, list, false)
@@ -188,7 +191,7 @@ pub fn web_locality(vertices: u32, edges: u64, rng: &mut ChaCha8Rng) -> Graph {
             } else {
                 -(1 + (rng.gen::<f64>().powi(2) * 3.0) as i64) // back 1..=4
             };
-            let to = (pos as i64 + hop).rem_euclid(len as i64) as u32;
+            let to = crate::narrow::from_i64((pos as i64 + hop).rem_euclid(len as i64), "page hop");
             (page, base + to)
         } else if roll < 0.99995 {
             // cross-link from a page to a nearby host's front page (tight
@@ -196,7 +199,10 @@ pub fn web_locality(vertices: u32, edges: u64, rng: &mut ChaCha8Rng) -> Graph {
             // collapse the diameter)
             let delta = 1 + (rng.gen::<f64>().powi(2) * 3.0) as i64;
             let sign = if rng.gen::<bool>() { 1 } else { -1 };
-            let other = (host as i64 + sign * delta).rem_euclid(num_hosts as i64) as u32;
+            let other = crate::narrow::from_i64(
+                (host as i64 + sign * delta).rem_euclid(num_hosts as i64),
+                "host ring neighbor",
+            );
             (page, (other * host_size).min(vertices - 1))
         } else {
             // vanishingly rare uniform long-range link

@@ -13,6 +13,7 @@
 //! Figure 8 experiment) and [`grid`] provides the read-side handle engines
 //! consume.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod csr;
@@ -20,6 +21,7 @@ pub mod format;
 pub mod generators;
 pub mod graph;
 pub mod grid;
+pub mod narrow;
 pub mod parsers;
 pub mod partition;
 pub mod preprocess;

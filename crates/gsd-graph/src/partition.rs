@@ -19,7 +19,10 @@ impl Intervals {
         assert!(p >= 1, "need at least one interval");
         let mut boundaries = Vec::with_capacity(p as usize + 1);
         for i in 0..=p as u64 {
-            boundaries.push(((num_vertices as u64 * i) / p as u64) as u32);
+            boundaries.push(crate::narrow::to_u32(
+                (num_vertices as u64 * i) / p as u64,
+                "interval boundary",
+            ));
         }
         Intervals { boundaries }
     }
@@ -29,7 +32,7 @@ impl Intervals {
     /// non-empty when `num_vertices >= p`.
     pub fn degree_balanced(degrees: &[u32], p: u32) -> Self {
         assert!(p >= 1, "need at least one interval");
-        let n = degrees.len() as u32;
+        let n = crate::narrow::from_usize(degrees.len(), "vertex count");
         if n == 0 || p == 1 {
             return Intervals {
                 boundaries: vec![0, n],
@@ -48,7 +51,8 @@ impl Intervals {
         for k in 1..p {
             // First vertex where the prefix mass reaches the k-th quantile.
             let target = total * k as u64 / p as u64;
-            let mut cut = prefix.partition_point(|&m| m < target) as u32;
+            let mut cut =
+                crate::narrow::from_usize(prefix.partition_point(|&m| m < target), "interval cut");
             // Keep intervals non-empty while leaving room for the rest
             // (possible whenever num_vertices >= p).
             let prev = *boundaries.last().unwrap();
@@ -73,7 +77,7 @@ impl Intervals {
 
     /// Number of intervals `P`.
     pub fn count(&self) -> u32 {
-        (self.boundaries.len() - 1) as u32
+        crate::narrow::from_usize(self.boundaries.len() - 1, "interval count")
     }
 
     /// Total number of vertices covered.
@@ -102,7 +106,10 @@ impl Intervals {
         debug_assert!(v < self.num_vertices(), "vertex {v} out of range");
         // partition_point returns the first boundary > v; intervals are
         // indexed from the boundary at or before v.
-        (self.boundaries.partition_point(|&b| b <= v) - 1) as u32
+        crate::narrow::from_usize(
+            self.boundaries.partition_point(|&b| b <= v) - 1,
+            "interval index",
+        )
     }
 
     /// Raw boundaries (`P + 1` entries), for serialization.

@@ -16,9 +16,10 @@ use crate::graph::Graph;
 use crate::partition::Intervals;
 use crate::types::{Edge, EdgeCodec};
 use gsd_io::Storage;
+use gsd_trace::Stopwatch;
 use rayon::prelude::*;
 use std::io::BufRead;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Preprocessing options.
 #[derive(Debug, Clone)]
@@ -125,7 +126,7 @@ fn choose_p(graph: &Graph, config: &PreprocessConfig) -> u32 {
         Some(budget) if budget > 0 => edge_bytes.div_ceil(budget.max(1)),
         _ => 8,
     };
-    (p as u32).clamp(1, 64).min(graph.num_vertices().max(1))
+    crate::narrow::to_u32(p.clamp(1, 64), "interval count").min(graph.num_vertices().max(1))
 }
 
 /// Preprocesses an in-memory graph into the on-disk grid format.
@@ -144,7 +145,7 @@ pub fn preprocess(
     let codec = EdgeCodec::new(graph.is_weighted());
 
     // --- partition: bucket every edge into its (i, j) sub-block ---
-    let t = Instant::now();
+    let t = Stopwatch::start();
     let intervals = if config.degree_balanced {
         Intervals::degree_balanced(&graph.out_degrees(), p)
     } else {
@@ -160,7 +161,7 @@ pub fn preprocess(
 
     // --- sort each sub-block (parallel across blocks) ---
     if config.sort_blocks {
-        let t = Instant::now();
+        let t = Stopwatch::start();
         let by_dst = config.sort_by_dst;
         blocks.par_iter_mut().for_each(|block| {
             if by_dst {
@@ -173,7 +174,7 @@ pub fn preprocess(
     }
 
     // --- write blocks, indexes, degrees and meta ---
-    let t = Instant::now();
+    let t = Stopwatch::start();
     let mut bytes_written = 0u64;
     let mut block_edge_counts = vec![0u64; (p * p) as usize];
     for i in 0..p {
@@ -244,7 +245,7 @@ pub fn preprocess_text<R: BufRead>(
     storage: &dyn Storage,
     config: &PreprocessConfig,
 ) -> std::io::Result<(GridMeta, PreprocessReport)> {
-    let t = Instant::now();
+    let t = Stopwatch::start();
     let graph = crate::parsers::parse_edge_list(reader)?;
     let load = t.elapsed();
     let (meta, mut report) = preprocess(&graph, storage, config)?;

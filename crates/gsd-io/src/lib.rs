@@ -26,6 +26,7 @@
 //!   from an arbitrary [`Storage`] backend, mirroring how the paper
 //!   calibrates the scheduler's bandwidth constants.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod model;

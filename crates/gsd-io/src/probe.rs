@@ -10,7 +10,8 @@
 
 use crate::model::DiskModel;
 use crate::storage::Storage;
-use std::time::{Duration, Instant};
+use gsd_trace::Stopwatch;
+use std::time::Duration;
 
 /// Probe workload parameters.
 #[derive(Debug, Clone, Copy)]
@@ -68,17 +69,21 @@ impl ProbeReport {
 }
 
 /// Cost observed for one probe phase: simulated time if the backend has a
-/// virtual clock, wall-clock time otherwise.
-fn observed_cost<F: FnOnce()>(store: &dyn Storage, f: F) -> Duration {
+/// virtual clock, wall-clock time otherwise. I/O failures inside the
+/// phase propagate instead of aborting the process.
+fn observed_cost<F: FnOnce() -> crate::Result<()>>(
+    store: &dyn Storage,
+    f: F,
+) -> crate::Result<Duration> {
     let sim_before = store.stats().sim_time();
-    let wall_before = Instant::now();
-    f();
+    let wall_before = Stopwatch::start();
+    f()?;
     let sim_delta = store.stats().sim_time().saturating_sub(sim_before);
-    if sim_delta > Duration::ZERO {
+    Ok(if sim_delta > Duration::ZERO {
         sim_delta
     } else {
         wall_before.elapsed()
-    }
+    })
 }
 
 fn bandwidth(bytes: u64, cost: Duration) -> f64 {
@@ -95,20 +100,17 @@ pub fn probe_disk_model(store: &dyn Storage, config: ProbeConfig) -> crate::Resu
     let data = vec![0u8; config.object_bytes as usize];
 
     // Sequential write: object creation streams the whole buffer.
-    let seq_write_cost = observed_cost(store, || {
-        store.create(KEY, &data).expect("probe create");
-    });
+    let seq_write_cost = observed_cost(store, || store.create(KEY, &data))?;
 
     // Sequential read: stream the object in seq_request_bytes chunks.
     let mut buf = vec![0u8; config.seq_request_bytes as usize];
     let chunks = config.object_bytes / config.seq_request_bytes;
     let seq_read_cost = observed_cost(store, || {
         for i in 0..chunks {
-            store
-                .read_at(KEY, i * config.seq_request_bytes, &mut buf)
-                .expect("probe seq read");
+            store.read_at(KEY, i * config.seq_request_bytes, &mut buf)?;
         }
-    });
+        Ok(())
+    })?;
 
     // Random read: stride through the object so no request is contiguous
     // with the previous one (deterministic LCG-style stride pattern).
@@ -119,11 +121,10 @@ pub fn probe_disk_model(store: &dyn Storage, config: ProbeConfig) -> crate::Resu
         let mut slot = 1u64;
         for _ in 0..config.rand_requests {
             slot = (slot + stride) % slots;
-            store
-                .read_at(KEY, slot * config.rand_request_bytes, &mut rbuf)
-                .expect("probe rand read");
+            store.read_at(KEY, slot * config.rand_request_bytes, &mut rbuf)?;
         }
-    });
+        Ok(())
+    })?;
 
     // Random write: same pattern, in-place overwrites.
     let wpattern = vec![0xA5u8; config.rand_request_bytes as usize];
@@ -131,11 +132,10 @@ pub fn probe_disk_model(store: &dyn Storage, config: ProbeConfig) -> crate::Resu
         let mut slot = 2u64;
         for _ in 0..config.rand_requests {
             slot = (slot + stride) % slots;
-            store
-                .write_at(KEY, slot * config.rand_request_bytes, &wpattern)
-                .expect("probe rand write");
+            store.write_at(KEY, slot * config.rand_request_bytes, &wpattern)?;
         }
-    });
+        Ok(())
+    })?;
 
     store.delete(KEY)?;
 

@@ -1,0 +1,306 @@
+//! `lint.toml` loading.
+//!
+//! gsd-lint is dependency-free, so it ships a tiny TOML-subset parser that
+//! covers exactly what rule configuration needs: `[section]` headers,
+//! `key = "string"`, `key = true/false`, and single- or multi-line string
+//! arrays. Unknown sections or keys are an error — a typo'd rule table
+//! must not silently fall back to defaults.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// How a diagnostic from a rule is treated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Reported and fails the run (exit code 1).
+    Error,
+    /// Reported but does not fail the run.
+    Warn,
+    /// Rule disabled.
+    Off,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Error => "error",
+            Severity::Warn => "warn",
+            Severity::Off => "off",
+        })
+    }
+}
+
+impl Severity {
+    fn parse(text: &str) -> Result<Severity, String> {
+        match text {
+            "error" => Ok(Severity::Error),
+            "warn" => Ok(Severity::Warn),
+            "off" => Ok(Severity::Off),
+            other => Err(format!(
+                "unknown severity `{other}` (expected error | warn | off)"
+            )),
+        }
+    }
+}
+
+/// Per-rule configuration: severity plus the path scoping knobs a rule
+/// consults. Path entries are workspace-relative, `/`-separated prefixes
+/// (a trailing file name matches exactly; a directory matches everything
+/// under it).
+#[derive(Debug, Clone, Default)]
+pub struct RuleConfig {
+    /// Severity override; `None` means the rule's default.
+    pub severity: Option<Severity>,
+    /// Paths the rule applies to (empty = rule's built-in default scope).
+    pub paths: Vec<String>,
+    /// Paths exempt from the rule even when inside `paths`.
+    pub allow_paths: Vec<String>,
+}
+
+/// Full lint configuration: file walking plus per-rule settings.
+#[derive(Debug, Clone)]
+pub struct LintConfig {
+    /// Top-level directories to walk for `.rs` files.
+    pub include: Vec<String>,
+    /// Path prefixes to skip entirely (fixtures, vendor, build output).
+    pub exclude: Vec<String>,
+    /// Per-rule settings keyed by rule id (`"GSD001"`).
+    pub rules: BTreeMap<String, RuleConfig>,
+    /// File defining the trace-event enum checked by GSD004.
+    pub event_file: String,
+    /// Name of the trace-event enum checked by GSD004.
+    pub event_enum: String,
+}
+
+impl Default for LintConfig {
+    fn default() -> Self {
+        LintConfig {
+            include: vec!["src".into(), "crates".into()],
+            exclude: vec![
+                "crates/gsd-lint/tests/fixtures".into(),
+                "vendor".into(),
+                "target".into(),
+            ],
+            rules: BTreeMap::new(),
+            event_file: "crates/gsd-trace/src/event.rs".into(),
+            event_enum: "TraceEvent".into(),
+        }
+    }
+}
+
+impl LintConfig {
+    /// Settings for `rule`, or an all-defaults [`RuleConfig`].
+    pub fn rule(&self, rule: &str) -> RuleConfig {
+        self.rules.get(rule).cloned().unwrap_or_default()
+    }
+
+    /// Parses a `lint.toml` document. Errors are human-readable strings
+    /// with 1-based line numbers.
+    pub fn parse(text: &str) -> Result<LintConfig, String> {
+        let doc = parse_toml_subset(text)?;
+        let mut cfg = LintConfig::default();
+        for (section, entries) in &doc {
+            match section.as_str() {
+                "lint" => {
+                    for (key, value) in entries {
+                        match key.as_str() {
+                            "include" => cfg.include = value.as_list(section, key)?,
+                            "exclude" => cfg.exclude = value.as_list(section, key)?,
+                            "event_file" => cfg.event_file = value.as_str(section, key)?,
+                            "event_enum" => cfg.event_enum = value.as_str(section, key)?,
+                            other => {
+                                return Err(format!("unknown key `{other}` in [lint]"));
+                            }
+                        }
+                    }
+                }
+                rule if rule.starts_with("rules.") => {
+                    let id = rule.trim_start_matches("rules.").to_string();
+                    let mut rc = RuleConfig::default();
+                    for (key, value) in entries {
+                        match key.as_str() {
+                            "severity" => {
+                                rc.severity = Some(Severity::parse(&value.as_str(section, key)?)?)
+                            }
+                            "paths" => rc.paths = value.as_list(section, key)?,
+                            "allow_paths" => rc.allow_paths = value.as_list(section, key)?,
+                            other => {
+                                return Err(format!("unknown key `{other}` in [{rule}]"));
+                            }
+                        }
+                    }
+                    cfg.rules.insert(id, rc);
+                }
+                other => return Err(format!("unknown section [{other}]")),
+            }
+        }
+        Ok(cfg)
+    }
+}
+
+/// A value in the TOML subset.
+#[derive(Debug, Clone)]
+enum Value {
+    Str(String),
+    List(Vec<String>),
+}
+
+impl Value {
+    fn as_str(&self, section: &str, key: &str) -> Result<String, String> {
+        match self {
+            Value::Str(s) => Ok(s.clone()),
+            Value::List(_) => Err(format!(
+                "[{section}] {key}: expected a string, found a list"
+            )),
+        }
+    }
+
+    fn as_list(&self, section: &str, key: &str) -> Result<Vec<String>, String> {
+        match self {
+            Value::List(items) => Ok(items.clone()),
+            Value::Str(_) => Err(format!(
+                "[{section}] {key}: expected a list, found a string"
+            )),
+        }
+    }
+}
+
+type Document = Vec<(String, Vec<(String, Value)>)>;
+
+/// Strips a `#` comment that is outside any double-quoted string.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (idx, ch) in line.char_indices() {
+        match ch {
+            _ if escaped => escaped = false,
+            '\\' if in_str => escaped = true,
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..idx],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_toml_subset(text: &str) -> Result<Document, String> {
+    let mut doc: Document = Vec::new();
+    let mut lines = text.lines().enumerate().peekable();
+    while let Some((idx, raw)) = lines.next() {
+        let lineno = idx + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('[') {
+            let Some(name) = header.strip_suffix(']') else {
+                return Err(format!("line {lineno}: unterminated section header"));
+            };
+            doc.push((name.trim().to_string(), Vec::new()));
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!("line {lineno}: expected `key = value`"));
+        };
+        let key = key.trim().to_string();
+        let mut value = value.trim().to_string();
+        // Multi-line array: keep consuming lines until the closing `]`.
+        while value.starts_with('[') && !value.ends_with(']') {
+            let Some((_, cont)) = lines.next() else {
+                return Err(format!("line {lineno}: unterminated array for `{key}`"));
+            };
+            value.push(' ');
+            value.push_str(strip_comment(cont).trim());
+        }
+        let parsed = parse_value(&value)
+            .map_err(|e| format!("line {lineno}: {e} (while parsing `{key}`)"))?;
+        let Some((_, entries)) = doc.last_mut() else {
+            return Err(format!(
+                "line {lineno}: `{key}` appears before any [section]"
+            ));
+        };
+        entries.push((key, parsed));
+    }
+    Ok(doc)
+}
+
+fn parse_value(text: &str) -> Result<Value, String> {
+    if let Some(body) = text.strip_prefix('[') {
+        let Some(body) = body.strip_suffix(']') else {
+            return Err("unterminated array".to_string());
+        };
+        let mut items = Vec::new();
+        let mut rest = body.trim();
+        while !rest.is_empty() {
+            let Some(tail) = rest.strip_prefix('"') else {
+                return Err(format!(
+                    "array items must be quoted strings, found `{rest}`"
+                ));
+            };
+            let Some(close) = tail.find('"') else {
+                return Err("unterminated string in array".to_string());
+            };
+            items.push(tail[..close].to_string());
+            rest = tail[close + 1..].trim().trim_start_matches(',').trim();
+        }
+        return Ok(Value::List(items));
+    }
+    if text.len() >= 2 && text.starts_with('"') && text.ends_with('"') {
+        return Ok(Value::Str(text[1..text.len() - 1].to_string()));
+    }
+    Err(format!("expected a quoted string or array, found `{text}`"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_stand_alone() {
+        let cfg = LintConfig::default();
+        assert_eq!(cfg.include, vec!["src", "crates"]);
+        assert!(cfg.rule("GSD001").severity.is_none());
+    }
+
+    #[test]
+    fn parses_sections_severities_and_multiline_arrays() {
+        let cfg = LintConfig::parse(
+            r#"
+            # comment
+            [lint]
+            include = ["src", "crates"]   # trailing comment
+
+            [rules.GSD002]
+            severity = "warn"
+            allow_paths = [
+                "crates/gsd-trace/",
+                "crates/gsd-bench/",
+            ]
+            "#,
+        )
+        .expect("parses");
+        assert_eq!(cfg.rule("GSD002").severity, Some(Severity::Warn));
+        assert_eq!(
+            cfg.rule("GSD002").allow_paths,
+            vec!["crates/gsd-trace/", "crates/gsd-bench/"]
+        );
+    }
+
+    #[test]
+    fn unknown_key_is_rejected() {
+        let err = LintConfig::parse("[lint]\nincluude = [\"src\"]").unwrap_err();
+        assert!(err.contains("incluude"), "{err}");
+    }
+
+    #[test]
+    fn unknown_severity_is_rejected() {
+        let err = LintConfig::parse("[rules.GSD001]\nseverity = \"fatal\"").unwrap_err();
+        assert!(err.contains("fatal"), "{err}");
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_a_comment() {
+        let cfg = LintConfig::parse("[lint]\nevent_enum = \"Has#Hash\"").expect("parses");
+        assert_eq!(cfg.event_enum, "Has#Hash");
+    }
+}

@@ -1,0 +1,509 @@
+//! A hand-rolled Rust lexer, just deep enough for syntactic linting.
+//!
+//! The lexer produces a flat token stream with line numbers plus the list
+//! of `gsd-lint:` control comments. It understands everything that could
+//! make a naive text scan lie about code structure:
+//!
+//! * line comments and *nested* block comments (Rust block comments nest);
+//! * string, byte-string, raw-string (`r#"…"#`) and char literals, so
+//!   `".unwrap()"` inside a string is never mistaken for a call;
+//! * the `'a` lifetime vs `'a'` char-literal ambiguity;
+//! * identifiers, numeric literals, and single-char punctuation.
+//!
+//! It deliberately does **not** build a syntax tree: every rule in
+//! [`crate::rules`] works on token patterns plus brace matching, which is
+//! robust to code it has never seen and keeps the tool dependency-free.
+
+/// What kind of token this is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`let`, `unwrap`, `Instant`, …).
+    Ident,
+    /// Lifetime such as `'a` (the tick is not part of [`Tok::text`]).
+    Lifetime,
+    /// String / raw-string / byte-string / char literal. Text is the raw
+    /// source slice including quotes.
+    Str,
+    /// Numeric literal.
+    Num,
+    /// A single punctuation character (`.`, `{`, `!`, …).
+    Punct,
+}
+
+/// One token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// Source text (for [`TokKind::Punct`], exactly one character).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Tok {
+    /// True if this token is the given punctuation character.
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == ch.len_utf8() && self.text.starts_with(ch)
+    }
+
+    /// True if this token is an identifier with exactly this text.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == text
+    }
+}
+
+/// A parsed `// gsd-lint: allow(GSDnnn, "justification")` control comment.
+#[derive(Debug, Clone)]
+pub struct Directive {
+    /// 1-based line the comment sits on.
+    pub line: u32,
+    /// True if code precedes the comment on the same line (the directive
+    /// then targets its own line instead of the next code line).
+    pub trailing: bool,
+    /// The rule id inside `allow(…)`, e.g. `"GSD003"`. Empty if the
+    /// comment could not be parsed at all.
+    pub rule: String,
+    /// The mandatory justification string, if one was given.
+    pub justification: Option<String>,
+    /// `None` if well-formed; otherwise why the directive is rejected.
+    pub malformed: Option<String>,
+}
+
+/// Lexer output: the token stream and any control comments found.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All tokens in source order.
+    pub tokens: Vec<Tok>,
+    /// All `gsd-lint:` control comments, well-formed or not.
+    pub directives: Vec<Directive>,
+}
+
+/// Lexes `src` into tokens and directives. Never fails: unterminated
+/// literals simply run to end of input, which is the most useful behavior
+/// for a linter that may see code mid-edit.
+pub fn lex(src: &str) -> Lexed {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        line_has_code: false,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    /// Whether a token has already started on the current line — makes a
+    /// `gsd-lint:` comment "trailing" (targets its own line).
+    line_has_code: bool,
+    out: Lexed,
+}
+
+impl Lexer {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let ch = self.peek()?;
+        self.pos += 1;
+        if ch == '\n' {
+            self.line += 1;
+            self.line_has_code = false;
+        }
+        ch.into()
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32) {
+        self.out.tokens.push(Tok { kind, text, line });
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(ch) = self.peek() {
+            let line = self.line;
+            match ch {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek_at(1) == Some('/') => self.line_comment(),
+                '/' if self.peek_at(1) == Some('*') => self.block_comment(),
+                '"' => self.string_literal(line),
+                'b' if self.peek_at(1) == Some('"') => {
+                    self.bump();
+                    self.string_literal(line);
+                }
+                'r' | 'b' if is_raw_string_start(&self.chars[self.pos..]) => {
+                    self.raw_string_literal(line);
+                }
+                '\'' => self.char_or_lifetime(line),
+                c if c == '_' || c.is_alphabetic() => self.ident(line),
+                c if c.is_ascii_digit() => self.number(line),
+                c => {
+                    self.bump();
+                    self.line_has_code = true;
+                    self.push(TokKind::Punct, c.to_string(), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        let trailing = self.line_has_code;
+        let mut text = String::new();
+        while let Some(ch) = self.peek() {
+            if ch == '\n' {
+                break;
+            }
+            text.push(ch);
+            self.bump();
+        }
+        self.maybe_directive(&text, line, trailing);
+    }
+
+    fn block_comment(&mut self) {
+        let line = self.line;
+        let trailing = self.line_has_code;
+        let mut text = String::new();
+        let mut depth = 0usize;
+        while let Some(ch) = self.peek() {
+            if ch == '/' && self.peek_at(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if ch == '*' && self.peek_at(1) == Some('/') {
+                depth -= 1;
+                text.push_str("*/");
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(ch);
+                self.bump();
+            }
+        }
+        self.maybe_directive(&text, line, trailing);
+    }
+
+    fn string_literal(&mut self, line: u32) {
+        let mut text = String::new();
+        text.push(self.bump().expect("caller saw an opening quote")); // opening "
+        while let Some(ch) = self.bump() {
+            text.push(ch);
+            match ch {
+                '\\' => {
+                    if let Some(esc) = self.bump() {
+                        text.push(esc);
+                    }
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.line_has_code = true;
+        self.push(TokKind::Str, text, line);
+    }
+
+    fn raw_string_literal(&mut self, line: u32) {
+        // r"…", r#"…"#, br#"…"# — already validated by is_raw_string_start.
+        let mut text = String::new();
+        if self.peek() == Some('b') {
+            text.push(self.bump().expect("validated prefix"));
+        }
+        text.push(self.bump().expect("validated prefix")); // 'r'
+        let mut hashes = 0usize;
+        while self.peek() == Some('#') {
+            hashes += 1;
+            text.push(self.bump().expect("peeked '#'"));
+        }
+        text.push(self.bump().unwrap_or('"')); // opening quote
+        while let Some(ch) = self.bump() {
+            text.push(ch);
+            if ch == '"' {
+                let mut seen = 0usize;
+                while seen < hashes && self.peek() == Some('#') {
+                    seen += 1;
+                    text.push(self.bump().expect("peeked '#'"));
+                }
+                if seen == hashes {
+                    break;
+                }
+            }
+        }
+        self.line_has_code = true;
+        self.push(TokKind::Str, text, line);
+    }
+
+    /// `'a` (lifetime) vs `'a'` (char literal). A tick starts a char
+    /// literal iff the closing tick follows one scalar (or one escape);
+    /// otherwise it is a lifetime / loop label.
+    fn char_or_lifetime(&mut self, line: u32) {
+        let is_char = matches!(
+            (self.peek_at(1), self.peek_at(2)),
+            (Some('\\'), _) | (Some(_), Some('\''))
+        );
+        self.line_has_code = true;
+        if is_char {
+            let mut text = String::new();
+            text.push(self.bump().expect("caller saw a tick")); // '
+            while let Some(ch) = self.bump() {
+                text.push(ch);
+                match ch {
+                    '\\' => {
+                        if let Some(esc) = self.bump() {
+                            text.push(esc);
+                        }
+                    }
+                    '\'' => break,
+                    _ => {}
+                }
+            }
+            self.push(TokKind::Str, text, line);
+        } else {
+            self.bump(); // consume the tick
+            let mut text = String::new();
+            while let Some(ch) = self.peek() {
+                if ch == '_' || ch.is_alphanumeric() {
+                    text.push(ch);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push(TokKind::Lifetime, text, line);
+        }
+    }
+
+    fn ident(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(ch) = self.peek() {
+            if ch == '_' || ch.is_alphanumeric() {
+                text.push(ch);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.line_has_code = true;
+        self.push(TokKind::Ident, text, line);
+    }
+
+    fn number(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(ch) = self.peek() {
+            // Good enough for linting: digits, underscores, radix/exponent
+            // letters, and the decimal point when followed by a digit
+            // (so `0..n` stays two range dots, not part of the number).
+            let take = ch == '_'
+                || ch.is_ascii_alphanumeric()
+                || (ch == '.' && self.peek_at(1).is_some_and(|c| c.is_ascii_digit()));
+            if take {
+                text.push(ch);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.line_has_code = true;
+        self.push(TokKind::Num, text, line);
+    }
+
+    /// If a comment *begins with* `gsd-lint:` (after its `//`/`/*`
+    /// leaders), parse the directive after it. Requiring the marker at the
+    /// start keeps prose that merely mentions `gsd-lint:` — like this
+    /// sentence — from being read as a directive. Anything that does not
+    /// parse cleanly is recorded as malformed — rule GSD000 turns those
+    /// into errors so a typo'd suppression can never silently mask a real
+    /// diagnostic.
+    fn maybe_directive(&mut self, comment: &str, line: u32, trailing: bool) {
+        const MARKER: &str = "gsd-lint:";
+        let body = comment.trim_start_matches(['/', '*', '!', ' ', '\t']);
+        let Some(body) = body.strip_prefix(MARKER) else {
+            return;
+        };
+        let body = body.trim().trim_end_matches("*/").trim_end();
+        self.out
+            .directives
+            .push(parse_directive(body, line, trailing));
+    }
+}
+
+fn is_raw_string_start(rest: &[char]) -> bool {
+    let mut i = 0usize;
+    if rest.first() == Some(&'b') {
+        i += 1;
+    }
+    if rest.get(i) != Some(&'r') {
+        return false;
+    }
+    i += 1;
+    while rest.get(i) == Some(&'#') {
+        i += 1;
+    }
+    rest.get(i) == Some(&'"')
+}
+
+/// Parses the text after `gsd-lint:` — expected shape
+/// `allow(GSDnnn, "justification")`.
+fn parse_directive(body: &str, line: u32, trailing: bool) -> Directive {
+    let mut d = Directive {
+        line,
+        trailing,
+        rule: String::new(),
+        justification: None,
+        malformed: None,
+    };
+    let Some(args) = body
+        .strip_prefix("allow")
+        .map(str::trim_start)
+        .and_then(|rest| rest.strip_prefix('('))
+        .and_then(|rest| rest.trim_end().strip_suffix(')'))
+    else {
+        d.malformed = Some(format!(
+            "expected `allow(GSDnnn, \"justification\")`, found `{body}`"
+        ));
+        return d;
+    };
+    let (rule, rest) = match args.find(',') {
+        Some(comma) => (args[..comma].trim(), Some(args[comma + 1..].trim())),
+        None => (args.trim(), None),
+    };
+    d.rule = rule.to_string();
+    if rule.len() != 6 || !rule.starts_with("GSD") || !rule[3..].bytes().all(|b| b.is_ascii_digit())
+    {
+        d.malformed = Some(format!("`{rule}` is not a rule id of the form GSDnnn"));
+        return d;
+    }
+    match rest {
+        Some(just) if just.len() >= 2 && just.starts_with('"') && just.ends_with('"') => {
+            let inner = &just[1..just.len() - 1];
+            if inner.trim().is_empty() {
+                d.malformed = Some("justification string is empty".to_string());
+            } else {
+                d.justification = Some(inner.to_string());
+            }
+        }
+        Some(other) => {
+            d.malformed = Some(format!(
+                "justification must be a double-quoted string, found `{other}`"
+            ));
+        }
+        None => {
+            d.malformed = Some(format!(
+                "suppressing {rule} requires a justification: allow({rule}, \"why this is sound\")"
+            ));
+        }
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_their_contents() {
+        let src = r##"
+            // x.unwrap() in a comment
+            /* nested /* x.unwrap() */ still comment */
+            let s = "x.unwrap()";
+            let r = r#"y.unwrap()"#;
+            real.call();
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"unwrap".to_string()), "ids: {ids:?}");
+        assert!(ids.contains(&"real".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_do_not_eat_following_code() {
+        let toks = lex("fn f<'a>(x: &'a str) { x.unwrap() }");
+        let ids: Vec<_> = toks
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert!(ids.contains(&"unwrap"));
+        assert!(toks
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokKind::Lifetime && t.text == "a"));
+    }
+
+    #[test]
+    fn char_literal_is_not_a_lifetime() {
+        let toks = lex(r"let c = 'x'; let nl = '\n';");
+        let strs: Vec<_> = toks
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(strs, vec!["'x'", r"'\n'"]);
+    }
+
+    #[test]
+    fn line_numbers_are_one_based_and_advance() {
+        let toks = lex("a\nb\n\nc");
+        let lines: Vec<_> = toks
+            .tokens
+            .iter()
+            .map(|t| (t.text.as_str(), t.line))
+            .collect();
+        assert_eq!(lines, vec![("a", 1), ("b", 2), ("c", 4)]);
+    }
+
+    #[test]
+    fn well_formed_directive_parses() {
+        let out = lex("// gsd-lint: allow(GSD003, \"the inner read is in-memory\")\nlet x = 1;");
+        assert_eq!(out.directives.len(), 1);
+        let d = &out.directives[0];
+        assert_eq!(d.rule, "GSD003");
+        assert!(d.malformed.is_none());
+        assert!(!d.trailing);
+        assert_eq!(
+            d.justification.as_deref(),
+            Some("the inner read is in-memory")
+        );
+    }
+
+    #[test]
+    fn directive_without_justification_is_malformed() {
+        let out = lex("// gsd-lint: allow(GSD001)");
+        assert!(out.directives[0].malformed.is_some());
+    }
+
+    #[test]
+    fn directive_with_bad_rule_id_is_malformed() {
+        let out = lex("// gsd-lint: allow(CLIPPY1, \"nope\")");
+        assert!(out.directives[0].malformed.is_some());
+    }
+
+    #[test]
+    fn trailing_directive_is_marked_trailing() {
+        let out = lex("let x = y.lock(); // gsd-lint: allow(GSD003, \"short critical section\")");
+        assert!(out.directives[0].trailing);
+    }
+}

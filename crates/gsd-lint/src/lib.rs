@@ -1,0 +1,244 @@
+//! # gsd-lint — workspace-native static analysis for GraphSD
+//!
+//! Enforces the invariants the type system cannot: hot-path panic
+//! freedom (GSD001), virtual-clock determinism (GSD002), no lock guard
+//! held across storage I/O (GSD003), live telemetry (GSD004), workspace-
+//! wide `forbid(unsafe_code)` (GSD005), and checked id/offset narrowing
+//! (GSD006). Run it as:
+//!
+//! ```text
+//! cargo run -p gsd-lint -- check [--format json] [--root DIR] [--config FILE]
+//! ```
+//!
+//! The tool is deliberately dependency-free: a hand-rolled lexer
+//! ([`lexer`]), a TOML-subset config loader ([`config`]), and token-
+//! pattern rules ([`rules`]). Suppressions are inline comments of the
+//! form `// gsd-lint: allow(GSD003, "justification")` — the
+//! justification is mandatory, and malformed directives are themselves
+//! an error (GSD000), so a typo can never silently mask a finding.
+//!
+//! The library surface takes `(path, contents)` pairs, so tests lint
+//! fixture snippets without touching the real workspace, and the meta
+//! test lints the real workspace with the checked-in `lint.toml`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod diagnostics;
+pub mod lexer;
+pub mod rules;
+
+pub use config::{LintConfig, Severity};
+pub use diagnostics::{render_json, Diagnostic};
+pub use rules::{rule_info, RuleInfo, RULES};
+
+use std::collections::HashSet;
+use std::path::{Path, PathBuf};
+
+/// One source file under analysis: a workspace-relative `/`-separated
+/// path plus its full text. The path may be virtual (fixture tests).
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators, e.g.
+    /// `crates/gsd-io/src/storage.rs`.
+    pub path: String,
+    /// Full file contents.
+    pub text: String,
+}
+
+/// A set of source files to lint as one unit (GSD004 is cross-file).
+#[derive(Debug, Default)]
+pub struct Workspace {
+    /// The files, in load order.
+    pub files: Vec<SourceFile>,
+}
+
+impl Workspace {
+    /// Builds a workspace from in-memory `(path, text)` pairs.
+    pub fn from_files(files: impl IntoIterator<Item = (String, String)>) -> Workspace {
+        Workspace {
+            files: files
+                .into_iter()
+                .map(|(path, text)| SourceFile { path, text })
+                .collect(),
+        }
+    }
+
+    /// Walks `root` for `.rs` files under the configured include
+    /// directories, skipping excluded prefixes.
+    pub fn load(root: &Path, cfg: &LintConfig) -> std::io::Result<Workspace> {
+        let mut files = Vec::new();
+        for dir in &cfg.include {
+            let abs = root.join(dir);
+            if abs.is_dir() {
+                walk(&abs, root, &cfg.exclude, &mut files)?;
+            }
+        }
+        files.sort_by(|a, b| a.path.cmp(&b.path));
+        Ok(Workspace { files })
+    }
+
+    /// Runs every rule and applies suppressions. Diagnostics come back
+    /// sorted by `(file, line, rule)`.
+    pub fn check(&self, cfg: &LintConfig) -> Vec<Diagnostic> {
+        // Lex everything once; rules share the token streams.
+        let lexed: Vec<_> = self.files.iter().map(|f| lexer::lex(&f.text)).collect();
+        let masks: Vec<_> = self
+            .files
+            .iter()
+            .zip(&lexed)
+            .map(|(f, l)| rules::test_mask(&f.path, &l.tokens))
+            .collect();
+        let depths: Vec<_> = lexed
+            .iter()
+            .map(|l| rules::brace_depth(&l.tokens))
+            .collect();
+        let cxs: Vec<rules::FileCx<'_>> = self
+            .files
+            .iter()
+            .zip(&lexed)
+            .zip(masks.iter().zip(&depths))
+            .map(|((f, l), (mask, depth))| rules::FileCx {
+                path: &f.path,
+                tokens: &l.tokens,
+                mask,
+                depth,
+                directives: &l.directives,
+            })
+            .collect();
+
+        let mut diags = Vec::new();
+        for cx in &cxs {
+            rules::check_directives(cx, cfg, &mut diags);
+            rules::check_gsd001(cx, cfg, &mut diags);
+            rules::check_gsd002(cx, cfg, &mut diags);
+            rules::check_gsd003(cx, cfg, &mut diags);
+            rules::check_gsd005(cx, cfg, &mut diags);
+            rules::check_gsd006(cx, cfg, &mut diags);
+        }
+        rules::check_gsd004(&cxs, cfg, &mut diags);
+
+        let suppressed = suppression_map(&cxs);
+        diags.retain(|d| {
+            d.rule == "GSD000" || !suppressed.contains(&(d.file.clone(), d.rule, d.line))
+        });
+        diags.sort_by(|a, b| {
+            (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule))
+        });
+        diags
+    }
+}
+
+/// Builds the set of `(file, rule, line)` a well-formed `allow` directive
+/// covers. A trailing directive covers its own line; a standalone comment
+/// covers the next line that has code on it.
+fn suppression_map(cxs: &[rules::FileCx<'_>]) -> HashSet<(String, &'static str, u32)> {
+    let mut set = HashSet::new();
+    for cx in cxs {
+        for d in cx.directives {
+            if d.malformed.is_some() {
+                continue;
+            }
+            let Some(info) = rules::rule_info(&d.rule) else {
+                continue;
+            };
+            let target = if d.trailing {
+                Some(d.line)
+            } else {
+                cx.tokens.iter().map(|t| t.line).find(|&line| line > d.line)
+            };
+            if let Some(line) = target {
+                set.insert((cx.path.to_string(), info.id, line));
+            }
+        }
+    }
+    set
+}
+
+fn walk(
+    dir: &Path,
+    root: &Path,
+    exclude: &[String],
+    out: &mut Vec<SourceFile>,
+) -> std::io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .map(|e| e.map(|e| e.path()))
+        .collect::<Result<_, _>>()?;
+    entries.sort();
+    for path in entries {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        if exclude.iter().any(|p| {
+            let p = p.trim_end_matches('/');
+            rel == p || (rel.starts_with(p) && rel.as_bytes().get(p.len()) == Some(&b'/'))
+        }) {
+            continue;
+        }
+        if path.is_dir() {
+            walk(&path, root, exclude, out)?;
+        } else if rel.ends_with(".rs") {
+            let text = std::fs::read_to_string(&path)?;
+            out.push(SourceFile { path: rel, text });
+        }
+    }
+    Ok(())
+}
+
+/// Convenience: lints a single `(path, text)` snippet with `cfg`.
+/// Fixture tests use this to check that a rule fires (or stays silent).
+pub fn check_snippet(path: &str, text: &str, cfg: &LintConfig) -> Vec<Diagnostic> {
+    Workspace::from_files([(path.to_string(), text.to_string())]).check(cfg)
+}
+
+/// True if any diagnostic is an error (the run should exit nonzero).
+pub fn has_errors(diags: &[Diagnostic]) -> bool {
+    diags.iter().any(|d| d.severity == Severity::Error)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snippet_checking_fires_and_suppresses() {
+        let cfg = LintConfig::default();
+        let path = "crates/gsd-io/src/x.rs";
+        let bad = "fn f(o: Option<u8>) -> u8 { o.unwrap() }";
+        let diags = check_snippet(path, bad, &cfg);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, "GSD001");
+
+        let allowed = "fn f(o: Option<u8>) -> u8 {\n    // gsd-lint: allow(GSD001, \"demo\")\n    o.unwrap()\n}";
+        assert!(check_snippet(path, allowed, &cfg).is_empty());
+    }
+
+    #[test]
+    fn unjustified_suppression_is_gsd000_and_does_not_suppress() {
+        let cfg = LintConfig::default();
+        let path = "crates/gsd-io/src/x.rs";
+        let text = "fn f(o: Option<u8>) -> u8 {\n    // gsd-lint: allow(GSD001)\n    o.unwrap()\n}";
+        let diags = check_snippet(path, text, &cfg);
+        let rules: Vec<_> = diags.iter().map(|d| d.rule).collect();
+        assert!(rules.contains(&"GSD000"), "{diags:?}");
+        assert!(rules.contains(&"GSD001"), "{diags:?}");
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let cfg = LintConfig::default();
+        let path = "crates/gsd-io/src/x.rs";
+        let text = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { Some(1).unwrap(); }\n}";
+        assert!(check_snippet(path, text, &cfg).is_empty());
+    }
+
+    #[test]
+    fn out_of_scope_paths_are_exempt() {
+        let cfg = LintConfig::default();
+        let text = "fn f(o: Option<u8>) -> u8 { o.unwrap() }";
+        assert!(check_snippet("crates/gsd-graph/src/x.rs", text, &cfg).is_empty());
+    }
+}

@@ -1,0 +1,146 @@
+//! `gsd-lint` CLI.
+//!
+//! ```text
+//! gsd-lint check [--root DIR] [--config FILE] [--format human|json]
+//! gsd-lint rules
+//! ```
+//!
+//! Exit codes: `0` clean (or warnings only), `1` at least one error-level
+//! diagnostic, `2` usage or I/O failure.
+
+#![forbid(unsafe_code)]
+
+use gsd_lint::{config::LintConfig, diagnostics, rules, Severity, Workspace};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+gsd-lint — GraphSD workspace static analysis
+
+USAGE:
+    gsd-lint check [--root DIR] [--config FILE] [--format human|json]
+    gsd-lint rules
+
+OPTIONS:
+    --root DIR       workspace root to lint (default: .)
+    --config FILE    lint config (default: <root>/lint.toml; defaults if absent)
+    --format FMT     `human` (default) or `json`
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => run_check(&args[1..]),
+        Some("rules") => {
+            for r in rules::RULES {
+                println!("{} [{}] {}", r.id, r.default_severity, r.summary);
+                println!("         invariant: {}", r.invariant);
+            }
+            ExitCode::SUCCESS
+        }
+        Some("--help") | Some("-h") | Some("help") => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprint!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+enum Format {
+    Human,
+    Json,
+}
+
+fn run_check(args: &[String]) -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut config_path: Option<PathBuf> = None;
+    let mut format = Format::Human;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        let result = match arg.as_str() {
+            "--root" => value("--root").map(|v| root = PathBuf::from(v)),
+            "--config" => value("--config").map(|v| config_path = Some(PathBuf::from(v))),
+            "--format" => value("--format").and_then(|v| match v.as_str() {
+                "human" => {
+                    format = Format::Human;
+                    Ok(())
+                }
+                "json" => {
+                    format = Format::Json;
+                    Ok(())
+                }
+                other => Err(format!("unknown format `{other}` (human | json)")),
+            }),
+            other => Err(format!("unknown argument `{other}`")),
+        };
+        if let Err(msg) = result {
+            eprintln!("gsd-lint: {msg}");
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    }
+
+    let config_file = config_path.unwrap_or_else(|| root.join("lint.toml"));
+    let cfg = if config_file.is_file() {
+        match std::fs::read_to_string(&config_file) {
+            Ok(text) => match LintConfig::parse(&text) {
+                Ok(cfg) => cfg,
+                Err(err) => {
+                    eprintln!("gsd-lint: {}: {err}", config_file.display());
+                    return ExitCode::from(2);
+                }
+            },
+            Err(err) => {
+                eprintln!("gsd-lint: {}: {err}", config_file.display());
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        LintConfig::default()
+    };
+
+    let ws = match Workspace::load(&root, &cfg) {
+        Ok(ws) => ws,
+        Err(err) => {
+            eprintln!("gsd-lint: failed to walk {}: {err}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    let diags = ws.check(&cfg);
+
+    match format {
+        Format::Json => print!("{}", diagnostics::render_json(&diags)),
+        Format::Human => {
+            for d in &diags {
+                println!("{}", d.render_human());
+            }
+            let errors = diags
+                .iter()
+                .filter(|d| d.severity == Severity::Error)
+                .count();
+            let warnings = diags
+                .iter()
+                .filter(|d| d.severity == Severity::Warn)
+                .count();
+            println!(
+                "gsd-lint: {} file(s) scanned, {errors} error(s), {warnings} warning(s)",
+                ws.files.len()
+            );
+        }
+    }
+
+    if gsd_lint::has_errors(&diags) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

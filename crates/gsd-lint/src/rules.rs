@@ -1,0 +1,816 @@
+//! The rule registry and the seven checks.
+//!
+//! Every rule works on the token stream from [`crate::lexer`] plus brace
+//! matching — no syntax tree. Rules are scoped by workspace-relative path
+//! prefixes (overridable in `lint.toml`) and skip *test regions*:
+//! `#[cfg(test)]` / `#[test]` items, and files under `tests/` or
+//! `benches/` directories.
+
+use crate::config::{LintConfig, RuleConfig, Severity};
+use crate::diagnostics::Diagnostic;
+use crate::lexer::{Tok, TokKind};
+
+/// Static metadata for one rule.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleInfo {
+    /// Stable id, e.g. `"GSD001"`. Never renumbered.
+    pub id: &'static str,
+    /// One-line summary for `gsd-lint rules` and docs.
+    pub summary: &'static str,
+    /// The system invariant the rule protects.
+    pub invariant: &'static str,
+    /// Severity when `lint.toml` says nothing.
+    pub default_severity: Severity,
+}
+
+/// All rules, in id order. GSD000 is the meta-rule for broken suppression
+/// directives; GSD001–GSD006 are the GraphSD invariants.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: "GSD000",
+        summary: "malformed or unjustified `gsd-lint:` directive",
+        invariant: "a typo'd suppression must never silently mask a real diagnostic",
+        default_severity: Severity::Error,
+    },
+    RuleInfo {
+        id: "GSD001",
+        summary: "no unwrap/expect/panic!/unreachable! in hot-path crates",
+        invariant: "hot-path code propagates typed errors; a panic mid-run corrupts \
+                    partially-flushed vertex state",
+        default_severity: Severity::Error,
+    },
+    RuleInfo {
+        id: "GSD002",
+        summary: "no raw Instant/SystemTime outside the designated timing modules",
+        invariant: "SimDisk runs are priced on a virtual clock; stray wall-clock reads \
+                    make cost-model experiments non-deterministic",
+        default_severity: Severity::Error,
+    },
+    RuleInfo {
+        id: "GSD003",
+        summary: "no lock guard held across a storage read/write call",
+        invariant: "storage calls can block for a simulated seek; holding a guard across \
+                    one serializes unrelated engine threads",
+        default_severity: Severity::Error,
+    },
+    RuleInfo {
+        id: "GSD004",
+        summary: "every TraceEvent variant is constructed somewhere outside tests",
+        invariant: "dead telemetry variants rot: the JSONL schema advertises events \
+                    no run can ever emit",
+        default_severity: Severity::Error,
+    },
+    RuleInfo {
+        id: "GSD005",
+        summary: "every crate root carries #![forbid(unsafe_code)]",
+        invariant: "the workspace is 100% safe Rust; forbid (not deny) means no module \
+                    can quietly opt back in",
+        default_severity: Severity::Error,
+    },
+    RuleInfo {
+        id: "GSD006",
+        summary: "no `as u32` truncation in graph/offset arithmetic",
+        invariant: "vertex ids and offsets narrow through gsd_graph::narrow so overflow \
+                    fails loudly instead of wrapping",
+        default_severity: Severity::Error,
+    },
+];
+
+/// Looks up a rule's metadata by id.
+pub fn rule_info(id: &str) -> Option<&'static RuleInfo> {
+    RULES.iter().find(|r| r.id == id)
+}
+
+/// Default path scope per rule, used when `lint.toml` does not override.
+/// Kept here (not in config.rs) so scope and rule logic evolve together.
+fn default_scope(id: &str) -> (Vec<&'static str>, Vec<&'static str>) {
+    match id {
+        "GSD001" => (
+            vec![
+                "crates/gsd-core/src",
+                "crates/gsd-io/src",
+                "crates/gsd-runtime/src",
+            ],
+            vec![],
+        ),
+        "GSD002" => (
+            vec!["src", "crates"],
+            vec![
+                "crates/gsd-trace",
+                "crates/gsd-bench",
+                "crates/gsd-lint",
+                "crates/gsd-runtime/src/kernels.rs",
+            ],
+        ),
+        "GSD003" => (
+            vec![
+                "crates/gsd-core/src",
+                "crates/gsd-io/src",
+                "crates/gsd-runtime/src",
+                "crates/gsd-baselines/src",
+            ],
+            vec![],
+        ),
+        "GSD006" => (
+            vec![
+                "crates/gsd-graph/src",
+                "crates/gsd-core/src",
+                "crates/gsd-io/src",
+            ],
+            vec!["crates/gsd-graph/src/narrow.rs"],
+        ),
+        _ => (vec![], vec![]),
+    }
+}
+
+/// True if `path` falls under prefix `p` (exact file match for `.rs`
+/// entries, directory-prefix match otherwise).
+fn matches_prefix(path: &str, p: &str) -> bool {
+    if p.ends_with(".rs") {
+        return path == p;
+    }
+    let p = p.trim_end_matches('/');
+    path == p || (path.starts_with(p) && path.as_bytes().get(p.len()) == Some(&b'/'))
+}
+
+/// Resolves a rule's effective scope from config + defaults and tests
+/// `path` against it.
+fn in_scope(path: &str, id: &str, rc: &RuleConfig) -> bool {
+    let (def_paths, def_allow) = default_scope(id);
+    let included = if rc.paths.is_empty() {
+        def_paths.iter().any(|p| matches_prefix(path, p))
+    } else {
+        rc.paths.iter().any(|p| matches_prefix(path, p))
+    };
+    if !included {
+        return false;
+    }
+    let allowed = rc.allow_paths.iter().any(|p| matches_prefix(path, p))
+        || (rc.allow_paths.is_empty() && def_allow.iter().any(|p| matches_prefix(path, p)));
+    !allowed
+}
+
+/// One lexed file plus the derived per-token facts rules consume.
+pub struct FileCx<'a> {
+    /// Workspace-relative, `/`-separated path.
+    pub path: &'a str,
+    /// Token stream.
+    pub tokens: &'a [Tok],
+    /// `true` where the token sits in test code.
+    pub mask: &'a [bool],
+    /// Brace depth *before* each token.
+    pub depth: &'a [i32],
+    /// Control comments from the lexer.
+    pub directives: &'a [crate::lexer::Directive],
+}
+
+/// True if the whole file is test/bench code by location.
+pub fn path_is_test(path: &str) -> bool {
+    path.split('/')
+        .any(|seg| seg == "tests" || seg == "benches")
+}
+
+/// Computes the per-token test mask: `#[cfg(test)]` / `#[test]` items (the
+/// attribute through the end of the item body) and test-located files.
+pub fn test_mask(path: &str, tokens: &[Tok]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    if path_is_test(path) {
+        mask.iter_mut().for_each(|m| *m = true);
+        return mask;
+    }
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if is_test_attribute(tokens, i) {
+            let end = item_end(tokens, i);
+            for m in mask.iter_mut().take(end + 1).skip(i) {
+                *m = true;
+            }
+            i = end + 1;
+        } else {
+            i += 1;
+        }
+    }
+    mask
+}
+
+/// `#[cfg(test…` or `#[test]` starting at token `i`?
+fn is_test_attribute(tokens: &[Tok], i: usize) -> bool {
+    let at = |k: usize| tokens.get(i + k);
+    if !at(0).is_some_and(|t| t.is_punct('#')) || !at(1).is_some_and(|t| t.is_punct('[')) {
+        return false;
+    }
+    match at(2) {
+        Some(t) if t.is_ident("test") => at(3).is_some_and(|t| t.is_punct(']')),
+        Some(t) if t.is_ident("cfg") => {
+            at(3).is_some_and(|t| t.is_punct('('))
+                && at(4).is_some_and(|t| t.is_ident("test"))
+                && at(5).is_some_and(|t| t.is_punct(')') || t.is_punct(','))
+        }
+        _ => false,
+    }
+}
+
+/// End index (inclusive) of the item a test attribute at `i` applies to:
+/// scan past the attribute, then to the matching `}` of the first
+/// top-level `{` (or to a top-level `;` for brace-less items).
+fn item_end(tokens: &[Tok], i: usize) -> usize {
+    let mut paren = 0i32;
+    let mut bracket = 0i32;
+    let mut brace = 0i32;
+    let mut seen_open_brace = false;
+    for (k, tok) in tokens.iter().enumerate().skip(i) {
+        if tok.kind != TokKind::Punct {
+            continue;
+        }
+        match tok.text.as_bytes()[0] {
+            b'(' => paren += 1,
+            b')' => paren -= 1,
+            b'[' => bracket += 1,
+            b']' => bracket -= 1,
+            b'{' => {
+                brace += 1;
+                seen_open_brace = true;
+            }
+            b'}' => {
+                brace -= 1;
+                if seen_open_brace && brace == 0 && paren == 0 && bracket == 0 {
+                    return k;
+                }
+            }
+            b';' if !seen_open_brace && brace == 0 && paren == 0 && bracket == 0 => {
+                return k;
+            }
+            _ => {}
+        }
+    }
+    tokens.len() - 1
+}
+
+/// Brace depth before each token (absolute, from file start).
+pub fn brace_depth(tokens: &[Tok]) -> Vec<i32> {
+    let mut depth = Vec::with_capacity(tokens.len());
+    let mut d = 0i32;
+    for tok in tokens {
+        depth.push(d);
+        if tok.is_punct('{') {
+            d += 1;
+        } else if tok.is_punct('}') {
+            d -= 1;
+        }
+    }
+    depth
+}
+
+fn diag(id: &str, cfg: &LintConfig, file: &str, line: u32, message: String) -> Diagnostic {
+    let info = rule_info(id).expect("diag() called with a registered rule id");
+    let severity = cfg.rule(id).severity.unwrap_or(info.default_severity);
+    Diagnostic {
+        rule: info.id,
+        severity,
+        file: file.to_string(),
+        line,
+        message,
+    }
+}
+
+fn rule_enabled(id: &str, cfg: &LintConfig) -> bool {
+    let info = rule_info(id).expect("registered rule id");
+    cfg.rule(id).severity.unwrap_or(info.default_severity) != Severity::Off
+}
+
+// ---------------------------------------------------------------------------
+// GSD000 — malformed directives
+// ---------------------------------------------------------------------------
+
+/// Emits GSD000 for every malformed or unjustified control comment.
+pub fn check_directives(cx: &FileCx<'_>, cfg: &LintConfig, out: &mut Vec<Diagnostic>) {
+    if !rule_enabled("GSD000", cfg) {
+        return;
+    }
+    for d in cx.directives {
+        if let Some(why) = &d.malformed {
+            out.push(diag("GSD000", cfg, cx.path, d.line, why.clone()));
+        } else if rule_info(&d.rule).is_none() {
+            out.push(diag(
+                "GSD000",
+                cfg,
+                cx.path,
+                d.line,
+                format!("`{}` is not a registered gsd-lint rule", d.rule),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// GSD001 — panics in hot-path crates
+// ---------------------------------------------------------------------------
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Flags `.unwrap()` / `.expect(` and panic-family macros in non-test
+/// code of the hot-path crates.
+pub fn check_gsd001(cx: &FileCx<'_>, cfg: &LintConfig, out: &mut Vec<Diagnostic>) {
+    if !rule_enabled("GSD001", cfg) || !in_scope(cx.path, "GSD001", &cfg.rule("GSD001")) {
+        return;
+    }
+    for (i, tok) in cx.tokens.iter().enumerate() {
+        if cx.mask[i] || tok.kind != TokKind::Ident {
+            continue;
+        }
+        let prev_dot = i > 0 && cx.tokens[i - 1].is_punct('.');
+        let next = cx.tokens.get(i + 1);
+        if (tok.text == "unwrap" || tok.text == "expect")
+            && prev_dot
+            && next.is_some_and(|t| t.is_punct('('))
+        {
+            out.push(diag(
+                "GSD001",
+                cfg,
+                cx.path,
+                tok.line,
+                format!(
+                    "`.{}()` in hot-path code — propagate the error through the typed \
+                     `Result` path instead of panicking",
+                    tok.text
+                ),
+            ));
+        } else if PANIC_MACROS.contains(&tok.text.as_str()) && next.is_some_and(|t| t.is_punct('!'))
+        {
+            out.push(diag(
+                "GSD001",
+                cfg,
+                cx.path,
+                tok.line,
+                format!(
+                    "`{}!` in hot-path code — return a typed error; a panic mid-run \
+                     can leave partially-flushed vertex state behind",
+                    tok.text
+                ),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// GSD002 — wall-clock access outside the timing modules
+// ---------------------------------------------------------------------------
+
+const WALL_CLOCK_TYPES: &[&str] = &["Instant", "SystemTime"];
+
+/// Flags raw wall-clock type references outside gsd-trace / gsd-bench and
+/// the designated timing module (`gsd-runtime/src/kernels.rs`).
+pub fn check_gsd002(cx: &FileCx<'_>, cfg: &LintConfig, out: &mut Vec<Diagnostic>) {
+    if !rule_enabled("GSD002", cfg) || !in_scope(cx.path, "GSD002", &cfg.rule("GSD002")) {
+        return;
+    }
+    for (i, tok) in cx.tokens.iter().enumerate() {
+        if cx.mask[i] || tok.kind != TokKind::Ident {
+            continue;
+        }
+        if WALL_CLOCK_TYPES.contains(&tok.text.as_str()) {
+            out.push(diag(
+                "GSD002",
+                cfg,
+                cx.path,
+                tok.line,
+                format!(
+                    "raw `{}` outside the designated timing modules — measure through \
+                     `gsd_trace::clock::Stopwatch`/`timed` so SimDisk virtual-clock \
+                     runs stay wall-clock-free",
+                    tok.text
+                ),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// GSD003 — lock guard held across storage I/O
+// ---------------------------------------------------------------------------
+
+/// Storage-layer entry points whose call under a held guard is flagged.
+const IO_METHODS: &[&str] = &[
+    "read_at",
+    "write_at",
+    "load_block",
+    "read_all",
+    "write_all",
+    "read_block_into",
+    "read_edge_run",
+    "read_row_index_span",
+    "create",
+];
+
+const GUARD_METHODS: &[&str] = &["lock", "read", "write"];
+
+/// Flags `let guard = ….lock()/read()/write();` bindings whose lexical
+/// scope (to the enclosing block's `}` or an explicit `drop(guard)`)
+/// contains a storage I/O call.
+pub fn check_gsd003(cx: &FileCx<'_>, cfg: &LintConfig, out: &mut Vec<Diagnostic>) {
+    if !rule_enabled("GSD003", cfg) || !in_scope(cx.path, "GSD003", &cfg.rule("GSD003")) {
+        return;
+    }
+    let toks = cx.tokens;
+    let mut i = 0usize;
+    while i < toks.len() {
+        if cx.mask[i] || !toks[i].is_ident("let") {
+            i += 1;
+            continue;
+        }
+        // `if let` / `while let` bind pattern matches, not guards, and
+        // have no terminating `;` — skip the keyword, not the file.
+        if i > 0 && (toks[i - 1].is_ident("if") || toks[i - 1].is_ident("while")) {
+            i += 1;
+            continue;
+        }
+        let Some(stmt_end) = statement_end(toks, i) else {
+            i += 1;
+            continue;
+        };
+        if let Some(guard) = guard_binding(toks, i, stmt_end) {
+            let scope_end = scope_end(cx, stmt_end + 1, cx.depth[i], &guard.name);
+            if let Some((method, line)) = first_io_call(cx, stmt_end + 1, scope_end) {
+                out.push(diag(
+                    "GSD003",
+                    cfg,
+                    cx.path,
+                    toks[i].line,
+                    format!(
+                        "lock guard `{}` is held across the storage call `{}` \
+                         (line {line}) — drop the guard (or copy what you need out \
+                         of it) before touching storage",
+                        guard.name, method
+                    ),
+                ));
+            }
+        }
+        i = stmt_end + 1;
+    }
+}
+
+/// Index of the `;` ending the statement starting at `start` (depth-aware:
+/// semicolons inside nested blocks, parens or brackets do not count).
+fn statement_end(tokens: &[Tok], start: usize) -> Option<usize> {
+    let mut paren = 0i32;
+    let mut bracket = 0i32;
+    let mut brace = 0i32;
+    for (k, tok) in tokens.iter().enumerate().skip(start) {
+        if tok.kind != TokKind::Punct {
+            continue;
+        }
+        match tok.text.as_bytes()[0] {
+            b'(' => paren += 1,
+            b')' => paren -= 1,
+            b'[' => bracket += 1,
+            b']' => bracket -= 1,
+            b'{' => brace += 1,
+            b'}' => {
+                brace -= 1;
+                if brace < 0 {
+                    // Statement never terminated inside this block
+                    // (malformed or a tail expression) — give up.
+                    return None;
+                }
+            }
+            b';' if paren == 0 && bracket == 0 && brace == 0 => return Some(k),
+            _ => {}
+        }
+    }
+    None
+}
+
+struct GuardBinding {
+    name: String,
+}
+
+/// Does `let …;` over `[start, stmt_end]` bind a lock guard? True when the
+/// statement contains a `.lock()` / `.read()` / `.write()` call and
+/// everything after that call is only guard-preserving (`?`, `.unwrap()`,
+/// `.expect(…)`), so the guard outlives the statement. A longer method
+/// chain (e.g. `.lock().forget(k)`) consumes the guard within the
+/// statement and is fine.
+fn guard_binding(tokens: &[Tok], start: usize, stmt_end: usize) -> Option<GuardBinding> {
+    // Binding name: the ident right after `let` (skipping `mut`). Tuple or
+    // struct patterns are skipped — storage guards are plain bindings.
+    let mut n = start + 1;
+    if tokens.get(n).is_some_and(|t| t.is_ident("mut")) {
+        n += 1;
+    }
+    let name_tok = tokens.get(n)?;
+    if name_tok.kind != TokKind::Ident {
+        return None;
+    }
+    // Underscore-prefixed guards are an explicit "yes, hold it" idiom we
+    // still flag — the point is the I/O under the guard, not the name.
+    let name = name_tok.text.clone();
+
+    // Find the last guard-method call `.lock()` etc. in the statement.
+    let mut last_call_close = None;
+    for k in start..stmt_end {
+        if tokens[k].kind == TokKind::Ident
+            && GUARD_METHODS.contains(&tokens[k].text.as_str())
+            && k > 0
+            && tokens[k - 1].is_punct('.')
+            && tokens.get(k + 1).is_some_and(|t| t.is_punct('('))
+            && tokens.get(k + 2).is_some_and(|t| t.is_punct(')'))
+        {
+            last_call_close = Some(k + 2);
+        }
+    }
+    let mut k = last_call_close? + 1;
+    // Tail after the guard call: only `?`, `.unwrap()`, `.expect(…)` keep
+    // the binding a guard.
+    while k < stmt_end {
+        if tokens[k].is_punct('?') {
+            k += 1;
+        } else if tokens[k].is_punct('.')
+            && tokens
+                .get(k + 1)
+                .is_some_and(|t| t.is_ident("unwrap") || t.is_ident("expect"))
+            && tokens.get(k + 2).is_some_and(|t| t.is_punct('('))
+        {
+            // Skip to the matching `)`.
+            let mut depth = 0i32;
+            k += 2;
+            while k < stmt_end {
+                if tokens[k].is_punct('(') {
+                    depth += 1;
+                } else if tokens[k].is_punct(')') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                k += 1;
+            }
+            k += 1;
+        } else {
+            return None;
+        }
+    }
+    Some(GuardBinding { name })
+}
+
+/// End of the guard's lexical scope: the first token whose brace depth
+/// drops below the binding's, or an explicit `drop(name)`.
+fn scope_end(cx: &FileCx<'_>, from: usize, let_depth: i32, name: &str) -> usize {
+    for k in from..cx.tokens.len() {
+        if cx.depth[k] < let_depth {
+            return k;
+        }
+        if cx.tokens[k].is_ident("drop")
+            && cx.tokens.get(k + 1).is_some_and(|t| t.is_punct('('))
+            && cx.tokens.get(k + 2).is_some_and(|t| t.is_ident(name))
+        {
+            return k;
+        }
+    }
+    cx.tokens.len()
+}
+
+/// First storage I/O *method call* (`.read_at(` etc.) in `[from, to)`.
+fn first_io_call(cx: &FileCx<'_>, from: usize, to: usize) -> Option<(String, u32)> {
+    for k in from..to.min(cx.tokens.len()) {
+        let tok = &cx.tokens[k];
+        if tok.kind == TokKind::Ident
+            && IO_METHODS.contains(&tok.text.as_str())
+            && k > 0
+            && cx.tokens[k - 1].is_punct('.')
+            && cx.tokens.get(k + 1).is_some_and(|t| t.is_punct('('))
+        {
+            return Some((tok.text.clone(), tok.line));
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// GSD004 — dead telemetry (cross-file)
+// ---------------------------------------------------------------------------
+
+/// Cross-file check: every variant of the trace-event enum must be
+/// constructed in at least one non-test file other than its definition.
+pub fn check_gsd004(files: &[FileCx<'_>], cfg: &LintConfig, out: &mut Vec<Diagnostic>) {
+    if !rule_enabled("GSD004", cfg) {
+        return;
+    }
+    let Some(event_cx) = files.iter().find(|f| f.path == cfg.event_file) else {
+        return; // No event file in this workspace view — nothing to check.
+    };
+    let variants = enum_variants(event_cx.tokens, &cfg.event_enum);
+    if variants.is_empty() {
+        return;
+    }
+    let mut constructed: Vec<&str> = Vec::new();
+    for cx in files {
+        if cx.path == cfg.event_file {
+            continue;
+        }
+        collect_constructions(cx, &cfg.event_enum, &mut constructed);
+    }
+    for (name, line) in &variants {
+        if !constructed.iter().any(|c| c == name) {
+            out.push(diag(
+                "GSD004",
+                cfg,
+                event_cx.path,
+                *line,
+                format!(
+                    "trace event `{}::{name}` is never constructed outside tests — \
+                     dead telemetry: either emit it or remove the variant",
+                    cfg.event_enum
+                ),
+            ));
+        }
+    }
+}
+
+/// Variant names (with definition lines) of `enum <name> { … }`.
+fn enum_variants(tokens: &[Tok], enum_name: &str) -> Vec<(String, u32)> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i + 2 < tokens.len() {
+        if tokens[i].is_ident("enum")
+            && tokens[i + 1].is_ident(enum_name)
+            && tokens[i + 2].is_punct('{')
+        {
+            let mut k = i + 3;
+            let mut depth = 1i32;
+            while k < tokens.len() && depth > 0 {
+                let tok = &tokens[k];
+                if tok.is_punct('{') {
+                    depth += 1;
+                } else if tok.is_punct('}') {
+                    depth -= 1;
+                } else if depth == 1 && tok.is_punct('#') {
+                    // Skip an attribute's bracket group.
+                    k = skip_bracket_group(tokens, k + 1);
+                    continue;
+                } else if depth == 1 && tok.kind == TokKind::Ident {
+                    out.push((tok.text.clone(), tok.line));
+                    // Skip the variant's payload to the next top-level `,`.
+                    k = skip_to_variant_end(tokens, k + 1);
+                    continue;
+                }
+                k += 1;
+            }
+            return out;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// With `tokens[at]` expected to be `[`, returns the index just past the
+/// matching `]`.
+fn skip_bracket_group(tokens: &[Tok], at: usize) -> usize {
+    let mut depth = 0i32;
+    for (k, tok) in tokens.iter().enumerate().skip(at) {
+        if tok.is_punct('[') {
+            depth += 1;
+        } else if tok.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return k + 1;
+            }
+        }
+    }
+    tokens.len()
+}
+
+/// From just past a variant name, returns the index just past the `,` that
+/// ends the variant (depth-aware), or the index of the enum's closing `}`.
+fn skip_to_variant_end(tokens: &[Tok], at: usize) -> usize {
+    let mut paren = 0i32;
+    let mut brace = 0i32;
+    for (k, tok) in tokens.iter().enumerate().skip(at) {
+        if tok.kind != TokKind::Punct {
+            continue;
+        }
+        match tok.text.as_bytes()[0] {
+            b'(' => paren += 1,
+            b')' => paren -= 1,
+            b'{' => brace += 1,
+            b'}' => {
+                brace -= 1;
+                if brace < 0 {
+                    return k; // enum's closing brace
+                }
+            }
+            b',' if paren == 0 && brace == 0 => return k + 1,
+            _ => {}
+        }
+    }
+    tokens.len()
+}
+
+/// Records variants of `enum_name` that this file *constructs* (as opposed
+/// to pattern-matches) in non-test code. `Enum::Variant { … }` followed by
+/// `=>`, `|`, `=` or `if` is a pattern position; anything else is a
+/// construction.
+fn collect_constructions<'a>(cx: &FileCx<'a>, enum_name: &str, out: &mut Vec<&'a str>) {
+    let toks = cx.tokens;
+    for i in 0..toks.len() {
+        if cx.mask[i] || !toks[i].is_ident(enum_name) {
+            continue;
+        }
+        if !(toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct(':')))
+        {
+            continue;
+        }
+        let Some(variant) = toks.get(i + 3).filter(|t| t.kind == TokKind::Ident) else {
+            continue;
+        };
+        if !toks.get(i + 4).is_some_and(|t| t.is_punct('{')) {
+            continue; // bare path: unit-variant reference or pattern, not a struct construction
+        }
+        // Find the matching `}` and look at what follows.
+        let mut depth = 0i32;
+        let mut close = None;
+        for (k, tok) in toks.iter().enumerate().skip(i + 4) {
+            if tok.is_punct('{') {
+                depth += 1;
+            } else if tok.is_punct('}') {
+                depth -= 1;
+                if depth == 0 {
+                    close = Some(k);
+                    break;
+                }
+            }
+        }
+        let Some(close) = close else { continue };
+        let is_pattern = toks
+            .get(close + 1)
+            .is_some_and(|t| t.is_punct('|') || t.is_punct('=') || t.is_ident("if"));
+        if !is_pattern {
+            out.push(&variant.text);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// GSD005 — forbid(unsafe_code) at every crate root
+// ---------------------------------------------------------------------------
+
+/// True if `path` is a crate root this rule audits.
+pub fn is_crate_root(path: &str) -> bool {
+    path == "src/lib.rs" || (path.starts_with("crates/") && path.ends_with("/src/lib.rs"))
+}
+
+/// Flags crate roots missing `#![forbid(unsafe_code)]`.
+pub fn check_gsd005(cx: &FileCx<'_>, cfg: &LintConfig, out: &mut Vec<Diagnostic>) {
+    if !rule_enabled("GSD005", cfg) || !is_crate_root(cx.path) {
+        return;
+    }
+    let toks = cx.tokens;
+    let found = (0..toks.len()).any(|i| {
+        let at = |k: usize| toks.get(i + k);
+        at(0).is_some_and(|t| t.is_punct('#'))
+            && at(1).is_some_and(|t| t.is_punct('!'))
+            && at(2).is_some_and(|t| t.is_punct('['))
+            && at(3).is_some_and(|t| t.is_ident("forbid"))
+            && at(4).is_some_and(|t| t.is_punct('('))
+            && at(5).is_some_and(|t| t.is_ident("unsafe_code"))
+    });
+    if !found {
+        out.push(diag(
+            "GSD005",
+            cfg,
+            cx.path,
+            1,
+            "crate root is missing `#![forbid(unsafe_code)]` — every first-party \
+             crate must statically rule unsafe out"
+                .to_string(),
+        ));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// GSD006 — `as u32` truncation in graph/offset arithmetic
+// ---------------------------------------------------------------------------
+
+/// Flags `as u32` casts in the id/offset-arithmetic crates; narrowing must
+/// go through `gsd_graph::narrow` so truncation fails loudly.
+pub fn check_gsd006(cx: &FileCx<'_>, cfg: &LintConfig, out: &mut Vec<Diagnostic>) {
+    if !rule_enabled("GSD006", cfg) || !in_scope(cx.path, "GSD006", &cfg.rule("GSD006")) {
+        return;
+    }
+    for (i, tok) in cx.tokens.iter().enumerate() {
+        if cx.mask[i] || !tok.is_ident("as") {
+            continue;
+        }
+        if cx.tokens.get(i + 1).is_some_and(|t| t.is_ident("u32")) {
+            out.push(diag(
+                "GSD006",
+                cfg,
+                cx.path,
+                tok.line,
+                "`as u32` in graph/offset arithmetic silently truncates — narrow \
+                 through `gsd_graph::narrow` (to_u32/from_usize/…) instead"
+                    .to_string(),
+            ));
+        }
+    }
+}

@@ -1,0 +1,6 @@
+// GSD000 negative fixture: a well-formed, justified directive (and prose
+// that merely mentions gsd-lint: directives, which is not one).
+pub fn checked(v: Option<u8>) -> u8 {
+    // gsd-lint: allow(GSD001, "fixture: demonstrates a justified suppression")
+    v.unwrap()
+}

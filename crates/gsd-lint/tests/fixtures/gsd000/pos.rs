@@ -1,0 +1,5 @@
+// GSD000 positive fixture: three broken directives.
+// gsd-lint: allow(GSD001)
+// gsd-lint: allow(CLIPPY9, "not one of ours")
+// gsd-lint: alow(GSD002, "typo in the verb")
+pub fn noop() {}

@@ -1,0 +1,21 @@
+// GSD001 negative fixture: typed error propagation, unwrap_or fallbacks,
+// and panics confined to test code are all fine.
+pub fn read_header(bytes: &[u8]) -> std::io::Result<u32> {
+    let word: [u8; 4] = bytes[..4]
+        .try_into()
+        .map_err(|_| std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "short header"))?;
+    let fallback = bytes.first().copied().unwrap_or(0);
+    Ok(u32::from_le_bytes(word) + u32::from(fallback))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap() {
+        let v: Option<u8> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+        if false {
+            panic!("unreached");
+        }
+    }
+}

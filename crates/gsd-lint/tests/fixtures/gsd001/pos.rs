@@ -1,0 +1,13 @@
+// GSD001 positive fixture: panics in hot-path code. Linted under the
+// virtual path crates/gsd-io/src/fixture.rs.
+pub fn read_header(bytes: &[u8]) -> u32 {
+    let word: [u8; 4] = bytes[..4].try_into().unwrap();
+    if word == [0; 4] {
+        panic!("empty header");
+    }
+    let len = std::str::from_utf8(&bytes[4..]).expect("utf8 header");
+    if len.is_empty() {
+        unreachable!();
+    }
+    u32::from_le_bytes(word)
+}

@@ -1,0 +1,7 @@
+// GSD002 negative fixture: Duration is not a clock read, and measuring
+// through the gsd_trace stopwatch is the sanctioned path.
+use std::time::Duration;
+
+pub fn measure<T>(elapsed: &mut Duration, f: impl FnOnce() -> T) -> T {
+    gsd_trace::clock::timed(elapsed, f)
+}

@@ -1,0 +1,16 @@
+// GSD002 positive fixture: raw wall-clock types outside the timing
+// modules. Linted under crates/gsd-core/src/fixture.rs.
+use std::time::Instant;
+
+pub fn measure<T>(f: impl FnOnce() -> T) -> (T, std::time::Duration) {
+    let t = Instant::now();
+    let out = f();
+    (out, t.elapsed())
+}
+
+pub fn wall_clock_seconds() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}

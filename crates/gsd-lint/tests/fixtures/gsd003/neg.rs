@@ -1,0 +1,14 @@
+// GSD003 negative fixture: copy what you need out of the guard (or drop
+// it explicitly) before touching storage; transient guards in a single
+// chained statement are also fine.
+pub fn refill(cache: &Cache, store: &dyn Storage) -> crate::Result<()> {
+    let offset = { *cache.next_offset.lock() };
+    let mut buf = vec![0u8; 4096];
+    store.read_at("grid/block0", offset, &mut buf)?;
+    let mut slots = cache.slots.lock();
+    slots.insert(offset, buf.clone());
+    drop(slots);
+    store.write_at("grid/block0", offset, &buf)?;
+    cache.slots.lock().insert(offset + 1, buf);
+    Ok(())
+}

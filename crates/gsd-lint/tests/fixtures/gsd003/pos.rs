@@ -1,0 +1,9 @@
+// GSD003 positive fixture: guard held across a storage call. Linted
+// under crates/gsd-io/src/fixture.rs.
+pub fn refill(cache: &Cache, store: &dyn Storage) -> crate::Result<()> {
+    let mut slots = cache.slots.lock();
+    let mut buf = vec![0u8; 4096];
+    store.read_at("grid/block0", 0, &mut buf)?;
+    slots.insert(0, buf);
+    Ok(())
+}

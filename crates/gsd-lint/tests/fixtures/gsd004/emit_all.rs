@@ -1,0 +1,5 @@
+// GSD004 negative-scenario consumer: every variant is constructed.
+pub fn emit(sink: &dyn Sink) {
+    sink.emit(TraceEvent::RunStart { iteration: 0 });
+    sink.emit(TraceEvent::BufferHit { block: 3, bytes: 4096 });
+}

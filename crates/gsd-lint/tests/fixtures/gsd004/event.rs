@@ -1,0 +1,9 @@
+// GSD004 fixture event model, linted as crates/gsd-trace/src/event.rs.
+/// Trace events for the fixture workspace.
+#[derive(Debug, Clone)]
+pub enum TraceEvent {
+    /// Start of a run.
+    RunStart { iteration: u32 },
+    /// A sub-block buffer hit.
+    BufferHit { block: u32, bytes: u64 },
+}

@@ -1,0 +1,13 @@
+// GSD004 positive-scenario consumer: RunStart is constructed, but
+// BufferHit is only ever pattern-matched — dead telemetry.
+pub fn emit(sink: &dyn Sink) {
+    sink.emit(TraceEvent::RunStart { iteration: 0 });
+}
+
+pub fn describe(ev: &TraceEvent) -> String {
+    match ev {
+        TraceEvent::RunStart { iteration } => format!("run {iteration}"),
+        TraceEvent::BufferHit { block, .. } if *block > 0 => format!("hit {block}"),
+        TraceEvent::BufferHit { block, bytes } => format!("hit {block} ({bytes} B)"),
+    }
+}

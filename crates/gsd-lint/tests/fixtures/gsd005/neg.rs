@@ -1,0 +1,7 @@
+//! GSD005 negative fixture: the forbid attribute is present.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Does nothing.
+pub fn noop() {}

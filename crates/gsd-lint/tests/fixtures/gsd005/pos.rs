@@ -1,0 +1,6 @@
+//! GSD005 positive fixture: a crate root (linted as
+//! crates/gsd-example/src/lib.rs) without `#![forbid(unsafe_code)]`.
+
+#![warn(missing_docs)]
+
+pub fn noop() {}

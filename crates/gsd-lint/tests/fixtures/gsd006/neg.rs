@@ -1,0 +1,9 @@
+// GSD006 negative fixture: narrowing goes through the checked helpers;
+// widening casts and non-u32 casts are untouched.
+pub fn interval_of(vertex: u64, stride: u64) -> u32 {
+    crate::narrow::to_u32(vertex / stride, "interval index")
+}
+
+pub fn widen(b: u8) -> u64 {
+    b as u64
+}

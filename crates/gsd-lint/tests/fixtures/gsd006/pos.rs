@@ -1,0 +1,5 @@
+// GSD006 positive fixture: silent truncation in offset arithmetic.
+// Linted under crates/gsd-graph/src/fixture.rs.
+pub fn interval_of(vertex: u64, stride: u64) -> u32 {
+    (vertex / stride) as u32
+}

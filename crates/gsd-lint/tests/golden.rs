@@ -1,0 +1,254 @@
+//! Fixture golden tests: every rule fires on its positive fixture and
+//! stays silent on its negative fixture. Fixtures live under
+//! `tests/fixtures/` and are linted under *virtual* paths chosen to put
+//! them in each rule's default scope — they are never compiled.
+
+use gsd_lint::{check_snippet, LintConfig, Workspace};
+
+fn rules_of(diags: &[gsd_lint::Diagnostic]) -> Vec<&'static str> {
+    diags.iter().map(|d| d.rule).collect()
+}
+
+#[test]
+fn gsd001_fires_on_every_panic_form() {
+    let cfg = LintConfig::default();
+    let diags = check_snippet(
+        "crates/gsd-io/src/fixture.rs",
+        include_str!("fixtures/gsd001/pos.rs"),
+        &cfg,
+    );
+    assert_eq!(diags.len(), 4, "{diags:?}");
+    assert!(diags.iter().all(|d| d.rule == "GSD001"), "{diags:?}");
+    // One per construct: unwrap, panic!, expect, unreachable!.
+    let lines: Vec<u32> = diags.iter().map(|d| d.line).collect();
+    assert_eq!(lines, vec![4, 6, 8, 10], "{diags:?}");
+}
+
+#[test]
+fn gsd001_silent_on_propagation_and_tests() {
+    let cfg = LintConfig::default();
+    let diags = check_snippet(
+        "crates/gsd-io/src/fixture.rs",
+        include_str!("fixtures/gsd001/neg.rs"),
+        &cfg,
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn gsd002_fires_on_instant_and_system_time() {
+    let cfg = LintConfig::default();
+    let diags = check_snippet(
+        "crates/gsd-core/src/fixture.rs",
+        include_str!("fixtures/gsd002/pos.rs"),
+        &cfg,
+    );
+    let rules = rules_of(&diags);
+    assert!(
+        rules.iter().filter(|r| **r == "GSD002").count() >= 3,
+        "expected Instant import + Instant::now + SystemTime hits: {diags:?}"
+    );
+}
+
+#[test]
+fn gsd002_silent_on_stopwatch_and_duration() {
+    let cfg = LintConfig::default();
+    let diags = check_snippet(
+        "crates/gsd-core/src/fixture.rs",
+        include_str!("fixtures/gsd002/neg.rs"),
+        &cfg,
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn gsd002_exempts_the_designated_timing_module() {
+    let cfg = LintConfig::default();
+    let diags = check_snippet(
+        "crates/gsd-runtime/src/kernels.rs",
+        include_str!("fixtures/gsd002/pos.rs"),
+        &cfg,
+    );
+    assert!(rules_of(&diags).iter().all(|r| *r != "GSD002"), "{diags:?}");
+}
+
+#[test]
+fn gsd003_fires_on_guard_held_across_io() {
+    let cfg = LintConfig::default();
+    let diags = check_snippet(
+        "crates/gsd-io/src/fixture.rs",
+        include_str!("fixtures/gsd003/pos.rs"),
+        &cfg,
+    );
+    assert_eq!(rules_of(&diags), vec!["GSD003"], "{diags:?}");
+    assert_eq!(diags[0].line, 4, "anchored at the guard binding: {diags:?}");
+    assert!(diags[0].message.contains("read_at"), "{diags:?}");
+}
+
+#[test]
+fn gsd003_silent_when_guard_is_scoped_or_dropped() {
+    let cfg = LintConfig::default();
+    let diags = check_snippet(
+        "crates/gsd-io/src/fixture.rs",
+        include_str!("fixtures/gsd003/neg.rs"),
+        &cfg,
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+fn gsd004_workspace(consumer: &str) -> Vec<gsd_lint::Diagnostic> {
+    let cfg = LintConfig::default();
+    Workspace::from_files([
+        (
+            cfg.event_file.clone(),
+            include_str!("fixtures/gsd004/event.rs").to_string(),
+        ),
+        (
+            "crates/gsd-core/src/consumer.rs".to_string(),
+            consumer.to_string(),
+        ),
+    ])
+    .check(&cfg)
+}
+
+#[test]
+fn gsd004_fires_on_pattern_only_variant() {
+    let diags = gsd004_workspace(include_str!("fixtures/gsd004/match_only.rs"));
+    assert_eq!(rules_of(&diags), vec!["GSD004"], "{diags:?}");
+    assert!(diags[0].message.contains("BufferHit"), "{diags:?}");
+    assert_eq!(diags[0].file, "crates/gsd-trace/src/event.rs");
+    assert_eq!(diags[0].line, 8, "anchored at the variant definition");
+}
+
+#[test]
+fn gsd004_silent_when_all_variants_are_emitted() {
+    let diags = gsd004_workspace(include_str!("fixtures/gsd004/emit_all.rs"));
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn gsd005_fires_on_crate_root_without_forbid() {
+    let cfg = LintConfig::default();
+    let diags = check_snippet(
+        "crates/gsd-example/src/lib.rs",
+        include_str!("fixtures/gsd005/pos.rs"),
+        &cfg,
+    );
+    assert_eq!(rules_of(&diags), vec!["GSD005"], "{diags:?}");
+    assert_eq!(diags[0].line, 1);
+}
+
+#[test]
+fn gsd005_silent_with_forbid_and_on_non_roots() {
+    let cfg = LintConfig::default();
+    let diags = check_snippet(
+        "crates/gsd-example/src/lib.rs",
+        include_str!("fixtures/gsd005/neg.rs"),
+        &cfg,
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+    // The same forbid-less file is fine when it is not a crate root.
+    let diags = check_snippet(
+        "crates/gsd-example/src/util.rs",
+        include_str!("fixtures/gsd005/pos.rs"),
+        &cfg,
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn gsd006_fires_on_as_u32_truncation() {
+    let cfg = LintConfig::default();
+    let diags = check_snippet(
+        "crates/gsd-graph/src/fixture.rs",
+        include_str!("fixtures/gsd006/pos.rs"),
+        &cfg,
+    );
+    assert_eq!(rules_of(&diags), vec!["GSD006"], "{diags:?}");
+    assert_eq!(diags[0].line, 4);
+}
+
+#[test]
+fn gsd006_silent_on_checked_narrowing_and_widening() {
+    let cfg = LintConfig::default();
+    let diags = check_snippet(
+        "crates/gsd-graph/src/fixture.rs",
+        include_str!("fixtures/gsd006/neg.rs"),
+        &cfg,
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+    // The checked-conversion helper itself is exempt by default.
+    let diags = check_snippet(
+        "crates/gsd-graph/src/narrow.rs",
+        include_str!("fixtures/gsd006/pos.rs"),
+        &cfg,
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn gsd000_fires_on_each_malformed_directive() {
+    let cfg = LintConfig::default();
+    let diags = check_snippet(
+        "crates/gsd-graph/src/fixture.rs",
+        include_str!("fixtures/gsd000/pos.rs"),
+        &cfg,
+    );
+    assert_eq!(rules_of(&diags), vec!["GSD000"; 3], "{diags:?}");
+    assert_eq!(
+        diags.iter().map(|d| d.line).collect::<Vec<_>>(),
+        vec![2, 3, 4]
+    );
+}
+
+#[test]
+fn gsd000_silent_on_justified_directive_which_also_suppresses() {
+    let cfg = LintConfig::default();
+    let diags = check_snippet(
+        "crates/gsd-io/src/fixture.rs",
+        include_str!("fixtures/gsd000/neg.rs"),
+        &cfg,
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn severity_override_demotes_a_rule_to_warning() {
+    let cfg = LintConfig::parse("[rules.GSD006]\nseverity = \"warn\"").expect("parses");
+    let diags = check_snippet(
+        "crates/gsd-graph/src/fixture.rs",
+        include_str!("fixtures/gsd006/pos.rs"),
+        &cfg,
+    );
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].severity, gsd_lint::Severity::Warn);
+    assert!(!gsd_lint::has_errors(&diags));
+}
+
+#[test]
+fn severity_off_disables_a_rule() {
+    let cfg = LintConfig::parse("[rules.GSD006]\nseverity = \"off\"").expect("parses");
+    let diags = check_snippet(
+        "crates/gsd-graph/src/fixture.rs",
+        include_str!("fixtures/gsd006/pos.rs"),
+        &cfg,
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn every_shipped_rule_has_fixture_coverage() {
+    // Guards the registry against silently growing an untested rule: the
+    // ids exercised above must cover the whole registry.
+    let covered = [
+        "GSD000", "GSD001", "GSD002", "GSD003", "GSD004", "GSD005", "GSD006",
+    ];
+    for rule in gsd_lint::RULES {
+        assert!(
+            covered.contains(&rule.id),
+            "rule {} has no fixture coverage — add tests/fixtures/{}/",
+            rule.id,
+            rule.id.to_lowercase()
+        );
+    }
+}

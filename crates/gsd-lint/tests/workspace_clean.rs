@@ -1,0 +1,143 @@
+//! Meta tests against the *real* workspace: the checked-in tree must be
+//! lint-clean under the checked-in `lint.toml`, and an injected violation
+//! must fail the actual CLI with a `file:line` diagnostic and a nonzero
+//! exit code.
+
+use gsd_lint::{LintConfig, Severity, Workspace};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn repo_root() -> PathBuf {
+    // crates/gsd-lint -> crates -> repo root
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("manifest dir has two ancestors")
+        .to_path_buf()
+}
+
+fn repo_config(root: &Path) -> LintConfig {
+    let text = std::fs::read_to_string(root.join("lint.toml")).expect("lint.toml is checked in");
+    LintConfig::parse(&text).expect("checked-in lint.toml parses")
+}
+
+#[test]
+fn checked_in_workspace_is_lint_clean() {
+    let root = repo_root();
+    let cfg = repo_config(&root);
+    let ws = Workspace::load(&root, &cfg).expect("workspace walks");
+    assert!(
+        ws.files.len() > 50,
+        "expected the full workspace, found only {} files — include dirs wrong?",
+        ws.files.len()
+    );
+    let diags = ws.check(&cfg);
+    let errors: Vec<String> = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .map(|d| d.render_human())
+        .collect();
+    assert!(
+        errors.is_empty(),
+        "the checked-in workspace must be lint-clean:\n{}",
+        errors.join("\n")
+    );
+}
+
+#[test]
+fn simdisk_suppression_is_load_bearing() {
+    // The one checked-in suppression (SimDisk holds its cursor lock over
+    // the in-memory inner read) must cover a diagnostic GSD003 really
+    // produces — if the code changes shape, the stale allow comment
+    // should be deleted, and this test will notice.
+    let root = repo_root();
+    let cfg = repo_config(&root);
+    let mut ws = Workspace::load(&root, &cfg).expect("workspace walks");
+    let storage = ws
+        .files
+        .iter_mut()
+        .find(|f| f.path == "crates/gsd-io/src/storage.rs")
+        .expect("storage.rs present");
+    let stripped: String = storage
+        .text
+        .lines()
+        .filter(|l| !l.contains("gsd-lint: allow(GSD003"))
+        .collect::<Vec<_>>()
+        .join("\n");
+    assert_ne!(stripped, storage.text, "the GSD003 allow comment exists");
+    storage.text = stripped;
+    let diags = ws.check(&cfg);
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.rule == "GSD003" && d.file == "crates/gsd-io/src/storage.rs"),
+        "stripping the allow comment must surface the GSD003 finding: {diags:?}"
+    );
+}
+
+#[test]
+fn cli_exits_nonzero_on_injected_violation() {
+    // Build a throwaway mini-workspace with one hot-path violation and
+    // run the real binary against it.
+    let dir = std::env::temp_dir().join(format!("gsd-lint-inject-{}", std::process::id()));
+    let src_dir = dir.join("crates/gsd-io/src");
+    std::fs::create_dir_all(&src_dir).expect("create temp workspace");
+    let bad = "pub fn f(v: Option<u8>) -> u8 {\n    v.unwrap()\n}\n";
+    std::fs::write(src_dir.join("bad.rs"), bad).expect("write bad.rs");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_gsd-lint"))
+        .args(["check", "--root"])
+        .arg(&dir)
+        .output()
+        .expect("run gsd-lint");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "expected exit 1 on a violation; stdout:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("crates/gsd-io/src/bad.rs:2: error[GSD001]"),
+        "diagnostic must carry file:line; stdout:\n{stdout}"
+    );
+
+    // JSON mode carries the same finding, machine-readably.
+    let out = Command::new(env!("CARGO_BIN_EXE_gsd-lint"))
+        .args(["check", "--format", "json", "--root"])
+        .arg(&dir)
+        .output()
+        .expect("run gsd-lint --format json");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        stdout.contains("\"rule\":\"GSD001\"") && stdout.contains("\"line\":2"),
+        "json output:\n{stdout}"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cli_exits_zero_on_the_real_workspace() {
+    let root = repo_root();
+    let out = Command::new(env!("CARGO_BIN_EXE_gsd-lint"))
+        .args(["check", "--root"])
+        .arg(&root)
+        .output()
+        .expect("run gsd-lint");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "the checked-in workspace must pass the CLI:\n{stdout}"
+    );
+}
+
+#[test]
+fn cli_rejects_unknown_arguments_with_usage_exit() {
+    let out = Command::new(env!("CARGO_BIN_EXE_gsd-lint"))
+        .args(["check", "--wat"])
+        .output()
+        .expect("run gsd-lint");
+    assert_eq!(out.status.code(), Some(2));
+}

@@ -14,6 +14,13 @@ use crate::values::ValueArray;
 use gsd_graph::Edge;
 use rayon::prelude::*;
 
+/// Re-exported clock primitives: this module is the designated timing
+/// module of the engine layer (`gsd-lint` GSD002) — engines route every
+/// elapsed-time measurement through [`timed`], [`scatter_edges_timed`] or
+/// [`apply_range_timed`] rather than reading `std::time::Instant` directly,
+/// so a grep for raw clock access in engine code comes up empty.
+pub use gsd_trace::clock::{timed, Stopwatch};
+
 /// Edges per rayon task; large enough to amortize scheduling, small enough
 /// to balance skewed blocks.
 const EDGE_CHUNK: usize = 4096;
@@ -69,18 +76,17 @@ pub fn scatter_edges_timed<P: VertexProgram>(
     touched: &Frontier,
     elapsed: &mut std::time::Duration,
 ) -> u64 {
-    let t = std::time::Instant::now();
-    let delivered = scatter_edges(
-        program,
-        ctx,
-        edges,
-        source_filter,
-        source_values,
-        accum,
-        touched,
-    );
-    *elapsed += t.elapsed();
-    delivered
+    timed(elapsed, || {
+        scatter_edges(
+            program,
+            ctx,
+            edges,
+            source_filter,
+            source_values,
+            accum,
+            touched,
+        )
+    })
 }
 
 /// Applies the accumulator to every vertex of `range` at a BSP barrier:
@@ -135,10 +141,9 @@ pub fn apply_range_timed<P: VertexProgram>(
     out: &Frontier,
     elapsed: &mut std::time::Duration,
 ) -> u64 {
-    let t = std::time::Instant::now();
-    let changed = apply_range(program, ctx, range, apply_all, touched, accum, values, out);
-    *elapsed += t.elapsed();
-    changed
+    timed(elapsed, || {
+        apply_range(program, ctx, range, apply_all, touched, accum, values, out)
+    })
 }
 
 #[cfg(test)]

@@ -21,6 +21,7 @@
 //!   committed values on every program (the repo's central property test).
 //! * [`RunStats`] — timing/I/O accounting every experiment reads.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod context;

@@ -14,8 +14,8 @@ use crate::frontier::Frontier;
 use crate::program::{InitialFrontier, VertexProgram};
 use crate::stats::RunStats;
 use gsd_graph::{Csr, Graph};
+use gsd_trace::Stopwatch;
 use std::sync::Arc;
-use std::time::Instant;
 
 /// Sequential in-memory BSP executor over a [`Graph`].
 pub struct ReferenceEngine {
@@ -46,7 +46,7 @@ impl ReferenceEngine {
     ) -> (RunResult<P::Value>, Vec<Vec<P::Value>>) {
         let n = self.ctx.num_vertices;
         let limit = options.limit_for(program);
-        let started = Instant::now();
+        let started = Stopwatch::start();
 
         let mut values: Vec<P::Value> = (0..n).map(|v| program.init_value(v, &self.ctx)).collect();
         let zero = program.zero_accum();
@@ -66,7 +66,7 @@ impl ReferenceEngine {
                 break;
             }
             let frontier_size = frontier.count();
-            let iter_started = Instant::now();
+            let iter_started = Stopwatch::start();
             // Scatter from the frontier along out-edges.
             for u in frontier.iter() {
                 let uv = values[u as usize];

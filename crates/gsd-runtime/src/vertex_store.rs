@@ -69,38 +69,41 @@ mod tests {
     use gsd_io::MemStorage;
 
     #[test]
-    fn ensure_creates_right_size() {
+    fn ensure_creates_right_size() -> std::io::Result<()> {
         let store = MemStorage::new();
-        let f = VertexValueFile::ensure(&store, "runtime/values.bin", 400).unwrap();
+        let f = VertexValueFile::ensure(&store, "runtime/values.bin", 400)?;
         assert_eq!(f.bytes(), 400);
-        assert_eq!(store.len("runtime/values.bin").unwrap(), 400);
+        assert_eq!(store.len("runtime/values.bin")?, 400);
+        Ok(())
     }
 
     #[test]
-    fn ensure_recreates_on_size_change() {
+    fn ensure_recreates_on_size_change() -> std::io::Result<()> {
         let store = MemStorage::new();
-        VertexValueFile::ensure(&store, "v", 100).unwrap();
-        VertexValueFile::ensure(&store, "v", 800).unwrap();
-        assert_eq!(store.len("v").unwrap(), 800);
+        VertexValueFile::ensure(&store, "v", 100)?;
+        VertexValueFile::ensure(&store, "v", 800)?;
+        assert_eq!(store.len("v")?, 800);
+        Ok(())
     }
 
     #[test]
-    fn read_write_charge_traffic() {
+    fn read_write_charge_traffic() -> std::io::Result<()> {
         let store = MemStorage::new();
-        let mut f = VertexValueFile::ensure(&store, "v", 1000).unwrap();
+        let mut f = VertexValueFile::ensure(&store, "v", 1000)?;
         store.stats().reset();
-        f.read_all(&store).unwrap();
-        f.write_all(&store).unwrap();
+        f.read_all(&store)?;
+        f.write_all(&store)?;
         let s = store.stats().snapshot();
         assert_eq!(s.read_bytes(), 1000);
         assert_eq!(s.write_bytes, 1000);
+        Ok(())
     }
 
     #[test]
-    fn zero_vertices_is_a_noop() {
+    fn zero_vertices_is_a_noop() -> std::io::Result<()> {
         let store = MemStorage::new();
-        let mut f = VertexValueFile::ensure(&store, "v", 0).unwrap();
-        f.read_all(&store).unwrap();
-        f.write_all(&store).unwrap();
+        let mut f = VertexValueFile::ensure(&store, "v", 0)?;
+        f.read_all(&store)?;
+        f.write_all(&store)
     }
 }

@@ -15,17 +15,24 @@
 //! * [`CounterRegistry`] / [`Histogram`] — lock-free power-of-two
 //!   histograms for request sizes and latencies, recorded by the storage
 //!   backends.
+//! * [`Stopwatch`] / [`timed`] — the workspace's single wall-clock access
+//!   point; everything outside `gsd-trace`/`gsd-bench` measures elapsed
+//!   time through it so `gsd-lint` (GSD002) can prove SimDisk
+//!   virtual-clock runs are wall-clock-free.
 //!
 //! The JSONL schema tags each event with an `"ev"` field holding its
 //! snake_case name; all other fields are flat scalars. See DESIGN.md
 //! ("Observability") for the full schema.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod clock;
 pub mod counters;
 pub mod event;
 pub mod sink;
 
+pub use clock::{timed, Stopwatch};
 pub use counters::{CounterRegistry, Histogram, HistogramSnapshot, HISTOGRAM_BUCKETS};
 pub use event::{AccessModel, TraceEvent};
 pub use sink::{null_sink, FanoutSink, JsonlWriter, NullSink, RingRecorder, TraceSink};

@@ -32,6 +32,7 @@
 //! See the workspace `README.md` for more and `DESIGN.md` for the system
 //! inventory.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use gsd_algos as algos;

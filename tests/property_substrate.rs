@@ -106,10 +106,10 @@ proptest! {
         // However reads are classified, seq + rand bytes must equal the
         // total requested, and ops must equal the request count.
         let store = SimDisk::new(DiskModel::ssd());
-        store.create("k", &vec![7u8; 128]).unwrap();
+        store.create("k", &[7u8; 128]).unwrap();
         store.stats().reset();
         let mut total = 0u64;
-        let mut buf = vec![0u8; 32];
+        let mut buf = [0u8; 32];
         for (offset, len) in &reads {
             let len = (*len).min((128 - offset) as usize);
             if len == 0 { continue; }
@@ -129,7 +129,7 @@ proptest! {
         store.create("k", &vec![0u8; 4096]).unwrap();
         store.stats().reset();
         let mut offset = 0u64;
-        let mut buf = vec![0u8; 32];
+        let mut buf = [0u8; 32];
         for len in &lens {
             if offset + *len as u64 > 4096 { break; }
             store.read_at("k", offset, &mut buf[..*len]).unwrap();
