@@ -222,6 +222,7 @@ impl Engine for GridStreamEngine {
                 scatter_time: scatter_t,
                 apply_time: apply_t,
                 io_wait_time: io_wall,
+                prefetch_stall_time: Duration::ZERO,
                 cross_iteration: false,
             });
         }

@@ -419,6 +419,7 @@ impl Engine for HusGraphEngine {
                 scatter_time: scatter_t,
                 apply_time: apply_t,
                 io_wait_time: io_wall,
+                prefetch_stall_time: Duration::ZERO,
                 cross_iteration: false,
             });
         }

@@ -12,6 +12,7 @@
 
 use gsd_graph::{preprocess, Graph, GridGraph, PreprocessConfig, PreprocessReport};
 use gsd_io::Storage;
+use gsd_pipeline::{PipelineConfig, PrefetchExecutor, PrefetchRequest};
 use gsd_runtime::kernels::{apply_range_timed, scatter_edges_timed};
 use gsd_runtime::{
     Capabilities, Engine, Frontier, IoAccessModel, IterationStats, ProgramContext, RunOptions,
@@ -43,16 +44,20 @@ pub struct LumosEngine {
     grid: GridGraph,
     degrees: Arc<Vec<u32>>,
     trace: Arc<dyn TraceSink>,
+    prefetch: Option<PipelineConfig>,
 }
 
 impl LumosEngine {
-    /// Opens the engine over any grid layout (indexes are ignored).
+    /// Opens the engine over any grid layout (indexes are ignored). The
+    /// prefetch pipeline defaults to the `GSD_PREFETCH*` environment
+    /// switch, matching the GraphSD engine's default.
     pub fn new(grid: GridGraph) -> std::io::Result<Self> {
         let degrees = Arc::new(grid.load_out_degrees()?);
         Ok(LumosEngine {
             grid,
             degrees,
             trace: gsd_trace::null_sink(),
+            prefetch: PipelineConfig::from_env(),
         })
     }
 
@@ -62,10 +67,38 @@ impl LumosEngine {
         self.trace = trace;
     }
 
+    /// Overrides the prefetch pipeline sizing (`None` forces fully
+    /// synchronous reads). Results are bit-identical either way.
+    pub fn set_prefetch(&mut self, prefetch: Option<PipelineConfig>) {
+        self.prefetch = prefetch;
+    }
+
     /// The underlying grid.
     pub fn grid(&self) -> &GridGraph {
         &self.grid
     }
+}
+
+/// Consumes one scheduled block from the pipeline, folding the wait into
+/// the pass's wall/stall timers and the outcome into the hit counters.
+fn take_scheduled(
+    exec: &mut PrefetchExecutor,
+    io_wall: &mut Duration,
+    stall: &mut Duration,
+    hits: &mut u64,
+    misses: &mut u64,
+) -> std::io::Result<Vec<gsd_graph::Edge>> {
+    let t = Stopwatch::start();
+    let taken = exec.take();
+    *io_wall += t.elapsed();
+    let taken = taken?;
+    if taken.outcome.is_hit() {
+        *hits += 1;
+    } else {
+        *misses += 1;
+    }
+    *stall += taken.outcome.stall();
+    Ok(taken.edges)
 }
 
 struct LumosState<V: gsd_runtime::Value, A: gsd_runtime::Value> {
@@ -146,7 +179,17 @@ impl Engine for LumosEngine {
         let mut scratch = Vec::new();
         let mut edges = Vec::new();
         let mut cross_iter_edges = 0u64;
+        let mut prefetch_hits = 0u64;
+        let mut prefetch_misses = 0u64;
         let value_file_bytes = n as u64 * program.value_bytes();
+        let mut pipeline = match self.prefetch {
+            Some(sizing) => {
+                let mut exec = PrefetchExecutor::new(grid.clone(), sizing)?;
+                exec.set_trace(self.trace.clone());
+                Some(exec)
+            }
+            None => None,
+        };
         if self.trace.enabled() {
             self.trace.emit(&TraceEvent::RunStart {
                 engine: "lumos",
@@ -169,7 +212,22 @@ impl Engine for LumosEngine {
             let mut compute = Duration::ZERO;
             let mut scatter_t = Duration::ZERO;
             let mut apply_t = Duration::ZERO;
+            let mut stall_t = Duration::ZERO;
             let mut pass_edges_served = 0u64;
+
+            // Lumos is state-oblivious: every non-empty block streams,
+            // so the whole pass is one prefetch schedule in visit order.
+            if let Some(exec) = pipeline.as_mut() {
+                let mut schedule = Vec::new();
+                for j in 0..p {
+                    for i in 0..p {
+                        if grid.meta().block_edge_count(i, j) > 0 {
+                            schedule.push(PrefetchRequest::Block { i, j });
+                        }
+                    }
+                }
+                exec.begin_schedule(schedule);
+            }
 
             let t = Stopwatch::start();
             vfile.read_all(storage.as_ref())?;
@@ -192,9 +250,19 @@ impl Engine for LumosEngine {
                     if grid.meta().block_edge_count(i, j) == 0 {
                         continue;
                     }
-                    let t = Stopwatch::start();
-                    grid.read_block_into(i, j, &mut scratch, &mut edges)?;
-                    io_wall += t.elapsed();
+                    if let Some(exec) = pipeline.as_mut() {
+                        edges = take_scheduled(
+                            exec,
+                            &mut io_wall,
+                            &mut stall_t,
+                            &mut prefetch_hits,
+                            &mut prefetch_misses,
+                        )?;
+                    } else {
+                        let t = Stopwatch::start();
+                        grid.read_block_into(i, j, &mut scratch, &mut edges)?;
+                        io_wall += t.elapsed();
+                    }
                     if self.trace.enabled() {
                         self.trace.emit(&TraceEvent::BlockLoad {
                             i,
@@ -307,6 +375,7 @@ impl Engine for LumosEngine {
                 scatter_time: scatter_t,
                 apply_time: apply_t,
                 io_wait_time: io_wall,
+                prefetch_stall_time: stall_t,
                 cross_iteration: false,
             });
 
@@ -327,6 +396,20 @@ impl Engine for LumosEngine {
             let mut compute = Duration::ZERO;
             let mut scatter_t = Duration::ZERO;
             let mut apply_t = Duration::ZERO;
+            let mut stall_t = Duration::ZERO;
+
+            // The secondary pass streams only the lower triangle.
+            if let Some(exec) = pipeline.as_mut() {
+                let mut schedule = Vec::new();
+                for j in 0..p {
+                    for i in (j + 1)..p {
+                        if grid.meta().block_edge_count(i, j) > 0 {
+                            schedule.push(PrefetchRequest::Block { i, j });
+                        }
+                    }
+                }
+                exec.begin_schedule(schedule);
+            }
 
             let t = Stopwatch::start();
             vfile.read_all(storage.as_ref())?;
@@ -348,9 +431,19 @@ impl Engine for LumosEngine {
                     if grid.meta().block_edge_count(i, j) == 0 {
                         continue;
                     }
-                    let t = Stopwatch::start();
-                    grid.read_block_into(i, j, &mut scratch, &mut edges)?;
-                    io_wall += t.elapsed();
+                    if let Some(exec) = pipeline.as_mut() {
+                        edges = take_scheduled(
+                            exec,
+                            &mut io_wall,
+                            &mut stall_t,
+                            &mut prefetch_hits,
+                            &mut prefetch_misses,
+                        )?;
+                    } else {
+                        let t = Stopwatch::start();
+                        grid.read_block_into(i, j, &mut scratch, &mut edges)?;
+                        io_wall += t.elapsed();
+                    }
                     if self.trace.enabled() {
                         self.trace.emit(&TraceEvent::BlockLoad {
                             i,
@@ -424,6 +517,7 @@ impl Engine for LumosEngine {
                 scatter_time: scatter_t,
                 apply_time: apply_t,
                 io_wait_time: io_wall,
+                prefetch_stall_time: stall_t,
                 cross_iteration: true,
             });
             iter += 2;
@@ -437,6 +531,8 @@ impl Engine for LumosEngine {
         }
         stats.io = storage.stats().snapshot().since(&run_snap);
         stats.cross_iter_edges = cross_iter_edges;
+        stats.prefetch_hits = prefetch_hits;
+        stats.prefetch_misses = prefetch_misses;
         Ok(RunResult {
             values: st.values_prev.snapshot(),
             stats,

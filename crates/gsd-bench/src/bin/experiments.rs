@@ -1,15 +1,23 @@
 //! CLI for the paper-experiment harness.
 //!
 //! ```text
-//! experiments [--trace FILE] [--verbose] [ids...]
+//! experiments [--trace FILE] [--verbose] [--no-prefetch]
+//!             [--prefetch-depth N] [ids...]
 //!
 //! ids                         experiment ids (default: all); `e1`..`e10`
 //!                             are shorthand for fig5..fig12, ext_storage,
 //!                             ext_psweep
 //! --trace FILE                stream every trace event as JSONL to FILE
 //! --verbose                   live per-iteration table on stderr
+//! --no-prefetch               fully synchronous reads (the CLI enables
+//!                             the prefetch pipeline by default)
+//! --prefetch-depth N          prefetch lookahead window (default 2)
 //! GSD_SCALE=tiny|small|medium workload scale (default small)
 //! ```
+//!
+//! The prefetch flags work by setting the `GSD_PREFETCH*` environment
+//! variables before any engine is built; results are bit-identical with
+//! the pipeline on or off — only wall time changes.
 //!
 //! Failures do not abort the batch: every requested experiment runs, a
 //! failure summary is printed at the end, and the exit status is nonzero
@@ -43,7 +51,10 @@ fn resolve(id: &str) -> &str {
 }
 
 fn usage() -> ! {
-    eprintln!("usage: experiments [--trace FILE] [--verbose] [ids...]");
+    eprintln!(
+        "usage: experiments [--trace FILE] [--verbose] [--no-prefetch] \
+         [--prefetch-depth N] [ids...]"
+    );
     eprintln!("known ids: {}", ALL_IDS.join(" "));
     std::process::exit(2);
 }
@@ -53,6 +64,8 @@ fn main() {
     let mut ids: Vec<&str> = Vec::new();
     let mut trace_path: Option<&str> = None;
     let mut verbose = false;
+    let mut prefetch = true;
+    let mut prefetch_depth: Option<&str> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -61,6 +74,11 @@ fn main() {
                 None => usage(),
             },
             "--verbose" | "-v" => verbose = true,
+            "--no-prefetch" => prefetch = false,
+            "--prefetch-depth" => match it.next().map(String::as_str) {
+                Some(n) if n.parse::<usize>().is_ok_and(|n| n >= 1) => prefetch_depth = Some(n),
+                _ => usage(),
+            },
             "--help" | "-h" => usage(),
             other if other.starts_with('-') => usage(),
             other => ids.push(resolve(other)),
@@ -68,6 +86,15 @@ fn main() {
     }
     if ids.is_empty() {
         ids = ALL_IDS.to_vec();
+    }
+
+    // Engine configs consult GSD_PREFETCH* when they are built (deep
+    // inside the runner), so the flags translate to the environment here,
+    // before any engine exists. An explicit GSD_PREFETCH=0 in the calling
+    // environment is overridden by the CLI's default-on policy.
+    std::env::set_var("GSD_PREFETCH", if prefetch { "1" } else { "0" });
+    if let Some(depth) = prefetch_depth {
+        std::env::set_var("GSD_PREFETCH_DEPTH", depth);
     }
 
     let mut sinks: Vec<Arc<dyn TraceSink>> = Vec::new();

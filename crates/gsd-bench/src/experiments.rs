@@ -339,6 +339,12 @@ pub struct Fig6Row {
     pub compute_time: Duration,
     /// I/O share of execution time.
     pub io_fraction: f64,
+    /// Prefetch-pipeline hits (scheduled reads served ahead of the ask).
+    pub prefetch_hits: u64,
+    /// Prefetch-pipeline misses (stalls + synchronous fallbacks).
+    pub prefetch_misses: u64,
+    /// Wall time the engine blocked on scheduled reads.
+    pub prefetch_stall_time: Duration,
 }
 
 /// Figure 6 result (on the Twitter2010 stand-in).
@@ -359,6 +365,9 @@ pub fn fig6(d: &Dataset) -> std::io::Result<Fig6> {
                 io_time: outcome.stats.io_time,
                 compute_time: outcome.stats.compute_time,
                 io_fraction: outcome.stats.io_fraction(),
+                prefetch_hits: outcome.stats.prefetch_hits,
+                prefetch_misses: outcome.stats.prefetch_misses,
+                prefetch_stall_time: outcome.stats.prefetch_stall_time,
             });
         }
     }
@@ -383,7 +392,16 @@ impl fmt::Display for Fig6 {
             f,
             "paper: I/O dominates (56-91%); GraphSD's I/O time is 73% of HUS-Graph's and 49% of Lumos's\n"
         )?;
-        let mut t = Table::new(vec!["Algo", "System", "IO(s)", "Update(s)", "IO-share"]);
+        let mut t = Table::new(vec![
+            "Algo",
+            "System",
+            "IO(s)",
+            "Update(s)",
+            "IO-share",
+            "pf-hit",
+            "pf-miss",
+            "stall(s)",
+        ]);
         for r in &self.rows {
             t.push(vec![
                 r.algo.to_owned(),
@@ -391,6 +409,9 @@ impl fmt::Display for Fig6 {
                 secs(r.io_time),
                 secs(r.compute_time),
                 format!("{:.0}%", r.io_fraction * 100.0),
+                r.prefetch_hits.to_string(),
+                r.prefetch_misses.to_string(),
+                secs(r.prefetch_stall_time),
             ]);
         }
         write!(f, "{t}")?;

@@ -31,8 +31,10 @@ pub fn current_sink() -> Arc<dyn TraceSink> {
 ///
 /// Columns: iteration, chosen I/O model, frontier size, the scheduler's
 /// `S_seq`/`S_ran` byte estimates (blank for engines without a scheduler),
-/// bytes read, sub-block buffer hits, and the scatter / apply / I/O-wait
-/// phase times in microseconds.
+/// bytes read, sub-block buffer hits, prefetch-pipeline hits and misses
+/// (a miss = the consumer stalled on or fell back to a synchronous read),
+/// the accumulated stall time, and the scatter / apply / I/O-wait phase
+/// times in microseconds.
 #[derive(Default)]
 pub struct VerboseSink {
     state: Mutex<VerboseState>,
@@ -43,6 +45,9 @@ struct VerboseState {
     s_seq: Option<u64>,
     s_ran: Option<u64>,
     buffer_hits: u64,
+    prefetch_hits: u64,
+    prefetch_misses: u64,
+    stall_us: u64,
 }
 
 impl VerboseSink {
@@ -64,7 +69,7 @@ impl TraceSink for VerboseSink {
                 *st = VerboseState::default();
                 eprintln!("# trace: {engine} / {algorithm}");
                 eprintln!(
-                    "# {:>4}  {:>9}  {:>9}  {:>12}  {:>12}  {:>12}  {:>8}  {:>10}  {:>10}  {:>10}",
+                    "# {:>4}  {:>9}  {:>9}  {:>12}  {:>12}  {:>12}  {:>8}  {:>7}  {:>7}  {:>8}  {:>10}  {:>10}  {:>10}",
                     "iter",
                     "model",
                     "frontier",
@@ -72,6 +77,9 @@ impl TraceSink for VerboseSink {
                     "s_ran",
                     "bytes_read",
                     "buf_hits",
+                    "pf_hits",
+                    "pf_miss",
+                    "stall_us",
                     "scatter_us",
                     "apply_us",
                     "io_us"
@@ -82,6 +90,11 @@ impl TraceSink for VerboseSink {
                 st.s_ran = Some(*s_ran);
             }
             TraceEvent::BufferHit { .. } => st.buffer_hits += 1,
+            TraceEvent::PrefetchHit { .. } => st.prefetch_hits += 1,
+            TraceEvent::PrefetchStall { wait_us, .. } => {
+                st.prefetch_misses += 1;
+                st.stall_us += wait_us;
+            }
             TraceEvent::IterationEnd {
                 iteration,
                 model,
@@ -92,7 +105,7 @@ impl TraceSink for VerboseSink {
                 io_wait_us,
             } => {
                 eprintln!(
-                    "# {:>4}  {:>9}  {:>9}  {:>12}  {:>12}  {:>12}  {:>8}  {:>10}  {:>10}  {:>10}",
+                    "# {:>4}  {:>9}  {:>9}  {:>12}  {:>12}  {:>12}  {:>8}  {:>7}  {:>7}  {:>8}  {:>10}  {:>10}  {:>10}",
                     iteration,
                     model.as_str(),
                     frontier,
@@ -100,6 +113,9 @@ impl TraceSink for VerboseSink {
                     opt(st.s_ran),
                     bytes_read,
                     st.buffer_hits,
+                    st.prefetch_hits,
+                    st.prefetch_misses,
+                    st.stall_us,
                     scatter_us,
                     apply_us,
                     io_wait_us
@@ -107,6 +123,9 @@ impl TraceSink for VerboseSink {
                 st.s_seq = None;
                 st.s_ran = None;
                 st.buffer_hits = 0;
+                st.prefetch_hits = 0;
+                st.prefetch_misses = 0;
+                st.stall_us = 0;
             }
             _ => {}
         }
@@ -155,10 +174,23 @@ mod tests {
             j: 0,
             bytes: 8,
         });
+        sink.emit(&TraceEvent::PrefetchHit {
+            i: 0,
+            j: 1,
+            bytes: 16,
+        });
+        sink.emit(&TraceEvent::PrefetchStall {
+            i: 1,
+            j: 1,
+            wait_us: 25,
+        });
         {
             let st = sink.state.lock().unwrap();
             assert_eq!(st.s_seq, Some(100));
             assert_eq!(st.buffer_hits, 1);
+            assert_eq!(st.prefetch_hits, 1);
+            assert_eq!(st.prefetch_misses, 1);
+            assert_eq!(st.stall_us, 25);
         }
         sink.emit(&TraceEvent::IterationEnd {
             iteration: 1,
@@ -172,5 +204,8 @@ mod tests {
         let st = sink.state.lock().unwrap();
         assert_eq!(st.s_seq, None);
         assert_eq!(st.buffer_hits, 0);
+        assert_eq!(st.prefetch_hits, 0);
+        assert_eq!(st.prefetch_misses, 0);
+        assert_eq!(st.stall_us, 0);
     }
 }

@@ -93,14 +93,23 @@ impl SubBlockBuffer {
         self.entries.get(&(i, j)).map(|e| e.edges.clone())
     }
 
+    /// Whether block `(i, j)` is resident, without counting a hit (used
+    /// by the engine to plan a pass's prefetch schedule).
+    pub fn contains(&self, i: u32, j: u32) -> bool {
+        self.entries.contains_key(&(i, j))
+    }
+
     /// Offers block `(i, j)` with the given payload size and priority
     /// (= number of active edges observed in the first FCIU pass).
     /// Returns `true` if the block is resident afterwards.
     ///
-    /// If the block is already resident only its priority is refreshed.
-    /// Otherwise lower-priority residents are evicted while the block does
-    /// not fit; if the remaining residents all have priority ≥ the
-    /// newcomer's, the offer is declined.
+    /// A re-offer of a resident block replaces the payload and refreshes
+    /// the priority — the caller's decode is newer than what is resident,
+    /// and `used` must track the new size. Otherwise lower-priority
+    /// residents are evicted while the block does not fit; if the
+    /// remaining residents all have priority ≥ the newcomer's, the offer
+    /// is declined (a grown re-offer that no longer fits is dropped
+    /// rather than kept stale).
     pub fn offer(
         &mut self,
         i: u32,
@@ -109,9 +118,8 @@ impl SubBlockBuffer {
         bytes: u64,
         priority: u64,
     ) -> bool {
-        if let Some(e) = self.entries.get_mut(&(i, j)) {
-            e.priority = priority;
-            return true;
+        if let Some(old) = self.entries.remove(&(i, j)) {
+            self.used -= old.bytes;
         }
         if bytes > self.capacity {
             return false;
@@ -231,6 +239,35 @@ mod tests {
         assert_eq!(b.used(), 100, "no double charge");
         // Now a prio-50 newcomer cannot evict it.
         assert!(!b.offer(2, 0, block(1), 200, 50));
+    }
+
+    #[test]
+    fn reoffer_replaces_payload_and_recounts_bytes() {
+        let mut b = SubBlockBuffer::new(400);
+        assert!(b.offer(1, 0, block(2), 100, 5));
+        // Re-offer with a different decode: the resident payload and its
+        // byte charge must both update, not just the priority.
+        assert!(b.offer(1, 0, block(3), 150, 7));
+        assert_eq!(b.used(), 150, "used tracks the new size");
+        let resident = b.peek(1, 0).expect("still resident");
+        assert_eq!(resident.len(), 3, "payload is the latest decode");
+        // A shrink hands capacity back.
+        assert!(b.offer(1, 0, block(1), 50, 7));
+        assert_eq!(b.used(), 50);
+    }
+
+    #[test]
+    fn grown_reoffer_that_no_longer_fits_is_dropped() {
+        let mut b = SubBlockBuffer::new(200);
+        assert!(b.offer(1, 0, block(1), 100, 5));
+        assert!(b.offer(2, 0, block(1), 100, 50));
+        // (1, 0) grows past what eviction can free: the prio-50 resident
+        // outranks the re-offer, so the block leaves the buffer entirely
+        // instead of staying resident with a stale payload.
+        assert!(!b.offer(1, 0, block(4), 150, 5));
+        assert!(b.peek(1, 0).is_none());
+        assert!(b.peek(2, 0).is_some());
+        assert_eq!(b.used(), 100);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Engine configuration, including the paper's §5.4 ablation switches.
 
 use gsd_io::DiskModel;
+use gsd_pipeline::PipelineConfig;
 use gsd_runtime::IoAccessModel;
 
 /// GraphSD engine options.
@@ -38,6 +39,12 @@ pub struct GraphSdConfig {
     /// (a simulator knows its own model) and falls back to
     /// [`DiskModel::hdd`].
     pub disk_model: Option<DiskModel>,
+    /// Prefetch pipeline sizing, or `None` for fully synchronous reads.
+    /// The default consults the `GSD_PREFETCH*` environment variables
+    /// (see [`PipelineConfig::from_env`]) so a whole test suite can flip
+    /// prefetching on without code changes. Results are bit-identical
+    /// either way; only wall time changes.
+    pub prefetch: Option<PipelineConfig>,
 }
 
 impl Default for GraphSdConfig {
@@ -50,6 +57,7 @@ impl Default for GraphSdConfig {
             enable_buffering: true,
             seq_run_threshold: None,
             disk_model: None,
+            prefetch: PipelineConfig::from_env(),
         }
     }
 }
@@ -114,6 +122,18 @@ impl GraphSdConfig {
         self
     }
 
+    /// Enables the background prefetch pipeline with the given sizing.
+    pub fn with_prefetch(mut self, pipeline: PipelineConfig) -> Self {
+        self.prefetch = Some(pipeline);
+        self
+    }
+
+    /// Forces fully synchronous reads regardless of the environment.
+    pub fn without_prefetch(mut self) -> Self {
+        self.prefetch = None;
+        self
+    }
+
     /// Resolves the memory budget for a graph with `edge_bytes` of edges:
     /// explicit setting, or the paper's 5 %.
     pub fn budget_for(&self, edge_bytes: u64) -> u64 {
@@ -147,6 +167,13 @@ mod tests {
             Some(IoAccessModel::OnDemand)
         );
         assert!(!GraphSdConfig::without_buffering().enable_buffering);
+    }
+
+    #[test]
+    fn prefetch_helpers_toggle_the_pipeline() {
+        let c = GraphSdConfig::default().with_prefetch(PipelineConfig::with_depth(4));
+        assert_eq!(c.prefetch.map(|p| p.depth), Some(4));
+        assert!(c.without_prefetch().prefetch.is_none());
     }
 
     #[test]

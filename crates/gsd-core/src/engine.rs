@@ -28,12 +28,14 @@ use crate::config::GraphSdConfig;
 use crate::scheduler::{Scheduler, SchedulerDecision};
 use gsd_graph::{Edge, GridGraph};
 use gsd_io::{DiskModel, IoStatsSnapshot};
+use gsd_pipeline::{PrefetchExecutor, PrefetchRequest, Prefetched};
 use gsd_runtime::kernels::{apply_range_timed, scatter_edges_timed, timed};
 use gsd_runtime::{
     Capabilities, Engine, Frontier, IoAccessModel, IterationStats, ProgramContext, RunOptions,
     RunResult, RunStats, ValueArray, VertexProgram, VertexValueFile,
 };
 use gsd_trace::{TraceEvent, TraceSink};
+use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -133,6 +135,11 @@ struct IterTracker {
     compute: Duration,
     scatter: Duration,
     apply: Duration,
+    /// Wall time the consumer spent blocked on the prefetch pipeline
+    /// (stalled behind an in-flight read, or reading a fallback itself).
+    stall: Duration,
+    prefetch_hits: u64,
+    prefetch_misses: u64,
 }
 
 struct Runner<'a, P: VertexProgram> {
@@ -154,6 +161,7 @@ struct Runner<'a, P: VertexProgram> {
     vfile: VertexValueFile,
     scheduler: Scheduler,
     buffer: SubBlockBuffer,
+    pipeline: Option<PrefetchExecutor>,
     stats: RunStats,
     cross_iter_edges: u64,
     trace: Arc<dyn TraceSink>,
@@ -212,6 +220,14 @@ impl<'a, P: VertexProgram> Runner<'a, P> {
             .unwrap_or(0);
         let mut buffer = SubBlockBuffer::new(budget.saturating_sub(largest_block));
         buffer.set_trace(engine.trace.clone());
+        let pipeline = match engine.config.prefetch {
+            Some(sizing) => {
+                let mut exec = PrefetchExecutor::new(grid.clone(), sizing)?;
+                exec.set_trace(engine.trace.clone());
+                Some(exec)
+            }
+            None => None,
+        };
         let index_gap = gsd_graph::narrow::saturating_u32((seq_run_threshold / 4).max(1));
         Ok(Runner {
             grid,
@@ -231,6 +247,7 @@ impl<'a, P: VertexProgram> Runner<'a, P> {
             vfile,
             scheduler,
             buffer,
+            pipeline,
             stats: RunStats::new("graphsd", program.name()),
             cross_iter_edges: 0,
             trace: engine.trace.clone(),
@@ -322,6 +339,9 @@ impl<'a, P: VertexProgram> Runner<'a, P> {
             compute: Duration::ZERO,
             scatter: Duration::ZERO,
             apply: Duration::ZERO,
+            stall: Duration::ZERO,
+            prefetch_hits: 0,
+            prefetch_misses: 0,
         }
     }
 
@@ -355,6 +375,8 @@ impl<'a, P: VertexProgram> Runner<'a, P> {
                 io_wait_us: tracker.io_wall.as_micros() as u64,
             });
         }
+        self.stats.prefetch_hits += tracker.prefetch_hits;
+        self.stats.prefetch_misses += tracker.prefetch_misses;
         self.stats.push_iteration(IterationStats {
             iteration,
             model,
@@ -365,6 +387,7 @@ impl<'a, P: VertexProgram> Runner<'a, P> {
             scatter_time: tracker.scatter,
             apply_time: tracker.apply,
             io_wait_time: tracker.io_wall,
+            prefetch_stall_time: tracker.stall,
             cross_iteration,
         });
     }
@@ -379,6 +402,28 @@ impl<'a, P: VertexProgram> Runner<'a, P> {
         std::mem::swap(&mut self.touched_cur, &mut self.touched_next);
         self.touched_next.clear();
         self.frontier = out;
+    }
+
+    /// Consumes the next scheduled request from the prefetch pipeline,
+    /// folding its wait into the iteration's I/O wall time and its
+    /// hit/stall outcome into the tracker. Only called while a schedule
+    /// is active (the plan queue is non-empty).
+    fn take_prefetched(&mut self, tracker: &mut IterTracker) -> std::io::Result<Prefetched> {
+        let Some(exec) = self.pipeline.as_mut() else {
+            // Unreachable by construction (plans are only built when the
+            // pipeline exists); surfaced as an error, not a panic.
+            return Err(std::io::Error::other(
+                "prefetch consume without an executor",
+            ));
+        };
+        let taken = timed(&mut tracker.io_wall, || exec.take())?;
+        if taken.outcome.is_hit() {
+            tracker.prefetch_hits += 1;
+        } else {
+            tracker.prefetch_misses += 1;
+        }
+        tracker.stall += taken.outcome.stall();
+        Ok(taken)
     }
 
     fn load_block(
@@ -429,8 +474,12 @@ impl<'a, P: VertexProgram> Runner<'a, P> {
         });
 
         // On-demand load of active edge lists (kept in memory for the
-        // cross-iteration phase — the defining trick of SCIU).
-        let mut loaded: Vec<Edge> = Vec::new();
+        // cross-iteration phase — the defining trick of SCIU). The index
+        // spans are resolved synchronously first — a run cannot be known
+        // before its index arrives — producing the full coalesced run
+        // list in the order the synchronous path reads it; the runs then
+        // stream either through the prefetch pipeline or directly.
+        let mut runs: Vec<PrefetchRequest> = Vec::new();
         for i in 0..self.p {
             let range = self.grid.intervals().range(i);
             let active: Vec<u32> = self.frontier.iter_range(range).collect();
@@ -468,49 +517,74 @@ impl<'a, P: VertexProgram> Runner<'a, P> {
                             run_len += len;
                         } else {
                             if run_len > 0 {
-                                timed(&mut tracker.io_wall, || {
-                                    self.grid.read_edge_run(
-                                        i,
-                                        j,
-                                        run_start,
-                                        run_len,
-                                        &mut self.scratch,
-                                        &mut loaded,
-                                    )
-                                })?;
-                                if self.trace.enabled() {
-                                    self.trace.emit(&TraceEvent::BlockLoad {
-                                        i,
-                                        j,
-                                        bytes: run_len as u64 * self.per_edge_bytes,
-                                        seq: false,
-                                    });
-                                }
+                                runs.push(PrefetchRequest::Run {
+                                    i,
+                                    j,
+                                    edge_start: run_start,
+                                    edge_count: run_len,
+                                });
                             }
                             run_start = r.start;
                             run_len = len;
                         }
                     }
                     if run_len > 0 {
-                        timed(&mut tracker.io_wall, || {
-                            self.grid.read_edge_run(
-                                i,
-                                j,
-                                run_start,
-                                run_len,
-                                &mut self.scratch,
-                                &mut loaded,
-                            )
-                        })?;
-                        if self.trace.enabled() {
-                            self.trace.emit(&TraceEvent::BlockLoad {
-                                i,
-                                j,
-                                bytes: run_len as u64 * self.per_edge_bytes,
-                                seq: false,
-                            });
-                        }
+                        runs.push(PrefetchRequest::Run {
+                            i,
+                            j,
+                            edge_start: run_start,
+                            edge_count: run_len,
+                        });
                     }
+                }
+            }
+        }
+        let mut loaded: Vec<Edge> = Vec::new();
+        if self.pipeline.is_some() {
+            if let Some(exec) = self.pipeline.as_mut() {
+                exec.begin_schedule(runs.clone());
+            }
+            for request in &runs {
+                let taken = self.take_prefetched(&mut tracker)?;
+                loaded.extend_from_slice(&taken.edges);
+                if self.trace.enabled() {
+                    let (i, j) = request.coords();
+                    self.trace.emit(&TraceEvent::BlockLoad {
+                        i,
+                        j,
+                        bytes: taken.bytes,
+                        seq: false,
+                    });
+                }
+            }
+        } else {
+            for request in &runs {
+                let &PrefetchRequest::Run {
+                    i,
+                    j,
+                    edge_start,
+                    edge_count,
+                } = request
+                else {
+                    continue; // SCIU schedules runs only
+                };
+                timed(&mut tracker.io_wall, || {
+                    self.grid.read_edge_run(
+                        i,
+                        j,
+                        edge_start,
+                        edge_count,
+                        &mut self.scratch,
+                        &mut loaded,
+                    )
+                })?;
+                if self.trace.enabled() {
+                    self.trace.emit(&TraceEvent::BlockLoad {
+                        i,
+                        j,
+                        bytes: edge_count as u64 * self.per_edge_bytes,
+                        seq: false,
+                    });
                 }
             }
         }
@@ -626,6 +700,31 @@ impl<'a, P: VertexProgram> Runner<'a, P> {
             self.values_cur.copy_from(&self.values_prev)
         });
 
+        // Prefetch plan for the pass: every sub-block that will stream
+        // from storage, in visit order. Buffer residents are skipped —
+        // offers may still evict them mid-pass, so consumption matches
+        // against the schedule front and an evicted resident (never
+        // scheduled) falls back to a synchronous load.
+        let mut plan: VecDeque<(u32, u32)> = VecDeque::new();
+        if self.pipeline.is_some() {
+            let mut schedule = Vec::new();
+            for j in 0..self.p {
+                for i in 0..self.p {
+                    if self.grid.meta().block_edge_count(i, j) == 0 {
+                        continue;
+                    }
+                    if i > j && self.config.enable_buffering && self.buffer.contains(i, j) {
+                        continue;
+                    }
+                    schedule.push(PrefetchRequest::Block { i, j });
+                    plan.push_back((i, j));
+                }
+            }
+            if let Some(exec) = self.pipeline.as_mut() {
+                exec.begin_schedule(schedule);
+            }
+        }
+
         let out = Frontier::empty(self.n);
         let mut pass_edges_served = 0u64;
         for j in 0..self.p {
@@ -634,14 +733,29 @@ impl<'a, P: VertexProgram> Runner<'a, P> {
                 if self.grid.meta().block_edge_count(i, j) == 0 {
                     continue;
                 }
-                // Secondary sub-blocks may be resident from a previous
-                // round's buffering; everything else streams from storage.
-                let edges = match (i > j && self.config.enable_buffering)
-                    .then(|| self.buffer.get(i, j))
-                    .flatten()
-                {
-                    Some(e) => e,
-                    None => self.load_block(i, j, &mut tracker.io_wall)?,
+                // Scheduled blocks come from the pipeline; secondary
+                // sub-blocks may be resident from a previous round's
+                // buffering; everything else streams from storage.
+                let edges = if plan.front() == Some(&(i, j)) {
+                    plan.pop_front();
+                    let taken = self.take_prefetched(&mut tracker)?;
+                    if self.trace.enabled() {
+                        self.trace.emit(&TraceEvent::BlockLoad {
+                            i,
+                            j,
+                            bytes: taken.bytes,
+                            seq: true,
+                        });
+                    }
+                    Arc::new(taken.edges)
+                } else {
+                    match (i > j && self.config.enable_buffering)
+                        .then(|| self.buffer.get(i, j))
+                        .flatten()
+                    {
+                        Some(e) => e,
+                        None => self.load_block(i, j, &mut tracker.io_wall)?,
+                    }
                 };
 
                 timed(&mut tracker.compute, || {
@@ -763,20 +877,57 @@ impl<'a, P: VertexProgram> Runner<'a, P> {
             self.values_cur.copy_from(&self.values_prev)
         });
 
+        // The second pass streams only the secondary sub-blocks that are
+        // not buffer-resident; no offers happen here, so residency is
+        // stable, but the fallback is kept for uniformity.
+        let mut plan: VecDeque<(u32, u32)> = VecDeque::new();
+        if self.pipeline.is_some() {
+            let mut schedule = Vec::new();
+            for j in 0..self.p {
+                for i in (j + 1)..self.p {
+                    if self.grid.meta().block_edge_count(i, j) == 0 {
+                        continue;
+                    }
+                    if self.config.enable_buffering && self.buffer.contains(i, j) {
+                        continue;
+                    }
+                    schedule.push(PrefetchRequest::Block { i, j });
+                    plan.push_back((i, j));
+                }
+            }
+            if let Some(exec) = self.pipeline.as_mut() {
+                exec.begin_schedule(schedule);
+            }
+        }
+
         let out = Frontier::empty(self.n);
         for j in 0..self.p {
             for i in (j + 1)..self.p {
                 if self.grid.meta().block_edge_count(i, j) == 0 {
                     continue;
                 }
-                let edges = match self
-                    .config
-                    .enable_buffering
-                    .then(|| self.buffer.get(i, j))
-                    .flatten()
-                {
-                    Some(e) => e,
-                    None => self.load_block(i, j, &mut tracker.io_wall)?,
+                let edges = if plan.front() == Some(&(i, j)) {
+                    plan.pop_front();
+                    let taken = self.take_prefetched(&mut tracker)?;
+                    if self.trace.enabled() {
+                        self.trace.emit(&TraceEvent::BlockLoad {
+                            i,
+                            j,
+                            bytes: taken.bytes,
+                            seq: true,
+                        });
+                    }
+                    Arc::new(taken.edges)
+                } else {
+                    match self
+                        .config
+                        .enable_buffering
+                        .then(|| self.buffer.get(i, j))
+                        .flatten()
+                    {
+                        Some(e) => e,
+                        None => self.load_block(i, j, &mut tracker.io_wall)?,
+                    }
                 };
                 timed(&mut tracker.compute, || {
                     scatter_edges_timed(

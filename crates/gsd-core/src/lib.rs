@@ -46,4 +46,7 @@ pub(crate) fn trace_model(model: gsd_runtime::IoAccessModel) -> gsd_trace::Acces
 pub use buffer::SubBlockBuffer;
 pub use config::GraphSdConfig;
 pub use engine::GraphSdEngine;
+// Re-exported so callers configuring `GraphSdConfig::prefetch` do not need
+// a direct `gsd-pipeline` dependency.
+pub use gsd_pipeline::PipelineConfig;
 pub use scheduler::{Scheduler, SchedulerDecision};

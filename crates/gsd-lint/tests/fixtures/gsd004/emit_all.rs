@@ -2,4 +2,7 @@
 pub fn emit(sink: &dyn Sink) {
     sink.emit(TraceEvent::RunStart { iteration: 0 });
     sink.emit(TraceEvent::BufferHit { block: 3, bytes: 4096 });
+    sink.emit(TraceEvent::PrefetchIssued { block: 3, bytes: 4096 });
+    sink.emit(TraceEvent::PrefetchHit { block: 3, bytes: 4096 });
+    sink.emit(TraceEvent::PrefetchStall { block: 3, wait_us: 12 });
 }

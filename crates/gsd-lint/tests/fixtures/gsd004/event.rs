@@ -6,4 +6,10 @@ pub enum TraceEvent {
     RunStart { iteration: u32 },
     /// A sub-block buffer hit.
     BufferHit { block: u32, bytes: u64 },
+    /// A prefetch request handed to the pipeline.
+    PrefetchIssued { block: u32, bytes: u64 },
+    /// A consumer took an already-decoded sub-block.
+    PrefetchHit { block: u32, bytes: u64 },
+    /// A consumer waited on (or fell back past) the pipeline.
+    PrefetchStall { block: u32, wait_us: u64 },
 }

@@ -1,7 +1,11 @@
-// GSD004 positive-scenario consumer: RunStart is constructed, but
-// BufferHit is only ever pattern-matched — dead telemetry.
+// GSD004 positive-scenario consumer: RunStart and the prefetch variants
+// are constructed, but BufferHit is only ever pattern-matched — dead
+// telemetry. Exactly one diagnostic must fire, anchored at BufferHit.
 pub fn emit(sink: &dyn Sink) {
     sink.emit(TraceEvent::RunStart { iteration: 0 });
+    sink.emit(TraceEvent::PrefetchIssued { block: 1, bytes: 4096 });
+    sink.emit(TraceEvent::PrefetchHit { block: 1, bytes: 4096 });
+    sink.emit(TraceEvent::PrefetchStall { block: 2, wait_us: 17 });
 }
 
 pub fn describe(ev: &TraceEvent) -> String {
@@ -9,5 +13,8 @@ pub fn describe(ev: &TraceEvent) -> String {
         TraceEvent::RunStart { iteration } => format!("run {iteration}"),
         TraceEvent::BufferHit { block, .. } if *block > 0 => format!("hit {block}"),
         TraceEvent::BufferHit { block, bytes } => format!("hit {block} ({bytes} B)"),
+        TraceEvent::PrefetchIssued { block, .. } => format!("issued {block}"),
+        TraceEvent::PrefetchHit { block, .. } => format!("pf hit {block}"),
+        TraceEvent::PrefetchStall { block, wait_us } => format!("stall {block} {wait_us}us"),
     }
 }

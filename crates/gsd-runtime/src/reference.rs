@@ -102,6 +102,7 @@ impl ReferenceEngine {
                 scatter_time: std::time::Duration::ZERO,
                 apply_time: std::time::Duration::ZERO,
                 io_wait_time: std::time::Duration::ZERO,
+                prefetch_stall_time: std::time::Duration::ZERO,
                 cross_iteration: false,
             });
             snapshots.push(values.clone());

@@ -50,6 +50,10 @@ pub struct IterationStats {
     /// `io_time` this is always measured, never simulated, so it can be
     /// compared against the wall-clock phase timers.
     pub io_wait_time: Duration,
+    /// Wall time the engine blocked on *scheduled* reads the prefetch
+    /// pipeline had not finished (a component of `io_wait_time`; zero
+    /// when prefetching is disabled).
+    pub prefetch_stall_time: Duration,
     /// Whether this iteration's values were computed entirely by
     /// cross-iteration propagation (FCIU second pass reading only
     /// secondary sub-blocks, or an SCIU iteration fully pre-served).
@@ -80,6 +84,15 @@ pub struct RunStats {
     pub buffer_hits: u64,
     /// Bytes served from the sub-block buffer instead of storage.
     pub buffer_hit_bytes: u64,
+    /// Scheduled reads the prefetch pipeline finished before the engine
+    /// asked for them (zero when prefetching is disabled).
+    pub prefetch_hits: u64,
+    /// Scheduled reads the engine had to wait for (or perform itself)
+    /// because the pipeline had not finished them.
+    pub prefetch_misses: u64,
+    /// Total wall time the engine blocked on unfinished scheduled reads
+    /// (sum of the per-iteration `prefetch_stall_time`).
+    pub prefetch_stall_time: Duration,
     /// Per-iteration detail.
     pub per_iteration: Vec<IterationStats>,
 }
@@ -117,6 +130,7 @@ impl RunStats {
         self.iterations = self.iterations.max(iter.iteration);
         self.compute_time += iter.compute_time;
         self.io_time += iter.io_time;
+        self.prefetch_stall_time += iter.prefetch_stall_time;
         self.per_iteration.push(iter);
     }
 }
@@ -136,6 +150,7 @@ mod tests {
             scatter_time: Duration::ZERO,
             apply_time: Duration::ZERO,
             io_wait_time: Duration::from_millis(io_ms),
+            prefetch_stall_time: Duration::ZERO,
             cross_iteration: false,
         }
     }

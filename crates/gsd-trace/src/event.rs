@@ -136,6 +136,36 @@ pub enum TraceEvent {
         /// `true` for a write-back, `false` for a read-in.
         write: bool,
     },
+    /// A sub-block (or edge-run) read was handed to the prefetch pipeline.
+    PrefetchIssued {
+        /// Source interval of the scheduled block.
+        i: u32,
+        /// Destination interval of the scheduled block.
+        j: u32,
+        /// Bytes the request will read.
+        bytes: u64,
+    },
+    /// The engine consumed a prefetched read that was already decoded —
+    /// the pipeline fully hid the storage latency.
+    PrefetchHit {
+        /// Source interval of the block.
+        i: u32,
+        /// Destination interval of the block.
+        j: u32,
+        /// Bytes served ahead of the compute loop.
+        bytes: u64,
+    },
+    /// The engine blocked on a scheduled read that was not ready: either
+    /// a worker was still mid-read (wait) or no worker had started it and
+    /// the engine read it synchronously itself (fallback).
+    PrefetchStall {
+        /// Source interval of the block.
+        i: u32,
+        /// Destination interval of the block.
+        j: u32,
+        /// Microseconds the engine was blocked acquiring the data.
+        wait_us: u64,
+    },
 }
 
 impl TraceEvent {
@@ -154,6 +184,9 @@ impl TraceEvent {
             TraceEvent::BufferHit { .. } => "buffer_hit",
             TraceEvent::BufferEviction { .. } => "buffer_eviction",
             TraceEvent::ValueFlush { .. } => "value_flush",
+            TraceEvent::PrefetchIssued { .. } => "prefetch_issued",
+            TraceEvent::PrefetchHit { .. } => "prefetch_hit",
+            TraceEvent::PrefetchStall { .. } => "prefetch_stall",
         }
     }
 }
@@ -272,6 +305,15 @@ impl Serialize for TraceEvent {
             TraceEvent::ValueFlush { bytes, write } => {
                 tagged(self.kind(), vec![u("bytes", *bytes), b("write", *write)])
             }
+            TraceEvent::PrefetchIssued { i, j, bytes }
+            | TraceEvent::PrefetchHit { i, j, bytes } => tagged(
+                self.kind(),
+                vec![u("i", *i as u64), u("j", *j as u64), u("bytes", *bytes)],
+            ),
+            TraceEvent::PrefetchStall { i, j, wait_us } => tagged(
+                self.kind(),
+                vec![u("i", *i as u64), u("j", *j as u64), u("wait_us", *wait_us)],
+            ),
         }
     }
 }
@@ -306,5 +348,37 @@ mod tests {
         let json = serde_json::to_string(&d).unwrap();
         assert!(json.starts_with(r#"{"ev":"scheduler_decision""#));
         assert!(json.contains(r#""chosen":"on_demand""#));
+    }
+
+    #[test]
+    fn prefetch_events_serialize_with_stable_tags() {
+        let issued = TraceEvent::PrefetchIssued {
+            i: 2,
+            j: 1,
+            bytes: 4096,
+        };
+        assert_eq!(
+            serde_json::to_string(&issued).unwrap(),
+            r#"{"ev":"prefetch_issued","i":2,"j":1,"bytes":4096}"#
+        );
+        let hit = TraceEvent::PrefetchHit {
+            i: 2,
+            j: 1,
+            bytes: 4096,
+        };
+        assert_eq!(
+            serde_json::to_string(&hit).unwrap(),
+            r#"{"ev":"prefetch_hit","i":2,"j":1,"bytes":4096}"#
+        );
+        let stall = TraceEvent::PrefetchStall {
+            i: 0,
+            j: 3,
+            wait_us: 250,
+        };
+        assert_eq!(
+            serde_json::to_string(&stall).unwrap(),
+            r#"{"ev":"prefetch_stall","i":0,"j":3,"wait_us":250}"#
+        );
+        assert_eq!(stall.kind(), "prefetch_stall");
     }
 }
