@@ -19,12 +19,14 @@
 //! no cross-iteration propagation, which is exactly the gap the paper's
 //! Figures 5/7 measure.
 
+use crate::recover::BaselineCkpt;
 use gsd_graph::{preprocess, Graph, GridGraph, PreprocessConfig, PreprocessReport};
-use gsd_io::Storage;
+use gsd_io::{IoStatsSnapshot, Storage};
+use gsd_recover::{CheckpointData, RecoveryConfig};
 use gsd_runtime::kernels::{apply_range_timed, scatter_edges_timed};
 use gsd_runtime::{
     Capabilities, Engine, Frontier, IoAccessModel, IterationStats, ProgramContext, RunOptions,
-    RunResult, RunStats, ValueArray, VertexProgram, VertexValueFile,
+    RunResult, RunStats, Value, ValueArray, VertexProgram, VertexValueFile,
 };
 use gsd_trace::Stopwatch;
 use gsd_trace::{TraceEvent, TraceSink};
@@ -90,6 +92,7 @@ pub struct HusGraphEngine {
     pub rop_amplification: u64,
     index_gap: u32,
     trace: Arc<dyn TraceSink>,
+    checkpoint: Option<RecoveryConfig>,
 }
 
 impl HusGraphEngine {
@@ -105,6 +108,7 @@ impl HusGraphEngine {
             rop_amplification: 16,
             index_gap,
             trace: gsd_trace::null_sink(),
+            checkpoint: RecoveryConfig::from_env(),
         })
     }
 
@@ -112,6 +116,14 @@ impl HusGraphEngine {
     /// disabled [`gsd_trace::NullSink`].
     pub fn set_trace(&mut self, trace: Arc<dyn TraceSink>) {
         self.trace = trace;
+    }
+
+    /// Overrides the checkpoint/recovery options (`None` runs
+    /// unprotected). The default consults the `GSD_CKPT_*` environment
+    /// variables. Checkpointing is result-neutral: resumed runs commit
+    /// bit-identical values and I/O accounting.
+    pub fn set_checkpoint(&mut self, checkpoint: Option<RecoveryConfig>) {
+        self.checkpoint = checkpoint;
     }
 
     /// The row copy.
@@ -184,7 +196,6 @@ impl Engine for HusGraphEngine {
             n as u64 * program.value_bytes(),
         )?;
 
-        let run_snap = storage.stats().snapshot();
         let mut scratch = Vec::new();
         let mut edges: Vec<gsd_graph::Edge> = Vec::new();
         let per_edge = row.codec().edge_bytes() as u64;
@@ -196,7 +207,43 @@ impl Engine for HusGraphEngine {
             });
         }
 
-        for iter in 1..=limit {
+        // Recovery runs before `run_snap` is taken so checkpoint reads do
+        // not count toward the run's reported I/O. HUS iterations leave
+        // the accumulator carrying stale (never re-read) residue from
+        // earlier scatters; it is checkpointed and restored verbatim so a
+        // resumed run is bit-identical in every observable.
+        let mut start = 1u32;
+        let mut base_io = IoStatsSnapshot::default();
+        let mut ckpt: Option<BaselineCkpt> = None;
+        if let Some(cfg) = &self.checkpoint {
+            let (driver, resumed) = BaselineCkpt::open(
+                cfg,
+                &storage,
+                row.prefix(),
+                "hus-graph",
+                program.name(),
+                program.value_bytes(),
+                n,
+                self.trace.clone(),
+            )?;
+            if let Some(data) = resumed {
+                for (v, &bits) in (0u32..).zip(&data.values) {
+                    values_prev.set(v, P::Value::from_bits(bits));
+                }
+                values_cur.copy_from(&values_prev);
+                for (v, &bits) in (0u32..).zip(&data.accum) {
+                    accum.set(v, P::Accum::from_bits(bits));
+                }
+                frontier = Frontier::from_seeds(n, &data.frontier);
+                stats = data.stats.clone();
+                base_io = data.stats.io;
+                start = data.iteration + 1;
+            }
+            ckpt = Some(driver);
+        }
+        let run_snap = storage.stats().snapshot();
+
+        for iter in start..=limit {
             if frontier.is_empty() {
                 break;
             }
@@ -422,6 +469,31 @@ impl Engine for HusGraphEngine {
                 prefetch_stall_time: Duration::ZERO,
                 cross_iteration: false,
             });
+            if let Some(driver) = ckpt.as_mut() {
+                if driver.due(iter) {
+                    let mut ckpt_stats = stats.clone();
+                    ckpt_stats.io = base_io.plus(
+                        &storage
+                            .stats()
+                            .snapshot()
+                            .since(&run_snap)
+                            .since(&driver.store.io()),
+                    );
+                    driver.commit(&CheckpointData {
+                        iteration: iter,
+                        values: values_prev
+                            .snapshot()
+                            .into_iter()
+                            .map(Value::to_bits)
+                            .collect(),
+                        accum: accum.snapshot().into_iter().map(Value::to_bits).collect(),
+                        frontier: frontier.to_vec(),
+                        touched: touched.to_vec(),
+                        stats: ckpt_stats,
+                        extra: Vec::new(),
+                    })?;
+                }
+            }
         }
 
         if self.trace.enabled() {
@@ -430,7 +502,11 @@ impl Engine for HusGraphEngine {
                 iterations: stats.iterations,
             });
         }
-        stats.io = storage.stats().snapshot().since(&run_snap);
+        let mut delta = storage.stats().snapshot().since(&run_snap);
+        if let Some(driver) = &ckpt {
+            delta = delta.since(&driver.store.io());
+        }
+        stats.io = base_io.plus(&delta);
         Ok(RunResult {
             values: values_prev.snapshot(),
             stats,

@@ -10,13 +10,15 @@
 //! and its on-disk format is a single **unsorted** copy without per-vertex
 //! indexes, giving it the cheapest preprocessing in Figure 8.
 
+use crate::recover::BaselineCkpt;
 use gsd_graph::{preprocess, Graph, GridGraph, PreprocessConfig, PreprocessReport};
-use gsd_io::Storage;
+use gsd_io::{IoStatsSnapshot, Storage};
 use gsd_pipeline::{PipelineConfig, PrefetchExecutor, PrefetchRequest};
+use gsd_recover::{CheckpointData, RecoveryConfig};
 use gsd_runtime::kernels::{apply_range_timed, scatter_edges_timed};
 use gsd_runtime::{
     Capabilities, Engine, Frontier, IoAccessModel, IterationStats, ProgramContext, RunOptions,
-    RunResult, RunStats, ValueArray, VertexProgram, VertexValueFile,
+    RunResult, RunStats, Value, ValueArray, VertexProgram, VertexValueFile,
 };
 use gsd_trace::Stopwatch;
 use gsd_trace::{TraceEvent, TraceSink};
@@ -45,6 +47,7 @@ pub struct LumosEngine {
     degrees: Arc<Vec<u32>>,
     trace: Arc<dyn TraceSink>,
     prefetch: Option<PipelineConfig>,
+    checkpoint: Option<RecoveryConfig>,
 }
 
 impl LumosEngine {
@@ -58,6 +61,7 @@ impl LumosEngine {
             degrees,
             trace: gsd_trace::null_sink(),
             prefetch: PipelineConfig::from_env(),
+            checkpoint: RecoveryConfig::from_env(),
         })
     }
 
@@ -71,6 +75,14 @@ impl LumosEngine {
     /// synchronous reads). Results are bit-identical either way.
     pub fn set_prefetch(&mut self, prefetch: Option<PipelineConfig>) {
         self.prefetch = prefetch;
+    }
+
+    /// Overrides the checkpoint/recovery options (`None` runs
+    /// unprotected). The default consults the `GSD_CKPT_*` environment
+    /// variables. Like prefetching, checkpointing is result-neutral:
+    /// resumed runs commit bit-identical values and I/O accounting.
+    pub fn set_checkpoint(&mut self, checkpoint: Option<RecoveryConfig>) {
+        self.checkpoint = checkpoint;
     }
 
     /// The underlying grid.
@@ -119,6 +131,47 @@ impl<V: gsd_runtime::Value, A: gsd_runtime::Value> LumosState<V, A> {
         std::mem::swap(&mut self.touched_cur, &mut self.touched_next);
         self.touched_next.clear();
         self.frontier = out;
+    }
+}
+
+/// Boundary snapshot of a Lumos round. Rounds always end with the
+/// cross-iteration accumulator drained (a two-pass round consumes it in
+/// the secondary pass; a single-pass final round never fills it), but the
+/// accumulator and touched set are captured anyway so restore is a pure
+/// copy of the boundary state. `io` is what an uninterrupted run would
+/// report at this boundary (checkpoint traffic already excluded).
+fn lumos_ckpt_data<V: Value, A: Value>(
+    committed: u32,
+    st: &LumosState<V, A>,
+    stats: &RunStats,
+    cross_iter_edges: u64,
+    prefetch_hits: u64,
+    prefetch_misses: u64,
+    io: IoStatsSnapshot,
+) -> CheckpointData {
+    let mut stats = stats.clone();
+    stats.cross_iter_edges = cross_iter_edges;
+    stats.prefetch_hits = prefetch_hits;
+    stats.prefetch_misses = prefetch_misses;
+    stats.io = io;
+    CheckpointData {
+        iteration: committed,
+        values: st
+            .values_prev
+            .snapshot()
+            .into_iter()
+            .map(Value::to_bits)
+            .collect(),
+        accum: st
+            .accum_cur
+            .snapshot()
+            .into_iter()
+            .map(Value::to_bits)
+            .collect(),
+        frontier: st.frontier.to_vec(),
+        touched: st.touched_cur.to_vec(),
+        stats,
+        extra: Vec::new(),
     }
 }
 
@@ -175,7 +228,6 @@ impl Engine for LumosEngine {
             n as u64 * program.value_bytes(),
         )?;
 
-        let run_snap = storage.stats().snapshot();
         let mut scratch = Vec::new();
         let mut edges = Vec::new();
         let mut cross_iter_edges = 0u64;
@@ -197,7 +249,43 @@ impl Engine for LumosEngine {
             });
         }
 
+        // Recovery runs before `run_snap` is taken so checkpoint reads do
+        // not count toward the run's reported I/O.
         let mut iter = 1u32;
+        let mut base_io = IoStatsSnapshot::default();
+        let mut ckpt: Option<BaselineCkpt> = None;
+        if let Some(cfg) = &self.checkpoint {
+            let (driver, resumed) = BaselineCkpt::open(
+                cfg,
+                &storage,
+                grid.prefix(),
+                "lumos",
+                program.name(),
+                program.value_bytes(),
+                n,
+                self.trace.clone(),
+            )?;
+            if let Some(data) = resumed {
+                for (v, &bits) in (0u32..).zip(&data.values) {
+                    st.values_prev.set(v, P::Value::from_bits(bits));
+                }
+                st.values_cur.copy_from(&st.values_prev);
+                for (v, &bits) in (0u32..).zip(&data.accum) {
+                    st.accum_cur.set(v, P::Accum::from_bits(bits));
+                }
+                st.frontier = Frontier::from_seeds(n, &data.frontier);
+                st.touched_cur = Frontier::from_seeds(n, &data.touched);
+                stats = data.stats.clone();
+                cross_iter_edges = stats.cross_iter_edges;
+                prefetch_hits = stats.prefetch_hits;
+                prefetch_misses = stats.prefetch_misses;
+                base_io = data.stats.io;
+                iter = data.iteration + 1;
+            }
+            ckpt = Some(driver);
+        }
+        let run_snap = storage.stats().snapshot();
+
         while iter <= limit && !st.frontier.is_empty() {
             let two_pass = iter < limit;
 
@@ -380,6 +468,26 @@ impl Engine for LumosEngine {
             });
 
             if !two_pass || st.frontier.is_empty() {
+                if let Some(driver) = ckpt.as_mut() {
+                    if driver.due(iter) {
+                        let io = base_io.plus(
+                            &storage
+                                .stats()
+                                .snapshot()
+                                .since(&run_snap)
+                                .since(&driver.store.io()),
+                        );
+                        driver.commit(&lumos_ckpt_data(
+                            iter,
+                            &st,
+                            &stats,
+                            cross_iter_edges,
+                            prefetch_hits,
+                            prefetch_misses,
+                            io,
+                        ))?;
+                    }
+                }
                 iter += 1;
                 continue;
             }
@@ -520,6 +628,26 @@ impl Engine for LumosEngine {
                 prefetch_stall_time: stall_t,
                 cross_iteration: true,
             });
+            if let Some(driver) = ckpt.as_mut() {
+                if driver.due(iter + 1) {
+                    let io = base_io.plus(
+                        &storage
+                            .stats()
+                            .snapshot()
+                            .since(&run_snap)
+                            .since(&driver.store.io()),
+                    );
+                    driver.commit(&lumos_ckpt_data(
+                        iter + 1,
+                        &st,
+                        &stats,
+                        cross_iter_edges,
+                        prefetch_hits,
+                        prefetch_misses,
+                        io,
+                    ))?;
+                }
+            }
             iter += 2;
         }
 
@@ -529,7 +657,11 @@ impl Engine for LumosEngine {
                 iterations: stats.iterations,
             });
         }
-        stats.io = storage.stats().snapshot().since(&run_snap);
+        let mut delta = storage.stats().snapshot().since(&run_snap);
+        if let Some(driver) = &ckpt {
+            delta = delta.since(&driver.store.io());
+        }
+        stats.io = base_io.plus(&delta);
         stats.cross_iter_edges = cross_iter_edges;
         stats.prefetch_hits = prefetch_hits;
         stats.prefetch_misses = prefetch_misses;

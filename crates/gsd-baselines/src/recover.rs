@@ -1,0 +1,98 @@
+//! Shared checkpoint/resume plumbing for the baseline engines.
+//!
+//! The baselines honour the same fault-tolerance contract as the GraphSD
+//! engine (see `gsd-recover`): checkpoints land only on driver-loop
+//! boundaries, resume is bit-identical to an uninterrupted run, and
+//! checkpoint traffic is excluded from the run's reported `stats.io`.
+//! Baselines have no semantically relevant configuration knobs, so their
+//! manifest `config_hash` is a constant.
+
+use gsd_io::SharedStorage;
+use gsd_recover::{
+    graph_fingerprint, CheckpointData, CheckpointStore, ManifestTag, RecoveryConfig,
+};
+use gsd_trace::TraceSink;
+use std::sync::Arc;
+
+/// Per-run checkpoint driver: owns the store, tracks cadence and the
+/// simulated-crash switch.
+pub(crate) struct BaselineCkpt {
+    /// The underlying store (exposes `io()` for accounting exclusion).
+    pub store: CheckpointStore,
+    every: u32,
+    halt_after: Option<u32>,
+    last: u32,
+}
+
+impl BaselineCkpt {
+    /// Opens the store under `{grid_prefix}{cfg.dir}` and, when resume is
+    /// enabled, loads the latest valid checkpoint (dimension-checked
+    /// against `n`). Returns the driver plus the state to restore, if any.
+    #[allow(clippy::too_many_arguments)]
+    pub fn open(
+        cfg: &RecoveryConfig,
+        storage: &SharedStorage,
+        grid_prefix: &str,
+        engine: &'static str,
+        algorithm: &str,
+        value_bytes: u64,
+        n: u32,
+        trace: Arc<dyn TraceSink>,
+    ) -> std::io::Result<(Self, Option<CheckpointData>)> {
+        let tag = ManifestTag {
+            engine: engine.to_string(),
+            algorithm: algorithm.to_string(),
+            value_bytes,
+            num_vertices: n,
+            graph_fingerprint: graph_fingerprint(storage.as_ref(), grid_prefix)?,
+            config_hash: 0,
+        };
+        let mut store = CheckpointStore::new(
+            storage.clone(),
+            format!("{grid_prefix}{}", cfg.dir),
+            cfg.retain,
+            tag,
+        );
+        store.set_trace(trace);
+        let mut resumed = None;
+        if cfg.resume {
+            if let Some(data) = store.latest()? {
+                store.check_dimensions(&data, n)?;
+                resumed = Some(data);
+            }
+        }
+        let last = resumed.as_ref().map_or(0, |d| d.iteration);
+        Ok((
+            BaselineCkpt {
+                store,
+                every: cfg.every,
+                halt_after: cfg.halt_after,
+                last,
+            },
+            resumed,
+        ))
+    }
+
+    /// Whether the cadence calls for a checkpoint at this boundary.
+    pub fn due(&self, committed: u32) -> bool {
+        committed.saturating_sub(self.last) >= self.every
+    }
+
+    /// Commits `data`, then — if `halt_after` is armed and reached —
+    /// simulates a crash by failing with `ErrorKind::Interrupted` at the
+    /// exact commit point.
+    pub fn commit(&mut self, data: &CheckpointData) -> std::io::Result<()> {
+        self.store.write(data)?;
+        self.last = data.iteration;
+        if self.halt_after.is_some_and(|halt| data.iteration >= halt) {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::Interrupted,
+                format!(
+                    "simulated crash after checkpoint at iteration {}",
+                    data.iteration
+                ),
+            ));
+        }
+        Ok(())
+    }
+}

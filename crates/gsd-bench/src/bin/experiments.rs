@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! experiments [--trace FILE] [--verbose] [--no-prefetch]
-//!             [--prefetch-depth N] [ids...]
+//!             [--prefetch-depth N] [--checkpoint-every N] [--resume]
+//!             [--inject-faults SEED:RATE] [ids...]
 //!
 //! ids                         experiment ids (default: all); `e1`..`e10`
 //!                             are shorthand for fig5..fig12, ext_storage,
@@ -12,12 +13,22 @@
 //! --no-prefetch               fully synchronous reads (the CLI enables
 //!                             the prefetch pipeline by default)
 //! --prefetch-depth N          prefetch lookahead window (default 2)
+//! --checkpoint-every N        checkpoint every N committed iterations
+//!                             (engines resume from checkpoints by
+//!                             default when any are found)
+//! --resume                    force resume on even when the calling
+//!                             environment set GSD_CKPT_RESUME=0
+//! --inject-faults SEED:RATE   deterministic transient I/O faults at the
+//!                             given per-operation rate, absorbed by the
+//!                             bounded-retry layer (results unchanged)
 //! GSD_SCALE=tiny|small|medium workload scale (default small)
 //! ```
 //!
-//! The prefetch flags work by setting the `GSD_PREFETCH*` environment
-//! variables before any engine is built; results are bit-identical with
-//! the pipeline on or off — only wall time changes.
+//! The prefetch, checkpoint and fault flags work by setting the
+//! `GSD_PREFETCH*` / `GSD_CKPT_*` / `GSD_FAULT_INJECT` environment
+//! variables before any engine is built; results are bit-identical
+//! whichever way they are set — only wall time (and, for faults, the
+//! retry counters) changes.
 //!
 //! Failures do not abort the batch: every requested experiment runs, a
 //! failure summary is printed at the end, and the exit status is nonzero
@@ -53,7 +64,8 @@ fn resolve(id: &str) -> &str {
 fn usage() -> ! {
     eprintln!(
         "usage: experiments [--trace FILE] [--verbose] [--no-prefetch] \
-         [--prefetch-depth N] [ids...]"
+         [--prefetch-depth N] [--checkpoint-every N] [--resume] \
+         [--inject-faults SEED:RATE] [ids...]"
     );
     eprintln!("known ids: {}", ALL_IDS.join(" "));
     std::process::exit(2);
@@ -66,6 +78,9 @@ fn main() {
     let mut verbose = false;
     let mut prefetch = true;
     let mut prefetch_depth: Option<&str> = None;
+    let mut checkpoint_every: Option<&str> = None;
+    let mut resume = false;
+    let mut inject_faults: Option<&str> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -77,6 +92,17 @@ fn main() {
             "--no-prefetch" => prefetch = false,
             "--prefetch-depth" => match it.next().map(String::as_str) {
                 Some(n) if n.parse::<usize>().is_ok_and(|n| n >= 1) => prefetch_depth = Some(n),
+                _ => usage(),
+            },
+            "--checkpoint-every" => match it.next().map(String::as_str) {
+                Some(n) if n.parse::<u32>().is_ok_and(|n| n >= 1) => checkpoint_every = Some(n),
+                _ => usage(),
+            },
+            "--resume" => resume = true,
+            "--inject-faults" => match it.next().map(String::as_str) {
+                Some(spec) if gsd_recover::FaultConfig::parse(spec).is_some() => {
+                    inject_faults = Some(spec)
+                }
                 _ => usage(),
             },
             "--help" | "-h" => usage(),
@@ -95,6 +121,15 @@ fn main() {
     std::env::set_var("GSD_PREFETCH", if prefetch { "1" } else { "0" });
     if let Some(depth) = prefetch_depth {
         std::env::set_var("GSD_PREFETCH_DEPTH", depth);
+    }
+    if let Some(every) = checkpoint_every {
+        std::env::set_var("GSD_CKPT_EVERY", every);
+    }
+    if resume {
+        std::env::set_var("GSD_CKPT_RESUME", "1");
+    }
+    if let Some(spec) = inject_faults {
+        std::env::set_var("GSD_FAULT_INJECT", spec);
     }
 
     let mut sinks: Vec<Arc<dyn TraceSink>> = Vec::new();

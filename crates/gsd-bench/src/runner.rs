@@ -10,6 +10,7 @@ use gsd_baselines::{
 use gsd_core::{GraphSdConfig, GraphSdEngine, SchedulerDecision};
 use gsd_graph::{preprocess, EdgeCodec, Graph, GridGraph, PreprocessConfig, PreprocessReport};
 use gsd_io::{DiskModel, SharedStorage, SimDisk};
+use gsd_recover::{FaultConfig, FaultyStorage, RetryPolicy, RetryingStorage};
 use gsd_runtime::{Engine, RunOptions, RunStats, VertexProgram};
 use std::sync::Arc;
 use std::time::Duration;
@@ -273,6 +274,31 @@ fn run_with_disk(
     run_with_disk_p(kind, graph, algo, root, disk, p)
 }
 
+/// Builds the simulated disk for a run, honouring `GSD_FAULT_INJECT`
+/// (`"SEED:RATE"`): when set, the disk is wrapped in the deterministic
+/// fault injector plus the bounded-retry layer from `gsd-recover`, so any
+/// experiment doubles as a fault-tolerance exercise. Results are
+/// unchanged — transient faults are retried until the operation passes —
+/// only the `retried_ops` counter and `IoRetry` trace events appear.
+fn bench_storage(disk: DiskModel) -> std::io::Result<SharedStorage> {
+    let sim: SharedStorage = Arc::new(SimDisk::new(disk));
+    match std::env::var("GSD_FAULT_INJECT") {
+        Ok(spec) if !spec.is_empty() => {
+            let cfg = FaultConfig::parse(&spec).ok_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    format!("GSD_FAULT_INJECT must be SEED:RATE with rate in [0, 1], got {spec:?}"),
+                )
+            })?;
+            let faulty: SharedStorage = Arc::new(FaultyStorage::new(sim, cfg));
+            let mut retrying = RetryingStorage::new(faulty, RetryPolicy::default());
+            retrying.set_trace(crate::trace::current_sink());
+            Ok(Arc::new(retrying))
+        }
+        _ => Ok(sim),
+    }
+}
+
 fn run_with_disk_p(
     kind: SystemKind,
     graph: &Graph,
@@ -281,7 +307,7 @@ fn run_with_disk_p(
     disk: DiskModel,
     p: u32,
 ) -> std::io::Result<RunOutcome> {
-    let storage: SharedStorage = Arc::new(SimDisk::new(disk));
+    let storage: SharedStorage = bench_storage(disk)?;
     let edge_bytes = graph.num_edges() * EdgeCodec::new(graph.is_weighted()).edge_bytes() as u64;
     let budget = (edge_bytes / 20).max(1);
 

@@ -158,6 +158,20 @@ impl SubBlockBuffer {
         true
     }
 
+    /// Snapshot of the resident set as `(i, j, bytes, priority)`, sorted
+    /// by coordinates. Used by checkpointing to record residency so a
+    /// resumed run rebuilds the same buffer (payloads are re-read from the
+    /// grid; only identity, size and priority need to be recorded).
+    pub fn residents(&self) -> Vec<(u32, u32, u64, u64)> {
+        let mut out: Vec<(u32, u32, u64, u64)> = self
+            .entries
+            .iter()
+            .map(|(&(i, j), e)| (i, j, e.bytes, e.priority))
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
     /// Drops everything (between runs).
     pub fn clear(&mut self) {
         self.entries.clear();

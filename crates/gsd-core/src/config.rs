@@ -2,6 +2,7 @@
 
 use gsd_io::DiskModel;
 use gsd_pipeline::PipelineConfig;
+use gsd_recover::RecoveryConfig;
 use gsd_runtime::IoAccessModel;
 
 /// GraphSD engine options.
@@ -45,6 +46,14 @@ pub struct GraphSdConfig {
     /// prefetching on without code changes. Results are bit-identical
     /// either way; only wall time changes.
     pub prefetch: Option<PipelineConfig>,
+    /// Iteration-granular checkpointing and crash recovery, or `None` to
+    /// run unprotected. The default consults the `GSD_CKPT_*` environment
+    /// variables (see [`RecoveryConfig::from_env`]). Like prefetching,
+    /// checkpointing is contractually result-neutral: a run that resumes
+    /// from a checkpoint commits bit-identical values, iteration counts
+    /// and I/O accounting to an uninterrupted run (checkpoint traffic is
+    /// excluded from the run's `stats.io`).
+    pub checkpoint: Option<RecoveryConfig>,
 }
 
 impl Default for GraphSdConfig {
@@ -58,6 +67,7 @@ impl Default for GraphSdConfig {
             seq_run_threshold: None,
             disk_model: None,
             prefetch: PipelineConfig::from_env(),
+            checkpoint: RecoveryConfig::from_env(),
         }
     }
 }
@@ -134,10 +144,43 @@ impl GraphSdConfig {
         self
     }
 
+    /// Enables iteration-granular checkpointing with the given recovery
+    /// options.
+    pub fn with_checkpoint(mut self, recovery: RecoveryConfig) -> Self {
+        self.checkpoint = Some(recovery);
+        self
+    }
+
+    /// Disables checkpointing regardless of the environment.
+    pub fn without_checkpoint(mut self) -> Self {
+        self.checkpoint = None;
+        self
+    }
+
     /// Resolves the memory budget for a graph with `edge_bytes` of edges:
     /// explicit setting, or the paper's 5 %.
     pub fn budget_for(&self, edge_bytes: u64) -> u64 {
         self.memory_budget.unwrap_or(edge_bytes / 20)
+    }
+
+    /// Fingerprint of the fields that determine a run's committed results
+    /// and I/O schedule, used to pin checkpoints to a configuration
+    /// (see [`gsd_recover::ManifestTag::config_hash`]). Knobs that are
+    /// contractually result-neutral — prefetch sizing and the checkpoint
+    /// options themselves — are deliberately excluded: resuming with a
+    /// different cadence or with prefetching toggled is sound.
+    pub fn semantic_hash(&self) -> u64 {
+        let semantic = format!(
+            "{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}",
+            self.memory_budget,
+            self.enable_selective,
+            self.enable_cross_iter,
+            self.force_model,
+            self.enable_buffering,
+            self.seq_run_threshold,
+            self.disk_model,
+        );
+        gsd_recover::fnv64(semantic.as_bytes())
     }
 }
 
@@ -174,6 +217,34 @@ mod tests {
         let c = GraphSdConfig::default().with_prefetch(PipelineConfig::with_depth(4));
         assert_eq!(c.prefetch.map(|p| p.depth), Some(4));
         assert!(c.without_prefetch().prefetch.is_none());
+    }
+
+    #[test]
+    fn checkpoint_helpers_toggle_recovery() {
+        let c = GraphSdConfig::default().with_checkpoint(RecoveryConfig::every(2));
+        assert_eq!(c.checkpoint.as_ref().map(|r| r.every), Some(2));
+        assert!(c.without_checkpoint().checkpoint.is_none());
+    }
+
+    #[test]
+    fn semantic_hash_ignores_result_neutral_knobs() {
+        let base = GraphSdConfig::full()
+            .without_prefetch()
+            .without_checkpoint();
+        let with_neutral = GraphSdConfig::full()
+            .with_prefetch(PipelineConfig::with_depth(4))
+            .with_checkpoint(RecoveryConfig::every(1));
+        assert_eq!(base.semantic_hash(), with_neutral.semantic_hash());
+        assert_ne!(
+            base.semantic_hash(),
+            GraphSdConfig::b1_no_cross_iteration().semantic_hash()
+        );
+        assert_ne!(
+            base.semantic_hash(),
+            GraphSdConfig::full()
+                .with_memory_budget(123)
+                .semantic_hash()
+        );
     }
 
     #[test]

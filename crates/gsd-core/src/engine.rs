@@ -29,12 +29,14 @@ use crate::scheduler::{Scheduler, SchedulerDecision};
 use gsd_graph::{Edge, GridGraph};
 use gsd_io::{DiskModel, IoStatsSnapshot};
 use gsd_pipeline::{PrefetchExecutor, PrefetchRequest, Prefetched};
+use gsd_recover::{graph_fingerprint, CheckpointData, CheckpointStore, ManifestTag};
 use gsd_runtime::kernels::{apply_range_timed, scatter_edges_timed, timed};
 use gsd_runtime::{
     Capabilities, Engine, Frontier, IoAccessModel, IterationStats, ProgramContext, RunOptions,
-    RunResult, RunStats, ValueArray, VertexProgram, VertexValueFile,
+    RunResult, RunStats, Value, ValueArray, VertexProgram, VertexValueFile,
 };
 use gsd_trace::{TraceEvent, TraceSink};
+use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::Duration;
@@ -140,6 +142,39 @@ struct IterTracker {
     stall: Duration,
     prefetch_hits: u64,
     prefetch_misses: u64,
+}
+
+/// One resident sub-block recorded in a checkpoint. Only identity, size
+/// and priority are persisted; payloads are re-read from the grid on
+/// restore (the grid is immutable, so the decode is bit-identical).
+#[derive(Serialize, Deserialize)]
+struct ResidentBlock {
+    i: u32,
+    j: u32,
+    bytes: u64,
+    priority: u64,
+}
+
+/// Engine-private checkpoint payload, carried opaquely in the snapshot's
+/// `extra` section: the scheduler's decision log (Figure 10/11 detail)
+/// and the sub-block buffer's residency, so a resumed run reports the
+/// same decisions and performs the same buffered I/O as an uninterrupted
+/// one.
+#[derive(Serialize, Deserialize)]
+struct CkptExtra {
+    decisions: Vec<SchedulerDecision>,
+    overhead_nanos: u64,
+    buffer_evictions: u64,
+    residents: Vec<ResidentBlock>,
+}
+
+/// Per-run checkpoint state: the store plus cadence bookkeeping.
+struct CkptDriver {
+    store: CheckpointStore,
+    every: u32,
+    halt_after: Option<u32>,
+    /// Iteration of the newest committed checkpoint (0 = none yet).
+    last: u32,
 }
 
 struct Runner<'a, P: VertexProgram> {
@@ -270,7 +305,6 @@ impl<'a, P: VertexProgram> Runner<'a, P> {
             ));
         }
         let storage = self.grid.storage().clone();
-        let run_snap = storage.stats().snapshot();
         if self.trace.enabled() {
             self.trace.emit(&TraceEvent::RunStart {
                 engine: "graphsd",
@@ -278,7 +312,49 @@ impl<'a, P: VertexProgram> Runner<'a, P> {
             });
         }
 
+        // Recovery setup happens BEFORE `run_snap`: checkpoint discovery,
+        // snapshot reads and resident-block re-reads are resume machinery,
+        // not part of the run, so they must not appear in `stats.io` (the
+        // determinism contract promises a resumed run the same accounting
+        // as an uninterrupted one).
         let mut iter = 1u32;
+        let mut base_io = IoStatsSnapshot::default();
+        let mut ckpt: Option<CkptDriver> = None;
+        if let Some(cfg) = &self.config.checkpoint {
+            let tag = ManifestTag {
+                engine: "graphsd".to_string(),
+                algorithm: self.program.name().to_string(),
+                value_bytes: self.program.value_bytes(),
+                num_vertices: self.n,
+                graph_fingerprint: graph_fingerprint(storage.as_ref(), self.grid.prefix())?,
+                config_hash: self.config.semantic_hash(),
+            };
+            let mut store = CheckpointStore::new(
+                storage.clone(),
+                format!("{}{}", self.grid.prefix(), cfg.dir),
+                cfg.retain,
+                tag,
+            );
+            store.set_trace(self.trace.clone());
+            let mut last = 0u32;
+            if cfg.resume {
+                if let Some(data) = store.latest()? {
+                    store.check_dimensions(&data, self.n)?;
+                    self.restore(&data)?;
+                    base_io = data.stats.io;
+                    last = data.iteration;
+                    iter = data.iteration + 1;
+                }
+            }
+            ckpt = Some(CkptDriver {
+                store,
+                every: cfg.every,
+                halt_after: cfg.halt_after,
+                last,
+            });
+        }
+        let run_snap = storage.stats().snapshot();
+
         // An iteration is due while either scatter sources remain
         // (`frontier`) or cross-iteration propagation has pre-scattered
         // contributions awaiting their apply barrier (`touched_cur` — the
@@ -295,6 +371,27 @@ impl<'a, P: VertexProgram> Runner<'a, P> {
                 let two_pass = self.config.enable_cross_iter && iter < self.limit;
                 iter += self.fciu(iter, two_pass)?;
             }
+            // Checkpoint only at driver-loop boundaries: here the rotated
+            // state (values_prev, accum_cur, touched_cur, frontier) is a
+            // legal re-entry point. Mid-FCIU-pair state is NOT — resuming
+            // there would double-count the pre-scattered accumulator.
+            if let Some(driver) = ckpt.as_mut() {
+                let committed = iter - 1;
+                if committed.saturating_sub(driver.last) >= driver.every {
+                    self.write_checkpoint(driver, committed, base_io, &run_snap)?;
+                    driver.last = committed;
+                    if driver.halt_after.is_some_and(|halt| committed >= halt) {
+                        // Simulated crash for recovery tests: abort at the
+                        // exact commit point, where storage state equals an
+                        // uninterrupted run's at this boundary (modulo
+                        // checkpoint keys).
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::Interrupted,
+                            format!("simulated crash after checkpoint at iteration {committed}"),
+                        ));
+                    }
+                }
+            }
         }
 
         if self.trace.enabled() {
@@ -303,7 +400,12 @@ impl<'a, P: VertexProgram> Runner<'a, P> {
                 iterations: self.stats.iterations,
             });
         }
-        self.stats.io = storage.stats().snapshot().since(&run_snap);
+        let mut delta = storage.stats().snapshot().since(&run_snap);
+        if let Some(driver) = &ckpt {
+            // Checkpoint commits are protection overhead, not run I/O.
+            delta = delta.since(&driver.store.io());
+        }
+        self.stats.io = base_io.plus(&delta);
         self.stats.scheduler_time = self.scheduler.overhead;
         self.stats.cross_iter_edges = self.cross_iter_edges;
         self.stats.buffer_hits = self.buffer.hits;
@@ -316,6 +418,106 @@ impl<'a, P: VertexProgram> Runner<'a, P> {
             },
             self.scheduler.decisions,
         ))
+    }
+
+    /// Rebuilds the runner's complete state from a checkpoint taken at a
+    /// driver-loop boundary, as if the preceding iterations had just run:
+    /// committed values, the pre-seeded next-iteration accumulator and its
+    /// recipients, the frontier, cumulative statistics, the scheduler's
+    /// decision log, and the sub-block buffer (payloads re-read from the
+    /// grid). Called before `run_snap` is taken, so none of the reads here
+    /// count toward the run's I/O.
+    fn restore(&mut self, data: &CheckpointData) -> std::io::Result<()> {
+        for (v, &bits) in (0u32..).zip(&data.values) {
+            self.values_prev.set(v, P::Value::from_bits(bits));
+        }
+        self.values_cur.copy_from(&self.values_prev);
+        for (v, &bits) in (0u32..).zip(&data.accum) {
+            self.accum_cur.set(v, P::Accum::from_bits(bits));
+        }
+        self.accum_next.fill(self.program.zero_accum());
+        self.frontier = Frontier::from_seeds(self.n, &data.frontier);
+        self.touched_cur = Frontier::from_seeds(self.n, &data.touched);
+        self.touched_next.clear();
+        self.stats = data.stats.clone();
+        self.cross_iter_edges = data.stats.cross_iter_edges;
+        let extra: CkptExtra = serde_json::from_slice(&data.extra).map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("corrupt engine checkpoint payload: {e}"),
+            )
+        })?;
+        self.scheduler.decisions = extra.decisions;
+        self.scheduler.overhead = Duration::from_nanos(extra.overhead_nanos);
+        self.buffer.hits = data.stats.buffer_hits;
+        self.buffer.hit_bytes = data.stats.buffer_hit_bytes;
+        self.buffer.evictions = extra.buffer_evictions;
+        for r in &extra.residents {
+            let mut edges = Vec::new();
+            self.grid
+                .read_block_into(r.i, r.j, &mut self.scratch, &mut edges)?;
+            self.buffer
+                .offer(r.i, r.j, Arc::new(edges), r.bytes, r.priority);
+        }
+        Ok(())
+    }
+
+    /// Commits a checkpoint of the current boundary state through
+    /// `driver.store`. The stored `stats.io` is what an uninterrupted run
+    /// would report at this boundary: the restored base plus this run's
+    /// delta, minus the store's own commit traffic.
+    fn write_checkpoint(
+        &mut self,
+        driver: &mut CkptDriver,
+        committed: u32,
+        base_io: IoStatsSnapshot,
+        run_snap: &IoStatsSnapshot,
+    ) -> std::io::Result<()> {
+        let mut stats = self.stats.clone();
+        // Fold in the aggregates normally computed at run end, so the
+        // restored stats are self-consistent at this boundary.
+        stats.scheduler_time = self.scheduler.overhead;
+        stats.cross_iter_edges = self.cross_iter_edges;
+        stats.buffer_hits = self.buffer.hits;
+        stats.buffer_hit_bytes = self.buffer.hit_bytes;
+        let delta = self.grid.storage().stats().snapshot().since(run_snap);
+        stats.io = base_io.plus(&delta.since(&driver.store.io()));
+        let extra = CkptExtra {
+            decisions: self.scheduler.decisions.clone(),
+            overhead_nanos: self.scheduler.overhead.as_nanos() as u64,
+            buffer_evictions: self.buffer.evictions,
+            residents: self
+                .buffer
+                .residents()
+                .into_iter()
+                .map(|(i, j, bytes, priority)| ResidentBlock {
+                    i,
+                    j,
+                    bytes,
+                    priority,
+                })
+                .collect(),
+        };
+        let data = CheckpointData {
+            iteration: committed,
+            values: self
+                .values_prev
+                .snapshot()
+                .into_iter()
+                .map(Value::to_bits)
+                .collect(),
+            accum: self
+                .accum_cur
+                .snapshot()
+                .into_iter()
+                .map(Value::to_bits)
+                .collect(),
+            frontier: self.frontier.to_vec(),
+            touched: self.touched_cur.to_vec(),
+            stats,
+            extra: serde_json::to_vec(&extra).map_err(std::io::Error::other)?,
+        };
+        driver.store.write(&data)
     }
 
     fn choose_model(&mut self, iteration: u32) -> IoAccessModel {

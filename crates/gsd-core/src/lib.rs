@@ -46,7 +46,9 @@ pub(crate) fn trace_model(model: gsd_runtime::IoAccessModel) -> gsd_trace::Acces
 pub use buffer::SubBlockBuffer;
 pub use config::GraphSdConfig;
 pub use engine::GraphSdEngine;
-// Re-exported so callers configuring `GraphSdConfig::prefetch` do not need
-// a direct `gsd-pipeline` dependency.
+// Re-exported so callers configuring `GraphSdConfig::prefetch` /
+// `GraphSdConfig::checkpoint` do not need direct `gsd-pipeline` /
+// `gsd-recover` dependencies.
 pub use gsd_pipeline::PipelineConfig;
+pub use gsd_recover::RecoveryConfig;
 pub use scheduler::{Scheduler, SchedulerDecision};

@@ -29,6 +29,10 @@ pub struct IoStats {
     /// Virtual nanoseconds charged by a [`crate::SimDisk`] backend.
     /// Always zero for real backends (their cost is wall-clock time).
     sim_nanos: AtomicU64,
+    /// Transient I/O errors retried by a retry layer (gsd-recover).
+    retried_ops: AtomicU64,
+    /// Operations abandoned after the retry budget was exhausted.
+    gave_up_ops: AtomicU64,
 }
 
 impl IoStats {
@@ -58,6 +62,16 @@ impl IoStats {
     /// Adds `nanos` of simulated device time to the virtual clock.
     pub fn add_sim_nanos(&self, nanos: u64) {
         self.sim_nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Records one retried transient I/O error.
+    pub fn record_retry(&self) {
+        self.retried_ops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one operation abandoned after exhausting its retry budget.
+    pub fn record_giveup(&self) {
+        self.gave_up_ops.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Total bytes read (sequential + random).
@@ -91,6 +105,8 @@ impl IoStats {
             rand_read_ops: self.rand_read_ops.load(Ordering::Relaxed),
             write_ops: self.write_ops.load(Ordering::Relaxed),
             sim_nanos: self.sim_nanos.load(Ordering::Relaxed),
+            retried_ops: self.retried_ops.load(Ordering::Relaxed),
+            gave_up_ops: self.gave_up_ops.load(Ordering::Relaxed),
         }
     }
 
@@ -104,11 +120,17 @@ impl IoStats {
         self.rand_read_ops.store(0, Ordering::Relaxed);
         self.write_ops.store(0, Ordering::Relaxed);
         self.sim_nanos.store(0, Ordering::Relaxed);
+        self.retried_ops.store(0, Ordering::Relaxed);
+        self.gave_up_ops.store(0, Ordering::Relaxed);
     }
 }
 
 /// A point-in-time copy of [`IoStats`], cheap to clone and serialize.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// `Serialize`/`Deserialize` are hand-written (rather than derived) so the
+/// retry counters, added after snapshots were first persisted, default to
+/// zero when absent from older JSON.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct IoStatsSnapshot {
     /// Bytes read by requests classified sequential.
     pub seq_read_bytes: u64,
@@ -124,6 +146,54 @@ pub struct IoStatsSnapshot {
     pub write_ops: u64,
     /// Simulated device nanoseconds (zero on real backends).
     pub sim_nanos: u64,
+    /// Transient errors retried by a retry layer (zero unless one is
+    /// installed — see gsd-recover).
+    pub retried_ops: u64,
+    /// Operations abandoned after the retry budget was exhausted.
+    pub gave_up_ops: u64,
+}
+
+impl Serialize for IoStatsSnapshot {
+    fn to_value(&self) -> serde::Value {
+        let u = |n: u64| serde::Value::U64(n);
+        serde::Value::Map(vec![
+            ("seq_read_bytes".to_string(), u(self.seq_read_bytes)),
+            ("rand_read_bytes".to_string(), u(self.rand_read_bytes)),
+            ("write_bytes".to_string(), u(self.write_bytes)),
+            ("seq_read_ops".to_string(), u(self.seq_read_ops)),
+            ("rand_read_ops".to_string(), u(self.rand_read_ops)),
+            ("write_ops".to_string(), u(self.write_ops)),
+            ("sim_nanos".to_string(), u(self.sim_nanos)),
+            ("retried_ops".to_string(), u(self.retried_ops)),
+            ("gave_up_ops".to_string(), u(self.gave_up_ops)),
+        ])
+    }
+}
+
+impl Deserialize for IoStatsSnapshot {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let required = |name: &str| -> Result<u64, serde::DeError> {
+            u64::from_value(serde::value_field(v, name)?)
+        };
+        // Absent in snapshots serialized before the retry layer existed.
+        let optional = |name: &str| -> Result<u64, serde::DeError> {
+            match v.get(name) {
+                Some(field) => u64::from_value(field),
+                None => Ok(0),
+            }
+        };
+        Ok(IoStatsSnapshot {
+            seq_read_bytes: required("seq_read_bytes")?,
+            rand_read_bytes: required("rand_read_bytes")?,
+            write_bytes: required("write_bytes")?,
+            seq_read_ops: required("seq_read_ops")?,
+            rand_read_ops: required("rand_read_ops")?,
+            write_ops: required("write_ops")?,
+            sim_nanos: required("sim_nanos")?,
+            retried_ops: optional("retried_ops")?,
+            gave_up_ops: optional("gave_up_ops")?,
+        })
+    }
 }
 
 impl IoStatsSnapshot {
@@ -154,6 +224,8 @@ impl IoStatsSnapshot {
         debug_assert!(self.rand_read_ops >= earlier.rand_read_ops);
         debug_assert!(self.write_ops >= earlier.write_ops);
         debug_assert!(self.sim_nanos >= earlier.sim_nanos);
+        debug_assert!(self.retried_ops >= earlier.retried_ops);
+        debug_assert!(self.gave_up_ops >= earlier.gave_up_ops);
         IoStatsSnapshot {
             seq_read_bytes: self.seq_read_bytes.saturating_sub(earlier.seq_read_bytes),
             rand_read_bytes: self.rand_read_bytes.saturating_sub(earlier.rand_read_bytes),
@@ -162,6 +234,25 @@ impl IoStatsSnapshot {
             rand_read_ops: self.rand_read_ops.saturating_sub(earlier.rand_read_ops),
             write_ops: self.write_ops.saturating_sub(earlier.write_ops),
             sim_nanos: self.sim_nanos.saturating_sub(earlier.sim_nanos),
+            retried_ops: self.retried_ops.saturating_sub(earlier.retried_ops),
+            gave_up_ops: self.gave_up_ops.saturating_sub(earlier.gave_up_ops),
+        }
+    }
+
+    /// Counter-wise sum `self + other` — used to splice the I/O accounting
+    /// of a resumed run onto the checkpointed totals of the interrupted
+    /// one.
+    pub fn plus(&self, other: &IoStatsSnapshot) -> IoStatsSnapshot {
+        IoStatsSnapshot {
+            seq_read_bytes: self.seq_read_bytes + other.seq_read_bytes,
+            rand_read_bytes: self.rand_read_bytes + other.rand_read_bytes,
+            write_bytes: self.write_bytes + other.write_bytes,
+            seq_read_ops: self.seq_read_ops + other.seq_read_ops,
+            rand_read_ops: self.rand_read_ops + other.rand_read_ops,
+            write_ops: self.write_ops + other.write_ops,
+            sim_nanos: self.sim_nanos + other.sim_nanos,
+            retried_ops: self.retried_ops + other.retried_ops,
+            gave_up_ops: self.gave_up_ops + other.gave_up_ops,
         }
     }
 }
@@ -212,6 +303,38 @@ mod tests {
         s.add_sim_nanos(4);
         s.reset();
         assert_eq!(s.snapshot(), IoStatsSnapshot::default());
+    }
+
+    #[test]
+    fn retry_counters_roundtrip() {
+        let s = IoStats::new();
+        s.record_retry();
+        s.record_retry();
+        s.record_giveup();
+        let a = s.snapshot();
+        assert_eq!(a.retried_ops, 2);
+        assert_eq!(a.gave_up_ops, 1);
+        s.record_retry();
+        let d = s.snapshot().since(&a);
+        assert_eq!(d.retried_ops, 1);
+        assert_eq!(d.gave_up_ops, 0);
+        let sum = a.plus(&d);
+        assert_eq!(sum.retried_ops, 3);
+        assert_eq!(sum.gave_up_ops, 1);
+        s.reset();
+        assert_eq!(s.snapshot(), IoStatsSnapshot::default());
+    }
+
+    #[test]
+    fn snapshot_deserializes_without_retry_fields() {
+        // Snapshots serialized before the retry counters existed must
+        // still load (serde defaults).
+        let legacy = r#"{"seq_read_bytes":1,"rand_read_bytes":2,"write_bytes":3,
+            "seq_read_ops":4,"rand_read_ops":5,"write_ops":6,"sim_nanos":7}"#;
+        let snap: IoStatsSnapshot = serde_json::from_str(legacy).unwrap();
+        assert_eq!(snap.retried_ops, 0);
+        assert_eq!(snap.gave_up_ops, 0);
+        assert_eq!(snap.seq_read_bytes, 1);
     }
 
     #[test]

@@ -76,6 +76,16 @@ pub trait Storage: Send + Sync {
         }
         Ok(buf)
     }
+
+    /// Flushes all buffered state to durable media. The checkpoint commit
+    /// protocol (gsd-recover) calls this between writing a snapshot and
+    /// publishing its manifest so a crash cannot expose a manifest whose
+    /// snapshot is still in the page cache. Backends without buffering
+    /// semantics (in-memory, simulated) default to a no-op; `SimDisk`
+    /// overrides it to charge the flush to the virtual clock.
+    fn sync(&self) -> crate::Result<()> {
+        Ok(())
+    }
 }
 
 fn not_found(key: &str) -> Error {
@@ -433,6 +443,26 @@ impl Storage for FileStorage {
     fn counters(&self) -> Option<&CounterRegistry> {
         Some(&self.req.registry)
     }
+
+    fn sync(&self) -> crate::Result<()> {
+        // `create` already fsyncs file *data* before the rename; what can
+        // still be lost in a crash is a rename (a directory entry) or an
+        // unflushed `write_at`. Walk the tree once, `sync_all`-ing every
+        // file and directory.
+        fn sync_tree(dir: &Path) -> crate::Result<()> {
+            for entry in fs::read_dir(dir)? {
+                let path = entry?.path();
+                if path.is_dir() {
+                    sync_tree(&path)?;
+                } else {
+                    fs::File::open(&path)?.sync_all()?;
+                }
+            }
+            fs::File::open(dir)?.sync_all()?;
+            Ok(())
+        }
+        sync_tree(&self.root)
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -544,6 +574,16 @@ impl Storage for SimDisk {
     fn counters(&self) -> Option<&CounterRegistry> {
         self.inner.counters()
     }
+
+    fn sync(&self) -> crate::Result<()> {
+        // A flush is a device command, not a transfer: charge one seek so
+        // the checkpoint commit protocol has a deterministic, nonzero
+        // virtual-clock cost.
+        let cost = self.disk.seek_latency;
+        self.inner.stats.add_sim_nanos(cost.as_nanos() as u64);
+        self.sim_write_nanos.record(cost.as_nanos() as u64);
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -574,6 +614,40 @@ mod tests {
     fn file_roundtrip() -> crate::Result<()> {
         let dir = crate::TempDir::new("gsd-io-file")?;
         roundtrip(&FileStorage::open(dir.path())?)
+    }
+
+    #[test]
+    fn mem_sync_is_a_free_no_op() -> crate::Result<()> {
+        let store = MemStorage::new();
+        store.create("x.bin", &[1])?;
+        let before = store.stats().snapshot();
+        store.sync()?;
+        assert_eq!(store.stats().snapshot(), before);
+        Ok(())
+    }
+
+    #[test]
+    fn file_sync_flushes_the_tree() -> crate::Result<()> {
+        let dir = crate::TempDir::new("gsd-io-sync")?;
+        let store = FileStorage::open(dir.path())?;
+        store.create("a/b/c.bin", &[1, 2, 3])?;
+        store.create("top.bin", &[4])?;
+        store.sync()?;
+        assert_eq!(store.read_all("a/b/c.bin")?, vec![1, 2, 3]);
+        Ok(())
+    }
+
+    #[test]
+    fn sim_sync_charges_the_virtual_clock() -> crate::Result<()> {
+        let disk = DiskModel::hdd();
+        let store = SimDisk::new(disk);
+        store.create("x.bin", &[0u8; 64])?;
+        let before = store.stats().snapshot();
+        store.sync()?;
+        let delta = store.stats().snapshot().since(&before);
+        assert_eq!(delta.sim_nanos, disk.seek_latency.as_nanos() as u64);
+        assert_eq!(delta.total_traffic(), 0, "a flush transfers no bytes");
+        Ok(())
     }
 
     #[test]

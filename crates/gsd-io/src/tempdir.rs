@@ -1,6 +1,14 @@
 //! Minimal self-deleting temporary directory, used by tests, examples and
 //! the benchmark harness (kept in-tree to avoid an extra dependency).
+//!
+//! The guard is constructed immediately after the directory exists and
+//! deletes it in `Drop`, so the directory is removed even when the owning
+//! test or thread panics (drops run during unwind). Prefixes must be a
+//! single path component: a `/` in the prefix would nest the directory
+//! under an intermediate parent the guard does not own and would leak on
+//! drop, so it is rejected up front.
 
+use std::io::{Error, ErrorKind};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -15,9 +23,31 @@ pub struct TempDir {
 impl TempDir {
     /// Creates a fresh directory whose name starts with `prefix`.
     pub fn new(prefix: &str) -> crate::Result<Self> {
+        Self::new_in(std::env::temp_dir(), prefix)
+    }
+
+    /// Creates a fresh directory under an existing `parent` directory.
+    /// Fails (creating nothing) when `parent` does not exist or is not a
+    /// directory, so callers cannot accidentally scribble next to a file.
+    pub fn new_in(parent: impl AsRef<Path>, prefix: &str) -> crate::Result<Self> {
+        if prefix.is_empty() || prefix.contains(['/', '\\']) {
+            return Err(Error::new(
+                ErrorKind::InvalidInput,
+                format!("temp dir prefix must be one path component: {prefix:?}"),
+            ));
+        }
+        let parent = parent.as_ref();
+        if !parent.is_dir() {
+            return Err(Error::new(
+                ErrorKind::NotFound,
+                format!("temp dir parent is not a directory: {}", parent.display()),
+            ));
+        }
         let id = COUNTER.fetch_add(1, Ordering::Relaxed);
-        let path = std::env::temp_dir().join(format!("{prefix}-{}-{}", std::process::id(), id));
-        std::fs::create_dir_all(&path)?;
+        let path = parent.join(format!("{prefix}-{}-{}", std::process::id(), id));
+        std::fs::create_dir(&path)?;
+        // From here the guard owns the directory: any later panic in the
+        // caller unwinds through this value's Drop and removes it.
         Ok(TempDir { path })
     }
 
@@ -67,5 +97,45 @@ mod tests {
         let path = dir.into_path();
         assert!(path.is_dir());
         std::fs::remove_dir_all(&path).unwrap();
+    }
+
+    #[test]
+    fn cleans_up_when_the_owner_panics() {
+        let observed = std::sync::Arc::new(std::sync::Mutex::new(PathBuf::new()));
+        let observed2 = observed.clone();
+        let result = std::panic::catch_unwind(move || {
+            let dir = TempDir::new("gsd-panic").unwrap();
+            *observed2.lock().unwrap() = dir.path().to_path_buf();
+            std::fs::write(dir.path().join("f"), b"x").unwrap();
+            panic!("simulated test failure");
+        });
+        assert!(result.is_err());
+        let path = observed.lock().unwrap().clone();
+        assert!(!path.as_os_str().is_empty(), "panic happened after create");
+        assert!(!path.exists(), "unwind must remove {}", path.display());
+    }
+
+    #[test]
+    fn nested_prefix_is_rejected_and_leaks_nothing() {
+        let err = TempDir::new("gsd-nested/leaf").unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::InvalidInput);
+        // The would-be intermediate parent must not have been created.
+        assert!(!std::env::temp_dir().join("gsd-nested").exists());
+        assert!(TempDir::new("").is_err());
+    }
+
+    #[test]
+    fn new_in_requires_an_existing_directory_parent() {
+        let base = TempDir::new("gsd-new-in").unwrap();
+        // Happy path: nested under a directory we own.
+        let child = TempDir::new_in(base.path(), "child").unwrap();
+        assert!(child.path().starts_with(base.path()));
+        // Error path: parent is a file.
+        let file = base.path().join("plain-file");
+        std::fs::write(&file, b"x").unwrap();
+        let err = TempDir::new_in(&file, "child").unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::NotFound);
+        // Error path: parent missing entirely.
+        assert!(TempDir::new_in(base.path().join("absent"), "child").is_err());
     }
 }

@@ -5,4 +5,7 @@ pub fn emit(sink: &dyn Sink) {
     sink.emit(TraceEvent::PrefetchIssued { block: 3, bytes: 4096 });
     sink.emit(TraceEvent::PrefetchHit { block: 3, bytes: 4096 });
     sink.emit(TraceEvent::PrefetchStall { block: 3, wait_us: 12 });
+    sink.emit(TraceEvent::CkptWritten { iteration: 2, bytes: 8192 });
+    sink.emit(TraceEvent::CkptRestored { iteration: 2, bytes: 8192 });
+    sink.emit(TraceEvent::IoRetry { attempt: 1 });
 }

@@ -12,4 +12,10 @@ pub enum TraceEvent {
     PrefetchHit { block: u32, bytes: u64 },
     /// A consumer waited on (or fell back past) the pipeline.
     PrefetchStall { block: u32, wait_us: u64 },
+    /// A checkpoint committed at an iteration boundary.
+    CkptWritten { iteration: u32, bytes: u64 },
+    /// A run resumed from a checkpoint.
+    CkptRestored { iteration: u32, bytes: u64 },
+    /// A transient I/O failure was retried.
+    IoRetry { attempt: u32 },
 }

@@ -6,6 +6,9 @@ pub fn emit(sink: &dyn Sink) {
     sink.emit(TraceEvent::PrefetchIssued { block: 1, bytes: 4096 });
     sink.emit(TraceEvent::PrefetchHit { block: 1, bytes: 4096 });
     sink.emit(TraceEvent::PrefetchStall { block: 2, wait_us: 17 });
+    sink.emit(TraceEvent::CkptWritten { iteration: 4, bytes: 8192 });
+    sink.emit(TraceEvent::CkptRestored { iteration: 4, bytes: 8192 });
+    sink.emit(TraceEvent::IoRetry { attempt: 3 });
 }
 
 pub fn describe(ev: &TraceEvent) -> String {
@@ -16,5 +19,8 @@ pub fn describe(ev: &TraceEvent) -> String {
         TraceEvent::PrefetchIssued { block, .. } => format!("issued {block}"),
         TraceEvent::PrefetchHit { block, .. } => format!("pf hit {block}"),
         TraceEvent::PrefetchStall { block, wait_us } => format!("stall {block} {wait_us}us"),
+        TraceEvent::CkptWritten { iteration, .. } => format!("ckpt {iteration}"),
+        TraceEvent::CkptRestored { iteration, .. } => format!("restored {iteration}"),
+        TraceEvent::IoRetry { attempt } => format!("retry {attempt}"),
     }
 }

@@ -1,0 +1,119 @@
+//! Recovery configuration and its environment defaults.
+
+/// Checkpoint/recovery options an engine runs with.
+///
+/// The environment mirrors the prefetch pipeline's pattern: engine config
+/// defaults consult [`RecoveryConfig::from_env`], so a whole test suite
+/// (or CI job) can flip checkpointing on without code changes:
+///
+/// * `GSD_CKPT_EVERY=N` — enable, checkpointing every `N ≥ 1` committed
+///   iterations.
+/// * `GSD_CKPT_DIR=name` — checkpoint key prefix inside the run's storage
+///   (default `ckpt`; resolved relative to the grid prefix, so engines
+///   sharing a store do not collide).
+/// * `GSD_CKPT_RESUME=0` — write checkpoints but never resume from them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryConfig {
+    /// Write a checkpoint every this many committed iterations (≥ 1).
+    /// Checkpoints land only on driver-loop boundaries: a two-pass FCIU
+    /// round commits two iterations between boundaries, so the actual
+    /// cadence may skip an odd iteration number.
+    pub every: u32,
+    /// Key prefix for checkpoint objects, relative to the engine's grid
+    /// prefix (no trailing slash).
+    pub dir: String,
+    /// Keep the newest `retain` checkpoints; older ones are deleted after
+    /// each successful commit.
+    pub retain: usize,
+    /// Attempt to resume from the latest valid checkpoint at run start.
+    pub resume: bool,
+    /// Testing/fault-injection aid: simulate a crash by aborting the run
+    /// (with `ErrorKind::Interrupted`) immediately after the first
+    /// checkpoint whose iteration is ≥ this value. The abort happens at
+    /// the exact commit point, so storage and checkpoint state are those
+    /// of a kill at an iteration boundary.
+    pub halt_after: Option<u32>,
+}
+
+impl RecoveryConfig {
+    /// Checkpoint every `n` committed iterations with default dir,
+    /// retention and resume policy.
+    pub fn every(n: u32) -> Self {
+        RecoveryConfig {
+            every: n.max(1),
+            dir: "ckpt".to_string(),
+            retain: 2,
+            resume: true,
+            halt_after: None,
+        }
+    }
+
+    /// Reads the `GSD_CKPT_*` environment variables; `None` unless
+    /// `GSD_CKPT_EVERY` is set to a positive integer.
+    pub fn from_env() -> Option<Self> {
+        let every: u32 = std::env::var("GSD_CKPT_EVERY").ok()?.parse().ok()?;
+        if every == 0 {
+            return None;
+        }
+        let mut cfg = RecoveryConfig::every(every);
+        if let Ok(dir) = std::env::var("GSD_CKPT_DIR") {
+            if !dir.is_empty() {
+                cfg.dir = dir;
+            }
+        }
+        if std::env::var("GSD_CKPT_RESUME").as_deref() == Ok("0") {
+            cfg.resume = false;
+        }
+        Some(cfg)
+    }
+
+    /// Sets the checkpoint key prefix.
+    pub fn with_dir(mut self, dir: impl Into<String>) -> Self {
+        self.dir = dir.into();
+        self
+    }
+
+    /// Sets the retention depth (keep the newest `k` checkpoints).
+    pub fn with_retain(mut self, k: usize) -> Self {
+        self.retain = k.max(1);
+        self
+    }
+
+    /// Writes checkpoints but never resumes from them.
+    pub fn without_resume(mut self) -> Self {
+        self.resume = false;
+        self
+    }
+
+    /// Simulates a crash right after the first checkpoint at iteration
+    /// ≥ `k` (see [`RecoveryConfig::halt_after`]).
+    pub fn with_halt_after(mut self, k: u32) -> Self {
+        self.halt_after = Some(k);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_compose() {
+        let c = RecoveryConfig::every(3)
+            .with_dir("alt")
+            .with_retain(5)
+            .without_resume()
+            .with_halt_after(7);
+        assert_eq!(c.every, 3);
+        assert_eq!(c.dir, "alt");
+        assert_eq!(c.retain, 5);
+        assert!(!c.resume);
+        assert_eq!(c.halt_after, Some(7));
+    }
+
+    #[test]
+    fn every_zero_is_clamped() {
+        assert_eq!(RecoveryConfig::every(0).every, 1);
+        assert_eq!(RecoveryConfig::every(0).with_retain(0).retain, 1);
+    }
+}

@@ -1,0 +1,411 @@
+//! Deterministic I/O fault injection.
+//!
+//! [`FaultyStorage`] wraps any [`Storage`] and makes a seed-driven
+//! decision *before* each data operation reaches the inner backend:
+//!
+//! * **Transient** faults fail one attempt (`ErrorKind::Interrupted`); a
+//!   retry of the same logical request draws a fresh decision, so a
+//!   bounded retry loop eventually succeeds. Whether attempt *n* fails is
+//!   a pure function of the seed and the global attempt counter.
+//! * **Permanent** faults are a pure function of the seed and the *key*:
+//!   every attempt against a doomed key fails with `ErrorKind::Other`,
+//!   modeling an unreadable sector. Retrying is pointless by design.
+//! * `kill_at_op` hard-fails the N-th data operation regardless of
+//!   rates, for scripting a crash at an exact point in a run.
+//!
+//! Failed attempts never reach the inner backend, so they leave its
+//! accounting and sequential/random cursors untouched: a faulty run that
+//! eventually succeeds has bit-identical I/O statistics to a clean one.
+
+use crate::hash::fnv64;
+use gsd_io::{DiskModel, IoStats, SharedStorage, Storage};
+use gsd_trace::CounterRegistry;
+use parking_lot::Mutex;
+use std::io::{Error, ErrorKind};
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Restricts fault injection to a subset of requests.
+#[derive(Debug, Clone, Default)]
+pub struct FaultTarget {
+    /// Only requests whose key contains this substring are eligible.
+    pub key_substring: String,
+    /// For positioned ops, only requests starting inside this byte range
+    /// are eligible (`create`/`sync` count as offset 0).
+    pub offsets: Option<Range<u64>>,
+}
+
+impl FaultTarget {
+    /// Targets requests whose key contains `substring`.
+    pub fn key(substring: impl Into<String>) -> Self {
+        FaultTarget {
+            key_substring: substring.into(),
+            offsets: None,
+        }
+    }
+
+    fn matches(&self, key: &str, offset: u64) -> bool {
+        key.contains(&self.key_substring)
+            && self.offsets.as_ref().is_none_or(|r| r.contains(&offset))
+    }
+}
+
+/// Parameters of the injected fault distribution.
+#[derive(Debug, Clone)]
+pub struct FaultConfig {
+    /// Seed of the deterministic decision stream.
+    pub seed: u64,
+    /// Probability in `[0, 1]` that any given attempt fails transiently.
+    pub transient_rate: f64,
+    /// Probability in `[0, 1]` that any given *key* is permanently bad.
+    pub permanent_rate: f64,
+    /// Restrict injection to matching requests (`None` = all requests).
+    pub target: Option<FaultTarget>,
+    /// Hard-fail the N-th data operation (1-based, counted across all
+    /// faultable ops) with a fatal error, simulating a crash point.
+    pub kill_at_op: Option<u64>,
+}
+
+impl FaultConfig {
+    /// Transient-only faults: each attempt fails with probability `rate`.
+    pub fn transient(seed: u64, rate: f64) -> Self {
+        FaultConfig {
+            seed,
+            transient_rate: rate.clamp(0.0, 1.0),
+            permanent_rate: 0.0,
+            target: None,
+            kill_at_op: None,
+        }
+    }
+
+    /// Parses the `GSD_FAULT_INJECT` environment value, `SEED:RATE`
+    /// (e.g. `42:0.02` — seed 42, 2% transient faults per attempt).
+    pub fn parse(spec: &str) -> Option<Self> {
+        let (seed, rate) = spec.split_once(':')?;
+        let seed: u64 = seed.trim().parse().ok()?;
+        let rate: f64 = rate.trim().parse().ok()?;
+        if !(0.0..=1.0).contains(&rate) {
+            return None;
+        }
+        Some(FaultConfig::transient(seed, rate))
+    }
+
+    /// Marks every key matching `target` as permanently bad instead of
+    /// transiently flaky.
+    pub fn with_permanent(mut self, rate: f64) -> Self {
+        self.permanent_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Restricts injection to requests matching `target`.
+    pub fn with_target(mut self, target: FaultTarget) -> Self {
+        self.target = Some(target);
+        self
+    }
+
+    /// Hard-fails the `n`-th data operation (1-based).
+    pub fn with_kill_at_op(mut self, n: u64) -> Self {
+        self.kill_at_op = Some(n);
+        self
+    }
+}
+
+/// `splitmix64` output step — a well-mixed pure function of its input,
+/// used to turn (seed, counter) and (seed, key-hash) into decisions.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Maps a hash to a uniform draw in `[0, 1)`.
+fn unit(hash: u64) -> f64 {
+    (hash >> 11) as f64 / (1u64 << 53) as f64
+}
+
+const PERMANENT_SALT: u64 = 0x70_65_72_6d; // "perm"
+
+/// A [`Storage`] decorator that injects deterministic faults (see the
+/// module docs for the fault model).
+pub struct FaultyStorage {
+    inner: SharedStorage,
+    cfg: FaultConfig,
+    /// Global attempt counter; the lock also serializes decision order so
+    /// a single-threaded caller sees a reproducible decision stream.
+    ops: Mutex<u64>,
+    injected_transient: AtomicU64,
+    injected_permanent: AtomicU64,
+}
+
+impl FaultyStorage {
+    /// Wraps `inner`, injecting faults per `cfg`.
+    pub fn new(inner: SharedStorage, cfg: FaultConfig) -> Self {
+        FaultyStorage {
+            inner,
+            cfg,
+            ops: Mutex::new(0),
+            injected_transient: AtomicU64::new(0),
+            injected_permanent: AtomicU64::new(0),
+        }
+    }
+
+    /// Attempts failed transiently so far.
+    pub fn injected_transient(&self) -> u64 {
+        self.injected_transient.load(Ordering::Relaxed)
+    }
+
+    /// Attempts failed permanently (bad key) so far.
+    pub fn injected_permanent(&self) -> u64 {
+        self.injected_permanent.load(Ordering::Relaxed)
+    }
+
+    /// Data operations observed so far (the attempt stream `kill_at_op`
+    /// indexes into) — lets a test size a kill point relative to a probe
+    /// run's total.
+    pub fn ops_seen(&self) -> u64 {
+        *self.ops.lock()
+    }
+
+    /// Draws the fault decision for one attempt. Holds only the counter
+    /// lock and returns before any inner storage call.
+    fn decide(&self, op: &'static str, key: &str, offset: u64) -> std::io::Result<()> {
+        let op_index = {
+            let mut ops = self.ops.lock();
+            *ops += 1;
+            *ops
+        };
+        if self.cfg.kill_at_op == Some(op_index) {
+            return Err(Error::other(format!(
+                "injected crash at op {op_index} ({op} {key})"
+            )));
+        }
+        if let Some(target) = &self.cfg.target {
+            if !target.matches(key, offset) {
+                return Ok(());
+            }
+        }
+        if self.cfg.permanent_rate > 0.0 {
+            let draw = unit(mix(self.cfg.seed ^ fnv64(key.as_bytes()) ^ PERMANENT_SALT));
+            if draw < self.cfg.permanent_rate {
+                self.injected_permanent.fetch_add(1, Ordering::Relaxed);
+                return Err(Error::other(format!(
+                    "injected permanent fault on {key} ({op})"
+                )));
+            }
+        }
+        if self.cfg.transient_rate > 0.0 {
+            let draw = unit(mix(self.cfg.seed ^ op_index));
+            if draw < self.cfg.transient_rate {
+                self.injected_transient.fetch_add(1, Ordering::Relaxed);
+                return Err(Error::new(
+                    ErrorKind::Interrupted,
+                    format!("injected transient fault on {key} ({op}, attempt stream {op_index})"),
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Storage for FaultyStorage {
+    fn create(&self, key: &str, data: &[u8]) -> gsd_io::Result<()> {
+        self.decide("create", key, 0)?;
+        self.inner.create(key, data)
+    }
+
+    fn read_at(&self, key: &str, offset: u64, buf: &mut [u8]) -> gsd_io::Result<()> {
+        self.decide("read", key, offset)?;
+        self.inner.read_at(key, offset, buf)
+    }
+
+    fn write_at(&self, key: &str, offset: u64, data: &[u8]) -> gsd_io::Result<()> {
+        self.decide("write", key, offset)?;
+        self.inner.write_at(key, offset, data)
+    }
+
+    fn sync(&self) -> gsd_io::Result<()> {
+        self.decide("sync", "", 0)?;
+        self.inner.sync()
+    }
+
+    fn len(&self, key: &str) -> gsd_io::Result<u64> {
+        self.inner.len(key)
+    }
+
+    fn exists(&self, key: &str) -> bool {
+        self.inner.exists(key)
+    }
+
+    fn delete(&self, key: &str) -> gsd_io::Result<()> {
+        self.inner.delete(key)
+    }
+
+    fn list_keys(&self) -> Vec<String> {
+        self.inner.list_keys()
+    }
+
+    fn stats(&self) -> Arc<IoStats> {
+        self.inner.stats()
+    }
+
+    fn disk_model(&self) -> Option<DiskModel> {
+        self.inner.disk_model()
+    }
+
+    fn counters(&self) -> Option<&CounterRegistry> {
+        self.inner.counters()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsd_io::MemStorage;
+
+    fn wrap(cfg: FaultConfig) -> (FaultyStorage, SharedStorage) {
+        let inner: SharedStorage = Arc::new(MemStorage::new());
+        (FaultyStorage::new(inner.clone(), cfg), inner)
+    }
+
+    #[test]
+    fn zero_rates_are_transparent() -> std::io::Result<()> {
+        let (faulty, _) = wrap(FaultConfig::transient(1, 0.0));
+        faulty.create("k", &[1, 2, 3])?;
+        let mut buf = [0u8; 3];
+        for _ in 0..1000 {
+            faulty.read_at("k", 0, &mut buf)?;
+        }
+        assert_eq!(faulty.injected_transient(), 0);
+        Ok(())
+    }
+
+    #[test]
+    fn transient_faults_are_deterministic_in_the_seed() {
+        let run = |seed: u64| -> Vec<bool> {
+            let (faulty, _) = wrap(FaultConfig::transient(seed, 0.3));
+            faulty.create("k", &[0u8; 8]).ok();
+            let mut buf = [0u8; 8];
+            (0..200)
+                .map(|_| faulty.read_at("k", 0, &mut buf).is_err())
+                .collect()
+        };
+        let a = run(42);
+        assert_eq!(a, run(42), "same seed, same fault stream");
+        assert_ne!(a, run(43), "different seed, different stream");
+        let failures = a.iter().filter(|&&f| f).count();
+        assert!(
+            (30..=90).contains(&failures),
+            "rate ~0.3, got {failures}/200"
+        );
+    }
+
+    #[test]
+    fn transient_faults_do_not_reach_inner_accounting() {
+        let (faulty, inner) = wrap(FaultConfig::transient(7, 0.5));
+        faulty.create("k", &[0u8; 8]).ok();
+        inner.stats().reset();
+        let mut buf = [0u8; 8];
+        let mut ok = 0u64;
+        for _ in 0..100 {
+            if faulty.read_at("k", 0, &mut buf).is_ok() {
+                ok += 1;
+            }
+        }
+        assert!(faulty.injected_transient() > 0);
+        let s = inner.stats().snapshot();
+        assert_eq!(
+            s.seq_read_ops + s.rand_read_ops,
+            ok,
+            "only successes counted"
+        );
+    }
+
+    #[test]
+    fn transient_errors_are_retryable_kind() {
+        let (faulty, _) = wrap(FaultConfig::transient(3, 1.0));
+        faulty
+            .create("k", &[1])
+            .expect_err("rate 1.0 fails create too");
+        let mut buf = [0u8; 1];
+        let err = faulty.read_at("k", 0, &mut buf).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Interrupted);
+    }
+
+    #[test]
+    fn permanent_faults_follow_the_key_not_the_attempt() {
+        let (faulty, _) = wrap(FaultConfig::transient(11, 0.0).with_permanent(0.5));
+        // Find one doomed key and one healthy key.
+        let keyname = |i: u32| format!("obj_{i}");
+        let mut doomed = None;
+        let mut healthy = None;
+        for i in 0..64 {
+            let key = keyname(i);
+            match faulty.create(&key, &[0u8; 4]) {
+                Err(_) => doomed = doomed.or(Some(key)),
+                Ok(()) => healthy = healthy.or(Some(key)),
+            }
+        }
+        let (doomed, healthy) = (doomed.expect("rate 0.5"), healthy.expect("rate 0.5"));
+        let mut buf = [0u8; 4];
+        for _ in 0..20 {
+            let err = faulty.read_at(&doomed, 0, &mut buf).unwrap_err();
+            assert_eq!(err.kind(), ErrorKind::Other, "permanent = not retryable");
+            faulty
+                .read_at(&healthy, 0, &mut buf)
+                .expect("healthy key stays healthy");
+        }
+        assert!(faulty.injected_permanent() >= 20);
+    }
+
+    #[test]
+    fn target_limits_the_blast_radius() {
+        let cfg = FaultConfig::transient(5, 1.0).with_target(FaultTarget::key("blocks/"));
+        let (faulty, _) = wrap(cfg);
+        faulty
+            .create("meta.json", &[1])
+            .expect("untargeted key is safe");
+        faulty
+            .create("blocks/b_0_0.edges", &[1])
+            .expect_err("targeted key faults");
+    }
+
+    #[test]
+    fn offset_range_limits_positioned_ops() {
+        let cfg = FaultConfig::transient(5, 1.0).with_target(FaultTarget {
+            key_substring: String::new(),
+            offsets: Some(100..200),
+        });
+        let (faulty, inner) = wrap(cfg);
+        inner.create("k", &[0u8; 512]).unwrap();
+        let mut buf = [0u8; 8];
+        faulty
+            .read_at("k", 0, &mut buf)
+            .expect("offset 0 is outside the range");
+        faulty
+            .read_at("k", 150, &mut buf)
+            .expect_err("offset 150 is targeted");
+    }
+
+    #[test]
+    fn kill_at_op_fires_exactly_once_at_the_nth_op() {
+        let (faulty, _) = wrap(FaultConfig::transient(9, 0.0).with_kill_at_op(3));
+        faulty.create("k", &[0u8; 8]).expect("op 1");
+        let mut buf = [0u8; 8];
+        faulty.read_at("k", 0, &mut buf).expect("op 2");
+        let err = faulty.read_at("k", 0, &mut buf).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Other, "op 3 is the kill");
+        faulty.read_at("k", 0, &mut buf).expect("op 4 proceeds");
+    }
+
+    #[test]
+    fn parse_accepts_seed_colon_rate() {
+        let cfg = FaultConfig::parse("42:0.02").expect("valid spec");
+        assert_eq!(cfg.seed, 42);
+        assert!((cfg.transient_rate - 0.02).abs() < 1e-12);
+        assert!(FaultConfig::parse("42").is_none());
+        assert!(FaultConfig::parse("x:0.1").is_none());
+        assert!(FaultConfig::parse("1:1.5").is_none());
+    }
+}

@@ -27,7 +27,7 @@ pub enum IoAccessModel {
 }
 
 /// Accounting for one BSP iteration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct IterationStats {
     /// 1-based iteration number.
     pub iteration: u32,
@@ -61,7 +61,7 @@ pub struct IterationStats {
 }
 
 /// Accounting for a whole run.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct RunStats {
     /// Engine that produced the run.
     pub engine: String,

@@ -166,6 +166,35 @@ pub enum TraceEvent {
         /// Microseconds the engine was blocked acquiring the data.
         wait_us: u64,
     },
+    /// A checkpoint was committed (snapshot durable, manifest published).
+    CkptWritten {
+        /// Last committed iteration the checkpoint captures.
+        iteration: u32,
+        /// Snapshot size in bytes (manifest excluded).
+        bytes: u64,
+    },
+    /// A run resumed from a checkpoint instead of starting cold.
+    CkptRestored {
+        /// Iteration the restored snapshot had committed.
+        iteration: u32,
+        /// Snapshot size in bytes.
+        bytes: u64,
+    },
+    /// A transient storage error was retried by the recovery layer.
+    IoRetry {
+        /// Operation kind: `"read"`, `"write"`, `"create"` or `"sync"`.
+        op: &'static str,
+        /// 1-based attempt number that failed (the retry is attempt + 1).
+        attempt: u32,
+    },
+    /// The retry budget for one operation was exhausted; the error is
+    /// propagated to the engine as fatal.
+    IoGaveUp {
+        /// Operation kind: `"read"`, `"write"`, `"create"` or `"sync"`.
+        op: &'static str,
+        /// Total attempts performed before giving up.
+        attempts: u32,
+    },
 }
 
 impl TraceEvent {
@@ -187,6 +216,10 @@ impl TraceEvent {
             TraceEvent::PrefetchIssued { .. } => "prefetch_issued",
             TraceEvent::PrefetchHit { .. } => "prefetch_hit",
             TraceEvent::PrefetchStall { .. } => "prefetch_stall",
+            TraceEvent::CkptWritten { .. } => "ckpt_written",
+            TraceEvent::CkptRestored { .. } => "ckpt_restored",
+            TraceEvent::IoRetry { .. } => "io_retry",
+            TraceEvent::IoGaveUp { .. } => "io_gave_up",
         }
     }
 }
@@ -314,6 +347,19 @@ impl Serialize for TraceEvent {
                 self.kind(),
                 vec![u("i", *i as u64), u("j", *j as u64), u("wait_us", *wait_us)],
             ),
+            TraceEvent::CkptWritten { iteration, bytes }
+            | TraceEvent::CkptRestored { iteration, bytes } => tagged(
+                self.kind(),
+                vec![u("iteration", *iteration as u64), u("bytes", *bytes)],
+            ),
+            TraceEvent::IoRetry { op, attempt } => tagged(
+                self.kind(),
+                vec![s("op", op), u("attempt", *attempt as u64)],
+            ),
+            TraceEvent::IoGaveUp { op, attempts } => tagged(
+                self.kind(),
+                vec![s("op", op), u("attempts", *attempts as u64)],
+            ),
         }
     }
 }
@@ -380,5 +426,42 @@ mod tests {
             r#"{"ev":"prefetch_stall","i":0,"j":3,"wait_us":250}"#
         );
         assert_eq!(stall.kind(), "prefetch_stall");
+    }
+
+    #[test]
+    fn recovery_events_serialize_with_stable_tags() {
+        let written = TraceEvent::CkptWritten {
+            iteration: 4,
+            bytes: 8192,
+        };
+        assert_eq!(
+            serde_json::to_string(&written).unwrap(),
+            r#"{"ev":"ckpt_written","iteration":4,"bytes":8192}"#
+        );
+        let restored = TraceEvent::CkptRestored {
+            iteration: 4,
+            bytes: 8192,
+        };
+        assert_eq!(
+            serde_json::to_string(&restored).unwrap(),
+            r#"{"ev":"ckpt_restored","iteration":4,"bytes":8192}"#
+        );
+        let retry = TraceEvent::IoRetry {
+            op: "read",
+            attempt: 1,
+        };
+        assert_eq!(
+            serde_json::to_string(&retry).unwrap(),
+            r#"{"ev":"io_retry","op":"read","attempt":1}"#
+        );
+        let gave_up = TraceEvent::IoGaveUp {
+            op: "read",
+            attempts: 4,
+        };
+        assert_eq!(
+            serde_json::to_string(&gave_up).unwrap(),
+            r#"{"ev":"io_gave_up","op":"read","attempts":4}"#
+        );
+        assert_eq!(gave_up.kind(), "io_gave_up");
     }
 }

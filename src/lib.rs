@@ -41,11 +41,13 @@ pub use gsd_core as core;
 pub use gsd_graph as graph;
 pub use gsd_io as io;
 pub use gsd_pipeline as pipeline;
+pub use gsd_recover as recover;
 pub use gsd_runtime as runtime;
+pub use gsd_trace as trace;
 
 /// Convenience prelude bringing the most common types into scope.
 pub mod prelude {
-    pub use gsd_core::{GraphSdConfig, GraphSdEngine, PipelineConfig};
+    pub use gsd_core::{GraphSdConfig, GraphSdEngine, PipelineConfig, RecoveryConfig};
     pub use gsd_graph::{Graph, GraphBuilder, VertexId};
     pub use gsd_io::{DiskModel, FileStorage, MemStorage, SimDisk, Storage};
     pub use gsd_runtime::{Engine, RunOptions, RunResult, VertexProgram};
