@@ -97,9 +97,11 @@ impl Engine for GridStreamEngine {
         )?;
 
         let run_snap = storage.stats().snapshot();
+        let verify_snap = grid.verify_counters();
         let mut scratch = Vec::new();
         let mut edges = Vec::new();
         let value_file_bytes = n as u64 * program.value_bytes();
+        grid.set_verify_sink(self.trace.clone());
         if self.trace.enabled() {
             self.trace.emit(&TraceEvent::RunStart {
                 engine: "gridstream",
@@ -234,6 +236,10 @@ impl Engine for GridStreamEngine {
             });
         }
         stats.io = storage.stats().snapshot().since(&run_snap);
+        let vd = grid.verify_counters().since(&verify_snap);
+        stats.verify_bytes += vd.verify_bytes;
+        stats.corrupt_blocks += vd.corrupt_blocks;
+        stats.repaired_blocks += vd.repaired_blocks;
         Ok(RunResult {
             values: values_prev.snapshot(),
             stats,

@@ -200,6 +200,8 @@ impl Engine for HusGraphEngine {
         let mut edges: Vec<gsd_graph::Edge> = Vec::new();
         let per_edge = row.codec().edge_bytes() as u64;
         let value_file_bytes = n as u64 * program.value_bytes();
+        row.set_verify_sink(self.trace.clone());
+        col.set_verify_sink(self.trace.clone());
         if self.trace.enabled() {
             self.trace.emit(&TraceEvent::RunStart {
                 engine: "hus-graph",
@@ -242,6 +244,9 @@ impl Engine for HusGraphEngine {
             ckpt = Some(driver);
         }
         let run_snap = storage.stats().snapshot();
+        // Taken after restore so resume-machinery verification is excluded.
+        let verify_snap_row = row.verify_counters();
+        let verify_snap_col = col.verify_counters();
 
         for iter in start..=limit {
             if frontier.is_empty() {
@@ -479,6 +484,14 @@ impl Engine for HusGraphEngine {
                             .since(&run_snap)
                             .since(&driver.store.io()),
                     );
+                    for vd in [
+                        row.verify_counters().since(&verify_snap_row),
+                        col.verify_counters().since(&verify_snap_col),
+                    ] {
+                        ckpt_stats.verify_bytes += vd.verify_bytes;
+                        ckpt_stats.corrupt_blocks += vd.corrupt_blocks;
+                        ckpt_stats.repaired_blocks += vd.repaired_blocks;
+                    }
                     driver.commit(&CheckpointData {
                         iteration: iter,
                         values: values_prev
@@ -507,6 +520,14 @@ impl Engine for HusGraphEngine {
             delta = delta.since(&driver.store.io());
         }
         stats.io = base_io.plus(&delta);
+        for vd in [
+            row.verify_counters().since(&verify_snap_row),
+            col.verify_counters().since(&verify_snap_col),
+        ] {
+            stats.verify_bytes += vd.verify_bytes;
+            stats.corrupt_blocks += vd.corrupt_blocks;
+            stats.repaired_blocks += vd.repaired_blocks;
+        }
         Ok(RunResult {
             values: values_prev.snapshot(),
             stats,

@@ -242,6 +242,7 @@ impl Engine for LumosEngine {
             }
             None => None,
         };
+        grid.set_verify_sink(self.trace.clone());
         if self.trace.enabled() {
             self.trace.emit(&TraceEvent::RunStart {
                 engine: "lumos",
@@ -285,6 +286,7 @@ impl Engine for LumosEngine {
             ckpt = Some(driver);
         }
         let run_snap = storage.stats().snapshot();
+        let verify_snap = grid.verify_counters();
 
         while iter <= limit && !st.frontier.is_empty() {
             let two_pass = iter < limit;
@@ -662,6 +664,10 @@ impl Engine for LumosEngine {
             delta = delta.since(&driver.store.io());
         }
         stats.io = base_io.plus(&delta);
+        let vd = grid.verify_counters().since(&verify_snap);
+        stats.verify_bytes += vd.verify_bytes;
+        stats.corrupt_blocks += vd.corrupt_blocks;
+        stats.repaired_blocks += vd.repaired_blocks;
         stats.cross_iter_edges = cross_iter_edges;
         stats.prefetch_hits = prefetch_hits;
         stats.prefetch_misses = prefetch_misses;

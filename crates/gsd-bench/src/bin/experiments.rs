@@ -21,14 +21,17 @@
 //! --inject-faults SEED:RATE   deterministic transient I/O faults at the
 //!                             given per-operation rate, absorbed by the
 //!                             bounded-retry layer (results unchanged)
+//! --verify off|full|sample:N  checksum grid objects as runs read them
+//!                             (default off; detected corruption fails
+//!                             the experiment instead of skewing results)
 //! GSD_SCALE=tiny|small|medium workload scale (default small)
 //! ```
 //!
-//! The prefetch, checkpoint and fault flags work by setting the
-//! `GSD_PREFETCH*` / `GSD_CKPT_*` / `GSD_FAULT_INJECT` environment
-//! variables before any engine is built; results are bit-identical
-//! whichever way they are set — only wall time (and, for faults, the
-//! retry counters) changes.
+//! The prefetch, checkpoint, fault and verify flags work by setting the
+//! `GSD_PREFETCH*` / `GSD_CKPT_*` / `GSD_FAULT_INJECT` / `GSD_VERIFY`
+//! environment variables before any engine is built; results are
+//! bit-identical whichever way they are set — only wall time (and, for
+//! faults, the retry counters) changes.
 //!
 //! Failures do not abort the batch: every requested experiment runs, a
 //! failure summary is printed at the end, and the exit status is nonzero
@@ -65,7 +68,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: experiments [--trace FILE] [--verbose] [--no-prefetch] \
          [--prefetch-depth N] [--checkpoint-every N] [--resume] \
-         [--inject-faults SEED:RATE] [ids...]"
+         [--inject-faults SEED:RATE] [--verify off|full|sample:N] [ids...]"
     );
     eprintln!("known ids: {}", ALL_IDS.join(" "));
     std::process::exit(2);
@@ -81,6 +84,7 @@ fn main() {
     let mut checkpoint_every: Option<&str> = None;
     let mut resume = false;
     let mut inject_faults: Option<&str> = None;
+    let mut verify: Option<&str> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -102,6 +106,12 @@ fn main() {
             "--inject-faults" => match it.next().map(String::as_str) {
                 Some(spec) if gsd_recover::FaultConfig::parse(spec).is_some() => {
                     inject_faults = Some(spec)
+                }
+                _ => usage(),
+            },
+            "--verify" => match it.next().map(String::as_str) {
+                Some(spec) if gsd_integrity::VerifyPolicy::parse(spec).is_some() => {
+                    verify = Some(spec)
                 }
                 _ => usage(),
             },
@@ -130,6 +140,9 @@ fn main() {
     }
     if let Some(spec) = inject_faults {
         std::env::set_var("GSD_FAULT_INJECT", spec);
+    }
+    if let Some(spec) = verify {
+        std::env::set_var("GSD_VERIFY", spec);
     }
 
     let mut sinks: Vec<Arc<dyn TraceSink>> = Vec::new();

@@ -8,7 +8,10 @@ use gsd_baselines::{
     build_hus_format, build_lumos_format, GridStreamEngine, HusGraphEngine, LumosEngine,
 };
 use gsd_core::{GraphSdConfig, GraphSdEngine, SchedulerDecision};
-use gsd_graph::{preprocess, EdgeCodec, Graph, GridGraph, PreprocessConfig, PreprocessReport};
+use gsd_graph::{
+    preprocess, CorruptionResponse, EdgeCodec, Graph, GridGraph, PreprocessConfig,
+    PreprocessReport, VerifyPolicy,
+};
 use gsd_io::{DiskModel, SharedStorage, SimDisk};
 use gsd_recover::{FaultConfig, FaultyStorage, RetryPolicy, RetryingStorage};
 use gsd_runtime::{Engine, RunOptions, RunStats, VertexProgram};
@@ -299,6 +302,18 @@ fn bench_storage(disk: DiskModel) -> std::io::Result<SharedStorage> {
     }
 }
 
+/// Applies the `GSD_VERIFY` / `GSD_ON_CORRUPTION` environment defaults to
+/// a freshly built grid, mirroring `gsd run --verify`. Unset (or `off`)
+/// leaves the grid untouched so default benches stay byte-for-byte
+/// identical to the unverified path.
+fn apply_env_verification(grid: &mut GridGraph) -> std::io::Result<()> {
+    let policy = VerifyPolicy::from_env().unwrap_or(VerifyPolicy::Off);
+    if policy.is_off() {
+        return Ok(());
+    }
+    grid.set_verification(policy, CorruptionResponse::from_env().unwrap_or_default())
+}
+
 fn run_with_disk_p(
     kind: SystemKind,
     graph: &Graph,
@@ -323,21 +338,26 @@ fn run_with_disk_p(
     let sim_before = storage.stats().sim_time();
     let (report, mut engine): (PreprocessReport, AnyEngine) = match kind {
         SystemKind::HusGraph => {
-            let (format, report) = build_hus_format(graph, &storage, "", Some(p))?;
+            let (mut format, report) = build_hus_format(graph, &storage, "", Some(p))?;
+            apply_env_verification(&mut format.row)?;
+            apply_env_verification(&mut format.col)?;
             (report, AnyEngine::Hus(HusGraphEngine::new(format)?))
         }
         SystemKind::Lumos => {
-            let (grid, report) = build_lumos_format(graph, &storage, "", Some(p))?;
+            let (mut grid, report) = build_lumos_format(graph, &storage, "", Some(p))?;
+            apply_env_verification(&mut grid)?;
             (report, AnyEngine::Lumos(LumosEngine::new(grid)?))
         }
         SystemKind::GridStream => {
             let (_, report) = preprocess(graph, storage.as_ref(), &gsd_pre)?;
-            let grid = GridGraph::open(storage.clone())?;
+            let mut grid = GridGraph::open(storage.clone())?;
+            apply_env_verification(&mut grid)?;
             (report, AnyEngine::Grid(GridStreamEngine::new(grid)?))
         }
         _ => {
             let (_, report) = preprocess(graph, storage.as_ref(), &gsd_pre)?;
-            let grid = GridGraph::open(storage.clone())?;
+            let mut grid = GridGraph::open(storage.clone())?;
+            apply_env_verification(&mut grid)?;
             let config = graphsd_config_of(kind)
                 .expect("graphsd variant")
                 .with_memory_budget(budget);

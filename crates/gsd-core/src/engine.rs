@@ -305,6 +305,7 @@ impl<'a, P: VertexProgram> Runner<'a, P> {
             ));
         }
         let storage = self.grid.storage().clone();
+        self.grid.set_verify_sink(self.trace.clone());
         if self.trace.enabled() {
             self.trace.emit(&TraceEvent::RunStart {
                 engine: "graphsd",
@@ -354,6 +355,9 @@ impl<'a, P: VertexProgram> Runner<'a, P> {
             });
         }
         let run_snap = storage.stats().snapshot();
+        // Taken after restore: resume-machinery verification (resident
+        // block re-reads) is not part of this run's totals.
+        let verify_snap = self.grid.verify_counters();
 
         // An iteration is due while either scatter sources remain
         // (`frontier`) or cross-iteration propagation has pre-scattered
@@ -378,7 +382,7 @@ impl<'a, P: VertexProgram> Runner<'a, P> {
             if let Some(driver) = ckpt.as_mut() {
                 let committed = iter - 1;
                 if committed.saturating_sub(driver.last) >= driver.every {
-                    self.write_checkpoint(driver, committed, base_io, &run_snap)?;
+                    self.write_checkpoint(driver, committed, base_io, &run_snap, &verify_snap)?;
                     driver.last = committed;
                     if driver.halt_after.is_some_and(|halt| committed >= halt) {
                         // Simulated crash for recovery tests: abort at the
@@ -406,6 +410,10 @@ impl<'a, P: VertexProgram> Runner<'a, P> {
             delta = delta.since(&driver.store.io());
         }
         self.stats.io = base_io.plus(&delta);
+        let vd = self.grid.verify_counters().since(&verify_snap);
+        self.stats.verify_bytes += vd.verify_bytes;
+        self.stats.corrupt_blocks += vd.corrupt_blocks;
+        self.stats.repaired_blocks += vd.repaired_blocks;
         self.stats.scheduler_time = self.scheduler.overhead;
         self.stats.cross_iter_edges = self.cross_iter_edges;
         self.stats.buffer_hits = self.buffer.hits;
@@ -472,6 +480,7 @@ impl<'a, P: VertexProgram> Runner<'a, P> {
         committed: u32,
         base_io: IoStatsSnapshot,
         run_snap: &IoStatsSnapshot,
+        verify_snap: &gsd_graph::VerifyCounters,
     ) -> std::io::Result<()> {
         let mut stats = self.stats.clone();
         // Fold in the aggregates normally computed at run end, so the
@@ -480,6 +489,10 @@ impl<'a, P: VertexProgram> Runner<'a, P> {
         stats.cross_iter_edges = self.cross_iter_edges;
         stats.buffer_hits = self.buffer.hits;
         stats.buffer_hit_bytes = self.buffer.hit_bytes;
+        let vd = self.grid.verify_counters().since(verify_snap);
+        stats.verify_bytes += vd.verify_bytes;
+        stats.corrupt_blocks += vd.corrupt_blocks;
+        stats.repaired_blocks += vd.repaired_blocks;
         let delta = self.grid.storage().stats().snapshot().since(run_snap);
         stats.io = base_io.plus(&delta.since(&driver.store.io()));
         let extra = CkptExtra {

@@ -13,9 +13,20 @@
 //! is the first edge (by index, not byte) of vertex `range(i).start + k`
 //! within the sub-block, so one vertex's edge list is a single contiguous
 //! byte range — the property GraphSD's on-demand I/O model relies on.
+//!
+//! # Format versions
+//!
+//! * **v1** — the original layout above, no checksums.
+//! * **v2** — identical data objects plus an `integrity` section in
+//!   `meta.json`: one CRC32 + length per data object, a CRC over the
+//!   entry list itself, and a whole-meta self-check CRC (see
+//!   [`gsd_integrity::IntegritySection`]). The preprocessor writes v2;
+//!   readers accept both (a v1 grid simply has nothing to verify
+//!   against).
 
 use crate::partition::Intervals;
-use serde::{Deserialize, Serialize};
+use gsd_integrity::{crc32, CorruptionError, IntegritySection};
+use serde::{Deserialize, Serialize, Value};
 
 /// Key of the metadata object.
 pub const META_KEY: &str = "meta.json";
@@ -45,7 +56,7 @@ pub fn row_index_key(prefix: &str, i: u32) -> String {
 }
 
 /// Serialized description of a preprocessed grid graph.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GridMeta {
     /// Format version (bumped on incompatible changes).
     pub version: u32,
@@ -70,10 +81,68 @@ pub struct GridMeta {
     /// Edge count of each sub-block, row-major: entry `i * P + j` is
     /// sub-block `(i, j)`. Lets engines skip empty blocks without I/O.
     pub block_edge_counts: Vec<u64>,
+    /// Per-object checksum manifest (format v2; `None` on v1 grids).
+    pub integrity: Option<IntegritySection>,
 }
 
-/// Current format version.
-pub const FORMAT_VERSION: u32 = 1;
+/// Current format version (written by the preprocessor).
+pub const FORMAT_VERSION: u32 = 2;
+/// Oldest format version readers still accept.
+pub const MIN_FORMAT_VERSION: u32 = 1;
+
+// Hand-written (de)serialization: the `integrity` field is omitted when
+// absent so v1 metas — which predate the field — parse, and v1 output
+// stays byte-identical to what v1 writers produced. (The derived impl
+// would require every field to be present.)
+impl Serialize for GridMeta {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("version".to_string(), self.version.to_value()),
+            ("num_vertices".to_string(), self.num_vertices.to_value()),
+            ("num_edges".to_string(), self.num_edges.to_value()),
+            ("p".to_string(), self.p.to_value()),
+            ("weighted".to_string(), self.weighted.to_value()),
+            ("indexed".to_string(), self.indexed.to_value()),
+            ("sorted".to_string(), self.sorted.to_value()),
+            ("dst_sorted".to_string(), self.dst_sorted.to_value()),
+            ("boundaries".to_string(), self.boundaries.to_value()),
+            (
+                "block_edge_counts".to_string(),
+                self.block_edge_counts.to_value(),
+            ),
+        ];
+        if let Some(integrity) = &self.integrity {
+            fields.push(("integrity".to_string(), integrity.to_value()));
+        }
+        Value::Map(fields)
+    }
+}
+
+impl Deserialize for GridMeta {
+    fn from_value(v: &Value) -> Result<Self, serde::DeError> {
+        let field = |name| serde::value_field(v, name);
+        Ok(GridMeta {
+            version: u32::from_value(field("version")?)?,
+            num_vertices: u32::from_value(field("num_vertices")?)?,
+            num_edges: u64::from_value(field("num_edges")?)?,
+            p: u32::from_value(field("p")?)?,
+            weighted: bool::from_value(field("weighted")?)?,
+            indexed: bool::from_value(field("indexed")?)?,
+            sorted: bool::from_value(field("sorted")?)?,
+            dst_sorted: bool::from_value(field("dst_sorted")?)?,
+            boundaries: Vec::<u32>::from_value(field("boundaries")?)?,
+            block_edge_counts: Vec::<u64>::from_value(field("block_edge_counts")?)?,
+            integrity: match v.get("integrity") {
+                Some(value) => Option::<IntegritySection>::from_value(value)?,
+                None => None,
+            },
+        })
+    }
+}
+
+fn invalid(msg: impl Into<String>) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg.into())
+}
 
 impl GridMeta {
     /// The interval partition.
@@ -111,26 +180,85 @@ impl GridMeta {
         serde_json::to_vec_pretty(self).expect("GridMeta serializes")
     }
 
-    /// Parses from JSON bytes, validating shape invariants.
-    pub fn from_bytes(bytes: &[u8]) -> std::io::Result<Self> {
-        let meta: GridMeta = serde_json::from_slice(bytes)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
-        if meta.version != FORMAT_VERSION {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::InvalidData,
-                format!("unsupported format version {}", meta.version),
+    /// Seals the integrity self-check: records the CRC32 of this meta
+    /// serialized with `meta_crc` zeroed. Must be the last mutation before
+    /// [`Self::to_bytes`]; a no-op on v1 metas without a section.
+    pub fn seal(&mut self) {
+        if self.integrity.is_none() {
+            return;
+        }
+        if let Some(section) = &mut self.integrity {
+            section.meta_crc = 0;
+        }
+        let crc = crc32(&self.to_bytes());
+        if let Some(section) = &mut self.integrity {
+            section.meta_crc = crc;
+        }
+    }
+
+    /// Self-checks a sealed meta: the integrity section must be internally
+    /// consistent and `meta_crc` must match the meta's own serialization
+    /// with that field zeroed. A no-op on v1 metas.
+    pub fn verify_self(&self) -> Result<(), CorruptionError> {
+        let Some(section) = &self.integrity else {
+            return Ok(());
+        };
+        section.verify_section(META_KEY)?;
+        let mut unsealed = self.clone();
+        if let Some(s) = &mut unsealed.integrity {
+            s.meta_crc = 0;
+        }
+        let actual = crc32(&unsealed.to_bytes());
+        if actual != section.meta_crc {
+            return Err(CorruptionError::manifest(
+                META_KEY,
+                format!(
+                    "meta self-check crc mismatch (recorded {:#010x}, computed {actual:#010x})",
+                    section.meta_crc
+                ),
             ));
+        }
+        Ok(())
+    }
+
+    /// Parses from JSON bytes, negotiating the format version and
+    /// validating shape invariants plus (v2) the integrity self-check.
+    pub fn from_bytes(bytes: &[u8]) -> std::io::Result<Self> {
+        if bytes.is_empty() {
+            return Err(invalid("grid metadata is empty"));
+        }
+        let meta: GridMeta = serde_json::from_slice(bytes)
+            .map_err(|e| invalid(format!("grid metadata failed to parse: {e}")))?;
+        match meta.version {
+            1 => {
+                if meta.integrity.is_some() {
+                    return Err(invalid(
+                        "format v1 metadata must not carry an integrity section",
+                    ));
+                }
+            }
+            2 => {
+                if meta.integrity.is_none() {
+                    return Err(invalid(
+                        "format v2 metadata is missing its integrity section",
+                    ));
+                }
+            }
+            v => {
+                return Err(invalid(format!(
+                    "unsupported grid format version {v} \
+                     (supported: {MIN_FORMAT_VERSION}..={FORMAT_VERSION})"
+                )));
+            }
         }
         if meta.boundaries.len() != meta.p as usize + 1
             || meta.block_edge_counts.len() != (meta.p * meta.p) as usize
             || meta.boundaries.last().copied() != Some(meta.num_vertices)
             || meta.block_edge_counts.iter().sum::<u64>() != meta.num_edges
         {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::InvalidData,
-                "inconsistent grid metadata",
-            ));
+            return Err(invalid("inconsistent grid metadata"));
         }
+        meta.verify_self().map_err(CorruptionError::into_io)?;
         Ok(meta)
     }
 }
@@ -144,22 +272,32 @@ pub fn encode_u32s(values: &[u32]) -> Vec<u8> {
     out
 }
 
-/// Decodes a little-endian `u32` buffer; panics on ragged input.
-pub fn decode_u32s(bytes: &[u8]) -> Vec<u32> {
-    assert_eq!(bytes.len() % 4, 0, "buffer is not whole u32s");
-    bytes
+/// Decodes a little-endian `u32` buffer. Ragged input (a length that is
+/// not a multiple of 4 — a truncated index or degree table) is a
+/// structured `InvalidData` error, never a panic: storage contents are
+/// untrusted input.
+pub fn decode_u32s(bytes: &[u8]) -> std::io::Result<Vec<u32>> {
+    if !bytes.len().is_multiple_of(4) {
+        return Err(invalid(format!(
+            "corrupt u32 buffer: {} bytes is not a whole number of u32s",
+            bytes.len()
+        )));
+    }
+    Ok(bytes
         .chunks_exact(4)
-        .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
-        .collect()
+        .map(|c| u32::from_le_bytes(c.try_into().expect("chunks_exact(4) yields 4 bytes")))
+        .collect())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gsd_integrity::ObjectEntry;
 
-    fn meta() -> GridMeta {
+    /// A v1 meta: no integrity section, as older writers produced.
+    fn meta_v1() -> GridMeta {
         GridMeta {
-            version: FORMAT_VERSION,
+            version: 1,
             num_vertices: 10,
             num_edges: 6,
             p: 2,
@@ -169,34 +307,123 @@ mod tests {
             dst_sorted: false,
             boundaries: vec![0, 5, 10],
             block_edge_counts: vec![1, 2, 3, 0],
+            integrity: None,
         }
     }
 
+    /// A sealed v2 meta with a small manifest.
+    fn meta_v2() -> GridMeta {
+        let mut m = GridMeta {
+            version: FORMAT_VERSION,
+            integrity: Some(IntegritySection::new(vec![
+                ObjectEntry::of("degrees.bin", b"degrees"),
+                ObjectEntry::of("blocks/b_0_0.edges", b"edges"),
+            ])),
+            ..meta_v1()
+        };
+        m.seal();
+        m
+    }
+
     #[test]
-    fn meta_roundtrips_through_json() {
-        let m = meta();
+    fn v1_meta_roundtrips_through_json() {
+        let m = meta_v1();
         let m2 = GridMeta::from_bytes(&m.to_bytes()).unwrap();
         assert_eq!(m, m2);
+        assert!(m2.integrity.is_none());
+    }
+
+    #[test]
+    fn v2_meta_roundtrips_through_json() {
+        let m = meta_v2();
+        let m2 = GridMeta::from_bytes(&m.to_bytes()).unwrap();
+        assert_eq!(m, m2);
+        assert_eq!(m2.integrity.as_ref().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn v1_serialization_has_no_integrity_field() {
+        let json = String::from_utf8(meta_v1().to_bytes()).unwrap();
+        assert!(!json.contains("integrity"), "{json}");
+    }
+
+    #[test]
+    fn empty_and_garbage_bytes_are_descriptive_errors() {
+        let err = GridMeta::from_bytes(b"").unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("empty"), "{err}");
+
+        let err = GridMeta::from_bytes(b"not json at all").unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("failed to parse"), "{err}");
+
+        // Valid JSON, wrong shape: names the missing field.
+        let err = GridMeta::from_bytes(b"{\"version\": 2}").unwrap_err();
+        assert!(err.to_string().contains("num_vertices"), "{err}");
+    }
+
+    #[test]
+    fn unknown_version_names_the_supported_range() {
+        let mut bad = meta_v1();
+        bad.version = 999;
+        let err = GridMeta::from_bytes(&bad.to_bytes()).unwrap_err();
+        assert!(err
+            .to_string()
+            .contains("unsupported grid format version 999"));
+        assert!(err.to_string().contains("1..=2"), "{err}");
+    }
+
+    #[test]
+    fn version_negotiation_requires_matching_integrity() {
+        // v2 without a section: refused.
+        let mut bad = meta_v1();
+        bad.version = 2;
+        let err = GridMeta::from_bytes(&bad.to_bytes()).unwrap_err();
+        assert!(err.to_string().contains("missing its integrity"), "{err}");
+
+        // v1 with a section: refused (a v1 writer cannot have produced it).
+        let mut bad = meta_v2();
+        bad.version = 1;
+        bad.seal();
+        let err = GridMeta::from_bytes(&bad.to_bytes()).unwrap_err();
+        assert!(err.to_string().contains("v1"), "{err}");
     }
 
     #[test]
     fn meta_validation_rejects_inconsistencies() {
-        let mut bad = meta();
+        let mut bad = meta_v1();
         bad.block_edge_counts[0] = 99; // sum != num_edges
         assert!(GridMeta::from_bytes(&bad.to_bytes()).is_err());
 
-        let mut bad = meta();
+        let mut bad = meta_v1();
         bad.boundaries = vec![0, 5]; // wrong length
-        assert!(GridMeta::from_bytes(&bad.to_bytes()).is_err());
-
-        let mut bad = meta();
-        bad.version = 999;
         assert!(GridMeta::from_bytes(&bad.to_bytes()).is_err());
     }
 
     #[test]
+    fn self_check_catches_post_seal_tampering() {
+        // A field changed after sealing (shape still valid): meta crc.
+        let mut bad = meta_v2();
+        bad.sorted = false;
+        let err = GridMeta::from_bytes(&bad.to_bytes()).unwrap_err();
+        assert!(err.to_string().contains("meta self-check"), "{err}");
+
+        // A manifest entry changed: section crc.
+        let mut bad = meta_v2();
+        bad.integrity.as_mut().unwrap().objects[0].crc ^= 1;
+        let err = GridMeta::from_bytes(&bad.to_bytes()).unwrap_err();
+        assert!(err.to_string().contains("section crc"), "{err}");
+
+        // Resealing legitimizes the change again.
+        let mut ok = meta_v2();
+        ok.sorted = false;
+        ok.seal();
+        GridMeta::from_bytes(&ok.to_bytes()).unwrap();
+    }
+
+    #[test]
     fn block_accessors() {
-        let m = meta();
+        let m = meta_v1();
         assert_eq!(m.block_edge_count(0, 1), 2);
         assert_eq!(m.block_edge_count(1, 0), 3);
         assert_eq!(m.block_bytes(1, 0), 24);
@@ -213,12 +440,14 @@ mod tests {
     #[test]
     fn u32_codec_roundtrip() {
         let vals = vec![0u32, 1, 42, u32::MAX];
-        assert_eq!(decode_u32s(&encode_u32s(&vals)), vals);
+        assert_eq!(decode_u32s(&encode_u32s(&vals)).unwrap(), vals);
     }
 
     #[test]
-    #[should_panic(expected = "whole u32s")]
     fn u32_decode_rejects_ragged() {
-        decode_u32s(&[1, 2, 3]);
+        let err = decode_u32s(&[1, 2, 3]).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("whole number of u32s"), "{err}");
+        assert_eq!(decode_u32s(&[]).unwrap(), Vec::<u32>::new());
     }
 }

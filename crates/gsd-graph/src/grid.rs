@@ -7,6 +7,7 @@ use crate::format::{
 };
 use crate::partition::Intervals;
 use crate::types::{Edge, EdgeCodec, VertexId};
+use gsd_integrity::{CorruptionResponse, GridVerifier, VerifyPolicy};
 use gsd_io::SharedStorage;
 use std::sync::Arc;
 
@@ -104,6 +105,10 @@ pub struct GridGraph {
     meta: GridMeta,
     intervals: Intervals,
     codec: EdgeCodec,
+    /// Verify-on-read hook (format v2, policy != Off). Shared across
+    /// cloned handles so pipeline workers and the engine pool one memo of
+    /// already-verified objects and one set of counters.
+    verifier: Option<Arc<GridVerifier>>,
 }
 
 impl GridGraph {
@@ -124,7 +129,63 @@ impl GridGraph {
             meta,
             intervals,
             codec,
+            verifier: None,
         })
+    }
+
+    /// Turns verify-on-read on (or off, with [`VerifyPolicy::Off`]) for
+    /// this handle and everything cloned from it afterwards. Requires a
+    /// format v2 grid — v1 grids carry no checksums to verify against.
+    pub fn set_verification(
+        &mut self,
+        policy: VerifyPolicy,
+        response: CorruptionResponse,
+    ) -> std::io::Result<()> {
+        if policy.is_off() {
+            self.verifier = None;
+            return Ok(());
+        }
+        let Some(section) = &self.meta.integrity else {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::Unsupported,
+                format!(
+                    "grid {:?} is format v{} without checksums; re-preprocess to verify reads",
+                    self.prefix, self.meta.version
+                ),
+            ));
+        };
+        self.verifier = Some(Arc::new(GridVerifier::new(
+            self.storage.clone(),
+            self.prefix.clone(),
+            section.clone(),
+            policy,
+            response,
+        )));
+        Ok(())
+    }
+
+    /// The active verifier, if verification is on.
+    pub fn verifier(&self) -> Option<&Arc<GridVerifier>> {
+        self.verifier.as_ref()
+    }
+
+    /// Snapshot of the verifier's counters (all zero when verification is
+    /// off). Engines diff two snapshots to fold per-run verification
+    /// totals into `RunStats`.
+    pub fn verify_counters(&self) -> gsd_integrity::VerifyCounters {
+        self.verifier
+            .as_ref()
+            .map(|v| v.counters())
+            .unwrap_or_default()
+    }
+
+    /// Routes the verifier's trace events to `sink` (no-op when
+    /// verification is off). Engines call this alongside their own
+    /// `set_trace`.
+    pub fn set_verify_sink(&self, sink: Arc<dyn gsd_trace::TraceSink>) {
+        if let Some(v) = &self.verifier {
+            v.set_sink(sink);
+        }
     }
 
     /// The grid metadata.
@@ -206,7 +267,13 @@ impl GridGraph {
         }
         scratch.clear();
         scratch.resize(bytes, 0);
-        self.storage.read_at(&self.edges_key(i, j), 0, scratch)?;
+        let key = self.edges_key(i, j);
+        match &self.verifier {
+            // Whole-object read: verified in place from the engine's own
+            // accounted read — clean data costs zero extra I/O.
+            Some(v) => v.read_whole_verified(&key, scratch)?,
+            None => self.storage.read_at(&key, 0, scratch)?,
+        }
         self.codec.decode_all_into(scratch, out);
         Ok(())
     }
@@ -220,8 +287,12 @@ impl GridGraph {
                 "this grid format has no per-vertex indexes",
             ));
         }
-        let bytes = self.storage.read_all(&self.index_key(i, j))?;
-        let offsets = decode_u32s(&bytes);
+        let key = self.index_key(i, j);
+        let mut bytes = self.storage.read_all(&key)?;
+        if let Some(v) = &self.verifier {
+            v.verify_owned(&key, &mut bytes)?;
+        }
+        let offsets = decode_u32s(&bytes)?;
         let indexed_interval = if self.meta.dst_sorted { j } else { i };
         Ok(SubBlockIndex {
             start_vertex: self.intervals.range(indexed_interval).start,
@@ -250,15 +321,20 @@ impl GridGraph {
         let start = self.intervals.range(indexed_interval).start;
         debug_assert!(lo >= start && hi >= lo);
         debug_assert!(hi < self.intervals.range(indexed_interval).end);
+        let key = self.index_key(i, j);
+        if let Some(v) = &self.verifier {
+            // Partial read: the whole object is side-checked (unaccounted)
+            // on first touch, then trusted for the rest of the run.
+            v.ensure_verified(&key)?;
+        }
         // Entries lo-start ..= hi-start+1 (the +1 fetches v=hi's end offset).
         let first = (lo - start) as u64;
         let count = (hi - lo + 2) as usize;
         let mut bytes = vec![0u8; count * 4];
-        self.storage
-            .read_at(&self.index_key(i, j), first * 4, &mut bytes)?;
+        self.storage.read_at(&key, first * 4, &mut bytes)?;
         Ok(SubBlockIndex {
             start_vertex: lo,
-            offsets: decode_u32s(&bytes),
+            offsets: decode_u32s(&bytes)?,
         })
     }
 
@@ -280,19 +356,20 @@ impl GridGraph {
         }
         let start = self.intervals.range(i).start;
         debug_assert!(lo >= start && hi >= lo && hi < self.intervals.range(i).end);
+        let key = row_index_key(&self.prefix, i);
+        if let Some(v) = &self.verifier {
+            v.ensure_verified(&key)?;
+        }
         let p = self.meta.p as usize;
         let first_row = (lo - start) as u64;
         let rows = (hi - lo + 2) as usize;
         let mut bytes = vec![0u8; rows * p * 4];
-        self.storage.read_at(
-            &row_index_key(&self.prefix, i),
-            first_row * p as u64 * 4,
-            &mut bytes,
-        )?;
+        self.storage
+            .read_at(&key, first_row * p as u64 * 4, &mut bytes)?;
         Ok(RowIndexSpan {
             start_vertex: lo,
             p: self.meta.p,
-            offsets: decode_u32s(&bytes),
+            offsets: decode_u32s(&bytes)?,
         })
     }
 
@@ -312,11 +389,15 @@ impl GridGraph {
         if edge_count == 0 {
             return Ok(());
         }
+        let key = self.edges_key(i, j);
+        if let Some(v) = &self.verifier {
+            v.ensure_verified(&key)?;
+        }
         let sz = self.codec.edge_bytes() as u64;
         scratch.clear();
         scratch.resize(edge_count as usize * sz as usize, 0);
         self.storage
-            .read_at(&self.edges_key(i, j), edge_start as u64 * sz, scratch)?;
+            .read_at(&key, edge_start as u64 * sz, scratch)?;
         let base = out.len();
         out.reserve(edge_count as usize);
         for chunk in scratch.chunks_exact(sz as usize) {
@@ -343,10 +424,12 @@ impl GridGraph {
 
     /// Loads the out-degree table.
     pub fn load_out_degrees(&self) -> std::io::Result<Vec<u32>> {
-        let bytes = self
-            .storage
-            .read_all(&format!("{}{}", self.prefix, DEGREES_KEY))?;
-        Ok(decode_u32s(&bytes))
+        let key = format!("{}{}", self.prefix, DEGREES_KEY);
+        let mut bytes = self.storage.read_all(&key)?;
+        if let Some(v) = &self.verifier {
+            v.verify_owned(&key, &mut bytes)?;
+        }
+        decode_u32s(&bytes)
     }
 }
 

@@ -21,6 +21,7 @@ pub mod format;
 pub mod generators;
 pub mod graph;
 pub mod grid;
+pub mod integrity;
 pub mod narrow;
 pub mod parsers;
 pub mod partition;
@@ -32,6 +33,8 @@ pub use format::{block_edges_key, block_index_key, GridMeta, DEGREES_KEY, META_K
 pub use generators::{GeneratorConfig, GraphKind};
 pub use graph::{Graph, GraphBuilder};
 pub use grid::{cluster_vertex_spans, GridGraph, SubBlock, SubBlockIndex};
+pub use gsd_integrity::{CorruptionResponse, VerifyCounters, VerifyPolicy};
+pub use integrity::{repair_grid, scrub_grid, RepairOutcome};
 pub use parsers::{parse_edge_list, write_edge_list};
 pub use partition::Intervals;
 pub use preprocess::{preprocess, preprocess_text, PreprocessConfig, PreprocessReport};

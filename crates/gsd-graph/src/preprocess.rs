@@ -15,6 +15,7 @@ use crate::format::{
 use crate::graph::Graph;
 use crate::partition::Intervals;
 use crate::types::{Edge, EdgeCodec};
+use gsd_integrity::{IntegritySection, ObjectEntry};
 use gsd_io::Storage;
 use gsd_trace::Stopwatch;
 use rayon::prelude::*;
@@ -177,6 +178,9 @@ pub fn preprocess(
     let t = Stopwatch::start();
     let mut bytes_written = 0u64;
     let mut block_edge_counts = vec![0u64; (p * p) as usize];
+    // Manifest entries use prefix-relative keys so the grid verifies the
+    // same when mounted under a different prefix.
+    let mut objects: Vec<ObjectEntry> = Vec::new();
     for i in 0..p {
         // Row-combined vertex-major index (source-sorted formats only):
         // `(len_i + 1) × P` offsets, filled column by column below.
@@ -191,6 +195,7 @@ pub fn preprocess(
             block_edge_counts[(i * p + j) as usize] = block.len() as u64;
             let payload = codec.encode_all(block);
             bytes_written += payload.len() as u64;
+            objects.push(ObjectEntry::of(block_edges_key("", i, j), &payload));
             storage.create(&block_edges_key(&config.key_prefix, i, j), &payload)?;
             if config.build_index {
                 let index_interval = if config.sort_by_dst { j } else { i };
@@ -203,20 +208,23 @@ pub fn preprocess(
                 }
                 let payload = encode_u32s(&offsets);
                 bytes_written += payload.len() as u64;
+                objects.push(ObjectEntry::of(block_index_key("", i, j), &payload));
                 storage.create(&block_index_key(&config.key_prefix, i, j), &payload)?;
             }
         }
         if !row_index.is_empty() {
             let payload = encode_u32s(&row_index);
             bytes_written += payload.len() as u64;
+            objects.push(ObjectEntry::of(row_index_key("", i), &payload));
             storage.create(&row_index_key(&config.key_prefix, i), &payload)?;
         }
     }
     let degrees = encode_u32s(&graph.out_degrees());
     bytes_written += degrees.len() as u64;
+    objects.push(ObjectEntry::of(DEGREES_KEY, &degrees));
     storage.create(&format!("{}{}", config.key_prefix, DEGREES_KEY), &degrees)?;
 
-    let meta = GridMeta {
+    let mut meta = GridMeta {
         version: FORMAT_VERSION,
         num_vertices: graph.num_vertices(),
         num_edges: graph.num_edges(),
@@ -227,11 +235,17 @@ pub fn preprocess(
         dst_sorted: config.sort_by_dst,
         boundaries: intervals.boundaries().to_vec(),
         block_edge_counts,
+        integrity: Some(IntegritySection::new(objects)),
     };
+    meta.seal();
     let meta_bytes = meta.to_bytes();
     bytes_written += meta_bytes.len() as u64;
-    // Meta is written last: a readable meta implies complete data.
+    // Commit discipline: every data object is durable *before* the meta —
+    // whose manifest vouches for them — becomes visible. A readable,
+    // self-consistent meta therefore implies complete, checksummed data.
+    storage.sync()?;
     storage.create(&format!("{}{}", config.key_prefix, META_KEY), &meta_bytes)?;
+    storage.sync()?;
     report.write = t.elapsed();
     report.bytes_written = bytes_written;
 
@@ -254,8 +268,9 @@ pub fn preprocess_text<R: BufRead>(
 }
 
 /// CSR offsets (edge indexes, not bytes) over the vertices of `range` for a
-/// sub-block sorted by source (or destination when `by_dst`).
-fn build_index(block: &[Edge], range: std::ops::Range<u32>, by_dst: bool) -> Vec<u32> {
+/// sub-block sorted by source (or destination when `by_dst`). Shared with
+/// the repair path, which must rebuild byte-identical index payloads.
+pub(crate) fn build_index(block: &[Edge], range: std::ops::Range<u32>, by_dst: bool) -> Vec<u32> {
     let len = (range.end - range.start) as usize;
     let mut offsets = vec![0u32; len + 1];
     for e in block {
@@ -334,7 +349,8 @@ mod tests {
                 let edges = codec.decode_all(&store.read_all(&block_edges_key("", i, j)).unwrap());
                 let idx = crate::format::decode_u32s(
                     &store.read_all(&block_index_key("", i, j)).unwrap(),
-                );
+                )
+                .unwrap();
                 let range = intervals.range(i);
                 assert_eq!(idx.len() as u32, range.end - range.start + 1);
                 for v in range.clone() {
@@ -381,7 +397,8 @@ mod tests {
                     .all(|w| (w[0].dst, w[0].src) <= (w[1].dst, w[1].src)));
                 let idx = crate::format::decode_u32s(
                     &store.read_all(&block_index_key("col/", i, j)).unwrap(),
-                );
+                )
+                .unwrap();
                 let range = intervals.range(j);
                 for v in range.clone() {
                     let k = (v - range.start) as usize;

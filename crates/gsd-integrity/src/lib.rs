@@ -1,0 +1,37 @@
+//! Grid integrity layer for GraphSD.
+//!
+//! Out-of-core engines re-read the same grid objects from disk many times
+//! per run, so a single flipped bit or truncated block is amplified into
+//! silently wrong vertex values. This crate provides the pieces that make
+//! the on-disk grid *checkable*:
+//!
+//! - [`crc32`] / [`fnv64`]: the workspace's hand-rolled checksums (also
+//!   re-exported by `gsd-recover`, which introduced them for snapshots).
+//! - [`IntegritySection`]: the checksummed per-object manifest embedded in
+//!   a grid format v2 `meta.json`.
+//! - [`GridVerifier`]: verify-on-read for engine decode paths, behind a
+//!   [`VerifyPolicy`] with a configurable [`CorruptionResponse`].
+//! - [`scrub_objects`]: offline whole-grid verification (the storage-level
+//!   half of `gsd scrub`; re-deriving payloads lives in `gsd-graph`, which
+//!   owns the format).
+//!
+//! The crate deliberately sits *below* `gsd-graph`: it knows about keys,
+//! bytes, and checksums, never about edges or blocks, so both the grid
+//! format and the checkpoint store can build on it without a cycle.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod hash;
+mod manifest;
+mod scrub;
+mod verifier;
+mod verify;
+
+pub use error::{CorruptionError, CorruptionKind};
+pub use hash::{crc32, fnv64};
+pub use manifest::{IntegritySection, ObjectEntry};
+pub use scrub::{scrub_objects, ObjectReport, ObjectStatus, ScrubReport};
+pub use verifier::{GridVerifier, VerifyCounters, QUARANTINE_KEY};
+pub use verify::{CorruptionResponse, VerifyPolicy};

@@ -1,0 +1,223 @@
+//! Offline whole-grid verification (the storage-level half of
+//! `gsd scrub`).
+//!
+//! Scrubbing walks the manifest and checks every covered object's length
+//! and CRC32, producing a per-object report. It is read-only; *repair*
+//! (re-deriving corrupt objects from the source edge list) lives in
+//! `gsd-graph`, which owns the grid format and can rebuild payloads.
+
+use crate::hash::crc32;
+use crate::manifest::IntegritySection;
+use gsd_io::Storage;
+
+/// Outcome of checking one manifest-covered object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ObjectStatus {
+    /// Length and checksum both match the manifest.
+    Ok,
+    /// Bytes hash differently than recorded.
+    ChecksumMismatch {
+        /// CRC32 recorded in the manifest.
+        expected: u32,
+        /// CRC32 of the bytes on storage.
+        actual: u32,
+    },
+    /// Object exists with the wrong length.
+    LengthMismatch {
+        /// Length recorded in the manifest.
+        expected: u64,
+        /// Length on storage.
+        actual: u64,
+    },
+    /// Object listed in the manifest does not exist.
+    Missing,
+}
+
+impl ObjectStatus {
+    /// True when the object matched the manifest.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, ObjectStatus::Ok)
+    }
+
+    /// Short stable label for reports (`ok`, `checksum`, `length`,
+    /// `missing`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            ObjectStatus::Ok => "ok",
+            ObjectStatus::ChecksumMismatch { .. } => "checksum",
+            ObjectStatus::LengthMismatch { .. } => "length",
+            ObjectStatus::Missing => "missing",
+        }
+    }
+}
+
+/// Scrub result for one object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObjectReport {
+    /// Prefix-relative key.
+    pub key: String,
+    /// Length recorded in the manifest.
+    pub len: u64,
+    /// What the scrub found.
+    pub status: ObjectStatus,
+}
+
+/// Scrub result for a whole grid.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScrubReport {
+    /// One report per manifest entry, in manifest (key) order.
+    pub objects: Vec<ObjectReport>,
+}
+
+impl ScrubReport {
+    /// True when every object matched.
+    pub fn is_clean(&self) -> bool {
+        self.objects.iter().all(|o| o.status.is_ok())
+    }
+
+    /// The reports of objects that did not match.
+    pub fn corrupt(&self) -> impl Iterator<Item = &ObjectReport> {
+        self.objects.iter().filter(|o| !o.status.is_ok())
+    }
+
+    /// `(ok, corrupt)` counts.
+    pub fn counts(&self) -> (usize, usize) {
+        let ok = self.objects.iter().filter(|o| o.status.is_ok()).count();
+        (ok, self.objects.len() - ok)
+    }
+
+    /// Total bytes checksummed (missing/short objects contribute what was
+    /// actually read).
+    pub fn bytes_checked(&self) -> u64 {
+        self.objects
+            .iter()
+            .filter(|o| o.status.is_ok())
+            .map(|o| o.len)
+            .sum()
+    }
+}
+
+/// Checks every manifest-covered object of the grid at `prefix`. Reads
+/// are unaccounted: a scrub is an offline maintenance pass, not workload
+/// I/O. The manifest itself is assumed already self-checked (the format
+/// layer does that when it parses `meta.json`).
+pub fn scrub_objects(
+    storage: &dyn Storage,
+    prefix: &str,
+    section: &IntegritySection,
+) -> ScrubReport {
+    let mut objects = Vec::with_capacity(section.len());
+    for entry in &section.objects {
+        let key = format!("{prefix}{}", entry.key);
+        let status = match storage.len(&key) {
+            Err(_) => ObjectStatus::Missing,
+            Ok(actual) if actual != entry.len => ObjectStatus::LengthMismatch {
+                expected: entry.len,
+                actual,
+            },
+            Ok(_) => {
+                let mut buf = vec![0u8; entry.len as usize];
+                let read = if buf.is_empty() {
+                    Ok(())
+                } else {
+                    storage.read_unaccounted(&key, 0, &mut buf)
+                };
+                match read {
+                    Err(_) => ObjectStatus::Missing,
+                    Ok(()) => {
+                        let actual = crc32(&buf);
+                        if actual == entry.crc {
+                            ObjectStatus::Ok
+                        } else {
+                            ObjectStatus::ChecksumMismatch {
+                                expected: entry.crc,
+                                actual,
+                            }
+                        }
+                    }
+                }
+            }
+        };
+        objects.push(ObjectReport {
+            key: entry.key.clone(),
+            len: entry.len,
+            status,
+        });
+    }
+    ScrubReport { objects }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manifest::ObjectEntry;
+    use gsd_io::MemStorage;
+
+    fn setup() -> (MemStorage, IntegritySection) {
+        let storage = MemStorage::new();
+        let payloads: Vec<(&str, Vec<u8>)> = vec![
+            ("blocks/b_0_0.edges", (0u8..50).collect()),
+            ("blocks/r_0.ridx", vec![3u8; 12]),
+            ("degrees.bin", vec![1u8; 32]),
+        ];
+        let mut entries = Vec::new();
+        for (rel, payload) in &payloads {
+            storage.create(&format!("g/{rel}"), payload).unwrap();
+            entries.push(ObjectEntry::of(rel.to_string(), payload));
+        }
+        (storage, IntegritySection::new(entries))
+    }
+
+    #[test]
+    fn clean_grid_scrubs_clean() {
+        let (storage, section) = setup();
+        let report = scrub_objects(&storage, "g/", &section);
+        assert!(report.is_clean());
+        assert_eq!(report.counts(), (3, 0));
+        assert_eq!(report.bytes_checked(), 50 + 12 + 32);
+    }
+
+    #[test]
+    fn each_corruption_class_is_reported() {
+        let (storage, section) = setup();
+        storage
+            .write_at("g/blocks/b_0_0.edges", 10, &[0xFF])
+            .unwrap();
+        storage.create("g/degrees.bin", &[1u8; 30]).unwrap();
+        storage.delete("g/blocks/r_0.ridx").unwrap();
+        let report = scrub_objects(&storage, "g/", &section);
+        assert!(!report.is_clean());
+        assert_eq!(report.counts(), (0, 3));
+        let by_key = |k: &str| {
+            report
+                .objects
+                .iter()
+                .find(|o| o.key == k)
+                .unwrap()
+                .status
+                .clone()
+        };
+        assert!(matches!(
+            by_key("blocks/b_0_0.edges"),
+            ObjectStatus::ChecksumMismatch { .. }
+        ));
+        assert_eq!(
+            by_key("degrees.bin"),
+            ObjectStatus::LengthMismatch {
+                expected: 32,
+                actual: 30
+            }
+        );
+        assert_eq!(by_key("blocks/r_0.ridx"), ObjectStatus::Missing);
+        let labels: Vec<&str> = report.corrupt().map(|o| o.status.label()).collect();
+        assert_eq!(labels.len(), 3);
+    }
+
+    #[test]
+    fn scrub_reads_are_unaccounted() {
+        let (storage, section) = setup();
+        let before = storage.stats().snapshot();
+        scrub_objects(&storage, "g/", &section);
+        assert_eq!(storage.stats().snapshot(), before);
+    }
+}

@@ -67,12 +67,47 @@ pub trait Storage: Send + Sync {
         None
     }
 
+    /// Reads exactly `buf.len()` bytes starting at `offset` into `buf`
+    /// **without touching any accounting**: no [`IoStats`] traffic, no
+    /// sequential/random cursor movement, no request histograms, and on a
+    /// simulator no virtual-clock charge.
+    ///
+    /// This exists for *side-channel* reads — integrity verification
+    /// re-reading an object to checksum it — that must not perturb the
+    /// I/O figures the paper's experiments are computed from. Decorators
+    /// (retry, fault injection) must forward this to their inner store's
+    /// `read_unaccounted`, or the default would route the side read
+    /// through the accounted `read_at` path.
+    fn read_unaccounted(&self, key: &str, offset: u64, buf: &mut [u8]) -> crate::Result<()> {
+        self.read_at(key, offset, buf)
+    }
+
     /// Reads the whole object `key`.
+    ///
+    /// Contract: the returned buffer is the object's **entire content as
+    /// of a single moment**. The default implementation is len-then-read
+    /// and therefore not atomic against a concurrent `create` replacing
+    /// the object; if the object shrinks between the two calls the
+    /// trailing short read is surfaced as a clean `UnexpectedEof` error
+    /// naming the key — never a short or mixed buffer. (If it *grows*,
+    /// the prefix that is returned is entirely from the old object only
+    /// on backends whose `create` swaps atomically, which all in-tree
+    /// backends do.) Backends that can snapshot atomically override this
+    /// (`MemStorage` clones the object handle under its lock).
     fn read_all(&self, key: &str) -> crate::Result<Vec<u8>> {
         let n = self.len(key)? as usize;
         let mut buf = vec![0u8; n];
         if n > 0 {
-            self.read_at(key, 0, &mut buf)?;
+            self.read_at(key, 0, &mut buf).map_err(|e| {
+                if e.kind() == ErrorKind::UnexpectedEof {
+                    Error::new(
+                        ErrorKind::UnexpectedEof,
+                        format!("object {key} changed size during read_all (was {n} bytes)"),
+                    )
+                } else {
+                    e
+                }
+            })?;
         }
         Ok(buf)
     }
@@ -237,6 +272,48 @@ impl Storage for MemStorage {
         Ok(())
     }
 
+    fn read_unaccounted(&self, key: &str, offset: u64, buf: &mut [u8]) -> crate::Result<()> {
+        let obj = self
+            .objects
+            .read()
+            .get(key)
+            .cloned()
+            .ok_or_else(|| not_found(key))?;
+        let start = offset as usize;
+        let end = start + buf.len();
+        if end > obj.len() {
+            return Err(out_of_range(key, offset, buf.len(), obj.len() as u64));
+        }
+        buf.copy_from_slice(&obj[start..end]);
+        Ok(())
+    }
+
+    fn read_all(&self, key: &str) -> crate::Result<Vec<u8>> {
+        // Atomic against concurrent `create`: objects are replaced by a
+        // single Arc swap, so cloning the handle under the read lock
+        // snapshots the whole content. Accounting matches the default
+        // len-then-read path exactly (one whole-object read at offset 0;
+        // empty objects are read for free).
+        let started = Stopwatch::start();
+        let obj = self
+            .objects
+            .read()
+            .get(key)
+            .cloned()
+            .ok_or_else(|| not_found(key))?;
+        if obj.is_empty() {
+            return Ok(Vec::new());
+        }
+        let discontiguous = self.cursors.lock().note_read(key, 0, obj.len() as u64);
+        if discontiguous {
+            self.stats.record_rand_read(obj.len() as u64);
+        } else {
+            self.stats.record_seq_read(obj.len() as u64);
+        }
+        self.req.record_read(obj.len() as u64, started);
+        Ok(obj.as_ref().clone())
+    }
+
     fn write_at(&self, key: &str, offset: u64, data: &[u8]) -> crate::Result<()> {
         let started = Stopwatch::start();
         let mut objects = self.objects.write();
@@ -369,6 +446,14 @@ impl Storage for FileStorage {
             self.stats.record_seq_read(buf.len() as u64);
         }
         self.req.record_read(buf.len() as u64, started);
+        Ok(())
+    }
+
+    fn read_unaccounted(&self, key: &str, offset: u64, buf: &mut [u8]) -> crate::Result<()> {
+        use std::os::unix::fs::FileExt;
+        let path = self.path_of(key)?;
+        let f = fs::File::open(&path).map_err(|_| not_found(key))?;
+        f.read_exact_at(buf, offset)?;
         Ok(())
     }
 
@@ -536,6 +621,13 @@ impl Storage for SimDisk {
         self.inner.stats.add_sim_nanos(cost.as_nanos() as u64);
         self.sim_read_nanos.record(cost.as_nanos() as u64);
         Ok(())
+    }
+
+    fn read_unaccounted(&self, key: &str, offset: u64, buf: &mut [u8]) -> crate::Result<()> {
+        // Side-channel reads bypass the device model entirely: no cursor
+        // movement, no pricing, no virtual-clock charge. They model a
+        // verification pass that must not distort the experiment's I/O.
+        self.inner.read_unaccounted(key, offset, buf)
     }
 
     fn write_at(&self, key: &str, offset: u64, data: &[u8]) -> crate::Result<()> {
@@ -784,5 +876,139 @@ mod tests {
         store.create("empty", &[])?;
         assert_eq!(store.read_all("empty")?, Vec::<u8>::new());
         Ok(())
+    }
+
+    fn assert_unaccounted(store: &dyn Storage) -> crate::Result<()> {
+        store.create("k", &(0u8..64).collect::<Vec<u8>>())?;
+        let mut buf = [0u8; 8];
+        store.read_at("k", 0, &mut buf)?; // establish the read cursor at 8
+        let before = store.stats().snapshot();
+        let mut side = [0u8; 16];
+        store.read_unaccounted("k", 40, &mut side)?;
+        assert_eq!(side[0], 40, "unaccounted read returns real bytes");
+        assert_eq!(
+            store.stats().snapshot(),
+            before,
+            "no traffic, ops, or sim time recorded"
+        );
+        // The cursor did not move: the next read at 8 is still sequential.
+        store.read_at("k", 8, &mut buf)?;
+        let delta = store.stats().snapshot().since(&before);
+        assert_eq!(delta.seq_read_ops, 1);
+        assert_eq!(delta.rand_read_ops, 0);
+        // Out-of-range and missing keys still error.
+        let mut big = [0u8; 128];
+        assert!(store.read_unaccounted("k", 0, &mut big).is_err());
+        assert!(store.read_unaccounted("nope", 0, &mut buf).is_err());
+        Ok(())
+    }
+
+    #[test]
+    fn mem_read_unaccounted_is_invisible_to_accounting() -> crate::Result<()> {
+        assert_unaccounted(&MemStorage::new())
+    }
+
+    #[test]
+    fn file_read_unaccounted_is_invisible_to_accounting() -> crate::Result<()> {
+        let dir = crate::TempDir::new("gsd-io-unacc")?;
+        assert_unaccounted(&FileStorage::open(dir.path())?)
+    }
+
+    #[test]
+    fn sim_read_unaccounted_is_invisible_to_accounting() -> crate::Result<()> {
+        assert_unaccounted(&SimDisk::new(DiskModel::hdd()))
+    }
+
+    #[test]
+    fn mem_read_all_matches_default_accounting() -> crate::Result<()> {
+        // MemStorage overrides read_all for atomicity; its accounting must
+        // stay byte-identical to the default len-then-read path so stats
+        // are backend-independent.
+        let store = MemStorage::new();
+        store.create("k", &[7u8; 100])?;
+        let before = store.stats().snapshot();
+        assert_eq!(store.read_all("k")?, vec![7u8; 100]);
+        let delta = store.stats().snapshot().since(&before);
+        assert_eq!(delta.rand_read_ops, 1, "first whole read seeks");
+        assert_eq!(delta.rand_read_bytes, 100);
+        assert_eq!(store.read_all("k")?.len(), 100);
+        let delta = store.stats().snapshot().since(&before);
+        assert_eq!(delta.rand_read_ops, 2, "re-read from 0 seeks again");
+        Ok(())
+    }
+
+    #[test]
+    fn mem_read_all_is_atomic_against_concurrent_replacement() {
+        // Regression for the len-then-read race: a reader must never see a
+        // mix of old and new content or a torn length.
+        let store = Arc::new(MemStorage::new());
+        store.create("k", &[1u8; 4096]).unwrap();
+        let writer = {
+            let store = store.clone();
+            std::thread::spawn(move || {
+                for round in 0..500u32 {
+                    if round % 2 == 0 {
+                        store.create("k", &[2u8; 64]).unwrap();
+                    } else {
+                        store.create("k", &[1u8; 4096]).unwrap();
+                    }
+                }
+            })
+        };
+        for _ in 0..500 {
+            let bytes = store.read_all("k").unwrap();
+            let uniform = bytes.iter().all(|&b| b == bytes[0]);
+            assert!(uniform, "mixed content: len {}", bytes.len());
+            assert!(
+                (bytes.len() == 64 && bytes[0] == 2) || (bytes.len() == 4096 && bytes[0] == 1),
+                "torn object: len {} fill {}",
+                bytes.len(),
+                bytes[0]
+            );
+        }
+        writer.join().unwrap();
+    }
+
+    #[test]
+    fn default_read_all_surfaces_shrink_as_clean_error() {
+        // A backend whose object shrinks between len() and read_at() must
+        // produce a descriptive error, not a short or garbage buffer. The
+        // wrapper lies about the length to force that window determinis-
+        // tically.
+        struct LyingLen(MemStorage);
+        impl Storage for LyingLen {
+            fn create(&self, key: &str, data: &[u8]) -> crate::Result<()> {
+                self.0.create(key, data)
+            }
+            fn read_at(&self, key: &str, offset: u64, buf: &mut [u8]) -> crate::Result<()> {
+                self.0.read_at(key, offset, buf)
+            }
+            fn write_at(&self, key: &str, offset: u64, data: &[u8]) -> crate::Result<()> {
+                self.0.write_at(key, offset, data)
+            }
+            fn len(&self, key: &str) -> crate::Result<u64> {
+                // As if the object had 16 more bytes when len() ran.
+                Ok(self.0.len(key)? + 16)
+            }
+            fn exists(&self, key: &str) -> bool {
+                self.0.exists(key)
+            }
+            fn delete(&self, key: &str) -> crate::Result<()> {
+                self.0.delete(key)
+            }
+            fn list_keys(&self) -> Vec<String> {
+                self.0.list_keys()
+            }
+            fn stats(&self) -> Arc<IoStats> {
+                self.0.stats()
+            }
+        }
+        let store = LyingLen(MemStorage::new());
+        store.create("k", &[0u8; 32]).unwrap();
+        let err = store.read_all("k").unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::UnexpectedEof);
+        let text = err.to_string();
+        assert!(text.contains("changed size during read_all"), "{text}");
+        assert!(text.contains('k'), "{text}");
     }
 }

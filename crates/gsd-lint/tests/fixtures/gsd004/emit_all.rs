@@ -8,4 +8,7 @@ pub fn emit(sink: &dyn Sink) {
     sink.emit(TraceEvent::CkptWritten { iteration: 2, bytes: 8192 });
     sink.emit(TraceEvent::CkptRestored { iteration: 2, bytes: 8192 });
     sink.emit(TraceEvent::IoRetry { attempt: 1 });
+    sink.emit(TraceEvent::ChecksumOk { block: 5, bytes: 4096 });
+    sink.emit(TraceEvent::CorruptionDetected { block: 5, expected: 7 });
+    sink.emit(TraceEvent::BlockRepaired { block: 5, bytes: 4096 });
 }

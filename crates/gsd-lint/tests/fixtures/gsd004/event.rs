@@ -18,4 +18,10 @@ pub enum TraceEvent {
     CkptRestored { iteration: u32, bytes: u64 },
     /// A transient I/O failure was retried.
     IoRetry { attempt: u32 },
+    /// A grid object passed its checksum on first read.
+    ChecksumOk { block: u32, bytes: u64 },
+    /// A grid object failed its checksum.
+    CorruptionDetected { block: u32, expected: u64 },
+    /// A corrupt object was healed by a re-read.
+    BlockRepaired { block: u32, bytes: u64 },
 }

@@ -9,6 +9,9 @@ pub fn emit(sink: &dyn Sink) {
     sink.emit(TraceEvent::CkptWritten { iteration: 4, bytes: 8192 });
     sink.emit(TraceEvent::CkptRestored { iteration: 4, bytes: 8192 });
     sink.emit(TraceEvent::IoRetry { attempt: 3 });
+    sink.emit(TraceEvent::ChecksumOk { block: 6, bytes: 4096 });
+    sink.emit(TraceEvent::CorruptionDetected { block: 6, expected: 9 });
+    sink.emit(TraceEvent::BlockRepaired { block: 6, bytes: 4096 });
 }
 
 pub fn describe(ev: &TraceEvent) -> String {
@@ -22,5 +25,10 @@ pub fn describe(ev: &TraceEvent) -> String {
         TraceEvent::CkptWritten { iteration, .. } => format!("ckpt {iteration}"),
         TraceEvent::CkptRestored { iteration, .. } => format!("restored {iteration}"),
         TraceEvent::IoRetry { attempt } => format!("retry {attempt}"),
+        TraceEvent::ChecksumOk { block, .. } => format!("crc ok {block}"),
+        TraceEvent::CorruptionDetected { block, expected } => {
+            format!("corrupt {block} (wanted {expected:#x})")
+        }
+        TraceEvent::BlockRepaired { block, .. } => format!("repaired {block}"),
     }
 }

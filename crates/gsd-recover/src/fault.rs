@@ -12,6 +12,13 @@
 //!   modeling an unreadable sector. Retrying is pointless by design.
 //! * `kill_at_op` hard-fails the N-th data operation regardless of
 //!   rates, for scripting a crash at an exact point in a run.
+//! * **Corruption** faults let an accounted read *succeed with bad
+//!   bytes*: the buffer is deterministically bit-flipped, tail-zeroed
+//!   (truncated transfer) or zero-filled after the inner read. The inner
+//!   store's at-rest content is untouched, so a verifier's unaccounted
+//!   side read still sees clean data — modeling in-flight corruption a
+//!   bounded re-read can recover from. At-rest rot is injected separately
+//!   with [`corrupt_object`].
 //!
 //! Failed attempts never reach the inner backend, so they leave its
 //! accounting and sequential/random cursors untouched: a faulty run that
@@ -51,6 +58,41 @@ impl FaultTarget {
     }
 }
 
+/// How injected corruption mangles a read buffer (or, via
+/// [`corrupt_object`], an at-rest object).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorruptionMode {
+    /// Flip one deterministically chosen bit.
+    BitFlip,
+    /// Drop the tail: in-flight, the unfilled remainder of the buffer
+    /// reads as zeros; at rest, the object is rewritten strictly shorter.
+    Truncate,
+    /// Zero a deterministically chosen span.
+    ZeroFill,
+}
+
+impl CorruptionMode {
+    /// Parses `bitflip`, `truncate` or `zerofill`.
+    pub fn parse(spec: &str) -> Option<Self> {
+        match spec.trim() {
+            "bitflip" => Some(CorruptionMode::BitFlip),
+            "truncate" => Some(CorruptionMode::Truncate),
+            "zerofill" => Some(CorruptionMode::ZeroFill),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for CorruptionMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CorruptionMode::BitFlip => write!(f, "bitflip"),
+            CorruptionMode::Truncate => write!(f, "truncate"),
+            CorruptionMode::ZeroFill => write!(f, "zerofill"),
+        }
+    }
+}
+
 /// Parameters of the injected fault distribution.
 #[derive(Debug, Clone)]
 pub struct FaultConfig {
@@ -60,6 +102,11 @@ pub struct FaultConfig {
     pub transient_rate: f64,
     /// Probability in `[0, 1]` that any given *key* is permanently bad.
     pub permanent_rate: f64,
+    /// Probability in `[0, 1]` that an accounted read succeeds with
+    /// corrupted bytes (requires `corruption_mode`).
+    pub corruption_rate: f64,
+    /// How corrupted reads are mangled.
+    pub corruption_mode: Option<CorruptionMode>,
     /// Restrict injection to matching requests (`None` = all requests).
     pub target: Option<FaultTarget>,
     /// Hard-fail the N-th data operation (1-based, counted across all
@@ -74,6 +121,8 @@ impl FaultConfig {
             seed,
             transient_rate: rate.clamp(0.0, 1.0),
             permanent_rate: 0.0,
+            corruption_rate: 0.0,
+            corruption_mode: None,
             target: None,
             kill_at_op: None,
         }
@@ -95,6 +144,14 @@ impl FaultConfig {
     /// transiently flaky.
     pub fn with_permanent(mut self, rate: f64) -> Self {
         self.permanent_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Corrupts read buffers with probability `rate` per attempt, using
+    /// `mode`. The at-rest object is never touched.
+    pub fn with_corruption(mut self, mode: CorruptionMode, rate: f64) -> Self {
+        self.corruption_rate = rate.clamp(0.0, 1.0);
+        self.corruption_mode = Some(mode);
         self
     }
 
@@ -126,6 +183,7 @@ fn unit(hash: u64) -> f64 {
 }
 
 const PERMANENT_SALT: u64 = 0x70_65_72_6d; // "perm"
+const CORRUPT_SALT: u64 = 0x63_6f_72_72; // "corr"
 
 /// A [`Storage`] decorator that injects deterministic faults (see the
 /// module docs for the fault model).
@@ -137,6 +195,7 @@ pub struct FaultyStorage {
     ops: Mutex<u64>,
     injected_transient: AtomicU64,
     injected_permanent: AtomicU64,
+    injected_corrupt: AtomicU64,
 }
 
 impl FaultyStorage {
@@ -148,6 +207,7 @@ impl FaultyStorage {
             ops: Mutex::new(0),
             injected_transient: AtomicU64::new(0),
             injected_permanent: AtomicU64::new(0),
+            injected_corrupt: AtomicU64::new(0),
         }
     }
 
@@ -161,6 +221,11 @@ impl FaultyStorage {
         self.injected_permanent.load(Ordering::Relaxed)
     }
 
+    /// Reads that succeeded with corrupted bytes so far.
+    pub fn injected_corrupt(&self) -> u64 {
+        self.injected_corrupt.load(Ordering::Relaxed)
+    }
+
     /// Data operations observed so far (the attempt stream `kill_at_op`
     /// indexes into) — lets a test size a kill point relative to a probe
     /// run's total.
@@ -169,8 +234,9 @@ impl FaultyStorage {
     }
 
     /// Draws the fault decision for one attempt. Holds only the counter
-    /// lock and returns before any inner storage call.
-    fn decide(&self, op: &'static str, key: &str, offset: u64) -> std::io::Result<()> {
+    /// lock and returns before any inner storage call. On success yields
+    /// the attempt's index, which also seeds the corruption draw.
+    fn decide(&self, op: &'static str, key: &str, offset: u64) -> std::io::Result<u64> {
         let op_index = {
             let mut ops = self.ops.lock();
             *ops += 1;
@@ -183,7 +249,7 @@ impl FaultyStorage {
         }
         if let Some(target) = &self.cfg.target {
             if !target.matches(key, offset) {
-                return Ok(());
+                return Ok(op_index);
             }
         }
         if self.cfg.permanent_rate > 0.0 {
@@ -205,8 +271,112 @@ impl FaultyStorage {
                 ));
             }
         }
-        Ok(())
+        Ok(op_index)
     }
+
+    /// Mangles a successfully read buffer with probability
+    /// `corruption_rate`, deterministically in (seed, attempt index). The
+    /// counter advances only when bytes actually changed (zero-filling an
+    /// already-zero span corrupts nothing).
+    fn maybe_corrupt(&self, key: &str, offset: u64, op_index: u64, buf: &mut [u8]) {
+        let Some(mode) = self.cfg.corruption_mode else {
+            return;
+        };
+        if self.cfg.corruption_rate <= 0.0 || buf.is_empty() {
+            return;
+        }
+        if let Some(target) = &self.cfg.target {
+            if !target.matches(key, offset) {
+                return;
+            }
+        }
+        let h = mix(self.cfg.seed ^ op_index ^ CORRUPT_SALT);
+        if unit(h) >= self.cfg.corruption_rate {
+            return;
+        }
+        let pick = mix(h);
+        let len = buf.len();
+        let changed = match mode {
+            CorruptionMode::BitFlip => {
+                let bit = (pick % (len as u64 * 8)) as usize;
+                buf[bit / 8] ^= 1 << (bit % 8);
+                true
+            }
+            CorruptionMode::Truncate => {
+                // The transfer stopped early: the tail was never filled.
+                let keep = (pick % len as u64) as usize;
+                let changed = buf[keep..].iter().any(|&b| b != 0);
+                buf[keep..].fill(0);
+                changed
+            }
+            CorruptionMode::ZeroFill => {
+                let start = (pick % len as u64) as usize;
+                let span = ((pick >> 32) % 64 + 1) as usize;
+                let end = (start + span).min(len);
+                let changed = buf[start..end].iter().any(|&b| b != 0);
+                buf[start..end].fill(0);
+                changed
+            }
+        };
+        if changed {
+            self.injected_corrupt.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Corrupts the **at-rest** object `key` in place, deterministically in
+/// `(seed, key)`, and returns the affected byte offset. Used by tests,
+/// the corruption-smoke CI job and `gsd`'s fault tooling to plant rot
+/// that `scrub`/verify-on-read must catch.
+///
+/// - `BitFlip` flips one bit of the stored payload.
+/// - `Truncate` rewrites the object strictly shorter.
+/// - `ZeroFill` zeroes a span anchored at a nonzero byte (so the object
+///   provably changed); an all-zero object is rejected as uncorruptible.
+///
+/// Empty objects are rejected (`InvalidInput`): there is nothing to rot.
+pub fn corrupt_object(
+    storage: &dyn Storage,
+    key: &str,
+    mode: CorruptionMode,
+    seed: u64,
+) -> std::io::Result<u64> {
+    let mut bytes = storage.read_all(key)?;
+    if bytes.is_empty() {
+        return Err(Error::new(
+            ErrorKind::InvalidInput,
+            format!("cannot corrupt empty object {key}"),
+        ));
+    }
+    let len = bytes.len();
+    let h = mix(seed ^ fnv64(key.as_bytes()) ^ CORRUPT_SALT);
+    let affected = match mode {
+        CorruptionMode::BitFlip => {
+            let bit = (h % (len as u64 * 8)) as usize;
+            bytes[bit / 8] ^= 1 << (bit % 8);
+            (bit / 8) as u64
+        }
+        CorruptionMode::Truncate => {
+            let keep = (h % len as u64) as usize;
+            bytes.truncate(keep);
+            keep as u64
+        }
+        CorruptionMode::ZeroFill => {
+            let start = (h % len as u64) as usize;
+            let Some(anchor) = (start..len).chain(0..start).find(|&i| bytes[i] != 0) else {
+                return Err(Error::new(
+                    ErrorKind::InvalidInput,
+                    format!("object {key} is all zeros; zero-fill would change nothing"),
+                ));
+            };
+            let span = ((h >> 32) % 64 + 1) as usize;
+            let end = (anchor + span).min(len);
+            bytes[anchor..end].fill(0);
+            anchor as u64
+        }
+    };
+    storage.create(key, &bytes)?;
+    Ok(affected)
 }
 
 impl Storage for FaultyStorage {
@@ -216,8 +386,18 @@ impl Storage for FaultyStorage {
     }
 
     fn read_at(&self, key: &str, offset: u64, buf: &mut [u8]) -> gsd_io::Result<()> {
-        self.decide("read", key, offset)?;
-        self.inner.read_at(key, offset, buf)
+        let op_index = self.decide("read", key, offset)?;
+        self.inner.read_at(key, offset, buf)?;
+        self.maybe_corrupt(key, offset, op_index, buf);
+        Ok(())
+    }
+
+    fn read_unaccounted(&self, key: &str, offset: u64, buf: &mut [u8]) -> gsd_io::Result<()> {
+        // The verification side channel reads the device's true at-rest
+        // bytes: no fault draw, no in-flight corruption. (At-rest rot is
+        // planted with `corrupt_object` and IS visible here.) Forwarding
+        // explicitly also keeps the read off the accounted default path.
+        self.inner.read_unaccounted(key, offset, buf)
     }
 
     fn write_at(&self, key: &str, offset: u64, data: &[u8]) -> gsd_io::Result<()> {
@@ -397,6 +577,127 @@ mod tests {
         let err = faulty.read_at("k", 0, &mut buf).unwrap_err();
         assert_eq!(err.kind(), ErrorKind::Other, "op 3 is the kill");
         faulty.read_at("k", 0, &mut buf).expect("op 4 proceeds");
+    }
+
+    #[test]
+    fn corruption_modes_mangle_reads_deterministically() {
+        for mode in [
+            CorruptionMode::BitFlip,
+            CorruptionMode::Truncate,
+            CorruptionMode::ZeroFill,
+        ] {
+            let run = |seed: u64| -> Vec<Vec<u8>> {
+                let cfg = FaultConfig::transient(seed, 0.0).with_corruption(mode, 0.5);
+                let (faulty, _) = wrap(cfg);
+                faulty
+                    .create("k", &(1u8..=64).collect::<Vec<u8>>())
+                    .unwrap();
+                let mut out = Vec::new();
+                for _ in 0..50 {
+                    let mut buf = [0u8; 64];
+                    faulty.read_at("k", 0, &mut buf).unwrap();
+                    out.push(buf.to_vec());
+                }
+                out
+            };
+            let a = run(13);
+            assert_eq!(a, run(13), "same seed, same corruption ({mode})");
+            let clean: Vec<u8> = (1u8..=64).collect();
+            let bad = a.iter().filter(|b| **b != clean).count();
+            assert!(
+                (5..=45).contains(&bad),
+                "rate 0.5 must corrupt some but not all reads ({mode}: {bad}/50)"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupted_reads_leave_at_rest_data_clean() {
+        let cfg = FaultConfig::transient(7, 0.0).with_corruption(CorruptionMode::BitFlip, 1.0);
+        let (faulty, inner) = wrap(cfg);
+        let payload: Vec<u8> = (0u8..32).collect();
+        faulty.create("k", &payload).unwrap();
+        let mut buf = [0u8; 32];
+        faulty.read_at("k", 0, &mut buf).unwrap();
+        assert_ne!(buf.to_vec(), payload, "accounted read is corrupted");
+        assert!(faulty.injected_corrupt() > 0);
+        assert_eq!(inner.read_all("k").unwrap(), payload, "at rest: clean");
+        let mut side = [0u8; 32];
+        faulty.read_unaccounted("k", 0, &mut side).unwrap();
+        assert_eq!(side.to_vec(), payload, "side channel sees true bytes");
+    }
+
+    #[test]
+    fn corrupt_object_rots_each_mode_at_rest() {
+        let storage = MemStorage::new();
+        let payload: Vec<u8> = (1u8..=100).collect();
+
+        storage.create("a", &payload).unwrap();
+        let off = corrupt_object(&storage, "a", CorruptionMode::BitFlip, 5).unwrap();
+        let rotted = storage.read_all("a").unwrap();
+        assert_eq!(rotted.len(), payload.len());
+        assert_ne!(rotted, payload);
+        assert_ne!(rotted[off as usize], payload[off as usize]);
+
+        storage.create("b", &payload).unwrap();
+        let kept = corrupt_object(&storage, "b", CorruptionMode::Truncate, 5).unwrap();
+        let rotted = storage.read_all("b").unwrap();
+        assert_eq!(rotted.len() as u64, kept);
+        assert!(rotted.len() < payload.len());
+        assert_eq!(rotted[..], payload[..rotted.len()]);
+
+        storage.create("c", &payload).unwrap();
+        let anchor = corrupt_object(&storage, "c", CorruptionMode::ZeroFill, 5).unwrap();
+        let rotted = storage.read_all("c").unwrap();
+        assert_eq!(rotted.len(), payload.len());
+        assert_ne!(rotted, payload);
+        assert_eq!(rotted[anchor as usize], 0);
+        assert_ne!(payload[anchor as usize], 0);
+
+        // Deterministic in (seed, key): same call, same rot.
+        storage.create("d", &payload).unwrap();
+        storage.create("e", &payload).unwrap();
+        corrupt_object(&storage, "d", CorruptionMode::BitFlip, 9).unwrap();
+        corrupt_object(&storage, "e", CorruptionMode::BitFlip, 9).unwrap();
+        assert_ne!(
+            storage.read_all("d").unwrap(),
+            storage.read_all("e").unwrap(),
+            "different keys draw different bits"
+        );
+    }
+
+    #[test]
+    fn corrupt_object_rejects_hopeless_targets() {
+        let storage = MemStorage::new();
+        storage.create("empty", &[]).unwrap();
+        assert!(corrupt_object(&storage, "empty", CorruptionMode::BitFlip, 1).is_err());
+        storage.create("zeros", &[0u8; 16]).unwrap();
+        assert!(corrupt_object(&storage, "zeros", CorruptionMode::ZeroFill, 1).is_err());
+        assert!(corrupt_object(&storage, "missing", CorruptionMode::BitFlip, 1).is_err());
+    }
+
+    #[test]
+    fn corruption_mode_parsing() {
+        assert_eq!(
+            CorruptionMode::parse("bitflip"),
+            Some(CorruptionMode::BitFlip)
+        );
+        assert_eq!(
+            CorruptionMode::parse("truncate"),
+            Some(CorruptionMode::Truncate)
+        );
+        assert_eq!(
+            CorruptionMode::parse("zerofill"),
+            Some(CorruptionMode::ZeroFill)
+        );
+        assert_eq!(CorruptionMode::parse("garble"), None);
+        for mode in [
+            CorruptionMode::BitFlip,
+            CorruptionMode::Truncate,
+            CorruptionMode::ZeroFill,
+        ] {
+            assert_eq!(CorruptionMode::parse(&mode.to_string()), Some(mode));
+        }
     }
 
     #[test]

@@ -37,7 +37,7 @@ pub mod snapshot;
 pub mod store;
 
 pub use config::RecoveryConfig;
-pub use fault::{FaultConfig, FaultTarget, FaultyStorage};
+pub use fault::{corrupt_object, CorruptionMode, FaultConfig, FaultTarget, FaultyStorage};
 pub use hash::{crc32, fnv64};
 pub use manifest::{Manifest, ManifestTag, MANIFEST_VERSION};
 pub use retry::{RetryPolicy, RetryingStorage};

@@ -135,6 +135,14 @@ impl Storage for RetryingStorage {
         self.with_retry("read", || self.inner.read_at(key, offset, buf))
     }
 
+    fn read_unaccounted(&self, key: &str, offset: u64, buf: &mut [u8]) -> gsd_io::Result<()> {
+        // Must forward explicitly: the trait default would route the
+        // verification side channel through the *accounted* read path.
+        // Transient errors are still retried — the side read rides the
+        // same flaky device.
+        self.with_retry("read", || self.inner.read_unaccounted(key, offset, buf))
+    }
+
     fn write_at(&self, key: &str, offset: u64, data: &[u8]) -> gsd_io::Result<()> {
         self.with_retry("write", || self.inner.write_at(key, offset, data))
     }

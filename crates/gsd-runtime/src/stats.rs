@@ -93,6 +93,14 @@ pub struct RunStats {
     /// Total wall time the engine blocked on unfinished scheduled reads
     /// (sum of the per-iteration `prefetch_stall_time`).
     pub prefetch_stall_time: Duration,
+    /// Bytes checksummed by verify-on-read (zero when verification is
+    /// off; tracked apart from `io` so enabling verification never
+    /// perturbs the traffic figures).
+    pub verify_bytes: u64,
+    /// Corruption detections during the run.
+    pub corrupt_blocks: u64,
+    /// Corrupt reads transparently recovered by bounded re-read.
+    pub repaired_blocks: u64,
     /// Per-iteration detail.
     pub per_iteration: Vec<IterationStats>,
 }

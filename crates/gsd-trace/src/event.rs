@@ -195,6 +195,31 @@ pub enum TraceEvent {
         /// Total attempts performed before giving up.
         attempts: u32,
     },
+    /// A grid object's bytes matched its manifest checksum on first read.
+    ChecksumOk {
+        /// Full storage key of the verified object.
+        key: String,
+        /// Bytes checksummed.
+        bytes: u64,
+    },
+    /// A grid object's bytes disagreed with its manifest entry.
+    CorruptionDetected {
+        /// Full storage key of the corrupt object.
+        key: String,
+        /// CRC32 recorded in the manifest.
+        expected: u64,
+        /// CRC32 of the bytes actually read (or the mismatching length
+        /// for truncation, mirroring the structured error).
+        actual: u64,
+    },
+    /// A corrupt read recovered: a bounded re-read returned clean bytes,
+    /// or an offline scrub rewrote the object from the source edge list.
+    BlockRepaired {
+        /// Full storage key of the repaired object.
+        key: String,
+        /// Bytes restored.
+        bytes: u64,
+    },
 }
 
 impl TraceEvent {
@@ -220,6 +245,9 @@ impl TraceEvent {
             TraceEvent::CkptRestored { .. } => "ckpt_restored",
             TraceEvent::IoRetry { .. } => "io_retry",
             TraceEvent::IoGaveUp { .. } => "io_gave_up",
+            TraceEvent::ChecksumOk { .. } => "checksum_ok",
+            TraceEvent::CorruptionDetected { .. } => "corruption_detected",
+            TraceEvent::BlockRepaired { .. } => "block_repaired",
         }
     }
 }
@@ -360,6 +388,21 @@ impl Serialize for TraceEvent {
                 self.kind(),
                 vec![s("op", op), u("attempts", *attempts as u64)],
             ),
+            TraceEvent::ChecksumOk { key, bytes } | TraceEvent::BlockRepaired { key, bytes } => {
+                tagged(self.kind(), vec![s("key", key), u("bytes", *bytes)])
+            }
+            TraceEvent::CorruptionDetected {
+                key,
+                expected,
+                actual,
+            } => tagged(
+                self.kind(),
+                vec![
+                    s("key", key),
+                    u("expected", *expected),
+                    u("actual", *actual),
+                ],
+            ),
         }
     }
 }
@@ -463,5 +506,35 @@ mod tests {
             r#"{"ev":"io_gave_up","op":"read","attempts":4}"#
         );
         assert_eq!(gave_up.kind(), "io_gave_up");
+    }
+
+    #[test]
+    fn integrity_events_serialize_with_stable_tags() {
+        let ok = TraceEvent::ChecksumOk {
+            key: "blocks/b_0_1.edges".to_string(),
+            bytes: 4096,
+        };
+        assert_eq!(
+            serde_json::to_string(&ok).unwrap(),
+            r#"{"ev":"checksum_ok","key":"blocks/b_0_1.edges","bytes":4096}"#
+        );
+        let detected = TraceEvent::CorruptionDetected {
+            key: "degrees.bin".to_string(),
+            expected: 0xCBF4_3926,
+            actual: 0x414F_A339,
+        };
+        assert_eq!(
+            serde_json::to_string(&detected).unwrap(),
+            r#"{"ev":"corruption_detected","key":"degrees.bin","expected":3421780262,"actual":1095738169}"#
+        );
+        let repaired = TraceEvent::BlockRepaired {
+            key: "degrees.bin".to_string(),
+            bytes: 800,
+        };
+        assert_eq!(
+            serde_json::to_string(&repaired).unwrap(),
+            r#"{"ev":"block_repaired","key":"degrees.bin","bytes":800}"#
+        );
+        assert_eq!(repaired.kind(), "block_repaired");
     }
 }

@@ -3,17 +3,22 @@
 //! ```text
 //! gsd preprocess <edges.txt> <data-dir> [--intervals N] [--budget-mb M] [--degree-balanced]
 //! gsd run <data-dir> <algorithm> [--source V] [--iterations N] [--ablation b1|b2|b3|b4|nobuf]
+//!         [--verify off|full|sample:N] [--on-corruption fail|retry[:N]|quarantine]
+//! gsd scrub <data-dir> [--repair <edges.txt>]
 //! gsd info <data-dir>
 //! gsd generate <kind> <vertices> <edges> <out.txt> [--seed S] [--weighted] [--symmetrized]
 //! ```
 //!
 //! Algorithms: `pagerank`, `pagerank-delta`, `cc`, `sssp`, `bfs`.
 //! Graph kinds: `rmat`, `kronecker`, `erdos-renyi`, `web`, `grid`.
+//! `--verify`/`--on-corruption` default from the `GSD_VERIFY` and
+//! `GSD_ON_CORRUPTION` environment variables.
 
 use graphsd::algos::{Bfs, ConnectedComponents, PageRank, PageRankDelta, Sssp};
 use graphsd::core::{GraphSdConfig, GraphSdEngine};
 use graphsd::graph::{
-    preprocess_text, write_edge_list, GeneratorConfig, GraphKind, GridGraph, PreprocessConfig,
+    parse_edge_list, preprocess_text, repair_grid, scrub_grid, write_edge_list, CorruptionResponse,
+    GeneratorConfig, GraphKind, GridGraph, PreprocessConfig, VerifyPolicy,
 };
 use graphsd::io::{FileStorage, SharedStorage};
 use graphsd::runtime::{Engine, RunOptions, RunResult, RunStats, Value, VertexProgram};
@@ -25,7 +30,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  \
          gsd preprocess <edges.txt> <data-dir> [--intervals N] [--budget-mb M] [--degree-balanced]\n  \
-         gsd run <data-dir> <pagerank|pagerank-delta|cc|sssp|bfs> [--source V] [--iterations N] [--ablation b1|b2|b3|b4|nobuf] [--top K]\n  \
+         gsd run <data-dir> <pagerank|pagerank-delta|cc|sssp|bfs> [--source V] [--iterations N] [--ablation b1|b2|b3|b4|nobuf] [--top K] [--verify off|full|sample:N] [--on-corruption fail|retry[:N]|quarantine]\n  \
+         gsd scrub <data-dir> [--repair <edges.txt>]\n  \
          gsd info <data-dir>\n  \
          gsd generate <rmat|kronecker|erdos-renyi|web|grid> <vertices> <edges> <out.txt> [--seed S] [--weighted] [--symmetrized]"
     );
@@ -89,6 +95,7 @@ fn main() -> ExitCode {
     let result = match command.as_str() {
         "preprocess" => cmd_preprocess(&args),
         "run" => cmd_run(&args),
+        "scrub" => cmd_scrub(&args),
         "info" => cmd_info(&args),
         "generate" => cmd_generate(&args),
         _ => return usage(),
@@ -152,7 +159,23 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     };
     let storage: SharedStorage =
         Arc::new(FileStorage::open(dir).map_err(|e| format!("{dir}: {e}"))?);
-    let grid = GridGraph::open(storage).map_err(|e| format!("{dir}: {e}"))?;
+    let mut grid = GridGraph::open(storage).map_err(|e| format!("{dir}: {e}"))?;
+    let verify = match args.flag_value::<String>("verify")? {
+        Some(spec) => VerifyPolicy::parse(&spec).ok_or(format!(
+            "--verify: unknown spec {spec:?} (off|full|sample:N)"
+        ))?,
+        None => VerifyPolicy::from_env().unwrap_or(VerifyPolicy::Off),
+    };
+    let response = match args.flag_value::<String>("on-corruption")? {
+        Some(spec) => CorruptionResponse::parse(&spec).ok_or(format!(
+            "--on-corruption: unknown spec {spec:?} (fail|retry[:N]|quarantine)"
+        ))?,
+        None => CorruptionResponse::from_env().unwrap_or_default(),
+    };
+    if !verify.is_off() {
+        grid.set_verification(verify, response)
+            .map_err(|e| e.to_string())?;
+    }
     let config = ablation(
         args.flag_value::<String>("ablation")?
             .as_deref()
@@ -231,6 +254,14 @@ fn print_stats(stats: &RunStats) {
             stats.buffer_hit_bytes >> 10
         );
     }
+    if stats.verify_bytes > 0 || stats.corrupt_blocks > 0 {
+        println!(
+            "  verified {} KiB; {} corrupt object(s) detected, {} repaired by re-read",
+            stats.verify_bytes >> 10,
+            stats.corrupt_blocks,
+            stats.repaired_blocks
+        );
+    }
 }
 
 fn print_top<V: Value>(
@@ -256,6 +287,45 @@ fn print_top<V: Value>(
     }
 }
 
+fn cmd_scrub(args: &Args) -> Result<(), String> {
+    let [dir] = args.positional.as_slice() else {
+        return Err("scrub needs <data-dir>".into());
+    };
+    let repair = args.flag_value::<String>("repair")?;
+    let storage: SharedStorage =
+        Arc::new(FileStorage::open(dir).map_err(|e| format!("{dir}: {e}"))?);
+    let (_, report) = scrub_grid(storage.as_ref(), "").map_err(|e| e.to_string())?;
+    let (ok, corrupt) = report.counts();
+    for object in report.corrupt() {
+        println!(
+            "  {:<10} {} ({} bytes)",
+            object.status.label(),
+            object.key,
+            object.len
+        );
+    }
+    println!(
+        "scrub of {dir}: {ok} object(s) clean, {corrupt} corrupt, {} MiB checked",
+        report.bytes_checked() >> 20
+    );
+    if report.is_clean() {
+        return Ok(());
+    }
+    let Some(source) = repair else {
+        return Err(format!(
+            "{corrupt} corrupt object(s); re-run with --repair <edges.txt> to rebuild them"
+        ));
+    };
+    let file = std::fs::File::open(&source).map_err(|e| format!("{source}: {e}"))?;
+    let graph = parse_edge_list(BufReader::new(file)).map_err(|e| format!("{source}: {e}"))?;
+    let outcome = repair_grid(storage.as_ref(), "", &graph).map_err(|e| e.to_string())?;
+    println!(
+        "repaired {} object(s) from {source}; grid is clean again",
+        outcome.rewritten.len()
+    );
+    Ok(())
+}
+
 fn cmd_info(args: &Args) -> Result<(), String> {
     let [dir] = args.positional.as_slice() else {
         return Err("info needs <data-dir>".into());
@@ -278,6 +348,19 @@ fn cmd_info(args: &Args) -> Result<(), String> {
     let nonempty = meta.block_edge_counts.iter().filter(|&&c| c > 0).count();
     let largest = meta.block_edge_counts.iter().max().copied().unwrap_or(0);
     println!("  non-empty  {nonempty} blocks, largest {largest} edges");
+    match &meta.integrity {
+        Some(section) => println!(
+            "  integrity  format v{}, {} checksums over {} objects ({} MiB covered)",
+            meta.version,
+            section.algo,
+            section.len(),
+            section.total_bytes() >> 20
+        ),
+        None => println!(
+            "  integrity  format v{}, no checksums (re-preprocess to add them)",
+            meta.version
+        ),
+    }
     Ok(())
 }
 

@@ -39,6 +39,7 @@ pub use gsd_algos as algos;
 pub use gsd_baselines as baselines;
 pub use gsd_core as core;
 pub use gsd_graph as graph;
+pub use gsd_integrity as integrity;
 pub use gsd_io as io;
 pub use gsd_pipeline as pipeline;
 pub use gsd_recover as recover;
@@ -48,7 +49,7 @@ pub use gsd_trace as trace;
 /// Convenience prelude bringing the most common types into scope.
 pub mod prelude {
     pub use gsd_core::{GraphSdConfig, GraphSdEngine, PipelineConfig, RecoveryConfig};
-    pub use gsd_graph::{Graph, GraphBuilder, VertexId};
+    pub use gsd_graph::{CorruptionResponse, Graph, GraphBuilder, VerifyPolicy, VertexId};
     pub use gsd_io::{DiskModel, FileStorage, MemStorage, SimDisk, Storage};
     pub use gsd_runtime::{Engine, RunOptions, RunResult, VertexProgram};
 }

@@ -1,0 +1,374 @@
+//! End-to-end contract of grid integrity (format v2), across engines:
+//!
+//! 1. **Clean-data neutrality** — on an uncorrupted grid, turning
+//!    verification on (any policy) changes neither the committed values
+//!    nor one byte of accounted I/O, with the prefetch pipeline on or
+//!    off; verification totals land in their own `RunStats` fields.
+//! 2. **Detection** — seeded at-rest corruption (bit flip, truncation,
+//!    zero fill) planted in any grid object surfaces as a structured
+//!    corruption error or a transparent repair, never a panic and never
+//!    a silently wrong result.
+//! 3. **Scrub/repair** — the offline pass finds the same corruption and
+//!    restores the exact original bytes from the source edge list.
+//! 4. **Version negotiation** — format v1 grids (no checksums) still
+//!    load and run; only `set_verification` refuses them.
+
+use graphsd::algos::{Bfs, PageRank};
+use graphsd::baselines::{
+    build_hus_format, build_lumos_format, GridStreamEngine, HusGraphEngine, LumosEngine,
+};
+use graphsd::core::{GraphSdConfig, GraphSdEngine, PipelineConfig};
+use graphsd::graph::{
+    block_edges_key, preprocess, repair_grid, scrub_grid, CorruptionResponse, GeneratorConfig,
+    Graph, GraphKind, GridGraph, GridMeta, PreprocessConfig, VerifyPolicy, DEGREES_KEY, META_KEY,
+};
+use graphsd::integrity::{CorruptionError, QUARANTINE_KEY};
+use graphsd::io::{DiskModel, SharedStorage, SimDisk};
+use graphsd::recover::{corrupt_object, CorruptionMode, FaultConfig, FaultTarget, FaultyStorage};
+use graphsd::runtime::{Engine, RunOptions, RunResult};
+use std::sync::Arc;
+
+fn test_graph() -> Graph {
+    GeneratorConfig::new(GraphKind::RMat, 800, 8000, 11).generate()
+}
+
+fn grid_on_fresh_disk(graph: &Graph, p: u32) -> (SharedStorage, GridGraph) {
+    let storage: SharedStorage = Arc::new(SimDisk::new(DiskModel::hdd()));
+    preprocess(
+        graph,
+        storage.as_ref(),
+        &PreprocessConfig::graphsd("").with_intervals(p),
+    )
+    .unwrap();
+    let grid = GridGraph::open(storage.clone()).unwrap();
+    (storage, grid)
+}
+
+/// Everything a run commits except wall-clock durations: values,
+/// iteration structure, and the full accounted I/O breakdown. Identical
+/// fingerprints mean verification was invisible to the science.
+fn fingerprint<V: Clone + PartialEq + std::fmt::Debug>(
+    r: &RunResult<V>,
+) -> impl PartialEq + std::fmt::Debug {
+    (
+        r.values.clone(),
+        r.stats.iterations,
+        r.stats.io,
+        r.stats
+            .per_iteration
+            .iter()
+            .map(|it| (it.iteration, it.frontier, it.io))
+            .collect::<Vec<_>>(),
+    )
+}
+
+/// The first non-empty sub-block's edges object — always read by every
+/// engine, so corrupting it is guaranteed to be noticed at `Full`.
+fn busiest_block_key(meta: &GridMeta) -> String {
+    for i in 0..meta.p {
+        for j in 0..meta.p {
+            if meta.block_edge_count(i, j) > 0 {
+                return block_edges_key("", i, j);
+            }
+        }
+    }
+    panic!("grid has no edges");
+}
+
+#[test]
+fn graphsd_is_neutral_under_verification_with_prefetch_on_and_off() {
+    let g = test_graph();
+    let opts = RunOptions::default();
+    for pipeline in [None, Some(PipelineConfig::with_depth(2))] {
+        let config = match &pipeline {
+            None => GraphSdConfig::full().without_prefetch(),
+            Some(sizing) => GraphSdConfig::full().with_prefetch(*sizing),
+        };
+        let (_, grid) = grid_on_fresh_disk(&g, 4);
+        let baseline = GraphSdEngine::new(grid, config.clone())
+            .unwrap()
+            .run(&PageRank::paper(), &opts)
+            .unwrap();
+        assert_eq!(baseline.stats.verify_bytes, 0, "off means off");
+
+        for policy in [VerifyPolicy::Full, VerifyPolicy::Sample(3)] {
+            let (_, mut grid) = grid_on_fresh_disk(&g, 4);
+            grid.set_verification(policy, CorruptionResponse::FailFast)
+                .unwrap();
+            let verified = GraphSdEngine::new(grid, config.clone())
+                .unwrap()
+                .run(&PageRank::paper(), &opts)
+                .unwrap();
+            assert_eq!(
+                fingerprint(&baseline),
+                fingerprint(&verified),
+                "policy {policy} with prefetch={} must not perturb the run",
+                pipeline.is_some()
+            );
+            assert!(verified.stats.verify_bytes > 0, "policy {policy} verified");
+            assert_eq!(verified.stats.corrupt_blocks, 0);
+            assert_eq!(verified.stats.repaired_blocks, 0);
+        }
+    }
+}
+
+#[test]
+fn sciu_heavy_bfs_is_neutral_under_verification() {
+    // Tiny frontiers exercise the partial-read paths (index spans and
+    // edge runs), whose verification rides an unaccounted side read.
+    let g = GeneratorConfig::new(GraphKind::WebLocality, 1500, 15_000, 7).generate();
+    let opts = RunOptions::default();
+    let (_, grid) = grid_on_fresh_disk(&g, 4);
+    let baseline = GraphSdEngine::new(grid, GraphSdConfig::full())
+        .unwrap()
+        .run(&Bfs::new(0), &opts)
+        .unwrap();
+    let (_, mut grid) = grid_on_fresh_disk(&g, 4);
+    grid.set_verification(VerifyPolicy::Full, CorruptionResponse::FailFast)
+        .unwrap();
+    let verified = GraphSdEngine::new(grid, GraphSdConfig::full())
+        .unwrap()
+        .run(&Bfs::new(0), &opts)
+        .unwrap();
+    assert_eq!(fingerprint(&baseline), fingerprint(&verified));
+    assert!(verified.stats.verify_bytes > 0);
+}
+
+#[test]
+fn baseline_engines_are_neutral_under_full_verification() {
+    let g = test_graph();
+    let opts = RunOptions::default();
+    let program = PageRank::with_iterations(4);
+
+    // Lumos.
+    let build_lumos = |verify: bool| {
+        let storage: SharedStorage = Arc::new(SimDisk::new(DiskModel::hdd()));
+        let (mut grid, _) = build_lumos_format(&g, &storage, "", Some(4)).unwrap();
+        if verify {
+            grid.set_verification(VerifyPolicy::Full, CorruptionResponse::FailFast)
+                .unwrap();
+        }
+        LumosEngine::new(grid).unwrap()
+    };
+    let plain = build_lumos(false).run(&program, &opts).unwrap();
+    let verified = build_lumos(true).run(&program, &opts).unwrap();
+    assert_eq!(fingerprint(&plain), fingerprint(&verified), "lumos");
+    assert!(verified.stats.verify_bytes > 0);
+    assert_eq!(verified.stats.corrupt_blocks, 0);
+
+    // HUS-Graph: both on-disk copies carry their own manifests.
+    let build_hus = |verify: bool| {
+        let storage: SharedStorage = Arc::new(SimDisk::new(DiskModel::hdd()));
+        let (mut format, _) = build_hus_format(&g, &storage, "", Some(4)).unwrap();
+        if verify {
+            for grid in [&mut format.row, &mut format.col] {
+                grid.set_verification(VerifyPolicy::Full, CorruptionResponse::FailFast)
+                    .unwrap();
+            }
+        }
+        HusGraphEngine::new(format).unwrap()
+    };
+    let plain = build_hus(false).run(&program, &opts).unwrap();
+    let verified = build_hus(true).run(&program, &opts).unwrap();
+    assert_eq!(fingerprint(&plain), fingerprint(&verified), "hus");
+    assert!(verified.stats.verify_bytes > 0);
+
+    // Plain grid streaming.
+    let build_stream = |verify: bool| {
+        let (_, mut grid) = grid_on_fresh_disk(&g, 4);
+        if verify {
+            grid.set_verification(VerifyPolicy::Full, CorruptionResponse::FailFast)
+                .unwrap();
+        }
+        GridStreamEngine::new(grid).unwrap()
+    };
+    let plain = build_stream(false).run(&program, &opts).unwrap();
+    let verified = build_stream(true).run(&program, &opts).unwrap();
+    assert_eq!(fingerprint(&plain), fingerprint(&verified), "gridstream");
+    assert!(verified.stats.verify_bytes > 0);
+}
+
+#[test]
+fn every_at_rest_corruption_mode_fails_fast_with_a_structured_error() {
+    let g = test_graph();
+    for mode in [
+        CorruptionMode::BitFlip,
+        CorruptionMode::Truncate,
+        CorruptionMode::ZeroFill,
+    ] {
+        let (storage, mut grid) = grid_on_fresh_disk(&g, 4);
+        let key = busiest_block_key(grid.meta());
+        corrupt_object(storage.as_ref(), &key, mode, 97).unwrap();
+        grid.set_verification(VerifyPolicy::Full, CorruptionResponse::FailFast)
+            .unwrap();
+        let err = GraphSdEngine::new(grid, GraphSdConfig::full())
+            .unwrap()
+            .run(&PageRank::paper(), &RunOptions::default())
+            .unwrap_err();
+        let c = CorruptionError::from_io(&err)
+            .unwrap_or_else(|| panic!("{mode}: expected a structured corruption error, got {err}"));
+        assert_eq!(c.key, key, "{mode}: error names the rotten object");
+    }
+}
+
+#[test]
+fn corrupt_degrees_are_caught_at_engine_construction() {
+    // The engine loads out-degrees before the first iteration; the
+    // verifier guards that read too.
+    let g = test_graph();
+    let (storage, mut grid) = grid_on_fresh_disk(&g, 3);
+    corrupt_object(storage.as_ref(), DEGREES_KEY, CorruptionMode::BitFlip, 5).unwrap();
+    grid.set_verification(VerifyPolicy::Full, CorruptionResponse::FailFast)
+        .unwrap();
+    let err = match GraphSdEngine::new(grid, GraphSdConfig::full()) {
+        Err(err) => err,
+        Ok(_) => panic!("constructing over corrupt degrees must fail"),
+    };
+    assert!(CorruptionError::is_corruption(&err), "{err}");
+}
+
+#[test]
+fn in_flight_corruption_is_transparently_repaired_by_retry() {
+    // The disk device returns mangled bytes on some accounted block
+    // reads (bad DMA), while the at-rest objects stay clean. With
+    // `Retry`, the verifier's unaccounted re-read recovers the true
+    // bytes, so the run completes with exactly the clean values.
+    let g = test_graph();
+    let opts = RunOptions::default();
+    let (_, grid) = grid_on_fresh_disk(&g, 4);
+    let clean = GraphSdEngine::new(grid, GraphSdConfig::full())
+        .unwrap()
+        .run(&PageRank::paper(), &opts)
+        .unwrap();
+
+    let sim: SharedStorage = Arc::new(SimDisk::new(DiskModel::hdd()));
+    preprocess(
+        &g,
+        sim.as_ref(),
+        &PreprocessConfig::graphsd("").with_intervals(4),
+    )
+    .unwrap();
+    let cfg = FaultConfig::transient(23, 0.0)
+        .with_corruption(CorruptionMode::BitFlip, 0.2)
+        .with_target(FaultTarget::key("blocks/"));
+    let faulty: SharedStorage = Arc::new(FaultyStorage::new(sim, cfg));
+    let mut grid = GridGraph::open(faulty).unwrap();
+    grid.set_verification(VerifyPolicy::Full, CorruptionResponse::Retry(3))
+        .unwrap();
+    let repaired = GraphSdEngine::new(grid, GraphSdConfig::full())
+        .unwrap()
+        .run(&PageRank::paper(), &opts)
+        .unwrap();
+    assert_eq!(clean.values, repaired.values, "repair restored true bytes");
+    assert!(
+        repaired.stats.repaired_blocks > 0,
+        "a 20% corruption rate must have triggered repairs"
+    );
+    assert_eq!(
+        repaired.stats.corrupt_blocks, repaired.stats.repaired_blocks,
+        "every detection recovered"
+    );
+}
+
+#[test]
+fn quarantine_records_the_object_then_scrub_repair_restores_it() {
+    let g = test_graph();
+    let opts = RunOptions::default();
+    let (_, grid) = grid_on_fresh_disk(&g, 4);
+    let clean = GraphSdEngine::new(grid, GraphSdConfig::full())
+        .unwrap()
+        .run(&PageRank::paper(), &opts)
+        .unwrap();
+
+    let (storage, mut grid) = grid_on_fresh_disk(&g, 4);
+    let key = busiest_block_key(grid.meta());
+    corrupt_object(storage.as_ref(), &key, CorruptionMode::ZeroFill, 31).unwrap();
+    grid.set_verification(VerifyPolicy::Full, CorruptionResponse::Quarantine)
+        .unwrap();
+    let err = GraphSdEngine::new(grid, GraphSdConfig::full())
+        .unwrap()
+        .run(&PageRank::paper(), &opts)
+        .unwrap_err();
+    assert!(CorruptionError::is_corruption(&err));
+    let listed = storage.read_all(QUARANTINE_KEY).unwrap();
+    let quarantined = String::from_utf8(listed).unwrap();
+    assert!(quarantined.contains(&key), "{quarantined}");
+
+    // Offline: scrub finds exactly that object, repair restores it from
+    // the source edge list, and a fully verified run then succeeds.
+    let (_, report) = scrub_grid(storage.as_ref(), "").unwrap();
+    let corrupt: Vec<&str> = report.corrupt().map(|o| o.key.as_str()).collect();
+    assert_eq!(corrupt, vec![key.as_str()]);
+    let outcome = repair_grid(storage.as_ref(), "", &g).unwrap();
+    assert_eq!(outcome.rewritten, vec![key.clone()]);
+    assert!(outcome.after.is_clean());
+
+    let mut grid = GridGraph::open(storage).unwrap();
+    grid.set_verification(VerifyPolicy::Full, CorruptionResponse::FailFast)
+        .unwrap();
+    let healed = GraphSdEngine::new(grid, GraphSdConfig::full())
+        .unwrap()
+        .run(&PageRank::paper(), &opts)
+        .unwrap();
+    assert_eq!(clean.values, healed.values);
+}
+
+#[test]
+fn v1_grids_still_load_and_run_but_refuse_verification() {
+    let g = test_graph();
+    let opts = RunOptions::default();
+    let (_, grid) = grid_on_fresh_disk(&g, 4);
+    let v2 = GraphSdEngine::new(grid, GraphSdConfig::full())
+        .unwrap()
+        .run(&PageRank::paper(), &opts)
+        .unwrap();
+
+    // Downgrade the metadata to format v1: no integrity section, no
+    // self-check — what a pre-checksum preprocessor wrote.
+    let (storage, grid) = grid_on_fresh_disk(&g, 4);
+    let mut meta = grid.meta().clone();
+    meta.version = 1;
+    meta.integrity = None;
+    storage.create(META_KEY, &meta.to_bytes()).unwrap();
+    drop(grid);
+
+    let mut grid = GridGraph::open(storage).unwrap();
+    assert_eq!(grid.meta().version, 1);
+    let err = grid
+        .set_verification(VerifyPolicy::Full, CorruptionResponse::FailFast)
+        .unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::Unsupported);
+    grid.set_verification(VerifyPolicy::Off, CorruptionResponse::FailFast)
+        .unwrap();
+    let v1 = GraphSdEngine::new(grid, GraphSdConfig::full())
+        .unwrap()
+        .run(&PageRank::paper(), &opts)
+        .unwrap();
+    assert_eq!(fingerprint(&v1), fingerprint(&v2), "v1 runs are unchanged");
+}
+
+#[test]
+fn scrub_repair_roundtrip_covers_every_corruption_mode() {
+    let g = test_graph();
+    for (seed, mode) in [
+        (41u64, CorruptionMode::BitFlip),
+        (43, CorruptionMode::Truncate),
+        (47, CorruptionMode::ZeroFill),
+    ] {
+        let (storage, grid) = grid_on_fresh_disk(&g, 3);
+        let key = busiest_block_key(grid.meta());
+        let original = storage.read_all(&key).unwrap();
+        corrupt_object(storage.as_ref(), &key, mode, seed).unwrap();
+        assert_ne!(storage.read_all(&key).unwrap(), original);
+
+        let (_, report) = scrub_grid(storage.as_ref(), "").unwrap();
+        assert!(!report.is_clean(), "{mode}: scrub must notice");
+        let outcome = repair_grid(storage.as_ref(), "", &g).unwrap();
+        assert_eq!(outcome.rewritten, vec![key.clone()], "{mode}");
+        assert_eq!(
+            storage.read_all(&key).unwrap(),
+            original,
+            "{mode}: repair restores the exact original bytes"
+        );
+    }
+}
