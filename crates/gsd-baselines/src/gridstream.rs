@@ -237,9 +237,7 @@ impl Engine for GridStreamEngine {
         }
         stats.io = storage.stats().snapshot().since(&run_snap);
         let vd = grid.verify_counters().since(&verify_snap);
-        stats.verify_bytes += vd.verify_bytes;
-        stats.corrupt_blocks += vd.corrupt_blocks;
-        stats.repaired_blocks += vd.repaired_blocks;
+        stats.fold_verify(&vd);
         Ok(RunResult {
             values: values_prev.snapshot(),
             stats,

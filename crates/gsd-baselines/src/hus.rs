@@ -488,9 +488,7 @@ impl Engine for HusGraphEngine {
                         row.verify_counters().since(&verify_snap_row),
                         col.verify_counters().since(&verify_snap_col),
                     ] {
-                        ckpt_stats.verify_bytes += vd.verify_bytes;
-                        ckpt_stats.corrupt_blocks += vd.corrupt_blocks;
-                        ckpt_stats.repaired_blocks += vd.repaired_blocks;
+                        ckpt_stats.fold_verify(&vd);
                     }
                     driver.commit(&CheckpointData {
                         iteration: iter,
@@ -524,9 +522,7 @@ impl Engine for HusGraphEngine {
             row.verify_counters().since(&verify_snap_row),
             col.verify_counters().since(&verify_snap_col),
         ] {
-            stats.verify_bytes += vd.verify_bytes;
-            stats.corrupt_blocks += vd.corrupt_blocks;
-            stats.repaired_blocks += vd.repaired_blocks;
+            stats.fold_verify(&vd);
         }
         Ok(RunResult {
             values: values_prev.snapshot(),

@@ -665,9 +665,7 @@ impl Engine for LumosEngine {
         }
         stats.io = base_io.plus(&delta);
         let vd = grid.verify_counters().since(&verify_snap);
-        stats.verify_bytes += vd.verify_bytes;
-        stats.corrupt_blocks += vd.corrupt_blocks;
-        stats.repaired_blocks += vd.repaired_blocks;
+        stats.fold_verify(&vd);
         stats.cross_iter_edges = cross_iter_edges;
         stats.prefetch_hits = prefetch_hits;
         stats.prefetch_misses = prefetch_misses;

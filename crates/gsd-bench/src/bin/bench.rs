@@ -1,0 +1,285 @@
+//! CLI for the wall-time benchmark harness (`BENCH_*.json`).
+//!
+//! ```text
+//! bench [--label S] [--warmup N] [--repeats N] [--out FILE]
+//!       [--systems a,b] [--algos a,b] [--datasets a,b] [--no-prefetch]
+//!       [--baseline FILE] [--trace FILE] [--metrics-out FILE]
+//!       [--metrics-every N] [--verbose]
+//! bench --check FILE
+//!
+//! --label S            report label; the default output file is
+//!                      BENCH_<label>.json (default: local)
+//! --warmup N           untimed warmup repeats per cell (default 1)
+//! --repeats N          timed repeats per cell; the median is reported
+//!                      (default 3)
+//! --out FILE           output path (default BENCH_<label>.json in cwd)
+//! --systems a,b        graphsd,hus,lumos,gridgraph (default: all four)
+//! --algos a,b          pr,prd,cc,sssp (default: all four)
+//! --datasets a,b       stand-in names, e.g. twitter_sim (default: all)
+//! --no-prefetch        disable the prefetch pipeline
+//! --baseline FILE      after running, compare the deterministic
+//!                      counters (iterations, bytes moved, prefetch
+//!                      totals) against a committed report; exit nonzero
+//!                      on drift
+//! --check FILE         validate FILE against the BENCH schema and exit
+//! --trace FILE         stream trace events (including bench_repeat) as
+//!                      JSONL to FILE
+//! --metrics-out FILE   write a metrics snapshot (Prometheus text for
+//!                      .prom/.txt, JSON otherwise) fed from the runs
+//! --metrics-every N    additionally rewrite the snapshot every N
+//!                      iterations during the run (default: end only)
+//! --verbose            live per-iteration table on stderr
+//! GSD_SCALE=tiny|small|medium   workload scale (default small)
+//! ```
+//!
+//! Wall times and peak RSS vary between machines and are informational;
+//! only the deterministic counters participate in `--baseline` gating.
+
+use gsd_bench::trace::{install_trace_sink, VerboseSink};
+use gsd_bench::wall::{run_wall, WallOptions};
+use gsd_bench::{Algo, Scale, SystemKind};
+use gsd_metrics::{BenchReport, MetricsSink};
+use gsd_trace::{FanoutSink, JsonlWriter, TraceSink};
+use std::sync::Arc;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench [--label S] [--warmup N] [--repeats N] [--out FILE] \
+         [--systems a,b] [--algos a,b] [--datasets a,b] [--no-prefetch] \
+         [--baseline FILE] [--trace FILE] [--metrics-out FILE] \
+         [--metrics-every N] [--verbose] | bench --check FILE"
+    );
+    eprintln!("systems: graphsd hus lumos gridgraph; algos: pr prd cc sssp");
+    std::process::exit(2);
+}
+
+fn parse_system(name: &str) -> Option<SystemKind> {
+    match name.to_ascii_lowercase().as_str() {
+        "graphsd" | "gsd" => Some(SystemKind::GraphSd),
+        "hus" | "hus-graph" | "husgraph" => Some(SystemKind::HusGraph),
+        "lumos" => Some(SystemKind::Lumos),
+        "gridgraph" | "gridstream" | "grid" => Some(SystemKind::GridStream),
+        _ => None,
+    }
+}
+
+fn parse_algo(name: &str) -> Option<Algo> {
+    match name.to_ascii_lowercase().as_str() {
+        "pr" => Some(Algo::Pr),
+        "prd" | "pr-d" => Some(Algo::PrD),
+        "cc" => Some(Algo::Cc),
+        "sssp" => Some(Algo::Sssp),
+        _ => None,
+    }
+}
+
+fn parse_list<T>(spec: &str, parse: impl Fn(&str) -> Option<T>) -> Option<Vec<T>> {
+    spec.split(',')
+        .filter(|s| !s.is_empty())
+        .map(parse)
+        .collect()
+}
+
+fn check_file(path: &str) -> ! {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("# cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    match BenchReport::from_json(&text) {
+        Ok(report) => {
+            println!(
+                "{path}: valid BENCH schema v{} — {} entr{} at scale {}",
+                report.schema_version,
+                report.entries.len(),
+                if report.entries.len() == 1 {
+                    "y"
+                } else {
+                    "ies"
+                },
+                report.scale,
+            );
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("{path}: INVALID: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut opts = WallOptions {
+        scale: Scale::from_env(),
+        ..WallOptions::default()
+    };
+    let mut out: Option<String> = None;
+    let mut baseline: Option<String> = None;
+    let mut trace_path: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
+    let mut metrics_every: u64 = 0;
+    let mut verbose = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--check" => match it.next() {
+                Some(path) => check_file(path),
+                None => usage(),
+            },
+            "--label" => match it.next() {
+                Some(label) if !label.is_empty() => opts.label = label.clone(),
+                _ => usage(),
+            },
+            "--warmup" => match it.next().and_then(|n| n.parse::<u32>().ok()) {
+                Some(n) => opts.warmup = n,
+                None => usage(),
+            },
+            "--repeats" => match it.next().and_then(|n| n.parse::<u32>().ok()) {
+                Some(n) if n >= 1 => opts.repeats = n,
+                _ => usage(),
+            },
+            "--out" => match it.next() {
+                Some(path) => out = Some(path.clone()),
+                None => usage(),
+            },
+            "--systems" => match it.next().and_then(|s| parse_list(s, parse_system)) {
+                Some(systems) if !systems.is_empty() => opts.systems = systems,
+                _ => usage(),
+            },
+            "--algos" => match it.next().and_then(|s| parse_list(s, parse_algo)) {
+                Some(algos) if !algos.is_empty() => opts.algos = algos,
+                _ => usage(),
+            },
+            "--datasets" => match it.next() {
+                Some(spec) => {
+                    opts.datasets = spec
+                        .split(',')
+                        .filter(|s| !s.is_empty())
+                        .map(str::to_string)
+                        .collect()
+                }
+                None => usage(),
+            },
+            "--no-prefetch" => opts.prefetch = false,
+            "--baseline" => match it.next() {
+                Some(path) => baseline = Some(path.clone()),
+                None => usage(),
+            },
+            "--trace" => match it.next() {
+                Some(path) => trace_path = Some(path.clone()),
+                None => usage(),
+            },
+            "--metrics-out" => match it.next() {
+                Some(path) => metrics_out = Some(path.clone()),
+                None => usage(),
+            },
+            "--metrics-every" => match it.next().and_then(|n| n.parse::<u64>().ok()) {
+                Some(n) => metrics_every = n,
+                None => usage(),
+            },
+            "--verbose" | "-v" => verbose = true,
+            _ => usage(),
+        }
+    }
+
+    let mut sinks: Vec<Arc<dyn TraceSink>> = Vec::new();
+    if let Some(path) = &trace_path {
+        match JsonlWriter::create(path) {
+            Ok(w) => sinks.push(Arc::new(w)),
+            Err(e) => {
+                eprintln!("# cannot create trace file {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let metrics: Option<Arc<MetricsSink>> = metrics_out
+        .as_ref()
+        .map(|path| Arc::new(MetricsSink::with_output(path, metrics_every)));
+    if let Some(m) = &metrics {
+        sinks.push(m.clone());
+    }
+    if verbose {
+        sinks.push(Arc::new(VerboseSink::new()));
+    }
+    let sink: Option<Arc<dyn TraceSink>> = match sinks.len() {
+        0 => None,
+        1 => sinks.pop(),
+        _ => Some(Arc::new(FanoutSink::new(sinks))),
+    };
+    if let Some(sink) = &sink {
+        install_trace_sink(sink.clone());
+    }
+
+    eprintln!(
+        "# wall-time bench — scale {:?}, {} warmup + {} timed repeats, prefetch {}",
+        opts.scale,
+        opts.warmup,
+        opts.repeats,
+        if opts.prefetch { "on" } else { "off" },
+    );
+    let report = match run_wall(&opts) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("# bench FAILED: {e}");
+            std::process::exit(1);
+        }
+    };
+    if let Some(sink) = &sink {
+        sink.flush();
+    }
+    if let Some(m) = &metrics {
+        if m.write_errors() > 0 {
+            eprintln!(
+                "# warning: {} metrics snapshot write(s) failed",
+                m.write_errors()
+            );
+        }
+    }
+
+    for e in &report.entries {
+        eprintln!(
+            "# {:>12} {:>5} {:>12}  median {:>9} us  read {:>11} B  pf {}h/{}m",
+            e.system,
+            e.algorithm,
+            e.dataset,
+            e.wall_us_median,
+            e.bytes_read,
+            e.prefetch_hits,
+            e.prefetch_misses,
+        );
+    }
+
+    let out_path = out.unwrap_or_else(|| report.file_name());
+    if let Err(e) = std::fs::write(&out_path, report.to_json()) {
+        eprintln!("# cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out_path} ({} entries)", report.entries.len());
+
+    if let Some(path) = &baseline {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("# cannot read baseline {path}: {e}");
+                std::process::exit(2);
+            }
+        };
+        let base = match BenchReport::from_json(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("# baseline {path} is invalid: {e}");
+                std::process::exit(2);
+            }
+        };
+        match report.compare_deterministic(&base) {
+            Ok(n) => println!("baseline {path}: {n} cell(s) match on deterministic counters"),
+            Err(drifts) => {
+                eprintln!("# baseline {path}: deterministic counters DRIFTED:\n{drifts}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

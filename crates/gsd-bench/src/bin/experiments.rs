@@ -1,14 +1,21 @@
 //! CLI for the paper-experiment harness.
 //!
 //! ```text
-//! experiments [--trace FILE] [--verbose] [--no-prefetch]
-//!             [--prefetch-depth N] [--checkpoint-every N] [--resume]
-//!             [--inject-faults SEED:RATE] [ids...]
+//! experiments [--trace FILE] [--metrics-out FILE] [--verbose]
+//!             [--no-prefetch] [--prefetch-depth N] [--checkpoint-every N]
+//!             [--resume] [--inject-faults SEED:RATE] [ids...]
 //!
 //! ids                         experiment ids (default: all); `e1`..`e10`
 //!                             are shorthand for fig5..fig12, ext_storage,
 //!                             ext_psweep
 //! --trace FILE                stream every trace event as JSONL to FILE
+//! --metrics-out FILE          aggregate every trace event into a labeled
+//!                             metrics registry and write a snapshot to
+//!                             FILE (Prometheus text format for
+//!                             .prom/.txt, JSON otherwise)
+//! --metrics-every N           additionally rewrite the snapshot every N
+//!                             iterations while running (default: at the
+//!                             end only)
 //! --verbose                   live per-iteration table on stderr
 //! --no-prefetch               fully synchronous reads (the CLI enables
 //!                             the prefetch pipeline by default)
@@ -66,7 +73,8 @@ fn resolve(id: &str) -> &str {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments [--trace FILE] [--verbose] [--no-prefetch] \
+        "usage: experiments [--trace FILE] [--metrics-out FILE] \
+         [--metrics-every N] [--verbose] [--no-prefetch] \
          [--prefetch-depth N] [--checkpoint-every N] [--resume] \
          [--inject-faults SEED:RATE] [--verify off|full|sample:N] [ids...]"
     );
@@ -78,6 +86,8 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut ids: Vec<&str> = Vec::new();
     let mut trace_path: Option<&str> = None;
+    let mut metrics_out: Option<&str> = None;
+    let mut metrics_every: u64 = 0;
     let mut verbose = false;
     let mut prefetch = true;
     let mut prefetch_depth: Option<&str> = None;
@@ -90,6 +100,14 @@ fn main() {
         match arg.as_str() {
             "--trace" => match it.next() {
                 Some(path) => trace_path = Some(path),
+                None => usage(),
+            },
+            "--metrics-out" => match it.next() {
+                Some(path) => metrics_out = Some(path),
+                None => usage(),
+            },
+            "--metrics-every" => match it.next().and_then(|n| n.parse::<u64>().ok()) {
+                Some(n) => metrics_every = n,
                 None => usage(),
             },
             "--verbose" | "-v" => verbose = true,
@@ -155,6 +173,11 @@ fn main() {
             }
         }
     }
+    let metrics: Option<Arc<gsd_metrics::MetricsSink>> = metrics_out
+        .map(|path| Arc::new(gsd_metrics::MetricsSink::with_output(path, metrics_every)));
+    if let Some(m) = &metrics {
+        sinks.push(m.clone());
+    }
     if verbose {
         sinks.push(Arc::new(VerboseSink::new()));
     }
@@ -186,6 +209,14 @@ fn main() {
     }
     if let Some(sink) = &sink {
         sink.flush();
+    }
+    if let Some(m) = &metrics {
+        if m.write_errors() > 0 {
+            eprintln!(
+                "# warning: {} metrics snapshot write(s) failed",
+                m.write_errors()
+            );
+        }
     }
     if !failures.is_empty() {
         eprintln!("# {} experiment(s) failed:", failures.len());

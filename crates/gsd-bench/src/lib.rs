@@ -31,7 +31,9 @@ pub mod experiments;
 pub mod runner;
 pub mod table;
 pub mod trace;
+pub mod wall;
 
 pub use datasets::{Dataset, Datasets, Scale};
 pub use runner::{Algo, RunOutcome, SystemKind};
 pub use trace::{current_sink, install_trace_sink, VerboseSink};
+pub use wall::{run_wall, WallOptions};

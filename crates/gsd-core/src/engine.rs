@@ -411,9 +411,7 @@ impl<'a, P: VertexProgram> Runner<'a, P> {
         }
         self.stats.io = base_io.plus(&delta);
         let vd = self.grid.verify_counters().since(&verify_snap);
-        self.stats.verify_bytes += vd.verify_bytes;
-        self.stats.corrupt_blocks += vd.corrupt_blocks;
-        self.stats.repaired_blocks += vd.repaired_blocks;
+        self.stats.fold_verify(&vd);
         self.stats.scheduler_time = self.scheduler.overhead;
         self.stats.cross_iter_edges = self.cross_iter_edges;
         self.stats.buffer_hits = self.buffer.hits;
@@ -490,9 +488,7 @@ impl<'a, P: VertexProgram> Runner<'a, P> {
         stats.buffer_hits = self.buffer.hits;
         stats.buffer_hit_bytes = self.buffer.hit_bytes;
         let vd = self.grid.verify_counters().since(verify_snap);
-        stats.verify_bytes += vd.verify_bytes;
-        stats.corrupt_blocks += vd.corrupt_blocks;
-        stats.repaired_blocks += vd.repaired_blocks;
+        stats.fold_verify(&vd);
         let delta = self.grid.storage().stats().snapshot().since(run_snap);
         stats.io = base_io.plus(&delta.since(&driver.store.io()));
         let extra = CkptExtra {

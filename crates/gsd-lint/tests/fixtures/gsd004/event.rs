@@ -24,4 +24,8 @@ pub enum TraceEvent {
     CorruptionDetected { block: u32, expected: u64 },
     /// A corrupt object was healed by a re-read.
     BlockRepaired { block: u32, bytes: u64 },
+    /// One timed repeat of a benchmark cell completed.
+    BenchRepeat { repeat: u32, wall_us: u64 },
+    /// A metrics snapshot was written to the exposition file.
+    MetricsFlush { series: u64, bytes: u64 },
 }

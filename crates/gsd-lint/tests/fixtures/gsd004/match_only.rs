@@ -12,6 +12,8 @@ pub fn emit(sink: &dyn Sink) {
     sink.emit(TraceEvent::ChecksumOk { block: 6, bytes: 4096 });
     sink.emit(TraceEvent::CorruptionDetected { block: 6, expected: 9 });
     sink.emit(TraceEvent::BlockRepaired { block: 6, bytes: 4096 });
+    sink.emit(TraceEvent::BenchRepeat { repeat: 2, wall_us: 900 });
+    sink.emit(TraceEvent::MetricsFlush { series: 9, bytes: 2048 });
 }
 
 pub fn describe(ev: &TraceEvent) -> String {
@@ -30,5 +32,7 @@ pub fn describe(ev: &TraceEvent) -> String {
             format!("corrupt {block} (wanted {expected:#x})")
         }
         TraceEvent::BlockRepaired { block, .. } => format!("repaired {block}"),
+        TraceEvent::BenchRepeat { repeat, wall_us } => format!("repeat {repeat} {wall_us}us"),
+        TraceEvent::MetricsFlush { series, bytes } => format!("flush {series} ({bytes} B)"),
     }
 }

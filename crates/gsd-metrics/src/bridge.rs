@@ -1,0 +1,472 @@
+//! Bridging the trace stream into the metrics registry.
+//!
+//! [`MetricsSink`] is a `TraceSink`: attach it (usually inside a
+//! `FanoutSink`) and every event a run emits is folded into a
+//! [`MetricsRegistry`] as labeled counters, gauges and histograms. With
+//! an output file configured it also writes periodic exposition
+//! snapshots during long runs (every N iterations) and a final one on
+//! `flush()`, so `--metrics-out` gives a scrape-able view of a run in
+//! flight, not just a post-mortem.
+//!
+//! The sink is strictly read-only with respect to the run: it never
+//! touches engine state or storage, so results and accounted I/O are
+//! bit-identical with or without it.
+
+use crate::expo::ExpoFormat;
+use crate::registry::{MetricsRegistry, SeriesKey};
+use gsd_runtime::RunStats;
+use gsd_trace::{CounterRegistry, TraceEvent, TraceSink};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Folds one trace event into `reg` as counters/gauges/histograms.
+///
+/// Every event increments `gsd_trace_events_total{ev=...}`; most also
+/// update a semantic series (see the match arms).
+pub fn record_event(reg: &MetricsRegistry, event: &TraceEvent) {
+    reg.inc(
+        SeriesKey::with_labels("gsd_trace_events_total", &[("ev", event.kind())]),
+        1,
+    );
+    match event {
+        TraceEvent::RunStart { engine, algorithm } => {
+            reg.set_gauge(
+                SeriesKey::with_labels(
+                    "gsd_run_info",
+                    &[("engine", engine), ("algorithm", algorithm)],
+                ),
+                1.0,
+            );
+        }
+        TraceEvent::RunEnd { iterations, .. } => {
+            reg.set_gauge(SeriesKey::plain("gsd_iterations"), f64::from(*iterations));
+        }
+        TraceEvent::IterationStart { .. } => {}
+        TraceEvent::IterationEnd {
+            model,
+            frontier,
+            bytes_read,
+            scatter_us,
+            apply_us,
+            io_wait_us,
+            ..
+        } => {
+            reg.inc(SeriesKey::plain("gsd_iterations_total"), 1);
+            reg.inc(
+                SeriesKey::with_labels("gsd_iteration_model_total", &[("model", model.as_str())]),
+                1,
+            );
+            reg.inc(
+                SeriesKey::plain("gsd_iteration_read_bytes_total"),
+                *bytes_read,
+            );
+            reg.set_gauge(SeriesKey::plain("gsd_frontier"), *frontier as f64);
+            reg.observe(SeriesKey::plain("gsd_scatter_us"), *scatter_us);
+            reg.observe(SeriesKey::plain("gsd_apply_us"), *apply_us);
+            reg.observe(SeriesKey::plain("gsd_io_wait_us"), *io_wait_us);
+        }
+        TraceEvent::BlockLoad { bytes, seq, .. } => {
+            let seq = if *seq { "true" } else { "false" };
+            reg.inc(
+                SeriesKey::with_labels("gsd_block_loads_total", &[("seq", seq)]),
+                1,
+            );
+            reg.inc(
+                SeriesKey::with_labels("gsd_block_load_bytes_total", &[("seq", seq)]),
+                *bytes,
+            );
+            reg.observe(SeriesKey::plain("gsd_block_load_bytes"), *bytes);
+        }
+        TraceEvent::SchedulerDecision { chosen, .. } => {
+            reg.inc(
+                SeriesKey::with_labels(
+                    "gsd_scheduler_decisions_total",
+                    &[("chosen", chosen.as_str())],
+                ),
+                1,
+            );
+        }
+        TraceEvent::SciuPass { edges_served, .. } => {
+            reg.inc(
+                SeriesKey::with_labels("gsd_cross_iter_passes_total", &[("kind", "sciu")]),
+                1,
+            );
+            reg.inc(
+                SeriesKey::plain("gsd_cross_iter_edges_total"),
+                *edges_served,
+            );
+        }
+        TraceEvent::FciuPass { edges_served, .. } => {
+            reg.inc(
+                SeriesKey::with_labels("gsd_cross_iter_passes_total", &[("kind", "fciu")]),
+                1,
+            );
+            reg.inc(
+                SeriesKey::plain("gsd_cross_iter_edges_total"),
+                *edges_served,
+            );
+        }
+        TraceEvent::BufferHit { bytes, .. } => {
+            reg.inc(SeriesKey::plain("gsd_buffer_hits_total"), 1);
+            reg.inc(SeriesKey::plain("gsd_buffer_hit_bytes_total"), *bytes);
+        }
+        TraceEvent::BufferEviction { bytes, .. } => {
+            reg.inc(SeriesKey::plain("gsd_buffer_evictions_total"), 1);
+            reg.inc(SeriesKey::plain("gsd_buffer_evicted_bytes_total"), *bytes);
+        }
+        TraceEvent::ValueFlush { bytes, write } => {
+            let dir = if *write { "write" } else { "read" };
+            reg.inc(
+                SeriesKey::with_labels("gsd_value_flushes_total", &[("dir", dir)]),
+                1,
+            );
+            reg.inc(
+                SeriesKey::with_labels("gsd_value_flush_bytes_total", &[("dir", dir)]),
+                *bytes,
+            );
+        }
+        TraceEvent::PrefetchIssued { bytes, .. } => {
+            reg.inc(SeriesKey::plain("gsd_prefetch_issued_total"), 1);
+            reg.inc(SeriesKey::plain("gsd_prefetch_issued_bytes_total"), *bytes);
+        }
+        TraceEvent::PrefetchHit { bytes, .. } => {
+            reg.inc(SeriesKey::plain("gsd_prefetch_hits_total"), 1);
+            reg.inc(SeriesKey::plain("gsd_prefetch_hit_bytes_total"), *bytes);
+        }
+        TraceEvent::PrefetchStall { wait_us, .. } => {
+            reg.inc(SeriesKey::plain("gsd_prefetch_stalls_total"), 1);
+            reg.observe(SeriesKey::plain("gsd_prefetch_stall_us"), *wait_us);
+        }
+        TraceEvent::CkptWritten { bytes, .. } => {
+            reg.inc(SeriesKey::plain("gsd_ckpt_written_total"), 1);
+            reg.inc(SeriesKey::plain("gsd_ckpt_written_bytes_total"), *bytes);
+        }
+        TraceEvent::CkptRestored { bytes, .. } => {
+            reg.inc(SeriesKey::plain("gsd_ckpt_restored_total"), 1);
+            reg.inc(SeriesKey::plain("gsd_ckpt_restored_bytes_total"), *bytes);
+        }
+        TraceEvent::IoRetry { op, .. } => {
+            reg.inc(
+                SeriesKey::with_labels("gsd_io_retries_total", &[("op", op)]),
+                1,
+            );
+        }
+        TraceEvent::IoGaveUp { op, .. } => {
+            reg.inc(
+                SeriesKey::with_labels("gsd_io_gave_up_total", &[("op", op)]),
+                1,
+            );
+        }
+        TraceEvent::ChecksumOk { bytes, .. } => {
+            reg.inc(SeriesKey::plain("gsd_verify_ok_total"), 1);
+            reg.inc(SeriesKey::plain("gsd_verify_bytes_total"), *bytes);
+        }
+        TraceEvent::CorruptionDetected { .. } => {
+            reg.inc(SeriesKey::plain("gsd_corruption_detected_total"), 1);
+        }
+        TraceEvent::BlockRepaired { bytes, .. } => {
+            reg.inc(SeriesKey::plain("gsd_blocks_repaired_total"), 1);
+            reg.inc(SeriesKey::plain("gsd_blocks_repaired_bytes_total"), *bytes);
+        }
+        TraceEvent::BenchRepeat {
+            system,
+            algorithm,
+            wall_us,
+            ..
+        } => {
+            reg.observe(
+                SeriesKey::with_labels(
+                    "gsd_bench_wall_us",
+                    &[("system", system), ("algorithm", algorithm)],
+                ),
+                *wall_us,
+            );
+        }
+        TraceEvent::MetricsFlush { series, bytes } => {
+            reg.inc(SeriesKey::plain("gsd_metrics_flushes_total"), 1);
+            reg.inc(SeriesKey::plain("gsd_metrics_flush_bytes_total"), *bytes);
+            reg.set_gauge(SeriesKey::plain("gsd_metrics_series"), *series as f64);
+        }
+    }
+}
+
+/// Copies a run's final [`RunStats`] into `reg` as gauges, labeled by
+/// engine and algorithm. Called once after a run completes so the last
+/// exposition snapshot carries the authoritative totals.
+pub fn ingest_run_stats(reg: &MetricsRegistry, stats: &RunStats) {
+    let labels: &[(&str, &str)] = &[
+        ("engine", stats.engine.as_str()),
+        ("algorithm", stats.algorithm.as_str()),
+    ];
+    let gauge = |name: &str, v: f64| {
+        reg.set_gauge(SeriesKey::with_labels(name, labels), v);
+    };
+    gauge("gsd_run_iterations", f64::from(stats.iterations));
+    gauge("gsd_run_compute_seconds", stats.compute_time.as_secs_f64());
+    gauge("gsd_run_io_seconds", stats.io_time.as_secs_f64());
+    gauge(
+        "gsd_run_scheduler_seconds",
+        stats.scheduler_time.as_secs_f64(),
+    );
+    gauge(
+        "gsd_run_prefetch_stall_seconds",
+        stats.prefetch_stall_time.as_secs_f64(),
+    );
+    gauge("gsd_run_io_fraction", stats.io_fraction());
+    gauge("gsd_run_read_bytes", stats.io.read_bytes() as f64);
+    gauge("gsd_run_written_bytes", stats.io.write_bytes as f64);
+    gauge("gsd_run_cross_iter_edges", stats.cross_iter_edges as f64);
+    gauge("gsd_run_buffer_hits", stats.buffer_hits as f64);
+    gauge("gsd_run_buffer_hit_bytes", stats.buffer_hit_bytes as f64);
+    gauge("gsd_run_prefetch_hits", stats.prefetch_hits as f64);
+    gauge("gsd_run_prefetch_misses", stats.prefetch_misses as f64);
+    gauge("gsd_run_verify_bytes", stats.verify_bytes as f64);
+    gauge("gsd_run_corrupt_blocks", stats.corrupt_blocks as f64);
+    gauge("gsd_run_repaired_blocks", stats.repaired_blocks as f64);
+}
+
+/// Imports every histogram of a storage backend's [`CounterRegistry`]
+/// into `reg` under a `gsd_storage_` prefix, so request-size and latency
+/// distributions appear next to the trace-derived series.
+pub fn ingest_counter_registry(reg: &MetricsRegistry, counters: &CounterRegistry) {
+    for (name, snapshot) in counters.snapshot() {
+        reg.import_histogram(SeriesKey::plain(format!("gsd_storage_{name}")), snapshot);
+    }
+}
+
+struct SnapshotOutput {
+    path: PathBuf,
+    format: ExpoFormat,
+    /// Write a snapshot every `every` finished iterations (0 = only on
+    /// explicit flush).
+    every: u64,
+    iterations: AtomicU64,
+}
+
+/// A `TraceSink` that aggregates events into a [`MetricsRegistry`] and
+/// (optionally) writes exposition snapshots to a file.
+pub struct MetricsSink {
+    registry: Arc<MetricsRegistry>,
+    output: Option<SnapshotOutput>,
+    write_errors: AtomicU64,
+}
+
+impl MetricsSink {
+    /// A sink aggregating into a fresh registry, with no file output.
+    pub fn new() -> Self {
+        MetricsSink {
+            registry: Arc::new(MetricsRegistry::new()),
+            output: None,
+            write_errors: AtomicU64::new(0),
+        }
+    }
+
+    /// A sink that also writes exposition snapshots to `path` — every
+    /// `every` finished iterations during the run (0 disables periodic
+    /// writes) and once on `flush()`. The format follows the path's
+    /// extension ([`ExpoFormat::from_path`]).
+    pub fn with_output(path: impl AsRef<Path>, every: u64) -> Self {
+        let path = path.as_ref().to_path_buf();
+        MetricsSink {
+            registry: Arc::new(MetricsRegistry::new()),
+            output: Some(SnapshotOutput {
+                format: ExpoFormat::from_path(&path),
+                path,
+                every,
+                iterations: AtomicU64::new(0),
+            }),
+            write_errors: AtomicU64::new(0),
+        }
+    }
+
+    /// The registry this sink aggregates into.
+    pub fn registry(&self) -> Arc<MetricsRegistry> {
+        self.registry.clone()
+    }
+
+    /// Snapshot file writes that failed so far (exposition must never
+    /// take down the run, so errors are counted, not propagated).
+    pub fn write_errors(&self) -> u64 {
+        self.write_errors.load(Ordering::Relaxed)
+    }
+
+    /// Renders the current registry state and writes it to the configured
+    /// output file. No-op without an output. The registry lock is released
+    /// before any file I/O (the snapshot is an owned copy).
+    pub fn write_snapshot(&self) -> std::io::Result<()> {
+        let Some(out) = &self.output else {
+            return Ok(());
+        };
+        let snap = self.registry.snapshot();
+        let rendered = snap.render(out.format);
+        let result = std::fs::write(&out.path, rendered.as_bytes());
+        match &result {
+            Ok(()) => {
+                // Self-observe the flush so the *next* snapshot records it.
+                record_event(
+                    &self.registry,
+                    &TraceEvent::MetricsFlush {
+                        series: snap.series_count(),
+                        bytes: rendered.len() as u64,
+                    },
+                );
+            }
+            Err(_) => {
+                self.write_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        result
+    }
+}
+
+impl Default for MetricsSink {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TraceSink for MetricsSink {
+    fn emit(&self, event: &TraceEvent) {
+        record_event(&self.registry, event);
+        if let (Some(out), TraceEvent::IterationEnd { .. }) = (&self.output, event) {
+            if out.every > 0 {
+                let n = out.iterations.fetch_add(1, Ordering::Relaxed) + 1;
+                if n % out.every == 0 {
+                    let _ = self.write_snapshot();
+                }
+            }
+        }
+    }
+
+    fn flush(&self) {
+        let _ = self.write_snapshot();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsd_trace::AccessModel;
+
+    fn iteration_end(n: u32) -> TraceEvent {
+        TraceEvent::IterationEnd {
+            iteration: n,
+            model: AccessModel::Full,
+            frontier: 8,
+            bytes_read: 1024,
+            scatter_us: 10,
+            apply_us: 5,
+            io_wait_us: 3,
+        }
+    }
+
+    #[test]
+    fn events_fold_into_labeled_series() {
+        let sink = MetricsSink::new();
+        let reg = sink.registry();
+        sink.emit(&TraceEvent::RunStart {
+            engine: "graphsd",
+            algorithm: "PR".to_string(),
+        });
+        sink.emit(&iteration_end(1));
+        sink.emit(&iteration_end(2));
+        sink.emit(&TraceEvent::BlockLoad {
+            i: 0,
+            j: 1,
+            bytes: 4096,
+            seq: true,
+        });
+        sink.emit(&TraceEvent::BufferHit {
+            i: 0,
+            j: 1,
+            bytes: 4096,
+        });
+        assert_eq!(
+            reg.counter_value(&SeriesKey::plain("gsd_iterations_total")),
+            2
+        );
+        assert_eq!(
+            reg.counter_value(&SeriesKey::plain("gsd_iteration_read_bytes_total")),
+            2048
+        );
+        assert_eq!(
+            reg.counter_value(&SeriesKey::with_labels(
+                "gsd_block_loads_total",
+                &[("seq", "true")]
+            )),
+            1
+        );
+        assert_eq!(
+            reg.counter_value(&SeriesKey::plain("gsd_buffer_hit_bytes_total")),
+            4096
+        );
+        assert_eq!(
+            reg.counter_value(&SeriesKey::with_labels(
+                "gsd_trace_events_total",
+                &[("ev", "iteration_end")]
+            )),
+            2
+        );
+        let snap = reg.snapshot();
+        let scatter = snap
+            .histograms
+            .iter()
+            .find(|(k, _)| k.name == "gsd_scatter_us")
+            .map(|(_, h)| h.count);
+        assert_eq!(scatter, Some(2));
+    }
+
+    #[test]
+    fn periodic_snapshots_write_every_n_iterations() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("gsd_metrics_periodic_{}.prom", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let sink = MetricsSink::with_output(&path, 2);
+        sink.emit(&iteration_end(1));
+        assert!(!path.exists(), "no snapshot before the period elapses");
+        sink.emit(&iteration_end(2));
+        assert!(path.exists(), "snapshot written at iteration 2");
+        let text = std::fs::read_to_string(&path).unwrap();
+        crate::expo::validate_prometheus(&text).unwrap();
+        // The flush self-observation lands in the registry for next time.
+        assert_eq!(
+            sink.registry()
+                .counter_value(&SeriesKey::plain("gsd_metrics_flushes_total")),
+            1
+        );
+        sink.flush();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("gsd_metrics_flushes_total 1"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn run_stats_ingest_sets_labeled_gauges() {
+        let reg = MetricsRegistry::new();
+        let mut stats = RunStats::new("graphsd", "PR");
+        stats.iterations = 7;
+        stats.buffer_hits = 3;
+        ingest_run_stats(&reg, &stats);
+        let snap = reg.snapshot();
+        let key = SeriesKey::with_labels(
+            "gsd_run_iterations",
+            &[("engine", "graphsd"), ("algorithm", "PR")],
+        );
+        let v = snap.gauges.iter().find(|(k, _)| *k == key).map(|(_, v)| *v);
+        assert_eq!(v, Some(7.0));
+    }
+
+    #[test]
+    fn counter_registry_histograms_import_with_prefix() {
+        let reg = MetricsRegistry::new();
+        let counters = CounterRegistry::new();
+        counters.histogram("read_bytes").record(512);
+        ingest_counter_registry(&reg, &counters);
+        let snap = reg.snapshot();
+        assert!(snap
+            .histograms
+            .iter()
+            .any(|(k, h)| k.name == "gsd_storage_read_bytes" && h.count == 1));
+    }
+}

@@ -1,0 +1,382 @@
+//! Exposition: rendering a [`MetricsSnapshot`] for the outside world.
+//!
+//! Two formats are supported: the Prometheus text format (version 0.0.4,
+//! the `text/plain` scrape format) and a JSON document built on the
+//! workspace serde stand-in. [`validate_prometheus`] is a strict parser
+//! for the text format used by the acceptance tests and by consumers who
+//! want to check a snapshot file before ingesting it.
+
+use crate::registry::MetricsSnapshot;
+use serde::Serialize;
+
+/// Output format for a metrics snapshot file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExpoFormat {
+    /// Prometheus text format 0.0.4.
+    Prometheus,
+    /// JSON document.
+    Json,
+}
+
+impl ExpoFormat {
+    /// Picks a format from a file path: `.prom` and `.txt` mean
+    /// Prometheus text format, anything else means JSON.
+    pub fn from_path(path: &std::path::Path) -> ExpoFormat {
+        match path.extension().and_then(|e| e.to_str()) {
+            Some("prom") | Some("txt") => ExpoFormat::Prometheus,
+            _ => ExpoFormat::Json,
+        }
+    }
+}
+
+/// Escapes a label value for the text format (`\\`, `\"`, `\n`).
+pub fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Sanitizes a metric or label name to the Prometheus charset
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`); invalid characters become `_`.
+pub fn sanitize_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (idx, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic() || c == '_' || c == ':' || (idx > 0 && c.is_ascii_digit());
+        out.push(if ok { c } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+fn render_series(name: &str, labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    let mut pairs: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{}=\"{}\"", sanitize_name(k), escape_label_value(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        pairs.push(format!("{}=\"{}\"", k, escape_label_value(v)));
+    }
+    if pairs.is_empty() {
+        sanitize_name(name)
+    } else {
+        format!("{}{{{}}}", sanitize_name(name), pairs.join(","))
+    }
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v.is_infinite() {
+        if v > 0.0 { "+Inf" } else { "-Inf" }.to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Renders the snapshot in the Prometheus text format.
+///
+/// Histograms are expanded to cumulative `_bucket{le=...}` samples plus
+/// `_sum` and `_count`, per the exposition format spec. `# HELP` and
+/// `# TYPE` comments are emitted once per metric name.
+pub fn to_prometheus(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    let help_for = |name: &str| -> Option<&str> {
+        snap.help
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h.as_str())
+    };
+    let mut headered: Vec<String> = Vec::new();
+    let mut header = |out: &mut String, name: &str, kind: &str| {
+        let sname = sanitize_name(name);
+        if headered.contains(&sname) {
+            return;
+        }
+        if let Some(help) = help_for(name) {
+            out.push_str(&format!("# HELP {sname} {}\n", help.replace('\n', " ")));
+        }
+        out.push_str(&format!("# TYPE {sname} {kind}\n"));
+        headered.push(sname);
+    };
+
+    for (key, value) in &snap.counters {
+        header(&mut out, &key.name, "counter");
+        out.push_str(&render_series(&key.name, &key.labels, None));
+        out.push_str(&format!(" {value}\n"));
+    }
+    for (key, value) in &snap.gauges {
+        header(&mut out, &key.name, "gauge");
+        out.push_str(&render_series(&key.name, &key.labels, None));
+        out.push_str(&format!(" {}\n", fmt_f64(*value)));
+    }
+    for (key, h) in &snap.histograms {
+        header(&mut out, &key.name, "histogram");
+        let bucket_name = format!("{}_bucket", key.name);
+        let mut cumulative = 0u64;
+        for (upper, n) in &h.buckets {
+            cumulative += n;
+            let le = format!("{upper}");
+            out.push_str(&render_series(&bucket_name, &key.labels, Some(("le", &le))));
+            out.push_str(&format!(" {cumulative}\n"));
+        }
+        out.push_str(&render_series(
+            &bucket_name,
+            &key.labels,
+            Some(("le", "+Inf")),
+        ));
+        out.push_str(&format!(" {}\n", h.count));
+        out.push_str(&render_series(
+            &format!("{}_sum", key.name),
+            &key.labels,
+            None,
+        ));
+        out.push_str(&format!(" {}\n", h.sum));
+        out.push_str(&render_series(
+            &format!("{}_count", key.name),
+            &key.labels,
+            None,
+        ));
+        out.push_str(&format!(" {}\n", h.count));
+    }
+    out
+}
+
+/// Renders the snapshot as a JSON document.
+pub fn to_json(snap: &MetricsSnapshot) -> String {
+    // Serializing an owned Value tree cannot fail.
+    serde_json::to_string_pretty(&snap.to_value()).unwrap_or_default()
+}
+
+fn is_valid_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn is_valid_value(s: &str) -> bool {
+    matches!(s, "+Inf" | "-Inf" | "NaN") || s.parse::<f64>().is_ok()
+}
+
+/// Parses a `{label="value",...}` body; returns `Err` on malformed input.
+fn validate_label_body(body: &str, line_no: usize) -> Result<(), String> {
+    let mut rest = body;
+    loop {
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| format!("line {line_no}: label without '='"))?;
+        let name = &rest[..eq];
+        if !is_valid_name(name) {
+            return Err(format!("line {line_no}: bad label name {name:?}"));
+        }
+        rest = &rest[eq + 1..];
+        let mut chars = rest.char_indices();
+        match chars.next() {
+            Some((_, '"')) => {}
+            _ => return Err(format!("line {line_no}: label value not quoted")),
+        }
+        // Walk the escaped string to its closing quote.
+        let mut close = None;
+        let mut escaped = false;
+        for (idx, c) in chars {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                close = Some(idx);
+                break;
+            }
+        }
+        let close = close.ok_or_else(|| format!("line {line_no}: unterminated label value"))?;
+        rest = &rest[close + 1..];
+        match rest.strip_prefix(',') {
+            Some(more) => rest = more,
+            None if rest.is_empty() => return Ok(()),
+            None => return Err(format!("line {line_no}: junk after label value: {rest:?}")),
+        }
+    }
+}
+
+/// Strictly validates Prometheus text-format exposition: every non-blank
+/// line must be a well-formed `# HELP` / `# TYPE` comment or a sample
+/// line `name[{labels}] value [timestamp]`. Returns the number of sample
+/// lines on success.
+pub fn validate_prometheus(text: &str) -> Result<usize, String> {
+    let mut samples = 0usize;
+    for (idx, line) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let comment = comment.trim_start();
+            if let Some(rest) = comment.strip_prefix("TYPE ") {
+                let mut parts = rest.splitn(2, ' ');
+                let name = parts.next().unwrap_or("");
+                let kind = parts.next().unwrap_or("");
+                if !is_valid_name(name) {
+                    return Err(format!("line {line_no}: bad TYPE metric name {name:?}"));
+                }
+                if !matches!(
+                    kind,
+                    "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                ) {
+                    return Err(format!("line {line_no}: bad TYPE kind {kind:?}"));
+                }
+            } else if let Some(rest) = comment.strip_prefix("HELP ") {
+                let name = rest.split(' ').next().unwrap_or("");
+                if !is_valid_name(name) {
+                    return Err(format!("line {line_no}: bad HELP metric name {name:?}"));
+                }
+            }
+            // Other comments are allowed free-form.
+            continue;
+        }
+        // Sample line: name[{labels}] value [timestamp]
+        let (series, tail) = match line.find('{') {
+            Some(open) => {
+                let close = line
+                    .rfind('}')
+                    .ok_or_else(|| format!("line {line_no}: unbalanced '{{'"))?;
+                if close < open {
+                    return Err(format!("line {line_no}: unbalanced '}}'"));
+                }
+                let name = &line[..open];
+                if !is_valid_name(name) {
+                    return Err(format!("line {line_no}: bad metric name {name:?}"));
+                }
+                let body = &line[open + 1..close];
+                if !body.is_empty() {
+                    validate_label_body(body, line_no)?;
+                }
+                (name, line[close + 1..].trim_start())
+            }
+            None => {
+                let mut parts = line.splitn(2, ' ');
+                let name = parts.next().unwrap_or("");
+                if !is_valid_name(name) {
+                    return Err(format!("line {line_no}: bad metric name {name:?}"));
+                }
+                (name, parts.next().unwrap_or("").trim_start())
+            }
+        };
+        let mut fields = tail.split_whitespace();
+        let value = fields
+            .next()
+            .ok_or_else(|| format!("line {line_no}: series {series:?} has no value"))?;
+        if !is_valid_value(value) {
+            return Err(format!("line {line_no}: bad sample value {value:?}"));
+        }
+        if let Some(ts) = fields.next() {
+            if ts.parse::<i64>().is_err() {
+                return Err(format!("line {line_no}: bad timestamp {ts:?}"));
+            }
+        }
+        if fields.next().is_some() {
+            return Err(format!("line {line_no}: trailing junk after sample"));
+        }
+        samples += 1;
+    }
+    Ok(samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{MetricsRegistry, SeriesKey};
+
+    fn sample_registry() -> MetricsRegistry {
+        let reg = MetricsRegistry::new();
+        reg.set_help("gsd_block_loads_total", "Edge sub-block loads");
+        reg.inc(
+            SeriesKey::with_labels("gsd_block_loads_total", &[("seq", "true")]),
+            7,
+        );
+        reg.inc(
+            SeriesKey::with_labels("gsd_block_loads_total", &[("seq", "false")]),
+            3,
+        );
+        reg.set_gauge(SeriesKey::plain("gsd_frontier"), 42.0);
+        for v in [100u64, 5000, 5000] {
+            reg.observe(SeriesKey::plain("gsd_block_load_bytes"), v);
+        }
+        reg
+    }
+
+    #[test]
+    fn prometheus_text_round_trips_through_validator() {
+        let text = to_prometheus(&sample_registry().snapshot());
+        let samples = validate_prometheus(&text).unwrap();
+        // 2 counters + 1 gauge + (2 buckets + +Inf + sum + count) = 8.
+        assert_eq!(samples, 8);
+        assert!(text.contains("# TYPE gsd_block_loads_total counter"));
+        assert!(text.contains("# HELP gsd_block_loads_total Edge sub-block loads"));
+        assert!(text.contains(r#"gsd_block_loads_total{seq="true"} 7"#));
+        assert!(text.contains("# TYPE gsd_block_load_bytes histogram"));
+        assert!(text.contains(r#"gsd_block_load_bytes_bucket{le="127"} 1"#));
+        // Buckets are cumulative.
+        assert!(text.contains(r#"gsd_block_load_bytes_bucket{le="8191"} 3"#));
+        assert!(text.contains(r#"gsd_block_load_bytes_bucket{le="+Inf"} 3"#));
+        assert!(text.contains("gsd_block_load_bytes_sum 10100"));
+        assert!(text.contains("gsd_block_load_bytes_count 3"));
+        assert!(text.contains("gsd_frontier 42"));
+    }
+
+    #[test]
+    fn validator_rejects_malformed_lines() {
+        assert!(validate_prometheus("9bad_name 1").is_err());
+        assert!(validate_prometheus("name{x=unquoted} 1").is_err());
+        assert!(validate_prometheus("name{x=\"v\"").is_err());
+        assert!(validate_prometheus("name notanumber").is_err());
+        assert!(validate_prometheus("name 1 notatimestamp").is_err());
+        assert!(validate_prometheus("# TYPE name rainbow").is_err());
+        assert!(validate_prometheus("name").is_err());
+        // Valid edge cases.
+        assert_eq!(validate_prometheus("name +Inf\n").unwrap(), 1);
+        assert_eq!(
+            validate_prometheus("name{a=\"x\\\"y\"} 2 123\n").unwrap(),
+            1
+        );
+        assert_eq!(validate_prometheus("\n# free comment\n").unwrap(), 0);
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let reg = MetricsRegistry::new();
+        reg.inc(SeriesKey::with_labels("m", &[("path", "a\\b\"c\nd")]), 1);
+        let text = to_prometheus(&reg.snapshot());
+        assert!(text.contains(r#"m{path="a\\b\"c\nd"} 1"#));
+        validate_prometheus(&text).unwrap();
+    }
+
+    #[test]
+    fn names_are_sanitized() {
+        assert_eq!(sanitize_name("gsd.block-loads"), "gsd_block_loads");
+        assert_eq!(sanitize_name("0abc"), "_abc");
+        assert_eq!(sanitize_name(""), "_");
+    }
+
+    #[test]
+    fn json_exposition_parses_back() {
+        let json = to_json(&sample_registry().snapshot());
+        let v = serde_json::from_str::<serde::Value>(&json).unwrap();
+        let counters = v.get("counters").and_then(|c| match c {
+            serde::Value::Seq(items) => Some(items.len()),
+            _ => None,
+        });
+        assert_eq!(counters, Some(2));
+    }
+}

@@ -1,0 +1,314 @@
+//! A labeled metrics registry.
+//!
+//! Series are identified by a [`SeriesKey`]: a metric name plus a sorted
+//! label set, Prometheus-style (`gsd_block_loads_total{seq="true"}`).
+//! Three kinds are supported — monotonic counters, point-in-time gauges
+//! and log₂ [`Histogram`]s (shared with `gsd-trace`, so snapshots carry
+//! the same p50/p95/p99 accessors everywhere). Everything is snapshotted
+//! into an immutable [`MetricsSnapshot`] before rendering, so exposition
+//! never holds a registry lock across I/O.
+
+use gsd_trace::{Histogram, HistogramSnapshot};
+use serde::{Serialize, Value};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// A metric series identifier: name plus sorted `(label, value)` pairs.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SeriesKey {
+    /// Metric name (`gsd_iterations_total`, ...).
+    pub name: String,
+    /// Label pairs, sorted by label name at construction.
+    pub labels: Vec<(String, String)>,
+}
+
+impl SeriesKey {
+    /// A key for `name` with no labels.
+    pub fn plain(name: impl Into<String>) -> Self {
+        SeriesKey {
+            name: name.into(),
+            labels: Vec::new(),
+        }
+    }
+
+    /// A key for `name` with the given labels (sorted internally so the
+    /// same label set always maps to the same series).
+    pub fn with_labels(name: impl Into<String>, labels: &[(&str, &str)]) -> Self {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        SeriesKey {
+            name: name.into(),
+            labels,
+        }
+    }
+
+    /// Renders `name{label="value",...}` (or just `name` without labels).
+    pub fn render(&self) -> String {
+        if self.labels.is_empty() {
+            return self.name.clone();
+        }
+        let body: Vec<String> = self
+            .labels
+            .iter()
+            .map(|(k, v)| format!("{}=\"{}\"", k, crate::expo::escape_label_value(v)))
+            .collect();
+        format!("{}{{{}}}", self.name, body.join(","))
+    }
+}
+
+impl Serialize for SeriesKey {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("name".to_string(), Value::Str(self.name.clone())),
+            (
+                "labels".to_string(),
+                Value::Map(
+                    self.labels
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Value::Str(v.clone())))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    counters: BTreeMap<SeriesKey, u64>,
+    gauges: BTreeMap<SeriesKey, f64>,
+    histograms: BTreeMap<SeriesKey, Arc<Histogram>>,
+    /// Histogram snapshots imported from an external source (e.g. a
+    /// storage backend's `CounterRegistry`), upserted wholesale.
+    imported: BTreeMap<SeriesKey, HistogramSnapshot>,
+    help: BTreeMap<String, String>,
+}
+
+/// A thread-safe collection of labeled metric series.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<Inner>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Adds `delta` to the counter series `key`.
+    pub fn inc(&self, key: SeriesKey, delta: u64) {
+        let mut inner = self.lock();
+        *inner.counters.entry(key).or_insert(0) += delta;
+    }
+
+    /// Sets the gauge series `key` to `value`.
+    pub fn set_gauge(&self, key: SeriesKey, value: f64) {
+        self.lock().gauges.insert(key, value);
+    }
+
+    /// Records `value` into the histogram series `key`.
+    pub fn observe(&self, key: SeriesKey, value: u64) {
+        let h = {
+            let mut inner = self.lock();
+            inner
+                .histograms
+                .entry(key)
+                .or_insert_with(|| Arc::new(Histogram::new()))
+                .clone()
+        };
+        h.record(value);
+    }
+
+    /// Replaces the imported (externally-snapshotted) histogram `key`.
+    /// Unlike [`observe`](Self::observe) this upserts a whole snapshot at
+    /// once — used to mirror a storage backend's `CounterRegistry` whose
+    /// recording happens outside this registry.
+    pub fn import_histogram(&self, key: SeriesKey, snapshot: HistogramSnapshot) {
+        self.lock().imported.insert(key, snapshot);
+    }
+
+    /// Registers a `# HELP` string for metric `name`.
+    pub fn set_help(&self, name: impl Into<String>, help: impl Into<String>) {
+        self.lock().help.insert(name.into(), help.into());
+    }
+
+    /// Current value of the counter series `key` (0 if never incremented).
+    pub fn counter_value(&self, key: &SeriesKey) -> u64 {
+        self.lock().counters.get(key).copied().unwrap_or(0)
+    }
+
+    /// Point-in-time copy of every series, sorted by key.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.lock();
+        let mut histograms: Vec<(SeriesKey, HistogramSnapshot)> = inner
+            .histograms
+            .iter()
+            .map(|(k, h)| (k.clone(), h.snapshot()))
+            .collect();
+        histograms.extend(inner.imported.iter().map(|(k, s)| (k.clone(), s.clone())));
+        histograms.sort_by(|a, b| a.0.cmp(&b.0));
+        MetricsSnapshot {
+            counters: inner
+                .counters
+                .iter()
+                .map(|(k, v)| (k.clone(), *v))
+                .collect(),
+            gauges: inner.gauges.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            histograms,
+            help: inner
+                .help
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+        }
+    }
+}
+
+/// An immutable point-in-time copy of a [`MetricsRegistry`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counter series, sorted by key.
+    pub counters: Vec<(SeriesKey, u64)>,
+    /// Gauge series, sorted by key.
+    pub gauges: Vec<(SeriesKey, f64)>,
+    /// Histogram series, sorted by key.
+    pub histograms: Vec<(SeriesKey, HistogramSnapshot)>,
+    /// `# HELP` strings, by metric name.
+    pub help: Vec<(String, String)>,
+}
+
+impl MetricsSnapshot {
+    /// Total number of series across all kinds.
+    pub fn series_count(&self) -> u64 {
+        (self.counters.len() + self.gauges.len() + self.histograms.len()) as u64
+    }
+
+    /// Renders the snapshot in the format `fmt`.
+    pub fn render(&self, fmt: crate::expo::ExpoFormat) -> String {
+        match fmt {
+            crate::expo::ExpoFormat::Prometheus => crate::expo::to_prometheus(self),
+            crate::expo::ExpoFormat::Json => crate::expo::to_json(self),
+        }
+    }
+}
+
+impl Serialize for MetricsSnapshot {
+    fn to_value(&self) -> Value {
+        let series = |k: &SeriesKey, v: Value| -> Value {
+            Value::Map(vec![
+                ("series".to_string(), Value::Str(k.render())),
+                ("value".to_string(), v),
+            ])
+        };
+        Value::Map(vec![
+            (
+                "counters".to_string(),
+                Value::Seq(
+                    self.counters
+                        .iter()
+                        .map(|(k, v)| series(k, Value::U64(*v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "gauges".to_string(),
+                Value::Seq(
+                    self.gauges
+                        .iter()
+                        .map(|(k, v)| series(k, Value::F64(*v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "histograms".to_string(),
+                Value::Seq(
+                    self.histograms
+                        .iter()
+                        .map(|(k, v)| series(k, v.to_value()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_per_label_set() {
+        let reg = MetricsRegistry::new();
+        reg.inc(SeriesKey::with_labels("loads", &[("seq", "true")]), 2);
+        reg.inc(SeriesKey::with_labels("loads", &[("seq", "true")]), 3);
+        reg.inc(SeriesKey::with_labels("loads", &[("seq", "false")]), 1);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters.len(), 2);
+        assert_eq!(
+            reg.counter_value(&SeriesKey::with_labels("loads", &[("seq", "true")])),
+            5
+        );
+        assert_eq!(
+            reg.counter_value(&SeriesKey::with_labels("loads", &[("seq", "false")])),
+            1
+        );
+    }
+
+    #[test]
+    fn label_order_is_canonical() {
+        // The same label set in any order maps to the same series.
+        let a = SeriesKey::with_labels("m", &[("b", "2"), ("a", "1")]);
+        let b = SeriesKey::with_labels("m", &[("a", "1"), ("b", "2")]);
+        assert_eq!(a, b);
+        assert_eq!(a.render(), r#"m{a="1",b="2"}"#);
+        assert_eq!(SeriesKey::plain("m").render(), "m");
+    }
+
+    #[test]
+    fn histograms_snapshot_with_quantiles() {
+        let reg = MetricsRegistry::new();
+        for _ in 0..99 {
+            reg.observe(SeriesKey::plain("lat_us"), 10);
+        }
+        reg.observe(SeriesKey::plain("lat_us"), 100_000);
+        let snap = reg.snapshot();
+        assert_eq!(snap.histograms.len(), 1);
+        let (_, h) = &snap.histograms[0];
+        assert_eq!(h.count, 100);
+        assert_eq!(h.p50(), Some(15));
+        assert_eq!(h.p99(), Some(15));
+        assert_eq!(h.quantile(1.0), Some(131_071));
+    }
+
+    #[test]
+    fn imported_histograms_appear_in_snapshot() {
+        let reg = MetricsRegistry::new();
+        let src = Histogram::new();
+        src.record(4096);
+        reg.import_histogram(SeriesKey::plain("storage_read_bytes"), src.snapshot());
+        // Re-import replaces, not merges.
+        src.record(8192);
+        reg.import_histogram(SeriesKey::plain("storage_read_bytes"), src.snapshot());
+        let snap = reg.snapshot();
+        assert_eq!(snap.histograms.len(), 1);
+        assert_eq!(snap.histograms[0].1.count, 2);
+        assert_eq!(snap.series_count(), 1);
+    }
+
+    #[test]
+    fn gauges_overwrite() {
+        let reg = MetricsRegistry::new();
+        reg.set_gauge(SeriesKey::plain("frontier"), 10.0);
+        reg.set_gauge(SeriesKey::plain("frontier"), 3.0);
+        let snap = reg.snapshot();
+        assert_eq!(snap.gauges, vec![(SeriesKey::plain("frontier"), 3.0)]);
+    }
+}

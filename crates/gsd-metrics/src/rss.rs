@@ -1,0 +1,44 @@
+//! Peak resident-set-size sampling.
+//!
+//! Linux exposes the process high-water mark as `VmHWM` in
+//! `/proc/self/status`; elsewhere the file is absent and the probe
+//! returns `None`. Callers treat `None` as "not measured" (serialized
+//! as 0 in `BENCH_*.json`), never as an error — memory footprint is an
+//! informational column, not a gated one.
+
+/// Peak resident set size of the current process in bytes, or `None`
+/// where `/proc/self/status` (or its `VmHWM` line) is unavailable.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    parse_vm_hwm(&status)
+}
+
+fn parse_vm_hwm(status: &str) -> Option<u64> {
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+            return Some(kb * 1024);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_proc_status_format() {
+        let status = "Name:\tgsd\nVmPeak:\t  123 kB\nVmHWM:\t   2048 kB\nThreads:\t4\n";
+        assert_eq!(parse_vm_hwm(status), Some(2048 * 1024));
+        assert_eq!(parse_vm_hwm("Name:\tgsd\n"), None);
+        assert_eq!(parse_vm_hwm("VmHWM:\tgarbage kB\n"), None);
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn live_probe_reports_nonzero() {
+        let rss = peak_rss_bytes().unwrap();
+        assert!(rss > 0);
+    }
+}

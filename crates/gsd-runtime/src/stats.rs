@@ -141,6 +141,16 @@ impl RunStats {
         self.prefetch_stall_time += iter.prefetch_stall_time;
         self.per_iteration.push(iter);
     }
+
+    /// Folds a verification-counter delta into the run totals.
+    /// Additive, not assignment: engines fold several disjoint spans into
+    /// one run (the main run span plus each checkpoint's traffic, or one
+    /// delta per grid in dual-grid engines).
+    pub fn fold_verify(&mut self, delta: &gsd_integrity::VerifyCounters) {
+        self.verify_bytes += delta.verify_bytes;
+        self.corrupt_blocks += delta.corrupt_blocks;
+        self.repaired_blocks += delta.repaired_blocks;
+    }
 }
 
 #[cfg(test)]
@@ -186,6 +196,80 @@ mod tests {
     fn io_fraction_of_empty_run_is_zero() {
         let s = RunStats::new("t", "a");
         assert_eq!(s.io_fraction(), 0.0);
+    }
+
+    #[test]
+    fn push_iteration_totals_equal_per_iteration_sums() {
+        // The folded run totals must equal the sums over `per_iteration`
+        // for every folded field — the invariant `gsd report` relies on
+        // when replaying a trace against RunStats.
+        let mut s = RunStats::new("t", "a");
+        let durations = [(1u32, 10u64, 7u64), (2, 0, 13), (3, 25, 0)];
+        for (n, io_ms, cpu_ms) in durations {
+            let mut it = iter_stats(n, io_ms, cpu_ms);
+            it.prefetch_stall_time = Duration::from_millis(u64::from(n));
+            s.push_iteration(it);
+        }
+        let io_sum: Duration = s.per_iteration.iter().map(|i| i.io_time).sum();
+        let cpu_sum: Duration = s.per_iteration.iter().map(|i| i.compute_time).sum();
+        let stall_sum: Duration = s.per_iteration.iter().map(|i| i.prefetch_stall_time).sum();
+        assert_eq!(s.io_time, io_sum);
+        assert_eq!(s.compute_time, cpu_sum);
+        assert_eq!(s.prefetch_stall_time, stall_sum);
+        assert_eq!(
+            s.iterations,
+            s.per_iteration.iter().map(|i| i.iteration).max().unwrap()
+        );
+    }
+
+    #[test]
+    fn io_fraction_guards_zero_duration_components() {
+        // All-zero run: guarded to 0.0, not NaN.
+        let s = RunStats::new("t", "a");
+        assert_eq!(s.io_fraction(), 0.0);
+        assert!(!s.io_fraction().is_nan());
+        // Pure-compute run: fraction 0 with a nonzero denominator.
+        let mut s = RunStats::new("t", "a");
+        s.push_iteration(iter_stats(1, 0, 50));
+        assert_eq!(s.io_fraction(), 0.0);
+        // Pure-IO run: fraction 1.
+        let mut s = RunStats::new("t", "a");
+        s.push_iteration(iter_stats(1, 50, 0));
+        assert!((s.io_fraction() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fold_verify_is_additive_across_spans() {
+        use gsd_integrity::VerifyCounters;
+        let mut s = RunStats::new("t", "a");
+        s.fold_verify(&VerifyCounters {
+            verify_bytes: 100,
+            corrupt_blocks: 1,
+            repaired_blocks: 1,
+        });
+        // A second span (e.g. checkpoint traffic) folds on top, never
+        // overwrites.
+        s.fold_verify(&VerifyCounters {
+            verify_bytes: 40,
+            corrupt_blocks: 0,
+            repaired_blocks: 2,
+        });
+        assert_eq!(s.verify_bytes, 140);
+        assert_eq!(s.corrupt_blocks, 1);
+        assert_eq!(s.repaired_blocks, 3);
+    }
+
+    #[test]
+    fn prefetch_counters_fold_additively_per_iteration() {
+        // Engines add tracker hit/miss counts per iteration; the totals
+        // are plain sums.
+        let mut s = RunStats::new("t", "a");
+        for (hits, misses) in [(3u64, 1u64), (0, 0), (5, 2)] {
+            s.prefetch_hits += hits;
+            s.prefetch_misses += misses;
+        }
+        assert_eq!(s.prefetch_hits, 8);
+        assert_eq!(s.prefetch_misses, 3);
     }
 
     #[test]

@@ -82,7 +82,7 @@ impl Default for Histogram {
 }
 
 /// A point-in-time copy of a [`Histogram`].
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct HistogramSnapshot {
     /// `(inclusive_upper_bound, count)` for each non-empty bucket,
     /// ascending.
@@ -91,6 +91,61 @@ pub struct HistogramSnapshot {
     pub count: u64,
     /// Sum of all samples.
     pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Upper bound of the bucket containing the `q`-quantile sample
+    /// (`0.0 <= q <= 1.0`), or `None` for an empty histogram.
+    ///
+    /// Power-of-two buckets only bound a sample's bit length, so the
+    /// returned value is the bucket's inclusive upper bound — an
+    /// over-estimate by at most 2×, which is the standard trade-off for
+    /// constant-space histograms. `q` outside `[0, 1]` is clamped.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the quantile sample, 1-based: the smallest rank r with
+        // r >= q * count (ceil), clamped into [1, count].
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for &(upper, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return Some(upper);
+            }
+        }
+        // Bucket counts always sum to `count`, so the loop returns above;
+        // fall back to the last bucket rather than panicking if they ever
+        // disagree.
+        self.buckets.last().map(|&(upper, _)| upper)
+    }
+
+    /// Median (50th percentile) bucket upper bound.
+    pub fn p50(&self) -> Option<u64> {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile bucket upper bound.
+    pub fn p95(&self) -> Option<u64> {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile bucket upper bound.
+    pub fn p99(&self) -> Option<u64> {
+        self.quantile(0.99)
+    }
+
+    /// Mean sample value, or `None` for an empty histogram. Exact (the
+    /// histogram keeps the true sum), unlike the bucketed quantiles.
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum as f64 / self.count as f64)
+        }
+    }
 }
 
 impl Serialize for HistogramSnapshot {
@@ -181,6 +236,74 @@ mod tests {
         assert_eq!(snap.sum, 1030);
         // 0 -> le 0; 1 -> le 1; 2,3 -> le 3; 1024 -> le 2047.
         assert_eq!(snap.buckets, vec![(0, 1), (1, 1), (3, 2), (2047, 1)]);
+    }
+
+    #[test]
+    fn quantiles_of_empty_histogram_are_none() {
+        let snap = Histogram::new().snapshot();
+        assert_eq!(snap.quantile(0.5), None);
+        assert_eq!(snap.p50(), None);
+        assert_eq!(snap.p95(), None);
+        assert_eq!(snap.p99(), None);
+        assert_eq!(snap.mean(), None);
+    }
+
+    #[test]
+    fn quantiles_of_single_sample() {
+        let h = Histogram::new();
+        h.record(1000); // bucket upper bound 1023
+        let snap = h.snapshot();
+        // Every quantile of a one-sample distribution is that sample's
+        // bucket, including the extremes.
+        assert_eq!(snap.quantile(0.0), Some(1023));
+        assert_eq!(snap.p50(), Some(1023));
+        assert_eq!(snap.p95(), Some(1023));
+        assert_eq!(snap.p99(), Some(1023));
+        assert_eq!(snap.quantile(1.0), Some(1023));
+        assert_eq!(snap.mean(), Some(1000.0));
+    }
+
+    #[test]
+    fn quantiles_walk_cumulative_buckets() {
+        let h = Histogram::new();
+        // 90 samples in the `le 15` bucket, 9 in `le 1023`, 1 at the top.
+        for _ in 0..90 {
+            h.record(10);
+        }
+        for _ in 0..9 {
+            h.record(600);
+        }
+        h.record(u64::MAX);
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 100);
+        assert_eq!(snap.p50(), Some(15));
+        assert_eq!(snap.quantile(0.90), Some(15));
+        assert_eq!(snap.p95(), Some(1023));
+        assert_eq!(snap.quantile(0.99), Some(1023));
+        assert_eq!(snap.quantile(1.0), Some(u64::MAX));
+    }
+
+    #[test]
+    fn top_bucket_holds_u64_max_without_overflow() {
+        let h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        let snap = h.snapshot();
+        // The top bucket's inclusive upper bound is u64::MAX itself; the
+        // sum wraps-by-saturation is not required (relaxed adds wrap), but
+        // the quantile path must still return the sentinel bound.
+        assert_eq!(snap.buckets, vec![(u64::MAX, 2)]);
+        assert_eq!(snap.p50(), Some(u64::MAX));
+        assert_eq!(snap.p99(), Some(u64::MAX));
+    }
+
+    #[test]
+    fn out_of_range_quantiles_are_clamped() {
+        let h = Histogram::new();
+        h.record(4);
+        let snap = h.snapshot();
+        assert_eq!(snap.quantile(-1.0), snap.quantile(0.0));
+        assert_eq!(snap.quantile(2.0), snap.quantile(1.0));
     }
 
     #[test]

@@ -220,6 +220,26 @@ pub enum TraceEvent {
         /// Bytes restored.
         bytes: u64,
     },
+    /// One timed repeat of the wall-time benchmark harness finished
+    /// (warmup runs are not traced).
+    BenchRepeat {
+        /// System label under test (e.g. `"GraphSD"`).
+        system: &'static str,
+        /// Algorithm label.
+        algorithm: String,
+        /// 1-based repeat number within the measurement set.
+        repeat: u32,
+        /// Measured end-to-end wall time of the repeat, in microseconds.
+        wall_us: u64,
+    },
+    /// A metrics exposition snapshot was written (periodic during a run,
+    /// or final at shutdown).
+    MetricsFlush {
+        /// Number of metric series in the snapshot.
+        series: u64,
+        /// Bytes of rendered exposition written.
+        bytes: u64,
+    },
 }
 
 impl TraceEvent {
@@ -248,6 +268,8 @@ impl TraceEvent {
             TraceEvent::ChecksumOk { .. } => "checksum_ok",
             TraceEvent::CorruptionDetected { .. } => "corruption_detected",
             TraceEvent::BlockRepaired { .. } => "block_repaired",
+            TraceEvent::BenchRepeat { .. } => "bench_repeat",
+            TraceEvent::MetricsFlush { .. } => "metrics_flush",
         }
     }
 }
@@ -403,6 +425,23 @@ impl Serialize for TraceEvent {
                     u("actual", *actual),
                 ],
             ),
+            TraceEvent::BenchRepeat {
+                system,
+                algorithm,
+                repeat,
+                wall_us,
+            } => tagged(
+                self.kind(),
+                vec![
+                    s("system", system),
+                    s("algorithm", algorithm),
+                    u("repeat", *repeat as u64),
+                    u("wall_us", *wall_us),
+                ],
+            ),
+            TraceEvent::MetricsFlush { series, bytes } => {
+                tagged(self.kind(), vec![u("series", *series), u("bytes", *bytes)])
+            }
         }
     }
 }
@@ -506,6 +545,30 @@ mod tests {
             r#"{"ev":"io_gave_up","op":"read","attempts":4}"#
         );
         assert_eq!(gave_up.kind(), "io_gave_up");
+    }
+
+    #[test]
+    fn metrics_events_serialize_with_stable_tags() {
+        let repeat = TraceEvent::BenchRepeat {
+            system: "GraphSD",
+            algorithm: "PR".to_string(),
+            repeat: 2,
+            wall_us: 1500,
+        };
+        assert_eq!(
+            serde_json::to_string(&repeat).unwrap(),
+            r#"{"ev":"bench_repeat","system":"GraphSD","algorithm":"PR","repeat":2,"wall_us":1500}"#
+        );
+        assert_eq!(repeat.kind(), "bench_repeat");
+        let flush = TraceEvent::MetricsFlush {
+            series: 12,
+            bytes: 4096,
+        };
+        assert_eq!(
+            serde_json::to_string(&flush).unwrap(),
+            r#"{"ev":"metrics_flush","series":12,"bytes":4096}"#
+        );
+        assert_eq!(flush.kind(), "metrics_flush");
     }
 
     #[test]

@@ -236,6 +236,25 @@ mod tests {
     }
 
     #[test]
+    fn jsonl_writer_flushes_on_drop() {
+        // A run that exits without calling flush() must not truncate the
+        // trailing trace events: dropping the writer flushes its buffer.
+        let path =
+            std::env::temp_dir().join(format!("gsd_trace_drop_{}.jsonl", std::process::id()));
+        {
+            let sink = JsonlWriter::create(&path).unwrap();
+            for k in 0..100u32 {
+                sink.emit(&TraceEvent::IterationStart { iteration: k });
+            }
+            // No explicit flush: Drop must do it.
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 100);
+        assert!(text.ends_with('\n'), "last event line is complete");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
     fn null_sink_is_disabled_and_fanout_aggregates() {
         assert!(!NullSink.enabled());
         let ring = Arc::new(RingRecorder::new(8));

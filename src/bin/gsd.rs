@@ -4,6 +4,12 @@
 //! gsd preprocess <edges.txt> <data-dir> [--intervals N] [--budget-mb M] [--degree-balanced]
 //! gsd run <data-dir> <algorithm> [--source V] [--iterations N] [--ablation b1|b2|b3|b4|nobuf]
 //!         [--verify off|full|sample:N] [--on-corruption fail|retry[:N]|quarantine]
+//!         [--trace FILE] [--metrics-out FILE] [--metrics-every N]
+//! gsd bench [--label S] [--warmup N] [--repeats N] [--out FILE] [--systems a,b]
+//!           [--algos a,b] [--datasets a,b] [--scale tiny|small|medium]
+//!           [--no-prefetch] [--baseline FILE]
+//! gsd bench --check FILE
+//! gsd report <trace.jsonl> [--top N]
 //! gsd scrub <data-dir> [--repair <edges.txt>]
 //! gsd info <data-dir>
 //! gsd generate <kind> <vertices> <edges> <out.txt> [--seed S] [--weighted] [--symmetrized]
@@ -13,15 +19,27 @@
 //! Graph kinds: `rmat`, `kronecker`, `erdos-renyi`, `web`, `grid`.
 //! `--verify`/`--on-corruption` default from the `GSD_VERIFY` and
 //! `GSD_ON_CORRUPTION` environment variables.
+//!
+//! `run --metrics-out` aggregates the run's trace events into a labeled
+//! metrics registry and writes a snapshot file (Prometheus text format
+//! for `.prom`/`.txt` paths, JSON otherwise). `bench` measures wall time
+//! per (system, algorithm, dataset) cell on real files and writes a
+//! schema-versioned `BENCH_<label>.json`; `report` replays a JSONL trace
+//! into per-phase breakdowns, I/O histograms, hottest sub-blocks and
+//! scheduler decision explanations.
 
 use graphsd::algos::{Bfs, ConnectedComponents, PageRank, PageRankDelta, Sssp};
+use graphsd::bench::wall::{run_wall, WallOptions};
+use graphsd::bench::{Algo, Scale, SystemKind};
 use graphsd::core::{GraphSdConfig, GraphSdEngine};
 use graphsd::graph::{
     parse_edge_list, preprocess_text, repair_grid, scrub_grid, write_edge_list, CorruptionResponse,
     GeneratorConfig, GraphKind, GridGraph, PreprocessConfig, VerifyPolicy,
 };
 use graphsd::io::{FileStorage, SharedStorage};
+use graphsd::metrics::{BenchReport, MetricsSink, TraceReport};
 use graphsd::runtime::{Engine, RunOptions, RunResult, RunStats, Value, VertexProgram};
+use graphsd::trace::{FanoutSink, JsonlWriter, TraceSink};
 use std::io::BufReader;
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -30,7 +48,10 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  \
          gsd preprocess <edges.txt> <data-dir> [--intervals N] [--budget-mb M] [--degree-balanced]\n  \
-         gsd run <data-dir> <pagerank|pagerank-delta|cc|sssp|bfs> [--source V] [--iterations N] [--ablation b1|b2|b3|b4|nobuf] [--top K] [--verify off|full|sample:N] [--on-corruption fail|retry[:N]|quarantine]\n  \
+         gsd run <data-dir> <pagerank|pagerank-delta|cc|sssp|bfs> [--source V] [--iterations N] [--ablation b1|b2|b3|b4|nobuf] [--top K] [--verify off|full|sample:N] [--on-corruption fail|retry[:N]|quarantine] [--trace FILE] [--metrics-out FILE] [--metrics-every N]\n  \
+         gsd bench [--label S] [--warmup N] [--repeats N] [--out FILE] [--systems a,b] [--algos a,b] [--datasets a,b] [--scale tiny|small|medium] [--no-prefetch] [--baseline FILE]\n  \
+         gsd bench --check FILE\n  \
+         gsd report <trace.jsonl> [--top N]\n  \
          gsd scrub <data-dir> [--repair <edges.txt>]\n  \
          gsd info <data-dir>\n  \
          gsd generate <rmat|kronecker|erdos-renyi|web|grid> <vertices> <edges> <out.txt> [--seed S] [--weighted] [--symmetrized]"
@@ -95,6 +116,8 @@ fn main() -> ExitCode {
     let result = match command.as_str() {
         "preprocess" => cmd_preprocess(&args),
         "run" => cmd_run(&args),
+        "bench" => cmd_bench(&args),
+        "report" => cmd_report(&args),
         "scrub" => cmd_scrub(&args),
         "info" => cmd_info(&args),
         "generate" => cmd_generate(&args),
@@ -182,6 +205,35 @@ fn cmd_run(args: &Args) -> Result<(), String> {
             .unwrap_or("full"),
     )?;
     let mut engine = GraphSdEngine::new(grid, config).map_err(|e| e.to_string())?;
+
+    // Observability side-channels: a JSONL event trace and/or a metrics
+    // snapshot. Both are strictly observational — results and accounted
+    // I/O are bit-identical with or without them.
+    let mut sinks: Vec<Arc<dyn TraceSink>> = Vec::new();
+    if let Some(path) = args.flag_value::<String>("trace")? {
+        let writer = JsonlWriter::create(&path).map_err(|e| format!("--trace {path}: {e}"))?;
+        sinks.push(Arc::new(writer));
+    }
+    let metrics_out = args.flag_value::<String>("metrics-out")?;
+    let metrics: Option<Arc<MetricsSink>> = match &metrics_out {
+        Some(path) => {
+            let every: u64 = args.flag_value("metrics-every")?.unwrap_or(0);
+            Some(Arc::new(MetricsSink::with_output(path, every)))
+        }
+        None => None,
+    };
+    if let Some(m) = &metrics {
+        sinks.push(m.clone());
+    }
+    let sink: Option<Arc<dyn TraceSink>> = match sinks.len() {
+        0 => None,
+        1 => sinks.pop(),
+        _ => Some(Arc::new(FanoutSink::new(sinks))),
+    };
+    if let Some(s) = &sink {
+        engine.set_trace(s.clone());
+    }
+
     let options = RunOptions {
         max_iterations: args.flag_value("iterations")?,
         iteration_cap: None,
@@ -221,6 +273,20 @@ fn cmd_run(args: &Args) -> Result<(), String> {
             println!("{reached} vertices reachable from {source}");
         }
         other => return Err(format!("unknown algorithm {other:?}")),
+    }
+    if let Some(s) = &sink {
+        s.flush();
+    }
+    if let Some(m) = &metrics {
+        if m.write_errors() > 0 {
+            return Err(format!(
+                "{} metrics snapshot write(s) failed",
+                m.write_errors()
+            ));
+        }
+        if let Some(path) = &metrics_out {
+            println!("metrics snapshot written to {path}");
+        }
     }
     Ok(())
 }
@@ -285,6 +351,138 @@ fn print_top<V: Value>(
     for (v, x) in ranked.into_iter().take(top) {
         println!("  {v:>10}  {}", render(x));
     }
+}
+
+fn parse_scale(name: &str) -> Result<Scale, String> {
+    match name {
+        "tiny" => Ok(Scale::Tiny),
+        "small" => Ok(Scale::Small),
+        "medium" => Ok(Scale::Medium),
+        other => Err(format!("unknown scale {other:?} (tiny|small|medium)")),
+    }
+}
+
+fn parse_system(name: &str) -> Result<SystemKind, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "graphsd" | "gsd" => Ok(SystemKind::GraphSd),
+        "hus" | "hus-graph" | "husgraph" => Ok(SystemKind::HusGraph),
+        "lumos" => Ok(SystemKind::Lumos),
+        "gridgraph" | "gridstream" | "grid" => Ok(SystemKind::GridStream),
+        other => Err(format!(
+            "unknown system {other:?} (graphsd|hus|lumos|gridgraph)"
+        )),
+    }
+}
+
+fn parse_algo(name: &str) -> Result<Algo, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "pr" | "pagerank" => Ok(Algo::Pr),
+        "prd" | "pr-d" | "pagerank-delta" => Ok(Algo::PrD),
+        "cc" => Ok(Algo::Cc),
+        "sssp" => Ok(Algo::Sssp),
+        other => Err(format!("unknown algorithm {other:?} (pr|prd|cc|sssp)")),
+    }
+}
+
+fn parse_list<T>(spec: &str, parse: impl Fn(&str) -> Result<T, String>) -> Result<Vec<T>, String> {
+    let items: Result<Vec<T>, String> = spec
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(parse)
+        .collect();
+    let items = items?;
+    if items.is_empty() {
+        return Err(format!("empty list {spec:?}"));
+    }
+    Ok(items)
+}
+
+fn cmd_bench(args: &Args) -> Result<(), String> {
+    if let Some(path) = args.flag_value::<String>("check")? {
+        let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+        let report = BenchReport::from_json(&text).map_err(|e| format!("{path}: {e}"))?;
+        println!(
+            "{path}: valid BENCH schema v{} — {} entries at scale {}",
+            report.schema_version,
+            report.entries.len(),
+            report.scale
+        );
+        return Ok(());
+    }
+    let mut opts = WallOptions {
+        scale: Scale::from_env(),
+        ..WallOptions::default()
+    };
+    if let Some(label) = args.flag_value::<String>("label")? {
+        opts.label = label;
+    }
+    if let Some(n) = args.flag_value::<u32>("warmup")? {
+        opts.warmup = n;
+    }
+    if let Some(n) = args.flag_value::<u32>("repeats")? {
+        if n == 0 {
+            return Err("--repeats must be at least 1".into());
+        }
+        opts.repeats = n;
+    }
+    if let Some(spec) = args.flag_value::<String>("scale")? {
+        opts.scale = parse_scale(&spec)?;
+    }
+    if let Some(spec) = args.flag_value::<String>("systems")? {
+        opts.systems = parse_list(&spec, parse_system)?;
+    }
+    if let Some(spec) = args.flag_value::<String>("algos")? {
+        opts.algos = parse_list(&spec, parse_algo)?;
+    }
+    if let Some(spec) = args.flag_value::<String>("datasets")? {
+        opts.datasets = spec
+            .split(',')
+            .filter(|s| !s.is_empty())
+            .map(str::to_string)
+            .collect();
+    }
+    if args.has("no-prefetch") {
+        opts.prefetch = false;
+    }
+
+    let report = run_wall(&opts).map_err(|e| e.to_string())?;
+    for e in &report.entries {
+        println!(
+            "{:>12} {:>5} {:>12}  median {:>9} us  read {:>11} B  pf {}h/{}m",
+            e.system,
+            e.algorithm,
+            e.dataset,
+            e.wall_us_median,
+            e.bytes_read,
+            e.prefetch_hits,
+            e.prefetch_misses
+        );
+    }
+    let out = args
+        .flag_value::<String>("out")?
+        .unwrap_or_else(|| report.file_name());
+    std::fs::write(&out, report.to_json()).map_err(|e| format!("{out}: {e}"))?;
+    println!("wrote {out} ({} entries)", report.entries.len());
+
+    if let Some(path) = args.flag_value::<String>("baseline")? {
+        let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+        let base = BenchReport::from_json(&text).map_err(|e| format!("{path}: {e}"))?;
+        let n = report
+            .compare_deterministic(&base)
+            .map_err(|drifts| format!("deterministic counters drifted vs {path}:\n{drifts}"))?;
+        println!("baseline {path}: {n} cell(s) match on deterministic counters");
+    }
+    Ok(())
+}
+
+fn cmd_report(args: &Args) -> Result<(), String> {
+    let [path] = args.positional.as_slice() else {
+        return Err("report needs <trace.jsonl>".into());
+    };
+    let top: usize = args.flag_value("top")?.unwrap_or(10);
+    let report = TraceReport::from_path(path).map_err(|e| format!("{path}: {e}"))?;
+    print!("{}", report.render_text(top));
+    Ok(())
 }
 
 fn cmd_scrub(args: &Args) -> Result<(), String> {

@@ -37,10 +37,12 @@
 
 pub use gsd_algos as algos;
 pub use gsd_baselines as baselines;
+pub use gsd_bench as bench;
 pub use gsd_core as core;
 pub use gsd_graph as graph;
 pub use gsd_integrity as integrity;
 pub use gsd_io as io;
+pub use gsd_metrics as metrics;
 pub use gsd_pipeline as pipeline;
 pub use gsd_recover as recover;
 pub use gsd_runtime as runtime;

@@ -1,0 +1,217 @@
+//! The observability pipeline's neutrality and exactness contracts,
+//! end to end across all four engines:
+//!
+//! 1. **Neutrality** — attaching a [`MetricsSink`] (or any trace sink)
+//!    must leave committed values and accounted I/O bit-identical to a
+//!    run with the default disabled sink, with the prefetch pipeline on
+//!    or off.
+//! 2. **Replay exactness** — `gsd report` replaying a JSONL trace of a
+//!    run must reproduce the run's `RunStats` counters exactly
+//!    ([`RunSection::matches_run_stats`]).
+//! 3. **Exposition validity** — the Prometheus rendering of the
+//!    aggregated registry must pass the strict text-format validator.
+
+use graphsd::algos::{ConnectedComponents, PageRank, PageRankDelta, Sssp};
+use graphsd::baselines::{
+    build_hus_format, build_lumos_format, GridStreamEngine, HusGraphEngine, LumosEngine,
+};
+use graphsd::core::{GraphSdConfig, GraphSdEngine, PipelineConfig};
+use graphsd::graph::{preprocess, GeneratorConfig, Graph, GraphKind, GridGraph, PreprocessConfig};
+use graphsd::io::{DiskModel, SharedStorage, SimDisk, TempDir};
+use graphsd::metrics::expo::validate_prometheus;
+use graphsd::metrics::{ExpoFormat, MetricsSink, TraceReport};
+use graphsd::runtime::{Engine, RunOptions, RunResult, RunStats, VertexProgram};
+use graphsd::trace::{JsonlWriter, TraceSink};
+use std::sync::Arc;
+
+fn graph() -> Graph {
+    GeneratorConfig::new(GraphKind::RMat, 1000, 9000, 77).generate()
+}
+
+/// Everything a run produces except wall-clock durations: committed
+/// values, iteration structure, and the full I/O accounting.
+fn fingerprint<V: Clone + PartialEq + std::fmt::Debug>(
+    r: &RunResult<V>,
+) -> impl PartialEq + std::fmt::Debug {
+    (
+        r.values.clone(),
+        r.stats.iterations,
+        r.stats.io,
+        r.stats.buffer_hits,
+        r.stats.buffer_hit_bytes,
+        r.stats.cross_iter_edges,
+        r.stats
+            .per_iteration
+            .iter()
+            .map(|it| (it.iteration, it.model, it.frontier, it.io))
+            .collect::<Vec<_>>(),
+    )
+}
+
+/// Builds each of the four engines over a fresh simulated disk and runs
+/// `program`, routing events to `sink` when given.
+fn run_engine<P: VertexProgram>(
+    which: &str,
+    g: &Graph,
+    prefetch: bool,
+    sink: Option<Arc<dyn TraceSink>>,
+    program: &P,
+) -> RunResult<P::Value> {
+    let storage: SharedStorage = Arc::new(SimDisk::new(DiskModel::hdd()));
+    let opts = RunOptions::default();
+    let pipeline = prefetch.then(|| PipelineConfig::with_depth(2));
+    match which {
+        "graphsd" => {
+            preprocess(
+                g,
+                storage.as_ref(),
+                &PreprocessConfig::graphsd("").with_intervals(4),
+            )
+            .unwrap();
+            let config = match &pipeline {
+                Some(p) => GraphSdConfig::full().with_prefetch(*p),
+                None => GraphSdConfig::full().without_prefetch(),
+            };
+            let mut e = GraphSdEngine::new(GridGraph::open(storage).unwrap(), config).unwrap();
+            if let Some(s) = sink {
+                e.set_trace(s);
+            }
+            e.run(program, &opts).unwrap()
+        }
+        "hus" => {
+            let (format, _) = build_hus_format(g, &storage, "", Some(4)).unwrap();
+            let mut e = HusGraphEngine::new(format).unwrap();
+            if let Some(s) = sink {
+                e.set_trace(s);
+            }
+            e.run(program, &opts).unwrap()
+        }
+        "lumos" => {
+            let (grid, _) = build_lumos_format(g, &storage, "", Some(4)).unwrap();
+            let mut e = LumosEngine::new(grid).unwrap();
+            e.set_prefetch(pipeline);
+            if let Some(s) = sink {
+                e.set_trace(s);
+            }
+            e.run(program, &opts).unwrap()
+        }
+        "gridstream" => {
+            preprocess(
+                g,
+                storage.as_ref(),
+                &PreprocessConfig::graphsd("").with_intervals(4),
+            )
+            .unwrap();
+            let mut e = GridStreamEngine::new(GridGraph::open(storage).unwrap()).unwrap();
+            if let Some(s) = sink {
+                e.set_trace(s);
+            }
+            e.run(program, &opts).unwrap()
+        }
+        other => panic!("unknown engine {other}"),
+    }
+}
+
+const ENGINES: [&str; 4] = ["graphsd", "hus", "lumos", "gridstream"];
+
+#[test]
+fn metrics_sink_is_neutral_across_engines_and_prefetch_modes() {
+    let g = graph();
+    for which in ENGINES {
+        for prefetch in [false, true] {
+            let bare = run_engine(which, &g, prefetch, None, &PageRank::paper());
+            let sink = Arc::new(MetricsSink::new());
+            let observed = run_engine(
+                which,
+                &g,
+                prefetch,
+                Some(sink.clone() as Arc<dyn TraceSink>),
+                &PageRank::paper(),
+            );
+            assert_eq!(
+                fingerprint(&bare),
+                fingerprint(&observed),
+                "{which} prefetch={prefetch}: metrics sink must not perturb the run"
+            );
+            let snap = sink.registry().snapshot();
+            assert!(
+                snap.series_count() > 0,
+                "{which}: the sink must actually have aggregated events"
+            );
+        }
+    }
+}
+
+/// Traces a run to a JSONL file and replays it; the replayed counters
+/// must equal the run's `RunStats` exactly.
+fn trace_and_replay<P: VertexProgram>(
+    which: &str,
+    g: &Graph,
+    prefetch: bool,
+    program: &P,
+) -> (RunStats, TraceReport)
+where
+    P::Value: Clone + PartialEq + std::fmt::Debug,
+{
+    let dir = TempDir::new("gsd-metrics-e2e").unwrap();
+    let path = dir.path().join("trace.jsonl");
+    let sink: Arc<dyn TraceSink> = Arc::new(JsonlWriter::create(&path).unwrap());
+    let result = run_engine(which, g, prefetch, Some(sink.clone()), program);
+    sink.flush();
+    let report = TraceReport::from_path(&path).unwrap();
+    (result.stats, report)
+}
+
+#[test]
+fn report_replay_reproduces_run_stats_for_all_engines() {
+    let g = graph();
+    for which in ENGINES {
+        let (stats, report) = trace_and_replay(which, &g, true, &PageRank::paper());
+        assert_eq!(report.parse_errors, 0, "{which}");
+        assert_eq!(report.runs.len(), 1, "{which}");
+        report.runs[0]
+            .matches_run_stats(&stats)
+            .unwrap_or_else(|e| panic!("{which}: replay mismatch: {e}"));
+    }
+}
+
+#[test]
+fn report_replay_handles_convergence_and_sciu_workloads() {
+    // PageRank-Delta shrinks the frontier (SCIU passes appear in the
+    // trace); CC and SSSP run to convergence. All three must replay
+    // exactly on the full GraphSD engine.
+    let g = graph();
+    let (stats, report) = trace_and_replay("graphsd", &g, true, &PageRankDelta::paper());
+    report.runs[0].matches_run_stats(&stats).unwrap();
+
+    let sym = g.symmetrized();
+    let (stats, report) = trace_and_replay("graphsd", &sym, false, &ConnectedComponents);
+    report.runs[0].matches_run_stats(&stats).unwrap();
+
+    let weighted = GeneratorConfig::new(GraphKind::RMat, 800, 6400, 13)
+        .weighted()
+        .generate();
+    let (stats, report) = trace_and_replay("graphsd", &weighted, true, &Sssp::new(0));
+    report.runs[0].matches_run_stats(&stats).unwrap();
+}
+
+#[test]
+fn prometheus_exposition_of_a_real_run_is_valid_text_format() {
+    let g = graph();
+    let sink = Arc::new(MetricsSink::new());
+    run_engine(
+        "graphsd",
+        &g,
+        true,
+        Some(sink.clone() as Arc<dyn TraceSink>),
+        &PageRank::paper(),
+    );
+    let snap = sink.registry().snapshot();
+    let text = snap.render(ExpoFormat::Prometheus);
+    let samples = validate_prometheus(&text)
+        .unwrap_or_else(|e| panic!("invalid Prometheus exposition: {e}\n{text}"));
+    assert!(samples > 10, "expected a rich exposition, got {samples}");
+    // JSON rendering parses back as JSON.
+    let json = snap.render(ExpoFormat::Json);
+    assert!(serde_json::value_from_slice(json.as_bytes()).is_ok());
+}
