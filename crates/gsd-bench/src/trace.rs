@@ -127,7 +127,26 @@ impl TraceSink for VerboseSink {
                 st.prefetch_misses = 0;
                 st.stall_us = 0;
             }
-            _ => {}
+            // The verbose table only tracks per-iteration I/O behaviour;
+            // the remaining events are intentionally not rendered, listed
+            // explicitly so a new variant forces a decision here (GSD012).
+            TraceEvent::RunEnd { .. }
+            | TraceEvent::IterationStart { .. }
+            | TraceEvent::BlockLoad { .. }
+            | TraceEvent::SciuPass { .. }
+            | TraceEvent::FciuPass { .. }
+            | TraceEvent::BufferEviction { .. }
+            | TraceEvent::ValueFlush { .. }
+            | TraceEvent::PrefetchIssued { .. }
+            | TraceEvent::CkptWritten { .. }
+            | TraceEvent::CkptRestored { .. }
+            | TraceEvent::IoRetry { .. }
+            | TraceEvent::IoGaveUp { .. }
+            | TraceEvent::ChecksumOk { .. }
+            | TraceEvent::CorruptionDetected { .. }
+            | TraceEvent::BlockRepaired { .. }
+            | TraceEvent::BenchRepeat { .. }
+            | TraceEvent::MetricsFlush { .. } => {}
         }
     }
 }

@@ -10,7 +10,7 @@
 
 use gsd_graph::Edge;
 use gsd_trace::{TraceEvent, TraceSink};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 struct Entry {
@@ -23,7 +23,7 @@ struct Entry {
 pub struct SubBlockBuffer {
     capacity: u64,
     used: u64,
-    entries: HashMap<(u32, u32), Entry>,
+    entries: BTreeMap<(u32, u32), Entry>,
     trace: Arc<dyn TraceSink>,
     /// Number of reads served from the buffer.
     pub hits: u64,
@@ -39,7 +39,7 @@ impl SubBlockBuffer {
         SubBlockBuffer {
             capacity,
             used: 0,
-            entries: HashMap::new(),
+            entries: BTreeMap::new(),
             trace: gsd_trace::null_sink(),
             hits: 0,
             hit_bytes: 0,
@@ -125,11 +125,11 @@ impl SubBlockBuffer {
             return false;
         }
         while self.used + bytes > self.capacity {
-            // Ties on priority are broken by block coordinates: HashMap
-            // iteration order is randomized per instance, and a
-            // timing-free victim choice is what keeps accounted I/O
-            // bit-identical across repeats (the bench harness gates on
-            // it).
+            // The residency map is a `BTreeMap`, so this scan visits
+            // candidates in coordinate order and ties on priority break
+            // toward the smallest coordinates — a timing-free victim
+            // choice is what keeps accounted I/O bit-identical across
+            // repeats (the bench harness gates on it).
             let victim = self
                 .entries
                 .iter()

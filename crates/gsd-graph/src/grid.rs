@@ -486,7 +486,9 @@ mod tests {
         let (g, grid) = setup(3);
         let intervals = grid.intervals().clone();
         // Adjacency from the raw graph, per (vertex, dst-interval).
-        let mut expect: std::collections::HashMap<(u32, u32), Vec<u32>> = Default::default();
+        // BTreeMap keeps the removal walk below in deterministic
+        // coordinate order (GSD007 discipline, even in tests).
+        let mut expect: std::collections::BTreeMap<(u32, u32), Vec<u32>> = Default::default();
         for e in g.edges() {
             expect
                 .entry((e.src, intervals.interval_of(e.dst)))

@@ -12,7 +12,7 @@ use crate::stats::IoStats;
 use gsd_trace::Stopwatch;
 use gsd_trace::{CounterRegistry, Histogram};
 use parking_lot::{Mutex, RwLock};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fs;
 use std::io::{Error, ErrorKind, Write as _};
 use std::path::{Path, PathBuf};
@@ -46,7 +46,10 @@ pub trait Storage: Send + Sync {
     /// Deletes object `key` (idempotent: missing keys are not an error).
     fn delete(&self, key: &str) -> crate::Result<()>;
 
-    /// All existing keys, in unspecified order.
+    /// All existing keys, in lexicographic order. The ordering is part
+    /// of the contract: scrub, recovery-GC and repair walk this list,
+    /// and a backend-dependent order would make their trace and repair
+    /// logs differ run to run (GSD007's determinism discipline).
     fn list_keys(&self) -> Vec<String>;
 
     /// The I/O counters this backend reports into.
@@ -141,8 +144,8 @@ fn out_of_range(key: &str, offset: u64, len: usize, size: u64) -> Error {
 /// be classified sequential vs random without trusting caller hints.
 #[derive(Default)]
 struct Cursors {
-    read_end: HashMap<String, u64>,
-    write_end: HashMap<String, u64>,
+    read_end: BTreeMap<String, u64>,
+    write_end: BTreeMap<String, u64>,
 }
 
 impl Cursors {
@@ -212,7 +215,7 @@ impl RequestCounters {
 
 /// Purely in-memory backend used by unit tests: full accounting, no timing.
 pub struct MemStorage {
-    objects: RwLock<HashMap<String, Arc<Vec<u8>>>>,
+    objects: RwLock<BTreeMap<String, Arc<Vec<u8>>>>,
     cursors: Mutex<Cursors>,
     stats: Arc<IoStats>,
     req: RequestCounters,
@@ -222,7 +225,7 @@ impl MemStorage {
     /// Creates an empty in-memory store.
     pub fn new() -> Self {
         MemStorage {
-            objects: RwLock::new(HashMap::new()),
+            objects: RwLock::new(BTreeMap::new()),
             cursors: Mutex::new(Cursors::default()),
             stats: Arc::new(IoStats::new()),
             req: RequestCounters::new(),
@@ -352,6 +355,8 @@ impl Storage for MemStorage {
     }
 
     fn list_keys(&self) -> Vec<String> {
+        // `BTreeMap` keys come back already in the trait's lexicographic
+        // order.
         self.objects.read().keys().cloned().collect()
     }
 
@@ -518,6 +523,9 @@ impl Storage for FileStorage {
         }
         let mut out = Vec::new();
         walk(&self.root, &self.root, &mut out);
+        // Directory walk order is filesystem-dependent; the trait
+        // promises lexicographic.
+        out.sort_unstable();
         out
     }
 

@@ -55,6 +55,12 @@ pub struct RuleConfig {
     pub paths: Vec<String>,
     /// Paths exempt from the rule even when inside `paths`.
     pub allow_paths: Vec<String>,
+    /// Identifier allow list (GSD010: counter fields/statics that may use
+    /// `Ordering::Relaxed`). Empty = rule's built-in default list.
+    pub idents: Vec<String>,
+    /// Enum names the rule applies to (GSD012: enums whose matches must
+    /// be exhaustive). Empty = rule's built-in default list.
+    pub enums: Vec<String>,
 }
 
 /// Full lint configuration: file walking plus per-rule settings.
@@ -124,6 +130,8 @@ impl LintConfig {
                             }
                             "paths" => rc.paths = value.as_list(section, key)?,
                             "allow_paths" => rc.allow_paths = value.as_list(section, key)?,
+                            "idents" => rc.idents = value.as_list(section, key)?,
+                            "enums" => rc.enums = value.as_list(section, key)?,
                             other => {
                                 return Err(format!("unknown key `{other}` in [{rule}]"));
                             }

@@ -1,0 +1,694 @@
+//! Intra-function dataflow for the determinism rules.
+//!
+//! Tracks, per function body, which bindings hold (a) unordered hash
+//! containers, (b) live iterators over them, or (c) collections whose
+//! *contents were produced* by unordered iteration. A diagnostic fires
+//! only when that nondeterministic order is **observed** — consumed by
+//! an order-sensitive reduction (GSD008 for floats, GSD007 otherwise),
+//! iterated into ordered output, serialized, indexed, returned, or
+//! passed to a callee that could do any of those. Sorting a collected
+//! vector *before* any order-observing use clears the mark, and
+//! collecting into a re-keying container (`BTreeMap`, `BTreeSet`,
+//! another hash map…) is fine — the source order is discarded.
+//!
+//! No full type inference: types come from `let` annotations, struct
+//! field declarations, parameter types, constructor paths
+//! (`HashMap::new()`) and `collect::<T>()` turbofish. Unknown types are
+//! never flagged — the rule is deliberately "certain or silent".
+
+use crate::lexer::Tok;
+use crate::parser::{Block, Chain, ChainBase, Expr, ExprKind, FnItem, PostfixKind, Stmt};
+use crate::symbols::{
+    is_float_ty, is_int_ty, is_rekeying_container, is_unordered_container, SymbolTable,
+};
+use std::collections::BTreeMap;
+
+/// One dataflow diagnostic, attributed to a rule by id.
+#[derive(Debug, Clone)]
+pub struct FlowFinding {
+    /// `"GSD007"` or `"GSD008"`.
+    pub rule: &'static str,
+    /// 1-based line the finding anchors to.
+    pub line: u32,
+    /// Human explanation, site-specific.
+    pub message: String,
+}
+
+/// Iterator sources on unordered containers.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "values",
+    "values_mut",
+    "into_keys",
+    "into_values",
+    "drain",
+    "extract_if",
+];
+
+/// Iterator adapters: order flows through unchanged.
+const ADAPTERS: &[&str] = &[
+    "map",
+    "filter",
+    "filter_map",
+    "flat_map",
+    "flatten",
+    "cloned",
+    "copied",
+    "inspect",
+    "take",
+    "skip",
+    "step_by",
+    "chain",
+    "zip",
+    "enumerate",
+    "rev",
+    "fuse",
+    "peekable",
+    "by_ref",
+    "take_while",
+    "skip_while",
+    "map_while",
+    "scan",
+];
+
+/// Terminals whose result does not depend on iteration order.
+const INSENSITIVE: &[&str] = &["count", "any", "all", "size_hint"];
+
+/// Fold-family reductions: GSD008 when the accumulator is a float.
+const FOLD_LIKE: &[&str] = &["fold", "try_fold", "rfold", "reduce"];
+
+/// Sorting a tainted collection restores determinism.
+const SORT_METHODS: &[&str] = &[
+    "sort",
+    "sort_unstable",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable_by",
+    "sort_unstable_by_key",
+    "sort_by_cached_key",
+];
+
+/// Methods on a tainted collection that observe its element order.
+const OBSERVING: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "first",
+    "last",
+    "pop",
+    "join",
+    "concat",
+    "windows",
+    "chunks",
+    "swap_remove",
+    "remove",
+    "get",
+    "drain",
+    "truncate",
+    "split_first",
+    "split_last",
+];
+
+/// What a binding is known to hold.
+#[derive(Debug, Clone, Default)]
+struct Var {
+    /// Type head (`HashMap`, `Vec`, `f64`, …) when known.
+    ty: Option<String>,
+    /// `Some(origin_line)` when the value's element order came from
+    /// unordered iteration and has not been sorted since.
+    taint: Option<u32>,
+}
+
+/// Result of evaluating an expression.
+#[derive(Debug, Clone, Default)]
+struct Val {
+    ty: Option<String>,
+    /// Live unordered iteration or tainted contents flowing out of the
+    /// expression: `Some((origin_line, description))`.
+    flow: Option<(u32, String)>,
+    /// Float evidence for GSD008 attribution.
+    float: bool,
+}
+
+/// Analyzes one function body. `toks` is the file's token stream (for
+/// literal texts); `syms` the file's symbol table.
+pub fn analyze_fn(f: &FnItem, toks: &[Tok], syms: &SymbolTable) -> Vec<FlowFinding> {
+    let Some(body) = &f.body else {
+        return Vec::new();
+    };
+    let mut flow = Flow {
+        toks,
+        syms,
+        scopes: vec![BTreeMap::new()],
+        out: Vec::new(),
+    };
+    for p in &f.params {
+        if let (Some(name), Some(ty)) = (&p.name, &p.ty) {
+            flow.define(
+                name.clone(),
+                Var {
+                    ty: Some(ty.head().to_string()),
+                    taint: None,
+                },
+            );
+        }
+    }
+    flow.walk_block(body);
+    flow.out
+}
+
+struct Flow<'a> {
+    toks: &'a [Tok],
+    syms: &'a SymbolTable,
+    scopes: Vec<BTreeMap<String, Var>>,
+    out: Vec<FlowFinding>,
+}
+
+impl<'a> Flow<'a> {
+    fn define(&mut self, name: String, var: Var) {
+        if let Some(s) = self.scopes.last_mut() {
+            s.insert(name, var);
+        }
+    }
+
+    fn lookup(&self, name: &str) -> Option<&Var> {
+        self.scopes.iter().rev().find_map(|s| s.get(name))
+    }
+
+    fn clear_taint(&mut self, name: &str) {
+        for s in self.scopes.iter_mut().rev() {
+            if let Some(v) = s.get_mut(name) {
+                v.taint = None;
+                return;
+            }
+        }
+    }
+
+    fn finding(&mut self, rule: &'static str, line: u32, message: String) {
+        self.out.push(FlowFinding {
+            rule,
+            line,
+            message,
+        });
+    }
+
+    fn walk_block(&mut self, b: &Block) {
+        self.scopes.push(BTreeMap::new());
+        for s in &b.stmts {
+            self.walk_stmt(s);
+        }
+        self.scopes.pop();
+    }
+
+    fn walk_stmt(&mut self, s: &Stmt) {
+        match s {
+            Stmt::Let(l) => {
+                let expect = l.ty.as_ref().map(|t| t.head().to_string());
+                let v = l
+                    .init
+                    .as_ref()
+                    .map(|e| self.eval(e, expect.as_deref()))
+                    .unwrap_or_default();
+                if let Some(eb) = &l.else_block {
+                    self.walk_block(eb);
+                }
+                let var = Var {
+                    ty: expect.or(v.ty),
+                    taint: v.flow.map(|(line, _)| line),
+                };
+                if let Some(name) = &l.pat.binding {
+                    self.define(name.clone(), var);
+                } else {
+                    // Destructuring: bind idents with unknown type; a
+                    // tainted init makes every binding tainted.
+                    for id in &l.pat.idents {
+                        self.define(
+                            id.clone(),
+                            Var {
+                                ty: None,
+                                taint: var.taint,
+                            },
+                        );
+                    }
+                }
+            }
+            Stmt::Expr { expr, .. } => {
+                // A discarded result observes nothing by itself.
+                self.eval(expr, None);
+            }
+            Stmt::Item(_) => {} // nested items analyzed as their own fns
+        }
+    }
+
+    /// Evaluates an expression in statement/operand position.
+    fn eval(&mut self, e: &Expr, expect: Option<&str>) -> Val {
+        match &e.kind {
+            ExprKind::Chain(c) => self.eval_chain(c, expect),
+            ExprKind::Unary { expr } => self.eval(expr, expect),
+            ExprKind::Cast { expr, ty, .. } => {
+                self.eval(expr, None);
+                Val {
+                    ty: Some(ty.head().to_string()),
+                    ..Val::default()
+                }
+            }
+            ExprKind::Binary { lhs, rhs, .. } => {
+                let l = self.eval(lhs, None);
+                let r = self.eval(rhs, None);
+                Val {
+                    ty: l.ty.or(r.ty),
+                    ..Val::default()
+                }
+            }
+            ExprKind::Assign { lhs, rhs } => {
+                let v = self.eval(rhs, None);
+                if let ExprKind::Chain(c) = &lhs.kind {
+                    if let ChainBase::Path { segs, .. } = &c.base {
+                        if segs.len() == 1 && c.ops.is_empty() {
+                            let var = Var {
+                                ty: v.ty.clone(),
+                                taint: v.flow.as_ref().map(|(l, _)| *l),
+                            };
+                            self.define(segs[0].clone(), var);
+                            return Val::default();
+                        }
+                    }
+                }
+                self.observe_if_flowing(&v, "assigned to a non-local place");
+                Val::default()
+            }
+            ExprKind::Range { lo, hi } => {
+                for side in [lo, hi].into_iter().flatten() {
+                    self.eval(side, None);
+                }
+                Val::default()
+            }
+            ExprKind::If(i) => {
+                self.eval(&i.cond, None);
+                self.walk_block(&i.then);
+                if let Some(els) = &i.els {
+                    self.eval(els, None);
+                }
+                Val::default()
+            }
+            ExprKind::Match(m) => {
+                self.eval(&m.scrutinee, None);
+                for arm in &m.arms {
+                    self.scopes.push(BTreeMap::new());
+                    for id in &arm.pat.idents {
+                        self.define(id.clone(), Var::default());
+                    }
+                    if let Some(g) = &arm.guard {
+                        self.eval(g, None);
+                    }
+                    self.eval(&arm.body, None);
+                    self.scopes.pop();
+                }
+                Val::default()
+            }
+            ExprKind::For(f) => {
+                let v = self.eval(&f.iter, None);
+                if let Some((line, what)) = &v.flow {
+                    let rule = if v.float { "GSD008" } else { "GSD007" };
+                    self.finding(
+                        rule,
+                        e.span.line(self.toks),
+                        format!(
+                            "`for` loop iterates {what} (origin line {line}); the loop body \
+                             observes nondeterministic order — iterate a `BTreeMap`/sorted \
+                             vector instead"
+                        ),
+                    );
+                }
+                self.scopes.push(BTreeMap::new());
+                for id in &f.pat.idents {
+                    self.define(id.clone(), Var::default());
+                }
+                for s in &f.body.stmts {
+                    self.walk_stmt(s);
+                }
+                self.scopes.pop();
+                Val::default()
+            }
+            ExprKind::While(w) => {
+                self.eval(&w.cond, None);
+                self.walk_block(&w.body);
+                Val::default()
+            }
+            ExprKind::Loop(b) => {
+                self.walk_block(b);
+                Val::default()
+            }
+            ExprKind::Block(b) => {
+                self.walk_block(b);
+                Val::default()
+            }
+            ExprKind::Closure(c) => {
+                self.scopes.push(BTreeMap::new());
+                for p in &c.params {
+                    self.define(p.clone(), Var::default());
+                }
+                self.eval(&c.body, None);
+                self.scopes.pop();
+                Val::default()
+            }
+            ExprKind::Tuple(es) | ExprKind::Array(es) => {
+                for e in es {
+                    let v = self.eval(e, None);
+                    self.observe_if_flowing(&v, "stored into an ordered aggregate");
+                }
+                Val::default()
+            }
+            ExprKind::Return(Some(inner)) | ExprKind::Break(Some(inner)) => {
+                let v = self.eval(inner, None);
+                self.observe_if_flowing(&v, "returned to the caller");
+                Val::default()
+            }
+            ExprKind::CondLet { pat, expr } => {
+                let v = self.eval(expr, None);
+                for id in &pat.idents {
+                    self.define(
+                        id.clone(),
+                        Var {
+                            ty: None,
+                            taint: v.flow.as_ref().map(|(l, _)| *l),
+                        },
+                    );
+                }
+                Val::default()
+            }
+            _ => Val::default(),
+        }
+    }
+
+    /// Flags a value whose unordered flow escapes into `context`.
+    fn observe_if_flowing(&mut self, v: &Val, context: &str) {
+        if let Some((line, what)) = &v.flow {
+            let rule = if v.float { "GSD008" } else { "GSD007" };
+            self.finding(
+                rule,
+                *line,
+                format!(
+                    "{what} is {context}; its nondeterministic order escapes — sort \
+                         first or use an order-free container"
+                ),
+            );
+        }
+    }
+
+    fn lit_text(&self, e: &Expr) -> Option<&str> {
+        self.toks.get(e.span.lo).map(|t| t.text.as_str())
+    }
+
+    /// Evaluates a postfix chain, tracking iterator state across ops.
+    fn eval_chain(&mut self, c: &Chain, expect: Option<&str>) -> Val {
+        // --- base ---
+        let mut cur = Val::default();
+        // Pending unordered iteration: Some((origin_line, receiver_desc)).
+        let mut live: Option<(u32, String)> = None;
+        let mut base_var: Option<String> = None;
+        match &c.base {
+            ChainBase::Path { segs, .. } => {
+                if segs.len() == 1 {
+                    base_var = Some(segs[0].clone());
+                    if let Some(var) = self.lookup(&segs[0]) {
+                        cur.ty = var.ty.clone();
+                        if let Some(origin) = var.taint {
+                            cur.flow = Some((origin, format!("contents of `{}`", segs[0])));
+                        }
+                    } else if segs[0].chars().next().is_some_and(char::is_uppercase) {
+                        cur.ty = Some(segs[0].clone());
+                    }
+                } else {
+                    // `Type::ctor(…)` and enum variant paths: the
+                    // second-to-last segment is the type.
+                    let last = segs.last().map(String::as_str).unwrap_or("");
+                    if matches!(
+                        last,
+                        "new" | "with_capacity" | "default" | "with_hasher" | "from" | "from_iter"
+                    ) {
+                        cur.ty = segs.get(segs.len() - 2).cloned();
+                    } else if segs
+                        .last()
+                        .and_then(|s| s.chars().next())
+                        .is_some_and(char::is_uppercase)
+                    {
+                        cur.ty = segs.last().cloned();
+                    }
+                }
+            }
+            ChainBase::Lit(_) => {}
+            ChainBase::Macro(m) => {
+                for a in &m.args {
+                    let v = self.eval(a, None);
+                    self.observe_if_flowing(&v, "interpolated into macro output");
+                }
+                if m.path.last().is_some_and(|s| s == "vec") {
+                    cur.ty = Some("Vec".to_string());
+                }
+            }
+            ChainBase::Struct(s) => {
+                for (_, fe) in &s.fields {
+                    if let Some(fe) = fe {
+                        let v = self.eval(fe, None);
+                        self.observe_if_flowing(&v, "stored into a struct field");
+                    }
+                }
+                if let Some(r) = &s.rest {
+                    self.eval(r, None);
+                }
+                cur.ty = s.path.last().cloned();
+            }
+            ChainBase::Paren(inner) => {
+                cur = self.eval(inner, None);
+            }
+        }
+        // Taint carried by the bare base (`contents of x`) becomes live
+        // flow only if the chain ends here; method ops below decide.
+        // --- ops ---
+        for (opi, op) in c.ops.iter().enumerate() {
+            match &op.kind {
+                PostfixKind::Method {
+                    name,
+                    tf,
+                    args,
+                    line,
+                } => {
+                    let name = name.as_str();
+                    // Evaluate arguments. `extend`/`from_iter` into a
+                    // re-keying container absorbs unordered flow.
+                    let absorbs = (name == "extend"
+                        && cur.ty.as_deref().is_some_and(is_rekeying_container))
+                        || (name == "from_iter"
+                            && cur.ty.as_deref().is_some_and(is_rekeying_container));
+                    for a in args {
+                        let v = self.eval(a, None);
+                        if !absorbs {
+                            self.observe_if_flowing(
+                                &v,
+                                "passed as an argument (the callee may observe its order)",
+                            );
+                        }
+                    }
+                    if let Some((origin, what)) = live.take() {
+                        // We are iterating an unordered container.
+                        if ADAPTERS.contains(&name) {
+                            live = Some((origin, what));
+                        } else if INSENSITIVE.contains(&name) {
+                            // Order cannot influence the result.
+                            cur = Val::default();
+                        } else if name == "collect" {
+                            let target = tf
+                                .first()
+                                .map(|t| t.head().to_string())
+                                .or_else(|| expect.map(str::to_string));
+                            match target.as_deref() {
+                                Some(t) if is_rekeying_container(t) => {
+                                    cur = Val {
+                                        ty: Some(t.to_string()),
+                                        ..Val::default()
+                                    };
+                                }
+                                other => {
+                                    // Ordered/unknown target: contents
+                                    // keep the nondeterministic order.
+                                    cur = Val {
+                                        ty: other.map(str::to_string),
+                                        flow: Some((
+                                            origin,
+                                            format!("a collection built from {what}"),
+                                        )),
+                                        float: false,
+                                    };
+                                }
+                            }
+                        } else if name == "sum" || name == "product" {
+                            let acc = tf
+                                .first()
+                                .map(|t| t.head().to_string())
+                                .or_else(|| expect.map(str::to_string));
+                            match acc.as_deref() {
+                                Some(t) if is_int_ty(t) => cur = Val::default(),
+                                Some(t) if is_float_ty(t) => {
+                                    self.finding(
+                                        "GSD008",
+                                        *line,
+                                        format!(
+                                            "floating-point `.{name}::<{t}>()` over {what} \
+                                             (origin line {origin}): float reduction is not \
+                                             associative, so hash order changes the result — \
+                                             reduce in fixed interval order"
+                                        ),
+                                    );
+                                    cur = Val::default();
+                                }
+                                _ => {
+                                    self.finding(
+                                        "GSD007",
+                                        *line,
+                                        format!(
+                                            "`.{name}()` over {what} (origin line {origin}) \
+                                             with an unknown accumulator type — annotate an \
+                                             integer accumulator or sort the source first"
+                                        ),
+                                    );
+                                    cur = Val::default();
+                                }
+                            }
+                        } else if FOLD_LIKE.contains(&name) {
+                            let float_init = args
+                                .first()
+                                .map(|a| {
+                                    self.lit_text(a).is_some_and(|t| {
+                                        t.contains('.')
+                                            && t.chars().next().is_some_and(|c| c.is_ascii_digit())
+                                    })
+                                })
+                                .unwrap_or(false)
+                                || expect.is_some_and(is_float_ty);
+                            let (rule, why) = if float_init {
+                                ("GSD008", "float accumulation is not associative")
+                            } else {
+                                ("GSD007", "the reduction visits elements in hash order")
+                            };
+                            self.finding(
+                                rule,
+                                *line,
+                                format!(
+                                    "`.{name}()` over {what} (origin line {origin}): {why} — \
+                                     reduce in fixed interval order (sort or use `BTreeMap`)"
+                                ),
+                            );
+                            cur = Val::default();
+                        } else {
+                            // Any other terminal observes order.
+                            self.finding(
+                                "GSD007",
+                                *line,
+                                format!(
+                                    "`.{name}()` consumes {what} (origin line {origin}) in an \
+                                     order-dependent way — sort first or use `BTreeMap`"
+                                ),
+                            );
+                            cur = Val::default();
+                        }
+                    } else if ITER_METHODS.contains(&name)
+                        && cur.ty.as_deref().is_some_and(is_unordered_container)
+                    {
+                        let what = base_var
+                            .as_ref()
+                            .filter(|_| opi == 0)
+                            .map(|v| {
+                                format!(
+                                    "unordered iteration of `{v}` ({})",
+                                    cur.ty.as_deref().unwrap_or("")
+                                )
+                            })
+                            .unwrap_or_else(|| {
+                                format!(
+                                    "unordered iteration of a `{}`",
+                                    cur.ty.as_deref().unwrap_or("?")
+                                )
+                            });
+                        live = Some((*line, what));
+                        cur = Val::default();
+                    } else if let Some((origin, what)) = cur.flow.take() {
+                        // Method on a tainted collection.
+                        if SORT_METHODS.contains(&name) {
+                            if let Some(v) = base_var.as_ref().filter(|_| opi == 0) {
+                                let v = v.clone();
+                                self.clear_taint(&v);
+                            }
+                            cur = Val::default();
+                        } else if ITER_METHODS.contains(&name) || name == "into_iter" {
+                            // Iterating tainted contents: order flows on.
+                            live = Some((origin, what));
+                            cur = Val::default();
+                        } else if OBSERVING.contains(&name) {
+                            self.finding(
+                                "GSD007",
+                                *line,
+                                format!(
+                                    "`.{name}()` observes the order of {what} (origin line \
+                                     {origin}) — sort it first"
+                                ),
+                            );
+                            cur = Val::default();
+                        } else {
+                            // Neutral method (len, push, contains…):
+                            // taint stays on the variable, not the result.
+                            cur = Val::default();
+                        }
+                    } else {
+                        // Plain method: type transfer for a few knowns.
+                        let keep = matches!(name, "clone" | "to_owned" | "as_ref" | "as_mut");
+                        cur = Val {
+                            ty: if keep { cur.ty } else { None },
+                            ..Val::default()
+                        };
+                    }
+                }
+                PostfixKind::Call(args) => {
+                    for a in args {
+                        let v = self.eval(a, None);
+                        self.observe_if_flowing(
+                            &v,
+                            "passed as an argument (the callee may observe its order)",
+                        );
+                    }
+                    // `Type::ctor(…)` resolved at base keeps its type.
+                }
+                PostfixKind::Index(idx) => {
+                    self.eval(idx, None);
+                    if let Some((origin, what)) = cur.flow.take() {
+                        self.finding(
+                            "GSD007",
+                            op.span.line(self.toks),
+                            format!(
+                                "indexing into {what} (origin line {origin}) observes \
+                                 nondeterministic element order"
+                            ),
+                        );
+                    }
+                    cur = Val::default();
+                }
+                PostfixKind::Field(fname) => {
+                    cur = Val {
+                        ty: self.syms.field_type(fname).map(|t| t.head().to_string()),
+                        ..Val::default()
+                    };
+                    base_var = None;
+                }
+                PostfixKind::Try | PostfixKind::Await => {}
+            }
+        }
+        if let Some((origin, what)) = live {
+            // Chain ends with a live unordered iterator.
+            cur.flow = Some((origin, what));
+        }
+        cur
+    }
+}

@@ -14,6 +14,8 @@ pub struct Diagnostic {
     pub file: String,
     /// 1-based line number.
     pub line: u32,
+    /// 1-based column number (`1` when the rule has no finer anchor).
+    pub col: u32,
     /// Human-readable explanation ending in the suggested remedy.
     pub message: String,
 }
@@ -31,7 +33,7 @@ impl Diagnostic {
 
 /// Renders all diagnostics as a JSON array (hand-rolled: gsd-lint is
 /// dependency-free). Schema per element:
-/// `{"rule","severity","file","line","message"}`.
+/// `{"rule","severity","file","line","col","message"}`.
 pub fn render_json(diags: &[Diagnostic]) -> String {
     let mut out = String::from("[");
     for (i, d) in diags.iter().enumerate() {
@@ -40,11 +42,12 @@ pub fn render_json(diags: &[Diagnostic]) -> String {
         }
         let _ = write!(
             out,
-            "\n  {{\"rule\":{},\"severity\":{},\"file\":{},\"line\":{},\"message\":{}}}",
+            "\n  {{\"rule\":{},\"severity\":{},\"file\":{},\"line\":{},\"col\":{},\"message\":{}}}",
             json_str(d.rule),
             json_str(&d.severity.to_string()),
             json_str(&d.file),
             d.line,
+            d.col,
             json_str(&d.message)
         );
     }
@@ -87,6 +90,7 @@ mod tests {
             severity: Severity::Error,
             file: "crates/gsd-io/src/storage.rs".into(),
             line: 42,
+            col: 1,
             message: "bad".into(),
         };
         assert_eq!(
@@ -102,6 +106,7 @@ mod tests {
             severity: Severity::Warn,
             file: "a.rs".into(),
             line: 1,
+            col: 1,
             message: "say \"hi\"\nplease".into(),
         };
         let json = render_json(&[d]);

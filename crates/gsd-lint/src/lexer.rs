@@ -1,28 +1,34 @@
-//! A hand-rolled Rust lexer, just deep enough for syntactic linting.
+//! A hand-rolled Rust lexer, just deep enough for syntactic analysis.
 //!
-//! The lexer produces a flat token stream with line numbers plus the list
-//! of `gsd-lint:` control comments. It understands everything that could
-//! make a naive text scan lie about code structure:
+//! The lexer produces a flat token stream with source spans (1-based
+//! line/column plus byte offsets) and the list of `gsd-lint:` control
+//! comments. It understands everything that could make a naive text scan
+//! lie about code structure:
 //!
-//! * line comments and *nested* block comments (Rust block comments nest);
-//! * string, byte-string, raw-string (`r#"…"#`) and char literals, so
-//!   `".unwrap()"` inside a string is never mistaken for a call;
+//! * line comments and *nested* block comments (Rust block comments nest),
+//!   including `gsd-lint:` directives on inner lines of a multi-line
+//!   block comment;
+//! * string, byte-string, raw-string (`r#"…"#`), char and byte-char
+//!   (`b'x'`) literals, so `".unwrap()"` inside a string is never
+//!   mistaken for a call;
+//! * raw identifiers (`r#type` is one token, not `r`/`#`/`type`);
 //! * the `'a` lifetime vs `'a'` char-literal ambiguity;
 //! * identifiers, numeric literals, and single-char punctuation.
 //!
-//! It deliberately does **not** build a syntax tree: every rule in
-//! [`crate::rules`] works on token patterns plus brace matching, which is
-//! robust to code it has never seen and keeps the tool dependency-free.
+//! Multi-character operators (`::`, `->`, `=>`, `..`) are emitted as
+//! single-char punctuation tokens; [`crate::parser`] reassembles them,
+//! which keeps the lexer trivially correct about token boundaries.
 
 /// What kind of token this is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TokKind {
-    /// Identifier or keyword (`let`, `unwrap`, `Instant`, …).
+    /// Identifier or keyword (`let`, `unwrap`, `Instant`, …). Raw
+    /// identifiers keep their `r#` prefix in [`Tok::text`].
     Ident,
     /// Lifetime such as `'a` (the tick is not part of [`Tok::text`]).
     Lifetime,
-    /// String / raw-string / byte-string / char literal. Text is the raw
-    /// source slice including quotes.
+    /// String / raw-string / byte-string / char / byte-char literal.
+    /// Text is the raw source slice including quotes and prefixes.
     Str,
     /// Numeric literal.
     Num,
@@ -30,7 +36,7 @@ pub enum TokKind {
     Punct,
 }
 
-/// One token with its 1-based source line.
+/// One token with its source span.
 #[derive(Debug, Clone)]
 pub struct Tok {
     /// Token class.
@@ -39,6 +45,12 @@ pub struct Tok {
     pub text: String,
     /// 1-based line the token starts on.
     pub line: u32,
+    /// 1-based column (in characters) the token starts at.
+    pub col: u32,
+    /// Byte offset of the token's first character.
+    pub lo: u32,
+    /// Byte offset one past the token's last character.
+    pub hi: u32,
 }
 
 impl Tok {
@@ -51,12 +63,19 @@ impl Tok {
     pub fn is_ident(&self, text: &str) -> bool {
         self.kind == TokKind::Ident && self.text == text
     }
+
+    /// Identifier text with any raw-identifier prefix stripped, so
+    /// `r#type` compares equal to the keyword it escapes.
+    pub fn ident_text(&self) -> &str {
+        self.text.strip_prefix("r#").unwrap_or(&self.text)
+    }
 }
 
 /// A parsed `// gsd-lint: allow(GSDnnn, "justification")` control comment.
 #[derive(Debug, Clone)]
 pub struct Directive {
-    /// 1-based line the comment sits on.
+    /// 1-based line the comment (or, inside a multi-line block comment,
+    /// the directive's own line) sits on.
     pub line: u32,
     /// True if code precedes the comment on the same line (the directive
     /// then targets its own line instead of the next code line).
@@ -86,17 +105,30 @@ pub fn lex(src: &str) -> Lexed {
     Lexer {
         chars: src.chars().collect(),
         pos: 0,
+        byte: 0,
         line: 1,
+        col: 1,
         line_has_code: false,
         out: Lexed::default(),
     }
     .run()
 }
 
+/// Captured position of a token's first character.
+#[derive(Clone, Copy)]
+struct Start {
+    line: u32,
+    col: u32,
+    lo: u32,
+}
+
 struct Lexer {
     chars: Vec<char>,
     pos: usize,
+    /// Byte offset of `chars[pos]` in the original source.
+    byte: u32,
     line: u32,
+    col: u32,
     /// Whether a token has already started on the current line — makes a
     /// `gsd-lint:` comment "trailing" (targets its own line).
     line_has_code: bool,
@@ -115,41 +147,75 @@ impl Lexer {
     fn bump(&mut self) -> Option<char> {
         let ch = self.peek()?;
         self.pos += 1;
+        self.byte += ch.len_utf8() as u32;
         if ch == '\n' {
             self.line += 1;
+            self.col = 1;
             self.line_has_code = false;
+        } else {
+            self.col += 1;
         }
         ch.into()
     }
 
-    fn push(&mut self, kind: TokKind, text: String, line: u32) {
-        self.out.tokens.push(Tok { kind, text, line });
+    fn start(&self) -> Start {
+        Start {
+            line: self.line,
+            col: self.col,
+            lo: self.byte,
+        }
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, at: Start) {
+        self.out.tokens.push(Tok {
+            kind,
+            text,
+            line: at.line,
+            col: at.col,
+            lo: at.lo,
+            hi: self.byte,
+        });
     }
 
     fn run(mut self) -> Lexed {
         while let Some(ch) = self.peek() {
-            let line = self.line;
+            let at = self.start();
             match ch {
                 c if c.is_whitespace() => {
                     self.bump();
                 }
                 '/' if self.peek_at(1) == Some('/') => self.line_comment(),
                 '/' if self.peek_at(1) == Some('*') => self.block_comment(),
-                '"' => self.string_literal(line),
+                '"' => self.string_literal(at, String::new()),
                 'b' if self.peek_at(1) == Some('"') => {
-                    self.bump();
-                    self.string_literal(line);
+                    let mut prefix = String::new();
+                    prefix.push(self.bump().expect("peeked 'b'"));
+                    self.string_literal(at, prefix);
+                }
+                'b' if self.peek_at(1) == Some('\'')
+                    && byte_char_follows(&self.chars[self.pos..]) =>
+                {
+                    let mut prefix = String::new();
+                    prefix.push(self.bump().expect("peeked 'b'"));
+                    self.char_literal(at, prefix);
                 }
                 'r' | 'b' if is_raw_string_start(&self.chars[self.pos..]) => {
-                    self.raw_string_literal(line);
+                    self.raw_string_literal(at);
                 }
-                '\'' => self.char_or_lifetime(line),
-                c if c == '_' || c.is_alphabetic() => self.ident(line),
-                c if c.is_ascii_digit() => self.number(line),
+                'r' if self.peek_at(1) == Some('#')
+                    && self
+                        .peek_at(2)
+                        .is_some_and(|c| c == '_' || c.is_alphabetic()) =>
+                {
+                    self.raw_ident(at);
+                }
+                '\'' => self.char_or_lifetime(at),
+                c if c == '_' || c.is_alphabetic() => self.ident(at),
+                c if c.is_ascii_digit() => self.number(at),
                 c => {
                     self.bump();
                     self.line_has_code = true;
-                    self.push(TokKind::Punct, c.to_string(), line);
+                    self.push(TokKind::Punct, c.to_string(), at);
                 }
             }
         }
@@ -170,8 +236,19 @@ impl Lexer {
         self.maybe_directive(&text, line, trailing);
     }
 
+    /// Consumes a (possibly nested) block comment. Every *line* of the
+    /// comment body is checked for a directive, so the common doc shape
+    ///
+    /// ```text
+    /// /*
+    ///  * gsd-lint: allow(GSD003, "why this is sound")
+    ///  */
+    /// ```
+    ///
+    /// works; the old lexer only looked at the first line and silently
+    /// dropped directives on inner lines.
     fn block_comment(&mut self) {
-        let line = self.line;
+        let first_line = self.line;
         let trailing = self.line_has_code;
         let mut text = String::new();
         let mut depth = 0usize;
@@ -194,11 +271,18 @@ impl Lexer {
                 self.bump();
             }
         }
-        self.maybe_directive(&text, line, trailing);
+        for (idx, body_line) in text.split('\n').enumerate() {
+            let line = first_line + idx as u32;
+            // Only the comment's first line can sit after code; inner
+            // lines are their own (comment-only) lines and thus target
+            // the next code line, like a standalone `//` directive.
+            let trailing = trailing && idx == 0;
+            self.maybe_directive(body_line.trim_end_matches('\r'), line, trailing);
+        }
     }
 
-    fn string_literal(&mut self, line: u32) {
-        let mut text = String::new();
+    fn string_literal(&mut self, at: Start, prefix: String) {
+        let mut text = prefix;
         text.push(self.bump().expect("caller saw an opening quote")); // opening "
         while let Some(ch) = self.bump() {
             text.push(ch);
@@ -213,10 +297,10 @@ impl Lexer {
             }
         }
         self.line_has_code = true;
-        self.push(TokKind::Str, text, line);
+        self.push(TokKind::Str, text, at);
     }
 
-    fn raw_string_literal(&mut self, line: u32) {
+    fn raw_string_literal(&mut self, at: Start) {
         // r"…", r#"…"#, br#"…"# — already validated by is_raw_string_start.
         let mut text = String::new();
         if self.peek() == Some('b') {
@@ -243,34 +327,57 @@ impl Lexer {
             }
         }
         self.line_has_code = true;
-        self.push(TokKind::Str, text, line);
+        self.push(TokKind::Str, text, at);
+    }
+
+    /// `r#ident` — one identifier token, `r#` prefix kept in the text.
+    fn raw_ident(&mut self, at: Start) {
+        let mut text = String::new();
+        text.push(self.bump().expect("peeked 'r'"));
+        text.push(self.bump().expect("peeked '#'"));
+        while let Some(ch) = self.peek() {
+            if ch == '_' || ch.is_alphanumeric() {
+                text.push(ch);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.line_has_code = true;
+        self.push(TokKind::Ident, text, at);
+    }
+
+    /// A char literal body after an optional already-consumed `b` prefix.
+    fn char_literal(&mut self, at: Start, prefix: String) {
+        let mut text = prefix;
+        text.push(self.bump().expect("caller saw a tick")); // '
+        while let Some(ch) = self.bump() {
+            text.push(ch);
+            match ch {
+                '\\' => {
+                    if let Some(esc) = self.bump() {
+                        text.push(esc);
+                    }
+                }
+                '\'' => break,
+                _ => {}
+            }
+        }
+        self.line_has_code = true;
+        self.push(TokKind::Str, text, at);
     }
 
     /// `'a` (lifetime) vs `'a'` (char literal). A tick starts a char
     /// literal iff the closing tick follows one scalar (or one escape);
     /// otherwise it is a lifetime / loop label.
-    fn char_or_lifetime(&mut self, line: u32) {
+    fn char_or_lifetime(&mut self, at: Start) {
         let is_char = matches!(
             (self.peek_at(1), self.peek_at(2)),
             (Some('\\'), _) | (Some(_), Some('\''))
         );
         self.line_has_code = true;
         if is_char {
-            let mut text = String::new();
-            text.push(self.bump().expect("caller saw a tick")); // '
-            while let Some(ch) = self.bump() {
-                text.push(ch);
-                match ch {
-                    '\\' => {
-                        if let Some(esc) = self.bump() {
-                            text.push(esc);
-                        }
-                    }
-                    '\'' => break,
-                    _ => {}
-                }
-            }
-            self.push(TokKind::Str, text, line);
+            self.char_literal(at, String::new());
         } else {
             self.bump(); // consume the tick
             let mut text = String::new();
@@ -282,11 +389,11 @@ impl Lexer {
                     break;
                 }
             }
-            self.push(TokKind::Lifetime, text, line);
+            self.push(TokKind::Lifetime, text, at);
         }
     }
 
-    fn ident(&mut self, line: u32) {
+    fn ident(&mut self, at: Start) {
         let mut text = String::new();
         while let Some(ch) = self.peek() {
             if ch == '_' || ch.is_alphanumeric() {
@@ -297,10 +404,10 @@ impl Lexer {
             }
         }
         self.line_has_code = true;
-        self.push(TokKind::Ident, text, line);
+        self.push(TokKind::Ident, text, at);
     }
 
-    fn number(&mut self, line: u32) {
+    fn number(&mut self, at: Start) {
         let mut text = String::new();
         while let Some(ch) = self.peek() {
             // Good enough for linting: digits, underscores, radix/exponent
@@ -317,7 +424,7 @@ impl Lexer {
             }
         }
         self.line_has_code = true;
-        self.push(TokKind::Num, text, line);
+        self.push(TokKind::Num, text, at);
     }
 
     /// If a comment *begins with* `gsd-lint:` (after its `//`/`/*`
@@ -353,6 +460,15 @@ fn is_raw_string_start(rest: &[char]) -> bool {
         i += 1;
     }
     rest.get(i) == Some(&'"')
+}
+
+/// Whether `b'` at the head of `rest` opens a byte-char literal (`b'x'`,
+/// `b'\n'`) rather than an identifier `b` followed by a loop label.
+fn byte_char_follows(rest: &[char]) -> bool {
+    matches!(
+        (rest.get(2), rest.get(3)),
+        (Some('\\'), _) | (Some(_), Some('\''))
+    )
 }
 
 /// Parses the text after `gsd-lint:` — expected shape
@@ -465,6 +581,46 @@ mod tests {
     }
 
     #[test]
+    fn byte_char_literal_is_one_token() {
+        let toks = lex(r"let c = b'x'; let e = b'\''; b_ident'outer: loop {}");
+        let strs: Vec<_> = toks
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(strs, vec![r"b'x'", r"b'\''"]);
+        assert!(
+            toks.tokens
+                .iter()
+                .any(|t| t.kind == TokKind::Lifetime && t.text == "outer"),
+            "a label after an ident must stay a lifetime"
+        );
+    }
+
+    #[test]
+    fn raw_identifier_is_one_token() {
+        let toks = lex("let r#type = r#match.r#fn();");
+        let ids: Vec<_> = toks
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(ids, vec!["let", "r#type", "r#match", "r#fn"]);
+        assert_eq!(toks.tokens[1].ident_text(), "type");
+    }
+
+    #[test]
+    fn raw_ident_does_not_shadow_raw_string() {
+        let toks = lex(r##"let s = r#"not # an ident"#; x.go();"##);
+        assert!(toks
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokKind::Str && t.text.contains("not # an ident")));
+    }
+
+    #[test]
     fn line_numbers_are_one_based_and_advance() {
         let toks = lex("a\nb\n\nc");
         let lines: Vec<_> = toks
@@ -473,6 +629,27 @@ mod tests {
             .map(|t| (t.text.as_str(), t.line))
             .collect();
         assert_eq!(lines, vec![("a", 1), ("b", 2), ("c", 4)]);
+    }
+
+    #[test]
+    fn spans_cover_the_source_slice() {
+        let src = "let αβ = \"s\"; // tail\nfoo.bar();";
+        for t in lex(src).tokens {
+            let lo = t.lo as usize;
+            let hi = t.hi as usize;
+            assert_eq!(&src[lo..hi], t.text, "span must slice back to the text");
+        }
+    }
+
+    #[test]
+    fn columns_are_one_based_chars() {
+        let toks = lex("ab cd\n  ef");
+        let cols: Vec<_> = toks
+            .tokens
+            .iter()
+            .map(|t| (t.text.as_str(), t.line, t.col))
+            .collect();
+        assert_eq!(cols, vec![("ab", 1, 1), ("cd", 1, 4), ("ef", 2, 3)]);
     }
 
     #[test]
@@ -505,5 +682,42 @@ mod tests {
     fn trailing_directive_is_marked_trailing() {
         let out = lex("let x = y.lock(); // gsd-lint: allow(GSD003, \"short critical section\")");
         assert!(out.directives[0].trailing);
+    }
+
+    #[test]
+    fn block_comment_inner_line_directive_parses() {
+        let src = "/*\n * gsd-lint: allow(GSD001, \"demo\")\n */\nx.unwrap();";
+        let out = lex(src);
+        assert_eq!(out.directives.len(), 1);
+        let d = &out.directives[0];
+        assert_eq!(d.rule, "GSD001");
+        assert_eq!(d.line, 2, "directive is anchored to its own line");
+        assert!(!d.trailing);
+        assert!(d.malformed.is_none());
+    }
+
+    #[test]
+    fn single_line_block_comment_directive_stays_trailing() {
+        let out = lex("let g = m.lock(); /* gsd-lint: allow(GSD003, \"held briefly\") */");
+        assert_eq!(out.directives.len(), 1);
+        assert!(out.directives[0].trailing);
+    }
+
+    #[test]
+    fn raw_strings_hide_directives_and_calls() {
+        let src = "let s = r#\"// gsd-lint: allow(GSD001, \"x\")\"#;\nlet t = r\"y.unwrap()\";";
+        let out = lex(src);
+        assert!(out.directives.is_empty(), "raw strings are not comments");
+        assert!(!idents(src).contains(&"unwrap".to_string()));
+    }
+
+    #[test]
+    fn crlf_directive_parses_cleanly() {
+        let out = lex("// gsd-lint: allow(GSD002, \"clock shim\")\r\nlet x = 1;\r\n");
+        assert_eq!(out.directives.len(), 1);
+        assert!(
+            out.directives[0].malformed.is_none(),
+            "trailing CR must be trimmed"
+        );
     }
 }

@@ -3,16 +3,24 @@
 //! Enforces the invariants the type system cannot: hot-path panic
 //! freedom (GSD001), virtual-clock determinism (GSD002), no lock guard
 //! held across storage I/O (GSD003), live telemetry (GSD004), workspace-
-//! wide `forbid(unsafe_code)` (GSD005), and checked id/offset narrowing
-//! (GSD006). Run it as:
+//! wide `forbid(unsafe_code)` (GSD005), checked id/offset narrowing
+//! (GSD006), and the determinism pack: no order-sensitive consumption of
+//! hash iteration (GSD007), no float reduction in hash order (GSD008),
+//! confined concurrency primitives (GSD009), allow-listed
+//! `Ordering::Relaxed` (GSD010), no per-edge `File` syscalls in kernel
+//! loops (GSD011), and exhaustive matches over listed enums (GSD012).
+//! Run it as:
 //!
 //! ```text
-//! cargo run -p gsd-lint -- check [--format json] [--root DIR] [--config FILE]
+//! cargo run -p gsd-lint -- check [--format json|sarif] [--root DIR] [--config FILE]
 //! ```
 //!
 //! The tool is deliberately dependency-free: a hand-rolled lexer
-//! ([`lexer`]), a TOML-subset config loader ([`config`]), and token-
-//! pattern rules ([`rules`]). Suppressions are inline comments of the
+//! ([`lexer`]), a recursive-descent parser ([`parser`]) producing a
+//! spanned syntax tree, per-file name resolution ([`symbols`]), an
+//! intra-function order-taint pass ([`dataflow`]), a TOML-subset config
+//! loader ([`config`]), and tree-walking rules ([`rules`]).
+//! Suppressions are inline comments of the
 //! form `// gsd-lint: allow(GSD003, "justification")` — the
 //! justification is mandatory, and malformed directives are themselves
 //! an error (GSD000), so a typo can never silently mask a finding.
@@ -25,9 +33,13 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod dataflow;
 pub mod diagnostics;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
+pub mod sarif;
+pub mod symbols;
 
 pub use config::{LintConfig, Severity};
 pub use diagnostics::{render_json, Diagnostic};
@@ -82,7 +94,7 @@ impl Workspace {
     /// Runs every rule and applies suppressions. Diagnostics come back
     /// sorted by `(file, line, rule)`.
     pub fn check(&self, cfg: &LintConfig) -> Vec<Diagnostic> {
-        // Lex everything once; rules share the token streams.
+        // Lex and parse everything once; rules share the trees.
         let lexed: Vec<_> = self.files.iter().map(|f| lexer::lex(&f.text)).collect();
         let masks: Vec<_> = self
             .files
@@ -90,21 +102,20 @@ impl Workspace {
             .zip(&lexed)
             .map(|(f, l)| rules::test_mask(&f.path, &l.tokens))
             .collect();
-        let depths: Vec<_> = lexed
-            .iter()
-            .map(|l| rules::brace_depth(&l.tokens))
-            .collect();
+        let trees: Vec<_> = lexed.iter().map(|l| parser::parse(&l.tokens)).collect();
+        let syms: Vec<_> = trees.iter().map(symbols::SymbolTable::build).collect();
         let cxs: Vec<rules::FileCx<'_>> = self
             .files
             .iter()
             .zip(&lexed)
-            .zip(masks.iter().zip(&depths))
-            .map(|((f, l), (mask, depth))| rules::FileCx {
+            .zip(masks.iter().zip(trees.iter().zip(&syms)))
+            .map(|((f, l), (mask, (tree, syms)))| rules::FileCx {
                 path: &f.path,
                 tokens: &l.tokens,
                 mask,
-                depth,
                 directives: &l.directives,
+                tree,
+                syms,
             })
             .collect();
 
@@ -116,8 +127,13 @@ impl Workspace {
             rules::check_gsd003(cx, cfg, &mut diags);
             rules::check_gsd005(cx, cfg, &mut diags);
             rules::check_gsd006(cx, cfg, &mut diags);
+            rules::check_gsd007_008(cx, cfg, &mut diags);
+            rules::check_gsd009(cx, cfg, &mut diags);
+            rules::check_gsd010(cx, cfg, &mut diags);
+            rules::check_gsd011(cx, cfg, &mut diags);
         }
         rules::check_gsd004(&cxs, cfg, &mut diags);
+        rules::check_gsd012(&cxs, cfg, &mut diags);
 
         let suppressed = suppression_map(&cxs);
         diags.retain(|d| {

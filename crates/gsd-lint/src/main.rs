@@ -1,7 +1,7 @@
 //! `gsd-lint` CLI.
 //!
 //! ```text
-//! gsd-lint check [--root DIR] [--config FILE] [--format human|json]
+//! gsd-lint check [--root DIR] [--config FILE] [--format human|json|sarif]
 //! gsd-lint rules
 //! ```
 //!
@@ -18,13 +18,13 @@ const USAGE: &str = "\
 gsd-lint — GraphSD workspace static analysis
 
 USAGE:
-    gsd-lint check [--root DIR] [--config FILE] [--format human|json]
+    gsd-lint check [--root DIR] [--config FILE] [--format human|json|sarif]
     gsd-lint rules
 
 OPTIONS:
     --root DIR       workspace root to lint (default: .)
     --config FILE    lint config (default: <root>/lint.toml; defaults if absent)
-    --format FMT     `human` (default) or `json`
+    --format FMT     `human` (default), `json`, or `sarif`
 ";
 
 fn main() -> ExitCode {
@@ -52,6 +52,7 @@ fn main() -> ExitCode {
 enum Format {
     Human,
     Json,
+    Sarif,
 }
 
 fn run_check(args: &[String]) -> ExitCode {
@@ -78,7 +79,11 @@ fn run_check(args: &[String]) -> ExitCode {
                     format = Format::Json;
                     Ok(())
                 }
-                other => Err(format!("unknown format `{other}` (human | json)")),
+                "sarif" => {
+                    format = Format::Sarif;
+                    Ok(())
+                }
+                other => Err(format!("unknown format `{other}` (human | json | sarif)")),
             }),
             other => Err(format!("unknown argument `{other}`")),
         };
@@ -119,6 +124,7 @@ fn run_check(args: &[String]) -> ExitCode {
 
     match format {
         Format::Json => print!("{}", diagnostics::render_json(&diags)),
+        Format::Sarif => print!("{}", gsd_lint::sarif::render_sarif(&diags)),
         Format::Human => {
             for d in &diags {
                 println!("{}", d.render_human());

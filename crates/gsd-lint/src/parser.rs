@@ -1,0 +1,2623 @@
+//! A lightweight, *total* Rust parser: items, blocks, statements and
+//! expressions with token spans — no full type inference, no grammar
+//! completeness claims.
+//!
+//! Design rules:
+//!
+//! * **Never fail.** Anything the parser does not understand becomes a
+//!   `Verbatim` node covering a balanced token range, and the tree
+//!   records that recovery happened. A linter must keep working on code
+//!   mid-edit; the round-trip test in `tests/parser_roundtrip.rs` then
+//!   asserts the *checked-in* workspace parses with no recovery at all.
+//! * **Spans are token indices.** Every node carries a half-open
+//!   `[lo, hi)` range into the lexer's token vector; lines and columns
+//!   come from the tokens themselves.
+//! * **Multi-char operators** (`::`, `->`, `=>`, `..`) are reassembled
+//!   from adjacent single-char punct tokens using byte offsets, so the
+//!   lexer stays trivially correct about boundaries.
+
+// The AST is a large set of small record types whose field names are
+// their documentation; per-field doc comments would only restate them.
+#![allow(missing_docs)]
+
+use crate::lexer::{Tok, TokKind};
+
+/// Half-open token-index range `[lo, hi)`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TokSpan {
+    pub lo: usize,
+    pub hi: usize,
+}
+
+impl TokSpan {
+    pub fn new(lo: usize, hi: usize) -> Self {
+        TokSpan { lo, hi }
+    }
+    /// 1-based line of the span's first token (`0` for empty spans).
+    pub fn line(&self, toks: &[Tok]) -> u32 {
+        toks.get(self.lo).map_or(0, |t| t.line)
+    }
+    /// 1-based column of the span's first token (`1` for empty spans).
+    pub fn col(&self, toks: &[Tok]) -> u32 {
+        toks.get(self.lo).map_or(1, |t| t.col)
+    }
+}
+
+/// One `#[…]` / `#![…]` attribute, kept as a token range.
+#[derive(Debug, Clone)]
+pub struct Attr {
+    pub span: TokSpan,
+    pub inner: bool,
+}
+
+/// A parsed source file.
+#[derive(Debug, Default)]
+pub struct SourceTree {
+    pub items: Vec<Item>,
+    /// File-level `#![…]` attributes.
+    pub inner_attrs: Vec<Attr>,
+    /// Token ranges the parser could not understand. Empty on all
+    /// checked-in workspace files (asserted by the round-trip test).
+    pub recovered: Vec<TokSpan>,
+}
+
+#[derive(Debug)]
+pub struct Item {
+    pub attrs: Vec<Attr>,
+    pub name: String,
+    pub kind: ItemKind,
+    pub span: TokSpan,
+}
+
+#[derive(Debug)]
+pub enum ItemKind {
+    Fn(FnItem),
+    Struct(StructItem),
+    Enum(EnumItem),
+    Impl(ImplItem),
+    Trait(Vec<Item>),
+    Mod(Vec<Item>),
+    /// `mod name;` — body in another file.
+    ModDecl,
+    Use(Vec<UseImport>),
+    Const(Option<Expr>),
+    Static(Option<Expr>),
+    TypeAlias,
+    /// Item-position macro invocation (`thread_local! { … }`).
+    MacroItem,
+    MacroDef,
+    ExternBlock,
+    /// Recovered / unmodelled item.
+    Verbatim,
+}
+
+#[derive(Debug)]
+pub struct FnItem {
+    pub params: Vec<Param>,
+    pub ret: Option<Ty>,
+    pub body: Option<Block>,
+}
+
+#[derive(Debug)]
+pub struct Param {
+    pub name: Option<String>,
+    pub ty: Option<Ty>,
+}
+
+#[derive(Debug)]
+pub struct StructItem {
+    pub fields: Vec<Field>,
+}
+
+#[derive(Debug)]
+pub struct Field {
+    pub name: String,
+    pub ty: Ty,
+}
+
+#[derive(Debug)]
+pub struct EnumItem {
+    pub variants: Vec<Variant>,
+}
+
+#[derive(Debug)]
+pub struct Variant {
+    pub name: String,
+    pub line: u32,
+}
+
+#[derive(Debug)]
+pub struct ImplItem {
+    pub self_ty: Option<Ty>,
+    pub items: Vec<Item>,
+}
+
+/// One name a `use` declaration brings into scope.
+#[derive(Debug, Clone)]
+pub struct UseImport {
+    /// Local name (the alias for `as`, `*` for globs).
+    pub name: String,
+    /// Full path segments, e.g. `["std", "collections", "HashMap"]`.
+    pub path: Vec<String>,
+}
+
+/// A type reference, reduced to what the rules need: the path and the
+/// parsed generic arguments. References, `dyn`/`impl` and lifetimes are
+/// peeled off; tuples/slices/fn-pointers become synthetic heads.
+#[derive(Debug, Clone, Default)]
+pub struct Ty {
+    pub path: Vec<String>,
+    pub args: Vec<Ty>,
+    pub span: TokSpan,
+}
+
+impl Ty {
+    /// The final path segment — `HashMap` for `std::collections::HashMap<K, V>`.
+    pub fn head(&self) -> &str {
+        self.path.last().map_or("", |s| s.as_str())
+    }
+}
+
+#[derive(Debug)]
+pub struct Block {
+    pub stmts: Vec<Stmt>,
+    pub span: TokSpan,
+}
+
+#[derive(Debug)]
+pub enum Stmt {
+    Let(Box<LetStmt>),
+    Expr { expr: Expr, semi: bool },
+    Item(Box<Item>),
+}
+
+#[derive(Debug)]
+pub struct LetStmt {
+    pub pat: Pat,
+    pub ty: Option<Ty>,
+    pub init: Option<Expr>,
+    pub else_block: Option<Block>,
+    pub span: TokSpan,
+}
+
+/// A pattern, summarized: the linter needs bindings and referenced
+/// enum paths, not full pattern structure.
+#[derive(Debug, Clone, Default)]
+pub struct Pat {
+    pub span: TokSpan,
+    /// `Some("x")` when the whole pattern is a plain binding
+    /// (`x`, `mut x`, `ref x`).
+    pub binding: Option<String>,
+    /// Every lowercase identifier the pattern binds (over-approximate).
+    pub idents: Vec<String>,
+    /// Every `A::B`-style path the pattern mentions.
+    pub paths: Vec<Vec<String>>,
+    /// True for `_` or a plain binding — the catch-all arms GSD012 rejects.
+    pub catch_all: bool,
+}
+
+#[derive(Debug)]
+pub struct Expr {
+    pub span: TokSpan,
+    pub kind: ExprKind,
+}
+
+#[derive(Debug)]
+pub enum ExprKind {
+    Chain(Chain),
+    Unary {
+        expr: Box<Expr>,
+    },
+    Binary {
+        op: String,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+    },
+    Assign {
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+    },
+    Cast {
+        expr: Box<Expr>,
+        ty: Ty,
+        as_line: u32,
+    },
+    Range {
+        lo: Option<Box<Expr>>,
+        hi: Option<Box<Expr>>,
+    },
+    If(Box<IfExpr>),
+    Match(Box<MatchExpr>),
+    For(Box<ForExpr>),
+    While(Box<WhileExpr>),
+    Loop(Box<Block>),
+    Block(Box<Block>),
+    Closure(Box<Closure>),
+    Tuple(Vec<Expr>),
+    Array(Vec<Expr>),
+    Return(Option<Box<Expr>>),
+    Break(Option<Box<Expr>>),
+    Continue,
+    /// `let PAT = expr` in `if`/`while` conditions.
+    CondLet {
+        pat: Pat,
+        expr: Box<Expr>,
+    },
+    Verbatim,
+}
+
+/// A postfix chain: a base expression followed by `.method(…)`,
+/// `.field`, calls, indexing, `?` and `.await`.
+#[derive(Debug)]
+pub struct Chain {
+    pub base: ChainBase,
+    pub ops: Vec<Postfix>,
+}
+
+#[derive(Debug)]
+pub enum ChainBase {
+    /// `x`, `Foo::Bar`, `self`; `tf` holds `::<…>` turbofish args.
+    Path {
+        segs: Vec<String>,
+        tf: Vec<Ty>,
+    },
+    Lit(TokKind),
+    Macro(MacroCall),
+    Struct(StructLit),
+    Paren(Box<Expr>),
+}
+
+#[derive(Debug)]
+pub struct MacroCall {
+    /// Macro path without the `!`.
+    pub path: Vec<String>,
+    /// Best-effort parsed arguments for `(…)`/`[…]` macros; empty for
+    /// `{…}` macro bodies (kept verbatim).
+    pub args: Vec<Expr>,
+    pub line: u32,
+}
+
+#[derive(Debug)]
+pub struct StructLit {
+    pub path: Vec<String>,
+    pub fields: Vec<(String, Option<Expr>)>,
+    /// `..base` functional-update expression.
+    pub rest: Option<Box<Expr>>,
+}
+
+#[derive(Debug)]
+pub struct Postfix {
+    pub span: TokSpan,
+    pub kind: PostfixKind,
+}
+
+#[derive(Debug)]
+pub enum PostfixKind {
+    Method {
+        name: String,
+        tf: Vec<Ty>,
+        args: Vec<Expr>,
+        line: u32,
+    },
+    Field(String),
+    Index(Box<Expr>),
+    Call(Vec<Expr>),
+    Try,
+    Await,
+}
+
+#[derive(Debug)]
+pub struct IfExpr {
+    pub cond: Expr,
+    pub then: Block,
+    pub els: Option<Expr>,
+}
+
+#[derive(Debug)]
+pub struct MatchExpr {
+    pub scrutinee: Expr,
+    pub arms: Vec<Arm>,
+}
+
+#[derive(Debug)]
+pub struct Arm {
+    pub pat: Pat,
+    pub guard: Option<Expr>,
+    pub body: Expr,
+}
+
+#[derive(Debug)]
+pub struct ForExpr {
+    pub pat: Pat,
+    pub iter: Expr,
+    pub body: Block,
+}
+
+#[derive(Debug)]
+pub struct WhileExpr {
+    pub cond: Expr,
+    pub body: Block,
+}
+
+#[derive(Debug)]
+pub struct Closure {
+    pub params: Vec<String>,
+    pub body: Box<Expr>,
+}
+
+// ---------------------------------------------------------------------
+// Tree walkers.
+// ---------------------------------------------------------------------
+
+impl SourceTree {
+    /// Visits every item, including ones nested in impls, mods, traits
+    /// and function bodies.
+    pub fn walk_items<'a>(&'a self, f: &mut impl FnMut(&'a Item)) {
+        for it in &self.items {
+            it.walk(f);
+        }
+    }
+}
+
+impl Item {
+    pub fn walk<'a>(&'a self, f: &mut impl FnMut(&'a Item)) {
+        f(self);
+        match &self.kind {
+            ItemKind::Impl(i) => i.items.iter().for_each(|it| it.walk(f)),
+            ItemKind::Trait(items) | ItemKind::Mod(items) => items.iter().for_each(|it| it.walk(f)),
+            ItemKind::Fn(fun) => {
+                if let Some(b) = &fun.body {
+                    b.walk_items(f);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+impl Block {
+    fn walk_items<'a>(&'a self, f: &mut impl FnMut(&'a Item)) {
+        for s in &self.stmts {
+            match s {
+                Stmt::Item(it) => it.walk(f),
+                Stmt::Let(l) => {
+                    if let Some(e) = &l.init {
+                        e.walk_items(f);
+                    }
+                }
+                Stmt::Expr { expr, .. } => expr.walk_items(f),
+            }
+        }
+    }
+
+    /// Visits every expression in the block, recursively (without
+    /// descending into nested items — those are walked as items).
+    pub fn walk_exprs<'a>(&'a self, f: &mut impl FnMut(&'a Expr)) {
+        for s in &self.stmts {
+            match s {
+                Stmt::Let(l) => {
+                    if let Some(e) = &l.init {
+                        e.walk(f);
+                    }
+                    if let Some(b) = &l.else_block {
+                        b.walk_exprs(f);
+                    }
+                }
+                Stmt::Expr { expr, .. } => expr.walk(f),
+                Stmt::Item(_) => {}
+            }
+        }
+    }
+}
+
+impl Expr {
+    fn walk_items<'a>(&'a self, f: &mut impl FnMut(&'a Item)) {
+        self.walk(&mut |e| {
+            if let ExprKind::Block(b) = &e.kind {
+                b.walk_items(f);
+            }
+        });
+    }
+
+    /// Visits this expression and every sub-expression.
+    pub fn walk<'a>(&'a self, f: &mut impl FnMut(&'a Expr)) {
+        f(self);
+        match &self.kind {
+            ExprKind::Chain(c) => {
+                match &c.base {
+                    ChainBase::Macro(m) => m.args.iter().for_each(|e| e.walk(f)),
+                    ChainBase::Struct(s) => {
+                        for (_, e) in &s.fields {
+                            if let Some(e) = e {
+                                e.walk(f);
+                            }
+                        }
+                        if let Some(r) = &s.rest {
+                            r.walk(f);
+                        }
+                    }
+                    ChainBase::Paren(e) => e.walk(f),
+                    ChainBase::Path { .. } | ChainBase::Lit(_) => {}
+                }
+                for op in &c.ops {
+                    match &op.kind {
+                        PostfixKind::Method { args, .. } | PostfixKind::Call(args) => {
+                            args.iter().for_each(|e| e.walk(f))
+                        }
+                        PostfixKind::Index(e) => e.walk(f),
+                        _ => {}
+                    }
+                }
+            }
+            ExprKind::Unary { expr } | ExprKind::Cast { expr, .. } => expr.walk(f),
+            ExprKind::Binary { lhs, rhs, .. } | ExprKind::Assign { lhs, rhs } => {
+                lhs.walk(f);
+                rhs.walk(f);
+            }
+            ExprKind::Range { lo, hi } => {
+                lo.iter().for_each(|e| e.walk(f));
+                hi.iter().for_each(|e| e.walk(f));
+            }
+            ExprKind::If(i) => {
+                i.cond.walk(f);
+                i.then.walk_exprs(f);
+                if let Some(e) = &i.els {
+                    e.walk(f);
+                }
+            }
+            ExprKind::Match(m) => {
+                m.scrutinee.walk(f);
+                for a in &m.arms {
+                    if let Some(g) = &a.guard {
+                        g.walk(f);
+                    }
+                    a.body.walk(f);
+                }
+            }
+            ExprKind::For(fo) => {
+                fo.iter.walk(f);
+                fo.body.walk_exprs(f);
+            }
+            ExprKind::While(w) => {
+                w.cond.walk(f);
+                w.body.walk_exprs(f);
+            }
+            ExprKind::Loop(b) | ExprKind::Block(b) => b.walk_exprs(f),
+            ExprKind::Closure(c) => c.body.walk(f),
+            ExprKind::Tuple(es) | ExprKind::Array(es) => es.iter().for_each(|e| e.walk(f)),
+            ExprKind::Return(e) | ExprKind::Break(e) => e.iter().for_each(|e| e.walk(f)),
+            ExprKind::CondLet { expr, .. } => expr.walk(f),
+            ExprKind::Continue | ExprKind::Verbatim => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The parser.
+// ---------------------------------------------------------------------
+
+/// Parses a lexed token stream into a [`SourceTree`]. Total: never
+/// panics or errors; unknown constructs become `Verbatim` nodes and are
+/// recorded in [`SourceTree::recovered`].
+pub fn parse(tokens: &[Tok]) -> SourceTree {
+    let close = match_delims(tokens);
+    let mut p = P {
+        t: tokens,
+        close,
+        pos: 0,
+        end: tokens.len(),
+        tree: SourceTree::default(),
+    };
+    let items = p.parse_items();
+    p.tree.items = items;
+    p.tree
+}
+
+/// For each opening delimiter token index, the index of its matching
+/// closer (or `usize::MAX` when unbalanced — treated as end of input).
+fn match_delims(toks: &[Tok]) -> Vec<usize> {
+    let mut close = vec![usize::MAX; toks.len()];
+    let mut stack: Vec<(char, usize)> = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Punct {
+            continue;
+        }
+        match t.text.chars().next().unwrap_or(' ') {
+            c @ ('(' | '[' | '{') => stack.push((c, i)),
+            ')' => pop_until(&mut stack, '(', i, &mut close),
+            ']' => pop_until(&mut stack, '[', i, &mut close),
+            '}' => pop_until(&mut stack, '{', i, &mut close),
+            _ => {}
+        }
+    }
+    close
+}
+
+fn pop_until(stack: &mut Vec<(char, usize)>, open: char, at: usize, close: &mut [usize]) {
+    while let Some((c, i)) = stack.pop() {
+        if c == open {
+            close[i] = at;
+            return;
+        }
+        // Mismatched opener: leave it unmatched and keep unwinding.
+    }
+}
+
+struct P<'a> {
+    t: &'a [Tok],
+    close: Vec<usize>,
+    pos: usize,
+    end: usize,
+    tree: SourceTree,
+}
+
+impl<'a> P<'a> {
+    fn at(&self, i: usize) -> Option<&'a Tok> {
+        if i < self.end {
+            self.t.get(i)
+        } else {
+            None
+        }
+    }
+    fn cur(&self) -> Option<&'a Tok> {
+        self.at(self.pos)
+    }
+    fn bump(&mut self) {
+        self.pos += 1;
+    }
+    fn done(&self) -> bool {
+        self.pos >= self.end
+    }
+    fn is_p(&self, ch: char) -> bool {
+        self.cur().is_some_and(|t| t.is_punct(ch))
+    }
+    fn is_p_at(&self, i: usize, ch: char) -> bool {
+        self.at(i).is_some_and(|t| t.is_punct(ch))
+    }
+    fn is_kw(&self, kw: &str) -> bool {
+        self.cur()
+            .is_some_and(|t| t.kind == TokKind::Ident && t.ident_text() == kw)
+    }
+    fn eat_p(&mut self, ch: char) -> bool {
+        if self.is_p(ch) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.is_kw(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+    /// Two adjacent tokens (no whitespace between) — `::`, `->`, `=>` …
+    fn glued(&self, i: usize) -> bool {
+        match (self.at(i), self.at(i + 1)) {
+            (Some(a), Some(b)) => a.hi == b.lo,
+            _ => false,
+        }
+    }
+    /// True if the token at `i` begins the two-char operator `ab`.
+    fn pair_at(&self, i: usize, a: char, b: char) -> bool {
+        self.is_p_at(i, a) && self.is_p_at(i + 1, b) && self.glued(i)
+    }
+    fn pair(&self, a: char, b: char) -> bool {
+        self.pair_at(self.pos, a, b)
+    }
+    /// `::` at `i` (both colons, adjacent).
+    fn path_sep_at(&self, i: usize) -> bool {
+        self.pair_at(i, ':', ':')
+    }
+    /// Jump over a delimiter group starting at `pos` (must be an
+    /// opener); lands one past the closer.
+    fn skip_group(&mut self) {
+        let c = self.close[self.pos];
+        self.pos = if c == usize::MAX || c >= self.end {
+            self.end
+        } else {
+            c + 1
+        };
+    }
+    fn line_at(&self, i: usize) -> u32 {
+        self.t.get(i).map_or(0, |t| t.line)
+    }
+    /// Runs `f` over the sub-range `[lo, hi)` with a bounded cursor.
+    fn in_range<T>(&mut self, lo: usize, hi: usize, f: impl FnOnce(&mut Self) -> T) -> T {
+        let (op, oe) = (self.pos, self.end);
+        self.pos = lo;
+        self.end = hi.min(self.t.len());
+        let out = f(self);
+        self.pos = op;
+        self.end = oe;
+        out
+    }
+
+    // -- items ---------------------------------------------------------
+
+    fn parse_items(&mut self) -> Vec<Item> {
+        let mut items = Vec::new();
+        while !self.done() {
+            if self.is_p('}') {
+                break;
+            }
+            let before = self.pos;
+            if let Some(it) = self.parse_item() {
+                items.push(it);
+            }
+            if self.pos == before {
+                // No progress: swallow one token (or group) as recovery.
+                let lo = self.pos;
+                if self.is_p('(') || self.is_p('[') || self.is_p('{') {
+                    self.skip_group();
+                } else {
+                    self.bump();
+                }
+                self.tree.recovered.push(TokSpan::new(lo, self.pos));
+            }
+        }
+        items
+    }
+
+    /// Parses one item. Returns `None` for stray semicolons and inner
+    /// attributes (which are recorded on the tree).
+    fn parse_item(&mut self) -> Option<Item> {
+        if self.eat_p(';') {
+            return None;
+        }
+        let lo = self.pos;
+        let mut attrs = Vec::new();
+        while self.is_p('#') {
+            let alo = self.pos;
+            let inner = self.pair_at(self.pos + 1, '!', '[') || self.is_p_at(self.pos + 1, '!');
+            self.bump(); // #
+            self.eat_p('!');
+            if self.is_p('[') {
+                self.skip_group();
+            }
+            let attr = Attr {
+                span: TokSpan::new(alo, self.pos),
+                inner,
+            };
+            if inner {
+                self.tree.inner_attrs.push(attr);
+                if self.pos == alo {
+                    self.bump();
+                }
+                return None;
+            }
+            attrs.push(attr);
+            if self.pos == alo {
+                self.bump();
+                return None;
+            }
+        }
+        // Modifiers that may precede the item keyword.
+        self.eat_kw("pub");
+        if self.is_p('(') {
+            self.skip_group(); // pub(crate) etc.
+        }
+        if self.is_kw("default") {
+            self.bump();
+        }
+        let constness = self.is_kw("const")
+            && self.at(self.pos + 1).is_some_and(|t| {
+                t.kind == TokKind::Ident
+                    && matches!(t.ident_text(), "fn" | "unsafe" | "extern" | "async")
+            });
+        if constness {
+            self.bump();
+        }
+        self.eat_kw("async");
+        self.eat_kw("unsafe");
+        if self.eat_kw("extern") {
+            if self.cur().is_some_and(|t| t.kind == TokKind::Str) {
+                self.bump();
+            }
+            if self.is_kw("crate") {
+                // `extern crate name;`
+                self.skip_to_semi();
+                return Some(self.finish_item(lo, attrs, String::new(), ItemKind::Verbatim));
+            }
+            if self.is_p('{') {
+                self.skip_group();
+                return Some(self.finish_item(lo, attrs, String::new(), ItemKind::ExternBlock));
+            }
+        }
+        if self.is_kw("fn") {
+            return Some(self.parse_fn(lo, attrs));
+        }
+        if self.is_kw("struct") || self.is_kw("union") {
+            return Some(self.parse_struct(lo, attrs));
+        }
+        if self.is_kw("enum") {
+            return Some(self.parse_enum(lo, attrs));
+        }
+        if self.is_kw("impl") {
+            return Some(self.parse_impl(lo, attrs));
+        }
+        if self.is_kw("trait") {
+            self.bump();
+            let name = self.eat_ident().unwrap_or_default();
+            self.skip_generics();
+            self.skip_until_body();
+            let items = if self.is_p('{') {
+                self.parse_brace_items()
+            } else {
+                Vec::new()
+            };
+            return Some(self.finish_item(lo, attrs, name, ItemKind::Trait(items)));
+        }
+        if self.is_kw("mod") {
+            self.bump();
+            let name = self.eat_ident().unwrap_or_default();
+            if self.is_p('{') {
+                let items = self.parse_brace_items();
+                return Some(self.finish_item(lo, attrs, name, ItemKind::Mod(items)));
+            }
+            self.eat_p(';');
+            return Some(self.finish_item(lo, attrs, name, ItemKind::ModDecl));
+        }
+        if self.is_kw("use") {
+            self.bump();
+            let mut imports = Vec::new();
+            self.parse_use_tree(Vec::new(), &mut imports);
+            self.skip_to_semi();
+            return Some(self.finish_item(lo, attrs, String::new(), ItemKind::Use(imports)));
+        }
+        if (self.is_kw("const") || self.is_kw("static")) && !constness {
+            let is_static = self.is_kw("static");
+            self.bump();
+            self.eat_kw("mut");
+            let name = self.eat_ident().unwrap_or_default();
+            // `: Ty` then optional `= expr`.
+            if self.eat_p(':') {
+                self.parse_ty();
+            }
+            let init = if self.eat_p('=') {
+                Some(self.parse_expr(true))
+            } else {
+                None
+            };
+            self.skip_to_semi();
+            let kind = if is_static {
+                ItemKind::Static(init)
+            } else {
+                ItemKind::Const(init)
+            };
+            return Some(self.finish_item(lo, attrs, name, kind));
+        }
+        if self.is_kw("type") {
+            self.bump();
+            let name = self.eat_ident().unwrap_or_default();
+            self.skip_to_semi();
+            return Some(self.finish_item(lo, attrs, name, ItemKind::TypeAlias));
+        }
+        if self.is_kw("macro_rules") {
+            self.bump();
+            self.eat_p('!');
+            let name = self.eat_ident().unwrap_or_default();
+            if self.is_p('{') || self.is_p('(') || self.is_p('[') {
+                self.skip_group();
+            }
+            self.eat_p(';');
+            return Some(self.finish_item(lo, attrs, name, ItemKind::MacroDef));
+        }
+        // Item-position macro invocation: `path::to::mac! { … }`.
+        if self.cur().is_some_and(|t| t.kind == TokKind::Ident) {
+            let mut i = self.pos;
+            while self.at(i).is_some_and(|t| t.kind == TokKind::Ident) && self.path_sep_at(i + 1) {
+                i += 3;
+            }
+            if self.at(i).is_some_and(|t| t.kind == TokKind::Ident) && self.is_p_at(i + 1, '!') {
+                self.pos = i + 2;
+                if self.is_p('{') || self.is_p('(') || self.is_p('[') {
+                    self.skip_group();
+                }
+                self.eat_p(';');
+                return Some(self.finish_item(lo, attrs, String::new(), ItemKind::MacroItem));
+            }
+        }
+        // Unknown: if we consumed only attrs/modifiers, signal no progress
+        // so the caller records recovery; otherwise swallow to `;`.
+        if self.pos > lo {
+            self.skip_to_semi();
+            let it = self.finish_item(lo, attrs, String::new(), ItemKind::Verbatim);
+            self.tree.recovered.push(it.span);
+            return Some(it);
+        }
+        None
+    }
+
+    fn finish_item(&self, lo: usize, attrs: Vec<Attr>, name: String, kind: ItemKind) -> Item {
+        Item {
+            attrs,
+            name,
+            kind,
+            span: TokSpan::new(lo, self.pos),
+        }
+    }
+
+    fn eat_ident(&mut self) -> Option<String> {
+        let t = self.cur()?;
+        if t.kind == TokKind::Ident {
+            let s = t.text.clone();
+            self.bump();
+            Some(s)
+        } else {
+            None
+        }
+    }
+
+    /// Skips a `<…>` generic parameter/argument list if present,
+    /// treating `->` as opaque (its `>` is not a closer).
+    fn skip_generics(&mut self) {
+        if !self.is_p('<') {
+            return;
+        }
+        let mut depth = 0i32;
+        while !self.done() {
+            if self.pair('-', '>') {
+                self.bump();
+                self.bump();
+                continue;
+            }
+            if self.is_p('(') || self.is_p('[') || self.is_p('{') {
+                self.skip_group();
+                continue;
+            }
+            if self.is_p('<') {
+                depth += 1;
+            } else if self.is_p('>') {
+                depth -= 1;
+                if depth == 0 {
+                    self.bump();
+                    return;
+                }
+            }
+            self.bump();
+        }
+    }
+
+    /// Skips a where-clause (and anything else) up to the item body `{`
+    /// or terminating `;` at the current delimiter level.
+    fn skip_until_body(&mut self) {
+        while !self.done() {
+            if self.is_p('{') || self.is_p(';') || self.is_p('}') {
+                return;
+            }
+            if self.is_p('(') || self.is_p('[') {
+                self.skip_group();
+            } else {
+                self.bump();
+            }
+        }
+    }
+
+    fn skip_to_semi(&mut self) {
+        while !self.done() {
+            if self.eat_p(';') {
+                return;
+            }
+            if self.is_p('}') {
+                return;
+            }
+            if self.is_p('(') || self.is_p('[') || self.is_p('{') {
+                self.skip_group();
+            } else {
+                self.bump();
+            }
+        }
+    }
+
+    fn parse_brace_items(&mut self) -> Vec<Item> {
+        debug_assert!(self.is_p('{'));
+        let close = self.close[self.pos].min(self.end);
+        self.bump();
+        let items = self.in_range(self.pos, close, |p| p.parse_items());
+        self.pos = if close >= self.end {
+            self.end
+        } else {
+            close + 1
+        };
+        items
+    }
+
+    fn parse_fn(&mut self, lo: usize, attrs: Vec<Attr>) -> Item {
+        self.bump(); // fn
+        let name = self.eat_ident().unwrap_or_default();
+        self.skip_generics();
+        let mut params = Vec::new();
+        if self.is_p('(') {
+            let close = self.close[self.pos].min(self.end);
+            self.bump();
+            params = self.parse_params(close);
+            self.pos = if close >= self.end {
+                self.end
+            } else {
+                close + 1
+            };
+        }
+        let ret = if self.pair('-', '>') {
+            self.bump();
+            self.bump();
+            Some(self.parse_ty())
+        } else {
+            None
+        };
+        self.skip_until_body();
+        let body = if self.is_p('{') {
+            Some(self.parse_block())
+        } else {
+            self.eat_p(';');
+            None
+        };
+        self.finish_item(lo, attrs, name, ItemKind::Fn(FnItem { params, ret, body }))
+    }
+
+    fn parse_params(&mut self, close: usize) -> Vec<Param> {
+        let mut params = Vec::new();
+        self.in_range(self.pos, close, |p| {
+            while !p.done() {
+                // Per-param attributes are rare; skip them.
+                while p.is_p('#') {
+                    p.bump();
+                    if p.is_p('[') {
+                        p.skip_group();
+                    }
+                }
+                let start = p.pos;
+                // Find this param's top-level `,`.
+                let mut i = p.pos;
+                let mut comma = p.end;
+                while i < p.end {
+                    let t = &p.t[i];
+                    if t.is_punct(',') {
+                        comma = i;
+                        break;
+                    }
+                    if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                        i = p.close[i].min(p.end);
+                        if i == p.end {
+                            break;
+                        }
+                    } else if t.is_punct('<') {
+                        // Generic args inside a param type.
+                        let save = p.pos;
+                        p.pos = i;
+                        p.skip_generics();
+                        i = p.pos.max(i + 1) - 1;
+                        p.pos = save;
+                    }
+                    i += 1;
+                }
+                // Within [start, comma): split on top-level `:` (not `::`).
+                let mut colon = comma;
+                let mut j = start;
+                let mut depth = 0i32;
+                while j < comma {
+                    let t = &p.t[j];
+                    if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                        j = p.close[j].min(comma);
+                        continue;
+                    }
+                    if t.is_punct('<') {
+                        depth += 1;
+                    } else if t.is_punct('>') {
+                        depth = (depth - 1).max(0);
+                    } else if depth == 0
+                        && t.is_punct(':')
+                        && !p.path_sep_at(j)
+                        && !(j > start && p.path_sep_at(j - 1))
+                    {
+                        colon = j;
+                        break;
+                    }
+                    j += 1;
+                }
+                let name = p.in_range(start, colon, |q| {
+                    let pat = q.analyze_pat_range(start, colon);
+                    pat.binding.or_else(|| {
+                        // `&self`, `&mut self`, `mut self`, `self`.
+                        (start..colon)
+                            .map(|k| q.t[k].ident_text())
+                            .find(|s| *s == "self")
+                            .map(str::to_string)
+                    })
+                });
+                let ty = if colon < comma {
+                    Some(p.in_range(colon + 1, comma, |q| q.parse_ty()))
+                } else {
+                    None
+                };
+                params.push(Param { name, ty });
+                p.pos = if comma >= p.end { p.end } else { comma + 1 };
+            }
+        });
+        params
+    }
+
+    fn parse_struct(&mut self, lo: usize, attrs: Vec<Attr>) -> Item {
+        self.bump(); // struct | union
+        let name = self.eat_ident().unwrap_or_default();
+        self.skip_generics();
+        self.skip_until_body();
+        let mut fields = Vec::new();
+        if self.is_p('{') {
+            let close = self.close[self.pos].min(self.end);
+            self.bump();
+            self.in_range(self.pos, close, |p| {
+                while !p.done() {
+                    let before = p.pos;
+                    while p.is_p('#') {
+                        p.bump();
+                        if p.is_p('[') {
+                            p.skip_group();
+                        }
+                    }
+                    p.eat_kw("pub");
+                    if p.is_p('(') {
+                        p.skip_group();
+                    }
+                    if let Some(fname) = p.eat_ident() {
+                        if p.eat_p(':') {
+                            let ty = p.parse_ty();
+                            fields.push(Field { name: fname, ty });
+                        }
+                    }
+                    if !p.eat_p(',') && p.pos == before {
+                        p.bump();
+                    }
+                }
+            });
+            self.pos = if close >= self.end {
+                self.end
+            } else {
+                close + 1
+            };
+        } else {
+            // Tuple struct or unit struct.
+            if self.is_p('(') {
+                self.skip_group();
+            }
+            self.skip_to_semi();
+        }
+        self.finish_item(lo, attrs, name, ItemKind::Struct(StructItem { fields }))
+    }
+
+    fn parse_enum(&mut self, lo: usize, attrs: Vec<Attr>) -> Item {
+        self.bump(); // enum
+        let name = self.eat_ident().unwrap_or_default();
+        self.skip_generics();
+        self.skip_until_body();
+        let mut variants = Vec::new();
+        if self.is_p('{') {
+            let close = self.close[self.pos].min(self.end);
+            self.bump();
+            self.in_range(self.pos, close, |p| {
+                while !p.done() {
+                    let before = p.pos;
+                    while p.is_p('#') {
+                        p.bump();
+                        if p.is_p('[') {
+                            p.skip_group();
+                        }
+                    }
+                    if let Some(t) = p.cur() {
+                        if t.kind == TokKind::Ident {
+                            variants.push(Variant {
+                                name: t.text.clone(),
+                                line: t.line,
+                            });
+                            p.bump();
+                            if p.is_p('(') || p.is_p('{') {
+                                p.skip_group();
+                            }
+                            if p.eat_p('=') {
+                                p.parse_expr(true);
+                            }
+                        }
+                    }
+                    if !p.eat_p(',') && p.pos == before {
+                        p.bump();
+                    }
+                }
+            });
+            self.pos = if close >= self.end {
+                self.end
+            } else {
+                close + 1
+            };
+        }
+        self.finish_item(lo, attrs, name, ItemKind::Enum(EnumItem { variants }))
+    }
+
+    fn parse_impl(&mut self, lo: usize, attrs: Vec<Attr>) -> Item {
+        self.bump(); // impl
+        self.skip_generics();
+        let first = self.parse_ty();
+        let self_ty = if self.eat_kw("for") {
+            Some(self.parse_ty())
+        } else {
+            Some(first)
+        };
+        self.skip_until_body();
+        let items = if self.is_p('{') {
+            self.parse_brace_items()
+        } else {
+            Vec::new()
+        };
+        let name = self_ty
+            .as_ref()
+            .map(|t| t.head().to_string())
+            .unwrap_or_default();
+        self.finish_item(lo, attrs, name, ItemKind::Impl(ImplItem { self_ty, items }))
+    }
+
+    fn parse_use_tree(&mut self, prefix: Vec<String>, out: &mut Vec<UseImport>) {
+        let mut path = prefix;
+        loop {
+            if self.is_p('*') {
+                self.bump();
+                path.push("*".to_string());
+                out.push(UseImport {
+                    name: "*".to_string(),
+                    path,
+                });
+                return;
+            }
+            if self.is_p('{') {
+                let close = self.close[self.pos].min(self.end);
+                self.bump();
+                self.in_range(self.pos, close, |p| {
+                    while !p.done() {
+                        let before = p.pos;
+                        p.parse_use_tree(path.clone(), out);
+                        p.eat_p(',');
+                        if p.pos == before {
+                            p.bump();
+                        }
+                    }
+                });
+                self.pos = if close >= self.end {
+                    self.end
+                } else {
+                    close + 1
+                };
+                return;
+            }
+            let Some(seg) = self.eat_ident() else { return };
+            path.push(seg);
+            if self.path_sep_at(self.pos) {
+                self.bump();
+                self.bump();
+                continue;
+            }
+            if self.eat_kw("as") {
+                let alias = self.eat_ident().unwrap_or_default();
+                out.push(UseImport { name: alias, path });
+            } else {
+                let name = path.last().cloned().unwrap_or_default();
+                out.push(UseImport { name, path });
+            }
+            return;
+        }
+    }
+
+    // -- types ---------------------------------------------------------
+
+    fn parse_ty(&mut self) -> Ty {
+        let lo = self.pos;
+        // Peel prefixes.
+        loop {
+            if self.is_p('&') {
+                self.bump();
+                if self.cur().is_some_and(|t| t.kind == TokKind::Lifetime) {
+                    self.bump();
+                }
+                self.eat_kw("mut");
+                continue;
+            }
+            if self.is_p('*') {
+                self.bump();
+                let _ = self.eat_kw("const") || self.eat_kw("mut");
+                continue;
+            }
+            if self.eat_kw("dyn") || self.eat_kw("impl") || self.eat_kw("mut") {
+                continue;
+            }
+            break;
+        }
+        let mut ty = Ty {
+            span: TokSpan::new(lo, lo),
+            ..Ty::default()
+        };
+        if self.is_p('(') {
+            // Tuple type (or parenthesized).
+            let close = self.close[self.pos].min(self.end);
+            self.bump();
+            let mut args = Vec::new();
+            self.in_range(self.pos, close, |p| {
+                while !p.done() {
+                    let before = p.pos;
+                    args.push(p.parse_ty());
+                    p.eat_p(',');
+                    if p.pos == before {
+                        p.bump();
+                    }
+                }
+            });
+            self.pos = if close >= self.end {
+                self.end
+            } else {
+                close + 1
+            };
+            if args.len() == 1 {
+                ty = args.pop().expect("len checked");
+            } else {
+                ty.path = vec!["(tuple)".to_string()];
+                ty.args = args;
+            }
+        } else if self.is_p('[') {
+            // Slice / array.
+            let close = self.close[self.pos].min(self.end);
+            self.bump();
+            let inner = self.in_range(self.pos, close, |p| p.parse_ty());
+            self.pos = if close >= self.end {
+                self.end
+            } else {
+                close + 1
+            };
+            ty.path = vec!["(slice)".to_string()];
+            ty.args = vec![inner];
+        } else if self.is_p('<') {
+            // Qualified path `<T as Trait>::Assoc`.
+            self.skip_generics();
+            let mut segs = Vec::new();
+            while self.path_sep_at(self.pos) {
+                self.bump();
+                self.bump();
+                if let Some(seg) = self.eat_ident() {
+                    segs.push(seg);
+                }
+            }
+            ty.path = segs;
+        } else if self.is_kw("fn") {
+            self.bump();
+            if self.is_p('(') {
+                self.skip_group();
+            }
+            if self.pair('-', '>') {
+                self.bump();
+                self.bump();
+                self.parse_ty();
+            }
+            ty.path = vec!["(fn)".to_string()];
+        } else if self.cur().is_some_and(|t| t.kind == TokKind::Ident) {
+            let mut segs = Vec::new();
+            while let Some(seg) = self.eat_ident() {
+                segs.push(seg);
+                if self.is_p('(') {
+                    // `Fn(Args)` sugar.
+                    self.skip_group();
+                    if self.pair('-', '>') {
+                        self.bump();
+                        self.bump();
+                        ty.args.push(self.parse_ty());
+                    }
+                    break;
+                }
+                if self.is_p('<') {
+                    ty.args.extend(self.parse_generic_args());
+                    if self.path_sep_at(self.pos) {
+                        // `Vec<u8>::Assoc` — keep going.
+                        self.bump();
+                        self.bump();
+                        continue;
+                    }
+                    break;
+                }
+                if self.path_sep_at(self.pos) {
+                    self.bump();
+                    self.bump();
+                    continue;
+                }
+                break;
+            }
+            ty.path = segs;
+            // Trailing `+ Bound` chains on dyn/impl types.
+            while self.is_p('+') {
+                self.bump();
+                if self.cur().is_some_and(|t| t.kind == TokKind::Lifetime) {
+                    self.bump();
+                } else if self.cur().is_some_and(|t| t.kind == TokKind::Ident) {
+                    self.parse_ty();
+                } else {
+                    break;
+                }
+            }
+        } else if self.is_p('!') {
+            self.bump();
+            ty.path = vec!["(never)".to_string()];
+        } else {
+            ty.path = vec!["(?)".to_string()];
+        }
+        ty.span = TokSpan::new(lo, self.pos);
+        ty
+    }
+
+    /// Parses `<…>` generic arguments into types (lifetimes and const
+    /// arguments are skipped). Cursor must be at `<`; lands past `>`.
+    fn parse_generic_args(&mut self) -> Vec<Ty> {
+        debug_assert!(self.is_p('<'));
+        self.bump();
+        let mut args = Vec::new();
+        while !self.done() {
+            if self.is_p('>') {
+                self.bump();
+                return args;
+            }
+            if self.cur().is_some_and(|t| t.kind == TokKind::Lifetime) {
+                self.bump();
+            } else if self.is_p('{') {
+                self.skip_group(); // const block argument
+            } else if self.cur().is_some_and(|t| {
+                matches!(t.kind, TokKind::Num | TokKind::Str)
+                    || t.is_ident("true")
+                    || t.is_ident("false")
+            }) {
+                self.bump(); // const argument
+            } else if self.cur().is_some_and(|t| {
+                t.kind == TokKind::Ident
+                    || t.is_punct('&')
+                    || t.is_punct('(')
+                    || t.is_punct('[')
+                    || t.is_punct('*')
+                    || t.is_punct('<')
+            }) {
+                let mut t = self.parse_ty();
+                if self.eat_p('=') {
+                    // Associated binding `Item = Ty`: keep the bound type.
+                    t = self.parse_ty();
+                }
+                args.push(t);
+            } else if !self.eat_p(',') {
+                self.bump();
+            }
+            self.eat_p(',');
+        }
+        args
+    }
+}
+
+// ---------------------------------------------------------------------
+// Statements, patterns, expressions.
+// ---------------------------------------------------------------------
+
+/// Terminators for bounded pattern scans.
+#[derive(Clone, Copy, PartialEq)]
+enum PatStop {
+    /// A single punct at depth 0 (with `::`/`..=`/`=>` disambiguation).
+    Punct(char),
+    /// `=>`.
+    FatArrow,
+    /// A keyword (`in`, `if`, `else`).
+    Kw(&'static str),
+}
+
+impl<'a> P<'a> {
+    fn parse_block(&mut self) -> Block {
+        debug_assert!(self.is_p('{'));
+        let open = self.pos;
+        let close = self.close[self.pos].min(self.end);
+        self.bump();
+        let stmts = self.in_range(self.pos, close, |p| p.parse_stmts());
+        self.pos = if close >= self.end {
+            self.end
+        } else {
+            close + 1
+        };
+        Block {
+            stmts,
+            span: TokSpan::new(open, self.pos),
+        }
+    }
+
+    fn parse_stmts(&mut self) -> Vec<Stmt> {
+        let mut stmts = Vec::new();
+        while !self.done() {
+            let before = self.pos;
+            if self.eat_p(';') {
+                continue;
+            }
+            // Outer attributes on statements (`#[cfg(test)] let …`).
+            let mut attrs = Vec::new();
+            while self.is_p('#') && !self.is_p_at(self.pos + 1, '!') {
+                let alo = self.pos;
+                self.bump();
+                if self.is_p('[') {
+                    self.skip_group();
+                }
+                attrs.push(Attr {
+                    span: TokSpan::new(alo, self.pos),
+                    inner: false,
+                });
+                if self.pos == alo {
+                    break;
+                }
+            }
+            if self.is_p('#') {
+                // Inner attribute inside a block: skip.
+                self.bump();
+                self.eat_p('!');
+                if self.is_p('[') {
+                    self.skip_group();
+                }
+                continue;
+            }
+            if self.is_kw("let") {
+                stmts.push(Stmt::Let(Box::new(self.parse_let())));
+            } else if self.stmt_starts_item() {
+                if let Some(mut it) = self.parse_item() {
+                    it.attrs.splice(0..0, attrs);
+                    stmts.push(Stmt::Item(Box::new(it)));
+                }
+            } else if !self.done() && !self.is_p('}') {
+                let expr = self.parse_expr(true);
+                let semi = self.eat_p(';');
+                stmts.push(Stmt::Expr { expr, semi });
+            }
+            if self.pos == before {
+                self.bump();
+            }
+        }
+        stmts
+    }
+
+    /// Whether the cursor sits on a keyword that opens a nested item
+    /// rather than an expression statement.
+    fn stmt_starts_item(&self) -> bool {
+        let Some(t) = self.cur() else { return false };
+        if t.kind != TokKind::Ident {
+            return false;
+        }
+        match t.ident_text() {
+            "fn" | "struct" | "enum" | "impl" | "trait" | "mod" | "use" | "static" | "type"
+            | "macro_rules" | "pub" => true,
+            // `const NAME` is an item; `const {` is a block expression.
+            "const" => self
+                .at(self.pos + 1)
+                .is_some_and(|n| n.kind == TokKind::Ident && n.ident_text() != "fn"),
+            "union" => self
+                .at(self.pos + 1)
+                .is_some_and(|n| n.kind == TokKind::Ident),
+            _ => false,
+        }
+    }
+
+    fn parse_let(&mut self) -> LetStmt {
+        let lo = self.pos;
+        self.bump(); // let
+        let pat = self.parse_pat_until(&[
+            PatStop::Punct(':'),
+            PatStop::Punct('='),
+            PatStop::Punct(';'),
+        ]);
+        let ty = if self.eat_p(':') {
+            Some(self.parse_ty())
+        } else {
+            None
+        };
+        let init = if self.is_p('=') && !self.pair('=', '=') {
+            self.bump();
+            Some(self.parse_expr(true))
+        } else {
+            None
+        };
+        let else_block = if self.eat_kw("else") {
+            if self.is_p('{') {
+                Some(self.parse_block())
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+        self.eat_p(';');
+        LetStmt {
+            pat,
+            ty,
+            init,
+            else_block,
+            span: TokSpan::new(lo, self.pos),
+        }
+    }
+
+    /// Scans from the cursor to the first matching terminator at
+    /// delimiter depth 0 and summarizes the range as a [`Pat`]. The
+    /// cursor lands *on* the terminator (or at `end`).
+    fn parse_pat_until(&mut self, stops: &[PatStop]) -> Pat {
+        let start = self.pos;
+        let mut i = self.pos;
+        while i < self.end {
+            let t = &self.t[i];
+            if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                i = match self.close[i].min(self.end) {
+                    c if c >= self.end => self.end,
+                    c => c + 1,
+                };
+                continue;
+            }
+            let mut hit = false;
+            for s in stops {
+                match s {
+                    PatStop::Punct(c) => {
+                        if t.is_punct(*c) {
+                            // `:` must not be half of `::`; `=` must not
+                            // be part of `..=`, `==` or `=>`.
+                            let part_of_sep = *c == ':'
+                                && (self.path_sep_at(i) || (i > start && self.path_sep_at(i - 1)));
+                            let part_of_eq = *c == '='
+                                && (self.pair_at(i, '=', '=')
+                                    || self.pair_at(i, '=', '>')
+                                    || (i > start && self.pair_at(i - 1, '.', '='))
+                                    || (i > start && self.pair_at(i - 1, '=', '=')));
+                            if !part_of_sep && !part_of_eq {
+                                hit = true;
+                            }
+                        }
+                    }
+                    PatStop::FatArrow => {
+                        if self.pair_at(i, '=', '>') {
+                            hit = true;
+                        }
+                    }
+                    PatStop::Kw(kw) => {
+                        if t.kind == TokKind::Ident && t.ident_text() == *kw {
+                            hit = true;
+                        }
+                    }
+                }
+                if hit {
+                    break;
+                }
+            }
+            if hit {
+                break;
+            }
+            i += 1;
+        }
+        let pat = self.analyze_pat_range(start, i);
+        self.pos = i;
+        pat
+    }
+
+    /// Summarizes the token range `[lo, hi)` as a pattern.
+    fn analyze_pat_range(&self, lo: usize, hi: usize) -> Pat {
+        let mut pat = Pat {
+            span: TokSpan::new(lo, hi),
+            ..Pat::default()
+        };
+        let toks = &self.t[lo.min(self.t.len())..hi.min(self.t.len())];
+        // Catch-all shapes: `_`, or `[ref|mut]* ident` with a
+        // lowercase/underscore-initial identifier.
+        let words: Vec<&Tok> = toks.iter().collect();
+        if words.len() == 1 && words[0].is_punct('_') {
+            pat.catch_all = true;
+        } else {
+            let mut idx = 0;
+            while idx < words.len()
+                && words[idx].kind == TokKind::Ident
+                && matches!(words[idx].ident_text(), "ref" | "mut")
+            {
+                idx += 1;
+            }
+            if idx + 1 == words.len() && words[idx].kind == TokKind::Ident {
+                let name = words[idx].ident_text();
+                let lower = name
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c.is_lowercase() || c == '_');
+                if lower && !matches!(name, "true" | "false") {
+                    pat.catch_all = true;
+                    pat.binding = Some(words[idx].text.clone());
+                }
+            }
+        }
+        // Paths and bound idents.
+        let mut k = 0usize;
+        while k < toks.len() {
+            let t = &toks[k];
+            if t.kind == TokKind::Ident {
+                let is_seg_start = k + 1 < toks.len()
+                    && toks[k + 1].is_punct(':')
+                    && k + 2 < toks.len()
+                    && toks[k + 2].is_punct(':');
+                if is_seg_start {
+                    let mut segs = vec![t.text.clone()];
+                    let mut j = k + 3;
+                    while j < toks.len() && toks[j].kind == TokKind::Ident {
+                        segs.push(toks[j].text.clone());
+                        if j + 2 < toks.len()
+                            && toks[j + 1].is_punct(':')
+                            && toks[j + 2].is_punct(':')
+                        {
+                            j += 3;
+                        } else {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    pat.paths.push(segs);
+                    k = j;
+                    continue;
+                }
+                let name = t.ident_text();
+                let upper = name.chars().next().is_some_and(char::is_uppercase);
+                if upper {
+                    // Bare unit variant (`None`) or struct pattern head.
+                    pat.paths.push(vec![t.text.clone()]);
+                } else if !matches!(name, "ref" | "mut" | "box" | "true" | "false") {
+                    // Field name in `Foo { field: pat }` is not a binding;
+                    // a following `:` (not `::`) marks it.
+                    let field_label = k + 1 < toks.len()
+                        && toks[k + 1].is_punct(':')
+                        && !(k + 2 < toks.len() && toks[k + 2].is_punct(':'));
+                    if !field_label {
+                        pat.idents.push(t.text.clone());
+                    }
+                }
+            }
+            k += 1;
+        }
+        if let Some(b) = &pat.binding {
+            if !pat.idents.contains(b) {
+                pat.idents.push(b.clone());
+            }
+        }
+        pat
+    }
+
+    // -- expressions ---------------------------------------------------
+
+    /// Entry: assignment level (lowest precedence).
+    fn parse_expr(&mut self, allow_struct: bool) -> Expr {
+        let lo = self.pos;
+        let lhs = self.parse_range(allow_struct);
+        // `=` and compound assignment, but never `==`, `=>`, `..=`.
+        let is_assign = (self.is_p('=') && !self.pair('=', '=') && !self.pair('=', '>'))
+            || (self.cur().is_some_and(|t| {
+                t.kind == TokKind::Punct
+                    && matches!(
+                        t.text.chars().next().unwrap_or(' '),
+                        '+' | '-' | '*' | '/' | '%' | '&' | '|' | '^'
+                    )
+            }) && !self.pair_at(self.pos + 1, '=', '=')
+                && self.is_p_at(self.pos + 1, '=')
+                && self.glued(self.pos))
+            || (self.pair('<', '<') && self.is_p_at(self.pos + 2, '=') && self.glued(self.pos + 1))
+            || (self.pair('>', '>') && self.is_p_at(self.pos + 2, '=') && self.glued(self.pos + 1));
+        if is_assign {
+            // Consume the operator tokens up to and including `=`.
+            while !self.is_p('=') && !self.done() {
+                self.bump();
+            }
+            self.eat_p('=');
+            let rhs = self.parse_expr(allow_struct);
+            return Expr {
+                span: TokSpan::new(lo, self.pos),
+                kind: ExprKind::Assign {
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
+            };
+        }
+        lhs
+    }
+
+    fn parse_range(&mut self, allow_struct: bool) -> Expr {
+        let lo = self.pos;
+        if self.pair('.', '.') {
+            self.bump();
+            self.bump();
+            self.eat_p('=');
+            let hi = if self.expr_can_start() {
+                Some(Box::new(self.parse_or(allow_struct)))
+            } else {
+                None
+            };
+            return Expr {
+                span: TokSpan::new(lo, self.pos),
+                kind: ExprKind::Range { lo: None, hi },
+            };
+        }
+        let lhs = self.parse_or(allow_struct);
+        if self.pair('.', '.') {
+            self.bump();
+            self.bump();
+            self.eat_p('=');
+            let hi = if self.expr_can_start() {
+                Some(Box::new(self.parse_or(allow_struct)))
+            } else {
+                None
+            };
+            return Expr {
+                span: TokSpan::new(lo, self.pos),
+                kind: ExprKind::Range {
+                    lo: Some(Box::new(lhs)),
+                    hi,
+                },
+            };
+        }
+        lhs
+    }
+
+    fn expr_can_start(&self) -> bool {
+        match self.cur() {
+            None => false,
+            Some(t) => match t.kind {
+                TokKind::Ident => !matches!(t.ident_text(), "else" | "in"),
+                TokKind::Num | TokKind::Str | TokKind::Lifetime => true,
+                TokKind::Punct => matches!(
+                    t.text.chars().next().unwrap_or(' '),
+                    '(' | '[' | '{' | '|' | '&' | '*' | '-' | '!' | '<' | '#'
+                ),
+            },
+        }
+    }
+
+    fn parse_or(&mut self, allow_struct: bool) -> Expr {
+        self.parse_binary_level(0, allow_struct)
+    }
+
+    /// Binary operator levels, loosest to tightest.
+    fn parse_binary_level(&mut self, level: usize, allow_struct: bool) -> Expr {
+        // (ops, next level) — each op is (first char, second char or \0,
+        // and for two-char ops whether adjacency is required).
+        const LEVELS: usize = 9;
+        if level >= LEVELS {
+            return self.parse_cast(allow_struct);
+        }
+        let lo = self.pos;
+        let mut lhs = self.parse_binary_level(level + 1, allow_struct);
+        while let Some(op) = self.binary_op_at(level) {
+            for _ in 0..op.len() {
+                self.bump();
+            }
+            let rhs = self.parse_binary_level(level + 1, allow_struct);
+            lhs = Expr {
+                span: TokSpan::new(lo, self.pos),
+                kind: ExprKind::Binary {
+                    op: op.clone(),
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
+            };
+        }
+        lhs
+    }
+
+    /// The binary operator at the cursor for the given level, if any.
+    /// Returned string's char count == tokens to consume.
+    fn binary_op_at(&self, level: usize) -> Option<String> {
+        let two = |a: char, b: char| self.pair(a, b);
+        let one = |c: char| {
+            self.is_p(c)
+                // Not part of a two-char operator with `=` (`+=` etc.)
+                && !(self.is_p_at(self.pos + 1, '=') && self.glued(self.pos))
+        };
+        let op: Option<&str> = match level {
+            0 => two('|', '|').then_some("||"),
+            1 => two('&', '&').then_some("&&"),
+            2 => {
+                if two('=', '=') {
+                    Some("==")
+                } else if two('!', '=') {
+                    Some("!=")
+                } else if two('<', '=') {
+                    Some("<=")
+                } else if two('>', '=') {
+                    Some(">=")
+                } else if one('<') && !self.pair('<', '<') {
+                    Some("<")
+                } else if one('>') && !self.pair('>', '>') {
+                    Some(">")
+                } else {
+                    None
+                }
+            }
+            3 => (one('|') && !two('|', '|')).then_some("|"),
+            4 => one('^').then_some("^"),
+            5 => (one('&') && !two('&', '&')).then_some("&"),
+            6 => {
+                if two('<', '<') && !(self.is_p_at(self.pos + 2, '=') && self.glued(self.pos + 1)) {
+                    Some("<<")
+                } else if two('>', '>')
+                    && !(self.is_p_at(self.pos + 2, '=') && self.glued(self.pos + 1))
+                {
+                    Some(">>")
+                } else {
+                    None
+                }
+            }
+            7 => {
+                if one('+') {
+                    Some("+")
+                } else if one('-') && !self.pair('-', '>') {
+                    Some("-")
+                } else {
+                    None
+                }
+            }
+            8 => {
+                if one('*') {
+                    Some("*")
+                } else if one('/') {
+                    Some("/")
+                } else if one('%') {
+                    Some("%")
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        };
+        op.map(str::to_string)
+    }
+
+    fn parse_cast(&mut self, allow_struct: bool) -> Expr {
+        let lo = self.pos;
+        let mut e = self.parse_unary(allow_struct);
+        while self.is_kw("as") {
+            let as_line = self.line_at(self.pos);
+            self.bump();
+            let ty = self.parse_ty();
+            e = Expr {
+                span: TokSpan::new(lo, self.pos),
+                kind: ExprKind::Cast {
+                    expr: Box::new(e),
+                    ty,
+                    as_line,
+                },
+            };
+        }
+        e
+    }
+
+    fn parse_unary(&mut self, allow_struct: bool) -> Expr {
+        let lo = self.pos;
+        if self.is_p('-') || self.is_p('!') || self.is_p('*') {
+            self.bump();
+            let inner = self.parse_unary(allow_struct);
+            return Expr {
+                span: TokSpan::new(lo, self.pos),
+                kind: ExprKind::Unary {
+                    expr: Box::new(inner),
+                },
+            };
+        }
+        if self.is_p('&') {
+            self.bump();
+            self.eat_p('&'); // `&&x` double-ref
+            self.eat_kw("mut");
+            let inner = self.parse_unary(allow_struct);
+            return Expr {
+                span: TokSpan::new(lo, self.pos),
+                kind: ExprKind::Unary {
+                    expr: Box::new(inner),
+                },
+            };
+        }
+        self.parse_postfix(allow_struct)
+    }
+
+    fn parse_postfix(&mut self, allow_struct: bool) -> Expr {
+        let lo = self.pos;
+        let base = self.parse_primary(allow_struct);
+        // Non-chain primaries (if/match/blocks…) may still take `?` or
+        // method calls; reuse the same loop by wrapping in Paren.
+        let mut chain = match base.kind {
+            ExprKind::Chain(c) => Chain {
+                base: c.base,
+                ops: c.ops,
+            },
+            _ => Chain {
+                base: ChainBase::Paren(Box::new(base)),
+                ops: Vec::new(),
+            },
+        };
+        loop {
+            if self.is_p('.') && !self.pair('.', '.') {
+                let dot = self.pos;
+                self.bump();
+                if self.eat_kw("await") {
+                    chain.ops.push(Postfix {
+                        span: TokSpan::new(dot, self.pos),
+                        kind: PostfixKind::Await,
+                    });
+                    continue;
+                }
+                if let Some(t) = self.cur() {
+                    if t.kind == TokKind::Num {
+                        self.bump();
+                        chain.ops.push(Postfix {
+                            span: TokSpan::new(dot, self.pos),
+                            kind: PostfixKind::Field(t.text.clone()),
+                        });
+                        continue;
+                    }
+                    if t.kind == TokKind::Ident {
+                        let name = t.ident_text().to_string();
+                        let line = t.line;
+                        self.bump();
+                        // Turbofish `::<…>`.
+                        let mut tf = Vec::new();
+                        if self.path_sep_at(self.pos) && self.is_p_at(self.pos + 2, '<') {
+                            self.bump();
+                            self.bump();
+                            tf = self.parse_generic_args();
+                        }
+                        if self.is_p('(') {
+                            let args = self.parse_call_args();
+                            chain.ops.push(Postfix {
+                                span: TokSpan::new(dot, self.pos),
+                                kind: PostfixKind::Method {
+                                    name,
+                                    tf,
+                                    args,
+                                    line,
+                                },
+                            });
+                        } else {
+                            chain.ops.push(Postfix {
+                                span: TokSpan::new(dot, self.pos),
+                                kind: PostfixKind::Field(name),
+                            });
+                        }
+                        continue;
+                    }
+                }
+                continue;
+            }
+            if self.is_p('(') {
+                let start = self.pos;
+                let args = self.parse_call_args();
+                chain.ops.push(Postfix {
+                    span: TokSpan::new(start, self.pos),
+                    kind: PostfixKind::Call(args),
+                });
+                continue;
+            }
+            if self.is_p('[') {
+                let start = self.pos;
+                let close = self.close[self.pos].min(self.end);
+                self.bump();
+                let idx = self.in_range(self.pos, close, |p| p.parse_expr(true));
+                self.pos = if close >= self.end {
+                    self.end
+                } else {
+                    close + 1
+                };
+                chain.ops.push(Postfix {
+                    span: TokSpan::new(start, self.pos),
+                    kind: PostfixKind::Index(Box::new(idx)),
+                });
+                continue;
+            }
+            if self.is_p('?') {
+                let start = self.pos;
+                self.bump();
+                chain.ops.push(Postfix {
+                    span: TokSpan::new(start, self.pos),
+                    kind: PostfixKind::Try,
+                });
+                continue;
+            }
+            break;
+        }
+        if chain.ops.is_empty() {
+            if let ChainBase::Paren(inner) = chain.base {
+                return *inner;
+            }
+            return Expr {
+                span: TokSpan::new(lo, self.pos),
+                kind: ExprKind::Chain(chain),
+            };
+        }
+        Expr {
+            span: TokSpan::new(lo, self.pos),
+            kind: ExprKind::Chain(chain),
+        }
+    }
+
+    /// `(a, b, c)` — cursor on `(`; lands past `)`.
+    fn parse_call_args(&mut self) -> Vec<Expr> {
+        let close = self.close[self.pos].min(self.end);
+        self.bump();
+        let args = self.in_range(self.pos, close, |p| p.parse_comma_exprs());
+        self.pos = if close >= self.end {
+            self.end
+        } else {
+            close + 1
+        };
+        args
+    }
+
+    fn parse_comma_exprs(&mut self) -> Vec<Expr> {
+        let mut out = Vec::new();
+        while !self.done() {
+            let before = self.pos;
+            out.push(self.parse_expr(true));
+            self.eat_p(',');
+            if self.pos == before {
+                self.bump();
+            }
+        }
+        out
+    }
+}
+
+impl<'a> P<'a> {
+    fn verbatim_one(&mut self) -> Expr {
+        let lo = self.pos;
+        if self.is_p('(') || self.is_p('[') || self.is_p('{') {
+            self.skip_group();
+        } else if !self.done() {
+            self.bump();
+        }
+        self.tree.recovered.push(TokSpan::new(lo, self.pos));
+        Expr {
+            span: TokSpan::new(lo, self.pos),
+            kind: ExprKind::Verbatim,
+        }
+    }
+
+    fn parse_primary(&mut self, allow_struct: bool) -> Expr {
+        let lo = self.pos;
+        let mk = |p: &P<'a>, kind: ExprKind| Expr {
+            span: TokSpan::new(lo, p.pos),
+            kind,
+        };
+        let Some(t) = self.cur() else {
+            return Expr {
+                span: TokSpan::new(lo, lo),
+                kind: ExprKind::Verbatim,
+            };
+        };
+        // Loop labels: `'outer: loop { … }`.
+        if t.kind == TokKind::Lifetime {
+            self.bump();
+            self.eat_p(':');
+            return self.parse_primary(allow_struct);
+        }
+        if t.kind == TokKind::Str || t.kind == TokKind::Num {
+            let kind = t.kind;
+            self.bump();
+            return mk(
+                self,
+                ExprKind::Chain(Chain {
+                    base: ChainBase::Lit(kind),
+                    ops: Vec::new(),
+                }),
+            );
+        }
+        if t.kind == TokKind::Punct {
+            match t.text.chars().next().unwrap_or(' ') {
+                '(' => {
+                    let close = self.close[self.pos].min(self.end);
+                    self.bump();
+                    let mut exprs = self.in_range(self.pos, close, |p| p.parse_comma_exprs());
+                    self.pos = if close >= self.end {
+                        self.end
+                    } else {
+                        close + 1
+                    };
+                    if exprs.len() == 1 {
+                        let inner = exprs.pop().expect("len checked");
+                        return mk(
+                            self,
+                            ExprKind::Chain(Chain {
+                                base: ChainBase::Paren(Box::new(inner)),
+                                ops: Vec::new(),
+                            }),
+                        );
+                    }
+                    return mk(self, ExprKind::Tuple(exprs));
+                }
+                '[' => {
+                    let close = self.close[self.pos].min(self.end);
+                    self.bump();
+                    let exprs = self.in_range(self.pos, close, |p| {
+                        let mut out = Vec::new();
+                        while !p.done() {
+                            let before = p.pos;
+                            out.push(p.parse_expr(true));
+                            let _ = p.eat_p(',') || p.eat_p(';');
+                            if p.pos == before {
+                                p.bump();
+                            }
+                        }
+                        out
+                    });
+                    self.pos = if close >= self.end {
+                        self.end
+                    } else {
+                        close + 1
+                    };
+                    return mk(self, ExprKind::Array(exprs));
+                }
+                '{' => {
+                    let b = self.parse_block();
+                    return mk(self, ExprKind::Block(Box::new(b)));
+                }
+                '|' => {
+                    return self.parse_closure(lo);
+                }
+                '<' => {
+                    // Qualified path `<T as Trait>::method(…)`.
+                    self.skip_generics();
+                    let mut segs = vec!["<qualified>".to_string()];
+                    while self.path_sep_at(self.pos) {
+                        self.bump();
+                        self.bump();
+                        if let Some(seg) = self.eat_ident() {
+                            segs.push(seg);
+                        } else {
+                            break;
+                        }
+                    }
+                    return mk(
+                        self,
+                        ExprKind::Chain(Chain {
+                            base: ChainBase::Path {
+                                segs,
+                                tf: Vec::new(),
+                            },
+                            ops: Vec::new(),
+                        }),
+                    );
+                }
+                _ => return self.verbatim_one(),
+            }
+        }
+        // Identifier / keyword.
+        let word = t.ident_text().to_string();
+        match word.as_str() {
+            "if" => {
+                self.bump();
+                let cond = self.parse_cond();
+                let then = if self.is_p('{') {
+                    self.parse_block()
+                } else {
+                    Block {
+                        stmts: Vec::new(),
+                        span: TokSpan::new(self.pos, self.pos),
+                    }
+                };
+                let els = if self.eat_kw("else") {
+                    if self.is_kw("if") {
+                        Some(self.parse_primary(true))
+                    } else if self.is_p('{') {
+                        let b = self.parse_block();
+                        Some(Expr {
+                            span: b.span,
+                            kind: ExprKind::Block(Box::new(b)),
+                        })
+                    } else {
+                        None
+                    }
+                } else {
+                    None
+                };
+                return mk(self, ExprKind::If(Box::new(IfExpr { cond, then, els })));
+            }
+            "match" => {
+                self.bump();
+                let scrutinee = self.parse_expr_no_struct();
+                let mut arms = Vec::new();
+                if self.is_p('{') {
+                    let close = self.close[self.pos].min(self.end);
+                    self.bump();
+                    self.in_range(self.pos, close, |p| {
+                        while !p.done() {
+                            let before = p.pos;
+                            while p.is_p('#') {
+                                p.bump();
+                                if p.is_p('[') {
+                                    p.skip_group();
+                                }
+                            }
+                            if p.done() {
+                                break;
+                            }
+                            self_arm(p, &mut arms);
+                            p.eat_p(',');
+                            if p.pos == before {
+                                p.bump();
+                            }
+                        }
+                    });
+                    self.pos = if close >= self.end {
+                        self.end
+                    } else {
+                        close + 1
+                    };
+                }
+                return mk(
+                    self,
+                    ExprKind::Match(Box::new(MatchExpr { scrutinee, arms })),
+                );
+            }
+            "for" => {
+                self.bump();
+                let pat = self.parse_pat_until(&[PatStop::Kw("in")]);
+                self.eat_kw("in");
+                let iter = self.parse_expr_no_struct();
+                let body = if self.is_p('{') {
+                    self.parse_block()
+                } else {
+                    Block {
+                        stmts: Vec::new(),
+                        span: TokSpan::new(self.pos, self.pos),
+                    }
+                };
+                return mk(self, ExprKind::For(Box::new(ForExpr { pat, iter, body })));
+            }
+            "while" => {
+                self.bump();
+                let cond = self.parse_cond();
+                let body = if self.is_p('{') {
+                    self.parse_block()
+                } else {
+                    Block {
+                        stmts: Vec::new(),
+                        span: TokSpan::new(self.pos, self.pos),
+                    }
+                };
+                return mk(self, ExprKind::While(Box::new(WhileExpr { cond, body })));
+            }
+            "loop" => {
+                self.bump();
+                let body = if self.is_p('{') {
+                    self.parse_block()
+                } else {
+                    Block {
+                        stmts: Vec::new(),
+                        span: TokSpan::new(self.pos, self.pos),
+                    }
+                };
+                return mk(self, ExprKind::Loop(Box::new(body)));
+            }
+            "unsafe" | "async" | "const" => {
+                self.bump();
+                self.eat_kw("move");
+                if self.is_p('{') {
+                    let b = self.parse_block();
+                    return mk(self, ExprKind::Block(Box::new(b)));
+                }
+                return self.parse_primary(allow_struct);
+            }
+            "move" => {
+                self.bump();
+                if self.is_p('|') {
+                    return self.parse_closure(lo);
+                }
+                if self.is_p('{') {
+                    let b = self.parse_block();
+                    return mk(self, ExprKind::Block(Box::new(b)));
+                }
+                return self.verbatim_one();
+            }
+            "return" => {
+                self.bump();
+                let e = if self.expr_can_start() {
+                    Some(Box::new(self.parse_expr(allow_struct)))
+                } else {
+                    None
+                };
+                return mk(self, ExprKind::Return(e));
+            }
+            "break" => {
+                self.bump();
+                if self.cur().is_some_and(|t| t.kind == TokKind::Lifetime) {
+                    self.bump();
+                }
+                let e = if self.expr_can_start() {
+                    Some(Box::new(self.parse_expr(allow_struct)))
+                } else {
+                    None
+                };
+                return mk(self, ExprKind::Break(e));
+            }
+            "continue" => {
+                self.bump();
+                if self.cur().is_some_and(|t| t.kind == TokKind::Lifetime) {
+                    self.bump();
+                }
+                return mk(self, ExprKind::Continue);
+            }
+            "let" => {
+                // `if let` / `while let` conditions (and, leniently,
+                // let-chains): parse as a condition-let expression.
+                self.bump();
+                let pat = self.parse_pat_until(&[PatStop::Punct('=')]);
+                self.eat_p('=');
+                // Scrutinee binds tighter than `&&`/`||`.
+                let scrut = self.parse_binary_level(2, false);
+                return mk(
+                    self,
+                    ExprKind::CondLet {
+                        pat,
+                        expr: Box::new(scrut),
+                    },
+                );
+            }
+            _ => {}
+        }
+        // Path expression: segs, optional turbofish, then macro-bang or
+        // struct literal.
+        let mut segs = Vec::new();
+        let mut tf = Vec::new();
+        while let Some(seg) = self.eat_ident() {
+            segs.push(seg);
+            if self.path_sep_at(self.pos) {
+                if self.is_p_at(self.pos + 2, '<') {
+                    self.bump();
+                    self.bump();
+                    tf = self.parse_generic_args();
+                    if self.path_sep_at(self.pos) {
+                        self.bump();
+                        self.bump();
+                        continue;
+                    }
+                    break;
+                }
+                if self
+                    .at(self.pos + 2)
+                    .is_some_and(|t| t.kind == TokKind::Ident)
+                {
+                    self.bump();
+                    self.bump();
+                    continue;
+                }
+                break;
+            }
+            break;
+        }
+        if segs.is_empty() {
+            return self.verbatim_one();
+        }
+        // Macro call `path!(…)`.
+        if self.is_p('!') && !self.pair('!', '=') {
+            let line = self.line_at(self.pos);
+            self.bump();
+            let mut args = Vec::new();
+            if self.is_p('(') || self.is_p('[') {
+                let close = self.close[self.pos].min(self.end);
+                self.bump();
+                args = self.in_range(self.pos, close, |p| {
+                    let mut out = Vec::new();
+                    while !p.done() {
+                        let before = p.pos;
+                        out.push(p.parse_expr(true));
+                        let _ = p.eat_p(',') || p.eat_p(';');
+                        if p.pos == before {
+                            p.bump();
+                        }
+                    }
+                    out
+                });
+                self.pos = if close >= self.end {
+                    self.end
+                } else {
+                    close + 1
+                };
+            } else if self.is_p('{') {
+                self.skip_group();
+            }
+            return mk(
+                self,
+                ExprKind::Chain(Chain {
+                    base: ChainBase::Macro(MacroCall {
+                        path: segs,
+                        args,
+                        line,
+                    }),
+                    ops: Vec::new(),
+                }),
+            );
+        }
+        // Struct literal `Path { field: expr, .. }`.
+        let struct_head = segs
+            .last()
+            .and_then(|s| s.chars().next())
+            .is_some_and(char::is_uppercase)
+            || segs.last().is_some_and(|s| s == "Self");
+        if allow_struct && struct_head && self.is_p('{') {
+            let close = self.close[self.pos].min(self.end);
+            self.bump();
+            let mut fields = Vec::new();
+            let mut rest = None;
+            self.in_range(self.pos, close, |p| {
+                while !p.done() {
+                    let before = p.pos;
+                    if p.pair('.', '.') {
+                        p.bump();
+                        p.bump();
+                        if p.expr_can_start() {
+                            rest = Some(Box::new(p.parse_expr(true)));
+                        }
+                    } else if let Some(fname) = p.eat_ident() {
+                        if p.eat_p(':') {
+                            let v = p.parse_expr(true);
+                            fields.push((fname, Some(v)));
+                        } else {
+                            fields.push((fname, None));
+                        }
+                    }
+                    p.eat_p(',');
+                    if p.pos == before {
+                        p.bump();
+                    }
+                }
+            });
+            self.pos = if close >= self.end {
+                self.end
+            } else {
+                close + 1
+            };
+            return mk(
+                self,
+                ExprKind::Chain(Chain {
+                    base: ChainBase::Struct(StructLit {
+                        path: segs,
+                        fields,
+                        rest,
+                    }),
+                    ops: Vec::new(),
+                }),
+            );
+        }
+        mk(
+            self,
+            ExprKind::Chain(Chain {
+                base: ChainBase::Path { segs, tf },
+                ops: Vec::new(),
+            }),
+        )
+    }
+
+    fn parse_expr_no_struct(&mut self) -> Expr {
+        self.parse_expr(false)
+    }
+
+    /// An `if`/`while` condition: no struct literals, `let` allowed.
+    fn parse_cond(&mut self) -> Expr {
+        self.parse_expr(false)
+    }
+
+    fn parse_closure(&mut self, lo: usize) -> Expr {
+        // Cursor on `|` (possibly `||`).
+        let mut params = Vec::new();
+        if self.pair('|', '|') {
+            self.bump();
+            self.bump();
+        } else {
+            self.bump(); // opening |
+                         // Scan to the closing `|` at depth 0.
+            let mut i = self.pos;
+            while i < self.end {
+                let t = &self.t[i];
+                if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                    i = match self.close[i].min(self.end) {
+                        c if c >= self.end => self.end,
+                        c => c + 1,
+                    };
+                    continue;
+                }
+                if t.is_punct('|') {
+                    break;
+                }
+                i += 1;
+            }
+            let close = i;
+            // Split params on top-level commas; bindings only.
+            let mut start = self.pos;
+            let mut j = self.pos;
+            while j <= close {
+                if j == close || self.t[j].is_punct(',') {
+                    let pat = self.analyze_pat_range(
+                        start,
+                        // Strip `: ty` annotations from the range.
+                        (start..j)
+                            .find(|&k| {
+                                self.t[k].is_punct(':')
+                                    && !self.path_sep_at(k)
+                                    && !(k > start && self.path_sep_at(k - 1))
+                            })
+                            .unwrap_or(j),
+                    );
+                    params.extend(pat.idents);
+                    start = j + 1;
+                }
+                if j == close {
+                    break;
+                }
+                if self.t[j].is_punct('(') || self.t[j].is_punct('[') || self.t[j].is_punct('{') {
+                    j = match self.close[j].min(close) {
+                        c if c >= close => close,
+                        c => c + 1,
+                    };
+                    continue;
+                }
+                j += 1;
+            }
+            self.pos = if close >= self.end {
+                self.end
+            } else {
+                close + 1
+            };
+        }
+        // Optional `-> Ty` then the body.
+        if self.pair('-', '>') {
+            self.bump();
+            self.bump();
+            self.parse_ty();
+        }
+        let body = if self.is_p('{') {
+            let b = self.parse_block();
+            Expr {
+                span: b.span,
+                kind: ExprKind::Block(Box::new(b)),
+            }
+        } else {
+            self.parse_expr(true)
+        };
+        Expr {
+            span: TokSpan::new(lo, self.pos),
+            kind: ExprKind::Closure(Box::new(Closure {
+                params,
+                body: Box::new(body),
+            })),
+        }
+    }
+}
+
+/// One match arm: `pat (if guard)? => body`.
+fn self_arm(p: &mut P<'_>, arms: &mut Vec<Arm>) {
+    let pat = p.parse_pat_until(&[PatStop::FatArrow, PatStop::Kw("if")]);
+    let guard = if p.eat_kw("if") {
+        // Guard runs to the `=>`.
+        let glo = p.pos;
+        let mut i = p.pos;
+        while i < p.end {
+            let t = &p.t[i];
+            if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                i = match p.close[i].min(p.end) {
+                    c if c >= p.end => p.end,
+                    c => c + 1,
+                };
+                continue;
+            }
+            if p.pair_at(i, '=', '>') {
+                break;
+            }
+            i += 1;
+        }
+        let g = p.in_range(glo, i, |q| q.parse_expr(true));
+        p.pos = i;
+        Some(g)
+    } else {
+        None
+    };
+    // `=>`
+    if p.pair('=', '>') {
+        p.bump();
+        p.bump();
+    }
+    let body = p.parse_expr(true);
+    arms.push(Arm { pat, guard, body });
+}

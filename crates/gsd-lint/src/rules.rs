@@ -1,14 +1,26 @@
-//! The rule registry and the seven checks.
+//! The rule registry and the thirteen checks.
 //!
-//! Every rule works on the token stream from [`crate::lexer`] plus brace
-//! matching — no syntax tree. Rules are scoped by workspace-relative path
-//! prefixes (overridable in `lint.toml`) and skip *test regions*:
-//! `#[cfg(test)]` / `#[test]` items, and files under `tests/` or
-//! `benches/` directories.
+//! Since v2 the rules run on the syntax tree from [`crate::parser`]
+//! (with [`crate::symbols`] for name resolution and [`crate::dataflow`]
+//! for the GSD007/GSD008 order-taint pass) rather than raw token
+//! patterns. Two checks stay lexical on purpose: GSD002 is a name ban
+//! (any mention of `Instant`/`SystemTime` is wrong, whatever the
+//! syntactic position), and the test mask works on token ranges so a
+//! tree node is test code iff its first token is.
+//!
+//! Rules are scoped by workspace-relative path prefixes (overridable in
+//! `lint.toml`) and skip *test regions*: `#[cfg(test)]` / `#[test]`
+//! items, and files under `tests/` or `benches/` directories.
 
 use crate::config::{LintConfig, RuleConfig, Severity};
+use crate::dataflow;
 use crate::diagnostics::Diagnostic;
 use crate::lexer::{Tok, TokKind};
+use crate::parser::{
+    Block, Chain, ChainBase, Expr, ExprKind, Item, ItemKind, LetStmt, PostfixKind, SourceTree, Stmt,
+};
+use crate::symbols::SymbolTable;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Static metadata for one rule.
 #[derive(Debug, Clone, Copy)]
@@ -24,7 +36,8 @@ pub struct RuleInfo {
 }
 
 /// All rules, in id order. GSD000 is the meta-rule for broken suppression
-/// directives; GSD001–GSD006 are the GraphSD invariants.
+/// directives; GSD001–GSD006 are the GraphSD invariants; GSD007–GSD012
+/// are the determinism pack.
 pub const RULES: &[RuleInfo] = &[
     RuleInfo {
         id: "GSD000",
@@ -74,6 +87,48 @@ pub const RULES: &[RuleInfo] = &[
                     fails loudly instead of wrapping",
         default_severity: Severity::Error,
     },
+    RuleInfo {
+        id: "GSD007",
+        summary: "no unordered HashMap/HashSet iteration flowing into order-sensitive sinks",
+        invariant: "hash iteration order varies run to run; any order-sensitive consumer \
+                    (reduction, output, scheduling) makes runs non-reproducible",
+        default_severity: Severity::Error,
+    },
+    RuleInfo {
+        id: "GSD008",
+        summary: "no float fold/sum over a non-deterministically-ordered source",
+        invariant: "float addition is not associative — reducing in hash order changes \
+                    results bit-for-bit between identical runs",
+        default_severity: Severity::Error,
+    },
+    RuleInfo {
+        id: "GSD009",
+        summary: "thread/channel/lock primitives constructed only in designated modules",
+        invariant: "ad-hoc threading reorders I/O and trace emission; concurrency is \
+                    confined to the pipeline executor and allow-listed modules",
+        default_severity: Severity::Error,
+    },
+    RuleInfo {
+        id: "GSD010",
+        summary: "Ordering::Relaxed only on allow-listed statistics counters",
+        invariant: "Relaxed is safe only for monotonic counters; on anything else it \
+                    licenses reorderings that break cross-thread protocols",
+        default_severity: Severity::Error,
+    },
+    RuleInfo {
+        id: "GSD011",
+        summary: "no unbuffered per-edge File read/write inside kernel loops",
+        invariant: "per-edge syscalls invalidate the block-granular I/O cost model; \
+                    kernels go through buffered or block APIs",
+        default_severity: Severity::Error,
+    },
+    RuleInfo {
+        id: "GSD012",
+        summary: "no catch-all arm in matches over exhaustiveness-listed enums",
+        invariant: "a `_` arm silently swallows newly-added variants; listing them makes \
+                    every addition a reviewed decision",
+        default_severity: Severity::Error,
+    },
 ];
 
 /// Looks up a rule's metadata by id.
@@ -119,9 +174,80 @@ fn default_scope(id: &str) -> (Vec<&'static str>, Vec<&'static str>) {
             ],
             vec!["crates/gsd-graph/src/narrow.rs"],
         ),
+        "GSD007" => (
+            vec![
+                "crates/gsd-core/src",
+                "crates/gsd-io/src",
+                "crates/gsd-runtime/src",
+                "crates/gsd-graph/src",
+                "crates/gsd-pipeline/src",
+                "crates/gsd-baselines/src",
+            ],
+            vec![],
+        ),
+        "GSD008" => (vec!["src", "crates"], vec!["crates/gsd-lint"]),
+        "GSD009" => (
+            vec!["src", "crates"],
+            vec![
+                "crates/gsd-pipeline/src",
+                "crates/gsd-trace/src/sink.rs",
+                "crates/gsd-io/src/storage.rs",
+                "crates/gsd-integrity/src/verifier.rs",
+                "crates/gsd-recover/src/fault.rs",
+                "crates/gsd-lint",
+            ],
+        ),
+        "GSD010" => (
+            vec!["src", "crates"],
+            vec![
+                "crates/gsd-runtime/src/frontier.rs",
+                "crates/gsd-runtime/src/values.rs",
+                "crates/gsd-trace/src/counters.rs",
+                "crates/gsd-lint",
+            ],
+        ),
+        "GSD011" => (
+            vec![
+                "crates/gsd-core/src",
+                "crates/gsd-runtime/src",
+                "crates/gsd-graph/src",
+                "crates/gsd-baselines/src",
+            ],
+            vec![],
+        ),
+        "GSD012" => (vec!["src", "crates"], vec!["crates/gsd-lint"]),
         _ => (vec![], vec![]),
     }
 }
+
+/// Counters that may legitimately use `Ordering::Relaxed` when
+/// `lint.toml` provides no `idents` list: monotonic statistics counters
+/// whose only cross-thread contract is "eventually counted".
+const DEFAULT_RELAXED_IDENTS: &[&str] = &[
+    "seq_read_bytes",
+    "seq_read_ops",
+    "rand_read_bytes",
+    "rand_read_ops",
+    "write_bytes",
+    "write_ops",
+    "sim_nanos",
+    "retried_ops",
+    "gave_up_ops",
+    "write_errors",
+    "iterations",
+    "verify_bytes",
+    "corrupt_blocks",
+    "repaired_blocks",
+    "injected_transient",
+    "injected_permanent",
+    "injected_corrupt",
+    "dropped",
+    "COUNTER",
+];
+
+/// Enums whose matches must stay exhaustive when `lint.toml` provides no
+/// `enums` list.
+const DEFAULT_EXHAUSTIVE_ENUMS: &[&str] = &["TraceEvent"];
 
 /// True if `path` falls under prefix `p` (exact file match for `.rs`
 /// entries, directory-prefix match otherwise).
@@ -150,7 +276,7 @@ fn in_scope(path: &str, id: &str, rc: &RuleConfig) -> bool {
     !allowed
 }
 
-/// One lexed file plus the derived per-token facts rules consume.
+/// One analyzed file: tokens, syntax tree, symbols, and per-token facts.
 pub struct FileCx<'a> {
     /// Workspace-relative, `/`-separated path.
     pub path: &'a str,
@@ -158,10 +284,38 @@ pub struct FileCx<'a> {
     pub tokens: &'a [Tok],
     /// `true` where the token sits in test code.
     pub mask: &'a [bool],
-    /// Brace depth *before* each token.
-    pub depth: &'a [i32],
     /// Control comments from the lexer.
     pub directives: &'a [crate::lexer::Directive],
+    /// Parsed syntax tree.
+    pub tree: &'a SourceTree,
+    /// Per-file symbol table.
+    pub syms: &'a SymbolTable,
+}
+
+impl FileCx<'_> {
+    /// A tree node is test code iff its first token is masked.
+    fn masked(&self, tok_index: usize) -> bool {
+        self.mask.get(tok_index).copied().unwrap_or(false)
+    }
+
+    /// Visits every expression of every non-test item: function bodies
+    /// plus const/static initializers.
+    fn walk_nontest_exprs<'b>(&'b self, f: &mut impl FnMut(&'b Expr)) {
+        self.tree.walk_items(&mut |it: &Item| {
+            if self.masked(it.span.lo) {
+                return;
+            }
+            match &it.kind {
+                ItemKind::Fn(fun) => {
+                    if let Some(b) = &fun.body {
+                        b.walk_exprs(f);
+                    }
+                }
+                ItemKind::Const(Some(e)) | ItemKind::Static(Some(e)) => e.walk(f),
+                _ => {}
+            }
+        });
+    }
 }
 
 /// True if the whole file is test/bench code by location.
@@ -246,22 +400,14 @@ fn item_end(tokens: &[Tok], i: usize) -> usize {
     tokens.len() - 1
 }
 
-/// Brace depth before each token (absolute, from file start).
-pub fn brace_depth(tokens: &[Tok]) -> Vec<i32> {
-    let mut depth = Vec::with_capacity(tokens.len());
-    let mut d = 0i32;
-    for tok in tokens {
-        depth.push(d);
-        if tok.is_punct('{') {
-            d += 1;
-        } else if tok.is_punct('}') {
-            d -= 1;
-        }
-    }
-    depth
-}
-
-fn diag(id: &str, cfg: &LintConfig, file: &str, line: u32, message: String) -> Diagnostic {
+fn diag(
+    id: &str,
+    cfg: &LintConfig,
+    file: &str,
+    line: u32,
+    col: u32,
+    message: String,
+) -> Diagnostic {
     let info = rule_info(id).expect("diag() called with a registered rule id");
     let severity = cfg.rule(id).severity.unwrap_or(info.default_severity);
     Diagnostic {
@@ -269,6 +415,7 @@ fn diag(id: &str, cfg: &LintConfig, file: &str, line: u32, message: String) -> D
         severity,
         file: file.to_string(),
         line,
+        col,
         message,
     }
 }
@@ -276,6 +423,11 @@ fn diag(id: &str, cfg: &LintConfig, file: &str, line: u32, message: String) -> D
 fn rule_enabled(id: &str, cfg: &LintConfig) -> bool {
     let info = rule_info(id).expect("registered rule id");
     cfg.rule(id).severity.unwrap_or(info.default_severity) != Severity::Off
+}
+
+/// `rule_enabled` + `in_scope` in one gate.
+fn rule_applies(id: &str, cx: &FileCx<'_>, cfg: &LintConfig) -> bool {
+    rule_enabled(id, cfg) && in_scope(cx.path, id, &cfg.rule(id))
 }
 
 // ---------------------------------------------------------------------------
@@ -289,13 +441,14 @@ pub fn check_directives(cx: &FileCx<'_>, cfg: &LintConfig, out: &mut Vec<Diagnos
     }
     for d in cx.directives {
         if let Some(why) = &d.malformed {
-            out.push(diag("GSD000", cfg, cx.path, d.line, why.clone()));
+            out.push(diag("GSD000", cfg, cx.path, d.line, 1, why.clone()));
         } else if rule_info(&d.rule).is_none() {
             out.push(diag(
                 "GSD000",
                 cfg,
                 cx.path,
                 d.line,
+                1,
                 format!("`{}` is not a registered gsd-lint rule", d.rule),
             ));
         }
@@ -308,48 +461,51 @@ pub fn check_directives(cx: &FileCx<'_>, cfg: &LintConfig, out: &mut Vec<Diagnos
 
 const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
 
-/// Flags `.unwrap()` / `.expect(` and panic-family macros in non-test
-/// code of the hot-path crates.
+/// Flags `.unwrap()` / `.expect(…)` method calls and panic-family macro
+/// invocations in non-test code of the hot-path crates.
 pub fn check_gsd001(cx: &FileCx<'_>, cfg: &LintConfig, out: &mut Vec<Diagnostic>) {
-    if !rule_enabled("GSD001", cfg) || !in_scope(cx.path, "GSD001", &cfg.rule("GSD001")) {
+    if !rule_applies("GSD001", cx, cfg) {
         return;
     }
-    for (i, tok) in cx.tokens.iter().enumerate() {
-        if cx.mask[i] || tok.kind != TokKind::Ident {
-            continue;
+    cx.walk_nontest_exprs(&mut |e| {
+        let ExprKind::Chain(c) = &e.kind else { return };
+        if let ChainBase::Macro(m) = &c.base {
+            if m.path
+                .last()
+                .is_some_and(|p| PANIC_MACROS.contains(&p.as_str()))
+            {
+                out.push(diag(
+                    "GSD001",
+                    cfg,
+                    cx.path,
+                    m.line,
+                    e.span.col(cx.tokens),
+                    format!(
+                        "`{}!` in hot-path code — return a typed error; a panic mid-run \
+                         can leave partially-flushed vertex state behind",
+                        m.path.last().expect("macro path nonempty")
+                    ),
+                ));
+            }
         }
-        let prev_dot = i > 0 && cx.tokens[i - 1].is_punct('.');
-        let next = cx.tokens.get(i + 1);
-        if (tok.text == "unwrap" || tok.text == "expect")
-            && prev_dot
-            && next.is_some_and(|t| t.is_punct('('))
-        {
-            out.push(diag(
-                "GSD001",
-                cfg,
-                cx.path,
-                tok.line,
-                format!(
-                    "`.{}()` in hot-path code — propagate the error through the typed \
-                     `Result` path instead of panicking",
-                    tok.text
-                ),
-            ));
-        } else if PANIC_MACROS.contains(&tok.text.as_str()) && next.is_some_and(|t| t.is_punct('!'))
-        {
-            out.push(diag(
-                "GSD001",
-                cfg,
-                cx.path,
-                tok.line,
-                format!(
-                    "`{}!` in hot-path code — return a typed error; a panic mid-run \
-                     can leave partially-flushed vertex state behind",
-                    tok.text
-                ),
-            ));
+        for op in &c.ops {
+            if let PostfixKind::Method { name, line, .. } = &op.kind {
+                if name == "unwrap" || name == "expect" {
+                    out.push(diag(
+                        "GSD001",
+                        cfg,
+                        cx.path,
+                        *line,
+                        op.span.col(cx.tokens),
+                        format!(
+                            "`.{name}()` in hot-path code — propagate the error through the \
+                             typed `Result` path instead of panicking"
+                        ),
+                    ));
+                }
+            }
         }
-    }
+    });
 }
 
 // ---------------------------------------------------------------------------
@@ -359,9 +515,11 @@ pub fn check_gsd001(cx: &FileCx<'_>, cfg: &LintConfig, out: &mut Vec<Diagnostic>
 const WALL_CLOCK_TYPES: &[&str] = &["Instant", "SystemTime"];
 
 /// Flags raw wall-clock type references outside gsd-trace / gsd-bench and
-/// the designated timing module (`gsd-runtime/src/kernels.rs`).
+/// the designated timing module. This one stays a token scan: it is a name
+/// ban, and an import, a type annotation, or an expression mention are all
+/// equally wrong.
 pub fn check_gsd002(cx: &FileCx<'_>, cfg: &LintConfig, out: &mut Vec<Diagnostic>) {
-    if !rule_enabled("GSD002", cfg) || !in_scope(cx.path, "GSD002", &cfg.rule("GSD002")) {
+    if !rule_applies("GSD002", cx, cfg) {
         return;
     }
     for (i, tok) in cx.tokens.iter().enumerate() {
@@ -374,6 +532,7 @@ pub fn check_gsd002(cx: &FileCx<'_>, cfg: &LintConfig, out: &mut Vec<Diagnostic>
                 cfg,
                 cx.path,
                 tok.line,
+                tok.col,
                 format!(
                     "raw `{}` outside the designated timing modules — measure through \
                      `gsd_trace::clock::Stopwatch`/`timed` so SimDisk virtual-clock \
@@ -405,184 +564,230 @@ const IO_METHODS: &[&str] = &[
 const GUARD_METHODS: &[&str] = &["lock", "read", "write"];
 
 /// Flags `let guard = ….lock()/read()/write();` bindings whose lexical
-/// scope (to the enclosing block's `}` or an explicit `drop(guard)`)
-/// contains a storage I/O call.
+/// scope (the rest of the enclosing block, or up to an explicit
+/// `drop(guard)`) contains a storage I/O call.
 pub fn check_gsd003(cx: &FileCx<'_>, cfg: &LintConfig, out: &mut Vec<Diagnostic>) {
-    if !rule_enabled("GSD003", cfg) || !in_scope(cx.path, "GSD003", &cfg.rule("GSD003")) {
+    if !rule_applies("GSD003", cx, cfg) {
         return;
     }
-    let toks = cx.tokens;
-    let mut i = 0usize;
-    while i < toks.len() {
-        if cx.mask[i] || !toks[i].is_ident("let") {
-            i += 1;
-            continue;
+    cx.tree.walk_items(&mut |it: &Item| {
+        if cx.masked(it.span.lo) {
+            return;
         }
-        // `if let` / `while let` bind pattern matches, not guards, and
-        // have no terminating `;` — skip the keyword, not the file.
-        if i > 0 && (toks[i - 1].is_ident("if") || toks[i - 1].is_ident("while")) {
-            i += 1;
-            continue;
-        }
-        let Some(stmt_end) = statement_end(toks, i) else {
-            i += 1;
-            continue;
-        };
-        if let Some(guard) = guard_binding(toks, i, stmt_end) {
-            let scope_end = scope_end(cx, stmt_end + 1, cx.depth[i], &guard.name);
-            if let Some((method, line)) = first_io_call(cx, stmt_end + 1, scope_end) {
-                out.push(diag(
-                    "GSD003",
-                    cfg,
-                    cx.path,
-                    toks[i].line,
-                    format!(
-                        "lock guard `{}` is held across the storage call `{}` \
-                         (line {line}) — drop the guard (or copy what you need out \
-                         of it) before touching storage",
-                        guard.name, method
-                    ),
-                ));
-            }
-        }
-        i = stmt_end + 1;
-    }
-}
-
-/// Index of the `;` ending the statement starting at `start` (depth-aware:
-/// semicolons inside nested blocks, parens or brackets do not count).
-fn statement_end(tokens: &[Tok], start: usize) -> Option<usize> {
-    let mut paren = 0i32;
-    let mut bracket = 0i32;
-    let mut brace = 0i32;
-    for (k, tok) in tokens.iter().enumerate().skip(start) {
-        if tok.kind != TokKind::Punct {
-            continue;
-        }
-        match tok.text.as_bytes()[0] {
-            b'(' => paren += 1,
-            b')' => paren -= 1,
-            b'[' => bracket += 1,
-            b']' => bracket -= 1,
-            b'{' => brace += 1,
-            b'}' => {
-                brace -= 1;
-                if brace < 0 {
-                    // Statement never terminated inside this block
-                    // (malformed or a tail expression) — give up.
-                    return None;
+        if let ItemKind::Fn(fun) = &it.kind {
+            if let Some(body) = &fun.body {
+                let mut blocks = Vec::new();
+                collect_blocks(body, &mut blocks);
+                for b in blocks {
+                    scan_guard_block(cx, b, cfg, out);
                 }
             }
-            b';' if paren == 0 && bracket == 0 && brace == 0 => return Some(k),
-            _ => {}
         }
-    }
-    None
+    });
 }
 
-struct GuardBinding {
-    name: String,
-}
-
-/// Does `let …;` over `[start, stmt_end]` bind a lock guard? True when the
-/// statement contains a `.lock()` / `.read()` / `.write()` call and
-/// everything after that call is only guard-preserving (`?`, `.unwrap()`,
-/// `.expect(…)`), so the guard outlives the statement. A longer method
-/// chain (e.g. `.lock().forget(k)`) consumes the guard within the
-/// statement and is fine.
-fn guard_binding(tokens: &[Tok], start: usize, stmt_end: usize) -> Option<GuardBinding> {
-    // Binding name: the ident right after `let` (skipping `mut`). Tuple or
-    // struct patterns are skipped — storage guards are plain bindings.
-    let mut n = start + 1;
-    if tokens.get(n).is_some_and(|t| t.is_ident("mut")) {
-        n += 1;
-    }
-    let name_tok = tokens.get(n)?;
-    if name_tok.kind != TokKind::Ident {
-        return None;
-    }
-    // Underscore-prefixed guards are an explicit "yes, hold it" idiom we
-    // still flag — the point is the I/O under the guard, not the name.
-    let name = name_tok.text.clone();
-
-    // Find the last guard-method call `.lock()` etc. in the statement.
-    let mut last_call_close = None;
-    for k in start..stmt_end {
-        if tokens[k].kind == TokKind::Ident
-            && GUARD_METHODS.contains(&tokens[k].text.as_str())
-            && k > 0
-            && tokens[k - 1].is_punct('.')
-            && tokens.get(k + 1).is_some_and(|t| t.is_punct('('))
-            && tokens.get(k + 2).is_some_and(|t| t.is_punct(')'))
-        {
-            last_call_close = Some(k + 2);
+/// Collects `b` and every block nested in its statements' expressions.
+fn collect_blocks<'a>(b: &'a Block, out: &mut Vec<&'a Block>) {
+    out.push(b);
+    for s in &b.stmts {
+        match s {
+            Stmt::Let(l) => {
+                if let Some(e) = &l.init {
+                    blocks_of_expr(e, out);
+                }
+                if let Some(eb) = &l.else_block {
+                    collect_blocks(eb, out);
+                }
+            }
+            Stmt::Expr { expr, .. } => blocks_of_expr(expr, out),
+            Stmt::Item(_) => {} // nested items are walked as items
         }
     }
-    let mut k = last_call_close? + 1;
-    // Tail after the guard call: only `?`, `.unwrap()`, `.expect(…)` keep
-    // the binding a guard.
-    while k < stmt_end {
-        if tokens[k].is_punct('?') {
-            k += 1;
-        } else if tokens[k].is_punct('.')
-            && tokens
-                .get(k + 1)
-                .is_some_and(|t| t.is_ident("unwrap") || t.is_ident("expect"))
-            && tokens.get(k + 2).is_some_and(|t| t.is_punct('('))
-        {
-            // Skip to the matching `)`.
-            let mut depth = 0i32;
-            k += 2;
-            while k < stmt_end {
-                if tokens[k].is_punct('(') {
-                    depth += 1;
-                } else if tokens[k].is_punct(')') {
-                    depth -= 1;
-                    if depth == 0 {
-                        break;
+}
+
+fn blocks_of_expr<'a>(e: &'a Expr, out: &mut Vec<&'a Block>) {
+    match &e.kind {
+        ExprKind::If(i) => {
+            blocks_of_expr(&i.cond, out);
+            collect_blocks(&i.then, out);
+            if let Some(els) = &i.els {
+                blocks_of_expr(els, out);
+            }
+        }
+        ExprKind::Match(m) => {
+            blocks_of_expr(&m.scrutinee, out);
+            for a in &m.arms {
+                if let Some(g) = &a.guard {
+                    blocks_of_expr(g, out);
+                }
+                blocks_of_expr(&a.body, out);
+            }
+        }
+        ExprKind::For(f) => {
+            blocks_of_expr(&f.iter, out);
+            collect_blocks(&f.body, out);
+        }
+        ExprKind::While(w) => {
+            blocks_of_expr(&w.cond, out);
+            collect_blocks(&w.body, out);
+        }
+        ExprKind::Loop(b) | ExprKind::Block(b) => collect_blocks(b, out),
+        ExprKind::Closure(c) => blocks_of_expr(&c.body, out),
+        ExprKind::Chain(c) => {
+            match &c.base {
+                ChainBase::Macro(m) => m.args.iter().for_each(|e| blocks_of_expr(e, out)),
+                ChainBase::Struct(s) => {
+                    for (_, fe) in &s.fields {
+                        if let Some(fe) = fe {
+                            blocks_of_expr(fe, out);
+                        }
+                    }
+                    if let Some(r) = &s.rest {
+                        blocks_of_expr(r, out);
                     }
                 }
-                k += 1;
+                ChainBase::Paren(inner) => blocks_of_expr(inner, out),
+                ChainBase::Path { .. } | ChainBase::Lit(_) => {}
             }
-            k += 1;
-        } else {
-            return None;
+            for op in &c.ops {
+                match &op.kind {
+                    PostfixKind::Method { args, .. } | PostfixKind::Call(args) => {
+                        args.iter().for_each(|e| blocks_of_expr(e, out))
+                    }
+                    PostfixKind::Index(i) => blocks_of_expr(i, out),
+                    _ => {}
+                }
+            }
         }
+        ExprKind::Unary { expr } | ExprKind::Cast { expr, .. } => blocks_of_expr(expr, out),
+        ExprKind::Binary { lhs, rhs, .. } | ExprKind::Assign { lhs, rhs } => {
+            blocks_of_expr(lhs, out);
+            blocks_of_expr(rhs, out);
+        }
+        ExprKind::Range { lo, hi } => {
+            lo.iter().for_each(|e| blocks_of_expr(e, out));
+            hi.iter().for_each(|e| blocks_of_expr(e, out));
+        }
+        ExprKind::Tuple(es) | ExprKind::Array(es) => es.iter().for_each(|e| blocks_of_expr(e, out)),
+        ExprKind::Return(inner) | ExprKind::Break(inner) => {
+            inner.iter().for_each(|e| blocks_of_expr(e, out))
+        }
+        ExprKind::CondLet { expr, .. } => blocks_of_expr(expr, out),
+        ExprKind::Continue | ExprKind::Verbatim => {}
     }
-    Some(GuardBinding { name })
 }
 
-/// End of the guard's lexical scope: the first token whose brace depth
-/// drops below the binding's, or an explicit `drop(name)`.
-fn scope_end(cx: &FileCx<'_>, from: usize, let_depth: i32, name: &str) -> usize {
-    for k in from..cx.tokens.len() {
-        if cx.depth[k] < let_depth {
-            return k;
-        }
-        if cx.tokens[k].is_ident("drop")
-            && cx.tokens.get(k + 1).is_some_and(|t| t.is_punct('('))
-            && cx.tokens.get(k + 2).is_some_and(|t| t.is_ident(name))
-        {
-            return k;
+/// Scans one block's statement list for guard bindings held across I/O.
+fn scan_guard_block(cx: &FileCx<'_>, b: &Block, cfg: &LintConfig, out: &mut Vec<Diagnostic>) {
+    for (i, s) in b.stmts.iter().enumerate() {
+        let Stmt::Let(l) = s else { continue };
+        let Some(name) = guard_binding(l) else {
+            continue;
+        };
+        if let Some((method, line)) = first_io_call(&b.stmts[i + 1..], &name) {
+            out.push(diag(
+                "GSD003",
+                cfg,
+                cx.path,
+                l.span.line(cx.tokens),
+                l.span.col(cx.tokens),
+                format!(
+                    "lock guard `{name}` is held across the storage call `{method}` \
+                     (line {line}) — drop the guard (or copy what you need out \
+                     of it) before touching storage"
+                ),
+            ));
         }
     }
-    cx.tokens.len()
 }
 
-/// First storage I/O *method call* (`.read_at(` etc.) in `[from, to)`.
-fn first_io_call(cx: &FileCx<'_>, from: usize, to: usize) -> Option<(String, u32)> {
-    for k in from..to.min(cx.tokens.len()) {
-        let tok = &cx.tokens[k];
-        if tok.kind == TokKind::Ident
-            && IO_METHODS.contains(&tok.text.as_str())
-            && k > 0
-            && cx.tokens[k - 1].is_punct('.')
-            && cx.tokens.get(k + 1).is_some_and(|t| t.is_punct('('))
-        {
-            return Some((tok.text.clone(), tok.line));
+/// Does this `let` bind a lock guard? True when the initializer chain's
+/// last substantive op is a zero-argument `.lock()`/`.read()`/`.write()`
+/// call, followed only by guard-preserving ops (`?`, `.unwrap()`,
+/// `.expect(…)`). A longer chain (e.g. `.lock().forget(k)`) consumes the
+/// guard within the statement and is fine.
+fn guard_binding(l: &LetStmt) -> Option<String> {
+    let name = l.pat.binding.clone()?;
+    let init = l.init.as_ref()?;
+    let ExprKind::Chain(c) = &init.kind else {
+        return None;
+    };
+    let mut last_guard = None;
+    for (k, op) in c.ops.iter().enumerate() {
+        if let PostfixKind::Method { name, args, .. } = &op.kind {
+            if GUARD_METHODS.contains(&name.as_str()) && args.is_empty() {
+                last_guard = Some(k);
+            }
         }
     }
-    None
+    let gi = last_guard?;
+    for op in &c.ops[gi + 1..] {
+        match &op.kind {
+            PostfixKind::Try => {}
+            PostfixKind::Method { name, .. } if name == "unwrap" || name == "expect" => {}
+            _ => return None,
+        }
+    }
+    Some(name)
+}
+
+/// Per-walk state for [`first_io_call`].
+#[derive(Default)]
+struct IoScan {
+    found: Option<(String, u32)>,
+    stopped: bool,
+}
+
+/// First storage I/O method call in `stmts`, stopping at `drop(guard)`.
+fn first_io_call(stmts: &[Stmt], guard: &str) -> Option<(String, u32)> {
+    let scan = std::cell::RefCell::new(IoScan::default());
+    let mut visit = |e: &Expr| {
+        let mut st = scan.borrow_mut();
+        if st.stopped || st.found.is_some() {
+            return;
+        }
+        let ExprKind::Chain(c) = &e.kind else { return };
+        if let ChainBase::Path { segs, .. } = &c.base {
+            if segs.len() == 1 && segs[0] == "drop" {
+                if let Some(PostfixKind::Call(args)) = c.ops.first().map(|op| &op.kind) {
+                    let names_guard = args.first().is_some_and(|a| {
+                        matches!(&a.kind, ExprKind::Chain(ac)
+                            if ac.ops.is_empty()
+                                && matches!(&ac.base, ChainBase::Path { segs, .. }
+                                    if segs.len() == 1 && segs[0] == guard))
+                    });
+                    if names_guard {
+                        st.stopped = true;
+                        return;
+                    }
+                }
+            }
+        }
+        for op in &c.ops {
+            if let PostfixKind::Method { name, line, .. } = &op.kind {
+                if IO_METHODS.contains(&name.as_str()) {
+                    st.found = Some((name.clone(), *line));
+                    return;
+                }
+            }
+        }
+    };
+    for s in stmts {
+        match s {
+            Stmt::Let(l) => {
+                if let Some(e) = &l.init {
+                    e.walk(&mut visit);
+                }
+            }
+            Stmt::Expr { expr, .. } => expr.walk(&mut visit),
+            Stmt::Item(_) => {}
+        }
+        let st = scan.borrow();
+        if st.stopped || st.found.is_some() {
+            break;
+        }
+    }
+    scan.into_inner().found
 }
 
 // ---------------------------------------------------------------------------
@@ -598,154 +803,50 @@ pub fn check_gsd004(files: &[FileCx<'_>], cfg: &LintConfig, out: &mut Vec<Diagno
     let Some(event_cx) = files.iter().find(|f| f.path == cfg.event_file) else {
         return; // No event file in this workspace view — nothing to check.
     };
-    let variants = enum_variants(event_cx.tokens, &cfg.event_enum);
+    let mut variants: Vec<(String, u32)> = Vec::new();
+    event_cx.tree.walk_items(&mut |it: &Item| {
+        if it.name == cfg.event_enum {
+            if let ItemKind::Enum(e) = &it.kind {
+                variants = e
+                    .variants
+                    .iter()
+                    .map(|v| (v.name.clone(), v.line))
+                    .collect();
+            }
+        }
+    });
     if variants.is_empty() {
         return;
     }
-    let mut constructed: Vec<&str> = Vec::new();
+    let mut constructed: BTreeSet<&str> = BTreeSet::new();
     for cx in files {
         if cx.path == cfg.event_file {
             continue;
         }
-        collect_constructions(cx, &cfg.event_enum, &mut constructed);
+        cx.walk_nontest_exprs(&mut |e| {
+            if let ExprKind::Chain(c) = &e.kind {
+                if let ChainBase::Struct(s) = &c.base {
+                    if s.path.len() >= 2 && s.path[s.path.len() - 2] == cfg.event_enum {
+                        constructed.insert(s.path.last().expect("path nonempty"));
+                    }
+                }
+            }
+        });
     }
     for (name, line) in &variants {
-        if !constructed.iter().any(|c| c == name) {
+        if !constructed.contains(name.as_str()) {
             out.push(diag(
                 "GSD004",
                 cfg,
                 event_cx.path,
                 *line,
+                1,
                 format!(
                     "trace event `{}::{name}` is never constructed outside tests — \
                      dead telemetry: either emit it or remove the variant",
                     cfg.event_enum
                 ),
             ));
-        }
-    }
-}
-
-/// Variant names (with definition lines) of `enum <name> { … }`.
-fn enum_variants(tokens: &[Tok], enum_name: &str) -> Vec<(String, u32)> {
-    let mut out = Vec::new();
-    let mut i = 0usize;
-    while i + 2 < tokens.len() {
-        if tokens[i].is_ident("enum")
-            && tokens[i + 1].is_ident(enum_name)
-            && tokens[i + 2].is_punct('{')
-        {
-            let mut k = i + 3;
-            let mut depth = 1i32;
-            while k < tokens.len() && depth > 0 {
-                let tok = &tokens[k];
-                if tok.is_punct('{') {
-                    depth += 1;
-                } else if tok.is_punct('}') {
-                    depth -= 1;
-                } else if depth == 1 && tok.is_punct('#') {
-                    // Skip an attribute's bracket group.
-                    k = skip_bracket_group(tokens, k + 1);
-                    continue;
-                } else if depth == 1 && tok.kind == TokKind::Ident {
-                    out.push((tok.text.clone(), tok.line));
-                    // Skip the variant's payload to the next top-level `,`.
-                    k = skip_to_variant_end(tokens, k + 1);
-                    continue;
-                }
-                k += 1;
-            }
-            return out;
-        }
-        i += 1;
-    }
-    out
-}
-
-/// With `tokens[at]` expected to be `[`, returns the index just past the
-/// matching `]`.
-fn skip_bracket_group(tokens: &[Tok], at: usize) -> usize {
-    let mut depth = 0i32;
-    for (k, tok) in tokens.iter().enumerate().skip(at) {
-        if tok.is_punct('[') {
-            depth += 1;
-        } else if tok.is_punct(']') {
-            depth -= 1;
-            if depth == 0 {
-                return k + 1;
-            }
-        }
-    }
-    tokens.len()
-}
-
-/// From just past a variant name, returns the index just past the `,` that
-/// ends the variant (depth-aware), or the index of the enum's closing `}`.
-fn skip_to_variant_end(tokens: &[Tok], at: usize) -> usize {
-    let mut paren = 0i32;
-    let mut brace = 0i32;
-    for (k, tok) in tokens.iter().enumerate().skip(at) {
-        if tok.kind != TokKind::Punct {
-            continue;
-        }
-        match tok.text.as_bytes()[0] {
-            b'(' => paren += 1,
-            b')' => paren -= 1,
-            b'{' => brace += 1,
-            b'}' => {
-                brace -= 1;
-                if brace < 0 {
-                    return k; // enum's closing brace
-                }
-            }
-            b',' if paren == 0 && brace == 0 => return k + 1,
-            _ => {}
-        }
-    }
-    tokens.len()
-}
-
-/// Records variants of `enum_name` that this file *constructs* (as opposed
-/// to pattern-matches) in non-test code. `Enum::Variant { … }` followed by
-/// `=>`, `|`, `=` or `if` is a pattern position; anything else is a
-/// construction.
-fn collect_constructions<'a>(cx: &FileCx<'a>, enum_name: &str, out: &mut Vec<&'a str>) {
-    let toks = cx.tokens;
-    for i in 0..toks.len() {
-        if cx.mask[i] || !toks[i].is_ident(enum_name) {
-            continue;
-        }
-        if !(toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
-            && toks.get(i + 2).is_some_and(|t| t.is_punct(':')))
-        {
-            continue;
-        }
-        let Some(variant) = toks.get(i + 3).filter(|t| t.kind == TokKind::Ident) else {
-            continue;
-        };
-        if !toks.get(i + 4).is_some_and(|t| t.is_punct('{')) {
-            continue; // bare path: unit-variant reference or pattern, not a struct construction
-        }
-        // Find the matching `}` and look at what follows.
-        let mut depth = 0i32;
-        let mut close = None;
-        for (k, tok) in toks.iter().enumerate().skip(i + 4) {
-            if tok.is_punct('{') {
-                depth += 1;
-            } else if tok.is_punct('}') {
-                depth -= 1;
-                if depth == 0 {
-                    close = Some(k);
-                    break;
-                }
-            }
-        }
-        let Some(close) = close else { continue };
-        let is_pattern = toks
-            .get(close + 1)
-            .is_some_and(|t| t.is_punct('|') || t.is_punct('=') || t.is_ident("if"));
-        if !is_pattern {
-            out.push(&variant.text);
         }
     }
 }
@@ -759,26 +860,24 @@ pub fn is_crate_root(path: &str) -> bool {
     path == "src/lib.rs" || (path.starts_with("crates/") && path.ends_with("/src/lib.rs"))
 }
 
-/// Flags crate roots missing `#![forbid(unsafe_code)]`.
+/// Flags crate roots missing `#![forbid(unsafe_code)]` among their inner
+/// attributes.
 pub fn check_gsd005(cx: &FileCx<'_>, cfg: &LintConfig, out: &mut Vec<Diagnostic>) {
     if !rule_enabled("GSD005", cfg) || !is_crate_root(cx.path) {
         return;
     }
-    let toks = cx.tokens;
-    let found = (0..toks.len()).any(|i| {
-        let at = |k: usize| toks.get(i + k);
-        at(0).is_some_and(|t| t.is_punct('#'))
-            && at(1).is_some_and(|t| t.is_punct('!'))
-            && at(2).is_some_and(|t| t.is_punct('['))
-            && at(3).is_some_and(|t| t.is_ident("forbid"))
-            && at(4).is_some_and(|t| t.is_punct('('))
-            && at(5).is_some_and(|t| t.is_ident("unsafe_code"))
+    let found = cx.tree.inner_attrs.iter().any(|a| {
+        let toks = &cx.tokens[a.span.lo.min(cx.tokens.len())..a.span.hi.min(cx.tokens.len())];
+        toks.windows(2)
+            .any(|w| w[0].is_ident("forbid") && w[1].is_punct('('))
+            && toks.iter().any(|t| t.is_ident("unsafe_code"))
     });
     if !found {
         out.push(diag(
             "GSD005",
             cfg,
             cx.path,
+            1,
             1,
             "crate root is missing `#![forbid(unsafe_code)]` — every first-party \
              crate must statically rule unsafe out"
@@ -794,23 +893,533 @@ pub fn check_gsd005(cx: &FileCx<'_>, cfg: &LintConfig, out: &mut Vec<Diagnostic>
 /// Flags `as u32` casts in the id/offset-arithmetic crates; narrowing must
 /// go through `gsd_graph::narrow` so truncation fails loudly.
 pub fn check_gsd006(cx: &FileCx<'_>, cfg: &LintConfig, out: &mut Vec<Diagnostic>) {
-    if !rule_enabled("GSD006", cfg) || !in_scope(cx.path, "GSD006", &cfg.rule("GSD006")) {
+    if !rule_applies("GSD006", cx, cfg) {
         return;
     }
-    for (i, tok) in cx.tokens.iter().enumerate() {
-        if cx.mask[i] || !tok.is_ident("as") {
-            continue;
+    cx.walk_nontest_exprs(&mut |e| {
+        if let ExprKind::Cast { ty, as_line, .. } = &e.kind {
+            if ty.head() == "u32" {
+                out.push(diag(
+                    "GSD006",
+                    cfg,
+                    cx.path,
+                    *as_line,
+                    1,
+                    "`as u32` in graph/offset arithmetic silently truncates — narrow \
+                     through `gsd_graph::narrow` (to_u32/from_usize/…) instead"
+                        .to_string(),
+                ));
+            }
         }
-        if cx.tokens.get(i + 1).is_some_and(|t| t.is_ident("u32")) {
+    });
+}
+
+// ---------------------------------------------------------------------------
+// GSD007 / GSD008 — unordered iteration order observed (dataflow)
+// ---------------------------------------------------------------------------
+
+/// Runs the dataflow pass over every non-test function and attributes its
+/// findings to GSD007 (order observed) or GSD008 (float reduction), each
+/// under its own scope.
+pub fn check_gsd007_008(cx: &FileCx<'_>, cfg: &LintConfig, out: &mut Vec<Diagnostic>) {
+    let on7 = rule_applies("GSD007", cx, cfg);
+    let on8 = rule_applies("GSD008", cx, cfg);
+    if !on7 && !on8 {
+        return;
+    }
+    cx.tree.walk_items(&mut |it: &Item| {
+        if cx.masked(it.span.lo) {
+            return;
+        }
+        let ItemKind::Fn(fun) = &it.kind else { return };
+        if fun.body.is_none() {
+            return;
+        }
+        for f in dataflow::analyze_fn(fun, cx.tokens, cx.syms) {
+            let on = match f.rule {
+                "GSD007" => on7,
+                _ => on8,
+            };
+            if on {
+                out.push(diag(f.rule, cfg, cx.path, f.line, 1, f.message));
+            }
+        }
+    });
+}
+
+// ---------------------------------------------------------------------------
+// GSD009 — concurrency primitives outside designated modules
+// ---------------------------------------------------------------------------
+
+/// `(second-to-last, last)` resolved path segments whose call expression
+/// constructs a concurrency primitive.
+const CONCURRENCY_CTORS: &[(&str, &str)] = &[
+    ("thread", "spawn"),
+    ("mpsc", "channel"),
+    ("mpsc", "sync_channel"),
+    ("Mutex", "new"),
+    ("Condvar", "new"),
+    ("Barrier", "new"),
+];
+
+/// Flags construction of thread/channel/lock primitives outside the
+/// designated concurrency modules (pipeline executor + allow list).
+pub fn check_gsd009(cx: &FileCx<'_>, cfg: &LintConfig, out: &mut Vec<Diagnostic>) {
+    if !rule_applies("GSD009", cx, cfg) {
+        return;
+    }
+    cx.walk_nontest_exprs(&mut |e| {
+        let ExprKind::Chain(c) = &e.kind else { return };
+        let ChainBase::Path { segs, .. } = &c.base else {
+            return;
+        };
+        if !matches!(c.ops.first().map(|op| &op.kind), Some(PostfixKind::Call(_))) {
+            return;
+        }
+        let resolved = cx.syms.resolve_path(segs);
+        if resolved.len() < 2 {
+            return;
+        }
+        let pair = (
+            resolved[resolved.len() - 2].as_str(),
+            resolved[resolved.len() - 1].as_str(),
+        );
+        if CONCURRENCY_CTORS.contains(&pair) {
             out.push(diag(
-                "GSD006",
+                "GSD009",
                 cfg,
                 cx.path,
-                tok.line,
-                "`as u32` in graph/offset arithmetic silently truncates — narrow \
-                 through `gsd_graph::narrow` (to_u32/from_usize/…) instead"
-                    .to_string(),
+                e.span.line(cx.tokens),
+                e.span.col(cx.tokens),
+                format!(
+                    "`{}::{}` constructed outside a designated concurrency module — \
+                     threads, channels and locks are created only in the pipeline \
+                     executor or a module allow-listed under [rules.GSD009] in lint.toml",
+                    pair.0, pair.1
+                ),
             ));
         }
+    });
+}
+
+// ---------------------------------------------------------------------------
+// GSD010 — Ordering::Relaxed outside allow-listed counters
+// ---------------------------------------------------------------------------
+
+/// Flags `Ordering::Relaxed` arguments whose receiver is not an
+/// allow-listed statistics counter.
+pub fn check_gsd010(cx: &FileCx<'_>, cfg: &LintConfig, out: &mut Vec<Diagnostic>) {
+    if !rule_applies("GSD010", cx, cfg) {
+        return;
+    }
+    let rc = cfg.rule("GSD010");
+    let allowed: Vec<&str> = if rc.idents.is_empty() {
+        DEFAULT_RELAXED_IDENTS.to_vec()
+    } else {
+        rc.idents.iter().map(String::as_str).collect()
+    };
+    cx.walk_nontest_exprs(&mut |e| {
+        let ExprKind::Chain(c) = &e.kind else { return };
+        // Receiver name: the base identifier, updated by each `.field`.
+        let mut recv: Option<String> = match &c.base {
+            ChainBase::Path { segs, .. } if segs.len() == 1 && segs[0] != "self" => {
+                Some(segs[0].clone())
+            }
+            _ => None,
+        };
+        for op in &c.ops {
+            if let PostfixKind::Field(f) = &op.kind {
+                recv = Some(f.clone());
+            }
+            if let PostfixKind::Method { args, line, .. } = &op.kind {
+                for a in args {
+                    if is_relaxed_path(a, cx.syms)
+                        && !recv.as_deref().is_some_and(|r| allowed.contains(&r))
+                    {
+                        out.push(diag(
+                            "GSD010",
+                            cfg,
+                            cx.path,
+                            *line,
+                            op.span.col(cx.tokens),
+                            format!(
+                                "`Ordering::Relaxed` on `{}` — Relaxed is reserved for the \
+                                 allow-listed statistics counters; use Acquire/Release, or \
+                                 add the counter to [rules.GSD010] idents in lint.toml",
+                                recv.as_deref().unwrap_or("<expression>")
+                            ),
+                        ));
+                    }
+                }
+            } else if let PostfixKind::Call(args) = &op.kind {
+                for a in args {
+                    if is_relaxed_path(a, cx.syms) {
+                        out.push(diag(
+                            "GSD010",
+                            cfg,
+                            cx.path,
+                            e.span.line(cx.tokens),
+                            e.span.col(cx.tokens),
+                            "`Ordering::Relaxed` passed to a free function — Relaxed is \
+                             reserved for the allow-listed statistics counters"
+                                .to_string(),
+                        ));
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// Is this expression a bare path resolving to `…::Ordering::Relaxed`?
+fn is_relaxed_path(e: &Expr, syms: &SymbolTable) -> bool {
+    let ExprKind::Chain(c) = &e.kind else {
+        return false;
+    };
+    if !c.ops.is_empty() {
+        return false;
+    }
+    let ChainBase::Path { segs, .. } = &c.base else {
+        return false;
+    };
+    let resolved = syms.resolve_path(segs);
+    resolved.len() >= 2
+        && resolved[resolved.len() - 2] == "Ordering"
+        && resolved[resolved.len() - 1] == "Relaxed"
+}
+
+// ---------------------------------------------------------------------------
+// GSD011 — unbuffered per-edge File I/O inside kernel loops
+// ---------------------------------------------------------------------------
+
+/// `File` methods that issue one syscall per call.
+const FILE_IO_METHODS: &[&str] = &["write", "write_all", "read", "read_exact", "write_fmt"];
+
+/// Flags raw `File` read/write calls (and `write!`/`writeln!` to a raw
+/// `File`) inside loop bodies of the kernel crates.
+pub fn check_gsd011(cx: &FileCx<'_>, cfg: &LintConfig, out: &mut Vec<Diagnostic>) {
+    if !rule_applies("GSD011", cx, cfg) {
+        return;
+    }
+    cx.tree.walk_items(&mut |it: &Item| {
+        if cx.masked(it.span.lo) {
+            return;
+        }
+        let ItemKind::Fn(fun) = &it.kind else { return };
+        let Some(body) = &fun.body else { return };
+        // Local type environment: parameter and `let` annotations.
+        let mut env: BTreeMap<&str, &str> = BTreeMap::new();
+        for p in &fun.params {
+            if let (Some(n), Some(t)) = (&p.name, &p.ty) {
+                env.insert(n, t.head());
+            }
+        }
+        let mut blocks = Vec::new();
+        collect_blocks(body, &mut blocks);
+        for b in &blocks {
+            for s in &b.stmts {
+                if let Stmt::Let(l) = s {
+                    if let (Some(n), Some(t)) = (&l.pat.binding, &l.ty) {
+                        env.insert(n, t.head());
+                    }
+                }
+            }
+        }
+        scan_loops_block(cx, cfg, &env, body, false, out);
+    });
+}
+
+fn scan_loops_block(
+    cx: &FileCx<'_>,
+    cfg: &LintConfig,
+    env: &BTreeMap<&str, &str>,
+    b: &Block,
+    in_loop: bool,
+    out: &mut Vec<Diagnostic>,
+) {
+    for s in &b.stmts {
+        match s {
+            Stmt::Let(l) => {
+                if let Some(e) = &l.init {
+                    scan_loops_expr(cx, cfg, env, e, in_loop, out);
+                }
+                if let Some(eb) = &l.else_block {
+                    scan_loops_block(cx, cfg, env, eb, in_loop, out);
+                }
+            }
+            Stmt::Expr { expr, .. } => scan_loops_expr(cx, cfg, env, expr, in_loop, out),
+            Stmt::Item(_) => {}
+        }
+    }
+}
+
+fn scan_loops_expr(
+    cx: &FileCx<'_>,
+    cfg: &LintConfig,
+    env: &BTreeMap<&str, &str>,
+    e: &Expr,
+    in_loop: bool,
+    out: &mut Vec<Diagnostic>,
+) {
+    match &e.kind {
+        ExprKind::For(f) => {
+            scan_loops_expr(cx, cfg, env, &f.iter, in_loop, out);
+            scan_loops_block(cx, cfg, env, &f.body, true, out);
+        }
+        ExprKind::While(w) => {
+            scan_loops_expr(cx, cfg, env, &w.cond, in_loop, out);
+            scan_loops_block(cx, cfg, env, &w.body, true, out);
+        }
+        ExprKind::Loop(b) => scan_loops_block(cx, cfg, env, b, true, out),
+        ExprKind::Block(b) => scan_loops_block(cx, cfg, env, b, in_loop, out),
+        ExprKind::If(i) => {
+            scan_loops_expr(cx, cfg, env, &i.cond, in_loop, out);
+            scan_loops_block(cx, cfg, env, &i.then, in_loop, out);
+            if let Some(els) = &i.els {
+                scan_loops_expr(cx, cfg, env, els, in_loop, out);
+            }
+        }
+        ExprKind::Match(m) => {
+            scan_loops_expr(cx, cfg, env, &m.scrutinee, in_loop, out);
+            for a in &m.arms {
+                if let Some(g) = &a.guard {
+                    scan_loops_expr(cx, cfg, env, g, in_loop, out);
+                }
+                scan_loops_expr(cx, cfg, env, &a.body, in_loop, out);
+            }
+        }
+        ExprKind::Closure(c) => scan_loops_expr(cx, cfg, env, &c.body, in_loop, out),
+        ExprKind::Chain(c) => {
+            if in_loop {
+                check_file_io_chain(cx, cfg, env, c, out);
+            }
+            match &c.base {
+                ChainBase::Macro(m) => {
+                    m.args
+                        .iter()
+                        .for_each(|a| scan_loops_expr(cx, cfg, env, a, in_loop, out));
+                }
+                ChainBase::Struct(s) => {
+                    for (_, fe) in &s.fields {
+                        if let Some(fe) = fe {
+                            scan_loops_expr(cx, cfg, env, fe, in_loop, out);
+                        }
+                    }
+                    if let Some(r) = &s.rest {
+                        scan_loops_expr(cx, cfg, env, r, in_loop, out);
+                    }
+                }
+                ChainBase::Paren(inner) => scan_loops_expr(cx, cfg, env, inner, in_loop, out),
+                ChainBase::Path { .. } | ChainBase::Lit(_) => {}
+            }
+            for op in &c.ops {
+                match &op.kind {
+                    PostfixKind::Method { args, .. } | PostfixKind::Call(args) => args
+                        .iter()
+                        .for_each(|a| scan_loops_expr(cx, cfg, env, a, in_loop, out)),
+                    PostfixKind::Index(i) => scan_loops_expr(cx, cfg, env, i, in_loop, out),
+                    _ => {}
+                }
+            }
+        }
+        ExprKind::Unary { expr } | ExprKind::Cast { expr, .. } => {
+            scan_loops_expr(cx, cfg, env, expr, in_loop, out)
+        }
+        ExprKind::Binary { lhs, rhs, .. } | ExprKind::Assign { lhs, rhs } => {
+            scan_loops_expr(cx, cfg, env, lhs, in_loop, out);
+            scan_loops_expr(cx, cfg, env, rhs, in_loop, out);
+        }
+        ExprKind::Range { lo, hi } => {
+            lo.iter()
+                .for_each(|x| scan_loops_expr(cx, cfg, env, x, in_loop, out));
+            hi.iter()
+                .for_each(|x| scan_loops_expr(cx, cfg, env, x, in_loop, out));
+        }
+        ExprKind::Tuple(es) | ExprKind::Array(es) => es
+            .iter()
+            .for_each(|x| scan_loops_expr(cx, cfg, env, x, in_loop, out)),
+        ExprKind::Return(inner) | ExprKind::Break(inner) => inner
+            .iter()
+            .for_each(|x| scan_loops_expr(cx, cfg, env, x, in_loop, out)),
+        ExprKind::CondLet { expr, .. } => scan_loops_expr(cx, cfg, env, expr, in_loop, out),
+        ExprKind::Continue | ExprKind::Verbatim => {}
+    }
+}
+
+/// Flags a chain whose receiver is a `File` and which calls a per-syscall
+/// I/O method, and `write!`/`writeln!` macros targeting a `File`.
+fn check_file_io_chain(
+    cx: &FileCx<'_>,
+    cfg: &LintConfig,
+    env: &BTreeMap<&str, &str>,
+    c: &Chain,
+    out: &mut Vec<Diagnostic>,
+) {
+    // write!(f, …) / writeln!(f, …) with a File-typed first argument.
+    if let ChainBase::Macro(m) = &c.base {
+        let is_write = m
+            .path
+            .last()
+            .is_some_and(|p| p == "write" || p == "writeln");
+        if is_write {
+            if let Some(target) = m.args.first() {
+                if expr_is_file(target, env, cx.syms) {
+                    out.push(diag(
+                        "GSD011",
+                        cfg,
+                        cx.path,
+                        m.line,
+                        1,
+                        format!(
+                            "`{}!` to a raw `File` inside a kernel loop — per-edge \
+                             syscalls dominate runtime; wrap the file in `BufWriter` \
+                             or batch through the storage layer's block API",
+                            m.path.last().expect("macro path nonempty")
+                        ),
+                    ));
+                }
+            }
+        }
+        return;
+    }
+    // file.write_all(…) etc. on a File-typed receiver.
+    let mut cur: Option<&str> = match &c.base {
+        ChainBase::Path { segs, .. } if segs.len() == 1 => env.get(segs[0].as_str()).copied(),
+        _ => None,
+    };
+    for op in &c.ops {
+        match &op.kind {
+            PostfixKind::Field(f) => {
+                cur = cx.syms.field_type(f).map(|t| {
+                    // Ty::head returns &str borrowed from syms — fine here.
+                    t.head()
+                });
+            }
+            PostfixKind::Method { name, line, .. } => {
+                if cur == Some("File") && FILE_IO_METHODS.contains(&name.as_str()) {
+                    out.push(diag(
+                        "GSD011",
+                        cfg,
+                        cx.path,
+                        *line,
+                        op.span.col(cx.tokens),
+                        format!(
+                            "`.{name}()` on a raw `File` inside a kernel loop — per-edge \
+                             syscalls dominate runtime; use `BufReader`/`BufWriter` or \
+                             the storage layer's block API"
+                        ),
+                    ));
+                }
+                cur = None;
+            }
+            PostfixKind::Try | PostfixKind::Await => {}
+            _ => cur = None,
+        }
+    }
+}
+
+/// Is this expression a name or field of declared type `File`?
+fn expr_is_file(e: &Expr, env: &BTreeMap<&str, &str>, syms: &SymbolTable) -> bool {
+    let ExprKind::Chain(c) = &e.kind else {
+        return false;
+    };
+    let mut cur: Option<&str> = match &c.base {
+        ChainBase::Path { segs, .. } if segs.len() == 1 => env.get(segs[0].as_str()).copied(),
+        _ => None,
+    };
+    for op in &c.ops {
+        match &op.kind {
+            PostfixKind::Field(f) => cur = syms.field_type(f).map(|t| t.head()),
+            PostfixKind::Try | PostfixKind::Await => {}
+            _ => cur = None,
+        }
+    }
+    cur == Some("File")
+}
+
+// ---------------------------------------------------------------------------
+// GSD012 — exhaustive matches over listed enums (cross-file)
+// ---------------------------------------------------------------------------
+
+/// Cross-file check: matches over enums listed in `lint.toml` must not use
+/// catch-all arms while variants remain uncovered.
+pub fn check_gsd012(files: &[FileCx<'_>], cfg: &LintConfig, out: &mut Vec<Diagnostic>) {
+    if !rule_enabled("GSD012", cfg) {
+        return;
+    }
+    let rc = cfg.rule("GSD012");
+    let listed: Vec<&str> = if rc.enums.is_empty() {
+        DEFAULT_EXHAUSTIVE_ENUMS.to_vec()
+    } else {
+        rc.enums.iter().map(String::as_str).collect()
+    };
+    // Variant sets come from whichever file defines each listed enum.
+    let mut variant_map: BTreeMap<&str, Vec<String>> = BTreeMap::new();
+    for cx in files {
+        for (name, vars) in &cx.syms.enums {
+            if listed.contains(&name.as_str()) && !variant_map.contains_key(name.as_str()) {
+                variant_map.insert(name, vars.clone());
+            }
+        }
+    }
+    if variant_map.is_empty() {
+        return;
+    }
+    for cx in files {
+        if !in_scope(cx.path, "GSD012", &rc) {
+            continue;
+        }
+        cx.walk_nontest_exprs(&mut |e| {
+            let ExprKind::Match(m) = &e.kind else { return };
+            // Which listed enum (if any) is this match over? Evidence:
+            // an arm pattern path whose second-to-last segment is listed.
+            let mut enum_name: Option<&str> = None;
+            let mut covered: BTreeSet<&str> = BTreeSet::new();
+            for arm in &m.arms {
+                for p in &arm.pat.paths {
+                    if p.len() >= 2 {
+                        let head = p[p.len() - 2].as_str();
+                        if listed.contains(&head) {
+                            enum_name = Some(
+                                variant_map
+                                    .keys()
+                                    .find(|k| **k == head)
+                                    .copied()
+                                    .unwrap_or(head),
+                            );
+                            covered.insert(p.last().expect("path nonempty"));
+                        }
+                    }
+                }
+            }
+            let Some(en) = enum_name else { return };
+            let Some(all) = variant_map.get(en) else {
+                return;
+            };
+            let Some(catch) = m.arms.iter().find(|a| a.pat.catch_all) else {
+                return;
+            };
+            let missing: Vec<&str> = all
+                .iter()
+                .map(String::as_str)
+                .filter(|v| !covered.contains(*v))
+                .collect();
+            if missing.is_empty() {
+                return;
+            }
+            out.push(diag(
+                "GSD012",
+                cfg,
+                cx.path,
+                catch.pat.span.line(cx.tokens),
+                catch.pat.span.col(cx.tokens),
+                format!(
+                    "catch-all arm in a `match` over `{en}` hides {} unhandled variant(s): \
+                     {} — list them explicitly so adding a variant forces a decision here",
+                    missing.len(),
+                    missing.join(", ")
+                ),
+            ));
+        });
     }
 }

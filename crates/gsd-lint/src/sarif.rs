@@ -1,0 +1,111 @@
+//! SARIF 2.1.0 renderer (hand-rolled JSON — gsd-lint is dependency-free).
+//!
+//! Emits the subset of SARIF that code-scanning UIs consume: one run with
+//! a tool descriptor carrying the full rule registry, and one result per
+//! diagnostic with a physical location. Severities map `error` →
+//! `"error"`, `warn` → `"warning"`.
+
+use crate::config::Severity;
+use crate::diagnostics::Diagnostic;
+use crate::rules::RULES;
+use std::fmt::Write as _;
+
+/// Renders all diagnostics as a SARIF 2.1.0 document.
+pub fn render_sarif(diags: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"version\": \"2.1.0\",\n");
+    out.push_str(
+        "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n  \"runs\": [\n    {\n",
+    );
+    out.push_str("      \"tool\": {\n        \"driver\": {\n");
+    out.push_str("          \"name\": \"gsd-lint\",\n");
+    out.push_str("          \"informationUri\": \"https://example.invalid/gsd-lint\",\n");
+    out.push_str("          \"rules\": [\n");
+    for (i, r) in RULES.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "            {{\"id\":{},\"shortDescription\":{{\"text\":{}}},\"fullDescription\":{{\"text\":{}}}}}{}",
+            json_str(r.id),
+            json_str(r.summary),
+            json_str(r.invariant),
+            if i + 1 < RULES.len() { "," } else { "" }
+        );
+    }
+    out.push_str("          ]\n        }\n      },\n");
+    out.push_str("      \"results\": [\n");
+    for (i, d) in diags.iter().enumerate() {
+        let level = match d.severity {
+            Severity::Error => "error",
+            Severity::Warn => "warning",
+            Severity::Off => "none",
+        };
+        let _ = writeln!(
+            out,
+            "        {{\"ruleId\":{},\"level\":{},\"message\":{{\"text\":{}}},\
+             \"locations\":[{{\"physicalLocation\":{{\"artifactLocation\":{{\"uri\":{}}},\
+             \"region\":{{\"startLine\":{},\"startColumn\":{}}}}}}}]}}{}",
+            json_str(d.rule),
+            json_str(level),
+            json_str(&d.message),
+            json_str(&d.file),
+            d.line,
+            d.col,
+            if i + 1 < diags.len() { "," } else { "" }
+        );
+    }
+    out.push_str("      ]\n    }\n  ]\n}\n");
+    out
+}
+
+/// Minimal JSON string escaping (quotes, backslash, control chars).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sarif_document_carries_rules_and_results() {
+        let d = Diagnostic {
+            rule: "GSD007",
+            severity: Severity::Error,
+            file: "crates/gsd-core/src/buffer.rs".into(),
+            line: 7,
+            col: 13,
+            message: "iteration order observed".into(),
+        };
+        let doc = render_sarif(&[d]);
+        assert!(doc.contains("\"version\": \"2.1.0\""), "{doc}");
+        assert!(doc.contains("\"ruleId\":\"GSD007\""), "{doc}");
+        assert!(doc.contains("\"startLine\":7"), "{doc}");
+        assert!(doc.contains("\"startColumn\":13"), "{doc}");
+        // Every registered rule is described in the driver block.
+        for r in RULES {
+            assert!(doc.contains(&format!("\"id\":\"{}\"", r.id)), "{}", r.id);
+        }
+    }
+
+    #[test]
+    fn empty_run_is_still_valid_sarif_shape() {
+        let doc = render_sarif(&[]);
+        assert!(doc.contains("\"results\": [\n      ]"), "{doc}");
+    }
+}

@@ -1,0 +1,179 @@
+//! Per-file symbol table: `use`-import resolution, struct field types,
+//! and enum definitions.
+//!
+//! This is deliberately *per-file* name resolution, not a crate-level
+//! type system: the linter resolves the names a rule needs (is this
+//! `HashMap` the std one? which struct field has which type head?) and
+//! nothing more. Cross-file facts (enum variant lists for GSD004 and
+//! GSD012) are aggregated by [`crate::rules`] over all files' tables.
+
+use crate::parser::{Item, ItemKind, SourceTree, Ty};
+use std::collections::BTreeMap;
+
+/// Name facts extracted from one file's [`SourceTree`].
+#[derive(Debug, Default)]
+pub struct SymbolTable {
+    /// Local name → full import path (`HashMap` → `["std", "collections", "HashMap"]`).
+    pub imports: BTreeMap<String, Vec<String>>,
+    /// Struct field name → the type heads it is declared with, across
+    /// all structs in the file. Lookup is only trusted when unambiguous.
+    pub field_types: BTreeMap<String, Vec<Ty>>,
+    /// Enum name → variant names, for enums defined in this file.
+    pub enums: BTreeMap<String, Vec<String>>,
+}
+
+impl SymbolTable {
+    /// Builds the table from a parsed file.
+    pub fn build(tree: &SourceTree) -> Self {
+        let mut t = SymbolTable::default();
+        tree.walk_items(&mut |it: &Item| match &it.kind {
+            ItemKind::Use(imports) => {
+                for im in imports {
+                    if im.name != "*" {
+                        t.imports.insert(im.name.clone(), im.path.clone());
+                    }
+                }
+            }
+            ItemKind::Struct(s) => {
+                for f in &s.fields {
+                    t.field_types
+                        .entry(f.name.clone())
+                        .or_default()
+                        .push(f.ty.clone());
+                }
+            }
+            ItemKind::Enum(e) => {
+                t.enums.insert(
+                    it.name.clone(),
+                    e.variants.iter().map(|v| v.name.clone()).collect(),
+                );
+            }
+            _ => {}
+        });
+        t
+    }
+
+    /// Resolves a bare name through the file's imports: `HashMap` →
+    /// `["std", "collections", "HashMap"]`; unknown names resolve to
+    /// themselves.
+    pub fn resolve(&self, name: &str) -> Vec<String> {
+        self.imports
+            .get(name)
+            .cloned()
+            .unwrap_or_else(|| vec![name.to_string()])
+    }
+
+    /// Resolves the first segment of a path, keeping the rest:
+    /// `mpsc::channel` → `["std", "sync", "mpsc", "channel"]`.
+    pub fn resolve_path(&self, segs: &[String]) -> Vec<String> {
+        let Some(first) = segs.first() else {
+            return Vec::new();
+        };
+        let mut out = match first.as_str() {
+            // Path roots carry no import information.
+            "crate" | "super" | "self" | "std" | "core" | "alloc" => vec![first.clone()],
+            _ => self.resolve(first),
+        };
+        out.extend(segs.iter().skip(1).cloned());
+        out
+    }
+
+    /// The declared type of a struct field, if exactly one field with
+    /// that name exists in the file (ambiguous names return `None`).
+    pub fn field_type(&self, name: &str) -> Option<&Ty> {
+        match self.field_types.get(name) {
+            Some(tys) if tys.len() == 1 => tys.first(),
+            _ => None,
+        }
+    }
+}
+
+/// Whether a type head names an unordered hash container — the
+/// collections whose iteration order is nondeterministic and which
+/// GSD007/GSD008 police. Matches `HashMap`/`HashSet` and the common
+/// drop-in variants (`FxHashMap`, `AHashSet`, …) by suffix.
+pub fn is_unordered_container(head: &str) -> bool {
+    head == "HashMap" || head == "HashSet" || head.ends_with("HashMap") || head.ends_with("HashSet")
+}
+
+/// Whether a collection re-keys its contents on insertion, making the
+/// *source* iteration order irrelevant: collecting unordered iteration
+/// into one of these is deterministic again (or unordered again, which
+/// is its own site when iterated).
+pub fn is_rekeying_container(head: &str) -> bool {
+    matches!(head, "BTreeMap" | "BTreeSet" | "BinaryHeap") || is_unordered_container(head)
+}
+
+/// Float type heads for GSD008.
+pub fn is_float_ty(head: &str) -> bool {
+    matches!(head, "f32" | "f64")
+}
+
+/// Integer type heads whose `sum()`/`product()` are order-insensitive.
+pub fn is_int_ty(head: &str) -> bool {
+    matches!(
+        head,
+        "u8" | "u16"
+            | "u32"
+            | "u64"
+            | "u128"
+            | "usize"
+            | "i8"
+            | "i16"
+            | "i32"
+            | "i64"
+            | "i128"
+            | "isize"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{lexer, parser};
+
+    fn table(src: &str) -> SymbolTable {
+        SymbolTable::build(&parser::parse(&lexer::lex(src).tokens))
+    }
+
+    #[test]
+    fn imports_resolve_through_groups_and_aliases() {
+        let t =
+            table("use std::collections::{HashMap, BTreeMap as Ordered};\nuse std::sync::mpsc;\n");
+        assert_eq!(t.resolve("HashMap"), vec!["std", "collections", "HashMap"]);
+        assert_eq!(t.resolve("Ordered"), vec!["std", "collections", "BTreeMap"]);
+        let segs: Vec<String> = vec!["mpsc".into(), "channel".into()];
+        assert_eq!(
+            t.resolve_path(&segs),
+            vec!["std", "sync", "mpsc", "channel"]
+        );
+    }
+
+    #[test]
+    fn struct_fields_and_enums_are_recorded() {
+        let t = table(
+            "struct S { map: HashMap<u32, u32>, n: u64 }\nenum E { A, B { x: u8 }, C(u32) }\n",
+        );
+        assert_eq!(t.field_type("map").map(Ty::head), Some("HashMap"));
+        assert_eq!(t.field_type("n").map(Ty::head), Some("u64"));
+        assert_eq!(
+            t.enums.get("E"),
+            Some(&vec!["A".to_string(), "B".to_string(), "C".to_string()])
+        );
+    }
+
+    #[test]
+    fn ambiguous_field_names_do_not_resolve() {
+        let t = table("struct A { x: u64 }\nstruct B { x: HashMap<u8, u8> }\n");
+        assert!(t.field_type("x").is_none());
+    }
+
+    #[test]
+    fn container_classification() {
+        assert!(is_unordered_container("HashMap"));
+        assert!(is_unordered_container("FxHashSet"));
+        assert!(!is_unordered_container("BTreeMap"));
+        assert!(is_rekeying_container("BTreeSet"));
+        assert!(!is_rekeying_container("Vec"));
+    }
+}

@@ -1,0 +1,15 @@
+use std::collections::{BTreeMap, HashMap};
+
+pub fn count(m: &HashMap<u64, u64>) -> usize {
+    m.keys().count()
+}
+
+pub fn ordered(m: &HashMap<u64, u64>) -> BTreeMap<u64, u64> {
+    m.iter().map(|(k, v)| (*k, *v)).collect::<BTreeMap<u64, u64>>()
+}
+
+pub fn sorted(m: &HashMap<u64, u64>) -> Vec<u64> {
+    let mut keys = m.keys().copied().collect::<Vec<u64>>();
+    keys.sort_unstable();
+    keys
+}

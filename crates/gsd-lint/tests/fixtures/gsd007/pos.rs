@@ -1,0 +1,11 @@
+use std::collections::HashMap;
+
+pub fn dump(m: &HashMap<u64, u64>, out: &mut Vec<u64>) {
+    for k in m.keys() {
+        out.push(*k);
+    }
+}
+
+pub fn first(m: &HashMap<u64, u64>) -> Option<u64> {
+    m.values().copied().next()
+}

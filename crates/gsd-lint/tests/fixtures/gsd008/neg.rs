@@ -1,0 +1,15 @@
+use std::collections::HashMap;
+
+pub fn total(counts: &HashMap<u64, u64>) -> u64 {
+    counts.values().sum::<u64>()
+}
+
+pub fn in_key_order(ranks: &HashMap<u64, f64>) -> f64 {
+    let mut keys = ranks.keys().copied().collect::<Vec<u64>>();
+    keys.sort_unstable();
+    let mut acc = 0.0;
+    for k in &keys {
+        acc += ranks[k];
+    }
+    acc
+}

@@ -1,0 +1,9 @@
+use std::collections::HashMap;
+
+pub fn total(ranks: &HashMap<u64, f64>) -> f64 {
+    ranks.values().sum::<f64>()
+}
+
+pub fn folded(ranks: &HashMap<u64, f64>) -> f64 {
+    ranks.values().fold(0.0, |acc, v| acc + v)
+}

@@ -1,0 +1,8 @@
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+pub fn run() -> u64 {
+    let n = Arc::new(AtomicU64::new(0));
+    n.fetch_add(1, Ordering::SeqCst);
+    n.load(Ordering::SeqCst)
+}

@@ -1,0 +1,10 @@
+use std::sync::mpsc;
+use std::sync::Mutex;
+use std::thread;
+
+pub fn run() {
+    let (tx, rx) = mpsc::channel::<u64>();
+    let m = Mutex::new(0u64);
+    let h = thread::spawn(move || drop(tx));
+    let _ = (rx, m, h);
+}

@@ -1,0 +1,15 @@
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Stats {
+    write_ops: AtomicU64,
+}
+
+impl Stats {
+    pub fn record(&self) {
+        self.write_ops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn publish(&self, epoch: &AtomicU64) {
+        epoch.store(1, Ordering::Release);
+    }
+}

@@ -1,0 +1,11 @@
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct State {
+    epoch: AtomicU64,
+}
+
+impl State {
+    pub fn bump(&self) -> u64 {
+        self.epoch.fetch_add(1, Ordering::Relaxed)
+    }
+}

@@ -1,0 +1,14 @@
+use std::fs::File;
+use std::io::{BufWriter, Write};
+
+pub fn flush_edges(file: File, edges: &[u64]) -> std::io::Result<()> {
+    let mut w = BufWriter::new(file);
+    for e in edges {
+        w.write_all(&e.to_le_bytes())?;
+    }
+    w.flush()
+}
+
+pub fn write_header(file: &mut File, header: &[u8]) -> std::io::Result<()> {
+    file.write_all(header)
+}

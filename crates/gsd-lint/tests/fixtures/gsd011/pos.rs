@@ -1,0 +1,16 @@
+use std::fs::File;
+use std::io::Write;
+
+pub fn flush_edges(file: &mut File, edges: &[u64]) -> std::io::Result<()> {
+    for e in edges {
+        file.write_all(&e.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+pub fn log_edges(file: &mut File, edges: &[u64]) -> std::io::Result<()> {
+    for e in edges {
+        writeln!(file, "{e}")?;
+    }
+    Ok(())
+}

@@ -1,0 +1,5 @@
+pub enum TraceEvent {
+    RunStart { run: u64 },
+    RunEnd { run: u64 },
+    BlockLoad { block: u64 },
+}

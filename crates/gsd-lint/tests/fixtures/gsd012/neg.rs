@@ -1,0 +1,22 @@
+use crate::event::TraceEvent;
+
+pub enum Phase {
+    Scatter,
+    Gather,
+    Apply,
+}
+
+pub fn label(ev: &TraceEvent) -> &'static str {
+    match ev {
+        TraceEvent::RunStart { .. } => "start",
+        TraceEvent::RunEnd { .. } => "end",
+        TraceEvent::BlockLoad { .. } => "load",
+    }
+}
+
+pub fn phase_label(ph: &Phase) -> &'static str {
+    match ph {
+        Phase::Scatter => "scatter",
+        _ => "other",
+    }
+}

@@ -1,0 +1,8 @@
+use crate::event::TraceEvent;
+
+pub fn label(ev: &TraceEvent) -> &'static str {
+    match ev {
+        TraceEvent::RunStart { .. } => "start",
+        _ => "other",
+    }
+}

@@ -237,11 +237,183 @@ fn severity_off_disables_a_rule() {
 }
 
 #[test]
+fn gsd007_fires_on_for_loop_and_terminal_over_hash_iteration() {
+    let cfg = LintConfig::default();
+    let diags = check_snippet(
+        "crates/gsd-core/src/fixture.rs",
+        include_str!("fixtures/gsd007/pos.rs"),
+        &cfg,
+    );
+    assert_eq!(rules_of(&diags), vec!["GSD007", "GSD007"], "{diags:?}");
+    let lines: Vec<u32> = diags.iter().map(|d| d.line).collect();
+    assert_eq!(lines, vec![4, 10], "for loop + .next() terminal: {diags:?}");
+}
+
+#[test]
+fn gsd007_silent_on_insensitive_rekeyed_and_sorted_consumption() {
+    let cfg = LintConfig::default();
+    let diags = check_snippet(
+        "crates/gsd-core/src/fixture.rs",
+        include_str!("fixtures/gsd007/neg.rs"),
+        &cfg,
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn gsd008_fires_on_float_sum_and_float_fold() {
+    let cfg = LintConfig::default();
+    let diags = check_snippet(
+        "crates/gsd-core/src/fixture.rs",
+        include_str!("fixtures/gsd008/pos.rs"),
+        &cfg,
+    );
+    assert_eq!(rules_of(&diags), vec!["GSD008", "GSD008"], "{diags:?}");
+    let lines: Vec<u32> = diags.iter().map(|d| d.line).collect();
+    assert_eq!(lines, vec![4, 8], "{diags:?}");
+}
+
+#[test]
+fn gsd008_silent_on_int_sum_and_sorted_accumulation() {
+    let cfg = LintConfig::default();
+    let diags = check_snippet(
+        "crates/gsd-core/src/fixture.rs",
+        include_str!("fixtures/gsd008/neg.rs"),
+        &cfg,
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn gsd009_fires_on_each_primitive_construction() {
+    let cfg = LintConfig::default();
+    let diags = check_snippet(
+        "crates/gsd-core/src/fixture.rs",
+        include_str!("fixtures/gsd009/pos.rs"),
+        &cfg,
+    );
+    assert_eq!(rules_of(&diags), vec!["GSD009"; 3], "{diags:?}");
+    let lines: Vec<u32> = diags.iter().map(|d| d.line).collect();
+    assert_eq!(lines, vec![6, 7, 8], "channel + Mutex + spawn: {diags:?}");
+}
+
+#[test]
+fn gsd009_silent_on_atomics_and_in_designated_modules() {
+    let cfg = LintConfig::default();
+    let diags = check_snippet(
+        "crates/gsd-core/src/fixture.rs",
+        include_str!("fixtures/gsd009/neg.rs"),
+        &cfg,
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+    // The same constructions are fine in the pipeline executor.
+    let diags = check_snippet(
+        "crates/gsd-pipeline/src/fixture.rs",
+        include_str!("fixtures/gsd009/pos.rs"),
+        &cfg,
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn gsd010_fires_on_relaxed_outside_counter_allow_list() {
+    let cfg = LintConfig::default();
+    let diags = check_snippet(
+        "crates/gsd-core/src/fixture.rs",
+        include_str!("fixtures/gsd010/pos.rs"),
+        &cfg,
+    );
+    assert_eq!(rules_of(&diags), vec!["GSD010"], "{diags:?}");
+    assert_eq!(diags[0].line, 9, "{diags:?}");
+    assert!(diags[0].message.contains("epoch"), "{diags:?}");
+}
+
+#[test]
+fn gsd010_silent_on_listed_counters_and_stronger_orderings() {
+    let cfg = LintConfig::default();
+    let diags = check_snippet(
+        "crates/gsd-core/src/fixture.rs",
+        include_str!("fixtures/gsd010/neg.rs"),
+        &cfg,
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn gsd010_config_extends_the_counter_allow_list() {
+    let cfg = LintConfig::parse("[rules.GSD010]\nidents = [\"epoch\"]").expect("parses");
+    let diags = check_snippet(
+        "crates/gsd-core/src/fixture.rs",
+        include_str!("fixtures/gsd010/pos.rs"),
+        &cfg,
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn gsd011_fires_on_raw_file_writes_inside_loops() {
+    let cfg = LintConfig::default();
+    let diags = check_snippet(
+        "crates/gsd-runtime/src/fixture.rs",
+        include_str!("fixtures/gsd011/pos.rs"),
+        &cfg,
+    );
+    assert_eq!(rules_of(&diags), vec!["GSD011", "GSD011"], "{diags:?}");
+    let lines: Vec<u32> = diags.iter().map(|d| d.line).collect();
+    assert_eq!(lines, vec![6, 13], "write_all + writeln!: {diags:?}");
+}
+
+#[test]
+fn gsd011_silent_on_buffered_writers_and_out_of_loop_io() {
+    let cfg = LintConfig::default();
+    let diags = check_snippet(
+        "crates/gsd-runtime/src/fixture.rs",
+        include_str!("fixtures/gsd011/neg.rs"),
+        &cfg,
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+fn gsd012_workspace(consumer: &str) -> Vec<gsd_lint::Diagnostic> {
+    // The enum lives away from the GSD004 event_file path so only GSD012
+    // is exercised here.
+    let cfg = LintConfig::default();
+    Workspace::from_files([
+        (
+            "crates/gsd-core/src/event.rs".to_string(),
+            include_str!("fixtures/gsd012/event.rs").to_string(),
+        ),
+        (
+            "crates/gsd-core/src/consumer.rs".to_string(),
+            consumer.to_string(),
+        ),
+    ])
+    .check(&cfg)
+}
+
+#[test]
+fn gsd012_fires_on_catch_all_over_listed_enum() {
+    let diags = gsd012_workspace(include_str!("fixtures/gsd012/pos.rs"));
+    assert_eq!(rules_of(&diags), vec!["GSD012"], "{diags:?}");
+    assert_eq!(diags[0].file, "crates/gsd-core/src/consumer.rs");
+    assert_eq!(diags[0].line, 6, "anchored at the catch-all arm: {diags:?}");
+    assert!(diags[0].message.contains("RunEnd"), "{diags:?}");
+    assert!(diags[0].message.contains("BlockLoad"), "{diags:?}");
+}
+
+#[test]
+fn gsd012_silent_on_exhaustive_match_and_unlisted_enums() {
+    let diags = gsd012_workspace(include_str!("fixtures/gsd012/neg.rs"));
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
 fn every_shipped_rule_has_fixture_coverage() {
     // Guards the registry against silently growing an untested rule: the
     // ids exercised above must cover the whole registry.
     let covered = [
-        "GSD000", "GSD001", "GSD002", "GSD003", "GSD004", "GSD005", "GSD006",
+        "GSD000", "GSD001", "GSD002", "GSD003", "GSD004", "GSD005", "GSD006", "GSD007", "GSD008",
+        "GSD009", "GSD010", "GSD011", "GSD012",
     ];
     for rule in gsd_lint::RULES {
         assert!(

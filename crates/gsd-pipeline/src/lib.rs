@@ -46,6 +46,19 @@
 //! started it and the consumer read it synchronously itself
 //! ([`TakeOutcome::Fallback`], also traced as a stall — the pipeline
 //! provided no overlap for it).
+//!
+//! ## Concurrency fence (GSD009)
+//!
+//! This crate is the workspace's **designated concurrency module**:
+//! `std::thread::spawn`, `mpsc`-style channels and `Mutex`/`Condvar`
+//! construction are fenced here by lint rule GSD009 (see `lint.toml`).
+//! The upcoming parallel scatter/apply worker pool lives behind the
+//! same fence — engine and kernel crates must consume parallelism
+//! through this crate's deterministic executors, never spawn their own
+//! threads, so the per-interval deterministic-merge discipline stays
+//! auditable in one place. All shared state below is keyed or queued in
+//! deterministic order (`Vec`/`VecDeque` indexed by worker and schedule
+//! position — deliberately no hash-ordered containers).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
