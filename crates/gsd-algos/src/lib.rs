@@ -24,10 +24,12 @@ pub mod cc;
 pub mod naive;
 pub mod pagerank;
 pub mod pagerank_delta;
+pub mod ppr;
 pub mod sssp;
 
 pub use bfs::Bfs;
 pub use cc::ConnectedComponents;
 pub use pagerank::PageRank;
 pub use pagerank_delta::PageRankDelta;
+pub use ppr::Ppr;
 pub use sssp::Sssp;

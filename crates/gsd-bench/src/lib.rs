@@ -29,11 +29,13 @@
 pub mod datasets;
 pub mod experiments;
 pub mod runner;
+pub mod serve;
 pub mod table;
 pub mod trace;
 pub mod wall;
 
 pub use datasets::{Dataset, Datasets, Scale};
 pub use runner::{Algo, RunOutcome, SystemKind};
+pub use serve::{queries_per_second, run_serve};
 pub use trace::{current_sink, install_trace_sink, VerboseSink};
 pub use wall::{run_wall, WallOptions};

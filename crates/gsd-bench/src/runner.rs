@@ -8,7 +8,7 @@ use gsd_baselines::HusFormat;
 use gsd_baselines::{
     build_hus_format, build_lumos_format, GridStreamEngine, HusGraphEngine, LumosEngine,
 };
-use gsd_core::{GraphSdConfig, GraphSdEngine, PipelineConfig, SchedulerDecision};
+use gsd_core::{GraphSdConfig, GraphSdEngine, GridSession, PipelineConfig, SchedulerDecision};
 use gsd_graph::{
     preprocess, CorruptionResponse, EdgeCodec, Graph, GridGraph, PreprocessConfig,
     PreprocessReport, VerifyPolicy,
@@ -502,8 +502,10 @@ pub(crate) fn reopen_engine(
             Ok(AnyEngine::Grid(GridStreamEngine::new(grid)?))
         }
         _ => {
-            let mut grid = GridGraph::open(storage)?;
-            apply_env_verification(&mut grid)?;
+            // GraphSD variants go through the same open-once session the
+            // `run` CLI and the serve daemon use; `open_env` honours
+            // `GSD_VERIFY` exactly like `apply_env_verification`.
+            let session = GridSession::open_env(storage)?;
             let mut config = graphsd_config_of(kind)
                 .expect("graphsd variant")
                 .with_memory_budget(budget);
@@ -511,7 +513,7 @@ pub(crate) fn reopen_engine(
                 Some(sizing) => config.with_prefetch(sizing),
                 None => config.without_prefetch(),
             };
-            Ok(AnyEngine::Gsd(GraphSdEngine::new(grid, config)?))
+            Ok(AnyEngine::Gsd(session.engine(config)?))
         }
     }
 }

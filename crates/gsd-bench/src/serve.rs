@@ -1,0 +1,249 @@
+//! Serve-mode benchmark: queries/sec and cache behavior of the daemon.
+//!
+//! Where [`crate::wall`] times whole analytic runs, this mode times the
+//! `gsd serve` query path: a fixed, deterministic workload of point
+//! lookups and batched traversals driven straight into an in-process
+//! [`ServeCore`] (no threads, no sockets — the executor the daemon wraps
+//! is single-threaded, so this measures exactly what the daemon's hot
+//! loop does, minus nondeterministic batching-window timing).
+//!
+//! Each repeat rebuilds the core from the on-disk grid with a cold
+//! cache, so the cache hits the workload earns are part of the measured
+//! behavior, not leftover state. The deterministic counters land in the
+//! usual [`BenchEntry`] slots — query count as `iterations`, cache
+//! hits/misses in the prefetch fields — so existing baselines parse and
+//! [`gsd_metrics::BenchReport::compare_deterministic`] gates them in CI
+//! without a schema change. Wall times (and the queries/sec derived from
+//! them) stay informational, as everywhere else in the harness.
+
+use crate::datasets::Datasets;
+use crate::wall::{scale_name, WallOptions};
+use gsd_core::GridSession;
+use gsd_graph::{CorruptionResponse, VerifyPolicy};
+use gsd_io::{FileStorage, SharedStorage, TempDir};
+use gsd_metrics::{median, BenchEntry, BenchReport, BENCH_SCHEMA_VERSION};
+use gsd_serve::{Request, Response, ServeCore, ServeCounters, Traversal};
+use gsd_trace::Stopwatch;
+use std::io::{Error, ErrorKind, Result};
+use std::sync::Arc;
+
+/// Cache capacity for the benchmark daemon — big enough that a tiny
+/// grid's hot blocks stay resident, small enough that eviction runs.
+const CACHE_BYTES: u64 = 8 << 20;
+
+/// Runs the serve workload over every selected dataset.
+///
+/// Reuses [`WallOptions`] for label/warmup/repeats/scale/datasets; the
+/// `systems`, `algos` and `prefetch` fields are ignored (there is one
+/// system under test and the cache replaces the prefetch pipeline).
+pub fn run_serve(opts: &WallOptions) -> Result<BenchReport> {
+    let repeats = opts.repeats.max(1);
+    let datasets = Datasets::load(opts.scale);
+    let mut entries = Vec::new();
+    for ds in datasets.all() {
+        if !opts.datasets.is_empty() && !opts.datasets.iter().any(|n| n == ds.name) {
+            continue;
+        }
+        entries.push(bench_dataset(ds, opts.warmup, repeats)?);
+    }
+    Ok(BenchReport {
+        schema_version: BENCH_SCHEMA_VERSION,
+        label: opts.label.clone(),
+        scale: scale_name(opts.scale).to_string(),
+        warmup: opts.warmup,
+        repeats,
+        prefetch: false,
+        entries,
+    })
+}
+
+/// Queries/sec of `entry`, derived from its median wall time.
+pub fn queries_per_second(entry: &BenchEntry) -> f64 {
+    if entry.wall_us_median == 0 {
+        return 0.0;
+    }
+    entry.iterations as f64 * 1e6 / entry.wall_us_median as f64
+}
+
+fn bench_dataset(ds: &crate::datasets::Dataset, warmup: u32, repeats: u32) -> Result<BenchEntry> {
+    let graph = ds.directed();
+    let dir = TempDir::new("gsd-servebench")?;
+    {
+        let storage: SharedStorage = Arc::new(FileStorage::open(dir.path())?);
+        crate::runner::prepare_format(
+            crate::runner::SystemKind::GraphSd,
+            graph,
+            &storage,
+            crate::runner::paper_p(graph),
+        )?;
+    }
+
+    let n = graph.num_vertices();
+    let root = ds.root();
+    let run_once = || -> Result<(u64, ServeCounters)> {
+        let storage: SharedStorage = Arc::new(FileStorage::open(dir.path())?);
+        let session = GridSession::open(storage, VerifyPolicy::Off, CorruptionResponse::default())?;
+        let mut core = ServeCore::new(session, CACHE_BYTES, gsd_trace::null_sink())?;
+        let watch = Stopwatch::start();
+        workload(&mut core, n, root)?;
+        Ok((watch.elapsed().as_micros() as u64, core.counters()))
+    };
+
+    for _ in 0..warmup {
+        run_once()?;
+    }
+    let mut samples: Vec<(u64, ServeCounters)> = Vec::with_capacity(repeats as usize);
+    for _ in 0..repeats {
+        samples.push(run_once()?);
+    }
+
+    // Every repeat replays the same single-threaded script against a
+    // cold core: any counter drift is a determinism bug.
+    let (_, first) = samples[0];
+    for (wall, c) in &samples[1..] {
+        if *c != first {
+            return Err(Error::new(
+                ErrorKind::InvalidData,
+                format!(
+                    "serve/{}: repeats disagree on deterministic counters \
+                     ({c:?} vs {first:?}; wall {wall}us)",
+                    ds.name
+                ),
+            ));
+        }
+    }
+
+    let walls: Vec<u64> = samples.iter().map(|(w, _)| *w).collect();
+    let wall_us_median = median(&walls);
+    let lookups = first.cache_hits + first.cache_misses;
+    Ok(BenchEntry {
+        system: "gsd-serve".to_string(),
+        algorithm: "mixed".to_string(),
+        dataset: ds.name.to_string(),
+        iterations: first.queries as u32,
+        wall_us: walls,
+        wall_us_median,
+        io_wait_us: 0,
+        compute_us: 0,
+        stall_us: 0,
+        scheduler_us: 0,
+        bytes_read: first.bytes_read,
+        bytes_written: 0,
+        prefetch_hits: first.cache_hits,
+        prefetch_misses: first.cache_misses,
+        prefetch_hit_rate: if lookups == 0 {
+            0.0
+        } else {
+            first.cache_hits as f64 / lookups as f64
+        },
+        peak_rss_bytes: gsd_metrics::rss::peak_rss_bytes().unwrap_or(0),
+    })
+}
+
+/// The fixed query script: point lookups spread over the ID space, two
+/// batches of concurrent traversals (cold then warm cache), and a PPR
+/// batch in between. Mirrors the mix a multi-tenant daemon sees, with
+/// every parameter derived from `(n, root)` so repeats are replays.
+fn workload(core: &mut ServeCore, n: u32, root: u32) -> Result<()> {
+    let step = (n / 8).max(1);
+    for k in 0..8u32 {
+        let v = (k * step) % n;
+        check(core.execute(&Request::Degree { v }))?;
+        check(core.execute(&Request::Neighbors { v }))?;
+    }
+
+    let khops = [
+        Traversal::KHop { source: root, k: 2 },
+        Traversal::KHop {
+            source: (root + n / 3) % n,
+            k: 2,
+        },
+        Traversal::KHop {
+            source: (root + 2 * n / 3) % n,
+            k: 3,
+        },
+    ];
+    for r in core.execute_batch(&khops) {
+        check(r)?;
+    }
+
+    let mut seeds = vec![root, (root + n / 2) % n];
+    seeds.sort_unstable();
+    seeds.dedup();
+    let pprs = [
+        Traversal::Ppr {
+            seeds: vec![root],
+            alpha: 0.85,
+            iterations: 3,
+        },
+        Traversal::Ppr {
+            seeds,
+            alpha: 0.85,
+            iterations: 3,
+        },
+    ];
+    for r in core.execute_batch(&pprs) {
+        check(r)?;
+    }
+
+    // Same k-hop batch again: this round runs against the cache the
+    // first round populated and earns the entry's hits.
+    for r in core.execute_batch(&khops) {
+        check(r)?;
+    }
+    check(core.execute(&Request::Stats))?;
+    Ok(())
+}
+
+fn check(response: Response) -> Result<Response> {
+    match response {
+        Response::Error { message } => Err(Error::new(ErrorKind::InvalidData, message)),
+        ok => Ok(ok),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::Scale;
+    use gsd_metrics::BenchReport;
+
+    fn tiny_opts() -> WallOptions {
+        WallOptions {
+            label: "serve-unit".to_string(),
+            warmup: 0,
+            repeats: 2,
+            scale: Scale::Tiny,
+            datasets: vec!["twitter_sim".to_string()],
+            ..WallOptions::default()
+        }
+    }
+
+    #[test]
+    fn serve_report_is_schema_valid_with_cache_hits() {
+        let report = run_serve(&tiny_opts()).unwrap();
+        assert_eq!(report.entries.len(), 1);
+        let e = &report.entries[0];
+        assert_eq!(e.system, "gsd-serve");
+        assert_eq!(
+            e.iterations, 25,
+            "16 lookups + 3 khop + 2 ppr + 3 khop + stats"
+        );
+        assert!(e.bytes_read > 0, "traversals must touch disk");
+        assert!(
+            e.prefetch_hits > 0,
+            "the warm k-hop round must hit the cache"
+        );
+        assert!(e.prefetch_hit_rate > 0.0 && e.prefetch_hit_rate <= 1.0);
+        assert!(queries_per_second(e) >= 0.0);
+        let back = BenchReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn serve_counters_are_stable_across_harness_invocations() {
+        let a = run_serve(&tiny_opts()).unwrap();
+        let b = run_serve(&tiny_opts()).unwrap();
+        assert_eq!(b.compare_deterministic(&a), Ok(1));
+    }
+}

@@ -146,7 +146,12 @@ impl TraceSink for VerboseSink {
             | TraceEvent::CorruptionDetected { .. }
             | TraceEvent::BlockRepaired { .. }
             | TraceEvent::BenchRepeat { .. }
-            | TraceEvent::MetricsFlush { .. } => {}
+            | TraceEvent::MetricsFlush { .. }
+            | TraceEvent::ServeStarted { .. }
+            | TraceEvent::QueryAccepted { .. }
+            | TraceEvent::QueryCompleted { .. }
+            | TraceEvent::CacheAdmit { .. }
+            | TraceEvent::CacheEvict { .. } => {}
         }
     }
 }

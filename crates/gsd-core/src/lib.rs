@@ -33,6 +33,7 @@ pub mod buffer;
 pub mod config;
 pub mod engine;
 pub mod scheduler;
+pub mod session;
 
 /// Maps the runtime's access-model enum onto the trace schema's (the
 /// trace crate sits below `gsd-runtime` and cannot name it).
@@ -52,3 +53,4 @@ pub use engine::GraphSdEngine;
 pub use gsd_pipeline::PipelineConfig;
 pub use gsd_recover::RecoveryConfig;
 pub use scheduler::{Scheduler, SchedulerDecision};
+pub use session::GridSession;

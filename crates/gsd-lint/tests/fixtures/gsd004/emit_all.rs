@@ -13,4 +13,9 @@ pub fn emit(sink: &dyn Sink) {
     sink.emit(TraceEvent::BlockRepaired { block: 5, bytes: 4096 });
     sink.emit(TraceEvent::BenchRepeat { repeat: 1, wall_us: 250 });
     sink.emit(TraceEvent::MetricsFlush { series: 8, bytes: 1024 });
+    sink.emit(TraceEvent::ServeStarted { vertices: 100, p: 4 });
+    sink.emit(TraceEvent::QueryAccepted { query: 1 });
+    sink.emit(TraceEvent::QueryCompleted { query: 1, bytes: 4096 });
+    sink.emit(TraceEvent::CacheAdmit { block: 7, bytes: 4096 });
+    sink.emit(TraceEvent::CacheEvict { block: 7, bytes: 4096 });
 }

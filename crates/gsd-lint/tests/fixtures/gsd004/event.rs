@@ -28,4 +28,14 @@ pub enum TraceEvent {
     BenchRepeat { repeat: u32, wall_us: u64 },
     /// A metrics snapshot was written to the exposition file.
     MetricsFlush { series: u64, bytes: u64 },
+    /// The query daemon opened its grid and is ready.
+    ServeStarted { vertices: u64, p: u64 },
+    /// A query was admitted into the scheduler.
+    QueryAccepted { query: u64 },
+    /// A query finished with its per-query I/O account.
+    QueryCompleted { query: u64, bytes: u64 },
+    /// The shared cache admitted a block for a query.
+    CacheAdmit { block: u32, bytes: u64 },
+    /// The shared cache evicted a resident block.
+    CacheEvict { block: u32, bytes: u64 },
 }

@@ -2,4 +2,6 @@ pub enum TraceEvent {
     RunStart { run: u64 },
     RunEnd { run: u64 },
     BlockLoad { block: u64 },
+    QueryAccepted { query: u64 },
+    CacheEvict { block: u64 },
 }

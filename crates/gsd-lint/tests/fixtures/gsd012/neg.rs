@@ -11,6 +11,8 @@ pub fn label(ev: &TraceEvent) -> &'static str {
         TraceEvent::RunStart { .. } => "start",
         TraceEvent::RunEnd { .. } => "end",
         TraceEvent::BlockLoad { .. } => "load",
+        TraceEvent::QueryAccepted { .. } => "accepted",
+        TraceEvent::CacheEvict { .. } => "evict",
     }
 }
 

@@ -188,6 +188,52 @@ pub fn record_event(reg: &MetricsRegistry, event: &TraceEvent) {
             reg.inc(SeriesKey::plain("gsd_metrics_flush_bytes_total"), *bytes);
             reg.set_gauge(SeriesKey::plain("gsd_metrics_series"), *series as f64);
         }
+        TraceEvent::ServeStarted { vertices, p } => {
+            reg.set_gauge(SeriesKey::plain("gsd_serve_up"), 1.0);
+            reg.set_gauge(SeriesKey::plain("gsd_serve_vertices"), *vertices as f64);
+            reg.set_gauge(SeriesKey::plain("gsd_serve_partitions"), *p as f64);
+        }
+        TraceEvent::QueryAccepted { op, .. } => {
+            reg.inc(
+                SeriesKey::with_labels("gsd_serve_queries_total", &[("op", op)]),
+                1,
+            );
+        }
+        TraceEvent::QueryCompleted {
+            op,
+            cache_hits,
+            cache_misses,
+            bytes_read,
+            ..
+        } => {
+            reg.inc(
+                SeriesKey::with_labels("gsd_serve_queries_completed_total", &[("op", op)]),
+                1,
+            );
+            reg.inc(SeriesKey::plain("gsd_serve_cache_hits_total"), *cache_hits);
+            reg.inc(
+                SeriesKey::plain("gsd_serve_cache_misses_total"),
+                *cache_misses,
+            );
+            reg.inc(
+                SeriesKey::plain("gsd_serve_query_read_bytes_total"),
+                *bytes_read,
+            );
+        }
+        TraceEvent::CacheAdmit { bytes, .. } => {
+            reg.inc(SeriesKey::plain("gsd_serve_cache_admits_total"), 1);
+            reg.inc(
+                SeriesKey::plain("gsd_serve_cache_admit_bytes_total"),
+                *bytes,
+            );
+        }
+        TraceEvent::CacheEvict { bytes, .. } => {
+            reg.inc(SeriesKey::plain("gsd_serve_cache_evicts_total"), 1);
+            reg.inc(
+                SeriesKey::plain("gsd_serve_cache_evict_bytes_total"),
+                *bytes,
+            );
+        }
     }
 }
 

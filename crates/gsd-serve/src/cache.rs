@@ -1,0 +1,225 @@
+//! The shared sub-block cache of the serve daemon.
+//!
+//! Generalizes the §4.3 priority buffer ([`gsd_core::SubBlockBuffer`])
+//! from "one run's secondary blocks" to "every decoded sub-block any
+//! resident query touched": admission and eviction use the same
+//! strictly-lower-priority displacement rule and the same timing-free
+//! BTreeMap victim scan, but the priority is **demand** — how many
+//! concurrent queries used the block in the pass that offered it — so
+//! blocks shared by many tenants outlive single-tenant ones.
+//!
+//! Unlike the run buffer, hit/miss accounting lives with the caller
+//! ([`crate::core::ServeCore`]): a hit is charged per *using query*, not
+//! per lookup, so the cache itself only stores payloads and emits the
+//! [`TraceEvent::CacheAdmit`] / [`TraceEvent::CacheEvict`] lifecycle
+//! events. The executor is single-threaded, so all counters here and in
+//! the core are plain `u64`s — determinism by construction, not by
+//! synchronization.
+
+use gsd_graph::Edge;
+use gsd_trace::{TraceEvent, TraceSink};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+struct Entry {
+    edges: Arc<Vec<Edge>>,
+    bytes: u64,
+    priority: u64,
+}
+
+/// Demand-prioritized cache of decoded sub-blocks, keyed by `(i, j)`.
+pub struct SubBlockCache {
+    capacity: u64,
+    used: u64,
+    entries: BTreeMap<(u32, u32), Entry>,
+    trace: Arc<dyn TraceSink>,
+    /// Blocks admitted since start.
+    pub admits: u64,
+    /// Residents evicted to make room since start.
+    pub evicts: u64,
+}
+
+impl SubBlockCache {
+    /// A cache holding at most `capacity` bytes of decoded payloads.
+    pub fn new(capacity: u64) -> Self {
+        SubBlockCache {
+            capacity,
+            used: 0,
+            entries: BTreeMap::new(),
+            trace: gsd_trace::null_sink(),
+            admits: 0,
+            evicts: 0,
+        }
+    }
+
+    /// Routes [`TraceEvent::CacheAdmit`] / [`TraceEvent::CacheEvict`] to
+    /// `trace`.
+    pub fn set_trace(&mut self, trace: Arc<dyn TraceSink>) {
+        self.trace = trace;
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently resident.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Number of resident blocks.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing is resident.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up block `(i, j)`. Hit/miss accounting is the caller's: the
+    /// serve core charges one hit per query that *uses* the block, which
+    /// a cache-internal counter could not know.
+    pub fn get(&self, i: u32, j: u32) -> Option<Arc<Vec<Edge>>> {
+        self.entries.get(&(i, j)).map(|e| e.edges.clone())
+    }
+
+    /// Whether block `(i, j)` is resident.
+    pub fn contains(&self, i: u32, j: u32) -> bool {
+        self.entries.contains_key(&(i, j))
+    }
+
+    /// Offers block `(i, j)` with `priority` = the number of queries that
+    /// used it in the offering pass. Returns `true` if resident
+    /// afterwards. Same displacement rule as the §4.3 run buffer: evict
+    /// strictly-lower-priority residents (smallest `(priority, coords)`
+    /// first) while the newcomer does not fit, declining once the
+    /// remaining residents all match or outrank it.
+    pub fn offer(
+        &mut self,
+        i: u32,
+        j: u32,
+        edges: Arc<Vec<Edge>>,
+        bytes: u64,
+        priority: u64,
+    ) -> bool {
+        if let Some(old) = self.entries.remove(&(i, j)) {
+            self.used -= old.bytes;
+        }
+        if bytes > self.capacity {
+            return false;
+        }
+        while self.used + bytes > self.capacity {
+            let victim = self
+                .entries
+                .iter()
+                .min_by_key(|(&k, e)| (e.priority, k))
+                .map(|(&k, e)| (k, e.priority, e.bytes));
+            match victim {
+                Some((k, vprio, vbytes)) if vprio < priority => {
+                    self.entries.remove(&k);
+                    self.used -= vbytes;
+                    self.evicts += 1;
+                    if self.trace.enabled() {
+                        self.trace.emit(&TraceEvent::CacheEvict {
+                            i: k.0,
+                            j: k.1,
+                            bytes: vbytes,
+                        });
+                    }
+                }
+                _ => return false,
+            }
+        }
+        self.used += bytes;
+        self.admits += 1;
+        if self.trace.enabled() {
+            self.trace.emit(&TraceEvent::CacheAdmit { i, j, bytes });
+        }
+        self.entries.insert(
+            (i, j),
+            Entry {
+                edges,
+                bytes,
+                priority,
+            },
+        );
+        true
+    }
+}
+
+impl std::fmt::Debug for SubBlockCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SubBlockCache")
+            .field("capacity", &self.capacity)
+            .field("used", &self.used)
+            .field("blocks", &self.entries.len())
+            .field("admits", &self.admits)
+            .field("evicts", &self.evicts)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsd_trace::RingRecorder;
+
+    fn block(n: usize) -> Arc<Vec<Edge>> {
+        Arc::new(vec![Edge::new(0, 1); n])
+    }
+
+    #[test]
+    fn admit_get_and_demand_displacement() {
+        let mut c = SubBlockCache::new(250);
+        assert!(c.offer(1, 0, block(1), 100, 1));
+        assert!(c.offer(2, 0, block(1), 100, 3));
+        assert!(c.get(1, 0).is_some());
+        // A two-tenant newcomer displaces the single-tenant resident but
+        // not the three-tenant one.
+        assert!(c.offer(3, 0, block(1), 150, 2));
+        assert!(c.get(1, 0).is_none(), "demand 1 evicted");
+        assert!(c.get(2, 0).is_some(), "demand 3 kept");
+        assert_eq!(c.used(), 250);
+        assert_eq!((c.admits, c.evicts), (3, 1));
+    }
+
+    #[test]
+    fn equal_demand_cannot_displace() {
+        let mut c = SubBlockCache::new(100);
+        assert!(c.offer(1, 0, block(1), 100, 2));
+        assert!(!c.offer(2, 0, block(1), 100, 2));
+        assert!(c.contains(1, 0));
+        assert_eq!(c.evicts, 0);
+    }
+
+    #[test]
+    fn oversized_offer_is_declined() {
+        let mut c = SubBlockCache::new(64);
+        assert!(!c.offer(0, 0, block(9), 65, 99));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn lifecycle_events_are_emitted() {
+        let rec = Arc::new(RingRecorder::new(16));
+        let mut c = SubBlockCache::new(100);
+        c.set_trace(rec.clone());
+        assert!(c.offer(0, 1, block(1), 100, 1));
+        assert!(c.offer(0, 2, block(1), 100, 5));
+        assert_eq!(rec.count_kind("cache_admit"), 2);
+        assert_eq!(rec.count_kind("cache_evict"), 1);
+        let evict = rec
+            .events()
+            .into_iter()
+            .find(|e| e.kind() == "cache_evict")
+            .unwrap();
+        match evict {
+            TraceEvent::CacheEvict { i, j, bytes } => {
+                assert_eq!((i, j, bytes), (0, 1, 100));
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+    }
+}

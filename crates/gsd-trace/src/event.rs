@@ -240,6 +240,53 @@ pub enum TraceEvent {
         /// Bytes of rendered exposition written.
         bytes: u64,
     },
+    /// The query daemon opened its grid and is ready to accept queries.
+    ServeStarted {
+        /// Vertex count of the resident graph.
+        vertices: u64,
+        /// Partition count P of the resident grid.
+        p: u64,
+    },
+    /// The daemon admitted a query into the scheduler.
+    QueryAccepted {
+        /// Daemon-assigned query id (monotonic per process).
+        query: u64,
+        /// Query kind tag (`"degree"`, `"neighbors"`, `"khop"`, `"ppr"`,
+        /// `"run"`, `"stats"`, `"ping"`).
+        op: &'static str,
+    },
+    /// A query finished and its response was produced; carries the
+    /// per-query I/O account.
+    QueryCompleted {
+        /// Daemon-assigned query id.
+        query: u64,
+        /// Query kind tag.
+        op: &'static str,
+        /// Sub-block reads charged to this query that hit the shared cache.
+        cache_hits: u64,
+        /// Sub-block reads charged to this query that went to storage.
+        cache_misses: u64,
+        /// Bytes read from storage on behalf of this query.
+        bytes_read: u64,
+    },
+    /// The shared sub-block cache admitted a block on behalf of a query.
+    CacheAdmit {
+        /// Source interval of the admitted block.
+        i: u32,
+        /// Destination interval of the admitted block.
+        j: u32,
+        /// Bytes now resident for the block.
+        bytes: u64,
+    },
+    /// The shared sub-block cache evicted a resident block to make room.
+    CacheEvict {
+        /// Source interval of the evicted block.
+        i: u32,
+        /// Destination interval of the evicted block.
+        j: u32,
+        /// Bytes released.
+        bytes: u64,
+    },
 }
 
 impl TraceEvent {
@@ -270,6 +317,11 @@ impl TraceEvent {
             TraceEvent::BlockRepaired { .. } => "block_repaired",
             TraceEvent::BenchRepeat { .. } => "bench_repeat",
             TraceEvent::MetricsFlush { .. } => "metrics_flush",
+            TraceEvent::ServeStarted { .. } => "serve_started",
+            TraceEvent::QueryAccepted { .. } => "query_accepted",
+            TraceEvent::QueryCompleted { .. } => "query_completed",
+            TraceEvent::CacheAdmit { .. } => "cache_admit",
+            TraceEvent::CacheEvict { .. } => "cache_evict",
         }
     }
 }
@@ -442,6 +494,34 @@ impl Serialize for TraceEvent {
             TraceEvent::MetricsFlush { series, bytes } => {
                 tagged(self.kind(), vec![u("series", *series), u("bytes", *bytes)])
             }
+            TraceEvent::ServeStarted { vertices, p } => {
+                tagged(self.kind(), vec![u("vertices", *vertices), u("p", *p)])
+            }
+            TraceEvent::QueryAccepted { query, op } => {
+                tagged(self.kind(), vec![u("query", *query), s("op", op)])
+            }
+            TraceEvent::QueryCompleted {
+                query,
+                op,
+                cache_hits,
+                cache_misses,
+                bytes_read,
+            } => tagged(
+                self.kind(),
+                vec![
+                    u("query", *query),
+                    s("op", op),
+                    u("cache_hits", *cache_hits),
+                    u("cache_misses", *cache_misses),
+                    u("bytes_read", *bytes_read),
+                ],
+            ),
+            TraceEvent::CacheAdmit { i, j, bytes } | TraceEvent::CacheEvict { i, j, bytes } => {
+                tagged(
+                    self.kind(),
+                    vec![u("i", *i as u64), u("j", *j as u64), u("bytes", *bytes)],
+                )
+            }
         }
     }
 }
@@ -569,6 +649,57 @@ mod tests {
             r#"{"ev":"metrics_flush","series":12,"bytes":4096}"#
         );
         assert_eq!(flush.kind(), "metrics_flush");
+    }
+
+    #[test]
+    fn serve_events_serialize_with_stable_tags() {
+        let started = TraceEvent::ServeStarted {
+            vertices: 100,
+            p: 4,
+        };
+        assert_eq!(
+            serde_json::to_string(&started).unwrap(),
+            r#"{"ev":"serve_started","vertices":100,"p":4}"#
+        );
+        assert_eq!(started.kind(), "serve_started");
+        let accepted = TraceEvent::QueryAccepted {
+            query: 7,
+            op: "khop",
+        };
+        assert_eq!(
+            serde_json::to_string(&accepted).unwrap(),
+            r#"{"ev":"query_accepted","query":7,"op":"khop"}"#
+        );
+        let completed = TraceEvent::QueryCompleted {
+            query: 7,
+            op: "khop",
+            cache_hits: 3,
+            cache_misses: 2,
+            bytes_read: 2048,
+        };
+        assert_eq!(
+            serde_json::to_string(&completed).unwrap(),
+            r#"{"ev":"query_completed","query":7,"op":"khop","cache_hits":3,"cache_misses":2,"bytes_read":2048}"#
+        );
+        let admit = TraceEvent::CacheAdmit {
+            i: 1,
+            j: 2,
+            bytes: 512,
+        };
+        assert_eq!(
+            serde_json::to_string(&admit).unwrap(),
+            r#"{"ev":"cache_admit","i":1,"j":2,"bytes":512}"#
+        );
+        let evict = TraceEvent::CacheEvict {
+            i: 1,
+            j: 2,
+            bytes: 512,
+        };
+        assert_eq!(
+            serde_json::to_string(&evict).unwrap(),
+            r#"{"ev":"cache_evict","i":1,"j":2,"bytes":512}"#
+        );
+        assert_eq!(evict.kind(), "cache_evict");
     }
 
     #[test]

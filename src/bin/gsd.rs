@@ -7,9 +7,12 @@
 //!         [--trace FILE] [--metrics-out FILE] [--metrics-every N]
 //! gsd bench [--label S] [--warmup N] [--repeats N] [--out FILE] [--systems a,b]
 //!           [--algos a,b] [--datasets a,b] [--scale tiny|small|medium]
-//!           [--no-prefetch] [--baseline FILE]
+//!           [--no-prefetch] [--baseline FILE] [--serve]
 //! gsd bench --check FILE
 //! gsd report <trace.jsonl> [--top N]
+//! gsd serve <data-dir> [--port N] [--cache-mb M] [--verify ...] [--on-corruption ...]
+//!           [--trace FILE] [--metrics-out FILE] [--metrics-every N]
+//! gsd query <host:port> <op> [args...] [--alpha A] [--iterations N] [--source V]
 //! gsd scrub <data-dir> [--repair <edges.txt>]
 //! gsd info <data-dir>
 //! gsd generate <kind> <vertices> <edges> <out.txt> [--seed S] [--weighted] [--symmetrized]
@@ -27,11 +30,17 @@
 //! schema-versioned `BENCH_<label>.json`; `report` replays a JSONL trace
 //! into per-phase breakdowns, I/O histograms, hottest sub-blocks and
 //! scheduler decision explanations.
+//!
+//! `serve` opens the grid once and answers queries from many clients
+//! until one sends `shutdown`; `query` is the matching client. Query
+//! ops: `ping`, `stats`, `degree <v>`, `neighbors <v>`,
+//! `khop <source> <k>`, `ppr <seed,seed,...>`,
+//! `run <algorithm>`, `shutdown`.
 
 use graphsd::algos::{Bfs, ConnectedComponents, PageRank, PageRankDelta, Sssp};
 use graphsd::bench::wall::{run_wall, WallOptions};
 use graphsd::bench::{Algo, Scale, SystemKind};
-use graphsd::core::{GraphSdConfig, GraphSdEngine};
+use graphsd::core::{GraphSdConfig, GraphSdEngine, GridSession};
 use graphsd::graph::{
     parse_edge_list, preprocess_text, repair_grid, scrub_grid, write_edge_list, CorruptionResponse,
     GeneratorConfig, GraphKind, GridGraph, PreprocessConfig, VerifyPolicy,
@@ -39,6 +48,7 @@ use graphsd::graph::{
 use graphsd::io::{FileStorage, SharedStorage};
 use graphsd::metrics::{BenchReport, MetricsSink, TraceReport};
 use graphsd::runtime::{Engine, RunOptions, RunResult, RunStats, Value, VertexProgram};
+use graphsd::serve::{serve_tcp, Request, Response, ServeCore, Server, TcpClient};
 use graphsd::trace::{FanoutSink, JsonlWriter, TraceSink};
 use std::io::BufReader;
 use std::process::ExitCode;
@@ -49,8 +59,10 @@ fn usage() -> ExitCode {
         "usage:\n  \
          gsd preprocess <edges.txt> <data-dir> [--intervals N] [--budget-mb M] [--degree-balanced]\n  \
          gsd run <data-dir> <pagerank|pagerank-delta|cc|sssp|bfs> [--source V] [--iterations N] [--ablation b1|b2|b3|b4|nobuf] [--top K] [--verify off|full|sample:N] [--on-corruption fail|retry[:N]|quarantine] [--trace FILE] [--metrics-out FILE] [--metrics-every N]\n  \
-         gsd bench [--label S] [--warmup N] [--repeats N] [--out FILE] [--systems a,b] [--algos a,b] [--datasets a,b] [--scale tiny|small|medium] [--no-prefetch] [--baseline FILE]\n  \
+         gsd bench [--label S] [--warmup N] [--repeats N] [--out FILE] [--systems a,b] [--algos a,b] [--datasets a,b] [--scale tiny|small|medium] [--no-prefetch] [--baseline FILE] [--serve]\n  \
          gsd bench --check FILE\n  \
+         gsd serve <data-dir> [--port N] [--cache-mb M] [--verify off|full|sample:N] [--on-corruption fail|retry[:N]|quarantine] [--trace FILE] [--metrics-out FILE] [--metrics-every N]\n  \
+         gsd query <host:port> <ping|stats|degree|neighbors|khop|ppr|run|shutdown> [args...] [--alpha A] [--iterations N] [--source V]\n  \
          gsd report <trace.jsonl> [--top N]\n  \
          gsd scrub <data-dir> [--repair <edges.txt>]\n  \
          gsd info <data-dir>\n  \
@@ -117,6 +129,8 @@ fn main() -> ExitCode {
         "preprocess" => cmd_preprocess(&args),
         "run" => cmd_run(&args),
         "bench" => cmd_bench(&args),
+        "serve" => cmd_serve(&args),
+        "query" => cmd_query(&args),
         "report" => cmd_report(&args),
         "scrub" => cmd_scrub(&args),
         "info" => cmd_info(&args),
@@ -176,13 +190,9 @@ fn ablation(name: &str) -> Result<GraphSdConfig, String> {
     })
 }
 
-fn cmd_run(args: &Args) -> Result<(), String> {
-    let [dir, algorithm] = args.positional.as_slice() else {
-        return Err("run needs <data-dir> <algorithm>".into());
-    };
-    let storage: SharedStorage =
-        Arc::new(FileStorage::open(dir).map_err(|e| format!("{dir}: {e}"))?);
-    let mut grid = GridGraph::open(storage).map_err(|e| format!("{dir}: {e}"))?;
+/// `--verify` / `--on-corruption` with `GSD_VERIFY` / `GSD_ON_CORRUPTION`
+/// environment fallback — shared by `run` and `serve`.
+fn verification_flags(args: &Args) -> Result<(VerifyPolicy, CorruptionResponse), String> {
     let verify = match args.flag_value::<String>("verify")? {
         Some(spec) => VerifyPolicy::parse(&spec).ok_or(format!(
             "--verify: unknown spec {spec:?} (off|full|sample:N)"
@@ -195,42 +205,86 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         ))?,
         None => CorruptionResponse::from_env().unwrap_or_default(),
     };
-    if !verify.is_off() {
-        grid.set_verification(verify, response)
-            .map_err(|e| e.to_string())?;
+    Ok((verify, response))
+}
+
+/// Observability side-channels: a JSONL event trace and/or a metrics
+/// snapshot. Both are strictly observational — results and accounted
+/// I/O are bit-identical with or without them.
+struct Observability {
+    sink: Option<Arc<dyn TraceSink>>,
+    metrics: Option<Arc<MetricsSink>>,
+    metrics_out: Option<String>,
+}
+
+impl Observability {
+    fn from_flags(args: &Args) -> Result<Observability, String> {
+        let mut sinks: Vec<Arc<dyn TraceSink>> = Vec::new();
+        if let Some(path) = args.flag_value::<String>("trace")? {
+            let writer = JsonlWriter::create(&path).map_err(|e| format!("--trace {path}: {e}"))?;
+            sinks.push(Arc::new(writer));
+        }
+        let metrics_out = args.flag_value::<String>("metrics-out")?;
+        let metrics: Option<Arc<MetricsSink>> = match &metrics_out {
+            Some(path) => {
+                let every: u64 = args.flag_value("metrics-every")?.unwrap_or(0);
+                Some(Arc::new(MetricsSink::with_output(path, every)))
+            }
+            None => None,
+        };
+        if let Some(m) = &metrics {
+            sinks.push(m.clone());
+        }
+        let sink: Option<Arc<dyn TraceSink>> = match sinks.len() {
+            0 => None,
+            1 => sinks.pop(),
+            _ => Some(Arc::new(FanoutSink::new(sinks))),
+        };
+        Ok(Observability {
+            sink,
+            metrics,
+            metrics_out,
+        })
     }
+
+    /// Flushes the sinks and fails if any metrics snapshot write failed.
+    fn finish(&self) -> Result<(), String> {
+        if let Some(s) = &self.sink {
+            s.flush();
+        }
+        if let Some(m) = &self.metrics {
+            if m.write_errors() > 0 {
+                return Err(format!(
+                    "{} metrics snapshot write(s) failed",
+                    m.write_errors()
+                ));
+            }
+            if let Some(path) = &self.metrics_out {
+                println!("metrics snapshot written to {path}");
+            }
+        }
+        Ok(())
+    }
+}
+
+fn cmd_run(args: &Args) -> Result<(), String> {
+    let [dir, algorithm] = args.positional.as_slice() else {
+        return Err("run needs <data-dir> <algorithm>".into());
+    };
+    let storage: SharedStorage =
+        Arc::new(FileStorage::open(dir).map_err(|e| format!("{dir}: {e}"))?);
+    let (verify, response) = verification_flags(args)?;
+    let session =
+        GridSession::open(storage, verify, response).map_err(|e| format!("{dir}: {e}"))?;
     let config = ablation(
         args.flag_value::<String>("ablation")?
             .as_deref()
             .unwrap_or("full"),
     )?;
-    let mut engine = GraphSdEngine::new(grid, config).map_err(|e| e.to_string())?;
+    let mut engine = session.engine(config).map_err(|e| e.to_string())?;
 
-    // Observability side-channels: a JSONL event trace and/or a metrics
-    // snapshot. Both are strictly observational — results and accounted
-    // I/O are bit-identical with or without them.
-    let mut sinks: Vec<Arc<dyn TraceSink>> = Vec::new();
-    if let Some(path) = args.flag_value::<String>("trace")? {
-        let writer = JsonlWriter::create(&path).map_err(|e| format!("--trace {path}: {e}"))?;
-        sinks.push(Arc::new(writer));
-    }
-    let metrics_out = args.flag_value::<String>("metrics-out")?;
-    let metrics: Option<Arc<MetricsSink>> = match &metrics_out {
-        Some(path) => {
-            let every: u64 = args.flag_value("metrics-every")?.unwrap_or(0);
-            Some(Arc::new(MetricsSink::with_output(path, every)))
-        }
-        None => None,
-    };
-    if let Some(m) = &metrics {
-        sinks.push(m.clone());
-    }
-    let sink: Option<Arc<dyn TraceSink>> = match sinks.len() {
-        0 => None,
-        1 => sinks.pop(),
-        _ => Some(Arc::new(FanoutSink::new(sinks))),
-    };
-    if let Some(s) = &sink {
+    let obs = Observability::from_flags(args)?;
+    if let Some(s) = &obs.sink {
         engine.set_trace(s.clone());
     }
 
@@ -274,21 +328,192 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         }
         other => return Err(format!("unknown algorithm {other:?}")),
     }
-    if let Some(s) = &sink {
-        s.flush();
-    }
-    if let Some(m) = &metrics {
-        if m.write_errors() > 0 {
-            return Err(format!(
-                "{} metrics snapshot write(s) failed",
-                m.write_errors()
-            ));
+    obs.finish()
+}
+
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    let [dir] = args.positional.as_slice() else {
+        return Err("serve needs <data-dir>".into());
+    };
+    let storage: SharedStorage =
+        Arc::new(FileStorage::open(dir).map_err(|e| format!("{dir}: {e}"))?);
+    let (verify, response) = verification_flags(args)?;
+    let session =
+        GridSession::open(storage, verify, response).map_err(|e| format!("{dir}: {e}"))?;
+    let obs = Observability::from_flags(args)?;
+    let sink = obs.sink.clone().unwrap_or_else(graphsd::trace::null_sink);
+    let cache_mb: u64 = args.flag_value("cache-mb")?.unwrap_or(64);
+    let core = ServeCore::new(session, cache_mb << 20, sink).map_err(|e| e.to_string())?;
+    let port: u16 = args.flag_value("port")?.unwrap_or(0);
+    let server = Server::start(core).map_err(|e| e.to_string())?;
+    let listener = std::net::TcpListener::bind(("127.0.0.1", port))
+        .map_err(|e| format!("bind 127.0.0.1:{port}: {e}"))?;
+    let addr = listener.local_addr().map_err(|e| e.to_string())?;
+    serve_tcp(listener, server.client()).map_err(|e| e.to_string())?;
+    println!("gsd-serve listening on {addr} ({dir}, cache {cache_mb} MiB)");
+    // Blocks until a client sends `shutdown`; the executor hands its core
+    // (and the final counters) back for the exit report.
+    let core = server.join().map_err(|e| e.to_string())?;
+    // The connection thread that relayed the shutdown is still flushing
+    // its ShuttingDown frame; give detached connections a moment before
+    // process exit tears them down mid-write.
+    std::thread::sleep(std::time::Duration::from_millis(200));
+    let c = core.counters();
+    let lookups = c.cache_hits + c.cache_misses;
+    println!(
+        "served {} queries: {} block reads ({} MiB), cache {}/{} hits ({:.1}%), {} batch passes covering {} batched traversals",
+        c.queries,
+        c.blocks_read,
+        c.bytes_read >> 20,
+        c.cache_hits,
+        lookups,
+        if lookups > 0 {
+            100.0 * c.cache_hits as f64 / lookups as f64
+        } else {
+            0.0
+        },
+        c.batch_passes,
+        c.batched_queries,
+    );
+    obs.finish()
+}
+
+fn cmd_query(args: &Args) -> Result<(), String> {
+    let (addr, op, rest) = match args.positional.as_slice() {
+        [addr, op, rest @ ..] => (addr, op.as_str(), rest),
+        _ => return Err("query needs <host:port> <op> [args...]".into()),
+    };
+    let want = |n: usize, what: &str| -> Result<u32, String> {
+        rest.get(n)
+            .ok_or(format!("query {op} needs {what}"))?
+            .parse::<u32>()
+            .map_err(|_| format!("query {op}: bad {what} {:?}", rest[n]))
+    };
+    let request = match op {
+        "ping" => Request::Ping,
+        "stats" => Request::Stats,
+        "degree" => Request::Degree {
+            v: want(0, "<vertex>")?,
+        },
+        "neighbors" => Request::Neighbors {
+            v: want(0, "<vertex>")?,
+        },
+        "khop" => Request::KHop {
+            source: want(0, "<source>")?,
+            k: want(1, "<k>")?,
+        },
+        "ppr" => {
+            let spec = rest.first().ok_or("query ppr needs <seed,seed,...>")?;
+            let mut seeds = parse_list(spec, |s| {
+                s.parse::<u32>().map_err(|_| format!("bad seed {s:?}"))
+            })?;
+            seeds.sort_unstable();
+            seeds.dedup();
+            let alpha: f32 = args.flag_value("alpha")?.unwrap_or(0.85);
+            Request::Ppr {
+                seeds,
+                alpha_bits: alpha.to_bits(),
+                iterations: args.flag_value("iterations")?.unwrap_or(10),
+            }
         }
-        if let Some(path) = &metrics_out {
-            println!("metrics snapshot written to {path}");
+        "run" => Request::Run {
+            algo: rest.first().ok_or("query run needs <algorithm>")?.clone(),
+            source: args.flag_value("source")?.unwrap_or(0),
+            iterations: args.flag_value("iterations")?.unwrap_or(0),
+        },
+        "shutdown" => Request::Shutdown,
+        other => return Err(format!("unknown query op {other:?}")),
+    };
+    let mut client = TcpClient::connect(addr).map_err(|e| format!("{addr}: {e}"))?;
+    let response = client
+        .request(&request)
+        .map_err(|e| format!("{addr}: {e}"))?;
+    render_response(&response)
+}
+
+fn render_response(response: &Response) -> Result<(), String> {
+    // A closed stdout (e.g. `gsd query ... | head`) must not panic the
+    // client, so rendering writes through a fallible handle and treats a
+    // broken pipe as "the reader has seen enough".
+    use std::io::Write;
+    let stdout = std::io::stdout();
+    let mut out = std::io::BufWriter::new(stdout.lock());
+    let rendered: std::io::Result<()> = (|| {
+        match response {
+            Response::Pong => writeln!(out, "pong")?,
+            Response::Stats(s) => {
+                writeln!(
+                    out,
+                    "graph      {} vertices / {} edges ({p}x{p} grid)",
+                    s.vertices,
+                    s.edges,
+                    p = s.p
+                )?;
+                writeln!(out, "queries    {}", s.queries)?;
+                writeln!(
+                    out,
+                    "cache      {} hits / {} misses, {} blocks resident ({} KiB)",
+                    s.cache_hits,
+                    s.cache_misses,
+                    s.cache_entries,
+                    s.cache_bytes >> 10
+                )?;
+                writeln!(
+                    out,
+                    "disk       {} block reads, {} KiB",
+                    s.blocks_read,
+                    s.bytes_read >> 10
+                )?;
+                writeln!(
+                    out,
+                    "batching   {} passes over {} batched traversals",
+                    s.batch_passes, s.batched_queries
+                )?;
+            }
+            Response::Degree { degree } => writeln!(out, "{degree}")?,
+            Response::Neighbors { neighbors } => {
+                let rendered: Vec<String> = neighbors.iter().map(u32::to_string).collect();
+                writeln!(
+                    out,
+                    "{} neighbor(s): {}",
+                    neighbors.len(),
+                    rendered.join(" ")
+                )?;
+            }
+            Response::Depths { depths } => {
+                writeln!(out, "{} vertices reached:", depths.len())?;
+                for (v, d) in depths {
+                    writeln!(out, "  {v:>10}  depth {d}")?;
+                }
+            }
+            Response::Scores { scores } => {
+                writeln!(out, "{} vertices scored:", scores.len())?;
+                for (v, bits) in scores {
+                    writeln!(out, "  {v:>10}  {:.6}", f32::from_bits(*bits))?;
+                }
+            }
+            Response::RunSummary {
+                algorithm,
+                iterations,
+                fingerprint,
+                bytes_read,
+            } => writeln!(
+                out,
+                "{algorithm}: {iterations} iterations, {} MiB read, fingerprint {fingerprint:016x}",
+                bytes_read >> 20
+            )?,
+            Response::ShuttingDown => writeln!(out, "server is shutting down")?,
+            Response::Error { .. } => return Ok(()),
         }
+        out.flush()
+    })();
+    if let Response::Error { message } = response {
+        return Err(message.clone());
     }
-    Ok(())
+    match rendered {
+        Err(e) if e.kind() != std::io::ErrorKind::BrokenPipe => Err(e.to_string()),
+        _ => Ok(()),
+    }
 }
 
 fn run<P: VertexProgram>(
@@ -445,18 +670,39 @@ fn cmd_bench(args: &Args) -> Result<(), String> {
         opts.prefetch = false;
     }
 
-    let report = run_wall(&opts).map_err(|e| e.to_string())?;
+    // `--serve` swaps the analytic-run matrix for the daemon's query
+    // workload: queries/sec and cache hit rate instead of run breakdowns,
+    // same report schema.
+    let report = if args.has("serve") {
+        graphsd::bench::run_serve(&opts).map_err(|e| e.to_string())?
+    } else {
+        run_wall(&opts).map_err(|e| e.to_string())?
+    };
     for e in &report.entries {
-        println!(
-            "{:>12} {:>5} {:>12}  median {:>9} us  read {:>11} B  pf {}h/{}m",
-            e.system,
-            e.algorithm,
-            e.dataset,
-            e.wall_us_median,
-            e.bytes_read,
-            e.prefetch_hits,
-            e.prefetch_misses
-        );
+        if args.has("serve") {
+            println!(
+                "{:>12} {:>5} {:>12}  {} queries, median {} us ({:.0} q/s)  cache {:.1}% of {}",
+                e.system,
+                e.algorithm,
+                e.dataset,
+                e.iterations,
+                e.wall_us_median,
+                graphsd::bench::queries_per_second(e),
+                100.0 * e.prefetch_hit_rate,
+                e.prefetch_hits + e.prefetch_misses,
+            );
+        } else {
+            println!(
+                "{:>12} {:>5} {:>12}  median {:>9} us  read {:>11} B  pf {}h/{}m",
+                e.system,
+                e.algorithm,
+                e.dataset,
+                e.wall_us_median,
+                e.bytes_read,
+                e.prefetch_hits,
+                e.prefetch_misses
+            );
+        }
     }
     let out = args
         .flag_value::<String>("out")?

@@ -46,6 +46,7 @@ pub use gsd_metrics as metrics;
 pub use gsd_pipeline as pipeline;
 pub use gsd_recover as recover;
 pub use gsd_runtime as runtime;
+pub use gsd_serve as serve;
 pub use gsd_trace as trace;
 
 /// Convenience prelude bringing the most common types into scope.
