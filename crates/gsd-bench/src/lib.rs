@@ -27,6 +27,7 @@
 #![warn(missing_docs)]
 
 pub mod datasets;
+pub mod delta;
 pub mod experiments;
 pub mod runner;
 pub mod serve;
@@ -35,6 +36,7 @@ pub mod trace;
 pub mod wall;
 
 pub use datasets::{Dataset, Datasets, Scale};
+pub use delta::run_delta;
 pub use runner::{Algo, RunOutcome, SystemKind};
 pub use serve::{queries_per_second, run_serve};
 pub use trace::{current_sink, install_trace_sink, VerboseSink};

@@ -151,7 +151,11 @@ impl TraceSink for VerboseSink {
             | TraceEvent::QueryAccepted { .. }
             | TraceEvent::QueryCompleted { .. }
             | TraceEvent::CacheAdmit { .. }
-            | TraceEvent::CacheEvict { .. } => {}
+            | TraceEvent::CacheEvict { .. }
+            | TraceEvent::DeltaApplied { .. }
+            | TraceEvent::CompactionStarted { .. }
+            | TraceEvent::CompactionFinished { .. }
+            | TraceEvent::IncrementalSeeded { .. } => {}
         }
     }
 }

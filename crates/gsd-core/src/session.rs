@@ -73,6 +73,26 @@ impl GridSession {
         &self.grid
     }
 
+    /// Re-opens the grid from its backing storage, preserving the current
+    /// verification policy. The serve daemon calls this after committing
+    /// a mutation epoch so every subsequent query (and engine) sees the
+    /// new delta overlay; previously built engines keep the old handle,
+    /// which is exactly the epoch-consistency contract.
+    pub fn reopen(&mut self) -> std::io::Result<()> {
+        let (policy, response) = match self.grid.verifier() {
+            Some(v) => (v.policy(), v.response()),
+            None => (VerifyPolicy::Off, CorruptionResponse::default()),
+        };
+        let storage = self.grid.storage().clone();
+        let prefix = self.grid.prefix().to_owned();
+        let mut grid = GridGraph::open_with_prefix(storage, &prefix)?;
+        if !policy.is_off() {
+            grid.set_verification(policy, response)?;
+        }
+        self.grid = grid;
+        Ok(())
+    }
+
     /// The grid metadata.
     pub fn meta(&self) -> &GridMeta {
         self.grid.meta()

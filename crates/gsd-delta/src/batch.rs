@@ -1,0 +1,142 @@
+//! Mutation batches: an ordered list of edge inserts/deletes applied to a
+//! grid as one atomic epoch.
+
+use gsd_graph::delta::DeltaOp;
+use gsd_graph::Edge;
+
+/// One mutation batch. Ops apply in order; the whole batch commits as one
+/// epoch (all-or-nothing from any reader's point of view).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MutationBatch {
+    /// The ops, in application order.
+    pub ops: Vec<DeltaOp>,
+}
+
+impl MutationBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an insert of `src -> dst` with `weight`.
+    pub fn insert(&mut self, src: u32, dst: u32, weight: f32) -> &mut Self {
+        self.ops
+            .push(DeltaOp::Insert(Edge::weighted(src, dst, weight)));
+        self
+    }
+
+    /// Appends a delete of every copy of `src -> dst`.
+    pub fn delete(&mut self, src: u32, dst: u32) -> &mut Self {
+        self.ops.push(DeltaOp::Delete { src, dst });
+        self
+    }
+
+    /// Number of insert ops.
+    pub fn inserts(&self) -> u64 {
+        self.ops
+            .iter()
+            .filter(|op| matches!(op, DeltaOp::Insert(_)))
+            .count() as u64
+    }
+
+    /// Number of delete ops.
+    pub fn deletes(&self) -> u64 {
+        self.ops.len() as u64 - self.inserts()
+    }
+
+    /// Whether the batch carries no ops.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Parses the `gsd ingest` batch text format: one op per line,
+    /// `+ <src> <dst> [weight]` inserts (weight defaults to 1), and
+    /// `- <src> <dst>` deletes every copy of the pair. Blank lines and
+    /// `#` comments are skipped.
+    pub fn parse(text: &str) -> std::io::Result<Self> {
+        let bad = |line: usize, msg: &str| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("batch line {line}: {msg}"),
+            )
+        };
+        let mut batch = MutationBatch::new();
+        for (n, raw) in text.lines().enumerate() {
+            let line = n + 1;
+            let trimmed = raw.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            let mut fields = trimmed.split_whitespace();
+            let Some(op) = fields.next() else {
+                continue; // unreachable: the trimmed line is non-empty
+            };
+            let mut vertex = |what: &str| -> std::io::Result<u32> {
+                fields
+                    .next()
+                    .ok_or_else(|| bad(line, &format!("missing {what}")))?
+                    .parse::<u32>()
+                    .map_err(|_| bad(line, &format!("{what} is not a vertex id")))
+            };
+            match op {
+                "+" => {
+                    let src = vertex("src")?;
+                    let dst = vertex("dst")?;
+                    let weight = match fields.next() {
+                        Some(w) => w
+                            .parse::<f32>()
+                            .ok()
+                            .filter(|w| w.is_finite())
+                            .ok_or_else(|| bad(line, "weight is not a finite number"))?,
+                        None => 1.0,
+                    };
+                    if fields.next().is_some() {
+                        return Err(bad(line, "trailing fields after insert"));
+                    }
+                    batch.insert(src, dst, weight);
+                }
+                "-" => {
+                    let src = vertex("src")?;
+                    let dst = vertex("dst")?;
+                    if fields.next().is_some() {
+                        return Err(bad(line, "trailing fields after delete"));
+                    }
+                    batch.delete(src, dst);
+                }
+                other => {
+                    return Err(bad(
+                        line,
+                        &format!("expected '+' or '-' op, found {other:?}"),
+                    ))
+                }
+            }
+        }
+        Ok(batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_inserts_deletes_comments() {
+        let batch =
+            MutationBatch::parse("# header\n\n+ 1 2\n+ 3 4 0.5\n- 1 2\n  # indented comment\n")
+                .unwrap();
+        assert_eq!(batch.ops.len(), 3);
+        assert_eq!(batch.inserts(), 2);
+        assert_eq!(batch.deletes(), 1);
+        assert_eq!(batch.ops[0], DeltaOp::Insert(Edge::new(1, 2)));
+        assert_eq!(batch.ops[1], DeltaOp::Insert(Edge::weighted(3, 4, 0.5)));
+        assert_eq!(batch.ops[2], DeltaOp::Delete { src: 1, dst: 2 });
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for bad in ["* 1 2", "+ 1", "+ a b", "- 1 2 3", "+ 1 2 inf", "+ 1 2 3 4"] {
+            let err = MutationBatch::parse(bad).unwrap_err();
+            assert!(err.to_string().contains("line 1"), "{bad}: {err}");
+        }
+    }
+}

@@ -23,6 +23,14 @@
 //!   [`gsd_integrity::IntegritySection`]). The preprocessor writes v2;
 //!   readers accept both (a v1 grid simply has nothing to verify
 //!   against).
+//! * **v3** — *reserved* for the planned compressed grid format
+//!   (ROADMAP item 2). No writer exists; readers reject it by name so a
+//!   future compressed grid can never be misread as something else.
+//! * **v4** — a v2 grid that has accepted streaming mutations: the meta
+//!   additionally carries a [`DeltaSection`] naming the delta segment
+//!   encoding version and the current mutation epoch, and the store
+//!   holds `delta/` objects (segments + manifest) layered over the base
+//!   sub-blocks. See `crate::delta`.
 
 use crate::partition::Intervals;
 use gsd_integrity::{crc32, CorruptionError, IntegritySection};
@@ -83,12 +91,41 @@ pub struct GridMeta {
     pub block_edge_counts: Vec<u64>,
     /// Per-object checksum manifest (format v2; `None` on v1 grids).
     pub integrity: Option<IntegritySection>,
+    /// Delta-segment negotiation (format v4; `None` below v4).
+    pub delta: Option<DeltaSection>,
 }
 
 /// Current format version (written by the preprocessor).
 pub const FORMAT_VERSION: u32 = 2;
 /// Oldest format version readers still accept.
 pub const MIN_FORMAT_VERSION: u32 = 1;
+/// Reserved for the planned compressed grid format (ROADMAP item 2).
+/// There is no writer yet; readers reject it with a by-name error.
+pub const COMPRESSED_FORMAT_VERSION: u32 = 3;
+/// Meta version of delta-enabled grids: v2 plus a [`DeltaSection`].
+/// Written the first time a grid accepts a mutation batch.
+pub const DELTA_META_FORMAT_VERSION: u32 = 4;
+/// Version of the delta segment *encoding* under `delta/`. Independent
+/// of the meta version and negotiated via [`DeltaSection::version`], so
+/// the segment layout can evolve without burning meta version numbers.
+pub const DELTA_FORMAT_VERSION: u32 = 1;
+
+/// The `delta` section of a v4 meta: which segment encoding the `delta/`
+/// objects use and how many mutation batches the grid has absorbed.
+///
+/// The epoch is part of the serialized meta, so every ingest changes the
+/// meta bytes — and with them `gsd_recover`'s `graph_fingerprint`, which
+/// pins checkpoint manifests to one graph state. A checkpoint taken
+/// before a mutation batch can therefore never be resumed against the
+/// mutated graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeltaSection {
+    /// Delta segment encoding version ([`DELTA_FORMAT_VERSION`]).
+    pub version: u32,
+    /// Mutation epoch: number of ingested batches (0 = freshly
+    /// preprocessed; compaction folds segments but keeps the epoch).
+    pub epoch: u64,
+}
 
 // Hand-written (de)serialization: the `integrity` field is omitted when
 // absent so v1 metas — which predate the field — parse, and v1 output
@@ -114,6 +151,9 @@ impl Serialize for GridMeta {
         if let Some(integrity) = &self.integrity {
             fields.push(("integrity".to_string(), integrity.to_value()));
         }
+        if let Some(delta) = &self.delta {
+            fields.push(("delta".to_string(), delta.to_value()));
+        }
         Value::Map(fields)
     }
 }
@@ -134,6 +174,10 @@ impl Deserialize for GridMeta {
             block_edge_counts: Vec::<u64>::from_value(field("block_edge_counts")?)?,
             integrity: match v.get("integrity") {
                 Some(value) => Option::<IntegritySection>::from_value(value)?,
+                None => None,
+            },
+            delta: match v.get("delta") {
+                Some(value) => Option::<DeltaSection>::from_value(value)?,
                 None => None,
             },
         })
@@ -236,6 +280,9 @@ impl GridMeta {
                         "format v1 metadata must not carry an integrity section",
                     ));
                 }
+                if meta.delta.is_some() {
+                    return Err(invalid("format v1 metadata must not carry a delta section"));
+                }
             }
             2 => {
                 if meta.integrity.is_none() {
@@ -243,11 +290,36 @@ impl GridMeta {
                         "format v2 metadata is missing its integrity section",
                     ));
                 }
+                if meta.delta.is_some() {
+                    return Err(invalid("format v2 metadata must not carry a delta section"));
+                }
+            }
+            COMPRESSED_FORMAT_VERSION => {
+                return Err(invalid(format!(
+                    "grid format version {COMPRESSED_FORMAT_VERSION} is reserved for the \
+                     compressed grid format, which has no implementation yet"
+                )));
+            }
+            DELTA_META_FORMAT_VERSION => {
+                if meta.integrity.is_none() {
+                    return Err(invalid(
+                        "format v4 metadata is missing its integrity section",
+                    ));
+                }
+                let Some(delta) = &meta.delta else {
+                    return Err(invalid("format v4 metadata is missing its delta section"));
+                };
+                if delta.version != DELTA_FORMAT_VERSION {
+                    return Err(invalid(format!(
+                        "unsupported delta segment version {} (supported: {DELTA_FORMAT_VERSION})",
+                        delta.version
+                    )));
+                }
             }
             v => {
                 return Err(invalid(format!(
-                    "unsupported grid format version {v} \
-                     (supported: {MIN_FORMAT_VERSION}..={FORMAT_VERSION})"
+                    "unsupported grid format version {v} (supported: \
+                     {MIN_FORMAT_VERSION}..={FORMAT_VERSION} and {DELTA_META_FORMAT_VERSION})"
                 )));
             }
         }
@@ -308,6 +380,7 @@ mod tests {
             boundaries: vec![0, 5, 10],
             block_edge_counts: vec![1, 2, 3, 0],
             integrity: None,
+            delta: None,
         }
     }
 
@@ -370,7 +443,74 @@ mod tests {
         assert!(err
             .to_string()
             .contains("unsupported grid format version 999"));
-        assert!(err.to_string().contains("1..=2"), "{err}");
+        assert!(err.to_string().contains("1..=2 and 4"), "{err}");
+    }
+
+    /// A sealed v4 meta: v2 plus a delta section at some epoch.
+    fn meta_v4(epoch: u64) -> GridMeta {
+        let mut m = meta_v2();
+        m.version = DELTA_META_FORMAT_VERSION;
+        m.delta = Some(DeltaSection {
+            version: DELTA_FORMAT_VERSION,
+            epoch,
+        });
+        m.seal();
+        m
+    }
+
+    #[test]
+    fn v4_meta_roundtrips_through_json() {
+        let m = meta_v4(3);
+        let m2 = GridMeta::from_bytes(&m.to_bytes()).unwrap();
+        assert_eq!(m, m2);
+        assert_eq!(m2.delta.unwrap().epoch, 3);
+    }
+
+    #[test]
+    fn v3_is_reserved_and_rejected_by_name() {
+        let mut bad = meta_v2();
+        bad.version = COMPRESSED_FORMAT_VERSION;
+        bad.seal();
+        let err = GridMeta::from_bytes(&bad.to_bytes()).unwrap_err();
+        assert!(
+            err.to_string().contains("reserved for the compressed"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn v4_negotiation_requires_delta_and_integrity() {
+        // v4 without a delta section: refused.
+        let mut bad = meta_v2();
+        bad.version = DELTA_META_FORMAT_VERSION;
+        bad.seal();
+        let err = GridMeta::from_bytes(&bad.to_bytes()).unwrap_err();
+        assert!(err.to_string().contains("missing its delta"), "{err}");
+
+        // v4 with an unknown segment encoding: refused by version number.
+        let mut bad = meta_v4(1);
+        bad.delta.as_mut().unwrap().version = 9;
+        bad.seal();
+        let err = GridMeta::from_bytes(&bad.to_bytes()).unwrap_err();
+        assert!(
+            err.to_string()
+                .contains("unsupported delta segment version 9"),
+            "{err}"
+        );
+
+        // v2 carrying a delta section: a v2 writer cannot have produced it.
+        let mut bad = meta_v4(1);
+        bad.version = FORMAT_VERSION;
+        bad.seal();
+        let err = GridMeta::from_bytes(&bad.to_bytes()).unwrap_err();
+        assert!(err.to_string().contains("v2"), "{err}");
+    }
+
+    #[test]
+    fn epoch_changes_the_meta_bytes() {
+        // The checkpoint identity fingerprint is FNV over these bytes:
+        // two epochs of the same grid must never serialize identically.
+        assert_ne!(meta_v4(1).to_bytes(), meta_v4(2).to_bytes());
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //! per-vertex selective reads via the sub-block index, and run coalescing
 //! for the on-demand I/O model.
 
+use crate::delta::DeltaOverlay;
 use crate::format::{
     block_edges_key, block_index_key, decode_u32s, row_index_key, GridMeta, DEGREES_KEY, META_KEY,
 };
@@ -109,6 +110,11 @@ pub struct GridGraph {
     /// cloned handles so pipeline workers and the engine pool one memo of
     /// already-verified objects and one set of counters.
     verifier: Option<Arc<GridVerifier>>,
+    /// Merged delta sub-blocks (format v4 with live segments). Every read
+    /// primitive consults the overlay first, so engines, the prefetch
+    /// pipeline and the serve daemon see base+delta as one logical
+    /// sub-block. `meta` is patched to the merged shape at open.
+    overlay: Option<Arc<DeltaOverlay>>,
 }
 
 impl GridGraph {
@@ -120,7 +126,13 @@ impl GridGraph {
     /// Opens the grid stored under `prefix` in `storage`.
     pub fn open_with_prefix(storage: SharedStorage, prefix: &str) -> std::io::Result<Self> {
         let meta_bytes = storage.read_all(&format!("{prefix}{META_KEY}"))?;
-        let meta = GridMeta::from_bytes(&meta_bytes)?;
+        let mut meta = GridMeta::from_bytes(&meta_bytes)?;
+        // Format v4: materialize the merged delta sub-blocks and patch the
+        // in-memory meta to the merged shape. Every segment and every base
+        // payload the merge touches is checksum-verified here, once, so
+        // the overlay needs no verify-on-read of its own.
+        let overlay =
+            crate::delta::load_overlay(storage.as_ref(), prefix, &mut meta)?.map(Arc::new);
         let intervals = meta.intervals();
         let codec = meta.codec();
         Ok(GridGraph {
@@ -130,7 +142,20 @@ impl GridGraph {
             intervals,
             codec,
             verifier: None,
+            overlay,
         })
+    }
+
+    /// The merged delta overlay, if this grid has live delta segments.
+    pub fn overlay(&self) -> Option<&Arc<DeltaOverlay>> {
+        self.overlay.as_ref()
+    }
+
+    /// The committed delta epoch (0 for a grid that has never been
+    /// mutated). Ingest bumps this; it is baked into the sealed meta and
+    /// therefore into checkpoint identity fingerprints.
+    pub fn delta_epoch(&self) -> u64 {
+        self.meta.delta.as_ref().map(|d| d.epoch).unwrap_or(0)
     }
 
     /// Turns verify-on-read on (or off, with [`VerifyPolicy::Off`]) for
@@ -261,6 +286,10 @@ impl GridGraph {
         out: &mut Vec<Edge>,
     ) -> std::io::Result<()> {
         out.clear();
+        if let Some(block) = self.overlay.as_ref().and_then(|o| o.block(i, j)) {
+            self.codec.decode_all_into(&block.bytes, out);
+            return Ok(());
+        }
         let bytes = self.meta.block_bytes(i, j) as usize;
         if bytes == 0 {
             return Ok(());
@@ -287,15 +316,22 @@ impl GridGraph {
                 "this grid format has no per-vertex indexes",
             ));
         }
+        let indexed_interval = if self.meta.dst_sorted { j } else { i };
+        let start_vertex = self.intervals.range(indexed_interval).start;
+        if let Some(block) = self.overlay.as_ref().and_then(|o| o.block(i, j)) {
+            return Ok(SubBlockIndex {
+                start_vertex,
+                offsets: block.offsets.clone(),
+            });
+        }
         let key = self.index_key(i, j);
         let mut bytes = self.storage.read_all(&key)?;
         if let Some(v) = &self.verifier {
             v.verify_owned(&key, &mut bytes)?;
         }
         let offsets = decode_u32s(&bytes)?;
-        let indexed_interval = if self.meta.dst_sorted { j } else { i };
         Ok(SubBlockIndex {
-            start_vertex: self.intervals.range(indexed_interval).start,
+            start_vertex,
             offsets,
         })
     }
@@ -321,6 +357,14 @@ impl GridGraph {
         let start = self.intervals.range(indexed_interval).start;
         debug_assert!(lo >= start && hi >= lo);
         debug_assert!(hi < self.intervals.range(indexed_interval).end);
+        if let Some(block) = self.overlay.as_ref().and_then(|o| o.block(i, j)) {
+            let first = (lo - start) as usize;
+            let count = (hi - lo + 2) as usize;
+            return Ok(SubBlockIndex {
+                start_vertex: lo,
+                offsets: block.offsets[first..first + count].to_vec(),
+            });
+        }
         let key = self.index_key(i, j);
         if let Some(v) = &self.verifier {
             // Partial read: the whole object is side-checked (unaccounted)
@@ -356,6 +400,16 @@ impl GridGraph {
         }
         let start = self.intervals.range(i).start;
         debug_assert!(lo >= start && hi >= lo && hi < self.intervals.range(i).end);
+        if let Some(row) = self.overlay.as_ref().and_then(|o| o.row(i)) {
+            let p = self.meta.p as usize;
+            let first_row = (lo - start) as usize;
+            let rows = (hi - lo + 2) as usize;
+            return Ok(RowIndexSpan {
+                start_vertex: lo,
+                p: self.meta.p,
+                offsets: row[first_row * p..(first_row + rows) * p].to_vec(),
+            });
+        }
         let key = row_index_key(&self.prefix, i);
         if let Some(v) = &self.verifier {
             v.ensure_verified(&key)?;
@@ -387,6 +441,16 @@ impl GridGraph {
         out: &mut Vec<Edge>,
     ) -> std::io::Result<()> {
         if edge_count == 0 {
+            return Ok(());
+        }
+        if let Some(block) = self.overlay.as_ref().and_then(|o| o.block(i, j)) {
+            let sz = self.codec.edge_bytes();
+            let lo = edge_start as usize * sz;
+            let hi = lo + edge_count as usize * sz;
+            out.reserve(edge_count as usize);
+            for chunk in block.bytes[lo..hi].chunks_exact(sz) {
+                out.push(self.codec.decode(chunk));
+            }
             return Ok(());
         }
         let key = self.edges_key(i, j);
@@ -429,7 +493,11 @@ impl GridGraph {
         if let Some(v) = &self.verifier {
             v.verify_owned(&key, &mut bytes)?;
         }
-        decode_u32s(&bytes)
+        let mut degrees = decode_u32s(&bytes)?;
+        if let Some(overlay) = &self.overlay {
+            overlay.patch_degrees(&mut degrees);
+        }
+        Ok(degrees)
     }
 }
 

@@ -40,11 +40,20 @@ pub fn load_verifiable_meta(storage: &dyn Storage, prefix: &str) -> std::io::Res
 }
 
 /// Verifies every object of the grid at `prefix` against its manifest.
+/// On a mutated grid (format v4 with a live delta epoch) the pass also
+/// verifies every delta segment against the epoch manifest's own
+/// integrity section, so the report speaks for the whole logical grid.
 /// Read-only; reads are unaccounted (maintenance, not workload I/O).
 pub fn scrub_grid(storage: &dyn Storage, prefix: &str) -> std::io::Result<(GridMeta, ScrubReport)> {
     let meta = load_verifiable_meta(storage, prefix)?;
     let section = meta.integrity.as_ref().expect("checked by load");
-    let report = scrub_objects(storage, prefix, section);
+    let mut report = scrub_objects(storage, prefix, section);
+    if meta.delta.is_some() {
+        let manifest = crate::delta::read_manifest(storage, prefix, &meta)?;
+        report
+            .objects
+            .extend(scrub_objects(storage, prefix, &manifest.segments).objects);
+    }
     Ok((meta, report))
 }
 
@@ -92,9 +101,14 @@ pub fn repair_grid(
     }
     let mut rewritten = Vec::new();
     for report in before.corrupt() {
-        let entry = section
-            .lookup(&report.key)
-            .expect("scrub reports only manifest entries");
+        let entry = section.lookup(&report.key).ok_or_else(|| {
+            invalid(format!(
+                "corrupt object {:?} is a delta segment, which is not derivable \
+                 from the base source graph; re-ingest the batch or re-preprocess \
+                 the merged edge list instead",
+                report.key
+            ))
+        })?;
         let payload = payloads.get(&report.key).ok_or_else(|| {
             invalid(format!(
                 "manifest object {:?} is not derivable from the source graph",
@@ -132,8 +146,13 @@ pub fn repair_grid(
 /// Re-derives every data object payload (prefix-relative key → bytes)
 /// the preprocessor would write for `graph` under `meta`'s parameters.
 /// Mirrors `preprocess` exactly — same bucketing order, same sorts — so
-/// output is byte-identical.
-fn rebuild_payloads(graph: &Graph, meta: &GridMeta) -> std::io::Result<BTreeMap<String, Vec<u8>>> {
+/// output is byte-identical. Repair uses it to rewrite corrupt objects;
+/// compaction (`gsd-delta`) uses it to fold merged edges back into base
+/// sub-blocks.
+pub fn rebuild_payloads(
+    graph: &Graph,
+    meta: &GridMeta,
+) -> std::io::Result<BTreeMap<String, Vec<u8>>> {
     if graph.num_vertices() != meta.num_vertices
         || graph.num_edges() != meta.num_edges
         || graph.is_weighted() != meta.weighted
@@ -161,9 +180,9 @@ fn rebuild_payloads(graph: &Graph, meta: &GridMeta) -> std::io::Result<BTreeMap<
     if meta.sorted {
         for block in &mut blocks {
             if meta.dst_sorted {
-                block.sort_unstable_by_key(|e| (e.dst, e.src));
+                block.sort_unstable_by_key(|e| (e.dst, e.src, e.weight.to_bits()));
             } else {
-                block.sort_unstable_by_key(|e| (e.src, e.dst));
+                block.sort_unstable_by_key(|e| (e.src, e.dst, e.weight.to_bits()));
             }
         }
     }

@@ -17,6 +17,7 @@
 #![warn(missing_docs)]
 
 pub mod csr;
+pub mod delta;
 pub mod format;
 pub mod generators;
 pub mod graph;
@@ -29,7 +30,11 @@ pub mod preprocess;
 pub mod types;
 
 pub use csr::Csr;
-pub use format::{block_edges_key, block_index_key, GridMeta, DEGREES_KEY, META_KEY};
+pub use delta::{DeltaManifest, DeltaOp, DeltaOverlay};
+pub use format::{
+    block_edges_key, block_index_key, DeltaSection, GridMeta, DEGREES_KEY, DELTA_FORMAT_VERSION,
+    DELTA_META_FORMAT_VERSION, META_KEY,
+};
 pub use generators::{GeneratorConfig, GraphKind};
 pub use graph::{Graph, GraphBuilder};
 pub use grid::{cluster_vertex_spans, GridGraph, SubBlock, SubBlockIndex};

@@ -37,6 +37,11 @@ pub struct PreprocessConfig {
     pub memory_budget_bytes: Option<u64>,
     /// Balance intervals by degree mass instead of vertex count.
     pub degree_balanced: bool,
+    /// Explicit interval boundaries (`P + 1` entries, overriding
+    /// `num_intervals`/`degree_balanced`). Compaction passes the mutated
+    /// grid's existing boundaries here so its fingerprint check
+    /// re-preprocesses into the *same* partition.
+    pub boundaries: Option<Vec<u32>>,
     /// Sort each sub-block (required for indexes; Lumos-like disables it).
     pub sort_blocks: bool,
     /// Write per-vertex `.idx` files (requires `sort_blocks`).
@@ -52,6 +57,7 @@ impl Default for PreprocessConfig {
             num_intervals: None,
             memory_budget_bytes: None,
             degree_balanced: false,
+            boundaries: None,
             sort_blocks: true,
             build_index: true,
             sort_by_dst: false,
@@ -89,6 +95,13 @@ impl PreprocessConfig {
         self.memory_budget_bytes = Some(bytes);
         self
     }
+
+    /// Pins the interval partition to explicit boundaries (`P + 1`
+    /// ascending entries starting at 0 and ending at `|V|`).
+    pub fn with_boundaries(mut self, boundaries: Vec<u32>) -> Self {
+        self.boundaries = Some(boundaries);
+        self
+    }
 }
 
 /// Wall-clock breakdown of one preprocessing run (the quantities compared
@@ -117,6 +130,10 @@ impl PreprocessReport {
 }
 
 fn choose_p(graph: &Graph, config: &PreprocessConfig) -> u32 {
+    if let Some(b) = &config.boundaries {
+        assert!(b.len() >= 2, "boundaries need at least 2 entries");
+        return crate::narrow::from_usize(b.len() - 1, "interval count");
+    }
     if let Some(p) = config.num_intervals {
         assert!(p >= 1, "P must be positive");
         return p;
@@ -147,7 +164,9 @@ pub fn preprocess(
 
     // --- partition: bucket every edge into its (i, j) sub-block ---
     let t = Stopwatch::start();
-    let intervals = if config.degree_balanced {
+    let intervals = if let Some(b) = &config.boundaries {
+        Intervals::from_boundaries(b.clone())
+    } else if config.degree_balanced {
         Intervals::degree_balanced(&graph.out_degrees(), p)
     } else {
         Intervals::uniform(graph.num_vertices(), p)
@@ -161,14 +180,19 @@ pub fn preprocess(
     report.partition = t.elapsed();
 
     // --- sort each sub-block (parallel across blocks) ---
+    // The weight-bits tiebreak makes the order a *canonical total order*
+    // on edge records: the sorted payload depends only on the edge
+    // multiset, never on input order or sort stability. The delta merge
+    // path (crate::delta) relies on this to reproduce base+delta blocks
+    // byte-identical to a full re-preprocess of the merged edge list.
     if config.sort_blocks {
         let t = Stopwatch::start();
         let by_dst = config.sort_by_dst;
         blocks.par_iter_mut().for_each(|block| {
             if by_dst {
-                block.sort_unstable_by_key(|e| (e.dst, e.src));
+                block.sort_unstable_by_key(|e| (e.dst, e.src, e.weight.to_bits()));
             } else {
-                block.sort_unstable_by_key(|e| (e.src, e.dst));
+                block.sort_unstable_by_key(|e| (e.src, e.dst, e.weight.to_bits()));
             }
         });
         report.sort = t.elapsed();
@@ -236,6 +260,7 @@ pub fn preprocess(
         boundaries: intervals.boundaries().to_vec(),
         block_edge_counts,
         integrity: Some(IntegritySection::new(objects)),
+        delta: None,
     };
     meta.seal();
     let meta_bytes = meta.to_bytes();

@@ -18,4 +18,8 @@ pub fn emit(sink: &dyn Sink) {
     sink.emit(TraceEvent::QueryCompleted { query: 1, bytes: 4096 });
     sink.emit(TraceEvent::CacheAdmit { block: 7, bytes: 4096 });
     sink.emit(TraceEvent::CacheEvict { block: 7, bytes: 4096 });
+    sink.emit(TraceEvent::DeltaApplied { epoch: 1, segments: 3 });
+    sink.emit(TraceEvent::CompactionStarted { epoch: 1, segments: 3 });
+    sink.emit(TraceEvent::CompactionFinished { epoch: 1, rewritten: 9 });
+    sink.emit(TraceEvent::IncrementalSeeded { seeds: 12, resets: 4 });
 }

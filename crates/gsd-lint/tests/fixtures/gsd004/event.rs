@@ -38,4 +38,12 @@ pub enum TraceEvent {
     CacheAdmit { block: u32, bytes: u64 },
     /// The shared cache evicted a resident block.
     CacheEvict { block: u32, bytes: u64 },
+    /// A mutation batch committed as a delta epoch.
+    DeltaApplied { epoch: u64, segments: u64 },
+    /// A compaction pass began folding live segments.
+    CompactionStarted { epoch: u64, segments: u64 },
+    /// A compaction pass rewrote the base grid.
+    CompactionFinished { epoch: u64, rewritten: u64 },
+    /// An incremental recompute seeded its frontier.
+    IncrementalSeeded { seeds: u64, resets: u64 },
 }

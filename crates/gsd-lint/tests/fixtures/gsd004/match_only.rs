@@ -19,6 +19,10 @@ pub fn emit(sink: &dyn Sink) {
     sink.emit(TraceEvent::QueryCompleted { query: 3, bytes: 1024 });
     sink.emit(TraceEvent::CacheAdmit { block: 2, bytes: 1024 });
     sink.emit(TraceEvent::CacheEvict { block: 2, bytes: 1024 });
+    sink.emit(TraceEvent::DeltaApplied { epoch: 2, segments: 1 });
+    sink.emit(TraceEvent::CompactionStarted { epoch: 2, segments: 1 });
+    sink.emit(TraceEvent::CompactionFinished { epoch: 2, rewritten: 4 });
+    sink.emit(TraceEvent::IncrementalSeeded { seeds: 3, resets: 0 });
 }
 
 pub fn describe(ev: &TraceEvent) -> String {
@@ -44,5 +48,11 @@ pub fn describe(ev: &TraceEvent) -> String {
         TraceEvent::QueryCompleted { query, bytes } => format!("done {query} ({bytes} B)"),
         TraceEvent::CacheAdmit { block, .. } => format!("admit {block}"),
         TraceEvent::CacheEvict { block, .. } => format!("evict {block}"),
+        TraceEvent::DeltaApplied { epoch, segments } => format!("delta {epoch} ({segments})"),
+        TraceEvent::CompactionStarted { epoch, .. } => format!("compacting {epoch}"),
+        TraceEvent::CompactionFinished { epoch, rewritten } => {
+            format!("compacted {epoch} ({rewritten})")
+        }
+        TraceEvent::IncrementalSeeded { seeds, resets } => format!("seeded {seeds}/{resets}"),
     }
 }

@@ -4,4 +4,5 @@ pub enum TraceEvent {
     BlockLoad { block: u64 },
     QueryAccepted { query: u64 },
     CacheEvict { block: u64 },
+    DeltaApplied { epoch: u64 },
 }

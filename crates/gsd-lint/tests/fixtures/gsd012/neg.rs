@@ -13,6 +13,7 @@ pub fn label(ev: &TraceEvent) -> &'static str {
         TraceEvent::BlockLoad { .. } => "load",
         TraceEvent::QueryAccepted { .. } => "accepted",
         TraceEvent::CacheEvict { .. } => "evict",
+        TraceEvent::DeltaApplied { .. } => "delta",
     }
 }
 

@@ -234,6 +234,52 @@ pub fn record_event(reg: &MetricsRegistry, event: &TraceEvent) {
                 *bytes,
             );
         }
+        TraceEvent::DeltaApplied {
+            epoch,
+            inserts,
+            deletes,
+            segments,
+            bytes,
+        } => {
+            reg.inc(SeriesKey::plain("gsd_delta_batches_total"), 1);
+            reg.inc(SeriesKey::plain("gsd_delta_inserts_total"), *inserts);
+            reg.inc(SeriesKey::plain("gsd_delta_deletes_total"), *deletes);
+            reg.inc(SeriesKey::plain("gsd_delta_segments_total"), *segments);
+            reg.inc(SeriesKey::plain("gsd_delta_segment_bytes_total"), *bytes);
+            reg.set_gauge(SeriesKey::plain("gsd_delta_epoch"), *epoch as f64);
+        }
+        TraceEvent::CompactionStarted {
+            segments, bytes, ..
+        } => {
+            reg.inc(SeriesKey::plain("gsd_compactions_total"), 1);
+            reg.set_gauge(
+                SeriesKey::plain("gsd_compaction_input_segments"),
+                *segments as f64,
+            );
+            reg.set_gauge(
+                SeriesKey::plain("gsd_compaction_input_bytes"),
+                *bytes as f64,
+            );
+        }
+        TraceEvent::CompactionFinished {
+            blocks_rewritten,
+            bytes,
+            ..
+        } => {
+            reg.inc(
+                SeriesKey::plain("gsd_compaction_blocks_rewritten_total"),
+                *blocks_rewritten,
+            );
+            reg.inc(
+                SeriesKey::plain("gsd_compaction_rewritten_bytes_total"),
+                *bytes,
+            );
+        }
+        TraceEvent::IncrementalSeeded { seeds, resets } => {
+            reg.inc(SeriesKey::plain("gsd_incremental_runs_total"), 1);
+            reg.inc(SeriesKey::plain("gsd_incremental_seeds_total"), *seeds);
+            reg.inc(SeriesKey::plain("gsd_incremental_resets_total"), *resets);
+        }
     }
 }
 

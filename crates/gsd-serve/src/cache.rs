@@ -90,6 +90,14 @@ impl SubBlockCache {
         self.entries.contains_key(&(i, j))
     }
 
+    /// Drops every resident block. The serve core calls this when the
+    /// served grid changes epoch (mutation or compaction): cached decoded
+    /// payloads describe the previous epoch's sub-blocks.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.used = 0;
+    }
+
     /// Offers block `(i, j)` with `priority` = the number of queries that
     /// used it in the offering pass. Returns `true` if resident
     /// afterwards. Same displacement rule as the §4.3 run buffer: evict

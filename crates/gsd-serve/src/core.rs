@@ -41,9 +41,10 @@
 //! and pinned by `tests/serve_e2e.rs`.
 
 use crate::cache::SubBlockCache;
-use crate::wire::{Request, Response, StatsBody};
+use crate::wire::{MutateOp, Request, Response, StatsBody};
 use gsd_algos::{Bfs, ConnectedComponents, PageRank, PageRankDelta, Sssp};
 use gsd_core::{GraphSdConfig, GridSession};
+use gsd_delta::MutationBatch;
 use gsd_runtime::{Engine, Frontier, RunOptions, Value};
 use gsd_trace::{TraceEvent, TraceSink};
 use std::sync::Arc;
@@ -265,8 +266,97 @@ impl ServeCore {
                 source,
                 iterations,
             } => self.run_analytic(algo, *source, *iterations),
+            Request::Mutate { ops } => self.mutate(ops),
+            Request::Compact => self.compact(),
             Request::Shutdown => Response::ShuttingDown,
         }
+    }
+
+    /// Commits a mutation batch as one delta epoch, then refreshes the
+    /// served handle. Because the executor is single-threaded, the commit
+    /// happens strictly between queries: every query sees a whole epoch
+    /// or none of it.
+    fn mutate(&mut self, ops: &[MutateOp]) -> Response {
+        let q = self.accept("mutate");
+        let result = self.mutate_inner(ops);
+        self.complete(q, "mutate", Charge::default());
+        result.unwrap_or_else(err)
+    }
+
+    fn mutate_inner(&mut self, ops: &[MutateOp]) -> Result<Response, String> {
+        let mut batch = MutationBatch::new();
+        for op in ops {
+            match op.op {
+                0 => {
+                    let weight = f32::from_bits(op.weight_bits);
+                    if !weight.is_finite() {
+                        return Err(format!(
+                            "insert ({}, {}) carries a non-finite weight",
+                            op.src, op.dst
+                        ));
+                    }
+                    batch.insert(op.src, op.dst, weight)
+                }
+                _ => batch.delete(op.src, op.dst),
+            };
+        }
+        let grid = self.session.grid();
+        let storage = grid.storage().clone();
+        let prefix = grid.prefix().to_owned();
+        let report = gsd_delta::ingest(storage.as_ref(), &prefix, &batch, self.sink.as_ref())
+            .map_err(|e| format!("ingest failed: {e}"))?;
+        self.refresh()
+            .map_err(|e| format!("reopen after ingest failed: {e}"))?;
+        Ok(Response::Mutated {
+            epoch: report.epoch,
+            merged_edges: report.merged_num_edges,
+            segments: report.segments,
+        })
+    }
+
+    /// Folds the served grid's live delta segments into its base
+    /// sub-blocks, then refreshes the served handle.
+    fn compact(&mut self) -> Response {
+        let q = self.accept("compact");
+        let result = self.compact_inner();
+        self.complete(q, "compact", Charge::default());
+        result.unwrap_or_else(err)
+    }
+
+    fn compact_inner(&mut self) -> Result<Response, String> {
+        let grid = self.session.grid();
+        let storage = grid.storage().clone();
+        let prefix = grid.prefix().to_owned();
+        let epoch = grid.delta_epoch();
+        let report = gsd_delta::compact(&storage, &prefix, self.sink.as_ref())
+            .map_err(|e| format!("compaction failed: {e}"))?;
+        match report {
+            Some(report) => {
+                self.refresh()
+                    .map_err(|e| format!("reopen after compaction failed: {e}"))?;
+                Ok(Response::Compacted {
+                    epoch: report.epoch,
+                    segments_folded: report.segments_folded,
+                    objects_rewritten: report.objects_rewritten,
+                    fingerprint: report.fingerprint,
+                })
+            }
+            None => Ok(Response::Compacted {
+                epoch,
+                segments_folded: 0,
+                objects_rewritten: 0,
+                fingerprint: 0,
+            }),
+        }
+    }
+
+    /// Re-opens the session (new overlay), reloads the merged out-degree
+    /// table and drops every cached sub-block of the previous epoch.
+    fn refresh(&mut self) -> std::io::Result<()> {
+        self.session.reopen()?;
+        self.degrees = Arc::new(self.session.grid().load_out_degrees()?);
+        self.cache.clear();
+        Ok(())
     }
 
     /// Server-wide counter snapshot.
@@ -920,6 +1010,106 @@ mod tests {
             }),
             Response::Error { .. }
         ));
+    }
+
+    #[test]
+    fn mutate_commits_an_epoch_and_queries_see_it() {
+        let (mut core, rec) = core_over(&tiny(), 1 << 20);
+        // Warm the cache so the refresh has something to drop.
+        core.execute(&Request::KHop { source: 0, k: 2 });
+        assert!(!core.cache().is_empty());
+
+        // Insert an edge to a vertex nothing else points at uniquely.
+        let before = match core.execute(&Request::Neighbors { v: 5 }) {
+            Response::Neighbors { neighbors } => neighbors,
+            other => panic!("{other:?}"),
+        };
+        let ops = vec![
+            MutateOp {
+                op: 0,
+                src: 5,
+                dst: 99,
+                weight_bits: 1.0f32.to_bits(),
+            },
+            MutateOp {
+                op: 1,
+                src: 0,
+                dst: 1,
+                weight_bits: 0,
+            },
+        ];
+        let resp = core.execute(&Request::Mutate { ops: ops.clone() });
+        let Response::Mutated {
+            epoch, segments, ..
+        } = resp
+        else {
+            panic!("{resp:?}");
+        };
+        assert_eq!(epoch, 1);
+        assert!(segments >= 1);
+        assert!(core.cache().is_empty(), "stale blocks must be dropped");
+        assert_eq!(core.session().grid().delta_epoch(), 1);
+
+        // The merged view answers immediately.
+        let after = match core.execute(&Request::Neighbors { v: 5 }) {
+            Response::Neighbors { neighbors } => neighbors,
+            other => panic!("{other:?}"),
+        };
+        let mut want = before;
+        want.push(99);
+        want.sort_unstable();
+        want.dedup();
+        assert_eq!(after, want);
+        assert!(matches!(
+            core.execute(&Request::Neighbors { v: 0 }),
+            Response::Neighbors { neighbors } if !neighbors.contains(&1)
+        ));
+        assert_eq!(rec.count_kind("delta_applied"), 1);
+
+        // Compaction folds the segments; answers are unchanged.
+        let resp = core.execute(&Request::Compact);
+        let Response::Compacted {
+            epoch,
+            segments_folded,
+            ..
+        } = resp
+        else {
+            panic!("{resp:?}");
+        };
+        assert_eq!(epoch, 1);
+        assert!(segments_folded >= 1);
+        assert!(core.session().grid().overlay().is_none());
+        let folded = match core.execute(&Request::Neighbors { v: 5 }) {
+            Response::Neighbors { neighbors } => neighbors,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(folded, want);
+        assert_eq!(rec.count_kind("compaction_finished"), 1);
+
+        // A second compact is a no-op answered with zero counters.
+        assert_eq!(
+            core.execute(&Request::Compact),
+            Response::Compacted {
+                epoch: 1,
+                segments_folded: 0,
+                objects_rewritten: 0,
+                fingerprint: 0
+            }
+        );
+
+        // Out-of-range mutations are rejected without committing.
+        assert!(matches!(
+            core.execute(&Request::Mutate {
+                ops: vec![MutateOp {
+                    op: 0,
+                    src: 0,
+                    dst: 5_000_000,
+                    weight_bits: 1.0f32.to_bits()
+                }]
+            }),
+            Response::Error { .. }
+        ));
+        assert_eq!(core.session().grid().delta_epoch(), 1);
     }
 
     #[test]

@@ -40,4 +40,4 @@ pub mod wire;
 pub use cache::SubBlockCache;
 pub use core::{ServeCore, ServeCounters, Traversal};
 pub use server::{serve_tcp, Client, Server, TcpClient};
-pub use wire::{Request, Response, StatsBody};
+pub use wire::{MutateOp, Request, Response, StatsBody};

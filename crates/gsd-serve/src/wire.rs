@@ -71,9 +71,33 @@ pub enum Request {
         /// Iteration override; 0 means the algorithm's own default.
         iterations: u32,
     },
+    /// Commit a mutation batch against the served grid as one delta
+    /// epoch. The daemon applies it between queries, so every query
+    /// observes a whole epoch or none of it.
+    Mutate {
+        /// Ops in application order.
+        ops: Vec<MutateOp>,
+    },
+    /// Fold the served grid's live delta segments into its base
+    /// sub-blocks.
+    Compact,
     /// Graceful shutdown: the server answers [`Response::ShuttingDown`],
     /// drains nothing further and exits.
     Shutdown,
+}
+
+/// One wire-encoded mutation op. Weights travel as IEEE-754 bits
+/// (`f32::to_bits`) so encoding is exact and the message type stays `Eq`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MutateOp {
+    /// 0 = insert, 1 = delete (every copy of the pair).
+    pub op: u8,
+    /// Edge source.
+    pub src: u32,
+    /// Edge destination.
+    pub dst: u32,
+    /// Insert weight bits; zero for deletes.
+    pub weight_bits: u32,
 }
 
 /// The server-wide counter snapshot carried by [`Response::Stats`].
@@ -153,6 +177,27 @@ pub enum Response {
     },
     /// Answer to [`Request::Shutdown`].
     ShuttingDown,
+    /// Answer to [`Request::Mutate`].
+    Mutated {
+        /// The epoch the batch committed.
+        epoch: u64,
+        /// `|E|` of the merged grid after the batch.
+        merged_edges: u64,
+        /// Delta segment objects written.
+        segments: u64,
+    },
+    /// Answer to [`Request::Compact`]. All-zero counters mean there were
+    /// no live segments and the pass was a no-op.
+    Compacted {
+        /// The grid's delta epoch (unchanged by compaction).
+        epoch: u64,
+        /// Segments folded and deleted.
+        segments_folded: u64,
+        /// Base objects rewritten.
+        objects_rewritten: u64,
+        /// Fingerprint of the rebuilt object set (zero for a no-op).
+        fingerprint: u64,
+    },
 }
 
 fn truncated() -> Error {
@@ -326,6 +371,20 @@ impl Request {
                 put_u32(&mut out, *iterations);
             }
             Request::Shutdown => out.push(8),
+            Request::Mutate { ops } => {
+                out.push(9);
+                let len = u32::try_from(ops.len()).map_err(|_| {
+                    Error::new(ErrorKind::InvalidData, "batch longer than u32::MAX ops")
+                })?;
+                put_u32(&mut out, len);
+                for op in ops {
+                    out.push(op.op);
+                    put_u32(&mut out, op.src);
+                    put_u32(&mut out, op.dst);
+                    put_u32(&mut out, op.weight_bits);
+                }
+            }
+            Request::Compact => out.push(10),
         }
         Ok(out)
     }
@@ -354,6 +413,31 @@ impl Request {
                 iterations: r.u32()?,
             },
             8 => Request::Shutdown,
+            9 => {
+                let count = r.u32()? as usize;
+                // 13 bytes per op must still fit in the frame we hold.
+                if count > r.buf.len().saturating_sub(r.pos) / 13 {
+                    return Err(truncated());
+                }
+                let mut ops = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let op = r.u8()?;
+                    if op > 1 {
+                        return Err(Error::new(
+                            ErrorKind::InvalidData,
+                            format!("unknown mutation op code {op}"),
+                        ));
+                    }
+                    ops.push(MutateOp {
+                        op,
+                        src: r.u32()?,
+                        dst: r.u32()?,
+                        weight_bits: r.u32()?,
+                    });
+                }
+                Request::Mutate { ops }
+            }
+            10 => Request::Compact,
             tag => {
                 return Err(Error::new(
                     ErrorKind::InvalidData,
@@ -376,6 +460,8 @@ impl Request {
             Request::Ppr { .. } => "ppr",
             Request::Run { .. } => "run",
             Request::Shutdown => "shutdown",
+            Request::Mutate { .. } => "mutate",
+            Request::Compact => "compact",
         }
     }
 }
@@ -438,6 +524,28 @@ impl Response {
                 put_string(&mut out, message)?;
             }
             Response::ShuttingDown => out.push(9),
+            Response::Mutated {
+                epoch,
+                merged_edges,
+                segments,
+            } => {
+                out.push(10);
+                put_u64(&mut out, *epoch);
+                put_u64(&mut out, *merged_edges);
+                put_u64(&mut out, *segments);
+            }
+            Response::Compacted {
+                epoch,
+                segments_folded,
+                objects_rewritten,
+                fingerprint,
+            } => {
+                out.push(11);
+                put_u64(&mut out, *epoch);
+                put_u64(&mut out, *segments_folded);
+                put_u64(&mut out, *objects_rewritten);
+                put_u64(&mut out, *fingerprint);
+            }
         }
         Ok(out)
     }
@@ -481,6 +589,17 @@ impl Response {
                 message: r.string()?,
             },
             9 => Response::ShuttingDown,
+            10 => Response::Mutated {
+                epoch: r.u64()?,
+                merged_edges: r.u64()?,
+                segments: r.u64()?,
+            },
+            11 => Response::Compacted {
+                epoch: r.u64()?,
+                segments_folded: r.u64()?,
+                objects_rewritten: r.u64()?,
+                fingerprint: r.u64()?,
+            },
             tag => {
                 return Err(Error::new(
                     ErrorKind::InvalidData,
@@ -548,6 +667,23 @@ mod tests {
                 source: 0,
                 iterations: 5,
             },
+            Request::Mutate {
+                ops: vec![
+                    MutateOp {
+                        op: 0,
+                        src: 1,
+                        dst: 2,
+                        weight_bits: 1.5f32.to_bits(),
+                    },
+                    MutateOp {
+                        op: 1,
+                        src: 3,
+                        dst: 4,
+                        weight_bits: 0,
+                    },
+                ],
+            },
+            Request::Compact,
             Request::Shutdown,
         ]
     }
@@ -589,6 +725,17 @@ mod tests {
                 message: "no such vertex".to_string(),
             },
             Response::ShuttingDown,
+            Response::Mutated {
+                epoch: 3,
+                merged_edges: 1234,
+                segments: 2,
+            },
+            Response::Compacted {
+                epoch: 3,
+                segments_folded: 2,
+                objects_rewritten: 5,
+                fingerprint: 0xfeed_f00d,
+            },
         ]
     }
 

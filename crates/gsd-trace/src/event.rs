@@ -287,6 +287,45 @@ pub enum TraceEvent {
         /// Bytes released.
         bytes: u64,
     },
+    /// A mutation batch was committed as delta segments (one new epoch).
+    DeltaApplied {
+        /// The epoch the batch committed (monotonic per grid).
+        epoch: u64,
+        /// Edge insertions in the batch.
+        inserts: u64,
+        /// Edge deletions in the batch.
+        deletes: u64,
+        /// Delta segment objects the batch appended.
+        segments: u64,
+        /// Total segment bytes written.
+        bytes: u64,
+    },
+    /// A compaction pass started folding delta segments into the base grid.
+    CompactionStarted {
+        /// Epoch of the grid being compacted.
+        epoch: u64,
+        /// Live segment objects to fold.
+        segments: u64,
+        /// Total live segment bytes.
+        bytes: u64,
+    },
+    /// A compaction pass finished; the grid has no live delta segments.
+    CompactionFinished {
+        /// Epoch of the compacted grid (unchanged by compaction).
+        epoch: u64,
+        /// Base sub-blocks rewritten with merged payloads.
+        blocks_rewritten: u64,
+        /// Bytes of rewritten base objects.
+        bytes: u64,
+    },
+    /// Incremental recompute seeded its frontier from a mutation batch's
+    /// affected region instead of starting from scratch.
+    IncrementalSeeded {
+        /// Vertices seeded into the initial frontier.
+        seeds: u64,
+        /// Vertices whose values were reset before the run.
+        resets: u64,
+    },
 }
 
 impl TraceEvent {
@@ -322,6 +361,10 @@ impl TraceEvent {
             TraceEvent::QueryCompleted { .. } => "query_completed",
             TraceEvent::CacheAdmit { .. } => "cache_admit",
             TraceEvent::CacheEvict { .. } => "cache_evict",
+            TraceEvent::DeltaApplied { .. } => "delta_applied",
+            TraceEvent::CompactionStarted { .. } => "compaction_started",
+            TraceEvent::CompactionFinished { .. } => "compaction_finished",
+            TraceEvent::IncrementalSeeded { .. } => "incremental_seeded",
         }
     }
 }
@@ -522,6 +565,49 @@ impl Serialize for TraceEvent {
                     vec![u("i", *i as u64), u("j", *j as u64), u("bytes", *bytes)],
                 )
             }
+            TraceEvent::DeltaApplied {
+                epoch,
+                inserts,
+                deletes,
+                segments,
+                bytes,
+            } => tagged(
+                self.kind(),
+                vec![
+                    u("epoch", *epoch),
+                    u("inserts", *inserts),
+                    u("deletes", *deletes),
+                    u("segments", *segments),
+                    u("bytes", *bytes),
+                ],
+            ),
+            TraceEvent::CompactionStarted {
+                epoch,
+                segments,
+                bytes,
+            } => tagged(
+                self.kind(),
+                vec![
+                    u("epoch", *epoch),
+                    u("segments", *segments),
+                    u("bytes", *bytes),
+                ],
+            ),
+            TraceEvent::CompactionFinished {
+                epoch,
+                blocks_rewritten,
+                bytes,
+            } => tagged(
+                self.kind(),
+                vec![
+                    u("epoch", *epoch),
+                    u("blocks_rewritten", *blocks_rewritten),
+                    u("bytes", *bytes),
+                ],
+            ),
+            TraceEvent::IncrementalSeeded { seeds, resets } => {
+                tagged(self.kind(), vec![u("seeds", *seeds), u("resets", *resets)])
+            }
         }
     }
 }
@@ -700,6 +786,49 @@ mod tests {
             r#"{"ev":"cache_evict","i":1,"j":2,"bytes":512}"#
         );
         assert_eq!(evict.kind(), "cache_evict");
+    }
+
+    #[test]
+    fn delta_events_serialize_with_stable_tags() {
+        let applied = TraceEvent::DeltaApplied {
+            epoch: 3,
+            inserts: 10,
+            deletes: 2,
+            segments: 4,
+            bytes: 180,
+        };
+        assert_eq!(
+            serde_json::to_string(&applied).unwrap(),
+            r#"{"ev":"delta_applied","epoch":3,"inserts":10,"deletes":2,"segments":4,"bytes":180}"#
+        );
+        assert_eq!(applied.kind(), "delta_applied");
+        let started = TraceEvent::CompactionStarted {
+            epoch: 3,
+            segments: 4,
+            bytes: 180,
+        };
+        assert_eq!(
+            serde_json::to_string(&started).unwrap(),
+            r#"{"ev":"compaction_started","epoch":3,"segments":4,"bytes":180}"#
+        );
+        let finished = TraceEvent::CompactionFinished {
+            epoch: 3,
+            blocks_rewritten: 6,
+            bytes: 9000,
+        };
+        assert_eq!(
+            serde_json::to_string(&finished).unwrap(),
+            r#"{"ev":"compaction_finished","epoch":3,"blocks_rewritten":6,"bytes":9000}"#
+        );
+        let seeded = TraceEvent::IncrementalSeeded {
+            seeds: 12,
+            resets: 7,
+        };
+        assert_eq!(
+            serde_json::to_string(&seeded).unwrap(),
+            r#"{"ev":"incremental_seeded","seeds":12,"resets":7}"#
+        );
+        assert_eq!(seeded.kind(), "incremental_seeded");
     }
 
     #[test]

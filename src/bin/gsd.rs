@@ -5,9 +5,12 @@
 //! gsd run <data-dir> <algorithm> [--source V] [--iterations N] [--ablation b1|b2|b3|b4|nobuf]
 //!         [--verify off|full|sample:N] [--on-corruption fail|retry[:N]|quarantine]
 //!         [--trace FILE] [--metrics-out FILE] [--metrics-every N]
+//! gsd ingest <data-dir> <batch.txt> [--recompute <algorithm>] [--source V]
+//!            [--iterations N] [--trace FILE]
+//! gsd compact <data-dir> [--trace FILE]
 //! gsd bench [--label S] [--warmup N] [--repeats N] [--out FILE] [--systems a,b]
 //!           [--algos a,b] [--datasets a,b] [--scale tiny|small|medium]
-//!           [--no-prefetch] [--baseline FILE] [--serve]
+//!           [--no-prefetch] [--baseline FILE] [--serve] [--delta]
 //! gsd bench --check FILE
 //! gsd report <trace.jsonl> [--top N]
 //! gsd serve <data-dir> [--port N] [--cache-mb M] [--verify ...] [--on-corruption ...]
@@ -31,16 +34,26 @@
 //! into per-phase breakdowns, I/O histograms, hottest sub-blocks and
 //! scheduler decision explanations.
 //!
+//! `ingest` commits a mutation batch (`+ src dst [w]` / `- src dst`,
+//! one op per line) against a preprocessed grid as one delta epoch;
+//! `--recompute` then warm-starts the named algorithm from the batch's
+//! footprint and prints the incremental value fingerprint. `compact`
+//! folds the live delta segments back into the base sub-blocks,
+//! byte-verified against a full re-preprocess before anything is
+//! written. `bench --delta` times the whole cycle.
+//!
 //! `serve` opens the grid once and answers queries from many clients
 //! until one sends `shutdown`; `query` is the matching client. Query
 //! ops: `ping`, `stats`, `degree <v>`, `neighbors <v>`,
 //! `khop <source> <k>`, `ppr <seed,seed,...>`,
-//! `run <algorithm>`, `shutdown`.
+//! `run <algorithm>`, `mutate <batch.txt>`, `compact`, `shutdown`.
 
 use graphsd::algos::{Bfs, ConnectedComponents, PageRank, PageRankDelta, Sssp};
 use graphsd::bench::wall::{run_wall, WallOptions};
 use graphsd::bench::{Algo, Scale, SystemKind};
 use graphsd::core::{GraphSdConfig, GraphSdEngine, GridSession};
+use graphsd::delta::MutationBatch;
+use graphsd::graph::delta::DeltaOp;
 use graphsd::graph::{
     parse_edge_list, preprocess_text, repair_grid, scrub_grid, write_edge_list, CorruptionResponse,
     GeneratorConfig, GraphKind, GridGraph, PreprocessConfig, VerifyPolicy,
@@ -48,7 +61,7 @@ use graphsd::graph::{
 use graphsd::io::{FileStorage, SharedStorage};
 use graphsd::metrics::{BenchReport, MetricsSink, TraceReport};
 use graphsd::runtime::{Engine, RunOptions, RunResult, RunStats, Value, VertexProgram};
-use graphsd::serve::{serve_tcp, Request, Response, ServeCore, Server, TcpClient};
+use graphsd::serve::{serve_tcp, MutateOp, Request, Response, ServeCore, Server, TcpClient};
 use graphsd::trace::{FanoutSink, JsonlWriter, TraceSink};
 use std::io::BufReader;
 use std::process::ExitCode;
@@ -59,10 +72,12 @@ fn usage() -> ExitCode {
         "usage:\n  \
          gsd preprocess <edges.txt> <data-dir> [--intervals N] [--budget-mb M] [--degree-balanced]\n  \
          gsd run <data-dir> <pagerank|pagerank-delta|cc|sssp|bfs> [--source V] [--iterations N] [--ablation b1|b2|b3|b4|nobuf] [--top K] [--verify off|full|sample:N] [--on-corruption fail|retry[:N]|quarantine] [--trace FILE] [--metrics-out FILE] [--metrics-every N]\n  \
-         gsd bench [--label S] [--warmup N] [--repeats N] [--out FILE] [--systems a,b] [--algos a,b] [--datasets a,b] [--scale tiny|small|medium] [--no-prefetch] [--baseline FILE] [--serve]\n  \
+         gsd ingest <data-dir> <batch.txt> [--recompute <pagerank|cc|sssp|bfs>] [--source V] [--iterations N] [--trace FILE]\n  \
+         gsd compact <data-dir> [--trace FILE]\n  \
+         gsd bench [--label S] [--warmup N] [--repeats N] [--out FILE] [--systems a,b] [--algos a,b] [--datasets a,b] [--scale tiny|small|medium] [--no-prefetch] [--baseline FILE] [--serve] [--delta]\n  \
          gsd bench --check FILE\n  \
          gsd serve <data-dir> [--port N] [--cache-mb M] [--verify off|full|sample:N] [--on-corruption fail|retry[:N]|quarantine] [--trace FILE] [--metrics-out FILE] [--metrics-every N]\n  \
-         gsd query <host:port> <ping|stats|degree|neighbors|khop|ppr|run|shutdown> [args...] [--alpha A] [--iterations N] [--source V]\n  \
+         gsd query <host:port> <ping|stats|degree|neighbors|khop|ppr|run|mutate|compact|shutdown> [args...] [--alpha A] [--iterations N] [--source V]\n  \
          gsd report <trace.jsonl> [--top N]\n  \
          gsd scrub <data-dir> [--repair <edges.txt>]\n  \
          gsd info <data-dir>\n  \
@@ -127,6 +142,8 @@ fn main() -> ExitCode {
     let args = Args::parse(&raw[1..]);
     let result = match command.as_str() {
         "preprocess" => cmd_preprocess(&args),
+        "ingest" => cmd_ingest(&args),
+        "compact" => cmd_compact(&args),
         "run" => cmd_run(&args),
         "bench" => cmd_bench(&args),
         "serve" => cmd_serve(&args),
@@ -331,6 +348,134 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     obs.finish()
 }
 
+fn cmd_ingest(args: &Args) -> Result<(), String> {
+    let [dir, batch_path] = args.positional.as_slice() else {
+        return Err("ingest needs <data-dir> <batch.txt>".into());
+    };
+    let text = std::fs::read_to_string(batch_path).map_err(|e| format!("{batch_path}: {e}"))?;
+    let batch = MutationBatch::parse(&text).map_err(|e| format!("{batch_path}: {e}"))?;
+    let storage: SharedStorage =
+        Arc::new(FileStorage::open(dir).map_err(|e| format!("{dir}: {e}"))?);
+    let obs = Observability::from_flags(args)?;
+    let sink = obs.sink.clone().unwrap_or_else(graphsd::trace::null_sink);
+    match args.flag_value::<String>("recompute")?.as_deref() {
+        None => {
+            let report = graphsd::delta::ingest(storage.as_ref(), "", &batch, sink.as_ref())
+                .map_err(|e| e.to_string())?;
+            print_ingest(&report);
+        }
+        Some(algo) => {
+            let source: u32 = args.flag_value("source")?.unwrap_or(0);
+            let options = RunOptions {
+                max_iterations: args.flag_value("iterations")?,
+                iteration_cap: None,
+            };
+            match algo {
+                "pagerank" => {
+                    ingest_recompute(storage, &PageRank::paper(), &batch, &options, sink)?
+                }
+                "cc" => ingest_recompute(storage, &ConnectedComponents, &batch, &options, sink)?,
+                "sssp" => ingest_recompute(storage, &Sssp::new(source), &batch, &options, sink)?,
+                "bfs" => ingest_recompute(storage, &Bfs::new(source), &batch, &options, sink)?,
+                other => return Err(format!("unknown algorithm {other:?}")),
+            }
+        }
+    }
+    obs.finish()
+}
+
+fn print_ingest(report: &graphsd::delta::IngestReport) {
+    println!(
+        "epoch {}: committed {} insert(s) / {} delete(s) as {} segment(s) ({} KiB); merged graph has {} edges",
+        report.epoch,
+        report.inserts,
+        report.deletes,
+        report.segments,
+        report.segment_bytes >> 10,
+        report.merged_num_edges,
+    );
+}
+
+/// `ingest --recompute`: converge on the pre-batch grid (the warm state
+/// a long-running service holds), commit the batch, then warm-start the
+/// program from the batch's footprint on the merged grid.
+fn ingest_recompute<P: VertexProgram>(
+    storage: SharedStorage,
+    program: &P,
+    batch: &MutationBatch,
+    options: &RunOptions,
+    sink: Arc<dyn TraceSink>,
+) -> Result<(), String> {
+    let grid = GridGraph::open(storage.clone()).map_err(|e| e.to_string())?;
+    let mut engine = GraphSdEngine::new(grid, GraphSdConfig::full()).map_err(|e| e.to_string())?;
+    engine.set_trace(sink.clone());
+    let warm = engine.run(program, options).map_err(|e| e.to_string())?;
+
+    let report = graphsd::delta::ingest(storage.as_ref(), "", batch, sink.as_ref())
+        .map_err(|e| e.to_string())?;
+    print_ingest(&report);
+
+    let grid = GridGraph::open(storage).map_err(|e| e.to_string())?;
+    let (result, inc) = graphsd::delta::incremental_run(
+        grid,
+        program,
+        warm.values,
+        batch,
+        GraphSdConfig::full(),
+        sink,
+    )
+    .map_err(|e| e.to_string())?;
+    print_stats(&result.stats);
+    println!(
+        "incremental recompute: {} seed(s), {} reset(s){}; value fingerprint {:016x}",
+        inc.seeds,
+        inc.resets,
+        if inc.full_fallback {
+            " (program is not incremental-safe; reran from scratch)"
+        } else {
+            ""
+        },
+        value_fingerprint(&result.values),
+    );
+    Ok(())
+}
+
+/// FNV-1a/64 over the committed value bits — comparable across an
+/// incremental recompute and a from-scratch `gsd run` of the same
+/// algorithm (bit-identical results hash identically).
+fn value_fingerprint<V: Value>(values: &[V]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for v in values {
+        for byte in v.to_bits().to_le_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    hash
+}
+
+fn cmd_compact(args: &Args) -> Result<(), String> {
+    let [dir] = args.positional.as_slice() else {
+        return Err("compact needs <data-dir>".into());
+    };
+    let storage: SharedStorage =
+        Arc::new(FileStorage::open(dir).map_err(|e| format!("{dir}: {e}"))?);
+    let obs = Observability::from_flags(args)?;
+    let sink = obs.sink.clone().unwrap_or_else(graphsd::trace::null_sink);
+    match graphsd::delta::compact(&storage, "", sink.as_ref()).map_err(|e| e.to_string())? {
+        Some(r) => println!(
+            "epoch {}: folded {} segment(s) into {} rewritten object(s) ({} KiB); grid fingerprint {:016x}",
+            r.epoch,
+            r.segments_folded,
+            r.objects_rewritten,
+            r.bytes_rewritten >> 10,
+            r.fingerprint,
+        ),
+        None => println!("{dir}: no live delta segments; nothing to compact"),
+    }
+    obs.finish()
+}
+
 fn cmd_serve(args: &Args) -> Result<(), String> {
     let [dir] = args.positional.as_slice() else {
         return Err("serve needs <data-dir>".into());
@@ -421,6 +566,31 @@ fn cmd_query(args: &Args) -> Result<(), String> {
             source: args.flag_value("source")?.unwrap_or(0),
             iterations: args.flag_value("iterations")?.unwrap_or(0),
         },
+        "mutate" => {
+            let path = rest.first().ok_or("query mutate needs <batch.txt>")?;
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            let batch = MutationBatch::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+            let ops = batch
+                .ops
+                .iter()
+                .map(|op| match *op {
+                    DeltaOp::Insert(e) => MutateOp {
+                        op: 0,
+                        src: e.src,
+                        dst: e.dst,
+                        weight_bits: e.weight.to_bits(),
+                    },
+                    DeltaOp::Delete { src, dst } => MutateOp {
+                        op: 1,
+                        src,
+                        dst,
+                        weight_bits: 0,
+                    },
+                })
+                .collect();
+            Request::Mutate { ops }
+        }
+        "compact" => Request::Compact,
         "shutdown" => Request::Shutdown,
         other => return Err(format!("unknown query op {other:?}")),
     };
@@ -502,6 +672,29 @@ fn render_response(response: &Response) -> Result<(), String> {
                 "{algorithm}: {iterations} iterations, {} MiB read, fingerprint {fingerprint:016x}",
                 bytes_read >> 20
             )?,
+            Response::Mutated {
+                epoch,
+                merged_edges,
+                segments,
+            } => writeln!(
+                out,
+                "epoch {epoch} committed ({segments} segment(s)); merged graph has {merged_edges} edges"
+            )?,
+            Response::Compacted {
+                epoch,
+                segments_folded,
+                objects_rewritten,
+                fingerprint,
+            } => {
+                if *segments_folded == 0 {
+                    writeln!(out, "no live delta segments (epoch {epoch}); nothing to compact")?;
+                } else {
+                    writeln!(
+                        out,
+                        "epoch {epoch}: folded {segments_folded} segment(s) into {objects_rewritten} rewritten object(s), fingerprint {fingerprint:016x}"
+                    )?;
+                }
+            }
             Response::ShuttingDown => writeln!(out, "server is shutting down")?,
             Response::Error { .. } => return Ok(()),
         }
@@ -672,9 +865,12 @@ fn cmd_bench(args: &Args) -> Result<(), String> {
 
     // `--serve` swaps the analytic-run matrix for the daemon's query
     // workload: queries/sec and cache hit rate instead of run breakdowns,
-    // same report schema.
+    // same report schema. `--delta` swaps it for the streaming-mutation
+    // cycle (ingest, incremental recompute, compact).
     let report = if args.has("serve") {
         graphsd::bench::run_serve(&opts).map_err(|e| e.to_string())?
+    } else if args.has("delta") {
+        graphsd::bench::run_delta(&opts).map_err(|e| e.to_string())?
     } else {
         run_wall(&opts).map_err(|e| e.to_string())?
     };
@@ -804,6 +1000,17 @@ fn cmd_info(args: &Args) -> Result<(), String> {
             "  integrity  format v{}, no checksums (re-preprocess to add them)",
             meta.version
         ),
+    }
+    if let Some(delta) = &meta.delta {
+        match grid.overlay() {
+            Some(overlay) => println!(
+                "  delta      epoch {}, {} sub-block(s) overlaid ({} KiB resident; `gsd compact` folds them)",
+                delta.epoch,
+                overlay.block_count(),
+                overlay.resident_bytes() >> 10
+            ),
+            None => println!("  delta      epoch {}, no live segments", delta.epoch),
+        }
     }
     Ok(())
 }

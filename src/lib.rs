@@ -39,6 +39,7 @@ pub use gsd_algos as algos;
 pub use gsd_baselines as baselines;
 pub use gsd_bench as bench;
 pub use gsd_core as core;
+pub use gsd_delta as delta;
 pub use gsd_graph as graph;
 pub use gsd_integrity as integrity;
 pub use gsd_io as io;
